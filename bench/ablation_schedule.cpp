@@ -1,0 +1,82 @@
+// Scheduling/placement ablation: the paper's claims that depend on HOW the
+// loop is scheduled rather than on the data layout.
+//
+//  * Jacobi needs "static,1" with the optimal layout (Sect. 2.3): a blocked
+//    static schedule spaces concurrent rows a chunk apart, which defeats the
+//    shift-based controller spreading AND exceeds what the L2 can hold;
+//  * the LBM modulo effect (Sect. 2.4): nz mod threads != 0 starves threads
+//    under outer-z parallelization; coalescing z,y fixes it;
+//  * packed vs equidistant thread placement.
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace mcopt;
+  using namespace mcopt::kernels::lbm;
+  util::Cli cli("Schedule & placement ablations (Jacobi and LBM)");
+  cli.flag("full", "larger sizes")
+      .option_str("csv", "", "mirror results to this CSV file");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::size_t jn = cli.get_flag("full") ? 1024 : 512;
+
+  const arch::AddressMap map;
+  const auto optimal = kernels::jacobi_optimal_spec(map);
+  const auto plain = kernels::jacobi_plain_spec();
+
+  std::printf("# Jacobi at N=%zu, 64 threads, MLUPs/s\n\n", jn);
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [layout_name, spec] :
+       {std::pair<const char*, seg::LayoutSpec>{"optimal", optimal},
+        std::pair<const char*, seg::LayoutSpec>{"plain", plain}}) {
+    rows.push_back(
+        {layout_name,
+         util::fmt_fixed(
+             bench::jacobi_mlups(jn, spec, sched::Schedule::static_block(), 64), 1),
+         util::fmt_fixed(
+             bench::jacobi_mlups(jn, spec, sched::Schedule::static_chunk(1), 64), 1),
+         util::fmt_fixed(
+             bench::jacobi_mlups(jn, spec, sched::Schedule::static_chunk(4), 64), 1)});
+  }
+  bench::emit({"layout", "static", "static,1", "static,4"}, rows,
+              cli.get_str("csv").empty() ? "" : cli.get_str("csv") + ".jacobi.csv");
+
+  std::printf("\n# LBM modulo effect: IvJK, nz chosen hostile to the thread count\n\n");
+  std::vector<std::vector<std::string>> rows2;
+  for (std::size_t n : {32ul, 33ul, 48ul, 65ul}) {
+    rows2.push_back(
+        {std::to_string(n),
+         util::fmt_fixed(bench::lbm_mlups(n, DataLayout::kIvJK, LoopOrder::kOuterZ, 32), 2),
+         util::fmt_fixed(
+             bench::lbm_mlups(n, DataLayout::kIvJK, LoopOrder::kCoalescedZY, 32), 2),
+         util::fmt_fixed(bench::lbm_mlups(n, DataLayout::kIvJK, LoopOrder::kOuterZ, 64), 2),
+         util::fmt_fixed(
+             bench::lbm_mlups(n, DataLayout::kIvJK, LoopOrder::kCoalescedZY, 64), 2)});
+  }
+  bench::emit({"N", "32T outer-z", "32T fused", "64T outer-z", "64T fused"}, rows2,
+              cli.get_str("csv").empty() ? "" : cli.get_str("csv") + ".lbm.csv");
+
+  // Placement: packed vs equidistant for a balanced triad at 32 threads.
+  std::printf("\n# Thread placement at 32 threads (vector triad, planner offsets)\n\n");
+  trace::VirtualArena arena;
+  const auto bases = kernels::triad_layout_bases(
+      arena, kernels::TriadLayout::kPlannedOffsets, 1 << 18, map);
+  auto run_placement = [&](const arch::Placement& p) {
+    auto wl = kernels::make_triad_workload(bases, 1 << 18, 32,
+                                           sched::Schedule::static_block());
+    sim::SimConfig cfg;
+    sim::Chip chip(cfg, p);
+    const auto res = chip.run(wl);
+    return static_cast<double>(kernels::triad_actual_bytes(1 << 18)) /
+           res.seconds() / 1e9;
+  };
+  sim::SimConfig cfg;
+  std::vector<std::vector<std::string>> rows3;
+  rows3.push_back(
+      {"equidistant (paper)",
+       util::fmt_fixed(run_placement(arch::equidistant_placement(32, cfg.topology)), 2)});
+  rows3.push_back(
+      {"packed",
+       util::fmt_fixed(run_placement(arch::packed_placement(32, cfg.topology)), 2)});
+  bench::emit({"placement", "GB/s"}, rows3, "");
+  return 0;
+}

@@ -1,0 +1,117 @@
+#pragma once
+// Shared plumbing for the figure-reproduction benches: canonical simulator
+// runners for each kernel plus output helpers. Every bench prints a paper-
+// style table on stdout and optionally mirrors it to CSV (--csv <path>).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "kernels/jacobi.h"
+#include "kernels/lbm/trace_program.h"
+#include "kernels/stream.h"
+#include "kernels/triad.h"
+#include "sim/analytic.h"
+#include "sim/chip.h"
+#include "trace/virtual_arena.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace mcopt::bench {
+
+/// Runs one simulated STREAM configuration; returns reported GB/s (STREAM
+/// convention, RFO not counted).
+inline double stream_reported_gbs(kernels::StreamOp op, std::size_t n,
+                                  std::size_t offset_dp, unsigned threads,
+                                  const sim::SimConfig& cfg = {}) {
+  trace::VirtualArena arena;
+  const arch::Addr block = arena.allocate(3 * (n + offset_dp) * 8, 8192);
+  const auto bases = kernels::common_block_bases(block, n, offset_dp);
+  auto wl = kernels::make_stream_workload(op, bases, n, threads,
+                                          sched::Schedule::static_block());
+  sim::Chip chip(cfg, arch::equidistant_placement(threads, cfg.topology));
+  const sim::SimResult res = chip.run(wl);
+  return static_cast<double>(kernels::stream_reported_bytes(op, n)) /
+         res.seconds() / 1e9;
+}
+
+/// Analytic-model prediction for the same configuration (instant).
+inline double stream_analytic_gbs(kernels::StreamOp op, std::size_t n,
+                                  std::size_t offset_dp, unsigned threads,
+                                  const sim::SimConfig& cfg = {}) {
+  const auto bases =
+      kernels::common_block_bases(arch::Addr{1} << 32, n, offset_dp);
+  const auto descs = kernels::stream_descs(op, bases);
+  std::vector<sim::AnalyticStream> streams;
+  for (const auto& d : descs) streams.push_back({d.base, d.write});
+  const arch::AddressMap map(cfg.interleave);
+  const auto est =
+      sim::estimate_bandwidth(sim::expand_rfo(streams), threads,
+                              cfg.calibration, map, cfg.topology.clock_ghz);
+  // Convert actual-traffic prediction back to the STREAM convention.
+  const double convention =
+      static_cast<double>(kernels::stream_reported_bytes(op, n)) /
+      static_cast<double>(kernels::stream_actual_bytes(op, n));
+  return est.bandwidth * convention / 1e9;
+}
+
+/// Simulated vector triad in actual-traffic GB/s (Fig. 4 convention).
+inline double triad_actual_gbs(const std::vector<arch::Addr>& bases,
+                               std::size_t n, unsigned threads,
+                               const sim::SimConfig& cfg = {}) {
+  auto wl = kernels::make_triad_workload(bases, n, threads,
+                                         sched::Schedule::static_block());
+  sim::Chip chip(cfg, arch::equidistant_placement(threads, cfg.topology));
+  const sim::SimResult res = chip.run(wl);
+  return static_cast<double>(kernels::triad_actual_bytes(n)) / res.seconds() / 1e9;
+}
+
+/// Simulated Jacobi sweep in MLUPs/s.
+inline double jacobi_mlups(std::size_t n, const seg::LayoutSpec& spec,
+                           const sched::Schedule& schedule, unsigned threads,
+                           const sim::SimConfig& cfg = {}) {
+  trace::VirtualArena arena;
+  const auto grids = kernels::make_virtual_jacobi(arena, n, spec);
+  auto wl = trace::make_jacobi_workload(grids.grids(), threads, schedule, 1);
+  sim::Chip chip(cfg, arch::equidistant_placement(threads, cfg.topology));
+  const sim::SimResult res = chip.run(wl);
+  return static_cast<double>(trace::jacobi_updates_per_sweep(n)) /
+         res.seconds() / 1e6;
+}
+
+/// Simulated D3Q19 LBM step in MLUPs/s.
+inline double lbm_mlups(std::size_t n, kernels::lbm::DataLayout layout,
+                        kernels::lbm::LoopOrder order, unsigned threads,
+                        std::size_t pad_x = 0, const sim::SimConfig& cfg = {}) {
+  using namespace kernels::lbm;
+  const Geometry g{n, n, n, pad_x, layout};
+  trace::VirtualArena arena;
+  LbmAddresses addr;
+  addr.f_base = arena.allocate(g.f_elems() * 8, 8192);
+  addr.mask_base = arena.allocate(g.cells(), 8192);
+  auto wl = make_lbm_workload(g, addr, order, threads,
+                              sched::Schedule::static_block(), 1);
+  sim::Chip chip(cfg, arch::equidistant_placement(threads, cfg.topology));
+  const sim::SimResult res = chip.run(wl);
+  return static_cast<double>(g.interior_cells()) / res.seconds() / 1e6;
+}
+
+/// Prints an aligned table to stdout and mirrors it to CSV when a path was
+/// given (--csv).
+inline void emit(const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows,
+                 const std::string& csv_path) {
+  util::Table table(header);
+  for (const auto& row : rows) table.add_row(row);
+  table.print(std::cout);
+  if (!csv_path.empty()) {
+    util::CsvWriter csv(csv_path, header);
+    for (const auto& row : rows) csv.add_row(row);
+    util::log_info("wrote " + std::to_string(rows.size()) + " rows to " + csv_path);
+  }
+}
+
+}  // namespace mcopt::bench

@@ -1,0 +1,76 @@
+// Sect. 1/2.1 headline numbers: the attainable bandwidth envelope.
+//
+// The paper reports that only about ONE THIRD of the nominal 42 GB/s read
+// bandwidth is attainable, that load-only kernels reach somewhat more than
+// mixed ones (citing Williams et al.), and that STREAM copy tops out around
+// 18 GB/s of actual traffic (12 GB/s reported). This bench measures the
+// whole envelope on the simulator: pure loads, copy, triad, and the vector
+// triad, each at its best (planner-skewed) layout, 64 threads.
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace mcopt;
+  util::Cli cli("Bandwidth envelope: pure-load / copy / triad vs nominal");
+  cli.flag("full", "larger arrays")
+      .option_int("n", 1 << 19, "array length in DP words")
+      .option_str("csv", "", "mirror results to this CSV file");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto n =
+      static_cast<std::size_t>(cli.get_flag("full") ? (1 << 22) : cli.get_int("n"));
+
+  std::printf(
+      "# Attainable memory traffic at 64 threads, best layout per kernel\n"
+      "# nominal: 42 GB/s read + 21 GB/s write aggregate (Sect. 1)\n\n");
+
+  std::vector<std::vector<std::string>> rows;
+
+  // Pure loads: four read streams, planner offsets, no stores at all.
+  {
+    trace::VirtualArena arena;
+    std::vector<trace::StreamDesc> streams;
+    for (std::size_t k = 0; k < 4; ++k)
+      streams.push_back({arena.allocate(n * 8 + 512, 8192) + k * 128, false, 0});
+    auto wl = trace::make_lockstep_workload(streams, 8, n, 64,
+                                            sched::Schedule::static_block());
+    sim::SimConfig cfg;
+    sim::Chip chip(cfg, arch::equidistant_placement(64, cfg.topology));
+    const auto res = chip.run(wl);
+    rows.push_back({"pure loads (4 streams)",
+                    util::fmt_fixed(res.memory_bandwidth() / 1e9, 2), "42.00",
+                    util::fmt_fixed(res.memory_bandwidth() / 42e9 * 100, 1) + "%"});
+  }
+
+  auto stream_row = [&](kernels::StreamOp op, const char* name) {
+    // Best case: a skewed offset (40 DP words).
+    const double reported = bench::stream_reported_gbs(op, n, 40, 64);
+    const double actual = reported *
+                          static_cast<double>(kernels::stream_actual_bytes(op, n)) /
+                          static_cast<double>(kernels::stream_reported_bytes(op, n));
+    rows.push_back({name, util::fmt_fixed(actual, 2), "63.00",
+                    util::fmt_fixed(actual / 63e9 * 100 * 1e9, 1) + "%"});
+    return reported;
+  };
+  const double copy_rep = stream_row(kernels::StreamOp::kCopy, "STREAM copy (actual)");
+  const double triad_rep = stream_row(kernels::StreamOp::kTriad, "STREAM triad (actual)");
+
+  // Vector triad at planner offsets.
+  {
+    const arch::AddressMap map;
+    trace::VirtualArena arena;
+    const auto bases =
+        kernels::triad_layout_bases(arena, kernels::TriadLayout::kPlannedOffsets, n, map);
+    const double actual = bench::triad_actual_gbs(bases, n, 64);
+    rows.push_back({"vector triad (actual)", util::fmt_fixed(actual, 2), "63.00",
+                    util::fmt_fixed(actual / 63e9 * 100 * 1e9, 1) + "%"});
+  }
+
+  bench::emit({"kernel", "GB/s", "nominal GB/s", "fraction"}, rows,
+              cli.get_str("csv"));
+
+  std::printf(
+      "\nshape check: STREAM reported copy %.2f / triad %.2f GB/s; the paper "
+      "measures ~12 / ~11 and notes only ~1/3 of nominal is attainable.\n",
+      copy_rep, triad_rep);
+  return 0;
+}

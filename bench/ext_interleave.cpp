@@ -1,0 +1,82 @@
+// Extension: what if the chip designer had chosen a different address
+// interleaving? The paper's conclusion blames the "simple mapping of memory
+// controllers to physical addresses"; this bench quantifies the design
+// space by rerunning the pathological zero-offset STREAM triad under
+// hypothetical interleavings:
+//
+//  * T2 (bits 8:7)           — fine-grained, 512 B period: aliasing-prone
+//                              but perfectly balanced for any single stream;
+//  * coarse (bits 14:13)     — 8 KiB-page-grained: base offsets can't fix
+//                              anything smaller than a page, but congruent
+//                              bases no longer collapse onto one controller
+//                              at every instant;
+//  * wider chips             — 8 controllers (3 select bits).
+//
+// The planner adapts automatically (its stride = period / controllers), so
+// the "planned" column shows that analytic layout fixes work for ANY
+// low-bit interleaving.
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace mcopt;
+  util::Cli cli("Hypothetical controller-interleaving design space");
+  cli.flag("full", "larger arrays")
+      .option_str("csv", "", "mirror results to this CSV file");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::size_t n = cli.get_flag("full") ? (1 << 21) : (1 << 19);
+
+  struct Design {
+    const char* name;
+    arch::InterleaveSpec spec;
+  };
+  const std::vector<Design> designs = {
+      {"T2: 4 MCs, bits 8:7", arch::InterleaveSpec{6, 1, 2}},
+      {"coarse: 4 MCs, bits 14:13", arch::InterleaveSpec{6, 7, 2}},
+      {"wide: 8 MCs, bits 9:7", arch::InterleaveSpec{6, 1, 3}},
+  };
+
+  std::printf(
+      "# STREAM triad, 64 threads, N=%zu, reported GB/s\n"
+      "# aliased = all arrays congruent mod the interleave period; planned = "
+      "planner offsets for that design\n\n",
+      n);
+
+  const std::vector<std::string> header = {"design", "period", "aliased",
+                                           "planned", "gain"};
+  std::vector<std::vector<std::string>> rows;
+  for (const Design& d : designs) {
+    sim::SimConfig cfg;
+    cfg.interleave = d.spec;
+    const arch::AddressMap map(d.spec);
+
+    // Aliased: the paper's zero-offset COMMON block.
+    const double aliased = bench::stream_reported_gbs(
+        kernels::StreamOp::kTriad, n, 0, 64, cfg);
+
+    // Planned: each array displaced by the planner's stride for THIS design.
+    const seg::StreamPlan plan = seg::plan_stream_offsets(3, map);
+    trace::VirtualArena arena;
+    kernels::StreamBases bases;
+    bases.a = arena.allocate(n * 8 + plan.offsets[0], plan.base_align) + plan.offsets[0];
+    bases.b = arena.allocate(n * 8 + plan.offsets[1], plan.base_align) + plan.offsets[1];
+    bases.c = arena.allocate(n * 8 + plan.offsets[2], plan.base_align) + plan.offsets[2];
+    auto wl = kernels::make_stream_workload(kernels::StreamOp::kTriad, bases, n,
+                                            64, sched::Schedule::static_block());
+    sim::Chip chip(cfg, arch::equidistant_placement(64, cfg.topology));
+    const sim::SimResult res = chip.run(wl);
+    const double planned =
+        static_cast<double>(kernels::stream_reported_bytes(kernels::StreamOp::kTriad, n)) /
+        res.seconds() / 1e9;
+
+    rows.push_back({d.name, std::to_string(d.spec.period_bytes()) + " B",
+                    util::fmt_fixed(aliased, 2), util::fmt_fixed(planned, 2),
+                    util::fmt_fixed(planned / aliased, 2) + "x"});
+  }
+  mcopt::bench::emit(header, rows, cli.get_str("csv"));
+  std::printf(
+      "\nreading: fine-grained interleaving needs (and rewards) layout "
+      "planning; coarse interleaving trades the aliasing cliff for weaker "
+      "peak balance.\n");
+  return 0;
+}

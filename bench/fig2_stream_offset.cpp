@@ -1,0 +1,64 @@
+// Fig. 2 reproduction: parallel STREAM triad bandwidth versus the COMMON-
+// block array offset for 8/16/32/64 threads, plus STREAM copy at 64 threads.
+//
+// Paper shape (Sect. 2.1): a striking periodicity of 64 DP words (512 bytes)
+// for >= 16 threads — deep dips at offsets 0 and 64 where all three array
+// bases map to the same memory controller, a ~2x recovery at odd multiples
+// of 32 (array B lands on a different controller via bit 8), and a high
+// plateau at "skewed" offsets. 8 threads are latency-bound and barely
+// offset-sensitive.
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace mcopt;
+  util::Cli cli(
+      "Fig. 2: STREAM triad/copy bandwidth vs array offset on the simulated "
+      "UltraSPARC T2");
+  cli.flag("full", "paper-scale sweep: every offset 0..256, N = 2^22")
+      .option_int("n", 1 << 19, "array length in DP words (paper: 2^25)")
+      .option_int("max-offset", 256, "largest offset in DP words")
+      .option_int("step", 8, "offset step (1 with --full)")
+      .option_str("csv", "", "mirror results to this CSV file");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool full = cli.get_flag("full");
+  const auto n = static_cast<std::size_t>(full ? (1 << 22) : cli.get_int("n"));
+  const auto max_offset = static_cast<std::size_t>(cli.get_int("max-offset"));
+  const auto step = static_cast<std::size_t>(full ? 1 : cli.get_int("step"));
+  const std::vector<unsigned> thread_counts = {8, 16, 32, 64};
+
+  std::printf(
+      "# STREAM triad A=B+s*C (reported GB/s, RFO not counted), N=%zu DP "
+      "words\n# copy64 = STREAM copy at 64 threads; analytic = closed-form "
+      "controller-balance model (triad, 64T)\n\n",
+      n);
+
+  const std::vector<std::string> header = {"offset", "8T",     "16T",
+                                           "32T",    "64T",    "copy64",
+                                           "analytic64"};
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t offset = 0; offset <= max_offset; offset += step) {
+    std::vector<std::string> row{std::to_string(offset)};
+    for (unsigned threads : thread_counts)
+      row.push_back(util::fmt_fixed(
+          bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, offset, threads),
+          2));
+    row.push_back(util::fmt_fixed(
+        bench::stream_reported_gbs(kernels::StreamOp::kCopy, n, offset, 64), 2));
+    row.push_back(util::fmt_fixed(
+        bench::stream_analytic_gbs(kernels::StreamOp::kTriad, n, offset, 64), 2));
+    rows.push_back(std::move(row));
+    util::log_debug("offset " + std::to_string(offset) + " done");
+  }
+  bench::emit(header, rows, cli.get_str("csv"));
+
+  // Headline numbers the paper quotes.
+  const double dip = bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, 0, 64);
+  const double mid = bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, 32, 64);
+  std::printf(
+      "\nshape check: 64T dip at offset 0 = %.2f GB/s (paper: 3.7), odd-32 "
+      "level = %.2f GB/s (paper: ~7.4, a ~2x recovery)\n",
+      dip, mid);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 6 reproduction: 2D Jacobi five-point relaxation performance
+// (MLUPs/s) versus problem size N for 8..64 threads with the optimal layout
+// (rows aligned to 512 B, cumulative 128 B shift, OpenMP "static,1"), plus
+// the unoptimized 64-thread baseline.
+//
+// Paper shape (Sect. 2.3): the optimized curves are smooth in N and scale
+// with the thread count towards ~600 MLUPs/s; the plain 64-thread curve
+// shows the usual period-64/32 collapses. The optimal parameters are
+// derived analytically by the planner — no trial and error.
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace mcopt;
+  util::Cli cli("Fig. 6: 2D Jacobi MLUPs/s vs N, optimal vs plain layout");
+  cli.flag("full", "N = 64..2048 step 32 plus a fine window (paper range)")
+      .option_int("max-n", 1024, "largest N (2048 with --full)")
+      .option_int("step", 128, "N step (32 with --full)")
+      .option_str("csv", "", "mirror results to this CSV file");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool full = cli.get_flag("full");
+  const std::size_t max_n = full ? 2048 : static_cast<std::size_t>(cli.get_int("max-n"));
+  const std::size_t step = full ? 32 : static_cast<std::size_t>(cli.get_int("step"));
+
+  const arch::AddressMap map;
+  const seg::LayoutSpec optimal = kernels::jacobi_optimal_spec(map);
+  const seg::LayoutSpec plain = kernels::jacobi_plain_spec();
+  const auto static1 = sched::Schedule::static_chunk(1);
+  const auto static_block = sched::Schedule::static_block();
+
+  std::printf(
+      "# 2D Jacobi heat solver, one sweep, MLUPs/s\n"
+      "# optimal: rows 512B-aligned, shift=128B, schedule static,1 "
+      "(planner-derived)\n# plain: dense rows, default static schedule\n\n");
+
+  const std::vector<std::string> header = {"N",       "8T opt",  "16T opt",
+                                           "32T opt", "64T opt", "64T plain"};
+  std::vector<std::vector<std::string>> rows;
+
+  auto add_row = [&](std::size_t n) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (unsigned threads : {8u, 16u, 32u, 64u})
+      row.push_back(
+          util::fmt_fixed(bench::jacobi_mlups(n, optimal, static1, threads), 1));
+    row.push_back(
+        util::fmt_fixed(bench::jacobi_mlups(n, plain, static_block, 64), 1));
+    rows.push_back(std::move(row));
+  };
+
+  for (std::size_t n = 128; n <= max_n; n += step) add_row(n);
+  // Fine window like the paper's inset (1200..1300), scaled to the sweep.
+  if (full)
+    for (std::size_t n = 1200; n <= 1300; n += 4) add_row(n);
+
+  bench::emit(header, rows, cli.get_str("csv"));
+
+  const double opt512 = bench::jacobi_mlups(512, optimal, static1, 64);
+  const double plain512 = bench::jacobi_mlups(512, plain, static_block, 64);
+  std::printf(
+      "\nshape check at N=512 (power-of-two rows): optimal %.1f vs plain "
+      "%.1f MLUPs/s — the planner layout removes the collapse (paper: "
+      "~600 vs wildly swinging).\n",
+      opt512, plain512);
+  return 0;
+}

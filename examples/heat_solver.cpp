@@ -1,0 +1,77 @@
+// Example: a 2D heat-equation (Laplace) solver built on the library's
+// public API — the workload of Sect. 2.3 as a complete application.
+//
+// A square plate has its top edge held at 100 degrees and the other edges at
+// 0; the interior relaxes to the steady-state temperature field by Jacobi
+// iteration. The grid is a seg_array with one row per segment using the
+// planner's aliasing-free layout, the sweep runs under OpenMP "static,1",
+// and convergence is monitored with the library's max-delta reduction.
+//
+// Usage: heat_solver [--n 256] [--tol 1e-6] [--max-iters 20000] [--plain]
+
+#include <cstdio>
+
+#include "kernels/jacobi.h"
+#include "sched/pinning.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace mcopt;
+  util::Cli cli("2D steady-state heat solver on seg_array grids");
+  cli.option_int("n", 256, "grid edge length")
+      .option_double("tol", 1e-6, "convergence tolerance (max change/sweep)")
+      .option_int("max-iters", 20000, "iteration cap")
+      .flag("plain", "use the naive dense layout instead of the planner's");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const double tol = cli.get_double("tol");
+  const auto max_iters = static_cast<unsigned>(cli.get_int("max-iters"));
+  const arch::AddressMap map;
+  const seg::LayoutSpec spec = cli.get_flag("plain")
+                                   ? kernels::jacobi_plain_spec()
+                                   : kernels::jacobi_optimal_spec(map);
+
+  auto src = kernels::make_jacobi_grid(n, spec);
+  auto dst = kernels::make_jacobi_grid(n, spec);
+  // Boundary conditions: top edge hot, the rest cold.
+  for (auto grid : {&src, &dst}) {
+    for (std::size_t j = 0; j < n; ++j) grid->segment(0)[j] = 100.0;
+  }
+
+  std::printf("grid %zux%zu, layout %s, %u CPU(s)\n", n, n,
+              cli.get_flag("plain") ? "plain" : "planner (512B rows, shift 128B)",
+              sched::online_cpus());
+
+  util::Timer timer;
+  unsigned iters = 0;
+  double delta = tol + 1.0;
+  double kernel_seconds = 0.0;
+  while (iters < max_iters && delta > tol) {
+    kernel_seconds += kernels::jacobi_sweep_seconds(
+        src, dst, sched::Schedule::static_chunk(1));
+    ++iters;
+    if (iters % 50 == 0 || iters == 1) delta = kernels::jacobi_max_delta(src, dst);
+    std::swap(src, dst);
+  }
+  const double wall = timer.seconds();
+
+  const auto updates = static_cast<double>(trace::jacobi_updates_per_sweep(n)) *
+                       static_cast<double>(iters);
+  std::printf("%s after %u sweeps, last delta %.2e, wall %.2fs, kernel %.0f MLUPs/s\n",
+              delta <= tol ? "converged" : "stopped", iters, delta, wall,
+              updates / kernel_seconds / 1e6);
+
+  // Sample the temperature along the vertical centre line.
+  std::printf("\ncentre-line temperature profile:\n");
+  for (std::size_t i = 0; i < n; i += n / 8)
+    std::printf("  row %4zu: %7.2f\n", i, src.segment(i)[n / 2]);
+
+  // Physics sanity: steady-state temperature at the centre of a plate with
+  // one hot edge is 25 degrees (by superposition/symmetry, T_center equals
+  // the average of the four edge temperatures).
+  std::printf("\ncentre temperature: %.2f (analytic: 25.00)\n",
+              src.segment(n / 2)[n / 2]);
+  return 0;
+}

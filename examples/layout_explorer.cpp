@@ -1,0 +1,89 @@
+// Example: an interactive "layout doctor" — give it the byte offsets of the
+// arrays your kernel streams through, and it reports which memory
+// controllers they hit, the lock-step balance factor, the analytic
+// bandwidth estimate, and what the planner would recommend instead.
+//
+// Usage: layout_explorer [--offsets 0,8192,16384] [--writes 1]
+//                        [--threads 64] [--base-align 8192]
+//
+// --offsets: comma-separated byte offsets of each stream's base address
+//            relative to a --base-align boundary.
+// --writes:  how many of the trailing streams are store streams.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "seg/planner.h"
+#include "sim/analytic.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mcopt;
+  util::Cli cli("Memory-controller layout doctor");
+  cli.option_str("offsets", "0,0,0,0", "comma-separated stream base offsets (bytes)")
+      .option_int("writes", 1, "number of trailing streams that are stores")
+      .option_int("threads", 64, "thread count for the bandwidth estimate")
+      .option_int("base-align", 8192, "alignment the offsets are relative to");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::vector<std::size_t> offsets;
+  {
+    std::stringstream ss(cli.get_str("offsets"));
+    for (std::string item; std::getline(ss, item, ',');)
+      offsets.push_back(static_cast<std::size_t>(std::stoull(item)));
+  }
+  if (offsets.empty()) {
+    std::fprintf(stderr, "no offsets given\n");
+    return 1;
+  }
+  const auto writes = static_cast<std::size_t>(cli.get_int("writes"));
+  const auto threads = static_cast<unsigned>(cli.get_int("threads"));
+  const auto base_align = static_cast<std::size_t>(cli.get_int("base-align"));
+
+  const arch::AddressMap map;
+  std::vector<arch::Addr> bases;
+  std::vector<sim::AnalyticStream> streams;
+  for (std::size_t k = 0; k < offsets.size(); ++k) {
+    // Place each array in its own 16 MiB region (a multiple of any sane
+    // base alignment), displaced by its offset.
+    const arch::Addr region = (arch::Addr{1} << 32) + k * (arch::Addr{16} << 20);
+    const arch::Addr base = region / base_align * base_align + offsets[k];
+    bases.push_back(base);
+    streams.push_back({base, k >= offsets.size() - writes});
+  }
+
+  util::Table table({"stream", "offset", "controller", "L2 bank", "role"});
+  for (std::size_t k = 0; k < bases.size(); ++k) {
+    table.add_row({std::to_string(k), std::to_string(offsets[k]),
+                   std::to_string(map.controller_of(bases[k])),
+                   std::to_string(map.global_bank_of(bases[k])),
+                   streams[k].write ? "store" : "load"});
+  }
+  table.print(std::cout);
+
+  const seg::AliasReport report = seg::diagnose_streams(bases, map);
+  std::printf("\ndiagnosis: %s\n", report.summary.c_str());
+
+  const arch::Calibration cal;
+  const auto est = sim::estimate_bandwidth(sim::expand_rfo(streams), threads, cal,
+                                           map, 1.2);
+  std::printf("analytic estimate at %u threads: %.2f GB/s "
+              "(service limit %.2f, latency limit %.2f)\n",
+              threads, est.bandwidth / 1e9, est.service_bandwidth / 1e9,
+              est.latency_bandwidth / 1e9);
+
+  const seg::StreamPlan plan = seg::plan_stream_offsets(offsets.size(), map);
+  std::printf("\nplanner recommendation (offsets from a %zu-byte boundary):",
+              plan.base_align);
+  for (std::size_t k = 0; k < offsets.size(); ++k)
+    std::printf(" %zu", plan.offsets[k]);
+  std::vector<arch::Addr> planned;
+  for (std::size_t k = 0; k < offsets.size(); ++k)
+    planned.push_back((arch::Addr{1} << 32) + k * (arch::Addr{16} << 20) +
+                      plan.offsets[k]);
+  std::printf("\nplanned balance: %.3f (yours: %.3f)\n",
+              seg::diagnose_streams(planned, map).balance, report.balance);
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "arch/topology.h"
+
+namespace mcopt::arch {
+namespace {
+
+constexpr bool is_pow2(std::size_t v) noexcept { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+void CacheGeometry::validate() const {
+  if (size_bytes == 0 || line_bytes == 0 || associativity == 0)
+    throw std::invalid_argument("CacheGeometry: zero field");
+  if (!is_pow2(size_bytes) || !is_pow2(line_bytes) || !is_pow2(associativity))
+    throw std::invalid_argument("CacheGeometry: fields must be powers of two");
+  if (size_bytes % (line_bytes * associativity) != 0)
+    throw std::invalid_argument("CacheGeometry: size not divisible by way size");
+  if (num_sets() == 0)
+    throw std::invalid_argument("CacheGeometry: zero sets");
+}
+
+void ChipTopology::validate() const {
+  if (num_cores == 0 || threads_per_core == 0 || thread_groups_per_core == 0)
+    throw std::invalid_argument("ChipTopology: zero field");
+  if (threads_per_core % thread_groups_per_core != 0)
+    throw std::invalid_argument("ChipTopology: groups must divide threads/core");
+  if (ls_pipes_per_core == 0 || fp_pipes_per_core == 0)
+    throw std::invalid_argument("ChipTopology: zero pipes");
+  if (clock_ghz <= 0.0)
+    throw std::invalid_argument("ChipTopology: non-positive clock");
+  l1d.validate();
+  l2.validate();
+}
+
+Placement equidistant_placement(unsigned num_threads, const ChipTopology& topo) {
+  if (num_threads == 0 || num_threads > topo.max_threads())
+    throw std::invalid_argument("equidistant_placement: bad thread count");
+  Placement p;
+  p.hw_strand.resize(num_threads);
+  // Distribute threads over cores round-robin so each core receives
+  // ceil/floor(num_threads / num_cores) strands, filled in strand order.
+  std::vector<unsigned> next_strand(topo.num_cores, 0);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    const unsigned core = t % topo.num_cores;
+    const unsigned strand = next_strand[core]++;
+    p.hw_strand[t] = core * topo.threads_per_core + strand;
+  }
+  return p;
+}
+
+Placement packed_placement(unsigned num_threads, const ChipTopology& topo) {
+  if (num_threads == 0 || num_threads > topo.max_threads())
+    throw std::invalid_argument("packed_placement: bad thread count");
+  Placement p;
+  p.hw_strand.resize(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) p.hw_strand[t] = t;
+  return p;
+}
+
+}  // namespace mcopt::arch

@@ -1,0 +1,91 @@
+#pragma once
+// Static topology of the modeled chip: cores, hardware threads, thread
+// groups, pipes, cache geometry. Defaults describe the Sun UltraSPARC T2 as
+// used in the paper (Sect. 1); everything is configurable for ablations.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace mcopt::arch {
+
+/// Geometry of one cache level.
+struct CacheGeometry {
+  std::size_t size_bytes = 0;
+  std::size_t line_bytes = 0;
+  std::size_t associativity = 0;
+
+  [[nodiscard]] constexpr std::size_t num_lines() const noexcept {
+    return size_bytes / line_bytes;
+  }
+  [[nodiscard]] constexpr std::size_t num_sets() const noexcept {
+    return num_lines() / associativity;
+  }
+  /// Validates power-of-two geometry invariants; throws on violation.
+  void validate() const;
+};
+
+/// Whole-chip topology. Defaults: UltraSPARC T2 at 1.2 GHz (T5120 system).
+struct ChipTopology {
+  unsigned num_cores = 8;
+  unsigned threads_per_core = 8;
+  unsigned thread_groups_per_core = 2;  ///< each group shares one integer pipe
+  unsigned ls_pipes_per_core = 2;       ///< load/store pipes
+  unsigned fp_pipes_per_core = 1;       ///< single shared FPU (MUL or ADD)
+  double clock_ghz = 1.2;
+
+  /// L1 data cache per core: 8 KiB, 4-way, 16 B lines, write-through,
+  /// no-allocate on store miss (OpenSPARC T2 spec).
+  CacheGeometry l1d{8 * 1024, 16, 4};
+  /// Shared L2: 4 MiB, 16-way, 64 B lines, 8 banks, write-back.
+  CacheGeometry l2{4 * 1024 * 1024, 64, 16};
+
+  [[nodiscard]] constexpr unsigned max_threads() const noexcept {
+    return num_cores * threads_per_core;
+  }
+  [[nodiscard]] constexpr unsigned threads_per_group() const noexcept {
+    return threads_per_core / thread_groups_per_core;
+  }
+  [[nodiscard]] constexpr double cycle_ns() const noexcept {
+    return 1.0 / clock_ghz;
+  }
+
+  void validate() const;
+};
+
+/// Placement of software threads onto hardware strands.
+///
+/// The paper stresses that pinning is mandatory on T2 ("thread placement
+/// must be implemented"). `equidistant` reproduces the paper's layout
+/// ("threads were distributed equidistantly across cores"): software thread
+/// t of T lands on core (t*C/T) when T <= C, else round-robin across cores
+/// filling strands in order.
+struct Placement {
+  /// hw_strand[t] = global hardware strand index (core * threads_per_core +
+  /// strand-within-core) running software thread t.
+  std::vector<unsigned> hw_strand;
+
+  [[nodiscard]] unsigned core_of(unsigned sw_thread,
+                                 const ChipTopology& topo) const {
+    return hw_strand.at(sw_thread) / topo.threads_per_core;
+  }
+  [[nodiscard]] unsigned strand_within_core(unsigned sw_thread,
+                                            const ChipTopology& topo) const {
+    return hw_strand.at(sw_thread) % topo.threads_per_core;
+  }
+  [[nodiscard]] unsigned group_of(unsigned sw_thread,
+                                  const ChipTopology& topo) const {
+    return strand_within_core(sw_thread, topo) / topo.threads_per_group();
+  }
+};
+
+/// Equidistant placement across cores (paper's measurement setup).
+[[nodiscard]] Placement equidistant_placement(unsigned num_threads,
+                                              const ChipTopology& topo);
+
+/// Pack threads onto as few cores as possible (ablation baseline).
+[[nodiscard]] Placement packed_placement(unsigned num_threads,
+                                         const ChipTopology& topo);
+
+}  // namespace mcopt::arch

@@ -1,0 +1,101 @@
+#pragma once
+// 3D Jacobi seven-point relaxation — the extension the paper sketches in
+// Sect. 2.3 ("In a 3D formulation, two additional arguments (rows) to
+// relax_line() would be required").
+//
+// The N^3 grid is a seg_array with one x-line per segment (N^2 segments of
+// N elements, row id = z*N + y), so the same Fig. 3 layout machinery and
+// planner recipe apply. The parallel loop runs over interior rows — a
+// naturally coalesced (z,y) loop, which also sidesteps the modulo effect.
+
+#include <cstddef>
+#include <vector>
+
+#include "seg/planner.h"
+#include "seg/seg_array.h"
+#include "sched/schedule.h"
+#include "sim/program.h"
+#include "trace/virtual_arena.h"
+
+namespace mcopt::kernels {
+
+/// The serial row kernel: six neighbour loads and one store per site.
+/// dl = destination row; sym/syp = y-1/y+1 rows; szm/szp = z-1/z+1 rows;
+/// sl = the centre row (x neighbours come from it).
+void relax_line3d(double* dl, const double* sym, const double* syp,
+                  const double* szm, const double* szp, const double* sl,
+                  std::size_t n) noexcept;
+
+/// Builds an n^3 grid with one x-line per segment under `spec`.
+[[nodiscard]] seg::seg_array<double> make_jacobi3d_grid(std::size_t n,
+                                                        const seg::LayoutSpec& spec);
+
+/// Dirichlet setup: boundary = 1, interior = 0.
+void init_jacobi3d(seg::seg_array<double>& grid, std::size_t n);
+
+/// One OpenMP sweep src -> dst over interior rows; returns wall seconds.
+double jacobi3d_sweep_seconds(const seg::seg_array<double>& src,
+                              seg::seg_array<double>& dst, std::size_t n,
+                              const sched::Schedule& schedule);
+
+/// Reference dense sweep for correctness tests (z-major n^3 vector).
+void jacobi3d_reference_sweep(const std::vector<double>& src,
+                              std::vector<double>& dst, std::size_t n);
+
+/// Interior site updates per sweep: (n-2)^3.
+[[nodiscard]] std::uint64_t jacobi3d_updates_per_sweep(std::size_t n);
+
+/// Owning virtual toggle grids for simulator runs.
+struct VirtualJacobi3d {
+  trace::VirtualSegArray source;
+  trace::VirtualSegArray dest;
+  std::size_t n = 0;
+};
+
+[[nodiscard]] VirtualJacobi3d make_virtual_jacobi3d(trace::VirtualArena& arena,
+                                                    std::size_t n,
+                                                    const seg::LayoutSpec& spec);
+
+/// One thread's share of a simulated 3D sweep. Chunks partition the
+/// interior-row space [0, (n-2)^2); row k maps to (z, y) = (k/(n-2)+1,
+/// k%(n-2)+1). Emits 6 loads + 1 store (6 flops) per interior site.
+class Jacobi3dProgram final : public sim::AccessProgram {
+ public:
+  Jacobi3dProgram(const VirtualJacobi3d& grids,
+                  std::vector<sched::IterRange> row_chunks, unsigned sweeps = 1);
+
+  std::size_t next_batch(std::span<sim::Access> out) override;
+  void reset() override;
+  [[nodiscard]] std::uint64_t total_accesses() const override;
+
+ private:
+  [[nodiscard]] const trace::VirtualSegArray& src() const {
+    return sweep_ % 2 == 0 ? *source_ : *dest_;
+  }
+  [[nodiscard]] const trace::VirtualSegArray& dst() const {
+    return sweep_ % 2 == 0 ? *dest_ : *source_;
+  }
+  [[nodiscard]] std::size_t row_id(std::size_t z, std::size_t y) const {
+    return z * n_ + y;
+  }
+
+  const trace::VirtualSegArray* source_;
+  const trace::VirtualSegArray* dest_;
+  std::size_t n_;
+  std::vector<sched::IterRange> chunks_;
+  unsigned sweeps_;
+
+  unsigned sweep_ = 0;
+  std::size_t chunk_ = 0;
+  std::size_t iter_ = 0;
+  std::size_t col_ = 1;
+  unsigned phase_ = 0;  ///< 0..5 loads, 6 store
+};
+
+/// Whole-chip 3D Jacobi workload under `schedule` over interior rows.
+[[nodiscard]] sim::Workload make_jacobi3d_workload(const VirtualJacobi3d& grids,
+                                                   unsigned num_threads,
+                                                   const sched::Schedule& schedule,
+                                                   unsigned sweeps = 1);
+
+}  // namespace mcopt::kernels

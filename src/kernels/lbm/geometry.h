@@ -1,0 +1,76 @@
+#pragma once
+// Domain geometry and data-layout arithmetic for the D3Q19 kernel.
+//
+// The paper contrasts two layouts of the distribution array
+// f(0:N+1, 0:N+1, 0:N+1, 0:18, 0:1) (Fortran order, leftmost fastest):
+//  * IJKv — "structure of arrays": v is the slowest spatial index, so the 19
+//    read and 19 write streams are full-array strides apart (power-of-two
+//    aliasing when N+2 is a power-of-two multiple);
+//  * IvJK — v sits right after x, so the 19 streams of one row are spread
+//    (N+2)*8 bytes apart, giving an automatic skew across controllers.
+// Optional x padding removes the cache thrashing at (N+2) % 64 == 0.
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "kernels/lbm/lattice.h"
+
+namespace mcopt::kernels::lbm {
+
+enum class DataLayout { kIJKv, kIvJK };
+
+[[nodiscard]] constexpr const char* to_string(DataLayout layout) noexcept {
+  return layout == DataLayout::kIJKv ? "IJKv" : "IvJK";
+}
+
+/// Cubic-capable domain geometry: interior nx*ny*nz plus one ghost layer per
+/// face; `pad_x` extra (never touched) elements appended to the x extent.
+struct Geometry {
+  std::size_t nx = 0, ny = 0, nz = 0;
+  std::size_t pad_x = 0;
+  DataLayout layout = DataLayout::kIJKv;
+
+  [[nodiscard]] constexpr std::size_t ex() const noexcept { return nx + 2 + pad_x; }
+  [[nodiscard]] constexpr std::size_t ey() const noexcept { return ny + 2; }
+  [[nodiscard]] constexpr std::size_t ez() const noexcept { return nz + 2; }
+
+  /// Distribution-array element index of (x, y, z, v, toggle);
+  /// x/y/z include ghosts (0 .. e?-1), v in [0,19), toggle in {0,1}.
+  [[nodiscard]] constexpr std::size_t f_index(std::size_t x, std::size_t y,
+                                              std::size_t z, std::size_t v,
+                                              std::size_t toggle) const noexcept {
+    switch (layout) {
+      case DataLayout::kIJKv:
+        // f(x, y, z, v, t): x fastest, then y, z, v, t.
+        return (((toggle * kQ + v) * ez() + z) * ey() + y) * ex() + x;
+      case DataLayout::kIvJK:
+        // f(x, v, y, z, t): x fastest, then v, y, z, t.
+        return (((toggle * ez() + z) * ey() + y) * kQ + v) * ex() + x;
+    }
+    return 0;
+  }
+
+  /// Obstacle-mask element index (one byte per cell, ghosts included).
+  [[nodiscard]] constexpr std::size_t cell_index(std::size_t x, std::size_t y,
+                                                 std::size_t z) const noexcept {
+    return (z * ey() + y) * ex() + x;
+  }
+
+  /// Total distribution elements (both toggles).
+  [[nodiscard]] constexpr std::size_t f_elems() const noexcept {
+    return 2 * kQ * ex() * ey() * ez();
+  }
+  [[nodiscard]] constexpr std::size_t cells() const noexcept {
+    return ex() * ey() * ez();
+  }
+  [[nodiscard]] constexpr std::size_t interior_cells() const noexcept {
+    return nx * ny * nz;
+  }
+
+  void validate() const {
+    if (nx == 0 || ny == 0 || nz == 0)
+      throw std::invalid_argument("Geometry: zero extent");
+  }
+};
+
+}  // namespace mcopt::kernels::lbm

@@ -1,0 +1,45 @@
+#pragma once
+// D3Q19 lattice constants and the BGK equilibrium (Sect. 2.4).
+
+#include <array>
+#include <cstddef>
+
+namespace mcopt::kernels::lbm {
+
+inline constexpr std::size_t kQ = 19;
+
+/// Discrete velocity set: rest, 6 axis-aligned, 12 face-diagonal directions.
+inline constexpr std::array<std::array<int, 3>, kQ> kVelocity = {{
+    {0, 0, 0},                                                    // 0 rest
+    {1, 0, 0},  {-1, 0, 0},  {0, 1, 0},  {0, -1, 0},              // 1-4 axes xy
+    {0, 0, 1},  {0, 0, -1},                                       // 5-6 axis z
+    {1, 1, 0},  {-1, -1, 0}, {1, -1, 0}, {-1, 1, 0},              // 7-10 xy diag
+    {1, 0, 1},  {-1, 0, -1}, {1, 0, -1}, {-1, 0, 1},              // 11-14 xz diag
+    {0, 1, 1},  {0, -1, -1}, {0, 1, -1}, {0, -1, 1},              // 15-18 yz diag
+}};
+
+/// Quadrature weights: 1/3 rest, 1/18 axis, 1/36 diagonal.
+inline constexpr std::array<double, kQ> kWeight = {
+    1.0 / 3,  1.0 / 18, 1.0 / 18, 1.0 / 18, 1.0 / 18, 1.0 / 18, 1.0 / 18,
+    1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36,
+    1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36};
+
+/// Index of the opposite direction (for bounce-back boundaries).
+inline constexpr std::array<std::size_t, kQ> kOpposite = {
+    0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13, 16, 15, 18, 17};
+
+/// Second-order BGK equilibrium distribution for direction v.
+[[nodiscard]] constexpr double equilibrium(std::size_t v, double rho, double ux,
+                                           double uy, double uz) noexcept {
+  const double cu = 3.0 * (kVelocity[v][0] * ux + kVelocity[v][1] * uy +
+                           kVelocity[v][2] * uz);
+  const double usq = 1.5 * (ux * ux + uy * uy + uz * uz);
+  return kWeight[v] * rho * (1.0 + cu + 0.5 * cu * cu - usq);
+}
+
+/// Kinematic viscosity of the BGK model at relaxation time tau.
+[[nodiscard]] constexpr double viscosity(double tau) noexcept {
+  return (tau - 0.5) / 3.0;
+}
+
+}  // namespace mcopt::kernels::lbm

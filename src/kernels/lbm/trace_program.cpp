@@ -1,0 +1,125 @@
+#include "kernels/lbm/trace_program.h"
+
+#include <stdexcept>
+
+namespace mcopt::kernels::lbm {
+
+LbmProgram::LbmProgram(Geometry geometry, LbmAddresses addresses, LoopOrder order,
+                       std::vector<sched::IterRange> chunks, unsigned steps,
+                       FlopModel flops)
+    : geo_(geometry),
+      addr_(addresses),
+      order_(order),
+      chunks_(std::move(chunks)),
+      steps_(steps),
+      flops_(flops) {
+  geo_.validate();
+  reset();
+}
+
+void LbmProgram::reset() {
+  step_ = 0;
+  chunk_ = 0;
+  iter_ = chunks_.empty() ? 0 : chunks_.front().begin;
+  y_ = 1;
+  x_ = 1;
+  phase_ = 0;
+}
+
+std::uint64_t LbmProgram::total_accesses() const {
+  std::uint64_t iters = 0;
+  for (const auto& c : chunks_) iters += c.size();
+  const std::uint64_t sites_per_iter =
+      order_ == LoopOrder::kOuterZ ? geo_.ny * geo_.nx : geo_.nx;
+  return iters * sites_per_iter * (1 + 2 * kQ) * steps_;
+}
+
+std::size_t LbmProgram::next_batch(std::span<sim::Access> out) {
+  std::size_t produced = 0;
+  const std::size_t elem = addr_.elem_bytes;
+  while (produced < out.size()) {
+    if (step_ >= steps_ || chunks_.empty()) break;
+    const sched::IterRange& chunk = chunks_[chunk_];
+    if (iter_ >= chunk.end) {
+      if (++chunk_ >= chunks_.size()) {
+        chunk_ = 0;
+        if (++step_ >= steps_) break;
+      }
+      iter_ = chunks_[chunk_].begin;
+      y_ = 1;
+      x_ = 1;
+      phase_ = 0;
+      continue;
+    }
+
+    // Decode the parallel iteration into (z, y); both are interior
+    // coordinates offset by the ghost layer.
+    std::size_t z;
+    std::size_t y;
+    if (order_ == LoopOrder::kOuterZ) {
+      z = iter_ + 1;
+      y = y_;
+    } else {
+      z = iter_ / geo_.ny + 1;
+      y = iter_ % geo_.ny + 1;
+    }
+    const std::size_t read_toggle = step_ % 2;
+    const std::size_t write_toggle = 1 - read_toggle;
+
+    sim::Access a;
+    if (phase_ == 0) {
+      // Lockstep iterations are sites: fine enough to keep the x positions
+      // of concurrent threads aligned, which is what exposes the layout's
+      // controller structure (Sect. 2.4).
+      a = {addr_.mask_base + geo_.cell_index(x_, y, z), sim::Op::kLoad,
+           /*begins_iteration=*/true, 0};
+    } else if (phase_ <= kQ) {
+      const std::size_t v = phase_ - 1;
+      a = {addr_.f_base + geo_.f_index(x_, y, z, v, read_toggle) * elem,
+           sim::Op::kLoad, false, 0};
+    } else {
+      const std::size_t v = phase_ - kQ - 1;
+      const auto tx = static_cast<std::size_t>(static_cast<long>(x_) + kVelocity[v][0]);
+      const auto ty = static_cast<std::size_t>(static_cast<long>(y) + kVelocity[v][1]);
+      const auto tz = static_cast<std::size_t>(static_cast<long>(z) + kVelocity[v][2]);
+      a = {addr_.f_base + geo_.f_index(tx, ty, tz, v, write_toggle) * elem,
+           sim::Op::kStore, false,
+           v == 0 ? flops_.first_store_slots() : flops_.per_store_slots()};
+    }
+    out[produced++] = a;
+
+    if (++phase_ == 1 + 2 * kQ) {
+      phase_ = 0;
+      if (++x_ == geo_.nx + 1) {
+        x_ = 1;
+        bool iteration_done = true;
+        if (order_ == LoopOrder::kOuterZ && ++y_ != geo_.ny + 1)
+          iteration_done = false;
+        if (iteration_done) {
+          y_ = 1;
+          ++iter_;
+        }
+      }
+    }
+  }
+  return produced;
+}
+
+sim::Workload make_lbm_workload(const Geometry& geometry,
+                                const LbmAddresses& addresses, LoopOrder order,
+                                unsigned num_threads,
+                                const sched::Schedule& schedule, unsigned steps) {
+  const std::size_t iterations = order == LoopOrder::kOuterZ
+                                     ? geometry.nz
+                                     : geometry.nz * geometry.ny;
+  sim::Workload workload;
+  workload.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    workload.push_back(std::make_unique<LbmProgram>(
+        geometry, addresses, order,
+        sched::chunks_for_thread(iterations, num_threads, t, schedule), steps));
+  }
+  return workload;
+}
+
+}  // namespace mcopt::kernels::lbm

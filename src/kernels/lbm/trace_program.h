@@ -1,0 +1,99 @@
+#pragma once
+// Simulator access program for the D3Q19 LBM kernel (Fig. 7): per fluid
+// site, one obstacle-mask byte load, 19 distribution loads from the local
+// cell, then 19 stores to the neighbour cells in the other toggle array,
+// with the BGK collision flops serialized on the core FPU.
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/lbm/geometry.h"
+#include "sched/schedule.h"
+#include "sim/program.h"
+
+namespace mcopt::kernels::lbm {
+
+/// Flop model of one site update: moments + equilibrium before the first
+/// store, then per-direction collide/propagate work. Totals ~186 flops,
+/// matching the paper's ~2.5 bytes/flop code balance at 456 bytes/site.
+///
+/// `fpu_slots_per_flop` converts flops into FPU-pipe occupancy: the T2 core
+/// is in-order and single-issue per thread group, so dependent FP chains
+/// leave bubbles in the shared FPU — one flop costs more than one issue
+/// slot. The default 1.8 makes the D3Q19 kernel FPU-bound near the level
+/// the paper measures (its evidence: single-precision LBM runs no faster,
+/// Sect. 2.4; see bench/ablation_precision).
+struct FlopModel {
+  std::uint16_t before_first_store = 60;
+  std::uint16_t per_store = 7;
+  double fpu_slots_per_flop = 1.8;
+
+  [[nodiscard]] std::uint16_t first_store_slots() const {
+    return static_cast<std::uint16_t>(
+        static_cast<double>(before_first_store) * fpu_slots_per_flop + 0.5);
+  }
+  [[nodiscard]] std::uint16_t per_store_slots() const {
+    return static_cast<std::uint16_t>(static_cast<double>(per_store) *
+                                          fpu_slots_per_flop +
+                                      0.5);
+  }
+};
+
+/// Address bases of the simulated arrays.
+struct LbmAddresses {
+  arch::Addr f_base = 0;     ///< distribution array (both toggles)
+  arch::Addr mask_base = 0;  ///< one byte per cell
+  /// Bytes per distribution value: 8 = double precision, 4 = single.
+  /// Sect. 2.4 observes LBM performance is precision-independent on T2
+  /// because the kernel is FPU-bound — an ablation this knob reproduces.
+  std::size_t elem_bytes = 8;
+};
+
+/// How the outer loops are parallelized.
+enum class LoopOrder {
+  kOuterZ,       ///< "!$OMP PARALLEL DO" over z, serial y and x
+  kCoalescedZY,  ///< z and y fused into one parallel loop (paper's fix)
+};
+
+/// One thread's share of `steps` LBM time steps.
+class LbmProgram final : public sim::AccessProgram {
+ public:
+  /// `chunks` partition the parallel iteration space: nz iterations for
+  /// kOuterZ, nz*ny for kCoalescedZY (flat index -> (z, y)).
+  LbmProgram(Geometry geometry, LbmAddresses addresses, LoopOrder order,
+             std::vector<sched::IterRange> chunks, unsigned steps = 1,
+             FlopModel flops = {});
+
+  std::size_t next_batch(std::span<sim::Access> out) override;
+  void reset() override;
+  [[nodiscard]] std::uint64_t total_accesses() const override;
+
+ private:
+  /// Decodes the current parallel iteration into ghost-inclusive (z, y)
+  /// ranges; for kOuterZ the iteration is a z-plane, y loops inside.
+  void begin_iteration();
+
+  Geometry geo_;
+  LbmAddresses addr_;
+  LoopOrder order_;
+  std::vector<sched::IterRange> chunks_;
+  unsigned steps_;
+  FlopModel flops_;
+
+  unsigned step_ = 0;
+  std::size_t chunk_ = 0;
+  std::size_t iter_ = 0;
+  std::size_t y_ = 1;      ///< only advanced in kOuterZ mode
+  std::size_t x_ = 1;
+  unsigned phase_ = 0;     ///< 0: mask; 1..19: loads; 20..38: stores
+};
+
+/// Whole-chip LBM workload.
+[[nodiscard]] sim::Workload make_lbm_workload(const Geometry& geometry,
+                                              const LbmAddresses& addresses,
+                                              LoopOrder order,
+                                              unsigned num_threads,
+                                              const sched::Schedule& schedule,
+                                              unsigned steps = 1);
+
+}  // namespace mcopt::kernels::lbm

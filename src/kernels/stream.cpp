@@ -1,0 +1,93 @@
+#include "kernels/stream.h"
+
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace mcopt::kernels {
+
+std::string to_string(StreamOp op) {
+  switch (op) {
+    case StreamOp::kCopy: return "copy";
+    case StreamOp::kScale: return "scale";
+    case StreamOp::kAdd: return "add";
+    case StreamOp::kTriad: return "triad";
+  }
+  return "?";
+}
+
+double stream_sweep_seconds(StreamOp op, double* a, double* b, double* c,
+                            std::size_t n, double s) {
+  const auto sn = static_cast<std::ptrdiff_t>(n);
+  util::Timer timer;
+  switch (op) {
+    case StreamOp::kCopy:
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t i = 0; i < sn; ++i) c[i] = a[i];
+      break;
+    case StreamOp::kScale:
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t i = 0; i < sn; ++i) b[i] = s * c[i];
+      break;
+    case StreamOp::kAdd:
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t i = 0; i < sn; ++i) c[i] = a[i] + b[i];
+      break;
+    case StreamOp::kTriad:
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t i = 0; i < sn; ++i) a[i] = b[i] + s * c[i];
+      break;
+  }
+  return timer.seconds();
+}
+
+std::uint64_t stream_reported_bytes(StreamOp op, std::size_t n) {
+  const std::uint64_t word = 8;
+  const auto un = static_cast<std::uint64_t>(n);
+  switch (op) {
+    case StreamOp::kCopy:
+    case StreamOp::kScale:
+      return 2 * word * un;
+    case StreamOp::kAdd:
+    case StreamOp::kTriad:
+      return 3 * word * un;
+  }
+  return 0;
+}
+
+std::uint64_t stream_actual_bytes(StreamOp op, std::size_t n) {
+  // Write-allocate adds one read (RFO) per stored word.
+  return stream_reported_bytes(op, n) + 8 * static_cast<std::uint64_t>(n);
+}
+
+std::vector<trace::StreamDesc> stream_descs(StreamOp op, const StreamBases& bases) {
+  switch (op) {
+    case StreamOp::kCopy:
+      return {{bases.a, false, 0}, {bases.c, true, 0}};
+    case StreamOp::kScale:
+      return {{bases.c, false, 0}, {bases.b, true, 1}};
+    case StreamOp::kAdd:
+      return {{bases.a, false, 0}, {bases.b, false, 0}, {bases.c, true, 1}};
+    case StreamOp::kTriad:
+      return {{bases.b, false, 0}, {bases.c, false, 0}, {bases.a, true, 2}};
+  }
+  throw std::invalid_argument("stream_descs: bad op");
+}
+
+sim::Workload make_stream_workload(StreamOp op, const StreamBases& bases,
+                                   std::size_t n, unsigned num_threads,
+                                   const sched::Schedule& schedule,
+                                   unsigned sweeps) {
+  return trace::make_lockstep_workload(stream_descs(op, bases), sizeof(double), n,
+                                       num_threads, schedule, sweeps);
+}
+
+StreamBases common_block_bases(arch::Addr block_base, std::size_t n,
+                               std::size_t offset_dp_words) {
+  const arch::Addr ndim_bytes =
+      static_cast<arch::Addr>(n + offset_dp_words) * sizeof(double);
+  return StreamBases{block_base, block_base + ndim_bytes,
+                     block_base + 2 * ndim_bytes};
+}
+
+}  // namespace mcopt::kernels

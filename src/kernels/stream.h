@@ -1,0 +1,69 @@
+#pragma once
+// McCalpin STREAM (Sect. 2.1): copy, scale, add, triad.
+//
+// Two faces, like every kernel in this library:
+//  * native: OpenMP-parallel kernels over raw pointers (get them from
+//    seg_array segments or any allocation) for on-host measurements;
+//  * simulated: workload builders that replay the same loop, schedule and
+//    data layout on the T2 chip model, reproducing Fig. 2.
+//
+// Byte accounting follows the STREAM convention: reported bandwidth excludes
+// the read-for-ownership on the store stream; *_actual_bytes includes it
+// (the factor 4/3 for triad the paper mentions).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "arch/address_map.h"
+#include "sched/schedule.h"
+#include "sim/program.h"
+#include "trace/stream_program.h"
+
+namespace mcopt::kernels {
+
+enum class StreamOp { kCopy, kScale, kAdd, kTriad };
+
+[[nodiscard]] std::string to_string(StreamOp op);
+
+/// Runs one parallel sweep of `op` with OpenMP static scheduling and returns
+/// wall seconds. Arrays must each hold at least n doubles.
+/// copy:  c = a         scale: b = s*c
+/// add:   c = a + b     triad: a = b + s*c
+double stream_sweep_seconds(StreamOp op, double* a, double* b, double* c,
+                            std::size_t n, double s);
+
+/// STREAM-convention bytes per sweep (store RFO not counted).
+[[nodiscard]] std::uint64_t stream_reported_bytes(StreamOp op, std::size_t n);
+
+/// Actual memory traffic per sweep including write-allocate RFO.
+[[nodiscard]] std::uint64_t stream_actual_bytes(StreamOp op, std::size_t n);
+
+/// Stream descriptors (bases + read/write roles + flops) for `op` given the
+/// three array base addresses. Used by both the simulator workload and the
+/// analytic model.
+struct StreamBases {
+  arch::Addr a = 0;
+  arch::Addr b = 0;
+  arch::Addr c = 0;
+};
+
+[[nodiscard]] std::vector<trace::StreamDesc> stream_descs(StreamOp op,
+                                                          const StreamBases& bases);
+
+/// Simulator workload: `num_threads` software threads execute `sweeps`
+/// sweeps of `op` over n elements under `schedule`.
+[[nodiscard]] sim::Workload make_stream_workload(StreamOp op,
+                                                 const StreamBases& bases,
+                                                 std::size_t n,
+                                                 unsigned num_threads,
+                                                 const sched::Schedule& schedule,
+                                                 unsigned sweeps = 1);
+
+/// The paper's COMMON-block layout (Sect. 2.1): arrays a, b, c packed
+/// back-to-back with ndim = n + offset doubles each, so the offset parameter
+/// slides their relative alignment in units of DP words.
+[[nodiscard]] StreamBases common_block_bases(arch::Addr block_base, std::size_t n,
+                                             std::size_t offset_dp_words);
+
+}  // namespace mcopt::kernels

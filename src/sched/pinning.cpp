@@ -1,0 +1,63 @@
+#include "sched/pinning.h"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace mcopt::sched {
+
+unsigned online_cpus() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<unsigned>(n) : 1u;
+}
+
+bool pin_current_thread(unsigned cpu) {
+  if (cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+}
+
+ScopedPin::ScopedPin(unsigned cpu) {
+  cpu_set_t old_set;
+  CPU_ZERO(&old_set);
+  if (sched_getaffinity(0, sizeof(old_set), &old_set) == 0) {
+    saved_mask_.resize(sizeof(old_set));
+    std::memcpy(saved_mask_.data(), &old_set, sizeof(old_set));
+  }
+  ok_ = pin_current_thread(cpu);
+}
+
+ScopedPin::~ScopedPin() {
+  if (!saved_mask_.empty()) {
+    cpu_set_t old_set;
+    std::memcpy(&old_set, saved_mask_.data(), sizeof(old_set));
+    sched_setaffinity(0, sizeof(old_set), &old_set);
+  }
+}
+
+unsigned pin_omp_threads(unsigned stride) {
+  if (stride == 0) stride = 1;
+  const unsigned cpus = online_cpus();
+  std::atomic<unsigned> pinned{0};
+#ifdef _OPENMP
+#pragma omp parallel
+  {
+    const auto t = static_cast<unsigned>(omp_get_thread_num());
+    if (pin_current_thread(t * stride % cpus))
+      pinned.fetch_add(1, std::memory_order_relaxed);
+  }
+#else
+  if (pin_current_thread(0)) pinned.fetch_add(1, std::memory_order_relaxed);
+#endif
+  return pinned.load();
+}
+
+}  // namespace mcopt::sched

@@ -1,0 +1,41 @@
+#pragma once
+// Thread placement ("pinning"). The paper uses Solaris processor_bind() /
+// SUNW_MP_PROCBIND; the Linux equivalent is sched_setaffinity. On T2-class
+// machines pinning is mandatory for reproducible bandwidth numbers; we
+// expose the same capability for the native kernels.
+
+#include <string>
+#include <vector>
+
+namespace mcopt::sched {
+
+/// Number of CPUs visible to this process.
+[[nodiscard]] unsigned online_cpus();
+
+/// Pins the calling thread to `cpu`. Returns false (and leaves affinity
+/// unchanged) if the CPU does not exist or the call is not permitted.
+bool pin_current_thread(unsigned cpu);
+
+/// RAII affinity guard: pins on construction, restores the previous mask on
+/// destruction. `ok()` reports whether pinning took effect.
+class ScopedPin {
+ public:
+  explicit ScopedPin(unsigned cpu);
+  ~ScopedPin();
+  ScopedPin(const ScopedPin&) = delete;
+  ScopedPin& operator=(const ScopedPin&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+ private:
+  std::vector<unsigned char> saved_mask_;
+  bool ok_ = false;
+};
+
+/// Pins OpenMP thread t to CPU (t * stride) % online_cpus(); call from
+/// inside a parallel region via pin_omp_threads(). Equivalent in spirit to
+/// SUNW_MP_PROCBIND's equidistant placement. Returns the number of threads
+/// successfully pinned.
+unsigned pin_omp_threads(unsigned stride = 1);
+
+}  // namespace mcopt::sched

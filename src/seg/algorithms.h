@@ -1,0 +1,237 @@
+#pragma once
+// Hierarchical ("segmented") algorithms after Austern [6] and the paper's
+// Sect. 2.2: generic STL-style algorithms that dispatch on whether an
+// iterator is segmented. For segmented iterators the algorithm recurses into
+// each segment and runs a tight loop over raw local iterators, so the
+// abstraction costs nothing in the inner loop — the property Fig. 5 measures.
+
+#include <concepts>
+#include <cstddef>
+#include <iterator>
+#include <numeric>
+#include <stdexcept>
+#include <type_traits>
+
+namespace mcopt::seg {
+
+/// An iterator following the segmented-iterator protocol: it exposes its
+/// segment range and a local (contiguous) iterator within the segment.
+template <typename It>
+concept SegmentedIterator = requires(const It it) {
+  typename It::segment_iterator;
+  typename It::local_iterator;
+  { it.segment() } -> std::convertible_to<typename It::segment_iterator>;
+  { it.local() } -> std::convertible_to<typename It::local_iterator>;
+};
+
+/// Applies `f(seg_begin, seg_end)` to every maximal contiguous local range in
+/// [first, last). This is the single traversal primitive all segmented
+/// algorithms below are built on.
+template <SegmentedIterator It, typename RangeFn>
+void for_each_local_range(It first, It last, RangeFn f) {
+  auto seg = first.segment();
+  const auto last_seg = last.segment();
+  if (seg == last_seg) {
+    if (first.local() != last.local()) f(first.local(), last.local());
+    return;
+  }
+  f(first.local(), seg->end());
+  for (++seg; seg != last_seg; ++seg)
+    if (!seg->empty()) f(seg->begin(), seg->end());
+  // last.local() is null when `last` is the container's end().
+  if (last.local() != nullptr && last.local() != last_seg->begin())
+    f(last_seg->begin(), last.local());
+}
+
+// --- for_each ---------------------------------------------------------------
+
+template <SegmentedIterator It, typename F>
+F for_each(It first, It last, F f) {
+  for_each_local_range(first, last, [&](auto lo, auto hi) {
+    for (; lo != hi; ++lo) f(*lo);
+  });
+  return f;
+}
+
+template <std::input_iterator It, typename F>
+  requires(!SegmentedIterator<It>)
+F for_each(It first, It last, F f) {
+  for (; first != last; ++first) f(*first);
+  return f;
+}
+
+// --- fill --------------------------------------------------------------------
+
+template <SegmentedIterator It, typename T>
+void fill(It first, It last, const T& value) {
+  for_each_local_range(first, last, [&](auto lo, auto hi) {
+    for (; lo != hi; ++lo) *lo = value;
+  });
+}
+
+template <std::forward_iterator It, typename T>
+  requires(!SegmentedIterator<It>)
+void fill(It first, It last, const T& value) {
+  for (; first != last; ++first) *first = value;
+}
+
+// --- copy (segmented source, any output) -------------------------------------
+
+template <SegmentedIterator It, typename Out>
+Out copy(It first, It last, Out out) {
+  for_each_local_range(first, last, [&](auto lo, auto hi) {
+    for (; lo != hi; ++lo, ++out) *out = *lo;
+  });
+  return out;
+}
+
+template <std::input_iterator It, typename Out>
+  requires(!SegmentedIterator<It>)
+Out copy(It first, It last, Out out) {
+  for (; first != last; ++first, ++out) *out = *first;
+  return out;
+}
+
+// --- transform ----------------------------------------------------------------
+
+template <SegmentedIterator It, typename Out, typename UnaryOp>
+Out transform(It first, It last, Out out, UnaryOp op) {
+  for_each_local_range(first, last, [&](auto lo, auto hi) {
+    for (; lo != hi; ++lo, ++out) *out = op(*lo);
+  });
+  return out;
+}
+
+template <std::input_iterator It, typename Out, typename UnaryOp>
+  requires(!SegmentedIterator<It>)
+Out transform(It first, It last, Out out, UnaryOp op) {
+  for (; first != last; ++first, ++out) *out = op(*first);
+  return out;
+}
+
+template <SegmentedIterator It, typename It2, typename Out, typename BinaryOp>
+Out transform(It first, It last, It2 first2, Out out, BinaryOp op) {
+  for_each_local_range(first, last, [&](auto lo, auto hi) {
+    for (; lo != hi; ++lo, ++first2, ++out) *out = op(*lo, *first2);
+  });
+  return out;
+}
+
+// --- accumulate ------------------------------------------------------------------
+
+template <SegmentedIterator It, typename T, typename BinaryOp = std::plus<>>
+T accumulate(It first, It last, T init, BinaryOp op = {}) {
+  for_each_local_range(first, last, [&](auto lo, auto hi) {
+    for (; lo != hi; ++lo) init = op(std::move(init), *lo);
+  });
+  return init;
+}
+
+template <std::input_iterator It, typename T, typename BinaryOp = std::plus<>>
+  requires(!SegmentedIterator<It>)
+T accumulate(It first, It last, T init, BinaryOp op = {}) {
+  return std::accumulate(first, last, std::move(init), op);
+}
+
+// --- inner_product ------------------------------------------------------------------
+
+template <SegmentedIterator It, typename It2, typename T>
+T inner_product(It first, It last, It2 first2, T init) {
+  for_each_local_range(first, last, [&](auto lo, auto hi) {
+    for (; lo != hi; ++lo, ++first2) init = init + *lo * *first2;
+  });
+  return init;
+}
+
+// --- equal ------------------------------------------------------------------------
+
+template <SegmentedIterator It, typename It2>
+bool equal(It first, It last, It2 first2) {
+  bool same = true;
+  for_each_local_range(first, last, [&](auto lo, auto hi) {
+    for (; same && lo != hi; ++lo, ++first2) same = (*lo == *first2);
+  });
+  return same;
+}
+
+// --- count_if ----------------------------------------------------------------------
+
+template <SegmentedIterator It, typename Pred>
+std::size_t count_if(It first, It last, Pred pred) {
+  std::size_t n = 0;
+  for_each_local_range(first, last, [&](auto lo, auto hi) {
+    for (; lo != hi; ++lo)
+      if (pred(*lo)) ++n;
+  });
+  return n;
+}
+
+template <SegmentedIterator It, typename T>
+std::size_t count(It first, It last, const T& value) {
+  return seg::count_if(first, last, [&](const auto& v) { return v == value; });
+}
+
+// --- min/max ------------------------------------------------------------------------
+
+/// Largest element value in a non-empty range.
+template <SegmentedIterator It>
+auto max_value(It first, It last) {
+  using V = typename It::value_type;
+  bool seen = false;
+  V best{};
+  for_each_local_range(first, last, [&](auto lo, auto hi) {
+    for (; lo != hi; ++lo)
+      if (!seen || best < *lo) {
+        best = *lo;
+        seen = true;
+      }
+  });
+  if (!seen) throw std::invalid_argument("max_value: empty range");
+  return best;
+}
+
+/// Smallest element value in a non-empty range.
+template <SegmentedIterator It>
+auto min_value(It first, It last) {
+  using V = typename It::value_type;
+  bool seen = false;
+  V best{};
+  for_each_local_range(first, last, [&](auto lo, auto hi) {
+    for (; lo != hi; ++lo)
+      if (!seen || *lo < best) {
+        best = *lo;
+        seen = true;
+      }
+  });
+  if (!seen) throw std::invalid_argument("min_value: empty range");
+  return best;
+}
+
+// --- transform_reduce ----------------------------------------------------------------
+
+/// init + sum of op(x) over the range (generalized map-reduce).
+template <SegmentedIterator It, typename T, typename UnaryOp>
+T transform_reduce(It first, It last, T init, UnaryOp op) {
+  for_each_local_range(first, last, [&](auto lo, auto hi) {
+    for (; lo != hi; ++lo) init = init + op(*lo);
+  });
+  return init;
+}
+
+// --- any_of / all_of ----------------------------------------------------------------
+
+template <SegmentedIterator It, typename Pred>
+bool any_of(It first, It last, Pred pred) {
+  bool found = false;
+  for_each_local_range(first, last, [&](auto lo, auto hi) {
+    for (; !found && lo != hi; ++lo) found = pred(*lo);
+  });
+  return found;
+}
+
+template <SegmentedIterator It, typename Pred>
+bool all_of(It first, It last, Pred pred) {
+  return !seg::any_of(first, last, [&](const auto& v) { return !pred(v); });
+}
+
+}  // namespace mcopt::seg

@@ -1,0 +1,45 @@
+#include "seg/aligned_buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+namespace mcopt::seg {
+namespace {
+
+constexpr bool is_pow2(std::size_t v) noexcept { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+AlignedBuffer::AlignedBuffer(std::size_t bytes, std::size_t alignment)
+    : bytes_(bytes), alignment_(alignment) {
+  if (!is_pow2(alignment))
+    throw std::invalid_argument("AlignedBuffer: alignment must be a power of two");
+  if (alignment_ < sizeof(void*)) alignment_ = sizeof(void*);
+  if (bytes == 0) return;
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment_, bytes) != 0) throw std::bad_alloc();
+  std::memset(p, 0, bytes);
+  data_ = static_cast<std::byte*>(p);
+}
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)),
+      alignment_(std::exchange(other.alignment_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    std::free(data_);
+    data_ = std::exchange(other.data_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    alignment_ = std::exchange(other.alignment_, 0);
+  }
+  return *this;
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(data_); }
+
+}  // namespace mcopt::seg

@@ -1,0 +1,40 @@
+#pragma once
+// RAII wrapper over posix_memalign, the allocation primitive the paper uses
+// to pin array base addresses to definite boundaries (Sect. 2.2).
+
+#include <cstddef>
+
+namespace mcopt::seg {
+
+/// Owning, alignment-guaranteed, zero-initialized byte buffer.
+///
+/// Move-only. The alignment must be a power of two and a multiple of
+/// sizeof(void*), per posix_memalign's contract; smaller requests are
+/// rounded up to sizeof(void*).
+class AlignedBuffer {
+ public:
+  AlignedBuffer() noexcept = default;
+
+  /// Allocates `bytes` bytes aligned to `alignment`. Throws std::bad_alloc
+  /// on allocation failure, std::invalid_argument on bad alignment.
+  AlignedBuffer(std::size_t bytes, std::size_t alignment);
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  ~AlignedBuffer();
+
+  [[nodiscard]] std::byte* data() noexcept { return data_; }
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t alignment() const noexcept { return alignment_; }
+  [[nodiscard]] bool empty() const noexcept { return bytes_ == 0; }
+
+ private:
+  std::byte* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::size_t alignment_ = 0;
+};
+
+}  // namespace mcopt::seg

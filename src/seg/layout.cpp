@@ -1,0 +1,55 @@
+#include "seg/layout.h"
+
+#include <stdexcept>
+
+namespace mcopt::seg {
+namespace {
+
+constexpr bool is_pow2(std::size_t v) noexcept { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+void LayoutSpec::validate() const {
+  if (!is_pow2(base_align))
+    throw std::invalid_argument("LayoutSpec: base_align must be a power of two");
+  if (segment_align > 1 && !is_pow2(segment_align))
+    throw std::invalid_argument("LayoutSpec: segment_align must be 0, 1 or a power of two");
+}
+
+LayoutResult compute_layout(const std::vector<std::size_t>& segment_bytes,
+                            const LayoutSpec& spec) {
+  spec.validate();
+  LayoutResult result;
+  result.segment_pos.resize(segment_bytes.size());
+  if (segment_bytes.empty()) {
+    result.total_bytes = spec.offset;
+    return result;
+  }
+
+  // Pass 1: aligned (pre-shift) positions.
+  std::size_t pos = 0;
+  for (std::size_t s = 0; s < segment_bytes.size(); ++s) {
+    if (s != 0) pos = align_up(pos, spec.segment_align);
+    result.segment_pos[s] = pos;
+    pos += segment_bytes[s];
+  }
+
+  // Pass 2: displace segment s by s*shift, the whole block by offset.
+  std::size_t end = 0;
+  for (std::size_t s = 0; s < segment_bytes.size(); ++s) {
+    result.segment_pos[s] += s * spec.shift + spec.offset;
+    end = result.segment_pos[s] + segment_bytes[s];
+  }
+  result.total_bytes = end;
+  return result;
+}
+
+std::vector<std::size_t> split_even(std::size_t n, std::size_t parts) {
+  if (parts == 0) throw std::invalid_argument("split_even: zero parts");
+  std::vector<std::size_t> sizes(parts, n / parts);
+  const std::size_t remainder = n % parts;
+  for (std::size_t s = 0; s < remainder; ++s) ++sizes[s];
+  return sizes;
+}
+
+}  // namespace mcopt::seg

@@ -1,0 +1,65 @@
+#pragma once
+// Byte-level layout arithmetic for segmented arrays — the four parameters of
+// Fig. 3 in the paper: base alignment, per-segment alignment ("padding"),
+// cumulative per-segment "shift", and a global "offset" of the whole block.
+//
+// Semantics (matching Sect. 2.2):
+//   1. The block is allocated at an address aligned to `base_align`.
+//   2. Segment 0 starts at the block base; every following segment is padded
+//      so it would start on a `segment_align` boundary.
+//   3. A constant `shift` is inserted before each segment after the first,
+//      displacing segment s by s*shift bytes from its alignment boundary —
+//      "shift a segment that would be assigned to thread t by t*128 bytes".
+//   4. Finally the whole block is displaced by `offset` bytes.
+//
+// All arithmetic is in bytes and independent of the element type; seg_array
+// layers element-size checks on top.
+
+#include <cstddef>
+#include <vector>
+
+namespace mcopt::seg {
+
+/// The Fig. 3 parameter set.
+struct LayoutSpec {
+  /// Alignment of the allocation base (e.g. 8192 to pin to a page boundary).
+  std::size_t base_align = 64;
+  /// Boundary each segment (except displacement by shift/offset) starts on;
+  /// 0 or 1 means segments are packed densely with no padding.
+  std::size_t segment_align = 0;
+  /// Cumulative displacement: segment s starts s*shift bytes past its
+  /// alignment boundary.
+  std::size_t shift = 0;
+  /// Global displacement of the whole block from the aligned base.
+  std::size_t offset = 0;
+
+  /// Throws std::invalid_argument unless base_align is a power of two and
+  /// segment_align is 0, 1 or a power of two.
+  void validate() const;
+};
+
+/// Resolved placement: byte positions of each segment inside the block.
+struct LayoutResult {
+  /// Byte position of each segment start, relative to the aligned base.
+  std::vector<std::size_t> segment_pos;
+  /// Total bytes the block needs (position + size of the last segment).
+  std::size_t total_bytes = 0;
+};
+
+/// Computes segment placements for the given per-segment byte sizes.
+/// Zero-size segments are allowed (they occupy no bytes but get positions).
+[[nodiscard]] LayoutResult compute_layout(const std::vector<std::size_t>& segment_bytes,
+                                          const LayoutSpec& spec);
+
+/// Rounds `pos` up to the next multiple of `align` (align 0/1 = identity).
+[[nodiscard]] constexpr std::size_t align_up(std::size_t pos, std::size_t align) noexcept {
+  if (align <= 1) return pos;
+  return (pos + align - 1) / align * align;
+}
+
+/// Splits n elements into `parts` segments using the paper's rule:
+/// the first (n % parts) segments get floor(n/parts)+1 elements, the rest
+/// floor(n/parts) (Sect. 2.2). parts must be >= 1.
+[[nodiscard]] std::vector<std::size_t> split_even(std::size_t n, std::size_t parts);
+
+}  // namespace mcopt::seg

@@ -1,0 +1,67 @@
+#include "seg/planner.h"
+
+#include <algorithm>
+
+#include "util/table.h"
+
+namespace mcopt::seg {
+
+LayoutSpec StreamPlan::spec_for(std::size_t k) const {
+  LayoutSpec spec;
+  spec.base_align = base_align;
+  spec.segment_align = 0;
+  spec.shift = 0;
+  spec.offset = offsets.at(k);
+  return spec;
+}
+
+StreamPlan plan_stream_offsets(std::size_t num_arrays,
+                               const arch::AddressMap& map) {
+  const std::size_t period = map.spec().period_bytes();
+  const std::size_t stride = period / map.spec().num_controllers();
+  StreamPlan plan;
+  plan.base_align = std::max<std::size_t>(8192, period);
+  plan.offsets.resize(num_arrays);
+  for (std::size_t k = 0; k < num_arrays; ++k)
+    plan.offsets[k] = k * stride % period;
+  return plan;
+}
+
+LayoutSpec RowPlan::spec() const {
+  LayoutSpec spec;
+  spec.base_align = base_align;
+  spec.segment_align = segment_align;
+  spec.shift = shift;
+  spec.offset = 0;
+  return spec;
+}
+
+RowPlan plan_row_layout(const arch::AddressMap& map) {
+  RowPlan plan;
+  plan.segment_align = map.spec().period_bytes();
+  plan.shift = map.spec().period_bytes() / map.spec().num_controllers();
+  plan.base_align = std::max<std::size_t>(8192, plan.segment_align);
+  return plan;
+}
+
+AliasReport diagnose_streams(std::span<const arch::Addr> bases,
+                             const arch::AddressMap& map) {
+  AliasReport report;
+  report.base_controller.reserve(bases.size());
+  for (arch::Addr b : bases)
+    report.base_controller.push_back(map.controller_of(b));
+  // One full period of lock-stepped lines captures the repeating pattern.
+  const auto lines =
+      static_cast<std::uint64_t>(map.spec().period_bytes() / map.spec().line_size());
+  report.balance = map.lockstep_balance(bases, lines);
+  report.fully_aliased =
+      !bases.empty() &&
+      std::all_of(report.base_controller.begin(), report.base_controller.end(),
+                  [&](unsigned c) { return c == report.base_controller.front(); });
+  report.summary = "streams=" + std::to_string(bases.size()) +
+                   " balance=" + util::fmt_fixed(report.balance, 3) +
+                   (report.fully_aliased ? " FULLY-ALIASED" : "");
+  return report;
+}
+
+}  // namespace mcopt::seg

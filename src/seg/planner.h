@@ -1,0 +1,73 @@
+#pragma once
+// Analytic layout planner — the paper's "no trial and error is required"
+// claim (Sect. 2.3): given the address-to-controller map and the access
+// properties of a kernel, derive alignment, offsets and shifts that spread
+// concurrent streams across all memory controllers.
+//
+// Recipes implemented here, straight from the paper:
+//   * multi-stream kernels (STREAM, vector triad): give stream k a base
+//     offset of k * (period / num_controllers) bytes — 128, 256, 384 B for
+//     the triad's B, C, D on T2 (Sect. 2.2, Fig. 4);
+//   * row-segmented stencils (Jacobi): align each row to the full period
+//     (512 B) and shift successive rows by period / num_controllers = 128 B
+//     so concurrently processed rows hit different controllers (Sect. 2.3).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "seg/layout.h"
+
+namespace mcopt::seg {
+
+/// A planned layout for a family of arrays used together in one kernel.
+struct StreamPlan {
+  /// Base alignment for every array (a page, so offsets are exact).
+  std::size_t base_align = 8192;
+  /// Per-array global offsets in bytes (entry k for array k).
+  std::vector<std::size_t> offsets;
+
+  /// LayoutSpec for array k with no internal segmentation.
+  [[nodiscard]] LayoutSpec spec_for(std::size_t k) const;
+};
+
+/// Plans base offsets for `num_arrays` arrays traversed in lock-step.
+/// Array k receives offset k * period / num_controllers (mod period).
+[[nodiscard]] StreamPlan plan_stream_offsets(std::size_t num_arrays,
+                                             const arch::AddressMap& map);
+
+/// A planned layout for a row-segmented (stencil) array.
+struct RowPlan {
+  std::size_t base_align = 8192;
+  /// Each row starts on a full-period boundary...
+  std::size_t segment_align = 512;
+  /// ...displaced by row_index * shift bytes.
+  std::size_t shift = 128;
+
+  [[nodiscard]] LayoutSpec spec() const;
+};
+
+/// Plans row alignment+shift for stencil kernels: rows aligned to the full
+/// controller period, successive rows shifted by one controller stride.
+[[nodiscard]] RowPlan plan_row_layout(const arch::AddressMap& map);
+
+/// Diagnosis of a set of concurrently traversed stream base addresses.
+struct AliasReport {
+  /// lockstep balance factor in (0,1]; 1/num_controllers is worst case.
+  double balance = 0.0;
+  /// Controller index of each stream base.
+  std::vector<unsigned> base_controller;
+  /// True if every base maps to the same controller (the Fig. 2 zero-offset
+  /// catastrophe).
+  bool fully_aliased = false;
+  /// Human-readable one-line summary for logs.
+  std::string summary;
+};
+
+/// Diagnoses aliasing among stream bases advancing in lock-step.
+[[nodiscard]] AliasReport diagnose_streams(std::span<const arch::Addr> bases,
+                                           const arch::AddressMap& map);
+
+}  // namespace mcopt::seg

@@ -1,0 +1,303 @@
+#pragma once
+// seg_array<T>: the paper's segmented array (Sect. 2.2, Fig. 3).
+//
+// A seg_array owns one aligned allocation and presents it as an ordered
+// sequence of segments whose byte positions follow a LayoutSpec (base
+// alignment, per-segment alignment padding, cumulative shift, global
+// offset). It exposes three iterator kinds, mirroring the paper's interface:
+//
+//   * segment_iterator — random access over segments; *it is a segment_view
+//     with begin()/end() returning raw pointers ("local iterators");
+//   * local_iterator   — plain T* within one segment; this is what the
+//     performance-critical serial kernels receive;
+//   * iterator         — a flat bidirectional iterator over all elements
+//     implementing the *segmented iterator* protocol of Austern (nested
+//     segment_iterator/local_iterator types plus segment()/local()), so the
+//     hierarchical algorithms in seg/algorithms.h can run at raw-loop speed.
+//
+// The container is the core abstraction of the reproduced paper: choosing
+// LayoutSpec values via seg::planner removes memory-controller aliasing on
+// multi-controller chips.
+
+#include <cstddef>
+#include <iterator>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "seg/aligned_buffer.h"
+#include "seg/layout.h"
+
+namespace mcopt::seg {
+
+template <typename T>
+class seg_array {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "seg_array requires trivially copyable elements");
+
+ public:
+  using value_type = T;
+  using size_type = std::size_t;
+
+  /// One contiguous segment: a sized view into the owning buffer.
+  class segment_view {
+   public:
+    using local_iterator = T*;
+    using const_local_iterator = const T*;
+
+    segment_view() noexcept = default;
+    segment_view(T* data, size_type count) noexcept : data_(data), size_(count) {}
+
+    [[nodiscard]] T* begin() noexcept { return data_; }
+    [[nodiscard]] T* end() noexcept { return data_ + size_; }
+    [[nodiscard]] const T* begin() const noexcept { return data_; }
+    [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+    [[nodiscard]] size_type size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] T& operator[](size_type i) noexcept { return data_[i]; }
+    [[nodiscard]] const T& operator[](size_type i) const noexcept { return data_[i]; }
+
+   private:
+    T* data_ = nullptr;
+    size_type size_ = 0;
+  };
+
+  using segment_iterator = segment_view*;
+  using const_segment_iterator = const segment_view*;
+
+  /// Flat element iterator implementing the segmented-iterator protocol.
+  template <bool Const>
+  class flat_iterator {
+   public:
+    using segment_iterator =
+        std::conditional_t<Const, const segment_view*, segment_view*>;
+    using local_iterator = std::conditional_t<Const, const T*, T*>;
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = std::conditional_t<Const, const T*, T*>;
+    using reference = std::conditional_t<Const, const T&, T&>;
+
+    flat_iterator() noexcept = default;
+
+    flat_iterator(segment_iterator seg, segment_iterator seg_end,
+                  local_iterator local) noexcept
+        : seg_(seg), seg_end_(seg_end), local_(local) {
+      normalize();
+    }
+
+    /// iterator -> const_iterator conversion.
+    template <bool WasConst = Const, typename = std::enable_if_t<WasConst>>
+    flat_iterator(const flat_iterator<false>& other) noexcept
+        : seg_(other.segment()), seg_end_(other.segment_end()), local_(other.local()) {}
+
+    [[nodiscard]] reference operator*() const noexcept { return *local_; }
+    [[nodiscard]] pointer operator->() const noexcept { return local_; }
+
+    flat_iterator& operator++() noexcept {
+      ++local_;
+      if (local_ == seg_->end()) {
+        ++seg_;
+        normalize();
+      }
+      return *this;
+    }
+    flat_iterator operator++(int) noexcept {
+      flat_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+
+    flat_iterator& operator--() noexcept {
+      if (seg_ == seg_end_ || local_ == seg_->begin()) {
+        do {
+          --seg_;
+        } while (seg_->empty());
+        local_ = seg_->end();
+      }
+      --local_;
+      return *this;
+    }
+    flat_iterator operator--(int) noexcept {
+      flat_iterator tmp = *this;
+      --*this;
+      return tmp;
+    }
+
+    [[nodiscard]] friend bool operator==(const flat_iterator& a,
+                                         const flat_iterator& b) noexcept {
+      return a.seg_ == b.seg_ && a.local_ == b.local_;
+    }
+
+    /// Segmented-iterator protocol accessors.
+    [[nodiscard]] segment_iterator segment() const noexcept { return seg_; }
+    [[nodiscard]] segment_iterator segment_end() const noexcept { return seg_end_; }
+    [[nodiscard]] local_iterator local() const noexcept { return local_; }
+
+   private:
+    /// Skip empty segments; collapse to the canonical end representation
+    /// (seg_ == seg_end_, local_ == nullptr) when exhausted.
+    void normalize() noexcept {
+      while (seg_ != seg_end_ && seg_->empty()) ++seg_;
+      local_ = seg_ == seg_end_ ? nullptr : seg_->begin();
+    }
+    // normalize() resets local_; keep the explicit position when mid-segment.
+    friend class seg_array;
+    static flat_iterator at(segment_iterator seg, segment_iterator seg_end,
+                            local_iterator local) noexcept {
+      flat_iterator it;
+      it.seg_ = seg;
+      it.seg_end_ = seg_end;
+      it.local_ = local;
+      return it;
+    }
+
+    segment_iterator seg_ = nullptr;
+    segment_iterator seg_end_ = nullptr;
+    local_iterator local_ = nullptr;
+  };
+
+  using iterator = flat_iterator<false>;
+  using const_iterator = flat_iterator<true>;
+  using local_iterator = T*;
+  using const_local_iterator = const T*;
+
+  seg_array() noexcept = default;
+
+  /// Builds a seg_array with the given per-segment element counts and layout.
+  /// The shift and offset of `spec` must be multiples of alignof(T) so every
+  /// element stays naturally aligned.
+  seg_array(std::vector<size_type> segment_sizes, const LayoutSpec& spec)
+      : spec_(spec) {
+    spec_.validate();
+    if (spec_.shift % alignof(T) != 0 || spec_.offset % alignof(T) != 0)
+      throw std::invalid_argument(
+          "seg_array: shift/offset must be multiples of alignof(T)");
+    std::vector<size_type> bytes(segment_sizes.size());
+    for (size_type s = 0; s < segment_sizes.size(); ++s)
+      bytes[s] = segment_sizes[s] * sizeof(T);
+    const LayoutResult layout = compute_layout(bytes, spec_);
+    buffer_ = AlignedBuffer(layout.total_bytes, spec_.base_align);
+    segments_.reserve(segment_sizes.size());
+    cumulative_.clear();
+    cumulative_.reserve(segment_sizes.size() + 1);
+    cumulative_.push_back(0);
+    for (size_type s = 0; s < segment_sizes.size(); ++s) {
+      T* base = segment_sizes[s] == 0
+                    ? nullptr
+                    : reinterpret_cast<T*>(buffer_.data() + layout.segment_pos[s]);
+      segments_.emplace_back(base, segment_sizes[s]);
+      cumulative_.push_back(cumulative_.back() + segment_sizes[s]);
+      positions_.push_back(layout.segment_pos[s]);
+    }
+  }
+
+  /// Single-segment convenience constructor (a plain aligned array).
+  seg_array(size_type n, const LayoutSpec& spec)
+      : seg_array(std::vector<size_type>{n}, spec) {}
+
+  /// The paper's even split: n elements over `parts` segments, the first
+  /// n%parts segments one element longer (Sect. 2.2).
+  [[nodiscard]] static seg_array even(size_type n, size_type parts,
+                                      const LayoutSpec& spec) {
+    return seg_array(split_even(n, parts), spec);
+  }
+
+  // --- capacity -----------------------------------------------------------
+  [[nodiscard]] size_type size() const noexcept { return cumulative_.back(); }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] size_type num_segments() const noexcept { return segments_.size(); }
+  [[nodiscard]] const LayoutSpec& layout() const noexcept { return spec_; }
+  /// Bytes actually allocated, including all padding.
+  [[nodiscard]] size_type allocated_bytes() const noexcept { return buffer_.size(); }
+
+  // --- segment access -------------------------------------------------------
+  [[nodiscard]] segment_iterator segments_begin() noexcept { return segments_.data(); }
+  [[nodiscard]] segment_iterator segments_end() noexcept {
+    return segments_.data() + segments_.size();
+  }
+  [[nodiscard]] const_segment_iterator segments_begin() const noexcept {
+    return segments_.data();
+  }
+  [[nodiscard]] const_segment_iterator segments_end() const noexcept {
+    return segments_.data() + segments_.size();
+  }
+  [[nodiscard]] segment_view& segment(size_type s) { return segments_.at(s); }
+  [[nodiscard]] const segment_view& segment(size_type s) const {
+    return segments_.at(s);
+  }
+
+  // --- flat element access ---------------------------------------------------
+  [[nodiscard]] iterator begin() noexcept {
+    return iterator(segments_begin(), segments_end(),
+                    segments_.empty() ? nullptr : segments_.front().begin());
+  }
+  [[nodiscard]] iterator end() noexcept {
+    return iterator::at(segments_end(), segments_end(), nullptr);
+  }
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator(segments_begin(), segments_end(),
+                          segments_.empty() ? nullptr : segments_.front().begin());
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator::at(segments_end(), segments_end(), nullptr);
+  }
+  [[nodiscard]] const_iterator cbegin() const noexcept { return begin(); }
+  [[nodiscard]] const_iterator cend() const noexcept { return end(); }
+
+  /// Element by global index; O(log num_segments).
+  [[nodiscard]] T& operator[](size_type i) noexcept {
+    const size_type s = segment_of_index(i);
+    return segments_[s][i - cumulative_[s]];
+  }
+  [[nodiscard]] const T& operator[](size_type i) const noexcept {
+    const size_type s = segment_of_index(i);
+    return segments_[s][i - cumulative_[s]];
+  }
+  [[nodiscard]] T& at(size_type i) {
+    if (i >= size()) throw std::out_of_range("seg_array::at");
+    return (*this)[i];
+  }
+  [[nodiscard]] const T& at(size_type i) const {
+    if (i >= size()) throw std::out_of_range("seg_array::at");
+    return (*this)[i];
+  }
+
+  // --- address introspection (for the planner, the simulator and tests) ----
+  /// Virtual address of element `i` of segment `s`.
+  [[nodiscard]] arch::Addr address_of(size_type s, size_type i) const {
+    return reinterpret_cast<arch::Addr>(&segments_.at(s)[i]);
+  }
+  /// Address of the allocation base (aligned to layout().base_align).
+  [[nodiscard]] arch::Addr base_address() const noexcept {
+    return reinterpret_cast<arch::Addr>(buffer_.data());
+  }
+  /// Byte position of segment `s` relative to the allocation base.
+  [[nodiscard]] size_type segment_position(size_type s) const {
+    return positions_.at(s);
+  }
+
+ private:
+  [[nodiscard]] size_type segment_of_index(size_type i) const noexcept {
+    // Upper-bound binary search on cumulative_ (first entry > i), minus one.
+    size_type lo = 0;
+    size_type hi = segments_.size();
+    while (lo + 1 < hi) {
+      const size_type mid = (lo + hi) / 2;
+      if (cumulative_[mid] <= i)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  LayoutSpec spec_{};
+  AlignedBuffer buffer_;
+  std::vector<segment_view> segments_;
+  std::vector<size_type> cumulative_{0};
+  std::vector<size_type> positions_;
+};
+
+}  // namespace mcopt::seg

@@ -1,0 +1,27 @@
+#pragma once
+// The unit of work threads feed to the simulator: one 8-byte-or-smaller
+// memory operation plus the floating-point work preceding it.
+
+#include <cstdint>
+
+#include "arch/address_map.h"
+
+namespace mcopt::sim {
+
+enum class Op : std::uint8_t { kLoad, kStore };
+
+/// One memory access in program order on one thread.
+struct Access {
+  arch::Addr addr = 0;
+  Op op = Op::kLoad;
+  /// True when this access is the first of a new loop iteration of roughly
+  /// uniform cost (an element for streaming kernels, a row for stencils).
+  /// The chip's lockstep model uses these markers to bound how far threads
+  /// of a worksharing loop may drift apart.
+  bool begins_iteration = false;
+  /// Floating-point operations the thread executes before this access;
+  /// they reserve time on the core's shared FPU.
+  std::uint16_t flops_before = 0;
+};
+
+}  // namespace mcopt::sim

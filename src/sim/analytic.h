@@ -1,0 +1,55 @@
+#pragma once
+// Closed-form controller-balance bandwidth model.
+//
+// For streaming kernels the DES in chip.h reduces, in steady state, to a
+// small queueing computation: all concurrently active line streams advance
+// in lock-step, the address map assigns every step's lines to controllers,
+// lines on the same controller serialize while controllers work in parallel,
+// and the whole pattern repeats with the 512-byte interleave period. This
+// model evaluates that computation directly — an offset sweep that takes the
+// DES minutes takes microseconds here. Tests cross-validate the two (the
+// model tracks DES bandwidth shapes; absolute agreement is bounded but not
+// exact since the DES also models latency jitter, L1 effects and banking).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "arch/calibration.h"
+
+namespace mcopt::sim {
+
+/// One concurrently advancing line stream (e.g. one array operand of one
+/// thread's current chunk).
+struct AnalyticStream {
+  arch::Addr base = 0;
+  bool write = false;
+};
+
+/// Expands logical store streams into their physical traffic: a write-
+/// allocate cache turns every stored line into an RFO read plus an eventual
+/// write-back, both on the store stream's addresses.
+[[nodiscard]] std::vector<AnalyticStream> expand_rfo(
+    std::span<const AnalyticStream> logical);
+
+struct AnalyticEstimate {
+  /// Bytes/s permitted by controller service under this stream placement.
+  double service_bandwidth = 0.0;
+  /// Bytes/s permitted by (threads x 1 outstanding read miss) concurrency.
+  double latency_bandwidth = 0.0;
+  /// min(service, latency): the model's prediction of actual traffic.
+  double bandwidth = 0.0;
+  /// Controller balance in (0,1]; 1/num_controllers is full aliasing.
+  double balance = 0.0;
+};
+
+/// Estimates sustainable memory traffic for `streams` advancing in
+/// lock-step, with `num_threads` strands providing read concurrency.
+/// `streams` should be pre-expanded with expand_rfo().
+[[nodiscard]] AnalyticEstimate estimate_bandwidth(
+    std::span<const AnalyticStream> streams, unsigned num_threads,
+    const arch::Calibration& cal, const arch::AddressMap& map,
+    double clock_ghz);
+
+}  // namespace mcopt::sim

@@ -1,0 +1,108 @@
+#include "sim/cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace mcopt::sim {
+
+Cache::Cache(const arch::CacheGeometry& geometry, WritePolicy policy,
+             bool index_hash)
+    : geo_(geometry), policy_(policy), index_hash_(index_hash) {
+  geo_.validate();
+  line_bits_ = static_cast<unsigned>(std::countr_zero(geo_.line_bytes));
+  set_bits_ = static_cast<unsigned>(std::countr_zero(geo_.num_sets()));
+  set_mask_ = geo_.num_sets() - 1;
+  ways_.resize(geo_.num_sets() * geo_.associativity);
+}
+
+Cache::Way* Cache::find(std::size_t set, std::uint64_t tag) {
+  Way* base = &ways_[set * geo_.associativity];
+  for (std::size_t w = 0; w < geo_.associativity; ++w)
+    if (base[w].tag == tag) return &base[w];
+  return nullptr;
+}
+
+Cache::Way& Cache::victim(std::size_t set) {
+  Way* base = &ways_[set * geo_.associativity];
+  Way* best = base;
+  for (std::size_t w = 1; w < geo_.associativity; ++w) {
+    // Invalid ways are preferred victims; otherwise lowest LRU stamp.
+    if (base[w].tag == Way::kInvalid) return base[w];
+    if (best->tag != Way::kInvalid && base[w].lru < best->lru) best = &base[w];
+  }
+  return *best;
+}
+
+void Cache::touch(Way& way) { way.lru = ++lru_clock_; }
+
+CacheOutcome Cache::load(arch::Addr addr) {
+  const std::uint64_t line = line_of(addr);
+  const std::size_t set = set_of(line);
+  const std::uint64_t tag = tag_of(line);
+  CacheOutcome outcome;
+  if (Way* way = find(set, tag)) {
+    outcome.hit = true;
+    touch(*way);
+    ++stats_.hits;
+    return outcome;
+  }
+  ++stats_.misses;
+  Way& v = victim(set);
+  if (v.tag != Way::kInvalid) {
+    ++stats_.evictions;
+    if (v.dirty) {
+      ++stats_.writebacks;
+      outcome.writeback_line = line_addr(set, v.tag);
+    }
+  }
+  v.tag = tag;
+  v.dirty = false;
+  touch(v);
+  return outcome;
+}
+
+CacheOutcome Cache::store(arch::Addr addr) {
+  const std::uint64_t line = line_of(addr);
+  const std::size_t set = set_of(line);
+  const std::uint64_t tag = tag_of(line);
+  CacheOutcome outcome;
+  if (Way* way = find(set, tag)) {
+    outcome.hit = true;
+    touch(*way);
+    if (policy_ == WritePolicy::kWriteBack) way->dirty = true;
+    ++stats_.hits;
+    return outcome;
+  }
+  ++stats_.misses;
+  if (policy_ == WritePolicy::kWriteThrough) return outcome;  // no allocate
+  Way& v = victim(set);
+  if (v.tag != Way::kInvalid) {
+    ++stats_.evictions;
+    if (v.dirty) {
+      ++stats_.writebacks;
+      outcome.writeback_line = line_addr(set, v.tag);
+    }
+  }
+  v.tag = tag;
+  v.dirty = true;
+  touch(v);
+  return outcome;
+}
+
+bool Cache::probe(arch::Addr addr) const {
+  const std::uint64_t line = line_of(addr);
+  const std::size_t set = set_of(line);
+  const std::uint64_t tag = tag_of(line);
+  const Way* base = &ways_[set * geo_.associativity];
+  for (std::size_t w = 0; w < geo_.associativity; ++w)
+    if (base[w].tag == tag) return true;
+  return false;
+}
+
+void Cache::clear(bool clear_stats) {
+  for (auto& way : ways_) way = Way{};
+  lru_clock_ = 0;
+  if (clear_stats) stats_ = CacheStats{};
+}
+
+}  // namespace mcopt::sim

@@ -1,0 +1,126 @@
+#pragma once
+// Set-associative cache model with true-LRU replacement, line granularity.
+//
+// Used for both the per-core write-through L1D and the shared write-back L2.
+// The model tracks contents and dirtiness only; timing lives in the chip
+// model. Power-of-two geometry is enforced so set indexing is mask-based,
+// which is also what produces the paper's cache-thrashing effects for
+// power-of-two array strides (Sect. 2.4).
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "arch/topology.h"
+
+namespace mcopt::sim {
+
+/// Result of a cache access.
+struct CacheOutcome {
+  bool hit = false;
+  /// Line-granular address of a dirty line this access evicted (write-back
+  /// caches only); kNoEviction if none.
+  arch::Addr writeback_line = kNoEviction;
+
+  static constexpr arch::Addr kNoEviction = ~arch::Addr{0};
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return hits + misses; }
+  [[nodiscard]] double miss_ratio() const noexcept {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(misses) / static_cast<double>(accesses());
+  }
+};
+
+/// Content/LRU model of one cache. Thread-compatible, not thread-safe: the
+/// simulator serializes accesses through its event loop.
+class Cache {
+ public:
+  enum class WritePolicy {
+    kWriteBack,     ///< allocate on store miss, track dirty, evict with WB
+    kWriteThrough,  ///< no allocate on store miss, never dirty (T2 L1D)
+  };
+
+  /// `index_hash` enables T2-style L2 index hashing: higher address bits are
+  /// XOR-folded into the set index, which defuses the catastrophic set
+  /// conflicts otherwise caused by power-of-two array strides (the real T2
+  /// ships with L2 index hashing enabled; see the OpenSPARC T2 spec).
+  Cache(const arch::CacheGeometry& geometry, WritePolicy policy,
+        bool index_hash = false);
+
+  /// Performs a load of the line containing `addr`. On miss the line is
+  /// allocated (fill) and the LRU victim evicted.
+  CacheOutcome load(arch::Addr addr);
+
+  /// Performs a store to the line containing `addr`.
+  /// Write-back: allocates on miss (the RFO read is the caller's job via the
+  /// returned miss), marks dirty. Write-through: updates on hit, bypasses on
+  /// miss (outcome.hit reports presence).
+  CacheOutcome store(arch::Addr addr);
+
+  /// True if the line containing addr is resident (no LRU update).
+  [[nodiscard]] bool probe(arch::Addr addr) const;
+
+  /// Drops all contents and (optionally) statistics.
+  void clear(bool clear_stats = true);
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const arch::CacheGeometry& geometry() const noexcept { return geo_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = kInvalid;
+    std::uint64_t lru = 0;  ///< higher = more recently used
+    bool dirty = false;
+
+    static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+  };
+
+  /// Returns the way holding `tag` in `set`, or nullptr.
+  Way* find(std::size_t set, std::uint64_t tag);
+  /// LRU victim way in `set`.
+  Way& victim(std::size_t set);
+  void touch(Way& way);
+
+  [[nodiscard]] std::uint64_t line_of(arch::Addr addr) const noexcept {
+    return addr >> line_bits_;
+  }
+  [[nodiscard]] std::size_t set_of(std::uint64_t line) const noexcept {
+    if (!index_hash_) return static_cast<std::size_t>(line) & set_mask_;
+    // XOR-fold the bits above the index into the index.
+    std::uint64_t folded = line;
+    std::uint64_t acc = 0;
+    while (folded != 0) {
+      acc ^= folded;
+      folded >>= set_bits_;
+    }
+    return static_cast<std::size_t>(acc) & set_mask_;
+  }
+  /// With index hashing the set no longer partitions the line bits, so the
+  /// tag is the full line index (uniqueness within a set is what matters).
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t line) const noexcept {
+    return index_hash_ ? line : line >> set_bits_;
+  }
+  [[nodiscard]] arch::Addr line_addr(std::size_t set, std::uint64_t tag) const noexcept {
+    return index_hash_ ? tag << line_bits_
+                       : ((tag << set_bits_) | set) << line_bits_;
+  }
+
+  arch::CacheGeometry geo_;
+  WritePolicy policy_;
+  bool index_hash_ = false;
+  unsigned line_bits_ = 0;
+  unsigned set_bits_ = 0;
+  std::size_t set_mask_ = 0;
+  std::uint64_t lru_clock_ = 0;
+  std::vector<Way> ways_;  ///< num_sets * associativity, set-major
+  CacheStats stats_;
+};
+
+}  // namespace mcopt::sim

@@ -1,0 +1,298 @@
+#include "sim/chip.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mcopt::sim {
+
+void SimConfig::validate() const {
+  topology.validate();
+  if (topology.l2.line_bytes != interleave.line_size())
+    throw std::invalid_argument(
+        "SimConfig: L2 line size must match interleave line size");
+  if (interleave.num_banks() < interleave.num_controllers())
+    throw std::invalid_argument("SimConfig: fewer banks than controllers");
+  if (model_lockstep && lockstep_window == 0)
+    throw std::invalid_argument("SimConfig: lockstep_window must be >= 1");
+}
+
+struct Chip::ThreadState {
+  unsigned id = 0;
+  unsigned core = 0;
+  unsigned group = 0;
+  AccessProgram* program = nullptr;
+
+  arch::Cycles time = 0;
+  bool done = false;
+  std::uint64_t iteration = 0;  ///< lockstep progress counter
+
+  // Batched access fetch.
+  std::vector<Access> batch;
+  std::size_t batch_pos = 0;
+  std::size_t batch_len = 0;
+
+  // Coalescing store buffer: ring of entry-free times.
+  std::vector<arch::Cycles> store_slot;
+  std::size_t store_head = 0;
+  std::uint64_t last_store_line = ~std::uint64_t{0};
+
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+
+  [[nodiscard]] arch::Cycles drain_time() const {
+    arch::Cycles t = time;
+    for (arch::Cycles s : store_slot) t = std::max(t, s);
+    return t;
+  }
+};
+
+struct Chip::CoreState {
+  arch::Cycles fpu_free = 0;
+  std::vector<arch::Cycles> ls_free;     // per LS pipe
+  std::vector<arch::Cycles> group_free;  // per thread group
+};
+
+Chip::~Chip() = default;
+Chip::Chip(Chip&&) noexcept = default;
+Chip& Chip::operator=(Chip&&) noexcept = default;
+
+Chip::Chip(SimConfig config, arch::Placement placement)
+    : cfg_(std::move(config)),
+      placement_(std::move(placement)),
+      map_(cfg_.interleave) {
+  cfg_.validate();
+  if (placement_.hw_strand.empty())
+    throw std::invalid_argument("Chip: empty placement");
+  for (unsigned strand : placement_.hw_strand)
+    if (strand >= cfg_.topology.max_threads())
+      throw std::invalid_argument("Chip: placement strand out of range");
+}
+
+SimResult Chip::run(Workload& workload) {
+  if (workload.size() != placement_.hw_strand.size())
+    throw std::invalid_argument("Chip::run: workload/placement size mismatch");
+
+  // (Re)build all mutable state so repeated runs are independent.
+  l2_ = std::make_unique<Cache>(cfg_.topology.l2, Cache::WritePolicy::kWriteBack,
+                                cfg_.l2_index_hash);
+  l1_.clear();
+  for (unsigned c = 0; c < cfg_.topology.num_cores; ++c)
+    l1_.emplace_back(cfg_.topology.l1d, Cache::WritePolicy::kWriteThrough);
+  mcs_.clear();
+  for (unsigned m = 0; m < cfg_.interleave.num_controllers(); ++m)
+    mcs_.emplace_back(cfg_.calibration, cfg_.interleave);
+  bank_free_.assign(cfg_.interleave.num_banks(), 0);
+  cores_.assign(cfg_.topology.num_cores, CoreState{});
+  for (auto& core : cores_) {
+    core.ls_free.assign(cfg_.topology.ls_pipes_per_core, 0);
+    core.group_free.assign(cfg_.topology.thread_groups_per_core, 0);
+  }
+  flops_total_ = 0;
+  min_iteration_ = 0;
+  runnable_ = RunQueue{};
+  parked_ = ParkQueue{};
+  iter_ring_.assign(cfg_.lockstep_window + 2, 0);
+
+  const unsigned n = num_threads();
+  threads_.assign(n, ThreadState{});
+  alive_ = n;
+  iter_ring_[0] = n;  // every thread starts at iteration 0
+  for (unsigned t = 0; t < n; ++t) {
+    ThreadState& ts = threads_[t];
+    ts.id = t;
+    ts.core = placement_.core_of(t, cfg_.topology);
+    ts.group = placement_.group_of(t, cfg_.topology);
+    ts.program = workload[t].get();
+    ts.batch.resize(256);
+    ts.store_slot.assign(cfg_.calibration.store_buffer_entries, 0);
+    runnable_.emplace(0, t);
+  }
+
+  while (!runnable_.empty()) {
+    const auto [when, tid] = runnable_.top();
+    runnable_.pop();
+    (void)when;
+    ThreadState& ts = threads_[tid];
+    switch (step(ts)) {
+      case StepOutcome::kRan:
+        runnable_.emplace(ts.time, tid);
+        break;
+      case StepOutcome::kParked:
+      case StepOutcome::kDone:
+        break;  // bookkeeping happened inside step()
+    }
+  }
+  if (!parked_.empty())
+    throw std::logic_error("Chip::run: lockstep deadlock (parked threads remain)");
+
+  SimResult result;
+  result.clock_ghz = cfg_.topology.clock_ghz;
+  result.thread_finish.resize(n);
+  for (unsigned t = 0; t < n; ++t) {
+    result.thread_finish[t] = threads_[t].drain_time();
+    result.total_cycles = std::max(result.total_cycles, result.thread_finish[t]);
+    result.loads += threads_[t].loads;
+    result.stores += threads_[t].stores;
+  }
+  result.accesses = result.loads + result.stores;
+  result.flops = flops_total_;
+  for (const Cache& l1 : l1_) {
+    result.l1.hits += l1.stats().hits;
+    result.l1.misses += l1.stats().misses;
+    result.l1.evictions += l1.stats().evictions;
+    result.l1.writebacks += l1.stats().writebacks;
+  }
+  result.l2 = l2_->stats();
+  std::uint64_t mem_reads = 0;
+  std::uint64_t mem_writes = 0;
+  for (MemoryController& mc : mcs_) {
+    result.mc.push_back(mc.stats());
+    mem_reads += mc.stats().reads;
+    mem_writes += mc.stats().writes;
+    // The chip is done only after write-backs drain.
+    result.total_cycles = std::max(result.total_cycles, mc.stats().last_completion);
+  }
+  result.mem_read_bytes = mem_reads * cfg_.interleave.line_size();
+  result.mem_write_bytes = mem_writes * cfg_.interleave.line_size();
+  return result;
+}
+
+arch::Cycles Chip::miss_to_l2(arch::Cycles when, arch::Addr addr, bool is_store) {
+  const arch::Calibration& cal = cfg_.calibration;
+  // L2 bank occupancy.
+  const unsigned bank = map_.global_bank_of(addr);
+  const arch::Cycles bank_start = std::max(bank_free_[bank], when);
+  bank_free_[bank] = bank_start + cal.l2_bank_busy;
+
+  const CacheOutcome outcome = is_store ? l2_->store(addr) : l2_->load(addr);
+  if (outcome.writeback_line != CacheOutcome::kNoEviction) {
+    // Asynchronous write-back of the evicted dirty line; consumes write
+    // bandwidth on the evicted line's controller but blocks nobody.
+    mcs_[map_.controller_of(outcome.writeback_line)].request(
+        bank_start, /*is_write=*/true, outcome.writeback_line);
+  }
+  if (outcome.hit) return bank_start + cal.l2_hit_latency;
+
+  // L2 miss: line fetch (an RFO read when triggered by a store, since the L2
+  // is write-allocate). DRAM latency overlaps the controller's queue: the
+  // requester sees whichever is later, queue drain or latency.
+  MemoryController& mc = mcs_[map_.controller_of(addr)];
+  const arch::Cycles service_done = mc.request(bank_start, /*is_write=*/false, addr);
+  return std::max(service_done, bank_start + cal.mem_latency);
+}
+
+void Chip::advance_min_iteration(arch::Cycles now) {
+  // Running iterations span at most [min, min + window], so the first
+  // occupied ring slot is at most window + 1 steps away.
+  const std::size_t ring = iter_ring_.size();
+  while (alive_ != 0 && iter_ring_[min_iteration_ % ring] == 0) ++min_iteration_;
+  while (!parked_.empty() &&
+         parked_.top().first <= min_iteration_ + cfg_.lockstep_window) {
+    const unsigned tid = parked_.top().second;
+    parked_.pop();
+    ThreadState& ts = threads_[tid];
+    ts.time = std::max(ts.time, now);
+    runnable_.emplace(ts.time, tid);
+  }
+}
+
+Chip::StepOutcome Chip::step(ThreadState& ts) {
+  // Refill the batch if needed.
+  if (ts.batch_pos == ts.batch_len) {
+    ts.batch_len = ts.program->next_batch(ts.batch);
+    ts.batch_pos = 0;
+    if (ts.batch_len == 0) {
+      // Program exhausted: retire the thread from lockstep accounting.
+      ts.done = true;
+      --alive_;
+      if (cfg_.model_lockstep) {
+        --iter_ring_[ts.iteration % iter_ring_.size()];
+        if (alive_ != 0 && ts.iteration == min_iteration_)
+          advance_min_iteration(ts.time);
+      }
+      return StepOutcome::kDone;
+    }
+  }
+
+  // Lockstep gate: peek before consuming.
+  if (cfg_.model_lockstep && ts.batch[ts.batch_pos].begins_iteration) {
+    const std::uint64_t next = ts.iteration + 1;
+    if (next > min_iteration_ + cfg_.lockstep_window) {
+      parked_.emplace(next, ts.id);
+      return StepOutcome::kParked;
+    }
+  }
+
+  const Access a = ts.batch[ts.batch_pos++];
+  if (a.begins_iteration) {
+    const std::uint64_t prev = ts.iteration++;
+    if (cfg_.model_lockstep) {
+      const std::size_t ring = iter_ring_.size();
+      --iter_ring_[prev % ring];
+      ++iter_ring_[ts.iteration % ring];
+      if (prev == min_iteration_ && iter_ring_[prev % ring] == 0)
+        advance_min_iteration(ts.time);
+    }
+  }
+
+  const arch::Calibration& cal = cfg_.calibration;
+  CoreState& core = cores_[ts.core];
+
+  // Floating-point work preceding this access serializes on the core FPU.
+  if (a.flops_before != 0) {
+    flops_total_ += a.flops_before;
+    if (cfg_.model_fpu) {
+      const arch::Cycles start = std::max(core.fpu_free, ts.time);
+      core.fpu_free = start + a.flops_before * cal.fp_op_cost;
+      ts.time = core.fpu_free;
+    }
+  }
+
+  arch::Cycles issue = ts.time;
+  if (cfg_.model_issue) {
+    // One instruction per cycle per thread group...
+    arch::Cycles& group = core.group_free[ts.group];
+    issue = std::max(group, ts.time);
+    group = issue + cal.issue_cost;
+    // ...and an LS pipe slot (two pipes shared by the whole core).
+    auto pipe = std::min_element(core.ls_free.begin(), core.ls_free.end());
+    issue = std::max(issue, *pipe);
+    *pipe = issue + 1;
+    ts.time = issue + cal.issue_cost;
+  }
+
+  if (a.op == Op::kLoad) {
+    ++ts.loads;
+    if (cfg_.model_l1) {
+      const CacheOutcome l1 = l1_[ts.core].load(a.addr);
+      if (l1.hit) return StepOutcome::kRan;  // hit under the single miss
+    }
+    // Single outstanding miss: the strand blocks until the fill returns.
+    ts.time = miss_to_l2(issue, a.addr, /*is_store=*/false);
+    return StepOutcome::kRan;
+  }
+
+  // Store path: write-through L1 (update-on-hit costs nothing extra),
+  // then the coalescing store buffer.
+  ++ts.stores;
+  if (cfg_.model_l1) (void)l1_[ts.core].store(a.addr);
+  const std::uint64_t line = a.addr >> cfg_.interleave.line_bits;
+  if (cfg_.model_store_buffer && line == ts.last_store_line)
+    return StepOutcome::kRan;  // coalesced with the youngest buffered store
+  ts.last_store_line = line;
+
+  if (cfg_.model_store_buffer) {
+    arch::Cycles& slot = ts.store_slot[ts.store_head];
+    ts.store_head = (ts.store_head + 1) % ts.store_slot.size();
+    if (slot > ts.time) ts.time = slot;  // buffer full: strand stalls
+    const arch::Cycles drain_at = std::max(issue, ts.time);
+    // Entry occupies the buffer until the L2 write (incl. RFO) completes.
+    slot = miss_to_l2(drain_at, a.addr, /*is_store=*/true);
+  } else {
+    (void)miss_to_l2(issue, a.addr, /*is_store=*/true);
+  }
+  return StepOutcome::kRan;
+}
+
+}  // namespace mcopt::sim

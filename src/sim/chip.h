@@ -1,0 +1,171 @@
+#pragma once
+// Whole-chip timing simulator of the UltraSPARC T2 memory subsystem.
+//
+// Execution model (Sect. 1 of the paper):
+//  * 8 in-order cores x 8 hardware strands; strands are grouped in two
+//    thread groups of four per core, each group issuing at most one
+//    instruction per cycle;
+//  * each core has two load/store pipes and a single FPU (one MUL or ADD
+//    per cycle) shared by all eight strands;
+//  * a strand supports a single outstanding cache miss: an L1-missing load
+//    blocks the strand until the fill returns ("put in an inactive state
+//    until the resources become available");
+//  * stores are write-through past the L1 into a coalescing 8-entry store
+//    buffer per strand; a full buffer blocks the strand;
+//  * the shared L2 is banked; bit 6 selects the bank within the controller
+//    pair and bits 8:7 select the memory controller (arch::AddressMap);
+//  * the core-to-L2 crossbar is non-blocking and not modeled.
+//
+// The simulation is a conservative discrete-event loop: threads carry local
+// clocks, the globally earliest thread processes its next access, and shared
+// resources (thread-group issue slots, LS pipes, FPU, L2 banks, controllers)
+// are "earliest start" reservations. All arithmetic is integer cycles, so
+// runs are exactly reproducible.
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "arch/calibration.h"
+#include "arch/topology.h"
+#include "sim/cache.h"
+#include "sim/memory_controller.h"
+#include "sim/program.h"
+
+namespace mcopt::sim {
+
+/// Complete simulator configuration.
+struct SimConfig {
+  arch::ChipTopology topology{};
+  arch::Calibration calibration{};
+  arch::InterleaveSpec interleave{};
+  /// Model the per-core L1D (off = every access goes to L2); ablation knob.
+  bool model_l1 = true;
+  /// T2-style L2 index hashing (enabled on real hardware; ablation knob).
+  bool l2_index_hash = true;
+  /// Model FPU serialization per core; off = flops are free.
+  bool model_fpu = true;
+  /// Model thread-group issue and LS pipe occupancy.
+  bool model_issue = true;
+  /// Model the coalescing store buffer; off = stores never block and their
+  /// L2/memory traffic is still accounted at issue time.
+  bool model_store_buffer = true;
+  /// Model phase-locked worksharing progression: threads of an OpenMP-style
+  /// loop may not run more than `lockstep_window` marked iterations ahead of
+  /// the slowest running thread. On the real T2 this alignment is what makes
+  /// congruent stream bases hit "exactly one memory controller at a time"
+  /// (Sect. 2.1); without it the dips of Figs. 2/4 wash out (see
+  /// bench/ablation_simulator).
+  bool model_lockstep = true;
+  /// Maximum iteration lead over the slowest running thread. The default is
+  /// calibrated so the Fig. 2 dip and odd-multiple-of-32 levels match the
+  /// paper (3.7 / ~7.4 GB/s reported for 64-thread STREAM triad).
+  std::uint64_t lockstep_window = 12;
+
+  void validate() const;
+};
+
+/// Aggregated results of one simulation run.
+struct SimResult {
+  arch::Cycles total_cycles = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t flops = 0;
+  CacheStats l1;  ///< aggregated over cores
+  CacheStats l2;
+  std::vector<McStats> mc;  ///< one entry per memory controller
+  std::uint64_t mem_read_bytes = 0;   ///< includes RFO reads
+  std::uint64_t mem_write_bytes = 0;  ///< L2 write-backs
+  std::vector<arch::Cycles> thread_finish;  ///< per software thread
+  double clock_ghz = 0.0;
+
+  [[nodiscard]] double seconds() const noexcept {
+    return clock_ghz <= 0.0 ? 0.0
+                            : arch::cycles_to_seconds(total_cycles, clock_ghz);
+  }
+  /// Actual memory traffic (both directions, RFO included) per second.
+  [[nodiscard]] double memory_bandwidth() const noexcept {
+    return seconds() == 0.0
+               ? 0.0
+               : static_cast<double>(mem_read_bytes + mem_write_bytes) / seconds();
+  }
+};
+
+/// The simulator. Construct once per (config, placement); run() may be
+/// called repeatedly — caches and clocks reset between runs.
+class Chip {
+ public:
+  Chip(SimConfig config, arch::Placement placement);
+  ~Chip();
+  Chip(const Chip&) = delete;
+  Chip& operator=(const Chip&) = delete;
+  Chip(Chip&&) noexcept;
+  Chip& operator=(Chip&&) noexcept;
+
+  /// Number of software threads this chip instance runs.
+  [[nodiscard]] unsigned num_threads() const noexcept {
+    return static_cast<unsigned>(placement_.hw_strand.size());
+  }
+
+  [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
+
+  /// Runs one workload to completion. workload.size() must equal
+  /// num_threads(); programs are NOT reset first (callers may pre-advance
+  /// them for warm-up).
+  SimResult run(Workload& workload);
+
+ private:
+  struct ThreadState;
+  struct CoreState;
+
+  enum class StepOutcome { kRan, kParked, kDone };
+
+  /// Processes the next access of thread `t` (or parks/retires it).
+  StepOutcome step(ThreadState& t);
+
+  /// Load path below L1: L2 bank + controller; returns data-ready time.
+  arch::Cycles miss_to_l2(arch::Cycles when, arch::Addr addr, bool is_store);
+
+  /// Recomputes the minimum running iteration and releases parked threads
+  /// that fall back inside the lockstep window.
+  void advance_min_iteration(arch::Cycles now);
+
+  SimConfig cfg_;
+  arch::Placement placement_;
+  arch::AddressMap map_;
+
+  // Shared structures rebuilt per run():
+  std::unique_ptr<Cache> l2_;
+  std::vector<Cache> l1_;                  // per core
+  std::vector<MemoryController> mcs_;      // per controller
+  std::vector<arch::Cycles> bank_free_;    // per global L2 bank
+  std::vector<CoreState> cores_;
+  std::vector<ThreadState> threads_;
+  std::uint64_t flops_total_ = 0;
+
+  // Event loop state: (time, thread) min-heap of runnable threads and
+  // (iteration, thread) min-heap of threads parked by the lockstep gate.
+  using RunQueue =
+      std::priority_queue<std::pair<arch::Cycles, unsigned>,
+                          std::vector<std::pair<arch::Cycles, unsigned>>,
+                          std::greater<>>;
+  using ParkQueue =
+      std::priority_queue<std::pair<std::uint64_t, unsigned>,
+                          std::vector<std::pair<std::uint64_t, unsigned>>,
+                          std::greater<>>;
+  RunQueue runnable_;
+  ParkQueue parked_;
+  /// Lockstep bookkeeping: iteration values of running threads always lie in
+  /// [min_iteration_, min_iteration_ + lockstep_window], so a ring of
+  /// occupancy counters sized lockstep_window + 2 tracks the minimum in O(1)
+  /// amortized per iteration.
+  std::vector<unsigned> iter_ring_;
+  std::uint64_t min_iteration_ = 0;
+  unsigned alive_ = 0;
+};
+
+}  // namespace mcopt::sim

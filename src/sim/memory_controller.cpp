@@ -1,0 +1,89 @@
+#include "sim/memory_controller.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace mcopt::sim {
+
+MemoryController::MemoryController(const arch::Calibration& cal,
+                                   const arch::InterleaveSpec& spec)
+    : cal_(cal),
+      line_bytes_(spec.line_size()),
+      line_bits_(spec.line_bits),
+      bank_select_bits_(spec.controller_bits),
+      bank_low_bit_(spec.bank_bits) {
+  if (cal_.dram_banks == 0 || (cal_.dram_banks & (cal_.dram_banks - 1)) != 0)
+    throw std::invalid_argument("MemoryController: dram_banks must be a power of two");
+  if (cal_.dram_row_bytes < line_bytes_ ||
+      cal_.dram_row_bytes % line_bytes_ != 0)
+    throw std::invalid_argument("MemoryController: bad dram_row_bytes");
+  const auto lines_per_row = cal_.dram_row_bytes / line_bytes_;
+  if ((lines_per_row & (lines_per_row - 1)) != 0)
+    throw std::invalid_argument("MemoryController: lines per row must be a power of two");
+  row_line_bits_ = static_cast<unsigned>(std::countr_zero(lines_per_row));
+  dram_bank_bits_ = static_cast<unsigned>(std::countr_zero(std::size_t{cal_.dram_banks}));
+  banks_.resize(cal_.dram_banks);
+}
+
+std::uint64_t MemoryController::local_line(arch::Addr addr) const noexcept {
+  const std::uint64_t global = addr >> line_bits_;
+  // Line index layout (low to high): [bank-within-controller][controller][rest].
+  const std::uint64_t low = global & ((std::uint64_t{1} << bank_low_bit_) - 1);
+  const std::uint64_t high = global >> (bank_low_bit_ + bank_select_bits_);
+  return (high << bank_low_bit_) | low;
+}
+
+unsigned MemoryController::bank_of(arch::Addr addr) const noexcept {
+  return static_cast<unsigned>((local_line(addr) >> row_line_bits_) &
+                               (cal_.dram_banks - 1));
+}
+
+std::uint64_t MemoryController::row_of(arch::Addr addr) const noexcept {
+  return local_line(addr) >> (row_line_bits_ + dram_bank_bits_);
+}
+
+arch::Cycles MemoryController::request(arch::Cycles now, bool is_write,
+                                       arch::Addr addr) {
+  const arch::Cycles bus_start = std::max(now, bus_free_);
+
+  // Bank preparation: activate/precharge when the open row differs. The
+  // preparation starts as soon as the request arrives and the bank is free —
+  // it overlaps other banks' bus transfers (as in a real controller), so it
+  // only costs wall time when the same bank is hit back-to-back with
+  // different rows (congruent stream bases).
+  Bank& bank = banks_[bank_of(addr)];
+  const std::uint64_t row = row_of(addr);
+  arch::Cycles ready = std::max(now, bank.ready);
+  if (bank.open_row != row) {
+    ready += cal_.dram_row_miss_extra;
+    bank.open_row = row;
+    ++stats_.row_conflicts;
+  } else {
+    ++stats_.row_hits;
+  }
+
+  arch::Cycles service = cal_.mc_request_overhead +
+                         (is_write ? cal_.mc_write_service : cal_.mc_read_service);
+  if (any_request_ && is_write != last_was_write_) {
+    service += cal_.mc_turnaround;
+    ++stats_.turnarounds;
+  }
+  last_was_write_ = is_write;
+  any_request_ = true;
+
+  const arch::Cycles start = std::max(bus_start, ready);
+  const arch::Cycles end = start + service;
+  bus_free_ = end;
+  bank.ready = end;
+
+  if (is_write)
+    ++stats_.writes;
+  else
+    ++stats_.reads;
+  stats_.busy_cycles += end - bus_start;
+  stats_.last_completion = std::max(stats_.last_completion, end);
+  return end;
+}
+
+}  // namespace mcopt::sim

@@ -1,0 +1,96 @@
+#pragma once
+// Timing model of one dual-channel FB-DIMM memory controller with a banked
+// DRAM backend.
+//
+// Structure: a single command/data bus (the FB-DIMM link) in front of
+// `dram_banks` independent banks, each with one open-row buffer.
+//
+//  * The bus serializes line transfers in arrival order. A transfer costs a
+//    fixed command overhead plus a direction-dependent data time (reads are
+//    twice as fast as writes, matching the 42/21 GB/s nominal split of
+//    Sect. 1), plus a turnaround penalty when the service direction flips —
+//    the model's stand-in for the paper's conjectured "overhead for
+//    bidirectional transfers".
+//  * Each request targets one bank; if the bank's open row differs, the bank
+//    pays an activate/precharge delay before the transfer can start. Bank
+//    preparation overlaps with *other* banks' bus transfers but not with the
+//    same bank's. This is what punishes base addresses that are congruent
+//    modulo large powers of two: interleaved streams then walk the same bank
+//    in different rows and every access becomes a row conflict (the deep
+//    dips of Figs. 2 and 4).
+//
+// Bank/row decoding works on the controller-local line index: the sequence
+// of lines this controller owns under the chip's interleave (the chip model
+// passes global addresses plus the interleave spec).
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "arch/calibration.h"
+
+namespace mcopt::sim {
+
+struct McStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t turnarounds = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_conflicts = 0;
+  arch::Cycles busy_cycles = 0;
+  /// Completion time of the last request (queue drain time).
+  arch::Cycles last_completion = 0;
+
+  [[nodiscard]] std::uint64_t line_transfers() const noexcept { return reads + writes; }
+};
+
+/// One memory controller. Not thread-safe; serialized by the chip model.
+class MemoryController {
+ public:
+  MemoryController(const arch::Calibration& cal, const arch::InterleaveSpec& spec);
+
+  /// Enqueues a transfer of the line containing global address `addr`,
+  /// arriving at `now`. Returns the cycle the data transfer completes; for
+  /// reads the requester additionally experiences the DRAM latency
+  /// (pipelined; the chip model applies max(completion, arrival+latency)).
+  arch::Cycles request(arch::Cycles now, bool is_write, arch::Addr addr);
+
+  [[nodiscard]] const McStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t bytes_transferred() const noexcept {
+    return stats_.line_transfers() * line_bytes_;
+  }
+
+  /// Bank index a global address maps to (exposed for tests/analytics).
+  [[nodiscard]] unsigned bank_of(arch::Addr addr) const noexcept;
+  /// Row index within the bank for a global address.
+  [[nodiscard]] std::uint64_t row_of(arch::Addr addr) const noexcept;
+
+  void reset_stats() { stats_ = McStats{}; }
+
+ private:
+  /// Controller-local line index: global line index with the interleave
+  /// (controller-select) bits squeezed out.
+  [[nodiscard]] std::uint64_t local_line(arch::Addr addr) const noexcept;
+
+  arch::Calibration cal_;
+  std::size_t line_bytes_;
+  unsigned line_bits_;
+  unsigned bank_select_bits_;   ///< controller bits within the line index
+  unsigned bank_low_bit_;       ///< position of controller bits in line index
+  unsigned row_line_bits_;      ///< log2(lines per row), local
+  unsigned dram_bank_bits_;     ///< log2(dram_banks)
+
+  arch::Cycles bus_free_ = 0;
+  bool last_was_write_ = false;
+  bool any_request_ = false;
+
+  struct Bank {
+    arch::Cycles ready = 0;
+    std::uint64_t open_row = ~std::uint64_t{0};
+  };
+  std::vector<Bank> banks_;
+
+  McStats stats_;
+};
+
+}  // namespace mcopt::sim

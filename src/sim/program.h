@@ -1,0 +1,33 @@
+#pragma once
+// Interface between workload generators (src/trace) and the simulator: a
+// per-thread lazy access sequence. Batching amortizes the virtual call.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/access.h"
+
+namespace mcopt::sim {
+
+/// Lazy generator of one software thread's memory-access sequence.
+class AccessProgram {
+ public:
+  virtual ~AccessProgram() = default;
+
+  /// Writes up to out.size() accesses in program order; returns how many
+  /// were produced. Returning 0 means the program is exhausted.
+  virtual std::size_t next_batch(std::span<Access> out) = 0;
+
+  /// Rewinds to the beginning (programs are replayable).
+  virtual void reset() = 0;
+
+  /// Total accesses this program will emit (for progress/validation).
+  [[nodiscard]] virtual std::uint64_t total_accesses() const = 0;
+};
+
+/// A workload: one program per software thread.
+using Workload = std::vector<std::unique_ptr<AccessProgram>>;
+
+}  // namespace mcopt::sim

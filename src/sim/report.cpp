@@ -1,0 +1,91 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/table.h"
+
+namespace mcopt::sim {
+
+UtilizationSummary summarize(const SimResult& result) {
+  UtilizationSummary s;
+  s.seconds = result.seconds();
+  s.bandwidth_gbs = result.memory_bandwidth() / 1e9;
+  const auto total_bytes =
+      static_cast<double>(result.mem_read_bytes + result.mem_write_bytes);
+  s.read_fraction = total_bytes == 0.0
+                        ? 0.0
+                        : static_cast<double>(result.mem_read_bytes) / total_bytes;
+  s.l1_miss_ratio = result.l1.miss_ratio();
+  s.l2_miss_ratio = result.l2.miss_ratio();
+  if (!result.mc.empty() && result.total_cycles > 0) {
+    s.mc_busy_min = 1.0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t transfers = 0;
+    for (const McStats& mc : result.mc) {
+      const double busy = static_cast<double>(mc.busy_cycles) /
+                          static_cast<double>(result.total_cycles);
+      s.mc_busy_min = std::min(s.mc_busy_min, busy);
+      s.mc_busy_max = std::max(s.mc_busy_max, busy);
+      conflicts += mc.row_conflicts;
+      transfers += mc.row_hits + mc.row_conflicts;
+    }
+    if (transfers != 0)
+      s.row_conflict_ratio =
+          static_cast<double>(conflicts) / static_cast<double>(transfers);
+  }
+  if (!result.thread_finish.empty()) {
+    const auto [lo, hi] =
+        std::minmax_element(result.thread_finish.begin(), result.thread_finish.end());
+    if (*hi != 0)
+      s.thread_imbalance =
+          static_cast<double>(*hi - *lo) / static_cast<double>(*hi);
+  }
+  if (s.seconds > 0.0)
+    s.gflops = static_cast<double>(result.flops) / s.seconds / 1e9;
+  return s;
+}
+
+void print_report(std::ostream& os, const SimResult& result) {
+  const UtilizationSummary s = summarize(result);
+  os << "simulated " << util::fmt_fixed(s.seconds * 1e3, 3) << " ms ("
+     << util::fmt_group(static_cast<long long>(result.total_cycles))
+     << " cycles), " << util::fmt_fixed(s.bandwidth_gbs, 2)
+     << " GB/s memory traffic (" << util::fmt_fixed(s.read_fraction * 100, 1)
+     << "% reads)\n";
+  os << "caches: L1 miss " << util::fmt_fixed(s.l1_miss_ratio * 100, 1)
+     << "%, L2 miss " << util::fmt_fixed(s.l2_miss_ratio * 100, 1)
+     << "%; thread imbalance " << util::fmt_fixed(s.thread_imbalance * 100, 1)
+     << "%\n";
+  util::Table table({"MC", "reads", "writes", "busy", "row conflicts"});
+  for (std::size_t m = 0; m < result.mc.size(); ++m) {
+    const McStats& mc = result.mc[m];
+    const double busy =
+        result.total_cycles == 0
+            ? 0.0
+            : static_cast<double>(mc.busy_cycles) /
+                  static_cast<double>(result.total_cycles);
+    const auto transfers = mc.row_hits + mc.row_conflicts;
+    table.add_row({std::to_string(m),
+                   util::fmt_group(static_cast<long long>(mc.reads)),
+                   util::fmt_group(static_cast<long long>(mc.writes)),
+                   util::fmt_fixed(busy * 100, 1) + "%",
+                   util::fmt_fixed(transfers == 0
+                                       ? 0.0
+                                       : 100.0 * static_cast<double>(mc.row_conflicts) /
+                                             static_cast<double>(transfers),
+                                   1) +
+                       "%"});
+  }
+  table.print(os);
+}
+
+std::string brief(const SimResult& result) {
+  const UtilizationSummary s = summarize(result);
+  return util::fmt_fixed(s.bandwidth_gbs, 2) + " GB/s, MC busy " +
+         util::fmt_fixed(s.mc_busy_min * 100, 0) + "-" +
+         util::fmt_fixed(s.mc_busy_max * 100, 0) + "%, imbalance " +
+         util::fmt_fixed(s.thread_imbalance * 100, 1) + "%";
+}
+
+}  // namespace mcopt::sim

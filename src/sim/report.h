@@ -1,0 +1,35 @@
+#pragma once
+// Human-readable rendering of SimResult: per-controller utilization, cache
+// behaviour, bandwidth and imbalance summaries. Used by benches and
+// examples; pure formatting, no simulation logic.
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/chip.h"
+
+namespace mcopt::sim {
+
+/// Compact aggregates derived from a SimResult.
+struct UtilizationSummary {
+  double seconds = 0.0;
+  double bandwidth_gbs = 0.0;        ///< total memory traffic (both ways)
+  double read_fraction = 0.0;        ///< reads / (reads + writes), by bytes
+  double l1_miss_ratio = 0.0;
+  double l2_miss_ratio = 0.0;
+  double mc_busy_min = 0.0;          ///< min/max controller busy fraction
+  double mc_busy_max = 0.0;
+  double row_conflict_ratio = 0.0;   ///< DRAM row conflicts / accesses
+  double thread_imbalance = 0.0;     ///< (max-min)/max of thread finish times
+  double gflops = 0.0;
+};
+
+[[nodiscard]] UtilizationSummary summarize(const SimResult& result);
+
+/// Multi-line report (one line per controller plus totals).
+void print_report(std::ostream& os, const SimResult& result);
+
+/// One-line summary for logs.
+[[nodiscard]] std::string brief(const SimResult& result);
+
+}  // namespace mcopt::sim

@@ -1,0 +1,104 @@
+#include "trace/jacobi_program.h"
+
+#include <stdexcept>
+
+namespace mcopt::trace {
+
+JacobiProgram::JacobiProgram(JacobiGrids grids,
+                             std::vector<sched::IterRange> row_chunks,
+                             unsigned sweeps)
+    : grids_(grids), chunks_(std::move(row_chunks)), sweeps_(sweeps) {
+  if (grids_.source == nullptr || grids_.dest == nullptr)
+    throw std::invalid_argument("JacobiProgram: null grids");
+  if (grids_.n < 3) throw std::invalid_argument("JacobiProgram: n < 3");
+  if (grids_.source->num_segments() != grids_.n ||
+      grids_.dest->num_segments() != grids_.n)
+    throw std::invalid_argument("JacobiProgram: grids must have n row segments");
+  reset();
+}
+
+void JacobiProgram::reset() {
+  sweep_ = 0;
+  chunk_ = 0;
+  iter_ = chunks_.empty() ? 0 : chunks_.front().begin;
+  col_ = 1;
+  phase_ = 0;
+}
+
+std::uint64_t JacobiProgram::total_accesses() const {
+  std::uint64_t rows = 0;
+  for (const auto& c : chunks_) rows += c.size();
+  return rows * (grids_.n - 2) * 5 * sweeps_;
+}
+
+std::size_t JacobiProgram::next_batch(std::span<sim::Access> out) {
+  std::size_t produced = 0;
+  const std::size_t n = grids_.n;
+  while (produced < out.size()) {
+    if (sweep_ >= sweeps_ || chunks_.empty()) break;
+    const sched::IterRange& chunk = chunks_[chunk_];
+    if (iter_ >= chunk.end) {
+      if (++chunk_ >= chunks_.size()) {
+        chunk_ = 0;
+        if (++sweep_ >= sweeps_) break;
+      }
+      iter_ = chunks_[chunk_].begin;
+      col_ = 1;
+      phase_ = 0;
+      continue;
+    }
+    const std::size_t row = iter_ + 1;  // interior row index
+    // dest[row][col] = 0.25*(src[row-1][col] + src[row+1][col]
+    //                        + src[row][col-1] + src[row][col+1])
+    sim::Access a;
+    // Lockstep iterations are sites: uniform-cost units fine enough to keep
+    // concurrently processed rows positionally aligned (Sect. 2.3 relies on
+    // adjacent rows being streamed in phase under "static,1").
+    switch (phase_) {
+      case 0:
+        a = {src().address_of(row - 1, col_), sim::Op::kLoad, true, 0};
+        break;
+      case 1:
+        a = {src().address_of(row + 1, col_), sim::Op::kLoad, false, 0};
+        break;
+      case 2:
+        a = {src().address_of(row, col_ - 1), sim::Op::kLoad, false, 0};
+        break;
+      case 3:
+        a = {src().address_of(row, col_ + 1), sim::Op::kLoad, false, 0};
+        break;
+      default:
+        // Three adds + one multiply happen before the store retires.
+        a = {dst().address_of(row, col_), sim::Op::kStore, false, 4};
+        break;
+    }
+    out[produced++] = a;
+    if (++phase_ == 5) {
+      phase_ = 0;
+      if (++col_ == n - 1) {
+        col_ = 1;
+        ++iter_;
+      }
+    }
+  }
+  return produced;
+}
+
+sim::Workload make_jacobi_workload(const JacobiGrids& grids, unsigned num_threads,
+                                   const sched::Schedule& schedule,
+                                   unsigned sweeps) {
+  sim::Workload workload;
+  workload.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    workload.push_back(std::make_unique<JacobiProgram>(
+        grids, sched::chunks_for_thread(grids.n - 2, num_threads, t, schedule),
+        sweeps));
+  }
+  return workload;
+}
+
+std::uint64_t jacobi_updates_per_sweep(std::size_t n) {
+  return static_cast<std::uint64_t>(n - 2) * (n - 2);
+}
+
+}  // namespace mcopt::trace

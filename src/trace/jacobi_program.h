@@ -1,0 +1,66 @@
+#pragma once
+// Access-program generator for the 2D five-point Jacobi relaxation solver
+// (Sect. 2.3). Rows are segments of a VirtualSegArray; the parallel loop
+// runs over interior rows under a configurable OpenMP schedule; each row
+// update streams four loads and one store per interior point with four
+// flops, exactly like the paper's relax_line() kernel.
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sim/program.h"
+#include "trace/virtual_arena.h"
+
+namespace mcopt::trace {
+
+/// Addresses of the two NxN toggle grids, one row per segment.
+struct JacobiGrids {
+  const VirtualSegArray* source = nullptr;
+  const VirtualSegArray* dest = nullptr;
+  std::size_t n = 0;  ///< domain edge length (rows and row length)
+};
+
+/// One thread's share of one Jacobi sweep.
+class JacobiProgram final : public sim::AccessProgram {
+ public:
+  /// `row_chunks` hold interior-row indices i in [1, n-1) as iteration
+  /// values shifted by -1 (i.e. iteration k updates row k+1), matching
+  /// chunks_for_thread(n-2, ...). `sweeps` alternates source/dest.
+  JacobiProgram(JacobiGrids grids, std::vector<sched::IterRange> row_chunks,
+                unsigned sweeps = 1);
+
+  std::size_t next_batch(std::span<sim::Access> out) override;
+  void reset() override;
+  [[nodiscard]] std::uint64_t total_accesses() const override;
+
+ private:
+  /// Grid roles for the current sweep (toggle arrays swap every sweep).
+  [[nodiscard]] const VirtualSegArray& src() const {
+    return sweep_ % 2 == 0 ? *grids_.source : *grids_.dest;
+  }
+  [[nodiscard]] const VirtualSegArray& dst() const {
+    return sweep_ % 2 == 0 ? *grids_.dest : *grids_.source;
+  }
+
+  JacobiGrids grids_;
+  std::vector<sched::IterRange> chunks_;
+  unsigned sweeps_;
+
+  unsigned sweep_ = 0;
+  std::size_t chunk_ = 0;
+  std::size_t iter_ = 0;   ///< iteration within chunk (row = iter + 1)
+  std::size_t col_ = 1;    ///< interior column j in [1, n-1)
+  unsigned phase_ = 0;     ///< 0..4: loads up, down, left, right; store
+};
+
+/// Whole-chip Jacobi workload under `schedule` over the interior rows.
+[[nodiscard]] sim::Workload make_jacobi_workload(const JacobiGrids& grids,
+                                                 unsigned num_threads,
+                                                 const sched::Schedule& schedule,
+                                                 unsigned sweeps = 1);
+
+/// Lattice-site updates one sweep performs ((n-2)^2), for MLUPs/s reporting.
+[[nodiscard]] std::uint64_t jacobi_updates_per_sweep(std::size_t n);
+
+}  // namespace mcopt::trace

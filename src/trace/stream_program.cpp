@@ -1,0 +1,78 @@
+#include "trace/stream_program.h"
+
+#include <stdexcept>
+
+namespace mcopt::trace {
+
+LockstepStreamProgram::LockstepStreamProgram(std::vector<StreamDesc> streams,
+                                             std::size_t elem_bytes,
+                                             std::vector<sched::IterRange> chunks,
+                                             unsigned sweeps)
+    : streams_(std::move(streams)),
+      elem_bytes_(elem_bytes),
+      chunks_(std::move(chunks)),
+      sweeps_(sweeps) {
+  if (streams_.empty())
+    throw std::invalid_argument("LockstepStreamProgram: no streams");
+  if (elem_bytes_ == 0)
+    throw std::invalid_argument("LockstepStreamProgram: zero element size");
+  reset();
+}
+
+void LockstepStreamProgram::reset() {
+  sweep_ = 0;
+  chunk_ = 0;
+  iter_ = chunks_.empty() ? 0 : chunks_.front().begin;
+  stream_ = 0;
+}
+
+std::uint64_t LockstepStreamProgram::total_accesses() const {
+  std::uint64_t iters = 0;
+  for (const auto& c : chunks_) iters += c.size();
+  return iters * streams_.size() * sweeps_;
+}
+
+std::size_t LockstepStreamProgram::next_batch(std::span<sim::Access> out) {
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    if (sweep_ >= sweeps_ || chunks_.empty()) break;
+    const sched::IterRange& chunk = chunks_[chunk_];
+    if (iter_ >= chunk.end) {
+      // Advance to the next chunk / sweep.
+      if (++chunk_ >= chunks_.size()) {
+        chunk_ = 0;
+        if (++sweep_ >= sweeps_) break;
+      }
+      iter_ = chunks_[chunk_].begin;
+      stream_ = 0;
+      continue;
+    }
+    const StreamDesc& s = streams_[stream_];
+    out[produced++] = sim::Access{
+        s.base + static_cast<arch::Addr>(iter_) * elem_bytes_,
+        s.write ? sim::Op::kStore : sim::Op::kLoad,
+        /*begins_iteration=*/stream_ == 0, s.flops_before};
+    if (++stream_ == streams_.size()) {
+      stream_ = 0;
+      ++iter_;
+    }
+  }
+  return produced;
+}
+
+sim::Workload make_lockstep_workload(const std::vector<StreamDesc>& streams,
+                                     std::size_t elem_bytes, std::size_t n,
+                                     unsigned num_threads,
+                                     const sched::Schedule& schedule,
+                                     unsigned sweeps) {
+  sim::Workload workload;
+  workload.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    workload.push_back(std::make_unique<LockstepStreamProgram>(
+        streams, elem_bytes, sched::chunks_for_thread(n, num_threads, t, schedule),
+        sweeps));
+  }
+  return workload;
+}
+
+}  // namespace mcopt::trace

@@ -1,0 +1,56 @@
+#pragma once
+// Access-program generator for lock-step multi-stream kernels: STREAM
+// copy/scale/add/triad and the Schönauer vector triad. One program instance
+// is one software thread's share of the loop under a given OpenMP schedule.
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sim/program.h"
+
+namespace mcopt::trace {
+
+/// One operand stream of a lock-step loop: at iteration i the thread touches
+/// base + i*elem_bytes.
+struct StreamDesc {
+  arch::Addr base = 0;
+  bool write = false;
+  /// FP work the thread performs right before this access at each iteration
+  /// (e.g. the triad's multiply-add attaches to the store).
+  std::uint16_t flops_before = 0;
+};
+
+/// Per-thread program: for each chunk, for each iteration, touch every
+/// stream in order. `sweeps` repeats the whole chunk list (STREAM runs the
+/// kernel ntimes).
+class LockstepStreamProgram final : public sim::AccessProgram {
+ public:
+  LockstepStreamProgram(std::vector<StreamDesc> streams, std::size_t elem_bytes,
+                        std::vector<sched::IterRange> chunks, unsigned sweeps = 1);
+
+  std::size_t next_batch(std::span<sim::Access> out) override;
+  void reset() override;
+  [[nodiscard]] std::uint64_t total_accesses() const override;
+
+ private:
+  std::vector<StreamDesc> streams_;
+  std::size_t elem_bytes_;
+  std::vector<sched::IterRange> chunks_;
+  unsigned sweeps_;
+
+  // Cursor: sweep -> chunk -> iteration -> stream.
+  unsigned sweep_ = 0;
+  std::size_t chunk_ = 0;
+  std::size_t iter_ = 0;
+  std::size_t stream_ = 0;
+};
+
+/// Builds the whole-chip workload for a lock-step kernel: each software
+/// thread gets the chunks `schedule` assigns it over `n` iterations.
+[[nodiscard]] sim::Workload make_lockstep_workload(
+    const std::vector<StreamDesc>& streams, std::size_t elem_bytes,
+    std::size_t n, unsigned num_threads, const sched::Schedule& schedule,
+    unsigned sweeps = 1);
+
+}  // namespace mcopt::trace

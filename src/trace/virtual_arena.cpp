@@ -1,0 +1,44 @@
+#include "trace/virtual_arena.h"
+
+#include <stdexcept>
+
+namespace mcopt::trace {
+
+arch::Addr VirtualArena::allocate(std::size_t bytes, std::size_t align) {
+  if (align == 0 || (align & (align - 1)) != 0)
+    throw std::invalid_argument("VirtualArena: alignment must be a power of two");
+  const arch::Addr start = (next_ + align - 1) / align * align;
+  next_ = start + bytes;
+  return start;
+}
+
+arch::Addr VirtualArena::malloc_like(std::size_t bytes) {
+  // glibc: 8-byte header before a 16-byte-aligned block; usable sizes round
+  // to 16. The net effect for back-to-back large mallocs: bases separated by
+  // round16(bytes) + 16.
+  const arch::Addr start = allocate(bytes + 16, 16) + 16;
+  next_ = start + (bytes + 15) / 16 * 16;
+  return start;
+}
+
+VirtualSegArray::VirtualSegArray(VirtualArena& arena,
+                                 std::vector<std::size_t> segment_elems,
+                                 std::size_t elem_bytes,
+                                 const seg::LayoutSpec& spec)
+    : elem_bytes_(elem_bytes), sizes_(std::move(segment_elems)) {
+  if (elem_bytes_ == 0) throw std::invalid_argument("VirtualSegArray: zero elem size");
+  std::vector<std::size_t> bytes(sizes_.size());
+  for (std::size_t s = 0; s < sizes_.size(); ++s) bytes[s] = sizes_[s] * elem_bytes_;
+  const seg::LayoutResult layout = seg::compute_layout(bytes, spec);
+  base_ = arena.allocate(layout.total_bytes, spec.base_align);
+  positions_ = layout.segment_pos;
+  for (std::size_t n : sizes_) total_ += n;
+}
+
+VirtualSegArray VirtualSegArray::even(VirtualArena& arena, std::size_t n,
+                                      std::size_t parts, std::size_t elem_bytes,
+                                      const seg::LayoutSpec& spec) {
+  return VirtualSegArray(arena, seg::split_even(n, parts), elem_bytes, spec);
+}
+
+}  // namespace mcopt::trace

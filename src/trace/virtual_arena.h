@@ -1,0 +1,74 @@
+#pragma once
+// Synthetic address-space allocator for simulator workloads.
+//
+// The simulator consumes addresses, not data, so paper-scale arrays (hundreds
+// of MiB) are "allocated" as address ranges only. The arena mimics a bump
+// allocator over a clean region of the virtual address space; alignment
+// semantics match posix_memalign. A `gap` models the malloc bookkeeping that
+// makes consecutive "plain" allocations non-adjacent (Sect. 2.2's plain
+// vector triad depends on consecutive mallocs landing at N-dependent bases).
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "seg/layout.h"
+
+namespace mcopt::trace {
+
+/// Bump allocator over synthetic addresses.
+class VirtualArena {
+ public:
+  /// `base` is the first address handed out (default: 4 GiB mark, page
+  /// aligned, far from zero so address arithmetic bugs surface).
+  explicit VirtualArena(arch::Addr base = arch::Addr{1} << 32) : next_(base) {}
+
+  /// Returns `bytes` bytes aligned to `align` (power of two).
+  arch::Addr allocate(std::size_t bytes, std::size_t align);
+
+  /// Mimics glibc malloc for large blocks: 16-byte alignment plus a
+  /// header-sized displacement, so consecutive allocations are contiguous
+  /// up to a 16-byte-rounded size (what "plain arrays with no restrictions"
+  /// get in the paper).
+  arch::Addr malloc_like(std::size_t bytes);
+
+  [[nodiscard]] arch::Addr next() const noexcept { return next_; }
+
+ private:
+  arch::Addr next_;
+};
+
+/// Address-only counterpart of seg::seg_array: applies a seg::LayoutSpec to
+/// arena-allocated storage and exposes element addresses.
+class VirtualSegArray {
+ public:
+  VirtualSegArray(VirtualArena& arena, std::vector<std::size_t> segment_elems,
+                  std::size_t elem_bytes, const seg::LayoutSpec& spec);
+
+  /// Even split of n elements over `parts` segments (paper's rule).
+  static VirtualSegArray even(VirtualArena& arena, std::size_t n,
+                              std::size_t parts, std::size_t elem_bytes,
+                              const seg::LayoutSpec& spec);
+
+  [[nodiscard]] std::size_t num_segments() const noexcept { return sizes_.size(); }
+  [[nodiscard]] std::size_t segment_size(std::size_t s) const { return sizes_.at(s); }
+  [[nodiscard]] std::size_t size() const noexcept { return total_; }
+
+  [[nodiscard]] arch::Addr segment_base(std::size_t s) const {
+    return base_ + positions_.at(s);
+  }
+  [[nodiscard]] arch::Addr address_of(std::size_t s, std::size_t i) const {
+    return segment_base(s) + i * elem_bytes_;
+  }
+  [[nodiscard]] std::size_t elem_bytes() const noexcept { return elem_bytes_; }
+  [[nodiscard]] arch::Addr base() const noexcept { return base_; }
+
+ private:
+  arch::Addr base_ = 0;
+  std::size_t elem_bytes_ = 0;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> sizes_;
+  std::vector<std::size_t> positions_;
+};
+
+}  // namespace mcopt::trace

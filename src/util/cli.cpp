@@ -1,0 +1,153 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace mcopt::util {
+
+Cli::Cli(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+Cli& Cli::flag(const std::string& name, const std::string& help) {
+  Opt o;
+  o.kind = Kind::kFlag;
+  o.help = help;
+  opts_[name] = std::move(o);
+  order_.push_back(name);
+  return *this;
+}
+
+Cli& Cli::option_int(const std::string& name, std::int64_t def, const std::string& help) {
+  Opt o;
+  o.kind = Kind::kInt;
+  o.help = help;
+  o.int_value = def;
+  opts_[name] = std::move(o);
+  order_.push_back(name);
+  return *this;
+}
+
+Cli& Cli::option_double(const std::string& name, double def, const std::string& help) {
+  Opt o;
+  o.kind = Kind::kDouble;
+  o.help = help;
+  o.double_value = def;
+  opts_[name] = std::move(o);
+  order_.push_back(name);
+  return *this;
+}
+
+Cli& Cli::option_str(const std::string& name, std::string def, const std::string& help) {
+  Opt o;
+  o.kind = Kind::kString;
+  o.help = help;
+  o.str_value = std::move(def);
+  opts_[name] = std::move(o);
+  order_.push_back(name);
+  return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0)
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const auto it = opts_.find(name);
+    if (it == opts_.end()) throw std::invalid_argument("unknown option: --" + name);
+    Opt& opt = it->second;
+
+    if (opt.kind == Kind::kFlag) {
+      if (inline_value)
+        throw std::invalid_argument("flag --" + name + " does not take a value");
+      opt.flag_value = true;
+      continue;
+    }
+
+    std::string value;
+    if (inline_value) {
+      value = *inline_value;
+    } else {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("option --" + name + " requires a value");
+      value = argv[++i];
+    }
+    try {
+      switch (opt.kind) {
+        case Kind::kInt:
+          opt.int_value = std::stoll(value);
+          break;
+        case Kind::kDouble:
+          opt.double_value = std::stod(value);
+          break;
+        case Kind::kString:
+          opt.str_value = value;
+          break;
+        case Kind::kFlag:
+          break;  // handled above
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("malformed value for --" + name + ": " + value);
+    }
+  }
+  return true;
+}
+
+Cli::Opt& Cli::require(const std::string& name, Kind kind) const {
+  const auto it = opts_.find(name);
+  if (it == opts_.end() || it->second.kind != kind)
+    throw std::logic_error("option not registered with this type: --" + name);
+  return it->second;
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  return require(name, Kind::kFlag).flag_value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return require(name, Kind::kInt).int_value;
+}
+
+double Cli::get_double(const std::string& name) const {
+  return require(name, Kind::kDouble).double_value;
+}
+
+const std::string& Cli::get_str(const std::string& name) const {
+  return require(name, Kind::kString).str_value;
+}
+
+void Cli::print_usage(const std::string& argv0) const {
+  std::printf("%s\n\nUsage: %s [options]\n\nOptions:\n", description_.c_str(),
+              argv0.c_str());
+  for (const auto& name : order_) {
+    const Opt& opt = opts_.at(name);
+    std::string left = "  --" + name;
+    switch (opt.kind) {
+      case Kind::kFlag:
+        break;
+      case Kind::kInt:
+        left += " <int=" + std::to_string(opt.int_value) + ">";
+        break;
+      case Kind::kDouble:
+        left += " <float>";
+        break;
+      case Kind::kString:
+        left += " <str=" + opt.str_value + ">";
+        break;
+    }
+    std::printf("%-42s %s\n", left.c_str(), opt.help.c_str());
+  }
+  std::printf("%-42s %s\n", "  --help", "show this message");
+}
+
+}  // namespace mcopt::util

@@ -1,0 +1,54 @@
+#pragma once
+// Tiny declarative command-line parser for the bench/example executables.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag`. Unknown
+// options are an error (typos should not silently run the default sweep).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcopt::util {
+
+/// Declarative option set; register options, then parse(argc, argv).
+class Cli {
+ public:
+  explicit Cli(std::string program_description);
+
+  Cli& flag(const std::string& name, const std::string& help);
+  Cli& option_int(const std::string& name, std::int64_t def, const std::string& help);
+  Cli& option_double(const std::string& name, double def, const std::string& help);
+  Cli& option_str(const std::string& name, std::string def, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) iff --help was given.
+  /// Throws std::invalid_argument on unknown options or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_str(const std::string& name) const;
+
+  void print_usage(const std::string& argv0) const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Opt {
+    Kind kind = Kind::kFlag;
+    std::string help;
+    bool flag_value = false;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string str_value;
+  };
+
+  Opt& require(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  mutable std::map<std::string, Opt> opts_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace mcopt::util

@@ -1,0 +1,32 @@
+#pragma once
+// Minimal RFC-4180-ish CSV writer so bench harnesses can dump machine-readable
+// results next to the human-readable tables (use --csv <path>).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mcopt::util {
+
+/// Streaming CSV writer. Quotes cells containing separators/quotes/newlines.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+  /// Escape a single cell per RFC 4180 (exposed for testing).
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace mcopt::util

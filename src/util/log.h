@@ -1,0 +1,22 @@
+#pragma once
+// Minimal leveled logging to stderr. Benches use it for progress lines that
+// must not pollute the stdout result tables.
+
+#include <string>
+
+namespace mcopt::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level() noexcept;
+
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace mcopt::util

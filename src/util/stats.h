@@ -1,0 +1,62 @@
+#pragma once
+// Small statistics toolkit for benchmark reporting: running moments
+// (Welford), order statistics, and simple aggregate summaries.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mcopt::util {
+
+/// Numerically stable running mean/variance accumulator (Welford's method).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Half-width of the ~95% normal confidence interval on the mean.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation; p in [0,100]. Copies and sorts.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+[[nodiscard]] double median(std::span<const double> xs);
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Harmonic mean (appropriate for averaging rates); requires positive values.
+[[nodiscard]] double harmonic_mean(std::span<const double> xs);
+
+/// Geometric mean; requires positive values.
+[[nodiscard]] double geometric_mean(std::span<const double> xs);
+
+/// Full five-number-style summary used by bench reports.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+}  // namespace mcopt::util

@@ -1,0 +1,87 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace mcopt::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("Table: row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size())
+        os << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_group(long long v) {
+  const bool neg = v < 0;
+  unsigned long long u = neg ? 0ULL - static_cast<unsigned long long>(v)
+                             : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(u);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return neg ? "-" + out : out;
+}
+
+std::string fmt_bytes(unsigned long long bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0)
+    std::snprintf(buf, sizeof buf, "%llu B", bytes);
+  else
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, kUnits[unit]);
+  return buf;
+}
+
+std::string fmt_bandwidth(double bytes_per_second) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f GB/s", bytes_per_second / 1e9);
+  return buf;
+}
+
+}  // namespace mcopt::util

@@ -1,0 +1,48 @@
+#pragma once
+// Column-aligned plain-text table printer used by the benchmark harnesses to
+// emit paper-style result tables on stdout.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcopt::util {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+///
+/// Numeric cells should be pre-formatted by the caller (see fmt_* helpers);
+/// the table only handles layout. Example:
+///
+///   Table t({"offset", "8T", "16T"});
+///   t.add_row({"0", "3.71", "3.80"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision floating point formatting ("12.34").
+[[nodiscard]] std::string fmt_fixed(double v, int precision = 2);
+
+/// Integer with thousands separators ("33,554,432").
+[[nodiscard]] std::string fmt_group(long long v);
+
+/// Bytes with binary unit suffix ("4.0 MiB").
+[[nodiscard]] std::string fmt_bytes(unsigned long long bytes);
+
+/// Bandwidth in GB/s (decimal) with two digits ("16.38 GB/s").
+[[nodiscard]] std::string fmt_bandwidth(double bytes_per_second);
+
+}  // namespace mcopt::util

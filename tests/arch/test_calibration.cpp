@@ -1,0 +1,46 @@
+#include "arch/calibration.h"
+
+#include <gtest/gtest.h>
+
+namespace mcopt::arch {
+namespace {
+
+TEST(Calibration, NominalServiceRatesMatchFbdimmSplit) {
+  const Calibration cal = t2_calibration();
+  // Nominal per-controller rates from Sect. 1: 42/4 GB/s read, 21/4 write.
+  // 64 B / 10.5 GB/s at 1.2 GHz is ~7.3 cycles; our integer service times
+  // must sit within one cycle of the nominal values.
+  const double read_cycles = 64.0 / 10.5e9 * 1.2e9;
+  const double write_cycles = 64.0 / 5.25e9 * 1.2e9;
+  EXPECT_NEAR(static_cast<double>(cal.mc_read_service), read_cycles, 1.0);
+  EXPECT_NEAR(static_cast<double>(cal.mc_write_service), write_cycles, 1.0);
+  EXPECT_EQ(cal.mc_write_service, 2 * cal.mc_read_service - 1);
+}
+
+TEST(Calibration, LatencyInDocumentedBand) {
+  const Calibration cal = t2_calibration();
+  // ~125-185 ns at 1.2 GHz.
+  EXPECT_GE(cal.mem_latency, 125u * 12 / 10);
+  EXPECT_LE(cal.mem_latency, 185u * 12 / 10);
+}
+
+TEST(Calibration, DramGeometryIsPowerOfTwo) {
+  const Calibration cal = t2_calibration();
+  EXPECT_NE(cal.dram_banks, 0u);
+  EXPECT_EQ(cal.dram_banks & (cal.dram_banks - 1), 0u);
+  EXPECT_EQ(cal.dram_row_bytes % 64, 0u);
+}
+
+TEST(CyclesToSeconds, Converts) {
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(1'200'000'000, 1.2), 1.0);
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(0, 1.2), 0.0);
+}
+
+TEST(Bandwidth, Computes) {
+  // 64 bytes in 8 cycles at 1.2 GHz = 9.6 GB/s.
+  EXPECT_NEAR(bandwidth_bytes_per_s(64, 8, 1.2), 9.6e9, 1e3);
+  EXPECT_DOUBLE_EQ(bandwidth_bytes_per_s(64, 0, 1.2), 0.0);
+}
+
+}  // namespace
+}  // namespace mcopt::arch

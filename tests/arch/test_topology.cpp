@@ -1,0 +1,106 @@
+#include "arch/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mcopt::arch {
+namespace {
+
+TEST(CacheGeometry, T2DefaultsValidate) {
+  const ChipTopology topo;
+  EXPECT_NO_THROW(topo.validate());
+  EXPECT_EQ(topo.l1d.num_sets(), 128u);
+  EXPECT_EQ(topo.l2.num_sets(), 4096u);
+  EXPECT_EQ(topo.l2.num_lines(), 65536u);
+}
+
+TEST(CacheGeometry, RejectsNonPowerOfTwo) {
+  CacheGeometry g{3000, 64, 4};
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  g = {4096, 48, 4};
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  g = {4096, 64, 3};
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  g = {0, 64, 4};
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(ChipTopology, T2Shape) {
+  const ChipTopology topo;
+  EXPECT_EQ(topo.max_threads(), 64u);
+  EXPECT_EQ(topo.threads_per_group(), 4u);
+  EXPECT_NEAR(topo.cycle_ns(), 1.0 / 1.2, 1e-12);
+}
+
+TEST(ChipTopology, RejectsBadShapes) {
+  ChipTopology topo;
+  topo.thread_groups_per_core = 3;  // does not divide 8
+  EXPECT_THROW(topo.validate(), std::invalid_argument);
+  topo = ChipTopology{};
+  topo.clock_ghz = 0.0;
+  EXPECT_THROW(topo.validate(), std::invalid_argument);
+  topo = ChipTopology{};
+  topo.ls_pipes_per_core = 0;
+  EXPECT_THROW(topo.validate(), std::invalid_argument);
+}
+
+class PlacementTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PlacementTest, EquidistantUsesDistinctStrands) {
+  const ChipTopology topo;
+  const unsigned n = GetParam();
+  const Placement p = equidistant_placement(n, topo);
+  ASSERT_EQ(p.hw_strand.size(), n);
+  std::set<unsigned> strands(p.hw_strand.begin(), p.hw_strand.end());
+  EXPECT_EQ(strands.size(), n);  // no double-booked strand
+  for (unsigned s : strands) EXPECT_LT(s, topo.max_threads());
+}
+
+TEST_P(PlacementTest, EquidistantBalancesCores) {
+  const ChipTopology topo;
+  const unsigned n = GetParam();
+  const Placement p = equidistant_placement(n, topo);
+  std::vector<unsigned> per_core(topo.num_cores, 0);
+  for (unsigned t = 0; t < n; ++t) ++per_core[p.core_of(t, topo)];
+  const auto [lo, hi] = std::minmax_element(per_core.begin(), per_core.end());
+  EXPECT_LE(*hi - *lo, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, PlacementTest,
+                         ::testing::Values(1, 7, 8, 9, 16, 32, 63, 64));
+
+TEST(Placement, EquidistantEightUsesOnePerCore) {
+  const ChipTopology topo;
+  const Placement p = equidistant_placement(8, topo);
+  for (unsigned t = 0; t < 8; ++t) {
+    EXPECT_EQ(p.core_of(t, topo), t);
+    EXPECT_EQ(p.strand_within_core(t, topo), 0u);
+  }
+}
+
+TEST(Placement, PackedFillsCoreZeroFirst) {
+  const ChipTopology topo;
+  const Placement p = packed_placement(9, topo);
+  for (unsigned t = 0; t < 8; ++t) EXPECT_EQ(p.core_of(t, topo), 0u);
+  EXPECT_EQ(p.core_of(8, topo), 1u);
+}
+
+TEST(Placement, GroupOfMatchesStrand) {
+  const ChipTopology topo;
+  const Placement p = packed_placement(8, topo);
+  // Strands 0-3 are group 0, strands 4-7 group 1.
+  for (unsigned t = 0; t < 4; ++t) EXPECT_EQ(p.group_of(t, topo), 0u);
+  for (unsigned t = 4; t < 8; ++t) EXPECT_EQ(p.group_of(t, topo), 1u);
+}
+
+TEST(Placement, RejectsBadCounts) {
+  const ChipTopology topo;
+  EXPECT_THROW(equidistant_placement(0, topo), std::invalid_argument);
+  EXPECT_THROW(equidistant_placement(65, topo), std::invalid_argument);
+  EXPECT_THROW(packed_placement(0, topo), std::invalid_argument);
+  EXPECT_THROW(packed_placement(100, topo), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcopt::arch

@@ -1,0 +1,129 @@
+// Integration tests asserting the paper's central claims as executable
+// properties of the simulator. These use reduced problem sizes; the bench
+// harnesses sweep the full parameter ranges.
+
+#include <gtest/gtest.h>
+
+#include "kernels/stream.h"
+#include "kernels/triad.h"
+#include "sim/analytic.h"
+#include "sim/chip.h"
+#include "trace/virtual_arena.h"
+
+namespace mcopt {
+namespace {
+
+double stream_triad_reported_gbs(std::size_t offset_dp, unsigned threads,
+                                 sim::SimConfig cfg = {},
+                                 std::size_t n = 1u << 19) {
+  trace::VirtualArena arena;
+  const arch::Addr block = arena.allocate(3 * (n + offset_dp) * 8, 8192);
+  const auto bases = kernels::common_block_bases(block, n, offset_dp);
+  auto wl = kernels::make_stream_workload(kernels::StreamOp::kTriad, bases, n,
+                                          threads, sched::Schedule::static_block());
+  sim::Chip chip(cfg, arch::equidistant_placement(threads, cfg.topology));
+  const sim::SimResult res = chip.run(wl);
+  return static_cast<double>(
+             kernels::stream_reported_bytes(kernels::StreamOp::kTriad, n)) /
+         res.seconds() / 1e9;
+}
+
+// Paper, Sect. 2.1/Fig. 2: zero offset serializes all streams onto a single
+// controller; a skewed offset engages all four. The dip must be deep.
+TEST(AliasingProperty, ZeroOffsetDipsVsSkewed) {
+  const double dip = stream_triad_reported_gbs(0, 64);
+  const double skew = stream_triad_reported_gbs(40, 64);
+  EXPECT_GT(skew, 1.7 * dip);
+  // Absolute levels in the paper's ballpark (3.7 and ~8-11 GB/s).
+  EXPECT_NEAR(dip, 3.7, 1.2);
+  EXPECT_GT(skew, 6.0);
+}
+
+// Paper: "at odd multiples of 32, ... two controllers are addressed, leading
+// to an expected performance improvement of 100%".
+TEST(AliasingProperty, OddMultipleOf32DoublesDip) {
+  const double dip = stream_triad_reported_gbs(0, 64);
+  const double mid = stream_triad_reported_gbs(32, 64);
+  EXPECT_GT(mid, 1.5 * dip);
+  EXPECT_LT(mid, 3.5 * dip);
+}
+
+// Paper: the periodicity of the effect is 64 DP words (512 bytes).
+TEST(AliasingProperty, PeriodicityIs64Words) {
+  const double at0 = stream_triad_reported_gbs(0, 64);
+  const double at64 = stream_triad_reported_gbs(64, 64);
+  const double at40 = stream_triad_reported_gbs(40, 64);
+  // Offset 64 must be dip-like (far below the skewed plateau), like offset 0.
+  EXPECT_LT(at64, 0.75 * at40);
+  EXPECT_LT(at0, 0.75 * at40);
+}
+
+// Paper, Fig. 5 precondition: the lockstep execution model is what exposes
+// the aliasing; with free-running threads the dip washes out.
+TEST(AliasingProperty, LockstepAblation) {
+  sim::SimConfig free_running;
+  free_running.model_lockstep = false;
+  const double dip_locked = stream_triad_reported_gbs(0, 64);
+  const double dip_free = stream_triad_reported_gbs(0, 64, free_running);
+  EXPECT_GT(dip_free, 1.5 * dip_locked);
+}
+
+// Paper, Fig. 4: planner offsets remove the breakdowns of page-aligned
+// allocation for the vector triad.
+TEST(AliasingProperty, PlannedTriadOffsetsBeatAligned8k) {
+  const arch::AddressMap map;
+  const std::size_t n = 1u << 18;
+  auto run = [&](kernels::TriadLayout layout) {
+    trace::VirtualArena arena;
+    const auto bases = kernels::triad_layout_bases(arena, layout, n, map);
+    auto wl = kernels::make_triad_workload(bases, n, 64,
+                                           sched::Schedule::static_block());
+    sim::SimConfig cfg;
+    sim::Chip chip(cfg, arch::equidistant_placement(64, cfg.topology));
+    const sim::SimResult res = chip.run(wl);
+    return static_cast<double>(kernels::triad_actual_bytes(n)) / res.seconds();
+  };
+  const double pessimal = run(kernels::TriadLayout::kAligned8k);
+  const double planned = run(kernels::TriadLayout::kPlannedOffsets);
+  EXPECT_GT(planned, 1.7 * pessimal);
+}
+
+// The analytic model must agree with the DES on the *ordering* of layouts
+// and produce balance factors matching the address-map prediction.
+TEST(AliasingProperty, AnalyticModelTracksDesOrdering) {
+  const arch::AddressMap map;
+  const arch::Calibration cal;
+  auto analytic = [&](std::size_t offset_dp) {
+    const auto bases = kernels::common_block_bases(arch::Addr{1} << 32,
+                                                   1u << 19, offset_dp);
+    const auto descs = kernels::stream_descs(kernels::StreamOp::kTriad, bases);
+    std::vector<sim::AnalyticStream> streams;
+    for (const auto& d : descs) streams.push_back({d.base, d.write});
+    return sim::estimate_bandwidth(sim::expand_rfo(streams), 64, cal, map, 1.2)
+        .bandwidth;
+  };
+  const double a0 = analytic(0);
+  const double a32 = analytic(32);
+  const double a40 = analytic(40);
+  EXPECT_LT(a0, a32);
+  EXPECT_LT(a32, a40 * 1.2);  // 32 is at most slightly above the plateau
+  const double d0 = stream_triad_reported_gbs(0, 64);
+  const double d40 = stream_triad_reported_gbs(40, 64);
+  EXPECT_LT(d0, d40);
+}
+
+// Fewer threads cannot saturate memory: 8 threads sit well below 64, and the
+// 8-thread curve is far less offset-sensitive (Fig. 2, lower curves).
+TEST(AliasingProperty, ThreadScalingAndSensitivity) {
+  const double t8_dip = stream_triad_reported_gbs(0, 8);
+  const double t8_skew = stream_triad_reported_gbs(40, 8);
+  const double t64_skew = stream_triad_reported_gbs(40, 64);
+  EXPECT_LT(t8_skew, t64_skew);
+  const double sensitivity8 = t8_skew / t8_dip;
+  const double sensitivity64 =
+      t64_skew / stream_triad_reported_gbs(0, 64);
+  EXPECT_LT(sensitivity8, sensitivity64);
+}
+
+}  // namespace
+}  // namespace mcopt

@@ -1,0 +1,118 @@
+// Reduced-size shape checks for the Jacobi (Fig. 6) and LBM (Fig. 7)
+// reproductions: who wins and by roughly what factor. Full sweeps live in
+// bench/.
+
+#include <gtest/gtest.h>
+
+#include "kernels/jacobi.h"
+#include "kernels/lbm/trace_program.h"
+#include "sim/chip.h"
+#include "trace/jacobi_program.h"
+#include "trace/virtual_arena.h"
+
+namespace mcopt {
+namespace {
+
+double jacobi_mlups(std::size_t n, const seg::LayoutSpec& spec,
+                    const sched::Schedule& schedule, unsigned threads) {
+  trace::VirtualArena arena;
+  const auto grids = kernels::make_virtual_jacobi(arena, n, spec);
+  auto wl = trace::make_jacobi_workload(grids.grids(), threads, schedule, 1);
+  sim::SimConfig cfg;
+  sim::Chip chip(cfg, arch::equidistant_placement(threads, cfg.topology));
+  const sim::SimResult res = chip.run(wl);
+  return static_cast<double>(trace::jacobi_updates_per_sweep(n)) /
+         res.seconds() / 1e6;
+}
+
+// Fig. 6: optimal layout (512 B rows, shift 128, static,1) beats the plain
+// layout at a power-of-two-pathological row length.
+TEST(Fig6Shape, OptimalLayoutBeatsPlainAtPathologicalN) {
+  const arch::AddressMap map;
+  const std::size_t n = 512;  // rows are 4 KiB: power-of-two, fully aliased
+  const double plain = jacobi_mlups(n, kernels::jacobi_plain_spec(),
+                                    sched::Schedule::static_block(), 64);
+  const double optimal = jacobi_mlups(n, kernels::jacobi_optimal_spec(map),
+                                      sched::Schedule::static_chunk(1), 64);
+  EXPECT_GT(optimal, 1.3 * plain);
+}
+
+// Fig. 6: with the optimal layout, performance scales with threads.
+TEST(Fig6Shape, ThreadScaling) {
+  const arch::AddressMap map;
+  const auto spec = kernels::jacobi_optimal_spec(map);
+  const double t8 = jacobi_mlups(384, spec, sched::Schedule::static_chunk(1), 8);
+  const double t32 = jacobi_mlups(384, spec, sched::Schedule::static_chunk(1), 32);
+  EXPECT_GT(t32, 1.5 * t8);
+}
+
+// Fig. 6: the optimized configuration is insensitive to N (no periodic
+// collapse), while plain swings with N mod 64.
+TEST(Fig6Shape, OptimizedLayoutIsSmoothAcrossN) {
+  const arch::AddressMap map;
+  const auto spec = kernels::jacobi_optimal_spec(map);
+  const double at_pow2 = jacobi_mlups(256, spec, sched::Schedule::static_chunk(1), 64);
+  const double off_pow2 = jacobi_mlups(250, spec, sched::Schedule::static_chunk(1), 64);
+  EXPECT_NEAR(at_pow2 / off_pow2, 1.0, 0.35);
+}
+
+double lbm_mlups(std::size_t n, kernels::lbm::DataLayout layout,
+                 kernels::lbm::LoopOrder order, unsigned threads,
+                 std::size_t pad_x = 0) {
+  using namespace kernels::lbm;
+  const Geometry g{n, n, n, pad_x, layout};
+  trace::VirtualArena arena;
+  LbmAddresses addr;
+  addr.f_base = arena.allocate(g.f_elems() * 8, 8192);
+  addr.mask_base = arena.allocate(g.cells(), 8192);
+  const std::size_t iters =
+      order == LoopOrder::kOuterZ ? g.nz : g.nz * g.ny;
+  (void)iters;
+  auto wl = make_lbm_workload(g, addr, order, threads,
+                              sched::Schedule::static_block(), 1);
+  sim::SimConfig cfg;
+  sim::Chip chip(cfg, arch::equidistant_placement(threads, cfg.topology));
+  const sim::SimResult res = chip.run(wl);
+  return static_cast<double>(g.interior_cells()) / res.seconds() / 1e6;
+}
+
+// Fig. 7 headline: IvJK beats IJKv (the paper measures ~2x on hardware; the
+// simulator reproduces the ordering with a 1.2-1.5x gap depending on N —
+// see EXPERIMENTS.md).
+TEST(Fig7Shape, IvJKBeatsIJKv) {
+  using namespace kernels::lbm;
+  const double ijkv46 = lbm_mlups(46, DataLayout::kIJKv, LoopOrder::kOuterZ, 64);
+  const double ivjk46 = lbm_mlups(46, DataLayout::kIvJK, LoopOrder::kOuterZ, 64);
+  EXPECT_GT(ivjk46, 1.15 * ijkv46);
+  const double ijkv62 = lbm_mlups(62, DataLayout::kIJKv, LoopOrder::kOuterZ, 64);
+  const double ivjk62 = lbm_mlups(62, DataLayout::kIvJK, LoopOrder::kOuterZ, 64);
+  EXPECT_GT(ivjk62, 1.3 * ijkv62);
+}
+
+// Fig. 7: the modulo effect — nz not divisible by the thread count wastes
+// threads under outer-z parallelization; coalescing z,y removes it.
+TEST(Fig7Shape, CoalescingRemovesModuloEffect) {
+  using namespace kernels::lbm;
+  const std::size_t n = 33;  // 33 planes over 32 threads: worst imbalance
+  const double outer = lbm_mlups(n, DataLayout::kIvJK, LoopOrder::kOuterZ, 32);
+  const double fused =
+      lbm_mlups(n, DataLayout::kIvJK, LoopOrder::kCoalescedZY, 32);
+  EXPECT_GT(fused, 1.25 * outer);
+}
+
+// Fig. 7: padding the x extent fixes the (N+2) % 64 == 0 thrashing sizes.
+TEST(Fig7Shape, PaddingHelpsAtThrashingSize) {
+  using namespace kernels::lbm;
+  const std::size_t n = 62;  // 62+2 = 64-element rows
+  const double unpadded = lbm_mlups(n, DataLayout::kIJKv, LoopOrder::kOuterZ, 64);
+  const double padded =
+      lbm_mlups(n, DataLayout::kIJKv, LoopOrder::kOuterZ, 64, /*pad_x=*/2);
+  EXPECT_GT(padded, unpadded * 0.95);  // padding never hurts...
+  // ...and the IvJK layout at the same size is clearly better than
+  // unpadded IJKv (the paper's combined observation).
+  const double ivjk = lbm_mlups(n, DataLayout::kIvJK, LoopOrder::kOuterZ, 64);
+  EXPECT_GT(ivjk, 1.2 * unpadded);
+}
+
+}  // namespace
+}  // namespace mcopt

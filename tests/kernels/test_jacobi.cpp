@@ -1,0 +1,141 @@
+#include "kernels/jacobi.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mcopt::kernels {
+namespace {
+
+TEST(JacobiGrid, ShapeAndLayout) {
+  const arch::AddressMap map;
+  auto grid = make_jacobi_grid(16, jacobi_optimal_spec(map));
+  EXPECT_EQ(grid.num_segments(), 16u);
+  EXPECT_EQ(grid.size(), 256u);
+  // Optimal layout: rows aligned to 512 with cumulative 128-byte shift.
+  for (std::size_t r = 0; r < 4; ++r)
+    EXPECT_EQ(grid.address_of(r, 0) % 512, r * 128 % 512) << "row " << r;
+  EXPECT_THROW(make_jacobi_grid(2, jacobi_plain_spec()), std::invalid_argument);
+}
+
+TEST(JacobiInit, DirichletBoundary) {
+  auto grid = make_jacobi_grid(8, jacobi_plain_spec());
+  init_jacobi(grid);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j) {
+      const bool edge = i == 0 || i == 7 || j == 0 || j == 7;
+      EXPECT_DOUBLE_EQ(grid.segment(i)[j], edge ? 1.0 : 0.0);
+    }
+}
+
+TEST(JacobiSweep, MatchesReferenceImplementation) {
+  const std::size_t n = 24;
+  auto src = make_jacobi_grid(n, jacobi_optimal_spec(arch::AddressMap{}));
+  auto dst = make_jacobi_grid(n, jacobi_optimal_spec(arch::AddressMap{}));
+  init_jacobi(src);
+  init_jacobi(dst);
+
+  std::vector<double> ref_src(n * n), ref_dst(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      ref_dst[i * n + j] = ref_src[i * n + j] = src.segment(i)[j];
+
+  for (int sweep = 0; sweep < 5; ++sweep) {
+    jacobi_sweep_seconds(src, dst, sched::Schedule::static_chunk(1));
+    jacobi_reference_sweep(ref_src, ref_dst, n);
+    std::swap(src, dst);
+    std::swap(ref_src, ref_dst);
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      ASSERT_NEAR(src.segment(i)[j], ref_src[i * n + j], 1e-14)
+          << "(" << i << "," << j << ")";
+}
+
+TEST(JacobiSweep, ScheduleDoesNotChangeResult) {
+  const std::size_t n = 20;
+  auto run = [&](const sched::Schedule& schedule) {
+    auto src = make_jacobi_grid(n, jacobi_plain_spec());
+    auto dst = make_jacobi_grid(n, jacobi_plain_spec());
+    init_jacobi(src);
+    init_jacobi(dst);
+    for (int sweep = 0; sweep < 4; ++sweep) {
+      jacobi_sweep_seconds(src, dst, schedule);
+      std::swap(src, dst);
+    }
+    return src;
+  };
+  const auto a = run(sched::Schedule::static_block());
+  const auto b = run(sched::Schedule::static_chunk(1));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      ASSERT_DOUBLE_EQ(a.segment(i)[j], b.segment(i)[j]);
+}
+
+TEST(JacobiSweep, ConvergesTowardHarmonicSolution) {
+  // With all-1 boundary and 0 interior, the solution is identically 1.
+  const std::size_t n = 12;
+  auto src = make_jacobi_grid(n, jacobi_plain_spec());
+  auto dst = make_jacobi_grid(n, jacobi_plain_spec());
+  init_jacobi(src);
+  init_jacobi(dst);
+  double delta = 1.0;
+  for (int sweep = 0; sweep < 500 && delta > 1e-10; ++sweep) {
+    jacobi_sweep_seconds(src, dst, sched::Schedule::static_block());
+    delta = jacobi_max_delta(src, dst);
+    std::swap(src, dst);
+  }
+  EXPECT_LE(delta, 1e-10);
+  for (std::size_t i = 1; i + 1 < n; ++i)
+    for (std::size_t j = 1; j + 1 < n; ++j)
+      EXPECT_NEAR(src.segment(i)[j], 1.0, 1e-7);
+}
+
+TEST(JacobiMaxDelta, DetectsDifference) {
+  auto a = make_jacobi_grid(5, jacobi_plain_spec());
+  auto b = make_jacobi_grid(5, jacobi_plain_spec());
+  init_jacobi(a);
+  init_jacobi(b);
+  EXPECT_DOUBLE_EQ(jacobi_max_delta(a, b), 0.0);
+  b.segment(2)[2] = 0.5;
+  EXPECT_DOUBLE_EQ(jacobi_max_delta(a, b), 0.5);
+}
+
+TEST(JacobiReference, RejectsBadSizes) {
+  std::vector<double> a(9), b(16);
+  EXPECT_THROW(jacobi_reference_sweep(a, b, 4), std::invalid_argument);
+}
+
+TEST(VirtualJacobi, LayoutMatchesNativeGrid) {
+  const arch::AddressMap map;
+  const auto spec = jacobi_optimal_spec(map);
+  trace::VirtualArena arena;
+  const auto virt = make_virtual_jacobi(arena, 10, spec);
+  const auto native = make_jacobi_grid(10, spec);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(virt.source.segment_base(r) - virt.source.base(),
+              native.segment_position(r));
+  }
+  EXPECT_EQ(virt.grids().n, 10u);
+  EXPECT_THROW(make_virtual_jacobi(arena, 2, spec), std::invalid_argument);
+}
+
+TEST(JacobiSpecs, PlainVsOptimalBalance) {
+  // The planner's row layout spreads consecutive rows over all controllers;
+  // the plain layout with a power-of-two row length does not.
+  const arch::AddressMap map;
+  trace::VirtualArena arena;
+  const std::size_t n = 64;  // row = 512 bytes: worst case for plain
+  const auto plain = make_virtual_jacobi(arena, n, jacobi_plain_spec());
+  const auto opt = make_virtual_jacobi(arena, n, jacobi_optimal_spec(map));
+  std::vector<arch::Addr> plain_rows, opt_rows;
+  for (std::size_t r = 1; r <= 4; ++r) {
+    plain_rows.push_back(plain.source.segment_base(r));
+    opt_rows.push_back(opt.source.segment_base(r));
+  }
+  EXPECT_LE(map.lockstep_balance(plain_rows, 8), 0.26);
+  EXPECT_GE(map.lockstep_balance(opt_rows, 8), 0.99);
+}
+
+}  // namespace
+}  // namespace mcopt::kernels

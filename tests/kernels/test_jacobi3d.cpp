@@ -1,0 +1,118 @@
+#include "kernels/jacobi3d.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/jacobi.h"
+
+namespace mcopt::kernels {
+namespace {
+
+TEST(Jacobi3dGrid, ShapeAndInit) {
+  auto grid = make_jacobi3d_grid(6, jacobi_plain_spec());
+  EXPECT_EQ(grid.num_segments(), 36u);
+  EXPECT_EQ(grid.size(), 216u);
+  init_jacobi3d(grid, 6);
+  // Corners and faces are 1, interior 0.
+  EXPECT_DOUBLE_EQ(grid.segment(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(grid.segment(2 * 6 + 2)[2], 0.0);
+  EXPECT_DOUBLE_EQ(grid.segment(2 * 6 + 2)[0], 1.0);  // x boundary
+  EXPECT_THROW(make_jacobi3d_grid(2, jacobi_plain_spec()), std::invalid_argument);
+}
+
+seg::LayoutSpec jacobi_plain() { return jacobi_plain_spec(); }
+
+TEST(Jacobi3dSweep, MatchesReference) {
+  const std::size_t n = 10;
+  auto src = make_jacobi3d_grid(n, jacobi_plain());
+  auto dst = make_jacobi3d_grid(n, jacobi_plain());
+  init_jacobi3d(src, n);
+  init_jacobi3d(dst, n);
+
+  std::vector<double> ref_src(n * n * n), ref_dst(n * n * n);
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x)
+        ref_dst[(z * n + y) * n + x] = ref_src[(z * n + y) * n + x] =
+            src.segment(z * n + y)[x];
+
+  for (int sweep = 0; sweep < 4; ++sweep) {
+    jacobi3d_sweep_seconds(src, dst, n, sched::Schedule::static_chunk(1));
+    jacobi3d_reference_sweep(ref_src, ref_dst, n);
+    std::swap(src, dst);
+    std::swap(ref_src, ref_dst);
+  }
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x)
+        ASSERT_NEAR(src.segment(z * n + y)[x], ref_src[(z * n + y) * n + x], 1e-14);
+}
+
+TEST(Jacobi3dSweep, ConvergesToHarmonicSolution) {
+  const std::size_t n = 8;
+  auto src = make_jacobi3d_grid(n, jacobi_plain());
+  auto dst = make_jacobi3d_grid(n, jacobi_plain());
+  init_jacobi3d(src, n);
+  init_jacobi3d(dst, n);
+  for (int sweep = 0; sweep < 400; ++sweep) {
+    jacobi3d_sweep_seconds(src, dst, n, sched::Schedule::static_block());
+    std::swap(src, dst);
+  }
+  // All-1 boundary: the harmonic interior converges to 1.
+  EXPECT_NEAR(src.segment((n / 2) * n + n / 2)[n / 2], 1.0, 1e-6);
+}
+
+TEST(Jacobi3dUpdates, Formula) {
+  EXPECT_EQ(jacobi3d_updates_per_sweep(3), 1u);
+  EXPECT_EQ(jacobi3d_updates_per_sweep(10), 512u);
+}
+
+TEST(Jacobi3dProgram, AccessCountMatchesFormula) {
+  trace::VirtualArena arena;
+  const auto grids = make_virtual_jacobi3d(arena, 7, jacobi_plain());
+  Jacobi3dProgram p(grids, {{0, 25}}, 1);  // all (7-2)^2 rows
+  EXPECT_EQ(p.total_accesses(), 25u * 5 * 7);
+  std::vector<sim::Access> buf(64);
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::size_t got = p.next_batch(buf);
+    if (got == 0) break;
+    seen += got;
+  }
+  EXPECT_EQ(seen, p.total_accesses());
+}
+
+TEST(Jacobi3dProgram, SevenPointPattern) {
+  trace::VirtualArena arena;
+  const auto grids = make_virtual_jacobi3d(arena, 5, jacobi_plain());
+  Jacobi3dProgram p(grids, {{0, 1}}, 1);  // row (z=1, y=1)
+  std::vector<sim::Access> buf(7);
+  ASSERT_EQ(p.next_batch(buf), 7u);
+  const std::size_t n = 5;
+  const auto& src = grids.source;
+  const auto& dst = grids.dest;
+  EXPECT_EQ(buf[0].addr, src.address_of(1 * n + 0, 1));  // y-1
+  EXPECT_EQ(buf[1].addr, src.address_of(1 * n + 2, 1));  // y+1
+  EXPECT_EQ(buf[2].addr, src.address_of(0 * n + 1, 1));  // z-1
+  EXPECT_EQ(buf[3].addr, src.address_of(2 * n + 1, 1));  // z+1
+  EXPECT_EQ(buf[4].addr, src.address_of(1 * n + 1, 0));  // x-1
+  EXPECT_EQ(buf[5].addr, src.address_of(1 * n + 1, 2));  // x+1
+  EXPECT_EQ(buf[6].addr, dst.address_of(1 * n + 1, 1));  // store
+  EXPECT_EQ(buf[6].op, sim::Op::kStore);
+  EXPECT_EQ(buf[6].flops_before, 6);
+  EXPECT_TRUE(buf[0].begins_iteration);
+}
+
+TEST(Jacobi3dWorkload, CoversInterior) {
+  trace::VirtualArena arena;
+  const auto grids = make_virtual_jacobi3d(arena, 12, jacobi_plain());
+  auto wl = make_jacobi3d_workload(grids, 7, sched::Schedule::static_chunk(1), 2);
+  ASSERT_EQ(wl.size(), 7u);
+  std::uint64_t total = 0;
+  for (const auto& p : wl) total += p->total_accesses();
+  EXPECT_EQ(total, jacobi3d_updates_per_sweep(12) * 7 * 2);
+}
+
+}  // namespace
+}  // namespace mcopt::kernels

@@ -1,0 +1,153 @@
+#include "kernels/lbm/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kernels/lbm/lattice.h"
+
+namespace mcopt::kernels::lbm {
+namespace {
+
+TEST(Lattice, VelocitySetIsD3Q19) {
+  EXPECT_EQ(kQ, 19u);
+  int rest = 0, axis = 0, diag = 0;
+  for (const auto& c : kVelocity) {
+    const int norm2 = c[0] * c[0] + c[1] * c[1] + c[2] * c[2];
+    if (norm2 == 0) ++rest;
+    if (norm2 == 1) ++axis;
+    if (norm2 == 2) ++diag;
+  }
+  EXPECT_EQ(rest, 1);
+  EXPECT_EQ(axis, 6);
+  EXPECT_EQ(diag, 12);
+}
+
+TEST(Lattice, WeightsSumToOne) {
+  double sum = 0.0;
+  for (double w : kWeight) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-15);
+}
+
+TEST(Lattice, VelocityFirstMomentVanishes) {
+  for (int d = 0; d < 3; ++d) {
+    double m = 0.0;
+    for (std::size_t v = 0; v < kQ; ++v) m += kWeight[v] * kVelocity[v][d];
+    EXPECT_NEAR(m, 0.0, 1e-15);
+  }
+}
+
+TEST(Lattice, SecondMomentIsIsotropicThird) {
+  // sum_v w_v c_va c_vb = (1/3) delta_ab for D3Q19.
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b) {
+      double m = 0.0;
+      for (std::size_t v = 0; v < kQ; ++v)
+        m += kWeight[v] * kVelocity[v][a] * kVelocity[v][b];
+      EXPECT_NEAR(m, a == b ? 1.0 / 3.0 : 0.0, 1e-15);
+    }
+}
+
+TEST(Lattice, OppositeIsInvolutionAndNegates) {
+  for (std::size_t v = 0; v < kQ; ++v) {
+    EXPECT_EQ(kOpposite[kOpposite[v]], v);
+    for (int d = 0; d < 3; ++d)
+      EXPECT_EQ(kVelocity[kOpposite[v]][d], -kVelocity[v][d]);
+  }
+}
+
+TEST(Lattice, EquilibriumMomentsMatch) {
+  const double rho = 1.1;
+  const double ux = 0.03, uy = -0.02, uz = 0.01;
+  double sum = 0.0, mx = 0.0, my = 0.0, mz = 0.0;
+  for (std::size_t v = 0; v < kQ; ++v) {
+    const double f = equilibrium(v, rho, ux, uy, uz);
+    sum += f;
+    mx += f * kVelocity[v][0];
+    my += f * kVelocity[v][1];
+    mz += f * kVelocity[v][2];
+  }
+  EXPECT_NEAR(sum, rho, 1e-12);
+  EXPECT_NEAR(mx, rho * ux, 1e-12);
+  EXPECT_NEAR(my, rho * uy, 1e-12);
+  EXPECT_NEAR(mz, rho * uz, 1e-12);
+}
+
+TEST(Lattice, Viscosity) {
+  EXPECT_NEAR(viscosity(0.5), 0.0, 1e-15);
+  EXPECT_NEAR(viscosity(0.8), 0.1, 1e-15);
+}
+
+TEST(Geometry, ExtentsIncludeGhostsAndPadding) {
+  Geometry g{10, 12, 14, 6, DataLayout::kIJKv};
+  EXPECT_EQ(g.ex(), 18u);
+  EXPECT_EQ(g.ey(), 14u);
+  EXPECT_EQ(g.ez(), 16u);
+  EXPECT_EQ(g.interior_cells(), 10u * 12 * 14);
+  EXPECT_EQ(g.f_elems(), 2u * 19 * 18 * 14 * 16);
+  EXPECT_NO_THROW(g.validate());
+  g.nx = 0;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+class IndexBijection : public ::testing::TestWithParam<DataLayout> {};
+
+TEST_P(IndexBijection, FIndexIsInjectiveAndInBounds) {
+  Geometry g{4, 3, 2, 1, GetParam()};
+  std::set<std::size_t> seen;
+  for (std::size_t t = 0; t < 2; ++t)
+    for (std::size_t z = 0; z < g.ez(); ++z)
+      for (std::size_t y = 0; y < g.ey(); ++y)
+        for (std::size_t v = 0; v < kQ; ++v)
+          for (std::size_t x = 0; x < g.ex(); ++x) {
+            const std::size_t idx = g.f_index(x, y, z, v, t);
+            ASSERT_LT(idx, g.f_elems());
+            ASSERT_TRUE(seen.insert(idx).second)
+                << "collision at " << x << "," << y << "," << z << "," << v;
+          }
+  EXPECT_EQ(seen.size(), g.f_elems());
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, IndexBijection,
+                         ::testing::Values(DataLayout::kIJKv, DataLayout::kIvJK));
+
+TEST(Geometry, IJKvStridesAreSoA) {
+  Geometry g{8, 8, 8, 0, DataLayout::kIJKv};
+  // x is fastest; v stride = whole spatial array.
+  EXPECT_EQ(g.f_index(2, 0, 0, 0, 0) - g.f_index(1, 0, 0, 0, 0), 1u);
+  EXPECT_EQ(g.f_index(0, 0, 0, 1, 0) - g.f_index(0, 0, 0, 0, 0),
+            g.ex() * g.ey() * g.ez());
+}
+
+TEST(Geometry, IvJKStridesInterleaveV) {
+  Geometry g{8, 8, 8, 0, DataLayout::kIvJK};
+  // x fastest, v stride = one x-row.
+  EXPECT_EQ(g.f_index(2, 0, 0, 0, 0) - g.f_index(1, 0, 0, 0, 0), 1u);
+  EXPECT_EQ(g.f_index(0, 0, 0, 1, 0) - g.f_index(0, 0, 0, 0, 0), g.ex());
+}
+
+TEST(Geometry, PaddingChangesRowStride) {
+  Geometry plain{62, 62, 62, 0, DataLayout::kIJKv};
+  Geometry padded{62, 62, 62, 2, DataLayout::kIJKv};
+  // 62+2 = 64 elements = 512 bytes: a power-of-two row. Padding breaks it.
+  EXPECT_EQ(plain.f_index(0, 1, 0, 0, 0) - plain.f_index(0, 0, 0, 0, 0), 64u);
+  EXPECT_EQ(padded.f_index(0, 1, 0, 0, 0) - padded.f_index(0, 0, 0, 0, 0), 66u);
+}
+
+TEST(Geometry, CellIndexCoversMask) {
+  Geometry g{3, 4, 5, 0, DataLayout::kIJKv};
+  std::set<std::size_t> seen;
+  for (std::size_t z = 0; z < g.ez(); ++z)
+    for (std::size_t y = 0; y < g.ey(); ++y)
+      for (std::size_t x = 0; x < g.ex(); ++x)
+        ASSERT_TRUE(seen.insert(g.cell_index(x, y, z)).second);
+  EXPECT_EQ(seen.size(), g.cells());
+}
+
+TEST(Geometry, LayoutNames) {
+  EXPECT_STREQ(to_string(DataLayout::kIJKv), "IJKv");
+  EXPECT_STREQ(to_string(DataLayout::kIvJK), "IvJK");
+}
+
+}  // namespace
+}  // namespace mcopt::kernels::lbm

@@ -1,0 +1,187 @@
+#include "kernels/lbm/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcopt::kernels::lbm {
+namespace {
+
+Solver::Params base_params(std::size_t n, DataLayout layout = DataLayout::kIJKv) {
+  Solver::Params p;
+  p.geometry = Geometry{n, n, n, 0, layout};
+  p.tau = 0.6;
+  return p;
+}
+
+TEST(LbmSolver, RejectsBadTau) {
+  auto p = base_params(4);
+  p.tau = 0.5;
+  EXPECT_THROW(Solver{p}, std::invalid_argument);
+}
+
+TEST(LbmSolver, EquilibriumAtRestIsStationary) {
+  Solver s(base_params(6));
+  s.initialize(1.0);
+  const double mass0 = s.total_mass();
+  for (int step = 0; step < 5; ++step) s.step();
+  EXPECT_NEAR(s.total_mass(), mass0, 1e-10);
+  const auto u = s.velocity(3, 3, 3);
+  EXPECT_NEAR(u[0], 0.0, 1e-14);
+  EXPECT_NEAR(u[1], 0.0, 1e-14);
+  EXPECT_NEAR(u[2], 0.0, 1e-14);
+  EXPECT_NEAR(s.density(3, 3, 3), 1.0, 1e-14);
+}
+
+TEST(LbmSolver, MassConservedExactlyUnderFlow) {
+  auto p = base_params(8);
+  p.force = {1e-5, 0.0, 0.0};
+  Solver s(p);
+  s.make_channel_walls_z();
+  s.initialize(1.0);
+  const double mass0 = s.total_mass();
+  for (int step = 0; step < 50; ++step) s.step();
+  EXPECT_NEAR(s.total_mass(), mass0, mass0 * 1e-12);
+}
+
+TEST(LbmSolver, ForceAddsMomentumEachStep) {
+  // Fully periodic, no walls: momentum grows by force * fluid_cells per step
+  // (Shan-Chen shift adds tau*F to the equilibrium velocity; the post-
+  // collision momentum gain per cell and step is F).
+  auto p = base_params(6);
+  p.force = {2e-5, 0.0, 0.0};
+  Solver s(p);
+  s.initialize(1.0);
+  const int steps = 10;
+  for (int step = 0; step < steps; ++step) s.step();
+  const auto mom = s.total_momentum();
+  const double expected =
+      2e-5 * static_cast<double>(s.fluid_cells()) * steps;
+  EXPECT_NEAR(mom[0], expected, expected * 0.02);
+  EXPECT_NEAR(mom[1], 0.0, 1e-12);
+}
+
+TEST(LbmSolver, BounceBackStopsFlowAtWalls) {
+  auto p = base_params(8);
+  p.force = {1e-5, 0.0, 0.0};
+  Solver s(p);
+  s.make_channel_walls_z();
+  s.initialize(1.0);
+  for (int step = 0; step < 200; ++step) s.step();
+  // Velocity near the wall must be much smaller than at the channel centre.
+  const double near_wall = s.velocity(4, 4, 2)[0];
+  const double centre = s.velocity(4, 4, 4)[0];  // nz=8: centre-ish layer
+  EXPECT_GT(centre, 1.5 * near_wall);
+  EXPECT_GT(near_wall, 0.0);
+}
+
+TEST(LbmSolver, PoiseuilleProfileMatchesParabola) {
+  // Channel of height H = nz-2 fluid layers between bounce-back walls.
+  const std::size_t n = 16;
+  auto p = base_params(n);
+  const double g = 1e-6;
+  p.force = {g, 0.0, 0.0};
+  p.tau = 0.8;
+  Solver s(p);
+  s.make_channel_walls_z();
+  s.initialize(1.0);
+  // Run to steady state (diffusion time ~ H^2/nu).
+  for (int step = 0; step < 3000; ++step) s.step();
+
+  const double nu = viscosity(p.tau);
+  // Half-way bounce-back: walls sit at z = 1.5 and z = nz-0.5 in lattice
+  // units; channel width h = nz - 2.
+  const double h = static_cast<double>(n) - 2.0;
+  double max_rel_err = 0.0;
+  for (std::size_t z = 2; z <= n - 1; ++z) {
+    const double zeta = static_cast<double>(z) - 1.5;
+    const double analytic = g / (2.0 * nu) * zeta * (h - zeta);
+    const double measured = s.velocity(n / 2, n / 2, z)[0];
+    max_rel_err = std::max(max_rel_err,
+                           std::abs(measured - analytic) / std::abs(analytic));
+  }
+  EXPECT_LT(max_rel_err, 0.05);
+}
+
+TEST(LbmSolver, LayoutsProduceIdenticalPhysics) {
+  auto run = [](DataLayout layout, std::size_t pad) {
+    auto p = base_params(6, layout);
+    p.geometry.pad_x = pad;
+    p.force = {1e-5, 2e-6, 0.0};
+    Solver s(p);
+    s.make_channel_walls_z();
+    s.initialize(1.0);
+    for (int step = 0; step < 20; ++step) s.step();
+    return s;
+  };
+  const Solver a = run(DataLayout::kIJKv, 0);
+  const Solver b = run(DataLayout::kIvJK, 0);
+  const Solver c = run(DataLayout::kIJKv, 3);
+  for (std::size_t z = 1; z <= 6; ++z)
+    for (std::size_t y = 1; y <= 6; ++y)
+      for (std::size_t x = 1; x <= 6; ++x)
+        for (std::size_t v = 0; v < kQ; ++v) {
+          ASSERT_DOUBLE_EQ(a.f_at(x, y, z, v), b.f_at(x, y, z, v));
+          ASSERT_DOUBLE_EQ(a.f_at(x, y, z, v), c.f_at(x, y, z, v));
+        }
+}
+
+TEST(LbmSolver, FusedLoopMatchesNested) {
+  auto run = [](bool fused) {
+    auto p = base_params(6);
+    p.fused_zy = fused;
+    p.force = {1e-5, 0.0, 0.0};
+    Solver s(p);
+    s.make_channel_walls_z();
+    s.initialize(1.0);
+    for (int step = 0; step < 15; ++step) s.step();
+    return s;
+  };
+  const Solver a = run(false);
+  const Solver b = run(true);
+  for (std::size_t z = 1; z <= 6; ++z)
+    for (std::size_t x = 1; x <= 6; ++x)
+      for (std::size_t v = 0; v < kQ; ++v)
+        ASSERT_DOUBLE_EQ(a.f_at(x, 3, z, v), b.f_at(x, 3, z, v));
+}
+
+TEST(LbmSolver, SolidBookkeeping) {
+  Solver s(base_params(4));
+  EXPECT_EQ(s.fluid_cells(), 64u);
+  s.set_solid(2, 2, 2);
+  EXPECT_EQ(s.fluid_cells(), 63u);
+  s.set_solid(2, 2, 2);  // idempotent
+  EXPECT_EQ(s.fluid_cells(), 63u);
+  EXPECT_TRUE(s.is_solid(2, 2, 2));
+  EXPECT_FALSE(s.is_solid(1, 1, 1));
+  EXPECT_THROW(s.set_solid(0, 1, 1), std::out_of_range);
+  EXPECT_THROW(s.set_solid(1, 5, 1), std::out_of_range);
+}
+
+TEST(LbmSolver, StepReturnsPositiveTime) {
+  Solver s(base_params(6));
+  s.initialize();
+  EXPECT_GT(s.step(), 0.0);
+  EXPECT_EQ(s.steps_taken(), 1u);
+}
+
+TEST(LbmSolver, FlowPastObstacleConservesMass) {
+  auto p = base_params(10);
+  p.force = {5e-6, 0.0, 0.0};
+  Solver s(p);
+  s.make_channel_walls_z();
+  // A small block obstacle in the channel.
+  for (std::size_t z = 4; z <= 6; ++z)
+    for (std::size_t y = 4; y <= 6; ++y)
+      for (std::size_t x = 4; x <= 6; ++x) s.set_solid(x, y, z);
+  s.initialize(1.0);
+  const double mass0 = s.total_mass();
+  for (int step = 0; step < 100; ++step) s.step();
+  EXPECT_NEAR(s.total_mass(), mass0, mass0 * 1e-12);
+  // Flow deflects around the obstacle: velocity above it exceeds velocity
+  // right behind it.
+  EXPECT_GT(s.velocity(5, 5, 8)[0], 0.0);
+}
+
+}  // namespace
+}  // namespace mcopt::kernels::lbm

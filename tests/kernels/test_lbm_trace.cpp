@@ -1,0 +1,138 @@
+#include "kernels/lbm/trace_program.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mcopt::kernels::lbm {
+namespace {
+
+std::vector<sim::Access> drain(sim::AccessProgram& p) {
+  std::vector<sim::Access> all;
+  std::vector<sim::Access> buf(17);
+  while (true) {
+    const std::size_t got = p.next_batch(buf);
+    if (got == 0) break;
+    all.insert(all.end(), buf.begin(), buf.begin() + got);
+  }
+  return all;
+}
+
+Geometry small_geo(DataLayout layout = DataLayout::kIJKv) {
+  return Geometry{4, 3, 5, 0, layout};
+}
+
+LbmAddresses addrs(const Geometry& g) {
+  LbmAddresses a;
+  a.f_base = arch::Addr{1} << 32;
+  a.mask_base = a.f_base + g.f_elems() * 8;
+  return a;
+}
+
+TEST(LbmProgram, AccessCountFormula) {
+  const Geometry g = small_geo();
+  LbmProgram p(g, addrs(g), LoopOrder::kOuterZ, {{0, g.nz}}, 1);
+  EXPECT_EQ(p.total_accesses(), g.interior_cells() * 39);
+  EXPECT_EQ(drain(p).size(), g.interior_cells() * 39);
+}
+
+TEST(LbmProgram, PerSitePattern) {
+  const Geometry g = small_geo();
+  const LbmAddresses a = addrs(g);
+  LbmProgram p(g, a, LoopOrder::kOuterZ, {{0, 1}}, 1);
+  const auto all = drain(p);
+  // First site (1,1,1): mask load, 19 local loads, 19 neighbour stores.
+  EXPECT_EQ(all[0].addr, a.mask_base + g.cell_index(1, 1, 1));
+  EXPECT_EQ(all[0].op, sim::Op::kLoad);
+  EXPECT_TRUE(all[0].begins_iteration);
+  for (std::size_t v = 0; v < kQ; ++v) {
+    EXPECT_EQ(all[1 + v].addr, a.f_base + g.f_index(1, 1, 1, v, 0) * 8);
+    EXPECT_EQ(all[1 + v].op, sim::Op::kLoad);
+  }
+  for (std::size_t v = 0; v < kQ; ++v) {
+    const auto& store = all[20 + v];
+    EXPECT_EQ(store.op, sim::Op::kStore);
+    const auto tx = static_cast<std::size_t>(1 + kVelocity[v][0]);
+    const auto ty = static_cast<std::size_t>(1 + kVelocity[v][1]);
+    const auto tz = static_cast<std::size_t>(1 + kVelocity[v][2]);
+    EXPECT_EQ(store.addr, a.f_base + g.f_index(tx, ty, tz, v, 1) * 8);
+  }
+  const FlopModel fm;
+  EXPECT_EQ(all[20].flops_before, fm.first_store_slots());
+  EXPECT_EQ(all[21].flops_before, fm.per_store_slots());
+}
+
+TEST(LbmProgram, FlopBalanceNearPaper) {
+  // ~186 flops at 456 bytes/site gives the paper's ~2.5 bytes/flop balance.
+  const FlopModel fm;
+  const unsigned flops = fm.before_first_store + 18 * fm.per_store;
+  EXPECT_NEAR(456.0 / flops, 2.5, 0.2);
+  // FPU-slot conversion: in-order bubbles make a flop cost > 1 slot.
+  EXPECT_GT(fm.first_store_slots(), fm.before_first_store);
+  const unsigned slots = fm.first_store_slots() + 18u * fm.per_store_slots();
+  // Chip FPU bound 9.6 GFslots/s over ~335 slots/site: ~29 MLUPs, just above
+  // the paper's measured ~25 MLUPs plateau.
+  EXPECT_NEAR(9.6e9 / slots / 1e6, 28.0, 4.0);
+}
+
+TEST(LbmProgram, TogglesFlipEachStep) {
+  const Geometry g = small_geo();
+  const LbmAddresses a = addrs(g);
+  LbmProgram p(g, a, LoopOrder::kOuterZ, {{0, g.nz}}, 2);
+  const auto all = drain(p);
+  const std::size_t per_step = g.interior_cells() * 39;
+  ASSERT_EQ(all.size(), 2 * per_step);
+  // Step 0 reads toggle 0; step 1 reads toggle 1.
+  EXPECT_EQ(all[1].addr, a.f_base + g.f_index(1, 1, 1, 0, 0) * 8);
+  EXPECT_EQ(all[per_step + 1].addr, a.f_base + g.f_index(1, 1, 1, 0, 1) * 8);
+}
+
+TEST(LbmProgram, CoalescedOrderCoversSameSites) {
+  const Geometry g = small_geo();
+  const LbmAddresses a = addrs(g);
+  LbmProgram outer(g, a, LoopOrder::kOuterZ, {{0, g.nz}}, 1);
+  LbmProgram fused(g, a, LoopOrder::kCoalescedZY, {{0, g.nz * g.ny}}, 1);
+  auto key = [](const sim::Access& acc) {
+    return std::pair<arch::Addr, bool>(acc.addr, acc.op == sim::Op::kStore);
+  };
+  std::multiset<std::pair<arch::Addr, bool>> s1, s2;
+  for (const auto& acc : drain(outer)) s1.insert(key(acc));
+  for (const auto& acc : drain(fused)) s2.insert(key(acc));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(LbmProgram, IterationMarkersPerSite) {
+  const Geometry g = small_geo();
+  LbmProgram p(g, addrs(g), LoopOrder::kOuterZ, {{0, g.nz}}, 1);
+  std::size_t markers = 0;
+  for (const auto& acc : drain(p))
+    if (acc.begins_iteration) ++markers;
+  EXPECT_EQ(markers, g.interior_cells());  // one per site
+}
+
+TEST(LbmWorkload, PartitionsCoverDomain) {
+  const Geometry g{6, 6, 10, 0, DataLayout::kIvJK};
+  for (LoopOrder order : {LoopOrder::kOuterZ, LoopOrder::kCoalescedZY}) {
+    auto wl = make_lbm_workload(g, addrs(g), order, 4,
+                                sched::Schedule::static_block(), 1);
+    ASSERT_EQ(wl.size(), 4u);
+    std::uint64_t total = 0;
+    for (const auto& p : wl) total += p->total_accesses();
+    EXPECT_EQ(total, g.interior_cells() * 39);
+  }
+}
+
+TEST(LbmWorkload, ModuloImbalanceVisibleInOuterZ) {
+  // nz = 10 over 4 threads: thread 0 gets 3 planes, thread 3 gets 2.
+  const Geometry g{6, 6, 10, 0, DataLayout::kIJKv};
+  auto wl = make_lbm_workload(g, addrs(g), LoopOrder::kOuterZ, 4,
+                              sched::Schedule::static_block(), 1);
+  EXPECT_GT(wl[0]->total_accesses(), wl[3]->total_accesses());
+  // Coalescing z and y (60 iterations over 4 threads) evens it out.
+  auto wl2 = make_lbm_workload(g, addrs(g), LoopOrder::kCoalescedZY, 4,
+                               sched::Schedule::static_block(), 1);
+  EXPECT_EQ(wl2[0]->total_accesses(), wl2[3]->total_accesses());
+}
+
+}  // namespace
+}  // namespace mcopt::kernels::lbm

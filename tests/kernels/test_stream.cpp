@@ -1,0 +1,114 @@
+#include "kernels/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mcopt::kernels {
+namespace {
+
+TEST(StreamNative, KernelsComputeCorrectResults) {
+  const std::size_t n = 1000;
+  std::vector<double> a(n, 1.0), b(n, 0.0), c(n, 0.0);
+  const double s = 3.0;
+
+  stream_sweep_seconds(StreamOp::kCopy, a.data(), b.data(), c.data(), n, s);
+  for (double v : c) ASSERT_DOUBLE_EQ(v, 1.0);  // c = a
+
+  stream_sweep_seconds(StreamOp::kScale, a.data(), b.data(), c.data(), n, s);
+  for (double v : b) ASSERT_DOUBLE_EQ(v, 3.0);  // b = s*c
+
+  stream_sweep_seconds(StreamOp::kAdd, a.data(), b.data(), c.data(), n, s);
+  for (double v : c) ASSERT_DOUBLE_EQ(v, 4.0);  // c = a+b
+
+  stream_sweep_seconds(StreamOp::kTriad, a.data(), b.data(), c.data(), n, s);
+  for (double v : a) ASSERT_DOUBLE_EQ(v, 15.0);  // a = b + s*c
+}
+
+TEST(StreamNative, SweepTimeIsPositive) {
+  const std::size_t n = 1 << 16;
+  std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 3.0);
+  EXPECT_GT(stream_sweep_seconds(StreamOp::kTriad, a.data(), b.data(), c.data(),
+                                 n, 2.0),
+            0.0);
+}
+
+TEST(StreamBytes, ReportedFollowsConvention) {
+  EXPECT_EQ(stream_reported_bytes(StreamOp::kCopy, 100), 1600u);
+  EXPECT_EQ(stream_reported_bytes(StreamOp::kScale, 100), 1600u);
+  EXPECT_EQ(stream_reported_bytes(StreamOp::kAdd, 100), 2400u);
+  EXPECT_EQ(stream_reported_bytes(StreamOp::kTriad, 100), 2400u);
+}
+
+TEST(StreamBytes, ActualAddsRfo) {
+  // The paper: actual triad traffic is 4/3 of reported.
+  EXPECT_EQ(stream_actual_bytes(StreamOp::kTriad, 300),
+            stream_reported_bytes(StreamOp::kTriad, 300) * 4 / 3);
+  // Copy: 3/2 of reported.
+  EXPECT_EQ(stream_actual_bytes(StreamOp::kCopy, 300),
+            stream_reported_bytes(StreamOp::kCopy, 300) * 3 / 2);
+}
+
+TEST(StreamDescs, RolesPerOp) {
+  const StreamBases bases{100, 200, 300};
+  const auto copy = stream_descs(StreamOp::kCopy, bases);
+  ASSERT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy[0].base, 100u);  // read a
+  EXPECT_FALSE(copy[0].write);
+  EXPECT_EQ(copy[1].base, 300u);  // write c
+  EXPECT_TRUE(copy[1].write);
+
+  const auto triad = stream_descs(StreamOp::kTriad, bases);
+  ASSERT_EQ(triad.size(), 3u);
+  EXPECT_EQ(triad[0].base, 200u);  // read b
+  EXPECT_EQ(triad[1].base, 300u);  // read c
+  EXPECT_EQ(triad[2].base, 100u);  // write a
+  EXPECT_TRUE(triad[2].write);
+  EXPECT_EQ(triad[2].flops_before, 2);
+
+  const auto add = stream_descs(StreamOp::kAdd, bases);
+  ASSERT_EQ(add.size(), 3u);
+  EXPECT_TRUE(add[2].write);
+}
+
+TEST(StreamWorkload, SizesAndTraffic) {
+  const StreamBases bases{0, 1 << 20, 2 << 20};
+  auto wl = make_stream_workload(StreamOp::kTriad, bases, 1000, 8,
+                                 sched::Schedule::static_block(), 2);
+  ASSERT_EQ(wl.size(), 8u);
+  std::uint64_t total = 0;
+  for (const auto& p : wl) total += p->total_accesses();
+  EXPECT_EQ(total, 1000u * 3 * 2);
+}
+
+TEST(CommonBlock, BasesFollowFortranLayout) {
+  const StreamBases bases = common_block_bases(0x10000, 100, 28);
+  EXPECT_EQ(bases.a, 0x10000u);
+  EXPECT_EQ(bases.b, 0x10000u + 128 * 8);
+  EXPECT_EQ(bases.c, 0x10000u + 2 * 128 * 8);
+}
+
+TEST(CommonBlock, ZeroOffsetBasesAliasWhenNIsPowerOfTwo) {
+  const arch::AddressMap map;
+  const StreamBases bases = common_block_bases(0, 1 << 20, 0);
+  EXPECT_EQ(map.controller_of(bases.a), map.controller_of(bases.b));
+  EXPECT_EQ(map.controller_of(bases.a), map.controller_of(bases.c));
+}
+
+TEST(CommonBlock, Offset32SeparatesB) {
+  // The paper: at odd multiples of 32 DP words, bit 8 differs for array B.
+  const arch::AddressMap map;
+  const StreamBases bases = common_block_bases(0, 1 << 20, 32);
+  EXPECT_NE(map.controller_of(bases.a), map.controller_of(bases.b));
+  EXPECT_EQ(map.controller_of(bases.a), map.controller_of(bases.c));
+}
+
+TEST(StreamOpNames, ToString) {
+  EXPECT_EQ(to_string(StreamOp::kCopy), "copy");
+  EXPECT_EQ(to_string(StreamOp::kScale), "scale");
+  EXPECT_EQ(to_string(StreamOp::kAdd), "add");
+  EXPECT_EQ(to_string(StreamOp::kTriad), "triad");
+}
+
+}  // namespace
+}  // namespace mcopt::kernels

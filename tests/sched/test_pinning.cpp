@@ -1,0 +1,58 @@
+#include "sched/pinning.h"
+
+#include <gtest/gtest.h>
+
+#include <sched.h>
+
+namespace mcopt::sched {
+namespace {
+
+TEST(Pinning, OnlineCpusPositive) { EXPECT_GE(online_cpus(), 1u); }
+
+TEST(Pinning, PinToCpuZeroSucceeds) {
+  // CPU 0 always exists; restore the original mask afterwards.
+  cpu_set_t saved;
+  CPU_ZERO(&saved);
+  ASSERT_EQ(sched_getaffinity(0, sizeof(saved), &saved), 0);
+  EXPECT_TRUE(pin_current_thread(0));
+  cpu_set_t now;
+  CPU_ZERO(&now);
+  ASSERT_EQ(sched_getaffinity(0, sizeof(now), &now), 0);
+  EXPECT_TRUE(CPU_ISSET(0, &now));
+  EXPECT_EQ(CPU_COUNT(&now), 1);
+  sched_setaffinity(0, sizeof(saved), &saved);
+}
+
+TEST(Pinning, OutOfRangeCpuFails) {
+  EXPECT_FALSE(pin_current_thread(CPU_SETSIZE + 10));
+}
+
+TEST(Pinning, ScopedPinRestoresMask) {
+  cpu_set_t before;
+  CPU_ZERO(&before);
+  ASSERT_EQ(sched_getaffinity(0, sizeof(before), &before), 0);
+  {
+    ScopedPin pin(0);
+    EXPECT_TRUE(pin.ok());
+    cpu_set_t during;
+    CPU_ZERO(&during);
+    ASSERT_EQ(sched_getaffinity(0, sizeof(during), &during), 0);
+    EXPECT_EQ(CPU_COUNT(&during), 1);
+  }
+  cpu_set_t after;
+  CPU_ZERO(&after);
+  ASSERT_EQ(sched_getaffinity(0, sizeof(after), &after), 0);
+  EXPECT_TRUE(CPU_EQUAL(&before, &after));
+}
+
+TEST(Pinning, OmpThreadsPinnable) {
+  cpu_set_t saved;
+  CPU_ZERO(&saved);
+  ASSERT_EQ(sched_getaffinity(0, sizeof(saved), &saved), 0);
+  const unsigned pinned = pin_omp_threads();
+  EXPECT_GE(pinned, 1u);
+  sched_setaffinity(0, sizeof(saved), &saved);
+}
+
+}  // namespace
+}  // namespace mcopt::sched

@@ -1,0 +1,179 @@
+#include "seg/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "seg/seg_array.h"
+
+namespace mcopt::seg {
+namespace {
+
+LayoutSpec spec512() {
+  LayoutSpec spec;
+  spec.base_align = 8192;
+  spec.segment_align = 512;
+  return spec;
+}
+
+seg_array<double> make_iota(std::vector<std::size_t> sizes) {
+  seg_array<double> a(std::move(sizes), spec512());
+  double v = 0.0;
+  for (auto it = a.begin(); it != a.end(); ++it) *it = v++;
+  return a;
+}
+
+static_assert(SegmentedIterator<seg_array<double>::iterator>);
+static_assert(SegmentedIterator<seg_array<double>::const_iterator>);
+static_assert(!SegmentedIterator<double*>);
+static_assert(!SegmentedIterator<std::vector<double>::iterator>);
+
+TEST(ForEachLocalRange, CoversExactlyOnce) {
+  auto a = make_iota({3, 0, 4, 1});
+  std::vector<double> seen;
+  for_each_local_range(a.begin(), a.end(), [&](const double* lo, const double* hi) {
+    seen.insert(seen.end(), lo, hi);
+  });
+  std::vector<double> expected(8);
+  std::iota(expected.begin(), expected.end(), 0.0);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(ForEachLocalRange, SubrangeWithinOneSegment) {
+  auto a = make_iota({10});
+  auto first = a.begin();
+  ++first;
+  auto last = first;
+  ++last;
+  ++last;  // [1, 3)
+  std::vector<double> seen;
+  for_each_local_range(first, last, [&](const double* lo, const double* hi) {
+    seen.insert(seen.end(), lo, hi);
+  });
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(ForEachLocalRange, SubrangeAcrossSegments) {
+  auto a = make_iota({3, 3, 3});
+  auto first = a.begin();
+  ++first;  // element 1
+  auto last = a.end();
+  --last;  // element 8 excluded
+  std::vector<double> seen;
+  for_each_local_range(first, last, [&](const double* lo, const double* hi) {
+    seen.insert(seen.end(), lo, hi);
+  });
+  EXPECT_EQ(seen, (std::vector<double>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ForEachLocalRange, EmptyRange) {
+  auto a = make_iota({3});
+  int calls = 0;
+  for_each_local_range(a.begin(), a.begin(), [&](const double*, const double*) {
+    ++calls;
+  });
+  for_each_local_range(a.end(), a.end(), [&](const double*, const double*) {
+    ++calls;
+  });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SegmentedForEach, MatchesStd) {
+  auto a = make_iota({5, 2, 6});
+  double sum = 0.0;
+  seg::for_each(a.begin(), a.end(), [&](double v) { sum += v; });
+  EXPECT_DOUBLE_EQ(sum, 12.0 * 13.0 / 2.0);
+}
+
+TEST(PlainForEach, OverloadResolvesForPointers) {
+  std::vector<double> v = {1, 2, 3};
+  double sum = 0.0;
+  seg::for_each(v.begin(), v.end(), [&](double x) { sum += x; });
+  EXPECT_DOUBLE_EQ(sum, 6.0);
+}
+
+TEST(SegmentedFill, FillsAll) {
+  seg_array<double> a({4, 0, 4}, spec512());
+  seg::fill(a.begin(), a.end(), 2.5);
+  for (double v : a) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(SegmentedCopy, ToPlainVector) {
+  auto a = make_iota({3, 5});
+  std::vector<double> out(a.size(), -1.0);
+  auto end = seg::copy(a.begin(), a.end(), out.begin());
+  EXPECT_EQ(end, out.end());
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_DOUBLE_EQ(out[i], double(i));
+}
+
+TEST(SegmentedCopy, BetweenSegArraysWithDifferentSegmentation) {
+  auto a = make_iota({7, 1});
+  seg_array<double> b({2, 2, 4}, spec512());
+  seg::copy(a.begin(), a.end(), b.begin());
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(b[i], double(i));
+}
+
+TEST(SegmentedTransform, Unary) {
+  auto a = make_iota({4, 4});
+  std::vector<double> out(8);
+  seg::transform(a.begin(), a.end(), out.begin(), [](double v) { return v * 2; });
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(out[i], 2.0 * double(i));
+}
+
+TEST(SegmentedTransform, BinaryWithSegmentedSecondInput) {
+  auto a = make_iota({4, 4});
+  auto b = make_iota({8});
+  seg_array<double> out({3, 5}, spec512());
+  seg::transform(a.begin(), a.end(), b.begin(), out.begin(),
+                 [](double x, double y) { return x + y; });
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(out[i], 2.0 * double(i));
+}
+
+TEST(SegmentedAccumulate, MatchesClosedForm) {
+  auto a = make_iota({100, 0, 155, 1});
+  const double sum = seg::accumulate(a.begin(), a.end(), 0.0);
+  const double n = 256.0;
+  EXPECT_DOUBLE_EQ(sum, n * (n - 1) / 2.0);
+}
+
+TEST(SegmentedAccumulate, CustomOp) {
+  auto a = make_iota({3});  // 0,1,2
+  const double prod =
+      seg::accumulate(a.begin(), a.end(), 1.0,
+                      [](double acc, double v) { return acc * (v + 1); });
+  EXPECT_DOUBLE_EQ(prod, 6.0);
+}
+
+TEST(SegmentedInnerProduct, MatchesStd) {
+  auto a = make_iota({5, 3});
+  std::vector<double> b(8, 2.0);
+  const double dot = seg::inner_product(a.begin(), a.end(), b.begin(), 0.0);
+  EXPECT_DOUBLE_EQ(dot, 2.0 * 28.0);
+}
+
+TEST(SegmentedEqual, DetectsEqualityAndMismatch) {
+  auto a = make_iota({4, 4});
+  auto b = make_iota({2, 6});
+  EXPECT_TRUE(seg::equal(a.begin(), a.end(), b.begin()));
+  b[3] = 99.0;
+  EXPECT_FALSE(seg::equal(a.begin(), a.end(), b.begin()));
+}
+
+// Property: segmented accumulate is segmentation-invariant.
+class SegmentationInvariance : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SegmentationInvariance, AccumulateIndependentOfSplit) {
+  const std::size_t parts = GetParam();
+  auto a = seg_array<double>::even(333, parts, spec512());
+  double v = 1.0;
+  for (auto it = a.begin(); it != a.end(); ++it) *it = v++;
+  const double sum = seg::accumulate(a.begin(), a.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 333.0 * 334.0 / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, SegmentationInvariance,
+                         ::testing::Values(1, 2, 3, 8, 64, 333));
+
+}  // namespace
+}  // namespace mcopt::seg

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "seg/algorithms.h"
+#include "seg/seg_array.h"
+
+namespace mcopt::seg {
+namespace {
+
+seg_array<double> make_iota(std::vector<std::size_t> sizes) {
+  LayoutSpec spec;
+  spec.base_align = 8192;
+  spec.segment_align = 512;
+  seg_array<double> a(std::move(sizes), spec);
+  double v = 0.0;
+  for (auto it = a.begin(); it != a.end(); ++it) *it = v++;
+  return a;
+}
+
+TEST(CountIf, CountsAcrossSegments) {
+  auto a = make_iota({3, 0, 7});  // 0..9
+  EXPECT_EQ(seg::count_if(a.begin(), a.end(), [](double v) { return v >= 5.0; }), 5u);
+  EXPECT_EQ(seg::count(a.begin(), a.end(), 3.0), 1u);
+  EXPECT_EQ(seg::count(a.begin(), a.end(), 99.0), 0u);
+}
+
+TEST(MinMaxValue, FindsExtremes) {
+  auto a = make_iota({4, 4});  // 0..7
+  a[2] = -5.0;
+  a[6] = 100.0;
+  EXPECT_DOUBLE_EQ(seg::max_value(a.begin(), a.end()), 100.0);
+  EXPECT_DOUBLE_EQ(seg::min_value(a.begin(), a.end()), -5.0);
+}
+
+TEST(MinMaxValue, ThrowOnEmpty) {
+  seg_array<double> a({0, 0}, LayoutSpec{});
+  EXPECT_THROW(seg::max_value(a.begin(), a.end()), std::invalid_argument);
+  EXPECT_THROW(seg::min_value(a.begin(), a.end()), std::invalid_argument);
+}
+
+TEST(TransformReduce, SumOfSquares) {
+  auto a = make_iota({5});  // 0..4
+  const double ss = seg::transform_reduce(a.begin(), a.end(), 0.0,
+                                          [](double v) { return v * v; });
+  EXPECT_DOUBLE_EQ(ss, 0.0 + 1 + 4 + 9 + 16);
+}
+
+TEST(AnyAllOf, ShortCircuitSemantics) {
+  auto a = make_iota({4, 4});
+  EXPECT_TRUE(seg::any_of(a.begin(), a.end(), [](double v) { return v == 7.0; }));
+  EXPECT_FALSE(seg::any_of(a.begin(), a.end(), [](double v) { return v < 0.0; }));
+  EXPECT_TRUE(seg::all_of(a.begin(), a.end(), [](double v) { return v >= 0.0; }));
+  EXPECT_FALSE(seg::all_of(a.begin(), a.end(), [](double v) { return v < 7.0; }));
+}
+
+TEST(AnyAllOf, EmptyRange) {
+  seg_array<double> a({0}, LayoutSpec{});
+  EXPECT_FALSE(seg::any_of(a.begin(), a.end(), [](double) { return true; }));
+  EXPECT_TRUE(seg::all_of(a.begin(), a.end(), [](double) { return false; }));
+}
+
+}  // namespace
+}  // namespace mcopt::seg

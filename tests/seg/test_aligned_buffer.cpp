@@ -1,0 +1,69 @@
+#include "seg/aligned_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace mcopt::seg {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+class AlignmentTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AlignmentTest, BaseIsAligned) {
+  const std::size_t align = GetParam();
+  AlignedBuffer buf(1024, align);
+  ASSERT_NE(buf.data(), nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % align, 0u);
+  EXPECT_EQ(buf.size(), 1024u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, AlignmentTest,
+                         ::testing::Values(8, 64, 128, 512, 4096, 8192));
+
+TEST(AlignedBuffer, ZeroInitialized) {
+  AlignedBuffer buf(4096, 64);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    ASSERT_EQ(std::to_integer<int>(buf.data()[i]), 0);
+}
+
+TEST(AlignedBuffer, SmallAlignmentRoundsUp) {
+  AlignedBuffer buf(64, 1);
+  EXPECT_GE(buf.alignment(), sizeof(void*));
+  EXPECT_NE(buf.data(), nullptr);
+}
+
+TEST(AlignedBuffer, RejectsNonPowerOfTwoAlignment) {
+  EXPECT_THROW(AlignedBuffer(64, 3), std::invalid_argument);
+  EXPECT_THROW(AlignedBuffer(64, 0), std::invalid_argument);
+  EXPECT_THROW(AlignedBuffer(64, 48), std::invalid_argument);
+}
+
+TEST(AlignedBuffer, ZeroBytesIsEmptyButValid) {
+  AlignedBuffer buf(0, 64);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(128, 64);
+  std::byte* const p = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+
+  AlignedBuffer c(64, 8);
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_EQ(c.size(), 128u);
+}
+
+}  // namespace
+}  // namespace mcopt::seg

@@ -1,0 +1,157 @@
+#include "seg/layout.h"
+
+#include <gtest/gtest.h>
+
+namespace mcopt::seg {
+namespace {
+
+TEST(AlignUp, Basics) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+  EXPECT_EQ(align_up(123, 0), 123u);  // 0/1 = identity
+  EXPECT_EQ(align_up(123, 1), 123u);
+}
+
+TEST(LayoutSpec, Validation) {
+  LayoutSpec spec;
+  EXPECT_NO_THROW(spec.validate());
+  spec.base_align = 3;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = LayoutSpec{};
+  spec.segment_align = 100;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.segment_align = 0;  // allowed: dense packing
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(SplitEven, PaperRule) {
+  // floor(n/t)+1 for the first n%t parts, floor(n/t) for the rest.
+  const auto sizes = split_even(10, 4);
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 3u);
+  EXPECT_EQ(sizes[1], 3u);
+  EXPECT_EQ(sizes[2], 2u);
+  EXPECT_EQ(sizes[3], 2u);
+}
+
+TEST(SplitEven, EdgeCases) {
+  EXPECT_EQ(split_even(0, 3), (std::vector<std::size_t>{0, 0, 0}));
+  EXPECT_EQ(split_even(2, 5), (std::vector<std::size_t>{1, 1, 0, 0, 0}));
+  EXPECT_THROW(split_even(4, 0), std::invalid_argument);
+}
+
+class SplitSumTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SplitSumTest, PartsSumToTotal) {
+  const auto [n, parts] = GetParam();
+  const auto sizes = split_even(n, parts);
+  std::size_t sum = 0;
+  std::size_t max_size = 0;
+  std::size_t min_size = n + 1;
+  for (std::size_t s : sizes) {
+    sum += s;
+    max_size = std::max(max_size, s);
+    min_size = std::min(min_size, s);
+  }
+  EXPECT_EQ(sum, n);
+  EXPECT_EQ(sizes.size(), parts);
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SplitSumTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{100, 7},
+                      std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{64, 64},
+                      std::pair<std::size_t, std::size_t>{65, 64},
+                      std::pair<std::size_t, std::size_t>{1000000, 63}));
+
+TEST(ComputeLayout, DensePacking) {
+  LayoutSpec spec;  // no alignment, shift or offset
+  const LayoutResult r = compute_layout({100, 200, 50}, spec);
+  EXPECT_EQ(r.segment_pos, (std::vector<std::size_t>{0, 100, 300}));
+  EXPECT_EQ(r.total_bytes, 350u);
+}
+
+TEST(ComputeLayout, SegmentAlignmentPadsAllButFirst) {
+  LayoutSpec spec;
+  spec.segment_align = 512;
+  const LayoutResult r = compute_layout({100, 100, 100}, spec);
+  EXPECT_EQ(r.segment_pos[0], 0u);
+  EXPECT_EQ(r.segment_pos[1], 512u);
+  EXPECT_EQ(r.segment_pos[2], 1024u);
+  EXPECT_EQ(r.total_bytes, 1124u);
+}
+
+TEST(ComputeLayout, ShiftIsCumulative) {
+  // The paper: "shift a segment that would be assigned to thread t by
+  // t*128 bytes" -- segment s is displaced by s*shift.
+  LayoutSpec spec;
+  spec.segment_align = 512;
+  spec.shift = 128;
+  const LayoutResult r = compute_layout({64, 64, 64, 64}, spec);
+  for (std::size_t s = 0; s < 4; ++s)
+    EXPECT_EQ(r.segment_pos[s], s * 512 + s * 128) << "segment " << s;
+}
+
+TEST(ComputeLayout, OffsetDisplacesWholeBlock) {
+  LayoutSpec spec;
+  spec.segment_align = 256;
+  spec.offset = 384;
+  const LayoutResult r = compute_layout({10, 10}, spec);
+  EXPECT_EQ(r.segment_pos[0], 384u);
+  EXPECT_EQ(r.segment_pos[1], 256u + 384u);
+}
+
+TEST(ComputeLayout, AllParametersCompose) {
+  LayoutSpec spec;
+  spec.segment_align = 512;
+  spec.shift = 128;
+  spec.offset = 64;
+  const LayoutResult r = compute_layout({100, 100, 100}, spec);
+  EXPECT_EQ(r.segment_pos[0], 64u);
+  EXPECT_EQ(r.segment_pos[1], 512u + 128 + 64);
+  EXPECT_EQ(r.segment_pos[2], 1024u + 256 + 64);
+  EXPECT_EQ(r.total_bytes, r.segment_pos[2] + 100);
+}
+
+TEST(ComputeLayout, ZeroSizeSegmentsGetPositions) {
+  LayoutSpec spec;
+  spec.segment_align = 64;
+  const LayoutResult r = compute_layout({0, 10, 0, 10}, spec);
+  ASSERT_EQ(r.segment_pos.size(), 4u);
+  EXPECT_EQ(r.segment_pos[0], 0u);
+  EXPECT_EQ(r.segment_pos[1], 0u);  // aligned position of empty prefix
+  EXPECT_EQ(r.segment_pos[2], 64u);
+  EXPECT_EQ(r.segment_pos[3], 64u);
+}
+
+TEST(ComputeLayout, EmptyInput) {
+  LayoutSpec spec;
+  spec.offset = 32;
+  const LayoutResult r = compute_layout({}, spec);
+  EXPECT_TRUE(r.segment_pos.empty());
+  EXPECT_EQ(r.total_bytes, 32u);
+}
+
+// Property: positions are strictly non-decreasing and segments never overlap.
+class NoOverlapTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NoOverlapTest, SegmentsDisjoint) {
+  LayoutSpec spec;
+  spec.segment_align = GetParam();
+  spec.shift = 64;
+  const std::vector<std::size_t> sizes = {33, 0, 129, 7, 512};
+  const LayoutResult r = compute_layout(sizes, spec);
+  for (std::size_t s = 1; s < sizes.size(); ++s)
+    EXPECT_GE(r.segment_pos[s], r.segment_pos[s - 1] + sizes[s - 1])
+        << "segments " << s - 1 << "/" << s << " overlap";
+}
+
+INSTANTIATE_TEST_SUITE_P(Aligns, NoOverlapTest, ::testing::Values(0, 1, 64, 512, 8192));
+
+}  // namespace
+}  // namespace mcopt::seg

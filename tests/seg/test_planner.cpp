@@ -1,0 +1,113 @@
+#include "seg/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mcopt::seg {
+namespace {
+
+TEST(StreamPlan, OffsetsAreControllerStrides) {
+  const arch::AddressMap map;
+  const StreamPlan plan = plan_stream_offsets(4, map);
+  // The paper's optimum for the vector triad: 0, 128, 256, 384 bytes.
+  EXPECT_EQ(plan.offsets, (std::vector<std::size_t>{0, 128, 256, 384}));
+}
+
+TEST(StreamPlan, OffsetsWrapModuloPeriod) {
+  const arch::AddressMap map;
+  const StreamPlan plan = plan_stream_offsets(6, map);
+  EXPECT_EQ(plan.offsets[4], 0u);
+  EXPECT_EQ(plan.offsets[5], 128u);
+}
+
+TEST(StreamPlan, PlannedBasesCoverDistinctControllers) {
+  const arch::AddressMap map;
+  const StreamPlan plan = plan_stream_offsets(4, map);
+  std::set<unsigned> controllers;
+  for (std::size_t k = 0; k < 4; ++k) {
+    // Any page-aligned base plus the planned offset.
+    const arch::Addr base = 0x10000 * 8192 + plan.offsets[k];
+    controllers.insert(map.controller_of(base));
+  }
+  EXPECT_EQ(controllers.size(), 4u);
+}
+
+TEST(StreamPlan, SpecForCarriesOffset) {
+  const arch::AddressMap map;
+  const StreamPlan plan = plan_stream_offsets(3, map);
+  const LayoutSpec spec = plan.spec_for(2);
+  EXPECT_EQ(spec.offset, 256u);
+  EXPECT_GE(spec.base_align, 8192u);
+  EXPECT_EQ(spec.shift, 0u);
+}
+
+TEST(StreamPlan, PlannedLayoutIsPerfectlyBalanced) {
+  const arch::AddressMap map;
+  const StreamPlan plan = plan_stream_offsets(4, map);
+  std::vector<arch::Addr> bases;
+  for (std::size_t k = 0; k < 4; ++k)
+    bases.push_back(arch::Addr{8192} * (k + 1) * 1000 + plan.offsets[k]);
+  EXPECT_DOUBLE_EQ(map.lockstep_balance(bases, 8), 1.0);
+}
+
+TEST(RowPlan, MatchesPaperParameters) {
+  const arch::AddressMap map;
+  const RowPlan plan = plan_row_layout(map);
+  // Sect. 2.3: rows aligned to 512 bytes, shift = 128 bytes.
+  EXPECT_EQ(plan.segment_align, 512u);
+  EXPECT_EQ(plan.shift, 128u);
+  const LayoutSpec spec = plan.spec();
+  EXPECT_EQ(spec.segment_align, 512u);
+  EXPECT_EQ(spec.shift, 128u);
+  EXPECT_EQ(spec.offset, 0u);
+}
+
+TEST(RowPlan, SuccessiveRowsHitSuccessiveControllers) {
+  const arch::AddressMap map;
+  const RowPlan plan = plan_row_layout(map);
+  // Row s starts at s*(512 + ...) hmm: aligned to 512 then shifted s*128;
+  // relative controller of row s's start = s mod 4.
+  for (unsigned s = 0; s < 8; ++s) {
+    const arch::Addr start = arch::Addr{s} * plan.segment_align + s * plan.shift;
+    EXPECT_EQ(map.controller_of(start), s % 4) << "row " << s;
+  }
+}
+
+TEST(Diagnose, FullyAliasedStreams) {
+  const arch::AddressMap map;
+  const std::vector<arch::Addr> bases = {0, 512, 1024};
+  const AliasReport report = diagnose_streams(bases, map);
+  EXPECT_TRUE(report.fully_aliased);
+  EXPECT_DOUBLE_EQ(report.balance, 0.25);
+  EXPECT_EQ(report.base_controller, (std::vector<unsigned>{0, 0, 0}));
+  EXPECT_NE(report.summary.find("FULLY-ALIASED"), std::string::npos);
+}
+
+TEST(Diagnose, BalancedStreams) {
+  const arch::AddressMap map;
+  const std::vector<arch::Addr> bases = {0, 128, 256, 384};
+  const AliasReport report = diagnose_streams(bases, map);
+  EXPECT_FALSE(report.fully_aliased);
+  EXPECT_DOUBLE_EQ(report.balance, 1.0);
+  EXPECT_EQ(report.base_controller, (std::vector<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(Diagnose, EmptyInputIsNotAliased) {
+  const arch::AddressMap map;
+  EXPECT_THROW(diagnose_streams({}, map), std::invalid_argument);
+}
+
+TEST(Planner, CustomInterleave) {
+  // 2 controllers, 128 B lines: stride = period/2 = 512 B.
+  const arch::InterleaveSpec spec{7, 2, 1};
+  const arch::AddressMap map(spec);
+  const StreamPlan plan = plan_stream_offsets(2, map);
+  EXPECT_EQ(plan.offsets, (std::vector<std::size_t>{0, 512}));
+  const RowPlan rows = plan_row_layout(map);
+  EXPECT_EQ(rows.segment_align, 1024u);
+  EXPECT_EQ(rows.shift, 512u);
+}
+
+}  // namespace
+}  // namespace mcopt::seg

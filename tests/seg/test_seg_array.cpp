@@ -1,0 +1,192 @@
+#include "seg/seg_array.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace mcopt::seg {
+namespace {
+
+LayoutSpec page_spec() {
+  LayoutSpec spec;
+  spec.base_align = 8192;
+  return spec;
+}
+
+TEST(SegArray, ConstructionAndSizes) {
+  seg_array<double> a({3, 0, 5}, page_spec());
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(a.num_segments(), 3u);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.segment(0).size(), 3u);
+  EXPECT_TRUE(a.segment(1).empty());
+  EXPECT_EQ(a.segment(2).size(), 5u);
+}
+
+TEST(SegArray, DefaultConstructedIsEmpty) {
+  seg_array<double> a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.num_segments(), 0u);
+  EXPECT_TRUE(a.begin() == a.end());
+}
+
+TEST(SegArray, BaseAddressHonorsAlignment) {
+  seg_array<double> a(100, page_spec());
+  EXPECT_EQ(a.base_address() % 8192, 0u);
+}
+
+TEST(SegArray, OffsetDisplacesElements) {
+  LayoutSpec spec = page_spec();
+  spec.offset = 256;
+  seg_array<double> a(16, spec);
+  EXPECT_EQ(a.address_of(0, 0), a.base_address() + 256);
+}
+
+TEST(SegArray, ShiftAndAlignMatchFig3) {
+  LayoutSpec spec = page_spec();
+  spec.segment_align = 512;
+  spec.shift = 128;
+  seg_array<double> a({8, 8, 8, 8}, spec);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(a.segment_position(s), s * 512 + s * 128);
+    EXPECT_EQ(a.address_of(s, 0), a.base_address() + s * 640);
+  }
+}
+
+TEST(SegArray, RejectsMisalignedShiftOrOffset) {
+  LayoutSpec spec = page_spec();
+  spec.shift = 4;  // not a multiple of alignof(double)
+  EXPECT_THROW(seg_array<double>(std::vector<std::size_t>{4}, spec),
+               std::invalid_argument);
+  spec.shift = 0;
+  spec.offset = 7;
+  EXPECT_THROW(seg_array<double>(std::vector<std::size_t>{4}, spec),
+               std::invalid_argument);
+}
+
+TEST(SegArray, GlobalIndexingCrossesSegments) {
+  seg_array<int> a({2, 3, 1}, page_spec());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<int>(i * 10);
+  EXPECT_EQ(a.segment(0)[0], 0);
+  EXPECT_EQ(a.segment(0)[1], 10);
+  EXPECT_EQ(a.segment(1)[0], 20);
+  EXPECT_EQ(a.segment(1)[2], 40);
+  EXPECT_EQ(a.segment(2)[0], 50);
+  EXPECT_EQ(a.at(5), 50);
+  EXPECT_THROW((void)a.at(6), std::out_of_range);
+}
+
+TEST(SegArray, EvenSplitMatchesPaperRule) {
+  const auto a = seg_array<double>::even(10, 4, page_spec());
+  EXPECT_EQ(a.segment(0).size(), 3u);
+  EXPECT_EQ(a.segment(1).size(), 3u);
+  EXPECT_EQ(a.segment(2).size(), 2u);
+  EXPECT_EQ(a.segment(3).size(), 2u);
+  EXPECT_EQ(a.size(), 10u);
+}
+
+TEST(SegArrayIterator, ForwardTraversalVisitsAll) {
+  seg_array<int> a({2, 0, 3, 0, 0, 1}, page_spec());
+  std::iota(a.begin(), a.end(), 100);
+  std::vector<int> seen;
+  for (int v : a) seen.push_back(v);
+  EXPECT_EQ(seen, (std::vector<int>{100, 101, 102, 103, 104, 105}));
+}
+
+TEST(SegArrayIterator, BidirectionalLaws) {
+  seg_array<int> a({2, 0, 3}, page_spec());
+  std::iota(a.begin(), a.end(), 0);
+  auto it = a.end();
+  std::vector<int> reversed;
+  while (it != a.begin()) {
+    --it;
+    reversed.push_back(*it);
+  }
+  EXPECT_EQ(reversed, (std::vector<int>{4, 3, 2, 1, 0}));
+
+  // ++/-- round trip from a mid position.
+  auto mid = a.begin();
+  ++mid;
+  ++mid;  // element 2 (first of segment 2)
+  auto copy = mid;
+  ++copy;
+  --copy;
+  EXPECT_TRUE(copy == mid);
+  EXPECT_EQ(*copy, 2);
+}
+
+TEST(SegArrayIterator, PostfixForms) {
+  seg_array<int> a({2}, page_spec());
+  a[0] = 5;
+  a[1] = 6;
+  auto it = a.begin();
+  EXPECT_EQ(*it++, 5);
+  EXPECT_EQ(*it, 6);
+  EXPECT_EQ(*it--, 6);
+  EXPECT_EQ(*it, 5);
+}
+
+TEST(SegArrayIterator, EmptyContainerBeginIsEnd) {
+  seg_array<int> a({0, 0, 0}, page_spec());
+  EXPECT_TRUE(a.begin() == a.end());
+}
+
+TEST(SegArrayIterator, SegmentedProtocolAccessors) {
+  seg_array<int> a({2, 3}, page_spec());
+  auto it = a.begin();
+  EXPECT_EQ(it.segment(), a.segments_begin());
+  EXPECT_EQ(it.local(), a.segment(0).begin());
+  ++it;
+  ++it;  // into segment 1
+  EXPECT_EQ(it.segment(), a.segments_begin() + 1);
+  EXPECT_EQ(it.local(), a.segment(1).begin());
+  EXPECT_EQ(a.end().local(), nullptr);
+  EXPECT_EQ(a.end().segment(), a.segments_end());
+}
+
+TEST(SegArrayIterator, ConstConversionAndConstAccess) {
+  seg_array<int> a({3}, page_spec());
+  std::iota(a.begin(), a.end(), 1);
+  const seg_array<int>& ca = a;
+  seg_array<int>::const_iterator cit = a.begin();  // converting ctor
+  EXPECT_EQ(*cit, 1);
+  int sum = 0;
+  for (int v : ca) sum += v;
+  EXPECT_EQ(sum, 6);
+  static_assert(std::is_same_v<decltype(*ca.begin()), const int&>);
+}
+
+TEST(SegArrayIterator, WorksWithStdAlgorithms) {
+  seg_array<int> a({4, 4, 4}, page_spec());
+  std::iota(a.begin(), a.end(), 0);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_EQ(std::count_if(a.begin(), a.end(), [](int v) { return v % 2 == 0; }), 6);
+  auto found = std::find(a.begin(), a.end(), 7);
+  ASSERT_TRUE(found != a.end());
+  EXPECT_EQ(*found, 7);
+  std::reverse(a.begin(), a.end());
+  EXPECT_EQ(a[0], 11);
+  EXPECT_EQ(a[11], 0);
+}
+
+static_assert(std::bidirectional_iterator<seg_array<double>::iterator>);
+static_assert(std::bidirectional_iterator<seg_array<double>::const_iterator>);
+
+class SegmentCountTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SegmentCountTest, AddressesRespectSegmentAlignment) {
+  LayoutSpec spec = page_spec();
+  spec.segment_align = 512;
+  const auto a = seg_array<double>::even(1000, GetParam(), spec);
+  for (std::size_t s = 0; s < a.num_segments(); ++s) {
+    if (a.segment(s).empty()) continue;
+    EXPECT_EQ(a.address_of(s, 0) % 512, 0u) << "segment " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, SegmentCountTest, ::testing::Values(1, 2, 7, 64, 1000));
+
+}  // namespace
+}  // namespace mcopt::seg

@@ -1,0 +1,88 @@
+#include "sim/analytic.h"
+
+#include <gtest/gtest.h>
+
+namespace mcopt::sim {
+namespace {
+
+const arch::AddressMap kMap;
+const arch::Calibration kCal;
+
+TEST(ExpandRfo, ReadsPassThrough) {
+  const std::vector<AnalyticStream> in = {{0x100, false}};
+  const auto out = expand_rfo(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].base, 0x100u);
+  EXPECT_FALSE(out[0].write);
+}
+
+TEST(ExpandRfo, WritesBecomeReadPlusWrite) {
+  const std::vector<AnalyticStream> in = {{0x200, true}};
+  const auto out = expand_rfo(in);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out[0].write);  // RFO read
+  EXPECT_TRUE(out[1].write);   // write-back
+  EXPECT_EQ(out[0].base, out[1].base);
+}
+
+TEST(Analytic, BalancedBeatsAliased) {
+  const std::vector<AnalyticStream> aliased = {
+      {0, false}, {512, false}, {1024, false}, {1536, true}};
+  const std::vector<AnalyticStream> balanced = {
+      {0, false}, {128, false}, {256, false}, {384, true}};
+  const auto a = estimate_bandwidth(expand_rfo(aliased), 64, kCal, kMap, 1.2);
+  const auto b = estimate_bandwidth(expand_rfo(balanced), 64, kCal, kMap, 1.2);
+  EXPECT_GT(b.bandwidth, 1.5 * a.bandwidth);
+  EXPECT_DOUBLE_EQ(a.balance, 0.25);
+  // Five physical streams (3 reads + RFO + WB) over four controllers: one
+  // controller does double duty, so perfect balance is unattainable.
+  EXPECT_GT(b.balance, 0.4);
+}
+
+TEST(Analytic, PureReadsAliasedIsQuarter) {
+  const std::vector<AnalyticStream> aliased = {
+      {0, false}, {512, false}, {1024, false}, {1536, false}};
+  const auto est = estimate_bandwidth(aliased, 64, kCal, kMap, 1.2);
+  EXPECT_DOUBLE_EQ(est.balance, 0.25);
+  const std::vector<AnalyticStream> spread = {
+      {0, false}, {128, false}, {256, false}, {384, false}};
+  const auto est2 = estimate_bandwidth(spread, 64, kCal, kMap, 1.2);
+  EXPECT_NEAR(est.service_bandwidth * 4.0, est2.service_bandwidth, 1e-3);
+}
+
+TEST(Analytic, LatencyBoundScalesWithThreads) {
+  const std::vector<AnalyticStream> streams = {{0, false}, {128, false}};
+  const auto few = estimate_bandwidth(streams, 4, kCal, kMap, 1.2);
+  const auto many = estimate_bandwidth(streams, 64, kCal, kMap, 1.2);
+  EXPECT_NEAR(many.latency_bandwidth / few.latency_bandwidth, 16.0, 1e-9);
+  // At 4 threads the latency bound binds.
+  EXPECT_DOUBLE_EQ(few.bandwidth,
+                   std::min(few.service_bandwidth, few.latency_bandwidth));
+}
+
+TEST(Analytic, WriteHeavyMixIsSlowerThanReadOnly) {
+  const std::vector<AnalyticStream> reads = {{0, false}, {128, false}};
+  const std::vector<AnalyticStream> writes = {{0, true}, {128, true}};
+  const auto r = estimate_bandwidth(expand_rfo(reads), 64, kCal, kMap, 1.2);
+  const auto w = estimate_bandwidth(expand_rfo(writes), 64, kCal, kMap, 1.2);
+  EXPECT_LT(w.service_bandwidth, r.service_bandwidth);
+}
+
+TEST(Analytic, RejectsDegenerateInput) {
+  const std::vector<AnalyticStream> streams = {{0, false}};
+  EXPECT_THROW((void)estimate_bandwidth({}, 4, kCal, kMap, 1.2), std::invalid_argument);
+  EXPECT_THROW((void)estimate_bandwidth(streams, 0, kCal, kMap, 1.2),
+               std::invalid_argument);
+}
+
+TEST(Analytic, ServiceBandwidthSaneMagnitude) {
+  // Fully balanced pure-read service: 4 controllers x 64 B / 12 cycles at
+  // 1.2 GHz = 25.6 GB/s.
+  const std::vector<AnalyticStream> spread = {
+      {0, false}, {128, false}, {256, false}, {384, false}};
+  const auto est = estimate_bandwidth(spread, 64, kCal, kMap, 1.2);
+  EXPECT_NEAR(est.service_bandwidth, 25.6e9, 0.5e9);
+}
+
+}  // namespace
+}  // namespace mcopt::sim

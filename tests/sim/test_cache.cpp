@@ -1,0 +1,157 @@
+#include "sim/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace mcopt::sim {
+namespace {
+
+arch::CacheGeometry tiny_geometry() {
+  // 4 sets x 2 ways x 64 B lines = 512 B.
+  return arch::CacheGeometry{512, 64, 2};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(tiny_geometry(), Cache::WritePolicy::kWriteBack);
+  EXPECT_FALSE(c.load(0x1000).hit);
+  EXPECT_TRUE(c.load(0x1000).hit);
+  EXPECT_TRUE(c.load(0x103F).hit);   // same line
+  EXPECT_FALSE(c.load(0x1040).hit);  // next line
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, ProbeDoesNotTouch) {
+  Cache c(tiny_geometry(), Cache::WritePolicy::kWriteBack);
+  EXPECT_FALSE(c.probe(0x0));
+  c.load(0x0);
+  EXPECT_TRUE(c.probe(0x0));
+  EXPECT_EQ(c.stats().accesses(), 1u);  // probe not counted
+}
+
+TEST(Cache, LruEvictionOrder) {
+  Cache c(tiny_geometry(), Cache::WritePolicy::kWriteBack);
+  // Set 0 holds lines with line_index % 4 == 0: addresses k * 256.
+  c.load(0 * 256);
+  c.load(1 * 256);
+  c.load(0 * 256);    // refresh line 0: line 1 is now LRU
+  c.load(2 * 256);    // evicts line 1
+  EXPECT_TRUE(c.probe(0 * 256));
+  EXPECT_FALSE(c.probe(1 * 256));
+  EXPECT_TRUE(c.probe(2 * 256));
+  EXPECT_EQ(c.stats().evictions, 1u);
+  EXPECT_EQ(c.stats().writebacks, 0u);  // clean evictions
+}
+
+TEST(Cache, DirtyEvictionReportsWritebackLine) {
+  Cache c(tiny_geometry(), Cache::WritePolicy::kWriteBack);
+  c.store(0 * 256);  // allocate + dirty
+  c.load(1 * 256);
+  const CacheOutcome out = c.load(2 * 256);  // evicts dirty line 0
+  EXPECT_EQ(out.writeback_line, 0u);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteThroughDoesNotAllocate) {
+  Cache c(tiny_geometry(), Cache::WritePolicy::kWriteThrough);
+  EXPECT_FALSE(c.store(0x40).hit);
+  EXPECT_FALSE(c.probe(0x40));  // no allocation
+  c.load(0x40);
+  EXPECT_TRUE(c.store(0x40).hit);  // update-on-hit
+  // Write-through lines are never dirty: evictions carry no writeback.
+  c.load(1 * 256 + 0x40);
+  const CacheOutcome out = c.load(2 * 256 + 0x40);
+  EXPECT_EQ(out.writeback_line, CacheOutcome::kNoEviction);
+  EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(Cache, WriteBackStoreMissAllocatesDirty) {
+  Cache c(tiny_geometry(), Cache::WritePolicy::kWriteBack);
+  EXPECT_FALSE(c.store(0x0).hit);
+  EXPECT_TRUE(c.probe(0x0));
+  EXPECT_TRUE(c.store(0x0).hit);
+}
+
+TEST(Cache, PowerOfTwoStrideThrashesWithoutHash) {
+  // Classic thrashing: stride = way span touches one set only.
+  Cache c(arch::CacheGeometry{4096, 64, 2}, Cache::WritePolicy::kWriteBack);
+  const std::size_t way_span = 4096 / 2;
+  for (int round = 0; round < 3; ++round)
+    for (arch::Addr k = 0; k < 4; ++k) c.load(k * way_span);
+  // 4 lines cycling through a 2-way set: every access misses after warmup.
+  EXPECT_EQ(c.stats().hits, 0u);
+  EXPECT_EQ(c.stats().misses, 12u);
+}
+
+TEST(Cache, IndexHashDefusesPowerOfTwoStride) {
+  Cache c(arch::CacheGeometry{4096, 64, 2}, Cache::WritePolicy::kWriteBack,
+          /*index_hash=*/true);
+  const std::size_t way_span = 4096 / 2;
+  for (int round = 0; round < 3; ++round)
+    for (arch::Addr k = 0; k < 4; ++k) c.load(k * way_span);
+  // Hashed indices spread the four lines over several sets: most re-accesses
+  // hit after the first round.
+  EXPECT_GE(c.stats().hits, 6u);
+}
+
+TEST(Cache, IndexHashIsStillAValidCache) {
+  Cache c(tiny_geometry(), Cache::WritePolicy::kWriteBack, true);
+  EXPECT_FALSE(c.load(0x1234).hit);
+  EXPECT_TRUE(c.load(0x1234).hit);
+  c.store(0x1234);
+  EXPECT_TRUE(c.probe(0x1234));
+}
+
+TEST(Cache, IndexHashWritebackAddressIsExact) {
+  // With full-line tags the reconstructed write-back address must equal the
+  // originally stored line even though the set is hashed.
+  Cache c(arch::CacheGeometry{256, 64, 1}, Cache::WritePolicy::kWriteBack, true);
+  const arch::Addr victim = 0x40;
+  c.store(victim);
+  // Find another address hashing to the same set and evict.
+  for (arch::Addr a = 0x80; a < 0x40000; a += 0x40) {
+    if (c.probe(victim) && !c.probe(a)) {
+      const CacheOutcome out = c.load(a);
+      if (out.writeback_line != CacheOutcome::kNoEviction) {
+        EXPECT_EQ(out.writeback_line, victim);
+        return;
+      }
+    }
+  }
+  FAIL() << "no conflicting address found";
+}
+
+TEST(Cache, ClearResetsContentsAndStats) {
+  Cache c(tiny_geometry(), Cache::WritePolicy::kWriteBack);
+  c.load(0x0);
+  c.clear();
+  EXPECT_FALSE(c.probe(0x0));
+  EXPECT_EQ(c.stats().accesses(), 0u);
+  c.load(0x0);
+  c.clear(/*clear_stats=*/false);
+  EXPECT_EQ(c.stats().misses, 1u);  // stats survive, contents do not
+  EXPECT_FALSE(c.probe(0x0));
+}
+
+TEST(CacheStats, MissRatio) {
+  CacheStats s;
+  EXPECT_DOUBLE_EQ(s.miss_ratio(), 0.0);
+  s.hits = 3;
+  s.misses = 1;
+  EXPECT_DOUBLE_EQ(s.miss_ratio(), 0.25);
+}
+
+class StrideSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StrideSweep, SequentialStreamMissesOncePerLine) {
+  Cache c(arch::CacheGeometry{8192, 64, 4}, Cache::WritePolicy::kWriteBack);
+  const std::size_t elem = GetParam();
+  const std::size_t n = 4096 / elem;
+  for (std::size_t i = 0; i < n; ++i) c.load(arch::Addr(i * elem));
+  EXPECT_EQ(c.stats().misses, 4096u / 64);
+  EXPECT_EQ(c.stats().hits, n - 4096 / 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(ElementSizes, StrideSweep, ::testing::Values(4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace mcopt::sim

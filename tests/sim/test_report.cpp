@@ -1,0 +1,89 @@
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/stream_program.h"
+
+namespace mcopt::sim {
+namespace {
+
+SimResult run_small() {
+  SimConfig cfg;
+  Workload wl;
+  for (unsigned t = 0; t < 4; ++t) {
+    std::vector<trace::StreamDesc> s{
+        {(arch::Addr{1} << 32) + t * (arch::Addr{1} << 22), false, 2},
+        {(arch::Addr{1} << 33) + t * (arch::Addr{1} << 22), true, 0}};
+    wl.push_back(std::make_unique<trace::LockstepStreamProgram>(
+        s, sizeof(double), std::vector<sched::IterRange>{{0, 4096}}, 1));
+  }
+  Chip chip(cfg, arch::equidistant_placement(4, cfg.topology));
+  return chip.run(wl);
+}
+
+TEST(Report, SummaryFieldsConsistent) {
+  const SimResult res = run_small();
+  const UtilizationSummary s = summarize(res);
+  EXPECT_GT(s.seconds, 0.0);
+  EXPECT_GT(s.bandwidth_gbs, 0.0);
+  EXPECT_GT(s.read_fraction, 0.0);
+  EXPECT_LE(s.read_fraction, 1.0);
+  EXPECT_GE(s.mc_busy_max, s.mc_busy_min);
+  EXPECT_LE(s.mc_busy_max, 1.0);
+  EXPECT_GE(s.l1_miss_ratio, 0.0);
+  EXPECT_LE(s.l1_miss_ratio, 1.0);
+  EXPECT_GE(s.thread_imbalance, 0.0);
+  EXPECT_LT(s.thread_imbalance, 1.0);
+  EXPECT_GT(s.gflops, 0.0);
+}
+
+TEST(Report, EmptyResultIsAllZero) {
+  const UtilizationSummary s = summarize(SimResult{});
+  EXPECT_EQ(s.seconds, 0.0);
+  EXPECT_EQ(s.bandwidth_gbs, 0.0);
+  EXPECT_EQ(s.mc_busy_max, 0.0);
+  EXPECT_EQ(s.thread_imbalance, 0.0);
+}
+
+TEST(Report, PrintContainsSections) {
+  const SimResult res = run_small();
+  std::ostringstream os;
+  print_report(os, res);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("GB/s memory traffic"), std::string::npos);
+  EXPECT_NE(out.find("L1 miss"), std::string::npos);
+  EXPECT_NE(out.find("MC"), std::string::npos);
+  // One row per controller.
+  EXPECT_NE(out.find("\n0  "), std::string::npos);
+  EXPECT_NE(out.find("\n3  "), std::string::npos);
+}
+
+TEST(Report, BriefIsOneLine) {
+  const SimResult res = run_small();
+  const std::string line = brief(res);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("GB/s"), std::string::npos);
+  EXPECT_NE(line.find("imbalance"), std::string::npos);
+}
+
+TEST(Report, ImbalanceReflectsUnevenWork) {
+  SimConfig cfg;
+  Workload wl;
+  // Thread 0 does 4x the iterations of thread 1.
+  for (unsigned t = 0; t < 2; ++t) {
+    std::vector<trace::StreamDesc> s{
+        {(arch::Addr{1} << 32) + t * (arch::Addr{1} << 24), false, 0}};
+    wl.push_back(std::make_unique<trace::LockstepStreamProgram>(
+        s, sizeof(double),
+        std::vector<sched::IterRange>{{0, t == 0 ? 8192u : 2048u}}, 1));
+  }
+  cfg.model_lockstep = false;  // let them run free
+  Chip chip(cfg, arch::equidistant_placement(2, cfg.topology));
+  const SimResult res = chip.run(wl);
+  EXPECT_GT(summarize(res).thread_imbalance, 0.4);
+}
+
+}  // namespace
+}  // namespace mcopt::sim

@@ -1,0 +1,106 @@
+#include "trace/jacobi_program.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kernels/jacobi.h"
+
+namespace mcopt::trace {
+namespace {
+
+std::vector<sim::Access> drain(sim::AccessProgram& p) {
+  std::vector<sim::Access> all;
+  std::vector<sim::Access> buf(13);
+  while (true) {
+    const std::size_t got = p.next_batch(buf);
+    if (got == 0) break;
+    all.insert(all.end(), buf.begin(), buf.begin() + got);
+  }
+  return all;
+}
+
+class JacobiProgramTest : public ::testing::Test {
+ protected:
+  JacobiProgramTest()
+      : grids_(kernels::make_virtual_jacobi(arena_, 6, seg::LayoutSpec{})) {}
+
+  VirtualArena arena_;
+  kernels::VirtualJacobi grids_;
+};
+
+TEST_F(JacobiProgramTest, AccessCountMatchesFormula) {
+  JacobiProgram p(grids_.grids(), {{0, 4}}, 1);  // all 4 interior rows
+  EXPECT_EQ(p.total_accesses(), 4u * 4 * 5);
+  EXPECT_EQ(drain(p).size(), 4u * 4 * 5);
+}
+
+TEST_F(JacobiProgramTest, FivePointPatternPerSite) {
+  JacobiProgram p(grids_.grids(), {{0, 1}}, 1);  // row 1 only
+  const auto all = drain(p);
+  ASSERT_EQ(all.size(), 4u * 5);
+  const auto& src = grids_.source;
+  const auto& dst = grids_.dest;
+  // First site: row 1, col 1.
+  EXPECT_EQ(all[0].addr, src.address_of(0, 1));  // north
+  EXPECT_EQ(all[1].addr, src.address_of(2, 1));  // south
+  EXPECT_EQ(all[2].addr, src.address_of(1, 0));  // west
+  EXPECT_EQ(all[3].addr, src.address_of(1, 2));  // east
+  EXPECT_EQ(all[4].addr, dst.address_of(1, 1));  // store
+  EXPECT_EQ(all[4].op, sim::Op::kStore);
+  EXPECT_EQ(all[4].flops_before, 4);
+  EXPECT_TRUE(all[0].begins_iteration);   // site start
+  EXPECT_TRUE(all[5].begins_iteration);   // next site
+  EXPECT_FALSE(all[1].begins_iteration);  // mid-site access
+}
+
+TEST_F(JacobiProgramTest, SweepsToggleGrids) {
+  JacobiProgram p(grids_.grids(), {{0, 4}}, 2);
+  const auto all = drain(p);
+  ASSERT_EQ(all.size(), 2u * 4 * 4 * 5);
+  // Sweep 0 stores into dest; sweep 1 stores into source.
+  const sim::Access& store0 = all[4];
+  const sim::Access& store1 = all[4 * 4 * 5 + 4];
+  EXPECT_EQ(store0.addr, grids_.dest.address_of(1, 1));
+  EXPECT_EQ(store1.addr, grids_.source.address_of(1, 1));
+}
+
+TEST_F(JacobiProgramTest, StoresStayInOwnedRows) {
+  // Thread owning rows {2,3} must only write rows 2 and 3.
+  JacobiProgram p(grids_.grids(), {{1, 3}}, 1);
+  std::set<arch::Addr> row_starts;
+  for (std::size_t r : {2, 3})
+    for (std::size_t j = 1; j < 5; ++j)
+      row_starts.insert(grids_.dest.address_of(r, j));
+  for (const auto& a : drain(p))
+    if (a.op == sim::Op::kStore) EXPECT_TRUE(row_starts.count(a.addr)) << a.addr;
+}
+
+TEST_F(JacobiProgramTest, RejectsBadGrids) {
+  JacobiGrids bad;
+  EXPECT_THROW(JacobiProgram(bad, {{0, 1}}, 1), std::invalid_argument);
+  JacobiGrids small = grids_.grids();
+  small.n = 2;
+  EXPECT_THROW(JacobiProgram(small, {{0, 1}}, 1), std::invalid_argument);
+}
+
+TEST(JacobiWorkload, PartitionCoversInteriorExactlyOnce) {
+  VirtualArena arena;
+  const auto grids = kernels::make_virtual_jacobi(arena, 20, seg::LayoutSpec{});
+  for (const auto& schedule :
+       {sched::Schedule::static_block(), sched::Schedule::static_chunk(1)}) {
+    auto wl = make_jacobi_workload(grids.grids(), 7, schedule, 1);
+    ASSERT_EQ(wl.size(), 7u);
+    std::uint64_t total = 0;
+    for (const auto& p : wl) total += p->total_accesses();
+    EXPECT_EQ(total, jacobi_updates_per_sweep(20) * 5);
+  }
+}
+
+TEST(JacobiUpdates, Formula) {
+  EXPECT_EQ(jacobi_updates_per_sweep(3), 1u);
+  EXPECT_EQ(jacobi_updates_per_sweep(100), 98u * 98);
+}
+
+}  // namespace
+}  // namespace mcopt::trace

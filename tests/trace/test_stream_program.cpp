@@ -1,0 +1,95 @@
+#include "trace/stream_program.h"
+
+#include <gtest/gtest.h>
+
+namespace mcopt::trace {
+namespace {
+
+std::vector<sim::Access> drain(sim::AccessProgram& p, std::size_t batch = 7) {
+  std::vector<sim::Access> all;
+  std::vector<sim::Access> buf(batch);
+  while (true) {
+    const std::size_t got = p.next_batch(buf);
+    if (got == 0) break;
+    all.insert(all.end(), buf.begin(), buf.begin() + got);
+  }
+  return all;
+}
+
+TEST(LockstepStreamProgram, EmitsStreamsInOrderPerIteration) {
+  const std::vector<StreamDesc> streams = {
+      {1000, false, 0}, {2000, false, 0}, {3000, true, 2}};
+  LockstepStreamProgram p(streams, 8, {{0, 3}}, 1);
+  const auto all = drain(p);
+  ASSERT_EQ(all.size(), 9u);
+  EXPECT_EQ(p.total_accesses(), 9u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(all[3 * i + 0].addr, 1000 + 8 * i);
+    EXPECT_EQ(all[3 * i + 1].addr, 2000 + 8 * i);
+    EXPECT_EQ(all[3 * i + 2].addr, 3000 + 8 * i);
+    EXPECT_EQ(all[3 * i + 0].op, sim::Op::kLoad);
+    EXPECT_EQ(all[3 * i + 2].op, sim::Op::kStore);
+    EXPECT_EQ(all[3 * i + 2].flops_before, 2);
+    EXPECT_TRUE(all[3 * i + 0].begins_iteration);
+    EXPECT_FALSE(all[3 * i + 1].begins_iteration);
+    EXPECT_FALSE(all[3 * i + 2].begins_iteration);
+  }
+}
+
+TEST(LockstepStreamProgram, MultipleChunksAndSweeps) {
+  const std::vector<StreamDesc> streams = {{0, false, 0}};
+  LockstepStreamProgram p(streams, 8, {{0, 2}, {10, 12}}, 3);
+  const auto all = drain(p, 3);
+  ASSERT_EQ(all.size(), 12u);
+  EXPECT_EQ(p.total_accesses(), 12u);
+  // One sweep visits 0,1,10,11 in element units.
+  for (unsigned sweep = 0; sweep < 3; ++sweep) {
+    EXPECT_EQ(all[4 * sweep + 0].addr, 0u);
+    EXPECT_EQ(all[4 * sweep + 1].addr, 8u);
+    EXPECT_EQ(all[4 * sweep + 2].addr, 80u);
+    EXPECT_EQ(all[4 * sweep + 3].addr, 88u);
+  }
+}
+
+TEST(LockstepStreamProgram, ResetReplays) {
+  const std::vector<StreamDesc> streams = {{0, false, 0}, {64, true, 1}};
+  LockstepStreamProgram p(streams, 8, {{0, 5}}, 1);
+  const auto first = drain(p);
+  p.reset();
+  const auto second = drain(p);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].addr, second[i].addr);
+    EXPECT_EQ(first[i].op, second[i].op);
+  }
+}
+
+TEST(LockstepStreamProgram, EmptyChunksYieldNothing) {
+  const std::vector<StreamDesc> streams = {{0, false, 0}};
+  LockstepStreamProgram p(streams, 8, {}, 2);
+  EXPECT_EQ(p.total_accesses(), 0u);
+  std::vector<sim::Access> buf(4);
+  EXPECT_EQ(p.next_batch(buf), 0u);
+  LockstepStreamProgram q(streams, 8, {{5, 5}}, 2);
+  EXPECT_EQ(drain(q).size(), 0u);
+}
+
+TEST(LockstepStreamProgram, RejectsDegenerate) {
+  EXPECT_THROW(LockstepStreamProgram({}, 8, {{0, 1}}, 1), std::invalid_argument);
+  EXPECT_THROW(LockstepStreamProgram({{0, false, 0}}, 0, {{0, 1}}, 1),
+               std::invalid_argument);
+}
+
+TEST(MakeLockstepWorkload, PartitionCoversAllIterations) {
+  const std::vector<StreamDesc> streams = {{0, false, 0}, {1 << 20, true, 0}};
+  const std::size_t n = 1001;
+  auto wl = make_lockstep_workload(streams, 8, n, 7,
+                                   sched::Schedule::static_block(), 2);
+  ASSERT_EQ(wl.size(), 7u);
+  std::uint64_t total = 0;
+  for (const auto& p : wl) total += p->total_accesses();
+  EXPECT_EQ(total, n * streams.size() * 2);
+}
+
+}  // namespace
+}  // namespace mcopt::trace

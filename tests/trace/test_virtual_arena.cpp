@@ -1,0 +1,95 @@
+#include "trace/virtual_arena.h"
+
+#include <gtest/gtest.h>
+
+#include "seg/seg_array.h"
+
+namespace mcopt::trace {
+namespace {
+
+TEST(VirtualArena, AllocatesAligned) {
+  VirtualArena arena;
+  const arch::Addr a = arena.allocate(100, 8192);
+  EXPECT_EQ(a % 8192, 0u);
+  const arch::Addr b = arena.allocate(100, 8192);
+  EXPECT_EQ(b % 8192, 0u);
+  EXPECT_GE(b, a + 100);
+}
+
+TEST(VirtualArena, StartsAtConfiguredBase) {
+  VirtualArena arena(0x1000);
+  EXPECT_EQ(arena.allocate(8, 8), 0x1000u);
+}
+
+TEST(VirtualArena, RejectsBadAlignment) {
+  VirtualArena arena;
+  EXPECT_THROW(arena.allocate(8, 0), std::invalid_argument);
+  EXPECT_THROW(arena.allocate(8, 3), std::invalid_argument);
+}
+
+TEST(VirtualArena, MallocLikeKeepsBlocksContiguousModuloHeader) {
+  VirtualArena arena;
+  const std::size_t bytes = 1 << 20;
+  const arch::Addr a = arena.malloc_like(bytes);
+  const arch::Addr b = arena.malloc_like(bytes);
+  EXPECT_EQ(a % 16, 0u);
+  EXPECT_EQ(b % 16, 0u);
+  // Consecutive large mallocs: 16-byte header between blocks.
+  EXPECT_EQ(b - a, bytes + 16);
+}
+
+TEST(VirtualArena, MallocLikeOddSizesRoundUp) {
+  VirtualArena arena;
+  const arch::Addr a = arena.malloc_like(100);
+  const arch::Addr b = arena.malloc_like(100);
+  // Usable size rounds up to 112, plus the 16-byte header of block b.
+  EXPECT_EQ(b - a, 112u + 16u);
+}
+
+TEST(VirtualSegArray, PositionsFollowLayout) {
+  VirtualArena arena;
+  seg::LayoutSpec spec;
+  spec.base_align = 8192;
+  spec.segment_align = 512;
+  spec.shift = 128;
+  const VirtualSegArray a(arena, {64, 64, 64}, sizeof(double), spec);
+  EXPECT_EQ(a.base() % 8192, 0u);
+  EXPECT_EQ(a.num_segments(), 3u);
+  EXPECT_EQ(a.size(), 192u);
+  EXPECT_EQ(a.segment_base(0), a.base());
+  EXPECT_EQ(a.segment_base(1), a.base() + 512 + 128);
+  EXPECT_EQ(a.segment_base(2), a.base() + 1024 + 256);
+  EXPECT_EQ(a.address_of(1, 3), a.segment_base(1) + 24);
+}
+
+TEST(VirtualSegArray, EvenSplitMatchesPaperRule) {
+  VirtualArena arena;
+  seg::LayoutSpec spec;
+  const auto a = VirtualSegArray::even(arena, 10, 4, 8, spec);
+  EXPECT_EQ(a.segment_size(0), 3u);
+  EXPECT_EQ(a.segment_size(3), 2u);
+}
+
+TEST(VirtualSegArray, MatchesRealSegArrayPositions) {
+  // The virtual and real containers must compute identical layouts.
+  seg::LayoutSpec spec;
+  spec.base_align = 8192;
+  spec.segment_align = 512;
+  spec.shift = 256;
+  spec.offset = 128;
+  const std::vector<std::size_t> sizes = {100, 37, 0, 450};
+  VirtualArena arena;
+  const VirtualSegArray v(arena, sizes, sizeof(double), spec);
+  const seg::seg_array<double> r(sizes, spec);
+  for (std::size_t s = 0; s < sizes.size(); ++s)
+    EXPECT_EQ(v.segment_base(s) - v.base(), r.segment_position(s)) << s;
+}
+
+TEST(VirtualSegArray, RejectsZeroElementSize) {
+  VirtualArena arena;
+  EXPECT_THROW(VirtualSegArray(arena, {1}, 0, seg::LayoutSpec{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcopt::trace

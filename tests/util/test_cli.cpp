@@ -1,0 +1,92 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace mcopt::util {
+namespace {
+
+Cli make_cli() {
+  Cli cli("test program");
+  cli.flag("full", "run full sweep")
+      .option_int("n", 100, "problem size")
+      .option_double("tau", 0.6, "relaxation")
+      .option_str("layout", "IJKv", "data layout");
+  return cli;
+}
+
+TEST(Cli, DefaultsWhenUnset) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_FALSE(cli.get_flag("full"));
+  EXPECT_EQ(cli.get_int("n"), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("tau"), 0.6);
+  EXPECT_EQ(cli.get_str("layout"), "IJKv");
+}
+
+TEST(Cli, ParsesSeparateValues) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--full", "--n", "42", "--tau", "0.9",
+                        "--layout", "IvJK"};
+  ASSERT_TRUE(cli.parse(8, argv));
+  EXPECT_TRUE(cli.get_flag("full"));
+  EXPECT_EQ(cli.get_int("n"), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("tau"), 0.9);
+  EXPECT_EQ(cli.get_str("layout"), "IvJK");
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--n=7", "--layout=IvJK"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("n"), 7);
+  EXPECT_EQ(cli.get_str("layout"), "IvJK");
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, RejectsMalformedValue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--n", "notanumber"};
+  EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, RejectsValueOnFlag) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--full=yes"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, RejectsPositional) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, TypeMismatchIsLogicError) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW((void)cli.get_int("layout"), std::logic_error);
+  EXPECT_THROW((void)cli.get_flag("n"), std::logic_error);
+  EXPECT_THROW((void)cli.get_str("unregistered"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mcopt::util

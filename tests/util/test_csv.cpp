@@ -1,0 +1,61 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mcopt::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = testing::TempDir() + "/mcopt_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"x", "y"});
+    w.add_row({"1", "2"});
+    w.add_row({"3", "4"});
+    EXPECT_EQ(w.rows(), 2u);
+  }
+  EXPECT_EQ(slurp(path_), "x,y\n1,2\n3,4\n");
+}
+
+TEST_F(CsvTest, RejectsMismatchedRow) {
+  CsvWriter w(path_, {"x", "y"});
+  EXPECT_THROW(w.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(CsvEscape, PlainCellUnchanged) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+}
+
+TEST(CsvEscape, QuotesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterErrors, UnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/f.csv", {"a"}), std::runtime_error);
+}
+
+TEST(CsvWriterErrors, EmptyHeader) {
+  const std::string path = testing::TempDir() + "/mcopt_csv_hdr.csv";
+  EXPECT_THROW(CsvWriter(path, {}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mcopt::util

@@ -1,0 +1,43 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace mcopt::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsInfo) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, EmittingBelowThresholdIsSafe) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  // Suppressed messages must not crash or allocate surprisingly.
+  log_debug("suppressed");
+  log_info("suppressed");
+  log_warn("suppressed");
+  log_error("shown on stderr");
+}
+
+}  // namespace
+}  // namespace mcopt::util

@@ -1,0 +1,120 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mcopt::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.add(42.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 42.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0 + i;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 99), 7.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, -1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, 101), std::invalid_argument);
+}
+
+TEST(Means, ArithmeticHarmonicGeometric) {
+  const std::vector<double> xs = {1.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(harmonic_mean(xs), 3.0 / 1.5, 1e-12);
+  EXPECT_NEAR(geometric_mean(xs), std::cbrt(16.0), 1e-12);
+}
+
+TEST(Means, RejectNonPositive) {
+  const std::vector<double> bad = {1.0, 0.0};
+  EXPECT_THROW((void)harmonic_mean(bad), std::invalid_argument);
+  EXPECT_THROW((void)geometric_mean(bad), std::invalid_argument);
+  EXPECT_THROW((void)harmonic_mean({}), std::invalid_argument);
+}
+
+TEST(Summarize, FiveNumbers) {
+  const std::vector<double> xs = {5, 1, 3, 2, 4};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Summarize, Empty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+}
+
+}  // namespace
+}  // namespace mcopt::util

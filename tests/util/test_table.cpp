@@ -1,0 +1,57 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mcopt::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "long-header"});
+  t.add_row({"wide-cell", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Four lines: header, rule, one row.
+  EXPECT_NE(out.find("a          long-header"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell  1"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(1.0, 0), "1");
+  EXPECT_EQ(fmt_fixed(-2.5, 1), "-2.5");
+}
+
+TEST(Format, Group) {
+  EXPECT_EQ(fmt_group(0), "0");
+  EXPECT_EQ(fmt_group(999), "999");
+  EXPECT_EQ(fmt_group(1000), "1,000");
+  EXPECT_EQ(fmt_group(33554432), "33,554,432");
+  EXPECT_EQ(fmt_group(-1234567), "-1,234,567");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(4ull * 1024 * 1024), "4.0 MiB");
+  EXPECT_EQ(fmt_bytes(1536), "1.5 KiB");
+}
+
+TEST(Format, Bandwidth) {
+  EXPECT_EQ(fmt_bandwidth(16.38e9), "16.38 GB/s");
+  EXPECT_EQ(fmt_bandwidth(0.0), "0.00 GB/s");
+}
+
+}  // namespace
+}  // namespace mcopt::util
