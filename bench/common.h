@@ -3,8 +3,10 @@
 // runners for each kernel plus output helpers. Every bench prints a paper-
 // style table on stdout and optionally mirrors it to CSV (--csv <path>).
 
+#include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "kernels/triad.h"
 #include "sim/analytic.h"
 #include "sim/chip.h"
+#include "sim/faults.h"
 #include "trace/virtual_arena.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -21,6 +24,29 @@
 #include "util/table.h"
 
 namespace mcopt::bench {
+
+/// Guards every number a bench reports: a NaN/inf/negative rate means the
+/// simulator or the harness itself is broken, and a poisoned cell must fail
+/// the run, not ship in a results table.
+inline double checked_rate(double value, const char* what) {
+  if (!std::isfinite(value) || value < 0.0)
+    throw std::runtime_error(std::string("bench: non-finite ") + what +
+                             " value " + std::to_string(value) +
+                             " (simulator or harness bug)");
+  return value;
+}
+
+/// Parses a --fault CLI string into a SimConfig fault set, validating it
+/// against the config's interleave. Exits with a diagnostic on bad specs.
+inline sim::FaultSpec parse_fault_knob(const std::string& text,
+                                       const sim::SimConfig& cfg) {
+  auto parsed = sim::FaultSpec::parse(text);
+  if (!parsed) throw std::invalid_argument(parsed.error().message);
+  parsed.value().check(cfg.interleave).throw_if_failed();
+  if (parsed.value().any())
+    util::log_info("fault injection: " + parsed.value().describe());
+  return parsed.value();
+}
 
 /// Runs one simulated STREAM configuration; returns reported GB/s (STREAM
 /// convention, RFO not counted).
@@ -34,8 +60,9 @@ inline double stream_reported_gbs(kernels::StreamOp op, std::size_t n,
                                           sched::Schedule::static_block());
   sim::Chip chip(cfg, arch::equidistant_placement(threads, cfg.topology));
   const sim::SimResult res = chip.run(wl);
-  return static_cast<double>(kernels::stream_reported_bytes(op, n)) /
-         res.seconds() / 1e9;
+  return checked_rate(static_cast<double>(kernels::stream_reported_bytes(op, n)) /
+                          res.seconds() / 1e9,
+                      "STREAM GB/s");
 }
 
 /// Analytic-model prediction for the same configuration (instant).
@@ -55,7 +82,7 @@ inline double stream_analytic_gbs(kernels::StreamOp op, std::size_t n,
   const double convention =
       static_cast<double>(kernels::stream_reported_bytes(op, n)) /
       static_cast<double>(kernels::stream_actual_bytes(op, n));
-  return est.bandwidth * convention / 1e9;
+  return checked_rate(est.bandwidth * convention / 1e9, "analytic GB/s");
 }
 
 /// Simulated vector triad in actual-traffic GB/s (Fig. 4 convention).
@@ -66,7 +93,9 @@ inline double triad_actual_gbs(const std::vector<arch::Addr>& bases,
                                          sched::Schedule::static_block());
   sim::Chip chip(cfg, arch::equidistant_placement(threads, cfg.topology));
   const sim::SimResult res = chip.run(wl);
-  return static_cast<double>(kernels::triad_actual_bytes(n)) / res.seconds() / 1e9;
+  return checked_rate(
+      static_cast<double>(kernels::triad_actual_bytes(n)) / res.seconds() / 1e9,
+      "triad GB/s");
 }
 
 /// Simulated Jacobi sweep in MLUPs/s.
@@ -78,8 +107,9 @@ inline double jacobi_mlups(std::size_t n, const seg::LayoutSpec& spec,
   auto wl = trace::make_jacobi_workload(grids.grids(), threads, schedule, 1);
   sim::Chip chip(cfg, arch::equidistant_placement(threads, cfg.topology));
   const sim::SimResult res = chip.run(wl);
-  return static_cast<double>(trace::jacobi_updates_per_sweep(n)) /
-         res.seconds() / 1e6;
+  return checked_rate(static_cast<double>(trace::jacobi_updates_per_sweep(n)) /
+                          res.seconds() / 1e6,
+                      "Jacobi MLUPs");
 }
 
 /// Simulated D3Q19 LBM step in MLUPs/s.
@@ -96,7 +126,9 @@ inline double lbm_mlups(std::size_t n, kernels::lbm::DataLayout layout,
                               sched::Schedule::static_block(), 1);
   sim::Chip chip(cfg, arch::equidistant_placement(threads, cfg.topology));
   const sim::SimResult res = chip.run(wl);
-  return static_cast<double>(g.interior_cells()) / res.seconds() / 1e6;
+  return checked_rate(
+      static_cast<double>(g.interior_cells()) / res.seconds() / 1e6,
+      "LBM MLUPs");
 }
 
 /// Prints an aligned table to stdout and mirrors it to CSV when a path was
@@ -110,6 +142,7 @@ inline void emit(const std::vector<std::string>& header,
   if (!csv_path.empty()) {
     util::CsvWriter csv(csv_path, header);
     for (const auto& row : rows) csv.add_row(row);
+    csv.flush();
     util::log_info("wrote " + std::to_string(rows.size()) + " rows to " + csv_path);
   }
 }

@@ -19,6 +19,9 @@ int main(int argc, char** argv) {
       .option_int("n", 1 << 19, "array length in DP words (paper: 2^25)")
       .option_int("max-offset", 256, "largest offset in DP words")
       .option_int("step", 8, "offset step (1 with --full)")
+      .option_str("fault", "",
+                  "inject hardware faults, e.g. mc0:off,mc1:derate=0.5 "
+                  "(see sim::FaultSpec::parse)")
       .option_str("csv", "", "mirror results to this CSV file");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -27,6 +30,11 @@ int main(int argc, char** argv) {
   const auto max_offset = static_cast<std::size_t>(cli.get_int("max-offset"));
   const auto step = static_cast<std::size_t>(full ? 1 : cli.get_int("step"));
   const std::vector<unsigned> thread_counts = {8, 16, 32, 64};
+
+  sim::SimConfig cfg;
+  cfg.faults = bench::parse_fault_knob(cli.get_str("fault"), cfg);
+  if (cfg.faults.any())
+    std::printf("# DEGRADED chip: %s\n", cfg.faults.describe().c_str());
 
   std::printf(
       "# STREAM triad A=B+s*C (reported GB/s, RFO not counted), N=%zu DP "

@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
                   "window centre in DP words (paper: ~9,990,150)")
       .option_int("points", 48, "N values scanned (200 with --full)")
       .option_int("threads", 64, "software threads")
+      .option_str("fault", "",
+                  "inject hardware faults, e.g. mc0:off,mc1:derate=0.5 "
+                  "(see sim::FaultSpec::parse); adds a replan column")
       .option_str("csv", "", "mirror results to this CSV file");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -25,7 +28,14 @@ int main(int argc, char** argv) {
   const auto center = static_cast<std::size_t>(cli.get_int("n-center"));
   const std::size_t points = full ? 200 : static_cast<std::size_t>(cli.get_int("points"));
   const auto threads = static_cast<unsigned>(cli.get_int("threads"));
-  const arch::AddressMap map;
+
+  sim::SimConfig cfg;
+  cfg.faults = bench::parse_fault_knob(cli.get_str("fault"), cfg);
+  const arch::AddressMap map(cfg.interleave);
+  const auto surviving = cfg.faults.surviving_controllers(cfg.interleave);
+  if (cfg.faults.any())
+    std::printf("# DEGRADED chip: %s (surviving controllers: %zu)\n",
+                cfg.faults.describe().c_str(), surviving.size());
 
   std::printf(
       "# Vector triad A=B+C*D, %u threads, actual traffic GB/s (5 words per "
@@ -37,11 +47,23 @@ int main(int argc, char** argv) {
     trace::VirtualArena arena;
     const auto bases =
         kernels::triad_layout_bases(arena, layout, n, map, offset_scale);
-    return bench::triad_actual_gbs(bases, n, threads);
+    return bench::triad_actual_gbs(bases, n, threads, cfg);
+  };
+  // Replanned layout for the degraded chip: offsets chosen over the
+  // surviving-controller subset instead of the full complement.
+  auto run_replanned = [&](std::size_t n) {
+    const auto plan = seg::plan_stream_offsets(4, map, surviving);
+    trace::VirtualArena arena;
+    std::vector<arch::Addr> bases;
+    for (std::size_t k = 0; k < 4; ++k)
+      bases.push_back(arena.allocate(n * 8 + plan.offsets[k], plan.base_align) +
+                      plan.offsets[k]);
+    return bench::triad_actual_gbs(bases, n, threads, cfg);
   };
 
-  const std::vector<std::string> header = {
+  std::vector<std::string> header = {
       "N", "plain", "align8k", "off32", "off64", "off128"};
+  if (cfg.faults.any()) header.push_back("replan");
   std::vector<std::vector<std::string>> rows;
   for (std::size_t i = 0; i < points; ++i) {
     const std::size_t n = center - points / 2 + i;
@@ -52,6 +74,8 @@ int main(int argc, char** argv) {
          util::fmt_fixed(run(kernels::TriadLayout::kPlannedOffsets, n, 32), 2),
          util::fmt_fixed(run(kernels::TriadLayout::kPlannedOffsets, n, 64), 2),
          util::fmt_fixed(run(kernels::TriadLayout::kPlannedOffsets, n, 128), 2)});
+    if (cfg.faults.any())
+      rows.back().push_back(util::fmt_fixed(run_replanned(n), 2));
   }
   bench::emit(header, rows, cli.get_str("csv"));
 

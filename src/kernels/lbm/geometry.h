@@ -11,9 +11,12 @@
 // Optional x padding removes the cache thrashing at (N+2) % 64 == 0.
 
 #include <cstddef>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "kernels/lbm/lattice.h"
+#include "util/expected.h"
 
 namespace mcopt::kernels::lbm {
 
@@ -67,10 +70,24 @@ struct Geometry {
     return nx * ny * nz;
   }
 
-  void validate() const {
-    if (nx == 0 || ny == 0 || nz == 0)
-      throw std::invalid_argument("Geometry: zero extent");
+  /// Non-throwing validation: non-zero extents and no element-count overflow
+  /// (f_elems() multiplies five extents; a huge domain would wrap size_t and
+  /// silently truncate the address space).
+  [[nodiscard]] util::Status check() const {
+    util::Status status;
+    if (nx == 0 || ny == 0 || nz == 0) status.note("Geometry: zero extent");
+    // ex*ey*ez must fit in kMax/(2*kQ); sequential division avoids computing
+    // any intermediate product that could itself wrap.
+    constexpr std::size_t kBudget =
+        std::numeric_limits<std::size_t>::max() / (2 * kQ);
+    if (ex() > kBudget / ey() / ez())
+      status.note("Geometry: extents " + std::to_string(ex()) + "x" +
+                  std::to_string(ey()) + "x" + std::to_string(ez()) +
+                  " overflow the element count");
+    return status;
   }
+
+  void validate() const { check().throw_if_failed(); }
 };
 
 }  // namespace mcopt::kernels::lbm

@@ -17,6 +17,19 @@ std::string Schedule::describe() const {
   return "?";
 }
 
+util::Status Schedule::check() const {
+  util::Status status;
+  if ((kind == ScheduleKind::kStaticChunk || kind == ScheduleKind::kDynamic) &&
+      chunk == 0)
+    status.note("Schedule: " + describe() + " requires chunk >= 1");
+  if (chunk > (std::size_t{1} << 48))
+    status.note("Schedule: chunk " + std::to_string(chunk) +
+                " is implausibly large (overflow guard)");
+  return status;
+}
+
+void Schedule::validate() const { check().throw_if_failed(); }
+
 std::vector<IterRange> chunks_for_thread(std::size_t n, unsigned num_threads,
                                          unsigned t, const Schedule& schedule) {
   if (num_threads == 0) throw std::invalid_argument("chunks_for_thread: zero threads");

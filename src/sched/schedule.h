@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "util/expected.h"
+
 namespace mcopt::sched {
 
 /// Half-open iteration range [begin, end).
@@ -41,6 +43,12 @@ struct Schedule {
     return {ScheduleKind::kStaticChunk, c};
   }
   [[nodiscard]] std::string describe() const;
+
+  /// Non-throwing validation: chunked kinds need an explicit chunk >= 1 and
+  /// a sane bound (a chunk of 0 used to be silently coerced to 1).
+  [[nodiscard]] util::Status check() const;
+  /// Throwing wrapper around check().
+  void validate() const;
 };
 
 /// Chunks executed by thread `t` of `num_threads` over `n` iterations,

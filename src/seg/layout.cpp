@@ -7,14 +7,30 @@ namespace {
 
 constexpr bool is_pow2(std::size_t v) noexcept { return v != 0 && (v & (v - 1)) == 0; }
 
+/// Sanity ceiling for layout arithmetic: positions past this indicate a
+/// size/alignment combination that would wrap std::size_t downstream.
+constexpr std::size_t kMaxLayoutBytes = std::size_t{1} << 62;
+
 }  // namespace
 
-void LayoutSpec::validate() const {
+util::Status LayoutSpec::check() const {
+  util::Status status;
   if (!is_pow2(base_align))
-    throw std::invalid_argument("LayoutSpec: base_align must be a power of two");
+    status.note("LayoutSpec: base_align must be a power of two");
   if (segment_align > 1 && !is_pow2(segment_align))
-    throw std::invalid_argument("LayoutSpec: segment_align must be 0, 1 or a power of two");
+    status.note("LayoutSpec: segment_align must be 0, 1 or a power of two");
+  if (!shift_cycle.empty() && shift != 0)
+    status.note("LayoutSpec: shift and shift_cycle are mutually exclusive");
+  // An unbounded cycle entry would silently defeat the segment alignment.
+  for (std::size_t displacement : shift_cycle)
+    if (segment_align > 1 && displacement >= segment_align)
+      status.note("LayoutSpec: shift_cycle entry " +
+                  std::to_string(displacement) +
+                  " must be smaller than segment_align");
+  return status;
 }
+
+void LayoutSpec::validate() const { check().throw_if_failed(); }
 
 LayoutResult compute_layout(const std::vector<std::size_t>& segment_bytes,
                             const LayoutSpec& spec) {
@@ -26,18 +42,47 @@ LayoutResult compute_layout(const std::vector<std::size_t>& segment_bytes,
     return result;
   }
 
+  if (!spec.shift_cycle.empty()) {
+    // Degraded-chip replanning path. Unlike the arithmetic s*shift (which
+    // only ever grows), a cycle displacement can step backwards between
+    // segments, so segments are placed sequentially: each one takes the
+    // first alignment boundary whose displaced position clears the previous
+    // segment's end. This preserves the residue modulo segment_align (what
+    // the controller mapping sees) while guaranteeing disjointness.
+    std::size_t end = 0;
+    for (std::size_t s = 0; s < segment_bytes.size(); ++s) {
+      const std::size_t displacement =
+          spec.shift_cycle[s % spec.shift_cycle.size()];
+      std::size_t boundary = 0;
+      if (s != 0 && end > displacement)
+        boundary = align_up(end - displacement, spec.segment_align);
+      const std::size_t pos = boundary + displacement;
+      if (segment_bytes[s] > kMaxLayoutBytes - pos ||
+          spec.offset > kMaxLayoutBytes - pos)
+        throw std::overflow_error("compute_layout: layout exceeds addressable size");
+      result.segment_pos[s] = pos + spec.offset;
+      end = pos + segment_bytes[s];
+    }
+    result.total_bytes = end + spec.offset;
+    return result;
+  }
+
   // Pass 1: aligned (pre-shift) positions.
   std::size_t pos = 0;
   for (std::size_t s = 0; s < segment_bytes.size(); ++s) {
     if (s != 0) pos = align_up(pos, spec.segment_align);
     result.segment_pos[s] = pos;
+    if (segment_bytes[s] > kMaxLayoutBytes - pos)
+      throw std::overflow_error("compute_layout: layout exceeds addressable size");
     pos += segment_bytes[s];
   }
 
-  // Pass 2: displace segment s by s*shift, the whole block by offset.
+  // Pass 2: displace segment s by s*shift and the whole block by offset.
   std::size_t end = 0;
   for (std::size_t s = 0; s < segment_bytes.size(); ++s) {
     result.segment_pos[s] += s * spec.shift + spec.offset;
+    if (result.segment_pos[s] > kMaxLayoutBytes - segment_bytes[s])
+      throw std::overflow_error("compute_layout: layout exceeds addressable size");
     end = result.segment_pos[s] + segment_bytes[s];
   }
   result.total_bytes = end;

@@ -18,6 +18,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/expected.h"
+
 namespace mcopt::seg {
 
 /// The Fig. 3 parameter set.
@@ -32,9 +34,18 @@ struct LayoutSpec {
   std::size_t shift = 0;
   /// Global displacement of the whole block from the aligned base.
   std::size_t offset = 0;
+  /// Degraded-chip replanning: when non-empty, segment s is displaced by
+  /// shift_cycle[s % shift_cycle.size()] bytes past its alignment boundary
+  /// instead of the arithmetic s*shift progression. This lets the planner
+  /// cycle rows through an arbitrary (e.g. surviving-controller) offset set
+  /// that no constant shift can express.
+  std::vector<std::size_t> shift_cycle;
 
-  /// Throws std::invalid_argument unless base_align is a power of two and
-  /// segment_align is 0, 1 or a power of two.
+  /// Non-throwing validation; reports every violation at once (power-of-two
+  /// alignments, shift/shift_cycle exclusivity, cycle entries bounded by the
+  /// alignment period).
+  [[nodiscard]] util::Status check() const;
+  /// Throws std::invalid_argument on the first rule check() would report.
   void validate() const;
 };
 

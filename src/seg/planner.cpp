@@ -1,10 +1,32 @@
 #include "seg/planner.h"
 
 #include <algorithm>
+#include <set>
+#include <stdexcept>
 
 #include "util/table.h"
 
 namespace mcopt::seg {
+namespace {
+
+/// Shared validation of a surviving-controller subset against the map.
+void require_valid_subset(std::span<const unsigned> surviving,
+                          const arch::AddressMap& map, const char* who) {
+  if (surviving.empty())
+    throw std::invalid_argument(std::string(who) +
+                                ": surviving controller set is empty");
+  std::set<unsigned> seen;
+  for (unsigned c : surviving) {
+    if (c >= map.spec().num_controllers())
+      throw std::invalid_argument(std::string(who) + ": controller " +
+                                  std::to_string(c) + " out of range");
+    if (!seen.insert(c).second)
+      throw std::invalid_argument(std::string(who) + ": duplicate controller " +
+                                  std::to_string(c));
+  }
+}
+
+}  // namespace
 
 LayoutSpec StreamPlan::spec_for(std::size_t k) const {
   LayoutSpec spec;
@@ -27,11 +49,28 @@ StreamPlan plan_stream_offsets(std::size_t num_arrays,
   return plan;
 }
 
+StreamPlan plan_stream_offsets(std::size_t num_arrays,
+                               const arch::AddressMap& map,
+                               std::span<const unsigned> surviving) {
+  require_valid_subset(surviving, map, "plan_stream_offsets");
+  const std::size_t period = map.spec().period_bytes();
+  const std::size_t stride = period / map.spec().num_controllers();
+  StreamPlan plan;
+  plan.base_align = std::max<std::size_t>(8192, period);
+  plan.offsets.resize(num_arrays);
+  // A page-aligned base sits on controller 0, so an offset of c*stride lands
+  // the array on controller c; cycle through the healthy subset only.
+  for (std::size_t k = 0; k < num_arrays; ++k)
+    plan.offsets[k] = surviving[k % surviving.size()] * stride;
+  return plan;
+}
+
 LayoutSpec RowPlan::spec() const {
   LayoutSpec spec;
   spec.base_align = base_align;
   spec.segment_align = segment_align;
-  spec.shift = shift;
+  spec.shift = shift_cycle.empty() ? shift : 0;
+  spec.shift_cycle = shift_cycle;
   spec.offset = 0;
   return spec;
 }
@@ -41,6 +80,20 @@ RowPlan plan_row_layout(const arch::AddressMap& map) {
   plan.segment_align = map.spec().period_bytes();
   plan.shift = map.spec().period_bytes() / map.spec().num_controllers();
   plan.base_align = std::max<std::size_t>(8192, plan.segment_align);
+  return plan;
+}
+
+RowPlan plan_row_layout(const arch::AddressMap& map,
+                        std::span<const unsigned> surviving) {
+  require_valid_subset(surviving, map, "plan_row_layout");
+  RowPlan plan = plan_row_layout(map);
+  const std::size_t stride =
+      map.spec().period_bytes() / map.spec().num_controllers();
+  // Row s lands on controller surviving[s % size]; with the paper's static,1
+  // schedule, T <= surviving.size() concurrent rows stay on distinct healthy
+  // controllers.
+  plan.shift_cycle.reserve(surviving.size());
+  for (unsigned c : surviving) plan.shift_cycle.push_back(c * stride);
   return plan;
 }
 

@@ -38,6 +38,16 @@ struct StreamPlan {
 [[nodiscard]] StreamPlan plan_stream_offsets(std::size_t num_arrays,
                                              const arch::AddressMap& map);
 
+/// Graceful-degradation overload: plans offsets over an explicit surviving
+/// controller subset (cf. sim::FaultSpec::surviving_controllers). Array k's
+/// base lands on controller surviving[k % surviving.size()], so concurrent
+/// streams never alias onto one *healthy* controller as long as
+/// num_arrays <= surviving.size(). Throws std::invalid_argument when the set
+/// is empty, out of range or contains duplicates.
+[[nodiscard]] StreamPlan plan_stream_offsets(std::size_t num_arrays,
+                                             const arch::AddressMap& map,
+                                             std::span<const unsigned> surviving);
+
 /// A planned layout for a row-segmented (stencil) array.
 struct RowPlan {
   std::size_t base_align = 8192;
@@ -45,6 +55,10 @@ struct RowPlan {
   std::size_t segment_align = 512;
   /// ...displaced by row_index * shift bytes.
   std::size_t shift = 128;
+  /// Degraded-chip replanning: when non-empty, row s is displaced by
+  /// shift_cycle[s % size] instead of s*shift, cycling rows through the
+  /// surviving controllers only (LayoutSpec::shift_cycle semantics).
+  std::vector<std::size_t> shift_cycle;
 
   [[nodiscard]] LayoutSpec spec() const;
 };
@@ -52,6 +66,13 @@ struct RowPlan {
 /// Plans row alignment+shift for stencil kernels: rows aligned to the full
 /// controller period, successive rows shifted by one controller stride.
 [[nodiscard]] RowPlan plan_row_layout(const arch::AddressMap& map);
+
+/// Graceful-degradation overload of the Jacobi row-shift recipe: row s is
+/// displaced onto controller surviving[s % surviving.size()], so a static,1
+/// schedule keeps concurrently processed rows on distinct healthy
+/// controllers. Same argument validation as the stream overload.
+[[nodiscard]] RowPlan plan_row_layout(const arch::AddressMap& map,
+                                      std::span<const unsigned> surviving);
 
 /// Diagnosis of a set of concurrently traversed stream base addresses.
 struct AliasReport {

@@ -3,19 +3,28 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace mcopt::sim {
 
-void SimConfig::validate() const {
-  topology.validate();
+util::Status SimConfig::check() const {
+  util::Status status;
+  try {
+    topology.validate();
+  } catch (const std::exception& e) {
+    status.note(e.what());
+  }
   if (topology.l2.line_bytes != interleave.line_size())
-    throw std::invalid_argument(
-        "SimConfig: L2 line size must match interleave line size");
+    status.note("SimConfig: L2 line size must match interleave line size");
   if (interleave.num_banks() < interleave.num_controllers())
-    throw std::invalid_argument("SimConfig: fewer banks than controllers");
+    status.note("SimConfig: fewer banks than controllers");
   if (model_lockstep && lockstep_window == 0)
-    throw std::invalid_argument("SimConfig: lockstep_window must be >= 1");
+    status.note("SimConfig: lockstep_window must be >= 1");
+  status.merge(faults.check(interleave));
+  return status;
 }
+
+void SimConfig::validate() const { check().throw_if_failed(); }
 
 struct Chip::ThreadState {
   unsigned id = 0;
@@ -70,6 +79,12 @@ Chip::Chip(SimConfig config, arch::Placement placement)
 }
 
 SimResult Chip::run(Workload& workload) {
+  util::Expected<SimResult> result = try_run(workload);
+  if (!result) throw std::runtime_error(result.error().message);
+  return std::move(result.value());
+}
+
+util::Expected<SimResult> Chip::try_run(Workload& workload) {
   if (workload.size() != placement_.hw_strand.size())
     throw std::invalid_argument("Chip::run: workload/placement size mismatch");
 
@@ -81,7 +96,12 @@ SimResult Chip::run(Workload& workload) {
     l1_.emplace_back(cfg_.topology.l1d, Cache::WritePolicy::kWriteThrough);
   mcs_.clear();
   for (unsigned m = 0; m < cfg_.interleave.num_controllers(); ++m)
-    mcs_.emplace_back(cfg_.calibration, cfg_.interleave);
+    mcs_.emplace_back(cfg_.calibration, cfg_.interleave,
+                      cfg_.faults.derate_of(m));
+  mc_remap_ = cfg_.faults.controller_remap(cfg_.interleave);
+  bank_extra_.resize(cfg_.interleave.num_banks());
+  for (unsigned b = 0; b < cfg_.interleave.num_banks(); ++b)
+    bank_extra_[b] = cfg_.faults.bank_extra(b);
   bank_free_.assign(cfg_.interleave.num_banks(), 0);
   cores_.assign(cfg_.topology.num_cores, CoreState{});
   for (auto& core : cores_) {
@@ -98,6 +118,8 @@ SimResult Chip::run(Workload& workload) {
   threads_.assign(n, ThreadState{});
   alive_ = n;
   iter_ring_[0] = n;  // every thread starts at iteration 0
+  straggle_.assign(n, 0);
+  std::uint64_t expected_accesses = 0;
   for (unsigned t = 0; t < n; ++t) {
     ThreadState& ts = threads_[t];
     ts.id = t;
@@ -106,13 +128,33 @@ SimResult Chip::run(Workload& workload) {
     ts.program = workload[t].get();
     ts.batch.resize(256);
     ts.store_slot.assign(cfg_.calibration.store_buffer_entries, 0);
+    straggle_[t] = cfg_.faults.straggle_of(t);
+    expected_accesses += ts.program->total_accesses();
     runnable_.emplace(0, t);
   }
 
+  // Watchdog bookkeeping (active when a cycle budget is configured): a
+  // workload is aborted with a diagnostic once every runnable thread's clock
+  // has passed the budget, or once a program emits more accesses than it
+  // advertised (a malformed generator that would never exhaust).
+  const auto processed = [this] {
+    std::uint64_t total = 0;
+    for (const ThreadState& ts : threads_) total += ts.loads + ts.stores;
+    return total;
+  };
+
+  std::uint64_t steps = 0;
   while (!runnable_.empty()) {
     const auto [when, tid] = runnable_.top();
     runnable_.pop();
-    (void)when;
+    if (cfg_.cycle_budget != 0 && when > cfg_.cycle_budget) {
+      return util::Expected<SimResult>::failure(
+          "Chip::run watchdog: cycle budget " +
+          std::to_string(cfg_.cycle_budget) + " exceeded at cycle " +
+          std::to_string(when) + " with " + std::to_string(processed()) +
+          " of " + std::to_string(expected_accesses) +
+          " advertised accesses processed");
+    }
     ThreadState& ts = threads_[tid];
     switch (step(ts)) {
       case StepOutcome::kRan:
@@ -122,9 +164,18 @@ SimResult Chip::run(Workload& workload) {
       case StepOutcome::kDone:
         break;  // bookkeeping happened inside step()
     }
+    // The runaway-program check is amortized: scanning thread counters every
+    // step would cost O(threads) per access.
+    if (cfg_.cycle_budget != 0 && (++steps & 1023) == 0 &&
+        processed() > expected_accesses) {
+      return util::Expected<SimResult>::failure(
+          "Chip::run watchdog: workload emitted more than its advertised " +
+          std::to_string(expected_accesses) + " accesses");
+    }
   }
   if (!parked_.empty())
-    throw std::logic_error("Chip::run: lockstep deadlock (parked threads remain)");
+    return util::Expected<SimResult>::failure(
+        "Chip::run: lockstep deadlock (parked threads remain)");
 
   SimResult result;
   result.clock_ghz = cfg_.topology.clock_ghz;
@@ -155,6 +206,13 @@ SimResult Chip::run(Workload& workload) {
   }
   result.mem_read_bytes = mem_reads * cfg_.interleave.line_size();
   result.mem_write_bytes = mem_writes * cfg_.interleave.line_size();
+  result.degraded = cfg_.faults.any();
+  result.mc_utilization.resize(result.mc.size(), 0.0);
+  if (result.total_cycles != 0)
+    for (std::size_t m = 0; m < result.mc.size(); ++m)
+      result.mc_utilization[m] =
+          static_cast<double>(result.mc[m].busy_cycles) /
+          static_cast<double>(result.total_cycles);
   return result;
 }
 
@@ -163,21 +221,22 @@ arch::Cycles Chip::miss_to_l2(arch::Cycles when, arch::Addr addr, bool is_store)
   // L2 bank occupancy.
   const unsigned bank = map_.global_bank_of(addr);
   const arch::Cycles bank_start = std::max(bank_free_[bank], when);
-  bank_free_[bank] = bank_start + cal.l2_bank_busy;
+  bank_free_[bank] = bank_start + cal.l2_bank_busy + bank_extra_[bank];
 
   const CacheOutcome outcome = is_store ? l2_->store(addr) : l2_->load(addr);
   if (outcome.writeback_line != CacheOutcome::kNoEviction) {
     // Asynchronous write-back of the evicted dirty line; consumes write
     // bandwidth on the evicted line's controller but blocks nobody.
-    mcs_[map_.controller_of(outcome.writeback_line)].request(
+    mcs_[mc_remap_[map_.controller_of(outcome.writeback_line)]].request(
         bank_start, /*is_write=*/true, outcome.writeback_line);
   }
   if (outcome.hit) return bank_start + cal.l2_hit_latency;
 
   // L2 miss: line fetch (an RFO read when triggered by a store, since the L2
   // is write-allocate). DRAM latency overlaps the controller's queue: the
-  // requester sees whichever is later, queue drain or latency.
-  MemoryController& mc = mcs_[map_.controller_of(addr)];
+  // requester sees whichever is later, queue drain or latency. Offline
+  // controllers are remapped to their designated survivor.
+  MemoryController& mc = mcs_[mc_remap_[map_.controller_of(addr)]];
   const arch::Cycles service_done = mc.request(bank_start, /*is_write=*/false, addr);
   return std::max(service_done, bank_start + cal.mem_latency);
 }
@@ -225,6 +284,8 @@ Chip::StepOutcome Chip::step(ThreadState& ts) {
   }
 
   const Access a = ts.batch[ts.batch_pos++];
+  // Straggler-strand fault: the thread loses extra cycles on every access.
+  ts.time += straggle_[ts.id];
   if (a.begins_iteration) {
     const std::uint64_t prev = ts.iteration++;
     if (cfg_.model_lockstep) {

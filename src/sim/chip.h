@@ -32,8 +32,10 @@
 #include "arch/calibration.h"
 #include "arch/topology.h"
 #include "sim/cache.h"
+#include "sim/faults.h"
 #include "sim/memory_controller.h"
 #include "sim/program.h"
+#include "util/expected.h"
 
 namespace mcopt::sim {
 
@@ -64,7 +66,17 @@ struct SimConfig {
   /// calibrated so the Fig. 2 dip and odd-multiple-of-32 levels match the
   /// paper (3.7 / ~7.4 GB/s reported for 64-thread STREAM triad).
   std::uint64_t lockstep_window = 12;
+  /// Injected hardware faults (offline/derated controllers, slow banks,
+  /// straggler strands). Default: healthy chip.
+  FaultSpec faults{};
+  /// Watchdog: abort try_run() with a diagnostic once simulated time passes
+  /// this many cycles (0 = unlimited). Guards harnesses against malformed
+  /// workloads that would otherwise run unboundedly.
+  arch::Cycles cycle_budget = 0;
 
+  /// Non-throwing validation; reports every violation at once.
+  [[nodiscard]] util::Status check() const;
+  /// Throwing wrapper around check() (historical API).
   void validate() const;
 };
 
@@ -82,6 +94,10 @@ struct SimResult {
   std::uint64_t mem_write_bytes = 0;  ///< L2 write-backs
   std::vector<arch::Cycles> thread_finish;  ///< per software thread
   double clock_ghz = 0.0;
+  /// Busy fraction of each controller over the run (0 for an offline one).
+  std::vector<double> mc_utilization;
+  /// True when the run executed under an injected fault (SimConfig::faults).
+  bool degraded = false;
 
   [[nodiscard]] double seconds() const noexcept {
     return clock_ghz <= 0.0 ? 0.0
@@ -115,8 +131,12 @@ class Chip {
 
   /// Runs one workload to completion. workload.size() must equal
   /// num_threads(); programs are NOT reset first (callers may pre-advance
-  /// them for warm-up).
+  /// them for warm-up). Throws std::runtime_error if the watchdog trips.
   SimResult run(Workload& workload);
+
+  /// Like run(), but reports watchdog/guardrail aborts as a diagnostic
+  /// instead of throwing. Usage errors (size mismatch) still throw.
+  util::Expected<SimResult> try_run(Workload& workload);
 
  private:
   struct ThreadState;
@@ -142,6 +162,9 @@ class Chip {
   std::unique_ptr<Cache> l2_;
   std::vector<Cache> l1_;                  // per core
   std::vector<MemoryController> mcs_;      // per controller
+  std::vector<unsigned> mc_remap_;         // fault remap (identity if healthy)
+  std::vector<arch::Cycles> bank_extra_;   // per-bank fault slowdown
+  std::vector<arch::Cycles> straggle_;     // per-thread fault lag
   std::vector<arch::Cycles> bank_free_;    // per global L2 bank
   std::vector<CoreState> cores_;
   std::vector<ThreadState> threads_;

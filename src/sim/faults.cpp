@@ -1,0 +1,208 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcopt::sim {
+
+bool FaultSpec::is_offline(unsigned controller) const noexcept {
+  return std::find(offline_controllers.begin(), offline_controllers.end(),
+                   controller) != offline_controllers.end();
+}
+
+double FaultSpec::derate_of(unsigned controller) const noexcept {
+  double factor = 1.0;
+  for (const Derate& d : derates)
+    if (d.controller == controller) factor *= d.factor;
+  return factor;
+}
+
+arch::Cycles FaultSpec::bank_extra(unsigned bank) const noexcept {
+  arch::Cycles extra = 0;
+  for (const SlowBank& b : slow_banks)
+    if (b.bank == bank) extra += b.extra_busy;
+  return extra;
+}
+
+arch::Cycles FaultSpec::straggle_of(unsigned thread) const noexcept {
+  arch::Cycles extra = 0;
+  for (const Straggler& s : stragglers)
+    if (s.thread == thread) extra += s.extra_cycles;
+  return extra;
+}
+
+std::vector<unsigned> FaultSpec::surviving_controllers(
+    const arch::InterleaveSpec& spec) const {
+  std::vector<unsigned> alive;
+  for (unsigned c = 0; c < spec.num_controllers(); ++c)
+    if (!is_offline(c)) alive.push_back(c);
+  return alive;
+}
+
+std::vector<unsigned> FaultSpec::controller_remap(
+    const arch::InterleaveSpec& spec) const {
+  const std::vector<unsigned> alive = surviving_controllers(spec);
+  std::vector<unsigned> remap(spec.num_controllers());
+  std::size_t next_survivor = 0;  // spread dead controllers' load round-robin
+  for (unsigned c = 0; c < spec.num_controllers(); ++c) {
+    if (!is_offline(c)) {
+      remap[c] = c;
+    } else {
+      remap[c] = alive.at(next_survivor % alive.size());
+      ++next_survivor;
+    }
+  }
+  return remap;
+}
+
+util::Status FaultSpec::check(const arch::InterleaveSpec& spec) const {
+  util::Status status;
+  for (unsigned c : offline_controllers)
+    if (c >= spec.num_controllers())
+      status.note("FaultSpec: offline controller " + std::to_string(c) +
+                  " out of range (chip has " +
+                  std::to_string(spec.num_controllers()) + ")");
+  if (surviving_controllers(spec).empty())
+    status.note("FaultSpec: at least one controller must survive");
+  for (const Derate& d : derates) {
+    if (d.controller >= spec.num_controllers())
+      status.note("FaultSpec: derated controller " +
+                  std::to_string(d.controller) + " out of range");
+    if (!(d.factor > 0.0) || d.factor > 1.0)
+      status.note("FaultSpec: derate factor " + std::to_string(d.factor) +
+                  " must lie in (0, 1]");
+  }
+  for (const SlowBank& b : slow_banks)
+    if (b.bank >= spec.num_banks())
+      status.note("FaultSpec: slow bank " + std::to_string(b.bank) +
+                  " out of range (chip has " + std::to_string(spec.num_banks()) +
+                  ")");
+  return status;
+}
+
+std::string FaultSpec::describe() const {
+  if (!any()) return "healthy";
+  std::string out;
+  const auto append = [&out](const std::string& item) {
+    if (!out.empty()) out += ' ';
+    out += item;
+  };
+  for (unsigned c : offline_controllers) append("mc" + std::to_string(c) + ":off");
+  for (const Derate& d : derates) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", d.factor);
+    append("mc" + std::to_string(d.controller) + ":derate=" + buf);
+  }
+  for (const SlowBank& b : slow_banks)
+    append("bank" + std::to_string(b.bank) +
+           ":slow=" + std::to_string(b.extra_busy));
+  for (const Straggler& s : stragglers)
+    append("strand" + std::to_string(s.thread) +
+           ":lag=" + std::to_string(s.extra_cycles));
+  return out;
+}
+
+namespace {
+
+/// Splits "a,b,c" into trimmed non-empty items.
+std::vector<std::string> split_items(const std::string& text) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    std::string item = text.substr(start, comma - start);
+    const auto lo = item.find_first_not_of(" \t");
+    const auto hi = item.find_last_not_of(" \t");
+    if (lo != std::string::npos) items.push_back(item.substr(lo, hi - lo + 1));
+    start = comma + 1;
+  }
+  return items;
+}
+
+/// Parses the digits after a known prefix; false on junk.
+bool parse_index(const std::string& text, const char* prefix, unsigned& index,
+                 std::size_t& consumed) {
+  const std::string p(prefix);
+  if (text.rfind(p, 0) != 0) return false;
+  std::size_t pos = p.size();
+  if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos])))
+    return false;
+  unsigned long value = 0;
+  while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    value = value * 10 + static_cast<unsigned long>(text[pos] - '0');
+    if (value > 1u << 20) return false;  // absurd index: reject early
+    ++pos;
+  }
+  index = static_cast<unsigned>(value);
+  consumed = pos;
+  return true;
+}
+
+}  // namespace
+
+util::Expected<FaultSpec> FaultSpec::parse(const std::string& text) {
+  using Result = util::Expected<FaultSpec>;
+  FaultSpec spec;
+  for (const std::string& item : split_items(text)) {
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos)
+      return Result::failure("FaultSpec: '" + item +
+                             "' is missing ':' (expected e.g. mc0:off)");
+    const std::string target = item.substr(0, colon);
+    const std::string action = item.substr(colon + 1);
+
+    unsigned index = 0;
+    std::size_t consumed = 0;
+    const auto numeric_arg = [&](const std::string& key) -> util::Expected<double> {
+      const std::string prefix = key + "=";
+      if (action.rfind(prefix, 0) != 0)
+        return util::Expected<double>::failure(
+            "FaultSpec: '" + item + "' expects " + key + "=<value>");
+      const std::string value = action.substr(prefix.size());
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0')
+        return util::Expected<double>::failure("FaultSpec: malformed value in '" +
+                                               item + "'");
+      return parsed;
+    };
+
+    if (parse_index(target, "mc", index, consumed) && consumed == target.size()) {
+      if (action == "off") {
+        spec.offline_controllers.push_back(index);
+      } else if (action.rfind("derate=", 0) == 0) {
+        const auto factor = numeric_arg("derate");
+        if (!factor) return Result::failure(factor.error().message);
+        spec.derates.push_back({index, factor.value()});
+      } else {
+        return Result::failure("FaultSpec: unknown controller action in '" +
+                               item + "' (use off or derate=<f>)");
+      }
+    } else if (parse_index(target, "bank", index, consumed) &&
+               consumed == target.size()) {
+      const auto cycles = numeric_arg("slow");
+      if (!cycles) return Result::failure(cycles.error().message);
+      if (cycles.value() < 0.0)
+        return Result::failure("FaultSpec: negative slow cycles in '" + item + "'");
+      spec.slow_banks.push_back(
+          {index, static_cast<arch::Cycles>(cycles.value())});
+    } else if (parse_index(target, "strand", index, consumed) &&
+               consumed == target.size()) {
+      const auto cycles = numeric_arg("lag");
+      if (!cycles) return Result::failure(cycles.error().message);
+      if (cycles.value() < 0.0)
+        return Result::failure("FaultSpec: negative lag cycles in '" + item + "'");
+      spec.stragglers.push_back(
+          {index, static_cast<arch::Cycles>(cycles.value())});
+    } else {
+      return Result::failure("FaultSpec: unknown target in '" + item +
+                             "' (use mc<i>, bank<i> or strand<t>)");
+    }
+  }
+  return spec;
+}
+
+}  // namespace mcopt::sim

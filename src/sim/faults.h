@@ -1,0 +1,102 @@
+#pragma once
+// Fault-injection model for the simulated memory subsystem.
+//
+// Real multi-controller machines degrade asymmetrically: a DIMM drops to a
+// lower speed bin, firmware offlines a failing channel, a core runs hot and
+// throttles one strand. The paper's aliasing analysis assumes a healthy,
+// symmetric chip; this layer lets every bench and test ask "what happens to
+// the layout recipes when the chip is NOT healthy" (cf. the NUMA-asymmetry
+// effects Bergstrom measures with STREAM). A FaultSpec attaches to SimConfig;
+// the chip model honors it during reservation:
+//
+//  * offline controller  — the channel serves no traffic; its lines are
+//    remapped round-robin onto the surviving controllers (the firmware
+//    re-interleave stand-in). The survivors absorb the load.
+//  * derated controller  — service rate multiplied by `factor` in (0,1]
+//    (a slow DIMM: every transfer takes 1/factor as long).
+//  * slow L2 bank        — extra busy cycles per access on one global bank.
+//  * straggler strand    — extra cycles added to every access of one
+//    software thread (thermal throttling / interrupt noise stand-in).
+//
+// All faults are deterministic, so degraded runs stay exactly reproducible.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "arch/calibration.h"
+#include "util/expected.h"
+
+namespace mcopt::sim {
+
+/// Declarative fault set for one simulation. Default: healthy chip.
+struct FaultSpec {
+  /// Controllers serving no traffic (remapped to survivors).
+  std::vector<unsigned> offline_controllers;
+
+  /// Service-rate derating of one controller: transfers take 1/factor longer.
+  struct Derate {
+    unsigned controller = 0;
+    double factor = 1.0;  ///< in (0, 1]; 1.0 = healthy
+  };
+  std::vector<Derate> derates;
+
+  /// Extra busy cycles per access on one global L2 bank.
+  struct SlowBank {
+    unsigned bank = 0;
+    arch::Cycles extra_busy = 0;
+  };
+  std::vector<SlowBank> slow_banks;
+
+  /// Extra cycles per access for one software thread.
+  struct Straggler {
+    unsigned thread = 0;
+    arch::Cycles extra_cycles = 0;
+  };
+  std::vector<Straggler> stragglers;
+
+  /// True if any fault is configured (the SimResult::degraded flag).
+  [[nodiscard]] bool any() const noexcept {
+    return !offline_controllers.empty() || !derates.empty() ||
+           !slow_banks.empty() || !stragglers.empty();
+  }
+
+  [[nodiscard]] bool is_offline(unsigned controller) const noexcept;
+  /// Derate factor of `controller` (product over duplicate entries; 1.0 when
+  /// healthy).
+  [[nodiscard]] double derate_of(unsigned controller) const noexcept;
+  /// Extra busy cycles of global L2 bank `bank` (sum over entries).
+  [[nodiscard]] arch::Cycles bank_extra(unsigned bank) const noexcept;
+  /// Per-access straggle cycles of software thread `thread`.
+  [[nodiscard]] arch::Cycles straggle_of(unsigned thread) const noexcept;
+
+  /// Controllers still serving traffic under `spec`, ascending.
+  [[nodiscard]] std::vector<unsigned> surviving_controllers(
+      const arch::InterleaveSpec& spec) const;
+
+  /// Remap table: entry c is the controller that actually serves lines the
+  /// address map assigns to c (identity for healthy controllers, a survivor
+  /// chosen round-robin for offline ones).
+  [[nodiscard]] std::vector<unsigned> controller_remap(
+      const arch::InterleaveSpec& spec) const;
+
+  /// Semantic validation against a chip's interleave: indices in range,
+  /// factors in (0,1], at least one controller must survive. Reports every
+  /// violation at once.
+  [[nodiscard]] util::Status check(const arch::InterleaveSpec& spec) const;
+
+  /// Human-readable one-liner ("mc0:off mc1:derate=0.50 ...", "healthy").
+  [[nodiscard]] std::string describe() const;
+
+  /// Parses the bench `--fault` grammar: comma-separated items of
+  ///   mc<i>:off          offline controller i
+  ///   mc<i>:derate=<f>   derate controller i to rate factor f
+  ///   bank<i>:slow=<c>   add c busy cycles to global L2 bank i
+  ///   strand<t>:lag=<c>  add c cycles to every access of thread t
+  /// An empty string parses to the healthy spec. The result is grammar-
+  /// checked only; call check() against the chip's interleave afterwards.
+  [[nodiscard]] static util::Expected<FaultSpec> parse(const std::string& text);
+};
+
+}  // namespace mcopt::sim

@@ -2,17 +2,22 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <stdexcept>
 
 namespace mcopt::sim {
 
 MemoryController::MemoryController(const arch::Calibration& cal,
-                                   const arch::InterleaveSpec& spec)
+                                   const arch::InterleaveSpec& spec,
+                                   double rate_factor)
     : cal_(cal),
+      rate_factor_(rate_factor),
       line_bytes_(spec.line_size()),
       line_bits_(spec.line_bits),
       bank_select_bits_(spec.controller_bits),
       bank_low_bit_(spec.bank_bits) {
+  if (!(rate_factor_ > 0.0) || rate_factor_ > 1.0)
+    throw std::invalid_argument("MemoryController: rate_factor must be in (0, 1]");
   if (cal_.dram_banks == 0 || (cal_.dram_banks & (cal_.dram_banks - 1)) != 0)
     throw std::invalid_argument("MemoryController: dram_banks must be a power of two");
   if (cal_.dram_row_bytes < line_bytes_ ||
@@ -69,6 +74,9 @@ arch::Cycles MemoryController::request(arch::Cycles now, bool is_write,
     service += cal_.mc_turnaround;
     ++stats_.turnarounds;
   }
+  if (rate_factor_ < 1.0)
+    service = static_cast<arch::Cycles>(
+        std::ceil(static_cast<double>(service) / rate_factor_));
   last_was_write_ = is_write;
   any_request_ = true;
 

@@ -47,7 +47,10 @@ struct McStats {
 /// One memory controller. Not thread-safe; serialized by the chip model.
 class MemoryController {
  public:
-  MemoryController(const arch::Calibration& cal, const arch::InterleaveSpec& spec);
+  /// `rate_factor` in (0, 1] derates the channel: every transfer's service
+  /// time is divided by it (fault injection; 1.0 = healthy).
+  MemoryController(const arch::Calibration& cal, const arch::InterleaveSpec& spec,
+                   double rate_factor = 1.0);
 
   /// Enqueues a transfer of the line containing global address `addr`,
   /// arriving at `now`. Returns the cycle the data transfer completes; for
@@ -73,6 +76,7 @@ class MemoryController {
   [[nodiscard]] std::uint64_t local_line(arch::Addr addr) const noexcept;
 
   arch::Calibration cal_;
+  double rate_factor_ = 1.0;
   std::size_t line_bytes_;
   unsigned line_bits_;
   unsigned bank_select_bits_;   ///< controller bits within the line index

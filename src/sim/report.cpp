@@ -48,6 +48,8 @@ UtilizationSummary summarize(const SimResult& result) {
 
 void print_report(std::ostream& os, const SimResult& result) {
   const UtilizationSummary s = summarize(result);
+  if (result.degraded)
+    os << "DEGRADED run: hardware faults were injected (see SimConfig::faults)\n";
   os << "simulated " << util::fmt_fixed(s.seconds * 1e3, 3) << " ms ("
      << util::fmt_group(static_cast<long long>(result.total_cycles))
      << " cycles), " << util::fmt_fixed(s.bandwidth_gbs, 2)

@@ -1,5 +1,6 @@
 #include "trace/virtual_arena.h"
 
+#include <limits>
 #include <stdexcept>
 
 namespace mcopt::trace {
@@ -7,7 +8,17 @@ namespace mcopt::trace {
 arch::Addr VirtualArena::allocate(std::size_t bytes, std::size_t align) {
   if (align == 0 || (align & (align - 1)) != 0)
     throw std::invalid_argument("VirtualArena: alignment must be a power of two");
+  constexpr arch::Addr kMax = std::numeric_limits<arch::Addr>::max();
+  // Both the align round-up and the bump can wrap Addr; a wrapped arena would
+  // hand out overlapping (or tiny) addresses and silently corrupt every
+  // aliasing experiment built on top.
+  if (next_ > kMax - (align - 1))
+    throw std::overflow_error("VirtualArena: alignment round-up overflows the address space");
   const arch::Addr start = (next_ + align - 1) / align * align;
+  if (bytes > kMax - start)
+    throw std::overflow_error("VirtualArena: allocation of " +
+                              std::to_string(bytes) +
+                              " bytes overflows the address space");
   next_ = start + bytes;
   return start;
 }
@@ -16,6 +27,8 @@ arch::Addr VirtualArena::malloc_like(std::size_t bytes) {
   // glibc: 8-byte header before a 16-byte-aligned block; usable sizes round
   // to 16. The net effect for back-to-back large mallocs: bases separated by
   // round16(bytes) + 16.
+  if (bytes > std::numeric_limits<std::size_t>::max() - 32)
+    throw std::overflow_error("VirtualArena: malloc_like size overflows the address space");
   const arch::Addr start = allocate(bytes + 16, 16) + 16;
   next_ = start + (bytes + 15) / 16 * 16;
   return start;

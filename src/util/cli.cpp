@@ -1,9 +1,31 @@
 #include "util/cli.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 
 namespace mcopt::util {
+
+namespace {
+
+/// Plain Levenshtein distance, one rolling row.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      row[j] = std::min({up + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
 
 Cli::Cli(std::string program_description)
     : description_(std::move(program_description)) {}
@@ -47,7 +69,21 @@ Cli& Cli::option_str(const std::string& name, std::string def, const std::string
   return *this;
 }
 
+std::string Cli::nearest(const std::string& name) const {
+  std::string best;
+  std::size_t best_dist = 3;  // only suggest within edit distance 2
+  for (const auto& candidate : order_) {
+    const std::size_t dist = edit_distance(name, candidate);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
 bool Cli::parse(int argc, const char* const* argv) {
+  std::vector<std::string> unknown;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -64,7 +100,18 @@ bool Cli::parse(int argc, const char* const* argv) {
       name = name.substr(0, eq);
     }
     const auto it = opts_.find(name);
-    if (it == opts_.end()) throw std::invalid_argument("unknown option: --" + name);
+    if (it == opts_.end()) {
+      // Keep scanning so one message reports every typo, not just the first;
+      // swallow a following non-option token as the presumed value.
+      std::string entry = "--" + name;
+      if (const std::string near = nearest(name); !near.empty())
+        entry += " (did you mean --" + near + "?)";
+      unknown.push_back(std::move(entry));
+      if (!inline_value && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0)
+        ++i;
+      continue;
+    }
     Opt& opt = it->second;
 
     if (opt.kind == Kind::kFlag) {
@@ -99,6 +146,15 @@ bool Cli::parse(int argc, const char* const* argv) {
     } catch (const std::exception&) {
       throw std::invalid_argument("malformed value for --" + name + ": " + value);
     }
+  }
+  if (!unknown.empty()) {
+    std::string msg =
+        unknown.size() == 1 ? "unknown option: " : "unknown options: ";
+    for (std::size_t j = 0; j < unknown.size(); ++j) {
+      if (j) msg += ", ";
+      msg += unknown[j];
+    }
+    throw std::invalid_argument(msg);
   }
   return true;
 }

@@ -23,8 +23,14 @@ class Cli {
   Cli& option_str(const std::string& name, std::string def, const std::string& help);
 
   /// Parses argv. Returns false (after printing usage) iff --help was given.
-  /// Throws std::invalid_argument on unknown options or malformed values.
+  /// Throws std::invalid_argument on malformed values; unknown options are
+  /// collected and reported all at once, each with a "did you mean" nearest
+  /// registered name when one is within edit distance 2.
   bool parse(int argc, const char* const* argv);
+
+  /// Closest registered option name (edit distance <= 2), or "" if none.
+  /// Exposed for testing the typo-suggestion machinery.
+  [[nodiscard]] std::string nearest(const std::string& name) const;
 
   [[nodiscard]] bool get_flag(const std::string& name) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;

@@ -18,6 +18,11 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
   ++rows_;
 }
 
+void CsvWriter::flush() {
+  out_.flush();
+  if (!out_) throw std::runtime_error("CsvWriter: flush failed (disk full?)");
+}
+
 std::string CsvWriter::escape(const std::string& cell) {
   const bool needs_quote =
       cell.find_first_of(",\"\n\r") != std::string::npos;
@@ -37,6 +42,7 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
     out_ << escape(cells[i]);
   }
   out_.put('\n');
+  if (!out_) throw std::runtime_error("CsvWriter: write failed");
 }
 
 }  // namespace mcopt::util

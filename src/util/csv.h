@@ -14,7 +14,12 @@ class CsvWriter {
   /// Opens `path` for writing and emits the header row. Throws on failure.
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
 
+  /// Appends one row. Throws std::runtime_error if the underlying stream
+  /// failed (disk full, path removed) — results must never be lost silently.
   void add_row(const std::vector<std::string>& cells);
+
+  /// Flushes buffered rows to disk; throws std::runtime_error on I/O failure.
+  void flush();
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
 

@@ -1,0 +1,101 @@
+#pragma once
+// Minimal expected/status types for recoverable errors — the guardrail layer
+// of the toolkit. Configuration validation and the simulator watchdog return
+// these instead of throwing, so long-running harnesses can report a precise
+// diagnostic and keep sweeping instead of dying mid-table. Throwing wrappers
+// remain for callers that prefer exceptions (the historical API).
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mcopt::util {
+
+/// A diagnostic carried by a failed Expected/Status.
+struct Error {
+  std::string message;
+};
+
+/// Result of a fallible operation: either a T or an Error diagnostic.
+/// Deliberately tiny (no monadic combinators) — the codebase needs exactly
+/// "did it work, and if not, why" at validation boundaries.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Error error) : state_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Expected failure(std::string message) {
+    return Expected(Error{std::move(message)});
+  }
+
+  [[nodiscard]] bool has_value() const noexcept {
+    return std::holds_alternative<T>(state_);
+  }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  /// The value; throws std::runtime_error carrying the diagnostic on failure.
+  [[nodiscard]] T& value() {
+    if (!has_value()) throw std::runtime_error(error().message);
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] const T& value() const {
+    if (!has_value()) throw std::runtime_error(error().message);
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  /// The diagnostic; only meaningful when !has_value().
+  [[nodiscard]] const Error& error() const { return std::get<Error>(state_); }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Expected<void>: success or a diagnostic. Also usable as an accumulator —
+/// note() keeps the first failure and appends subsequent ones, so validators
+/// can report every problem at once.
+class Status {
+ public:
+  Status() = default;
+
+  [[nodiscard]] static Status failure(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.error_.message = std::move(message);
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+  [[nodiscard]] const Error& error() const noexcept { return error_; }
+
+  /// Records a failure; multiple notes concatenate with "; ".
+  void note(const std::string& message) {
+    if (ok_) {
+      ok_ = false;
+      error_.message = message;
+    } else {
+      error_.message += "; " + message;
+    }
+  }
+
+  /// Merges another status' diagnostics into this one.
+  void merge(const Status& other) {
+    if (!other.ok()) note(other.error().message);
+  }
+
+  /// Throws std::invalid_argument on failure (bridge to the throwing API).
+  void throw_if_failed() const {
+    if (!ok_) throw std::invalid_argument(error_.message);
+  }
+
+ private:
+  bool ok_ = true;
+  Error error_;
+};
+
+}  // namespace mcopt::util

@@ -1,12 +1,27 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace mcopt::util {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+/// Initial threshold: MCOPT_LOG_LEVEL when set and parseable, else kInfo.
+/// Runs once at static-init time, before main.
+LogLevel initial_level() {
+  const char* env = std::getenv("MCOPT_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kInfo;
+  if (const auto parsed = parse_log_level(env)) return *parsed;
+  std::fprintf(stderr,
+               "[WARN ] MCOPT_LOG_LEVEL='%s' is not a log level "
+               "(want debug|info|warn|error or 0-3); using info\n",
+               env);
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -19,6 +34,17 @@ const char* level_tag(LogLevel level) {
 }
 
 }  // namespace
+
+std::optional<LogLevel> parse_log_level(const std::string& text) {
+  std::string lower;
+  for (char ch : text)
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") return LogLevel::kWarn;
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return std::nullopt;
+}
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 

@@ -2,13 +2,21 @@
 // Minimal leveled logging to stderr. Benches use it for progress lines that
 // must not pollute the stdout result tables.
 
+#include <optional>
 #include <string>
 
 namespace mcopt::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global threshold; messages below it are dropped. Default: kInfo.
+/// Parses a log-level name ("debug", "info", "warn"/"warning", "error",
+/// case-insensitive, or the numeric values 0-3). Returns nullopt on anything
+/// else — callers decide whether that is fatal.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(const std::string& text);
+
+/// Global threshold; messages below it are dropped. Default: kInfo, or the
+/// MCOPT_LOG_LEVEL environment variable when set to a parseable level at
+/// startup (an unparseable value is ignored with a warning).
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level() noexcept;
 

@@ -1,0 +1,124 @@
+// End-to-end graceful-degradation scenarios: the planner's surviving-
+// controller overloads must recover bandwidth the naive (512 B-aliased)
+// layouts lose when the chip runs with injected faults, and the watchdog
+// must turn a hopeless run into a diagnostic instead of a hang.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/triad.h"
+#include "seg/planner.h"
+#include "sim/chip.h"
+#include "sim/faults.h"
+#include "trace/virtual_arena.h"
+
+namespace mcopt {
+namespace {
+
+constexpr std::size_t kN = 16384;
+constexpr unsigned kThreads = 32;
+
+double triad_bandwidth(const std::vector<arch::Addr>& bases,
+                       const sim::SimConfig& cfg) {
+  auto wl = kernels::make_triad_workload(bases, kN, kThreads,
+                                         sched::Schedule::static_block());
+  sim::Chip chip(cfg, arch::equidistant_placement(kThreads, cfg.topology));
+  return chip.run(wl).memory_bandwidth();
+}
+
+/// All four arrays page-aligned: bases congruent mod 512, the Fig. 4
+/// pessimal layout.
+std::vector<arch::Addr> naive_aliased_bases() {
+  trace::VirtualArena arena;
+  std::vector<arch::Addr> bases;
+  for (int k = 0; k < 4; ++k) bases.push_back(arena.allocate(kN * 8, 8192));
+  return bases;
+}
+
+/// Page-aligned plus the degraded planner's surviving-set offsets.
+std::vector<arch::Addr> replanned_bases(const sim::SimConfig& cfg) {
+  const arch::AddressMap map(cfg.interleave);
+  const auto surviving = cfg.faults.surviving_controllers(cfg.interleave);
+  const seg::StreamPlan plan = seg::plan_stream_offsets(4, map, surviving);
+  trace::VirtualArena arena;
+  std::vector<arch::Addr> bases;
+  for (std::size_t k = 0; k < 4; ++k)
+    bases.push_back(arena.allocate(kN * 8 + plan.offsets[k], plan.base_align) +
+                    plan.offsets[k]);
+  return bases;
+}
+
+TEST(FaultDegradation, ReplannedTriadBeatsNaiveUnderEachSingleControllerLoss) {
+  for (unsigned dead = 0; dead < 4; ++dead) {
+    sim::SimConfig cfg;
+    cfg.faults.offline_controllers = {dead};
+    const double naive = triad_bandwidth(naive_aliased_bases(), cfg);
+    const double replanned = triad_bandwidth(replanned_bases(cfg), cfg);
+    EXPECT_GT(replanned, naive) << "controller " << dead << " offline";
+    // Not marginal, either: the survivors must actually share the load.
+    EXPECT_GT(replanned, naive * 1.5) << "controller " << dead << " offline";
+  }
+}
+
+TEST(FaultDegradation, AcceptanceScenarioOfflinePlusDerate) {
+  // The ISSUE acceptance criterion: one controller offline AND another
+  // derated to half rate; the replanned layout must still strictly beat the
+  // 512 B-aliased naive layout.
+  sim::SimConfig cfg;
+  cfg.faults.offline_controllers = {0};
+  cfg.faults.derates.push_back({1, 0.5});
+  const double naive = triad_bandwidth(naive_aliased_bases(), cfg);
+  const double replanned = triad_bandwidth(replanned_bases(cfg), cfg);
+  EXPECT_GT(replanned, naive);
+}
+
+TEST(FaultDegradation, ReplannedJacobiRowsUseOnlySurvivors) {
+  // The row-shift recipe's degraded overload must keep every row start on a
+  // surviving controller.
+  sim::SimConfig cfg;
+  cfg.faults.offline_controllers = {2};
+  const arch::AddressMap map(cfg.interleave);
+  const auto surviving = cfg.faults.surviving_controllers(cfg.interleave);
+  const seg::RowPlan plan = seg::plan_row_layout(map, surviving);
+  const seg::LayoutSpec spec = plan.spec();
+  const seg::LayoutResult layout =
+      seg::compute_layout(std::vector<std::size_t>(16, 256), spec);
+  for (std::size_t s = 0; s < layout.segment_pos.size(); ++s) {
+    const unsigned mc = map.controller_of(layout.segment_pos[s]);
+    EXPECT_NE(mc, 2u) << "row " << s << " starts on the dead controller";
+  }
+}
+
+TEST(FaultDegradation, WatchdogReturnsErrorInsteadOfHanging) {
+  // A workload whose simulated time vastly exceeds the cycle budget: try_run
+  // must come back promptly with a watchdog diagnostic, not spin.
+  sim::SimConfig cfg;
+  cfg.cycle_budget = 1000;
+  const auto bases = naive_aliased_bases();
+  auto wl = kernels::make_triad_workload(bases, kN, kThreads,
+                                         sched::Schedule::static_block());
+  sim::Chip chip(cfg, arch::equidistant_placement(kThreads, cfg.topology));
+  const auto result = chip.try_run(wl);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("watchdog"), std::string::npos);
+  EXPECT_NE(result.error().message.find("1000"), std::string::npos);
+}
+
+TEST(FaultDegradation, DegradedRunStillConservesAccesses) {
+  sim::SimConfig cfg;
+  cfg.faults.offline_controllers = {3};
+  cfg.faults.derates.push_back({0, 0.8});
+  const auto bases = replanned_bases(cfg);
+  auto wl = kernels::make_triad_workload(bases, kN, kThreads,
+                                         sched::Schedule::static_block());
+  std::uint64_t expected = 0;
+  for (const auto& p : wl) expected += p->total_accesses();
+  sim::Chip chip(cfg, arch::equidistant_placement(kThreads, cfg.topology));
+  const sim::SimResult res = chip.run(wl);
+  EXPECT_EQ(res.accesses, expected);
+  EXPECT_TRUE(res.degraded);
+}
+
+}  // namespace
+}  // namespace mcopt

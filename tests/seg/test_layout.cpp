@@ -97,6 +97,61 @@ TEST(ComputeLayout, ShiftIsCumulative) {
     EXPECT_EQ(r.segment_pos[s], s * 512 + s * 128) << "segment " << s;
 }
 
+TEST(LayoutSpec, ShiftCycleValidation) {
+  LayoutSpec spec;
+  spec.segment_align = 512;
+  spec.shift_cycle = {0, 128, 384};
+  EXPECT_NO_THROW(spec.validate());
+  // shift and shift_cycle are mutually exclusive.
+  spec.shift = 128;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.shift = 0;
+  // Cycle entries must stay below the alignment period.
+  spec.shift_cycle = {0, 512};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(LayoutSpec, CheckAccumulatesAllViolations) {
+  LayoutSpec spec;
+  spec.base_align = 3;
+  spec.segment_align = 100;
+  const util::Status status = spec.check();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("base_align"), std::string::npos);
+  EXPECT_NE(status.error().message.find("segment_align"), std::string::npos);
+}
+
+TEST(ComputeLayout, ShiftCycleDisplacesPerSegment) {
+  LayoutSpec spec;
+  spec.segment_align = 512;
+  spec.shift_cycle = {0, 256, 384};
+  const LayoutResult r = compute_layout({64, 64, 64, 64, 64}, spec);
+  // Segment s sits on an alignment boundary plus shift_cycle[s % 3].
+  EXPECT_EQ(r.segment_pos[0] % 512, 0u);
+  EXPECT_EQ(r.segment_pos[1] % 512, 256u);
+  EXPECT_EQ(r.segment_pos[2] % 512, 384u);
+  EXPECT_EQ(r.segment_pos[3] % 512, 0u);  // cycle wraps
+  EXPECT_EQ(r.segment_pos[4] % 512, 256u);
+}
+
+TEST(ComputeLayout, ShiftCycleSegmentsStayDisjoint) {
+  LayoutSpec spec;
+  spec.segment_align = 512;
+  spec.shift_cycle = {384, 0, 256};
+  const std::vector<std::size_t> sizes = {100, 700, 1, 512, 0, 64};
+  const LayoutResult r = compute_layout(sizes, spec);
+  for (std::size_t s = 1; s < sizes.size(); ++s)
+    EXPECT_GE(r.segment_pos[s], r.segment_pos[s - 1] + sizes[s - 1])
+        << "segments " << s - 1 << "/" << s << " overlap";
+}
+
+TEST(ComputeLayout, HugeSizesOverflowIsDetected) {
+  LayoutSpec spec;
+  spec.segment_align = 512;
+  const std::size_t huge = std::size_t{1} << 62;
+  EXPECT_THROW(compute_layout({huge, huge, huge}, spec), std::overflow_error);
+}
+
 TEST(ComputeLayout, OffsetDisplacesWholeBlock) {
   LayoutSpec spec;
   spec.segment_align = 256;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 namespace mcopt::seg {
@@ -96,6 +97,91 @@ TEST(Diagnose, BalancedStreams) {
 TEST(Diagnose, EmptyInputIsNotAliased) {
   const arch::AddressMap map;
   EXPECT_THROW(diagnose_streams({}, map), std::invalid_argument);
+}
+
+TEST(StreamPlanDegraded, OffsetsLandOnTheGivenSurvivors) {
+  const arch::AddressMap map;
+  const std::vector<unsigned> surviving = {1, 3};
+  const StreamPlan plan = plan_stream_offsets(4, map, surviving);
+  // Stream k lands on surviving[k % 2].
+  EXPECT_EQ(plan.offsets, (std::vector<std::size_t>{128, 384, 128, 384}));
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_EQ(map.controller_of(plan.offsets[k]), surviving[k % 2]);
+}
+
+TEST(StreamPlanDegraded, RejectsBadSurvivorSets) {
+  const arch::AddressMap map;
+  EXPECT_THROW(plan_stream_offsets(2, map, std::vector<unsigned>{}),
+               std::invalid_argument);
+  EXPECT_THROW(plan_stream_offsets(2, map, std::vector<unsigned>{0, 9}),
+               std::invalid_argument);
+  EXPECT_THROW(plan_stream_offsets(2, map, std::vector<unsigned>{1, 1}),
+               std::invalid_argument);
+}
+
+// Property: for EVERY non-empty subset of surviving controllers and every
+// stream count <= |subset|, the planned bases map to pairwise-distinct
+// surviving controllers — no two concurrent streams may collide on a
+// healthy controller.
+TEST(StreamPlanDegraded, ConcurrentStreamsNeverShareASurvivor) {
+  const arch::AddressMap map;
+  for (unsigned mask = 1; mask < 16; ++mask) {
+    std::vector<unsigned> surviving;
+    for (unsigned c = 0; c < 4; ++c)
+      if (mask & (1u << c)) surviving.push_back(c);
+    for (std::size_t streams = 1; streams <= surviving.size(); ++streams) {
+      const StreamPlan plan = plan_stream_offsets(streams, map, surviving);
+      std::set<unsigned> used;
+      for (std::size_t k = 0; k < streams; ++k) {
+        const arch::Addr base = arch::Addr{8192} * (k + 5) + plan.offsets[k];
+        const unsigned mc = map.controller_of(base);
+        EXPECT_TRUE(used.insert(mc).second)
+            << "mask " << mask << ": streams " << streams
+            << " collide on controller " << mc;
+        EXPECT_NE(std::find(surviving.begin(), surviving.end(), mc),
+                  surviving.end())
+            << "mask " << mask << ": stream " << k << " on dead controller";
+      }
+    }
+  }
+}
+
+TEST(StreamPlanDegraded, PropertyHoldsOnCustomInterleave) {
+  // 8 controllers, 64 B lines: same invariant on a non-T2 map.
+  const arch::InterleaveSpec il{6, 1, 3};
+  const arch::AddressMap map(il);
+  const std::vector<unsigned> surviving = {0, 2, 5, 7};
+  const StreamPlan plan =
+      plan_stream_offsets(surviving.size(), map, surviving);
+  std::set<unsigned> used;
+  for (std::size_t k = 0; k < surviving.size(); ++k)
+    used.insert(map.controller_of(plan.offsets[k]));
+  EXPECT_EQ(used, std::set<unsigned>(surviving.begin(), surviving.end()));
+}
+
+TEST(RowPlanDegraded, ShiftCycleWalksTheSurvivors) {
+  const arch::AddressMap map;
+  const std::vector<unsigned> surviving = {0, 2, 3};
+  const RowPlan plan = plan_row_layout(map, surviving);
+  EXPECT_EQ(plan.shift_cycle, (std::vector<std::size_t>{0, 256, 384}));
+  const LayoutSpec spec = plan.spec();
+  EXPECT_EQ(spec.shift, 0u);
+  EXPECT_EQ(spec.shift_cycle, plan.shift_cycle);
+  // Row s (512-aligned + cycle displacement) lands on surviving[s % 3].
+  for (unsigned s = 0; s < 9; ++s) {
+    const arch::Addr start =
+        arch::Addr{s} * 8192 + plan.shift_cycle[s % surviving.size()];
+    EXPECT_EQ(map.controller_of(start), surviving[s % surviving.size()])
+        << "row " << s;
+  }
+}
+
+TEST(RowPlanDegraded, FullComplementMatchesHealthyRecipe) {
+  // With all controllers alive the cycle is {0,128,256,384} — the same orbit
+  // the healthy s*128 shift produces modulo the 512 B period.
+  const arch::AddressMap map;
+  const RowPlan plan = plan_row_layout(map, std::vector<unsigned>{0, 1, 2, 3});
+  EXPECT_EQ(plan.shift_cycle, (std::vector<std::size_t>{0, 128, 256, 384}));
 }
 
 TEST(Planner, CustomInterleave) {

@@ -1,0 +1,226 @@
+#include "sim/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/chip.h"
+#include "trace/stream_program.h"
+
+namespace mcopt::sim {
+namespace {
+
+using trace::LockstepStreamProgram;
+using trace::StreamDesc;
+
+Workload read_streams(unsigned threads, std::size_t n_per_thread,
+                      arch::Addr spacing,
+                      arch::Addr base = arch::Addr{1} << 32) {
+  Workload wl;
+  for (unsigned t = 0; t < threads; ++t) {
+    std::vector<StreamDesc> s{{base + t * spacing, false, 0}};
+    wl.push_back(std::make_unique<LockstepStreamProgram>(
+        s, sizeof(double), std::vector<sched::IterRange>{{0, n_per_thread}}, 1));
+  }
+  return wl;
+}
+
+TEST(FaultSpec, HealthyByDefault) {
+  const FaultSpec spec;
+  EXPECT_FALSE(spec.any());
+  EXPECT_EQ(spec.describe(), "healthy");
+  EXPECT_TRUE(spec.check(arch::InterleaveSpec{}).ok());
+  EXPECT_DOUBLE_EQ(spec.derate_of(0), 1.0);
+  EXPECT_EQ(spec.bank_extra(0), 0u);
+  EXPECT_EQ(spec.straggle_of(0), 0u);
+}
+
+TEST(FaultSpec, ParseRoundTrip) {
+  const auto parsed =
+      FaultSpec::parse("mc0:off, mc1:derate=0.5, bank3:slow=7, strand12:lag=9");
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  const FaultSpec& spec = parsed.value();
+  EXPECT_TRUE(spec.any());
+  EXPECT_TRUE(spec.is_offline(0));
+  EXPECT_FALSE(spec.is_offline(1));
+  EXPECT_DOUBLE_EQ(spec.derate_of(1), 0.5);
+  EXPECT_EQ(spec.bank_extra(3), 7u);
+  EXPECT_EQ(spec.straggle_of(12), 9u);
+  EXPECT_EQ(spec.describe(), "mc0:off mc1:derate=0.50 bank3:slow=7 strand12:lag=9");
+}
+
+TEST(FaultSpec, ParseEmptyIsHealthy) {
+  const auto parsed = FaultSpec::parse("");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed.value().any());
+}
+
+TEST(FaultSpec, ParseRejectsGarbage) {
+  EXPECT_FALSE(FaultSpec::parse("bogus").has_value());
+  EXPECT_FALSE(FaultSpec::parse("mc0:explode").has_value());
+  EXPECT_FALSE(FaultSpec::parse("mcX:off").has_value());
+  EXPECT_FALSE(FaultSpec::parse("mc1:derate=abc").has_value());
+  EXPECT_FALSE(FaultSpec::parse("bank0:slow=-3").has_value());
+  EXPECT_FALSE(FaultSpec::parse("strand0:lag=").has_value());
+  EXPECT_FALSE(FaultSpec::parse("disk0:dead").has_value());
+}
+
+TEST(FaultSpec, CheckReportsEveryViolationAtOnce) {
+  FaultSpec spec;
+  spec.offline_controllers = {9};
+  spec.derates.push_back({7, 0.0});
+  spec.slow_banks.push_back({99, 5});
+  const util::Status status = spec.check(arch::InterleaveSpec{});
+  ASSERT_FALSE(status.ok());
+  const std::string& msg = status.error().message;
+  EXPECT_NE(msg.find("offline controller 9"), std::string::npos);
+  EXPECT_NE(msg.find("derated controller 7"), std::string::npos);
+  EXPECT_NE(msg.find("derate factor"), std::string::npos);
+  EXPECT_NE(msg.find("slow bank 99"), std::string::npos);
+}
+
+TEST(FaultSpec, CheckRejectsAllControllersOffline) {
+  FaultSpec spec;
+  spec.offline_controllers = {0, 1, 2, 3};
+  const util::Status status = spec.check(arch::InterleaveSpec{});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("at least one controller"),
+            std::string::npos);
+}
+
+TEST(FaultSpec, SurvivorsAndRemap) {
+  FaultSpec spec;
+  spec.offline_controllers = {1, 3};
+  const arch::InterleaveSpec il{};
+  EXPECT_EQ(spec.surviving_controllers(il), (std::vector<unsigned>{0, 2}));
+  // Dead controllers spread round-robin over survivors; healthy map to self.
+  EXPECT_EQ(spec.controller_remap(il), (std::vector<unsigned>{0, 0, 2, 2}));
+}
+
+TEST(FaultSpec, RemapIsIdentityWhenHealthy) {
+  const FaultSpec spec;
+  EXPECT_EQ(spec.controller_remap(arch::InterleaveSpec{}),
+            (std::vector<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(ChipFaults, HealthyRunIsNotDegraded) {
+  SimConfig cfg;
+  Chip chip(cfg, arch::equidistant_placement(4, cfg.topology));
+  Workload wl = read_streams(4, 1024, arch::Addr{1} << 20);
+  const SimResult res = chip.run(wl);
+  EXPECT_FALSE(res.degraded);
+  ASSERT_EQ(res.mc_utilization.size(), 4u);
+  for (double u : res.mc_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(ChipFaults, OfflineControllerServesNoTrafficAndSetsDegraded) {
+  SimConfig cfg;
+  cfg.faults.offline_controllers = {0};
+  Chip chip(cfg, arch::equidistant_placement(8, cfg.topology));
+  // Spacing 1 MiB: bases alias to controller 0, which is dead.
+  Workload wl = read_streams(8, 2048, arch::Addr{1} << 20);
+  const SimResult res = chip.run(wl);
+  EXPECT_TRUE(res.degraded);
+  ASSERT_EQ(res.mc.size(), 4u);
+  EXPECT_EQ(res.mc[0].line_transfers(), 0u);
+  EXPECT_DOUBLE_EQ(res.mc_utilization[0], 0.0);
+  // The traffic still flowed — through the survivors.
+  std::uint64_t surviving_transfers = 0;
+  for (std::size_t m = 1; m < res.mc.size(); ++m)
+    surviving_transfers += res.mc[m].line_transfers();
+  EXPECT_GT(surviving_transfers, 0u);
+  EXPECT_EQ(res.accesses, 8u * 2048u);
+}
+
+TEST(ChipFaults, DerateSlowsTheRunDown) {
+  auto run_with = [](double factor) {
+    SimConfig cfg;
+    if (factor < 1.0)
+      for (unsigned c = 0; c < 4; ++c) cfg.faults.derates.push_back({c, factor});
+    Chip chip(cfg, arch::equidistant_placement(16, cfg.topology));
+    Workload wl = read_streams(16, 4096, arch::Addr{1} << 21);
+    return chip.run(wl);
+  };
+  const SimResult healthy = run_with(1.0);
+  const SimResult derated = run_with(0.5);
+  EXPECT_TRUE(derated.degraded);
+  EXPECT_FALSE(healthy.degraded);
+  // Halving every controller's service rate must slow a bandwidth-bound run
+  // substantially (not necessarily exactly 2x: latency terms are unscaled).
+  EXPECT_GT(derated.total_cycles, healthy.total_cycles * 5 / 4);
+}
+
+TEST(ChipFaults, SlowBankCostsCycles) {
+  auto run_with = [](arch::Cycles extra) {
+    SimConfig cfg;
+    if (extra > 0)
+      for (unsigned b = 0; b < cfg.interleave.num_banks(); ++b)
+        cfg.faults.slow_banks.push_back({b, extra});
+    Chip chip(cfg, arch::equidistant_placement(8, cfg.topology));
+    Workload wl = read_streams(8, 2048, arch::Addr{1} << 21);
+    return chip.run(wl);
+  };
+  const SimResult healthy = run_with(0);
+  const SimResult slowed = run_with(200);
+  EXPECT_TRUE(slowed.degraded);
+  EXPECT_GT(slowed.total_cycles, healthy.total_cycles);
+}
+
+TEST(ChipFaults, StragglerDelaysItsThread) {
+  auto run_with = [](arch::Cycles lag) {
+    SimConfig cfg;
+    cfg.model_lockstep = false;  // let the straggler actually fall behind
+    if (lag > 0) cfg.faults.stragglers.push_back({0, lag});
+    Chip chip(cfg, arch::equidistant_placement(4, cfg.topology));
+    Workload wl = read_streams(4, 1024, arch::Addr{1} << 21);
+    return chip.run(wl);
+  };
+  const SimResult healthy = run_with(0);
+  const SimResult lagged = run_with(50);
+  EXPECT_TRUE(lagged.degraded);
+  // The straggler pays its full per-access lag...
+  const arch::Cycles delta0 = lagged.thread_finish[0] - healthy.thread_finish[0];
+  EXPECT_GE(delta0, 1024u * 50u);
+  // ...while other threads see only second-order contention shifts (the
+  // straggler's requests land at different cycles on the shared buses).
+  const arch::Cycles delta1 = lagged.thread_finish[1] > healthy.thread_finish[1]
+                                  ? lagged.thread_finish[1] - healthy.thread_finish[1]
+                                  : healthy.thread_finish[1] - lagged.thread_finish[1];
+  EXPECT_LT(delta1, delta0 / 4);
+}
+
+TEST(ChipFaults, InvalidFaultSpecRejectedAtConstruction) {
+  SimConfig cfg;
+  cfg.faults.offline_controllers = {0, 1, 2, 3};
+  EXPECT_THROW(Chip(cfg, arch::equidistant_placement(1, cfg.topology)),
+               std::invalid_argument);
+}
+
+TEST(ChipFaults, WatchdogAbortsOverBudgetRun) {
+  SimConfig cfg;
+  cfg.cycle_budget = 100;  // far too little for 64k misses
+  Chip chip(cfg, arch::equidistant_placement(2, cfg.topology));
+  Workload wl = read_streams(2, 1 << 16, arch::Addr{1} << 21);
+  const auto result = chip.try_run(wl);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("watchdog"), std::string::npos);
+  // The throwing API surfaces the same diagnostic.
+  Workload wl2 = read_streams(2, 1 << 16, arch::Addr{1} << 21);
+  EXPECT_THROW(chip.run(wl2), std::runtime_error);
+}
+
+TEST(ChipFaults, GenerousBudgetDoesNotTrip) {
+  SimConfig cfg;
+  cfg.cycle_budget = arch::Cycles{1} << 40;
+  Chip chip(cfg, arch::equidistant_placement(2, cfg.topology));
+  Workload wl = read_streams(2, 512, arch::Addr{1} << 21);
+  const auto result = chip.try_run(wl);
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_EQ(result.value().accesses, 1024u);
+}
+
+}  // namespace
+}  // namespace mcopt::sim

@@ -27,6 +27,40 @@ TEST(VirtualArena, RejectsBadAlignment) {
   EXPECT_THROW(arena.allocate(8, 3), std::invalid_argument);
 }
 
+TEST(VirtualArena, RejectsSizeOverflow) {
+  VirtualArena arena;  // base = 1 << 32
+  EXPECT_THROW(arena.allocate(~std::uint64_t{0}, 8), std::overflow_error);
+  // A size that fits only below the base must also be rejected.
+  EXPECT_THROW(arena.allocate(~std::uint64_t{0} - (arch::Addr{1} << 31), 8),
+               std::overflow_error);
+}
+
+TEST(VirtualArena, RejectsAlignmentRoundUpOverflow) {
+  // next_ so close to the top that rounding up to the alignment wraps.
+  VirtualArena arena(~arch::Addr{0} - 100);
+  EXPECT_THROW(arena.allocate(8, 8192), std::overflow_error);
+}
+
+TEST(VirtualArena, AllocatesRightUpToTheTop) {
+  VirtualArena arena(~arch::Addr{0} - 127);  // 128 bytes of headroom
+  const arch::Addr a = arena.allocate(64, 1);
+  EXPECT_EQ(a, ~arch::Addr{0} - 127);
+  EXPECT_THROW(arena.allocate(128, 1), std::overflow_error);
+  EXPECT_NO_THROW(arena.allocate(63, 1));  // last addressable byte
+}
+
+TEST(VirtualArena, StateUnchangedAfterRejectedAllocation) {
+  VirtualArena arena;
+  const arch::Addr before = arena.next();
+  EXPECT_THROW(arena.allocate(~std::uint64_t{0}, 8), std::overflow_error);
+  EXPECT_EQ(arena.next(), before);
+}
+
+TEST(VirtualArena, MallocLikeRejectsOverflow) {
+  VirtualArena arena;
+  EXPECT_THROW(arena.malloc_like(~std::uint64_t{0} - 8), std::overflow_error);
+}
+
 TEST(VirtualArena, MallocLikeKeepsBlocksContiguousModuloHeader) {
   VirtualArena arena;
   const std::size_t bytes = 1 << 20;

@@ -55,6 +55,57 @@ TEST(Cli, RejectsUnknownOption) {
   EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
 }
 
+TEST(Cli, ReportsAllUnknownOptionsAtOnce) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--bogus", "1", "--wrong", "--n", "42"};
+  try {
+    cli.parse(6, argv);
+    FAIL() << "must throw";
+  } catch (const std::invalid_argument& ex) {
+    const std::string msg = ex.what();
+    EXPECT_NE(msg.find("--bogus"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--wrong"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unknown options"), std::string::npos) << msg;
+  }
+  // Known options given alongside the typos were still parsed.
+  EXPECT_EQ(cli.get_int("n"), 42);
+}
+
+TEST(Cli, SuggestsNearestRegisteredName) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--layuot", "IvJK"};
+  try {
+    cli.parse(3, argv);
+    FAIL() << "must throw";
+  } catch (const std::invalid_argument& ex) {
+    const std::string msg = ex.what();
+    EXPECT_NE(msg.find("--layuot"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean --layout"), std::string::npos) << msg;
+  }
+}
+
+TEST(Cli, NearestFindsCloseNamesOnly) {
+  const Cli cli = make_cli();
+  EXPECT_EQ(cli.nearest("layuot"), "layout");   // transposition: distance 2
+  EXPECT_EQ(cli.nearest("ful"), "full");        // missing char: distance 1
+  EXPECT_EQ(cli.nearest("tau"), "tau");         // exact
+  EXPECT_EQ(cli.nearest("zzzzzzzz"), "");       // nothing close
+}
+
+TEST(Cli, UnknownOptionSwallowsItsValue) {
+  // The token after an unknown option is its presumed value, not a stray
+  // positional; parsing must keep going and report only the typo.
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--bogus", "stray-looking-token"};
+  EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
+  try {
+    Cli cli2 = make_cli();
+    cli2.parse(3, argv);
+  } catch (const std::invalid_argument& ex) {
+    EXPECT_EQ(std::string(ex.what()).find("positional"), std::string::npos);
+  }
+}
+
 TEST(Cli, RejectsMissingValue) {
   Cli cli = make_cli();
   const char* argv[] = {"prog", "--n"};

@@ -1,0 +1,102 @@
+#include "util/expected.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mcopt::util {
+namespace {
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.has_value());
+  ASSERT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(e.value_or(0), 42);
+}
+
+TEST(Expected, HoldsError) {
+  const Expected<int> e = Expected<int>::failure("bad input");
+  ASSERT_FALSE(e.has_value());
+  ASSERT_FALSE(static_cast<bool>(e));
+  EXPECT_EQ(e.error().message, "bad input");
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(Expected, ValueOnFailureThrowsWithDiagnostic) {
+  const Expected<std::string> e = Expected<std::string>::failure("no such file");
+  try {
+    (void)e.value();
+    FAIL() << "value() must throw on a failed Expected";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_STREQ(ex.what(), "no such file");
+  }
+}
+
+TEST(Expected, ImplicitConversionFromValueAndError) {
+  const auto ok = []() -> Expected<std::vector<int>> { return std::vector<int>{1, 2}; }();
+  EXPECT_TRUE(ok.has_value());
+  const auto bad = []() -> Expected<std::vector<int>> { return Error{"nope"}; }();
+  EXPECT_FALSE(bad.has_value());
+}
+
+TEST(Expected, MutableValueIsWritable) {
+  Expected<std::vector<int>> e(std::vector<int>{1});
+  e.value().push_back(2);
+  EXPECT_EQ(e.value().size(), 2u);
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_NO_THROW(s.throw_if_failed());
+}
+
+TEST(Status, FailureCarriesMessage) {
+  const Status s = Status::failure("broken");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().message, "broken");
+  EXPECT_THROW(s.throw_if_failed(), std::invalid_argument);
+}
+
+TEST(Status, NotesAccumulate) {
+  Status s;
+  s.note("first");
+  s.note("second");
+  s.note("third");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().message, "first; second; third");
+}
+
+TEST(Status, MergeCombinesDiagnostics) {
+  Status a;
+  a.note("a failed");
+  Status b;
+  b.note("b failed");
+  a.merge(b);
+  EXPECT_EQ(a.error().message, "a failed; b failed");
+
+  Status ok;
+  ok.merge(Status{});
+  EXPECT_TRUE(ok.ok());
+  ok.merge(a);
+  EXPECT_FALSE(ok.ok());
+  EXPECT_EQ(ok.error().message, "a failed; b failed");
+}
+
+TEST(Status, ThrowCarriesAllNotes) {
+  Status s;
+  s.note("one");
+  s.note("two");
+  try {
+    s.throw_if_failed();
+    FAIL() << "must throw";
+  } catch (const std::invalid_argument& ex) {
+    EXPECT_STREQ(ex.what(), "one; two");
+  }
+}
+
+}  // namespace
+}  // namespace mcopt::util

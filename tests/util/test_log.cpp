@@ -29,6 +29,39 @@ TEST(Log, LevelRoundTrips) {
   }
 }
 
+TEST(Log, ParsesLevelNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+}
+
+TEST(Log, ParsesLevelsCaseInsensitively) {
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("WaRn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("ERROR"), LogLevel::kError);
+}
+
+TEST(Log, ParsesNumericLevels) {
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("1"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("2"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("3"), LogLevel::kError);
+}
+
+TEST(Log, RejectsGarbageLevels) {
+  // MCOPT_LOG_LEVEL feeds this parser at startup; junk must map to nullopt
+  // (the initializer then falls back to kInfo with a warning).
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("4"), std::nullopt);
+  EXPECT_EQ(parse_log_level("-1"), std::nullopt);
+  EXPECT_EQ(parse_log_level("info "), std::nullopt);
+  EXPECT_EQ(parse_log_level("debug,info"), std::nullopt);
+}
+
 TEST(Log, EmittingBelowThresholdIsSafe) {
   LogLevelGuard guard;
   set_log_level(LogLevel::kError);
