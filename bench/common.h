@@ -75,9 +75,9 @@ inline double stream_analytic_gbs(kernels::StreamOp op, std::size_t n,
   std::vector<sim::AnalyticStream> streams;
   for (const auto& d : descs) streams.push_back({d.base, d.write});
   const arch::AddressMap map(cfg.interleave);
-  const auto est =
-      sim::estimate_bandwidth(sim::expand_rfo(streams), threads,
-                              cfg.calibration, map, cfg.topology.clock_ghz);
+  const auto est = sim::estimate_bandwidth(sim::expand_rfo(streams), threads,
+                                           cfg.calibration, map,
+                                           cfg.topology.clock_ghz, cfg.faults);
   // Convert actual-traffic prediction back to the STREAM convention.
   const double convention =
       static_cast<double>(kernels::stream_reported_bytes(op, n)) /

@@ -50,20 +50,25 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{std::to_string(offset)};
     for (unsigned threads : thread_counts)
       row.push_back(util::fmt_fixed(
-          bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, offset, threads),
+          bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, offset,
+                                     threads, cfg),
           2));
     row.push_back(util::fmt_fixed(
-        bench::stream_reported_gbs(kernels::StreamOp::kCopy, n, offset, 64), 2));
+        bench::stream_reported_gbs(kernels::StreamOp::kCopy, n, offset, 64, cfg),
+        2));
     row.push_back(util::fmt_fixed(
-        bench::stream_analytic_gbs(kernels::StreamOp::kTriad, n, offset, 64), 2));
+        bench::stream_analytic_gbs(kernels::StreamOp::kTriad, n, offset, 64, cfg),
+        2));
     rows.push_back(std::move(row));
     util::log_debug("offset " + std::to_string(offset) + " done");
   }
   bench::emit(header, rows, cli.get_str("csv"));
 
   // Headline numbers the paper quotes.
-  const double dip = bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, 0, 64);
-  const double mid = bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, 32, 64);
+  const double dip =
+      bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, 0, 64, cfg);
+  const double mid =
+      bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, 32, 64, cfg);
   std::printf(
       "\nshape check: 64T dip at offset 0 = %.2f GB/s (paper: 3.7), odd-32 "
       "level = %.2f GB/s (paper: ~7.4, a ~2x recovery)\n",

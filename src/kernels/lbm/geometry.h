@@ -77,13 +77,20 @@ struct Geometry {
     util::Status status;
     if (nx == 0 || ny == 0 || nz == 0) status.note("Geometry: zero extent");
     // ex*ey*ez must fit in kMax/(2*kQ); sequential division avoids computing
-    // any intermediate product that could itself wrap.
+    // any intermediate product that could itself wrap. Bound the raw inputs
+    // first so that ex() = nx + 2 + pad_x cannot itself wrap size_t and
+    // sneak a small wrapped product past the budget check.
     constexpr std::size_t kBudget =
         std::numeric_limits<std::size_t>::max() / (2 * kQ);
-    if (ex() > kBudget / ey() / ez())
+    if (nx >= kBudget || ny >= kBudget || nz >= kBudget || pad_x >= kBudget) {
+      status.note("Geometry: extent " + std::to_string(nx) + "x" +
+                  std::to_string(ny) + "x" + std::to_string(nz) + " (pad_x " +
+                  std::to_string(pad_x) + ") exceeds the element budget");
+    } else if (ex() > kBudget / ey() / ez()) {
       status.note("Geometry: extents " + std::to_string(ex()) + "x" +
                   std::to_string(ey()) + "x" + std::to_string(ez()) +
                   " overflow the element count");
+    }
     return status;
   }
 

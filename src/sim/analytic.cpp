@@ -23,11 +23,20 @@ AnalyticEstimate estimate_bandwidth(std::span<const AnalyticStream> streams,
                                     unsigned num_threads,
                                     const arch::Calibration& cal,
                                     const arch::AddressMap& map,
-                                    double clock_ghz) {
+                                    double clock_ghz, const FaultSpec& faults) {
   if (streams.empty()) throw std::invalid_argument("estimate_bandwidth: no streams");
   if (num_threads == 0) throw std::invalid_argument("estimate_bandwidth: no threads");
 
   const auto& spec = map.spec();
+  const std::vector<unsigned> alive = faults.surviving_controllers(spec);
+  if (alive.empty())
+    throw std::invalid_argument("estimate_bandwidth: no surviving controllers");
+  // Mirror the chip model: offline controllers' lines go to their remap
+  // survivor, and a derated controller's service is 1/factor slower.
+  const std::vector<unsigned> remap = faults.controller_remap(spec);
+  std::vector<double> cost_scale(spec.num_controllers());
+  for (unsigned c = 0; c < spec.num_controllers(); ++c)
+    cost_scale[c] = 1.0 / faults.derate_of(c);
   const std::uint64_t steps = spec.period_bytes() / spec.line_size();
   const double read_cost =
       static_cast<double>(cal.mc_request_overhead + cal.mc_read_service);
@@ -45,7 +54,7 @@ AnalyticEstimate estimate_bandwidth(std::span<const AnalyticStream> streams,
     std::fill(reads.begin(), reads.end(), 0);
     std::fill(writes.begin(), writes.end(), 0);
     for (const AnalyticStream& s : streams) {
-      const unsigned c = map.controller_of(s.base + k * spec.line_size());
+      const unsigned c = remap[map.controller_of(s.base + k * spec.line_size())];
       if (s.write)
         ++writes[c];
       else
@@ -60,14 +69,16 @@ AnalyticEstimate estimate_bandwidth(std::span<const AnalyticStream> streams,
       // turnaround per step (controllers batch same-direction transfers).
       if (reads[c] != 0 && writes[c] != 0)
         cost += static_cast<double>(cal.mc_turnaround);
+      cost *= cost_scale[c];
       step_cost = std::max(step_cost, cost);
       step_work += cost;
       total_reads += reads[c];
       total_writes += writes[c];
     }
     total_step_cycles += step_cost;
-    // A perfectly balanced placement would split the same work evenly.
-    ideal_step_cycles += step_work / spec.num_controllers();
+    // A perfectly balanced placement would split the same work evenly
+    // across the controllers that still serve traffic.
+    ideal_step_cycles += step_work / static_cast<double>(alive.size());
   }
 
   const double line = static_cast<double>(spec.line_size());

@@ -17,6 +17,7 @@
 
 #include "arch/address_map.h"
 #include "arch/calibration.h"
+#include "sim/faults.h"
 
 namespace mcopt::sim {
 
@@ -47,9 +48,15 @@ struct AnalyticEstimate {
 /// Estimates sustainable memory traffic for `streams` advancing in
 /// lock-step, with `num_threads` strands providing read concurrency.
 /// `streams` should be pre-expanded with expand_rfo().
+///
+/// `faults` mirrors the chip model's controller faults: lines owned by an
+/// offline controller are charged to its remap survivor, and a derated
+/// controller's service cost is scaled by 1/factor. (Bank and straggler
+/// faults are below this model's resolution and are ignored.) The balance
+/// ideal is taken over the surviving controllers only.
 [[nodiscard]] AnalyticEstimate estimate_bandwidth(
     std::span<const AnalyticStream> streams, unsigned num_threads,
     const arch::Calibration& cal, const arch::AddressMap& map,
-    double clock_ghz);
+    double clock_ghz, const FaultSpec& faults = {});
 
 }  // namespace mcopt::sim

@@ -170,6 +170,20 @@ util::Expected<FaultSpec> FaultSpec::parse(const std::string& text) {
       return parsed;
     };
 
+    // Cycle counts ride through strtod; bound them before the uint64 cast
+    // (a 1e30 or NaN straight into static_cast<Cycles> is UB). 2^53 keeps
+    // the double exactly representable and comfortably inside uint64.
+    const auto cycle_arg = [&](const std::string& key) -> util::Expected<arch::Cycles> {
+      const auto parsed = numeric_arg(key);
+      if (!parsed) return util::Expected<arch::Cycles>::failure(parsed.error().message);
+      constexpr double kMaxCycles = 9007199254740992.0;  // 2^53
+      if (!(parsed.value() >= 0.0 && parsed.value() <= kMaxCycles))
+        return util::Expected<arch::Cycles>::failure(
+            "FaultSpec: " + key + " cycles in '" + item +
+            "' must lie in [0, 2^53]");
+      return static_cast<arch::Cycles>(parsed.value());
+    };
+
     if (parse_index(target, "mc", index, consumed) && consumed == target.size()) {
       if (action == "off") {
         spec.offline_controllers.push_back(index);
@@ -183,20 +197,14 @@ util::Expected<FaultSpec> FaultSpec::parse(const std::string& text) {
       }
     } else if (parse_index(target, "bank", index, consumed) &&
                consumed == target.size()) {
-      const auto cycles = numeric_arg("slow");
+      const auto cycles = cycle_arg("slow");
       if (!cycles) return Result::failure(cycles.error().message);
-      if (cycles.value() < 0.0)
-        return Result::failure("FaultSpec: negative slow cycles in '" + item + "'");
-      spec.slow_banks.push_back(
-          {index, static_cast<arch::Cycles>(cycles.value())});
+      spec.slow_banks.push_back({index, cycles.value()});
     } else if (parse_index(target, "strand", index, consumed) &&
                consumed == target.size()) {
-      const auto cycles = numeric_arg("lag");
+      const auto cycles = cycle_arg("lag");
       if (!cycles) return Result::failure(cycles.error().message);
-      if (cycles.value() < 0.0)
-        return Result::failure("FaultSpec: negative lag cycles in '" + item + "'");
-      spec.stragglers.push_back(
-          {index, static_cast<arch::Cycles>(cycles.value())});
+      spec.stragglers.push_back({index, cycles.value()});
     } else {
       return Result::failure("FaultSpec: unknown target in '" + item +
                              "' (use mc<i>, bank<i> or strand<t>)");

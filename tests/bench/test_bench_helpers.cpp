@@ -1,0 +1,67 @@
+// The bench helpers must honor the SimConfig they are handed: degraded-chip
+// numbers must differ from healthy-chip numbers, so a bench that parses
+// --fault but forgets to thread its cfg through can't silently report
+// healthy bandwidth under a "DEGRADED" header.
+
+#include "bench/common.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mcopt::bench {
+namespace {
+
+constexpr std::size_t kN = 4096;
+
+// The CI smoke scenario: one channel dead, one at half rate. At offset 0 all
+// page-aligned bases map to controller 0, whose traffic remaps to the
+// derated controller 1 — the degraded number must drop.
+sim::SimConfig degraded_config() {
+  sim::SimConfig cfg;
+  cfg.faults = sim::FaultSpec::parse("mc0:off,mc1:derate=0.5").value();
+  cfg.faults.check(cfg.interleave).throw_if_failed();
+  return cfg;
+}
+
+TEST(BenchHelpers, StreamReportedHonorsFaults) {
+  const double healthy =
+      stream_reported_gbs(kernels::StreamOp::kTriad, kN, 0, 16);
+  const double degraded = stream_reported_gbs(kernels::StreamOp::kTriad, kN, 0,
+                                              16, degraded_config());
+  EXPECT_LT(degraded, healthy);
+}
+
+TEST(BenchHelpers, StreamAnalyticHonorsFaults) {
+  const double healthy =
+      stream_analytic_gbs(kernels::StreamOp::kTriad, kN, 0, 64);
+  const double degraded = stream_analytic_gbs(kernels::StreamOp::kTriad, kN, 0,
+                                              64, degraded_config());
+  EXPECT_LT(degraded, healthy);
+}
+
+TEST(BenchHelpers, TriadActualHonorsFaults) {
+  // Spread bases (one array per controller): the healthy chip serves them in
+  // parallel, so losing mc0 and halving mc1 must cost bandwidth. (A fully
+  // aliased layout is bank-conflict-bound and not monotone under faults.)
+  trace::VirtualArena arena;
+  std::vector<arch::Addr> bases;
+  for (arch::Addr k = 0; k < 4; ++k)
+    bases.push_back(arena.allocate(kN * 8 + 512, 8192) + k * 128);
+  const double healthy = triad_actual_gbs(bases, kN, 16);
+  const double degraded = triad_actual_gbs(bases, kN, 16, degraded_config());
+  EXPECT_LT(degraded, healthy);
+}
+
+TEST(BenchHelpers, CheckedRateRejectsPoison) {
+  EXPECT_THROW(checked_rate(std::numeric_limits<double>::quiet_NaN(), "x"),
+               std::runtime_error);
+  EXPECT_THROW(checked_rate(std::numeric_limits<double>::infinity(), "x"),
+               std::runtime_error);
+  EXPECT_THROW(checked_rate(-1.0, "x"), std::runtime_error);
+  EXPECT_DOUBLE_EQ(checked_rate(3.7, "x"), 3.7);
+}
+
+}  // namespace
+}  // namespace mcopt::bench

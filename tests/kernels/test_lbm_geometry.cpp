@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "kernels/lbm/lattice.h"
@@ -88,6 +89,18 @@ TEST(Geometry, ExtentsIncludeGhostsAndPadding) {
   EXPECT_NO_THROW(g.validate());
   g.nx = 0;
   EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(Geometry, RejectsWrappingExtents) {
+  // nx so large that ex() = nx + 2 wraps size_t to a tiny value: a naive
+  // product-budget check would see a small element count and pass.
+  Geometry g{std::numeric_limits<std::size_t>::max() - 1, 1, 1, 0,
+             DataLayout::kIJKv};
+  EXPECT_FALSE(g.check().ok());
+  // Same trick through pad_x.
+  Geometry padded{8, 8, 8, std::numeric_limits<std::size_t>::max() - 8,
+                  DataLayout::kIJKv};
+  EXPECT_FALSE(padded.check().ok());
 }
 
 class IndexBijection : public ::testing::TestWithParam<DataLayout> {};

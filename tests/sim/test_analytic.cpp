@@ -75,6 +75,38 @@ TEST(Analytic, RejectsDegenerateInput) {
                std::invalid_argument);
 }
 
+TEST(Analytic, OfflineControllerReroutesToSurvivor) {
+  // Perfectly spread reads, then mc0 dies: its stream remaps onto a
+  // survivor, which now serves two lines per step — service halves.
+  const std::vector<AnalyticStream> spread = {
+      {0, false}, {128, false}, {256, false}, {384, false}};
+  FaultSpec faults;
+  faults.offline_controllers = {0};
+  const auto healthy = estimate_bandwidth(spread, 64, kCal, kMap, 1.2);
+  const auto degraded = estimate_bandwidth(spread, 64, kCal, kMap, 1.2, faults);
+  EXPECT_NEAR(degraded.service_bandwidth, healthy.service_bandwidth * 0.5, 1e-3);
+}
+
+TEST(Analytic, DeratedControllerScalesServiceCost) {
+  // A half-rate controller serving one of four spread streams becomes the
+  // per-step bottleneck at exactly twice the cost.
+  const std::vector<AnalyticStream> spread = {
+      {0, false}, {128, false}, {256, false}, {384, false}};
+  FaultSpec faults;
+  faults.derates.push_back({1, 0.5});
+  const auto healthy = estimate_bandwidth(spread, 64, kCal, kMap, 1.2);
+  const auto degraded = estimate_bandwidth(spread, 64, kCal, kMap, 1.2, faults);
+  EXPECT_NEAR(degraded.service_bandwidth, healthy.service_bandwidth * 0.5, 1e-3);
+}
+
+TEST(Analytic, AllControllersOfflineRejected) {
+  const std::vector<AnalyticStream> streams = {{0, false}};
+  FaultSpec faults;
+  faults.offline_controllers = {0, 1, 2, 3};
+  EXPECT_THROW((void)estimate_bandwidth(streams, 4, kCal, kMap, 1.2, faults),
+               std::invalid_argument);
+}
+
 TEST(Analytic, ServiceBandwidthSaneMagnitude) {
   // Fully balanced pure-read service: 4 controllers x 64 B / 12 cycles at
   // 1.2 GHz = 25.6 GB/s.

@@ -63,6 +63,11 @@ TEST(FaultSpec, ParseRejectsGarbage) {
   EXPECT_FALSE(FaultSpec::parse("bank0:slow=-3").has_value());
   EXPECT_FALSE(FaultSpec::parse("strand0:lag=").has_value());
   EXPECT_FALSE(FaultSpec::parse("disk0:dead").has_value());
+  // Cycle counts beyond uint64 (or not numbers at all) must be rejected
+  // before the double-to-Cycles cast, which would otherwise be UB.
+  EXPECT_FALSE(FaultSpec::parse("bank0:slow=1e30").has_value());
+  EXPECT_FALSE(FaultSpec::parse("strand0:lag=1e300").has_value());
+  EXPECT_FALSE(FaultSpec::parse("strand0:lag=nan").has_value());
 }
 
 TEST(FaultSpec, CheckReportsEveryViolationAtOnce) {
