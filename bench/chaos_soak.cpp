@@ -1,0 +1,380 @@
+// Chaos soak: seeded fuzzing of transient-fault schedules against the
+// self-healing supervisor's invariants.
+//
+// Every seed deterministically generates a random FaultSchedule (1-3 timed
+// intervals drawn from all four fault classes), runs the supervised vector
+// triad against it, and checks four invariants:
+//
+//   I1  supervision never loses: supervised bandwidth >= unsupervised
+//       bandwidth * (1 - eps) under the same schedule and starting layout;
+//   I2  replans are sound: after every committed migration the stream bases
+//       land on planned-set controllers, spread as evenly as the pigeonhole
+//       principle allows (pairwise distinct when streams <= survivors);
+//   I3  the DES and the analytic model agree per epoch (fixed planned
+//       layout, no supervision) within a bounded ratio;
+//   I4  runs end un-degraded: schedules clear by 85% of the horizon, so the
+//       final diagnosis must be healthy and the replan count bounded by the
+//       schedule's transition count (+2 for the initial layout heal and one
+//       backoff retry).
+//
+// The seed of every run is printed; any failure is replayable with --seed N
+// (and appended to --fail-log for CI artifact upload). --reference runs the
+// fixed reference schedule (mc1:off@25%..75%) and writes the supervised vs
+// unsupervised triad comparison to BENCH_supervisor.json.
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "runtime/supervised_loop.h"
+#include "seg/planner.h"
+#include "util/backoff.h"
+#include "util/prng.h"
+
+namespace {
+
+using namespace mcopt;
+
+struct SoakParams {
+  std::size_t n = 8192;
+  unsigned threads = 32;
+  unsigned slices = 10;
+};
+
+/// Draws a 1-3 interval schedule over percent-relative bounds. Intervals
+/// begin in [10%, 50%] of the run and always clear by 85%, so every run has
+/// a healthy tail (invariant I4's precondition).
+sim::FaultSchedule random_schedule(util::Xoshiro256& rng,
+                                   const SoakParams& params,
+                                   const arch::InterleaveSpec& spec) {
+  sim::FaultSchedule sched;
+  const unsigned intervals = 1 + static_cast<unsigned>(rng.below(3));
+  for (unsigned i = 0; i < intervals; ++i) {
+    sim::FaultSchedule::Interval iv;
+    iv.relative = true;
+    iv.begin_frac = rng.uniform(0.10, 0.50);
+    iv.end_frac = iv.begin_frac + rng.uniform(0.10, 0.85 - iv.begin_frac);
+    switch (rng.below(4)) {
+      case 0:
+        iv.fault.offline_controllers.push_back(
+            static_cast<unsigned>(rng.below(spec.num_controllers())));
+        break;
+      case 1:
+        iv.fault.derates.push_back(
+            {static_cast<unsigned>(rng.below(spec.num_controllers())),
+             rng.uniform(0.25, 0.75)});
+        break;
+      case 2:
+        iv.fault.slow_banks.push_back(
+            {static_cast<unsigned>(rng.below(spec.num_banks())),
+             8 + rng.below(33)});
+        break;
+      default:
+        iv.fault.stragglers.push_back(
+            {static_cast<unsigned>(rng.below(params.threads)),
+             4 + rng.below(29)});
+        break;
+    }
+    sched.intervals.push_back(std::move(iv));
+  }
+  return sched;
+}
+
+/// Horizon estimate for resolving percent bounds: one unsupervised planned
+/// sweep, scaled to the slice count.
+arch::Cycles estimate_horizon(const SoakParams& params,
+                              const runtime::LoopConfig& base) {
+  trace::VirtualArena arena;
+  const arch::AddressMap map(base.sim.interleave);
+  const auto planned = kernels::triad_layout_bases(
+      arena, kernels::TriadLayout::kPlannedOffsets, params.n, map);
+  runtime::LoopConfig probe = base;
+  probe.slices = 1;
+  probe.supervise = false;
+  probe.sim.fault_schedule = {};
+  const auto one = runtime::run_supervised_triad(arena, planned, params.n, probe);
+  return one.total_cycles * base.slices;
+}
+
+struct SeedOutcome {
+  bool pass = true;
+  std::vector<std::string> failures;
+
+  void fail(const std::string& what) {
+    pass = false;
+    failures.push_back(what);
+  }
+};
+
+/// I2: committed migrations place the four stream bases on planned-set
+/// controllers, as spread out as the pigeonhole principle allows.
+void check_replan_soundness(const runtime::LoopResult& sup,
+                            const arch::AddressMap& map, SeedOutcome& out) {
+  for (const auto& replan : sup.replan_log) {
+    std::vector<unsigned> count(map.spec().num_controllers(), 0);
+    for (const arch::Addr base : replan.bases) {
+      const unsigned c = map.controller_of(base);
+      bool in_set = false;
+      for (const unsigned s : replan.plan_set) in_set |= (s == c);
+      if (!in_set)
+        out.fail("I2: stream base on controller " + std::to_string(c) +
+                 " outside planned set");
+      ++count[c];
+    }
+    const auto streams = static_cast<unsigned>(replan.bases.size());
+    const auto survivors = static_cast<unsigned>(replan.plan_set.size());
+    const unsigned limit =
+        survivors == 0 ? 0 : (streams + survivors - 1) / survivors;
+    for (unsigned c = 0; c < count.size(); ++c)
+      if (count[c] > limit)
+        out.fail("I2: controller " + std::to_string(c) + " carries " +
+                 std::to_string(count[c]) + " streams (pigeonhole limit " +
+                 std::to_string(limit) + ")");
+  }
+}
+
+/// I3: per-epoch DES bandwidth vs the analytic model, fixed planned layout.
+void check_epoch_model(const SoakParams& params,
+                       const runtime::LoopConfig& base,
+                       const sim::FaultSchedule& resolved, SeedOutcome& out) {
+  trace::VirtualArena arena;
+  const arch::AddressMap map(base.sim.interleave);
+  const auto bases = kernels::triad_layout_bases(
+      arena, kernels::TriadLayout::kPlannedOffsets, params.n, map);
+  sim::SimConfig cfg = base.sim;
+  cfg.fault_schedule = resolved;
+  auto wl = kernels::make_triad_workload(bases, params.n, params.threads,
+                                         sched::Schedule::static_block(),
+                                         base.slices);
+  sim::Chip chip(cfg, arch::equidistant_placement(params.threads, cfg.topology));
+  const sim::SimResult res = chip.run(wl);
+
+  const std::vector<sim::AnalyticStream> logical = {
+      {bases[0], true}, {bases[1], false}, {bases[2], false}, {bases[3], false}};
+  const auto physical = sim::expand_rfo(logical);
+  const auto est = sim::estimate_bandwidth_scheduled(
+      physical, params.threads, cfg.calibration, map, cfg.topology.clock_ghz,
+      cfg.faults, resolved, res.total_cycles);
+
+  for (std::size_t k = 0; k < res.epochs.size() && k < est.epochs.size(); ++k) {
+    const auto& epoch = res.epochs[k];
+    if (epoch.length() < res.total_cycles / 20) continue;  // too short to judge
+    const double model = est.epochs[k].estimate.bandwidth;
+    if (model <= 0.0 || epoch.bandwidth <= 0.0) continue;
+    const double ratio = epoch.bandwidth / model;
+    if (ratio < 1.0 / 3.0 || ratio > 3.0)
+      out.fail("I3: epoch " + std::to_string(k) + " (" + epoch.faults +
+               ") DES/analytic ratio " + std::to_string(ratio) +
+               " outside [1/3, 3]");
+  }
+}
+
+SeedOutcome run_seed(std::uint64_t seed, const SoakParams& params) {
+  SeedOutcome out;
+  util::Xoshiro256 rng(seed);
+  runtime::LoopConfig base;
+  base.threads = params.threads;
+  base.slices = params.slices;
+  base.seed = seed;
+
+  const sim::FaultSchedule raw =
+      random_schedule(rng, params, base.sim.interleave);
+  const arch::Cycles horizon = estimate_horizon(params, base);
+  const sim::FaultSchedule resolved = raw.resolved(horizon);
+  const auto status = resolved.check(base.sim.interleave);
+  if (!status.ok()) {
+    // The generator never offlines every controller (<=3 intervals, 4
+    // controllers), so a reject here is a generator bug, not a skip.
+    out.fail("generator produced invalid schedule: " + status.error().message);
+    return out;
+  }
+  std::printf("seed %" PRIu64 ": schedule %s\n", seed,
+              resolved.describe().c_str());
+
+  const arch::AddressMap map(base.sim.interleave);
+  base.sim.fault_schedule = resolved;
+
+  // Both contenders start from the pathological aliased layout; the
+  // supervised one must detect and heal it, faults or not.
+  trace::VirtualArena sup_arena;
+  const auto sup_bases = kernels::triad_layout_bases(
+      sup_arena, kernels::TriadLayout::kAligned8k, params.n, map);
+  runtime::LoopConfig sup_cfg = base;
+  sup_cfg.supervise = true;
+  const auto sup =
+      runtime::run_supervised_triad(sup_arena, sup_bases, params.n, sup_cfg);
+
+  trace::VirtualArena unsup_arena;
+  const auto unsup_bases = kernels::triad_layout_bases(
+      unsup_arena, kernels::TriadLayout::kAligned8k, params.n, map);
+  runtime::LoopConfig unsup_cfg = base;
+  unsup_cfg.supervise = false;
+  const auto unsup = runtime::run_supervised_triad(unsup_arena, unsup_bases,
+                                                   params.n, unsup_cfg);
+
+  // I1: supervision never loses.
+  if (sup.bandwidth < unsup.bandwidth * 0.98)
+    out.fail("I1: supervised " + std::to_string(sup.bandwidth / 1e9) +
+             " GB/s < unsupervised " + std::to_string(unsup.bandwidth / 1e9) +
+             " GB/s");
+
+  check_replan_soundness(sup, map, out);
+  check_epoch_model(params, base, resolved, out);
+
+  // I4: the schedule cleared by 85% of the horizon, so the run must end
+  // believed-healthy with a bounded replan count (no thrash).
+  if (sup.final_diagnosis.any())
+    out.fail("I4: final diagnosis not healthy: " +
+             sup.final_diagnosis.describe());
+  const unsigned replan_budget =
+      static_cast<unsigned>(resolved.event_count()) + 2;
+  if (sup.replans > replan_budget)
+    out.fail("I4: " + std::to_string(sup.replans) + " replans exceed budget " +
+             std::to_string(replan_budget) + " (thrash)");
+
+  std::printf("  supervised %.2f GB/s (replans=%u suppressed=%u declined=%u) "
+              "unsupervised %.2f GB/s -> %s\n",
+              sup.bandwidth / 1e9, sup.replans, sup.suppressed, sup.declined,
+              unsup.bandwidth / 1e9, out.pass ? "PASS" : "FAIL");
+  for (const auto& f : out.failures) std::printf("    %s\n", f.c_str());
+  return out;
+}
+
+int run_reference(const SoakParams& params, const std::string& json_path) {
+  runtime::LoopConfig base;
+  base.threads = params.threads;
+  base.slices = params.slices;
+
+  const arch::Cycles horizon = estimate_horizon(params, base);
+  base.sim.fault_schedule = bench::parse_schedule_knob(
+      "mc1:off@25%..75%", base.sim, horizon);
+  const arch::AddressMap map(base.sim.interleave);
+
+  trace::VirtualArena sup_arena;
+  const auto sup_bases = kernels::triad_layout_bases(
+      sup_arena, kernels::TriadLayout::kAligned8k, params.n, map);
+  runtime::LoopConfig sup_cfg = base;
+  sup_cfg.supervise = true;
+  const auto sup =
+      runtime::run_supervised_triad(sup_arena, sup_bases, params.n, sup_cfg);
+
+  trace::VirtualArena aliased_arena;
+  const auto aliased_bases = kernels::triad_layout_bases(
+      aliased_arena, kernels::TriadLayout::kAligned8k, params.n, map);
+  runtime::LoopConfig unsup_cfg = base;
+  unsup_cfg.supervise = false;
+  const auto aliased = runtime::run_supervised_triad(
+      aliased_arena, aliased_bases, params.n, unsup_cfg);
+
+  trace::VirtualArena planned_arena;
+  const auto planned_bases = kernels::triad_layout_bases(
+      planned_arena, kernels::TriadLayout::kPlannedOffsets, params.n, map);
+  const auto planned = runtime::run_supervised_triad(
+      planned_arena, planned_bases, params.n, unsup_cfg);
+
+  const double recovery = bench::checked_rate(
+      sup.bandwidth / aliased.bandwidth, "recovery ratio");
+  std::printf(
+      "# reference schedule mc1:off@25%%..75%%, triad n=%zu, %u threads, "
+      "%u sweeps\n"
+      "supervised (aliased start)    %.3f GB/s (replans=%u suppressed=%u "
+      "declined=%u)\n"
+      "unsupervised aliased          %.3f GB/s\n"
+      "unsupervised planned          %.3f GB/s\n"
+      "recovery ratio                %.3fx (acceptance: >= 1.3x)\n",
+      params.n, params.threads, params.slices, sup.bandwidth / 1e9,
+      sup.replans, sup.suppressed, sup.declined, aliased.bandwidth / 1e9,
+      planned.bandwidth / 1e9, recovery);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr)
+      throw std::runtime_error("chaos_soak: cannot write " + json_path);
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"supervised_triad_reference\",\n"
+        "  \"schedule\": \"mc1:off@25%%..75%%\",\n"
+        "  \"n\": %zu,\n"
+        "  \"threads\": %u,\n"
+        "  \"sweeps\": %u,\n"
+        "  \"supervised_gbs\": %.4f,\n"
+        "  \"unsupervised_aliased_gbs\": %.4f,\n"
+        "  \"unsupervised_planned_gbs\": %.4f,\n"
+        "  \"recovery_ratio\": %.4f,\n"
+        "  \"replans\": %u,\n"
+        "  \"suppressed\": %u,\n"
+        "  \"declined\": %u,\n"
+        "  \"migration_cycle_share\": %.6f\n"
+        "}\n",
+        params.n, params.threads, params.slices, sup.bandwidth / 1e9,
+        aliased.bandwidth / 1e9, planned.bandwidth / 1e9, recovery,
+        sup.replans, sup.suppressed, sup.declined,
+        static_cast<double>(sup.migration_cycles) /
+            static_cast<double>(sup.total_cycles));
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return recovery >= 1.3 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("Chaos soak: fuzz transient-fault schedules against the "
+                "supervisor's invariants (replay any failure with --seed)");
+  cli.option_int("seeds", 32, "number of seeds to soak (1..seeds)")
+      .option_int("seed", 0, "run exactly this seed (0 = soak 1..seeds)")
+      .option_int("n", 8192, "triad array elements")
+      .option_int("threads", 32, "software threads")
+      .option_int("sweeps", 10, "triad sweeps (= supervision slices)")
+      .option_str("fail-log", "", "append failing seeds + schedules here")
+      .flag("reference", "run the fixed reference schedule and write JSON")
+      .option_str("json", "BENCH_supervisor.json",
+                  "reference-mode output path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  SoakParams params;
+  params.n = static_cast<std::size_t>(cli.get_int("n"));
+  params.threads = static_cast<unsigned>(cli.get_int("threads"));
+  params.slices = static_cast<unsigned>(cli.get_int("sweeps"));
+
+  if (cli.get_flag("reference")) {
+    params.threads = 64;
+    return run_reference(params, cli.get_str("json"));
+  }
+
+  const auto single = static_cast<std::uint64_t>(cli.get_int("seed"));
+  std::vector<std::uint64_t> seeds;
+  if (single != 0) {
+    seeds.push_back(single);
+  } else {
+    const auto count = static_cast<std::uint64_t>(cli.get_int("seeds"));
+    for (std::uint64_t s = 1; s <= count; ++s) seeds.push_back(s);
+  }
+
+  unsigned failures = 0;
+  std::FILE* fail_log = nullptr;
+  const std::string fail_path = cli.get_str("fail-log");
+  for (const std::uint64_t seed : seeds) {
+    const SeedOutcome outcome = run_seed(seed, params);
+    if (!outcome.pass) {
+      ++failures;
+      if (fail_log == nullptr && !fail_path.empty())
+        fail_log = std::fopen(fail_path.c_str(), "a");
+      if (fail_log != nullptr) {
+        std::fprintf(fail_log, "seed %" PRIu64 "\n", seed);
+        for (const auto& f : outcome.failures)
+          std::fprintf(fail_log, "  %s\n", f.c_str());
+      }
+    }
+  }
+  if (fail_log != nullptr) std::fclose(fail_log);
+
+  std::printf("\nchaos soak: %zu seeds, %u failing\n", seeds.size(), failures);
+  if (failures != 0)
+    std::printf("replay any failure with: chaos_soak --seed <N>\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -48,6 +48,21 @@ inline sim::FaultSpec parse_fault_knob(const std::string& text,
   return parsed.value();
 }
 
+/// Parses the --schedule CLI grammar (timed fault intervals, see
+/// sim::FaultSchedule::parse) and resolves percent-relative bounds against
+/// `horizon` (the estimated run length in cycles). Validates against the
+/// config's interleave; throws with a diagnostic on bad schedules.
+inline sim::FaultSchedule parse_schedule_knob(const std::string& text,
+                                              const sim::SimConfig& cfg,
+                                              arch::Cycles horizon) {
+  auto parsed = sim::FaultSchedule::parse(text);
+  if (!parsed) throw std::invalid_argument(parsed.error().message);
+  const sim::FaultSchedule sched = parsed.value().resolved(horizon);
+  sched.check(cfg.interleave).throw_if_failed();
+  if (!sched.empty()) util::log_info("fault schedule: " + sched.describe());
+  return sched;
+}
+
 /// Runs one simulated STREAM configuration; returns reported GB/s (STREAM
 /// convention, RFO not counted).
 inline double stream_reported_gbs(kernels::StreamOp op, std::size_t n,
@@ -142,7 +157,7 @@ inline void emit(const std::vector<std::string>& header,
   if (!csv_path.empty()) {
     util::CsvWriter csv(csv_path, header);
     for (const auto& row : rows) csv.add_row(row);
-    csv.flush();
+    csv.close().throw_if_failed();
     util::log_info("wrote " + std::to_string(rows.size()) + " rows to " + csv_path);
   }
 }

@@ -9,6 +9,65 @@
 // derived analytically by the planner — no trial and error.
 
 #include "common.h"
+#include "runtime/supervised_loop.h"
+
+namespace {
+
+// --schedule mode: the fig6 path becomes a supervised loop. Runs the
+// optimal-layout Jacobi for --sweeps sweeps under the transient-fault
+// schedule, with and without the self-healing supervisor, and reports both
+// (migration cost is charged in cycles, so the comparison is end-to-end).
+int run_supervised_mode(const mcopt::util::Cli& cli,
+                        const mcopt::seg::LayoutSpec& optimal) {
+  using namespace mcopt;
+  const auto n = static_cast<std::size_t>(cli.get_int("max-n"));
+  const auto sweeps = static_cast<unsigned>(cli.get_int("sweeps"));
+  constexpr unsigned kThreads = 64;
+
+  runtime::LoopConfig lc;
+  lc.threads = kThreads;
+  lc.slices = sweeps;
+
+  // Percent-relative schedule bounds resolve against an estimated horizon:
+  // one probed unsupervised sweep times the sweep count.
+  runtime::LoopConfig probe = lc;
+  probe.slices = 1;
+  probe.supervise = false;
+  trace::VirtualArena probe_arena;
+  const auto one = runtime::run_supervised_jacobi(probe_arena, n, optimal, probe);
+  lc.sim.fault_schedule = bench::parse_schedule_knob(
+      cli.get_str("schedule"), lc.sim, one.total_cycles * sweeps);
+
+  trace::VirtualArena sup_arena;
+  lc.supervise = true;
+  const auto sup = runtime::run_supervised_jacobi(sup_arena, n, optimal, lc);
+  trace::VirtualArena unsup_arena;
+  lc.supervise = false;
+  const auto unsup = runtime::run_supervised_jacobi(unsup_arena, n, optimal, lc);
+
+  const double updates =
+      static_cast<double>(trace::jacobi_updates_per_sweep(n)) * sweeps;
+  const double sup_mlups = bench::checked_rate(updates / sup.seconds / 1e6,
+                                               "supervised Jacobi MLUPs");
+  const double unsup_mlups = bench::checked_rate(updates / unsup.seconds / 1e6,
+                                                 "unsupervised Jacobi MLUPs");
+  std::printf(
+      "# supervised Jacobi, N=%zu, %u threads, %u sweeps\n"
+      "# schedule: %s\n\n"
+      "supervised    %.1f MLUPs/s  (replans=%u suppressed=%u declined=%u, "
+      "migration %.1f%% of cycles)\n"
+      "unsupervised  %.1f MLUPs/s\n"
+      "recovery ratio %.3fx, final diagnosis: %s\n",
+      n, kThreads, sweeps, lc.sim.fault_schedule.describe().c_str(), sup_mlups,
+      sup.replans, sup.suppressed, sup.declined,
+      100.0 * static_cast<double>(sup.migration_cycles) /
+          static_cast<double>(sup.total_cycles),
+      unsup_mlups, sup_mlups / unsup_mlups,
+      sup.final_diagnosis.describe().c_str());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mcopt;
@@ -16,8 +75,16 @@ int main(int argc, char** argv) {
   cli.flag("full", "N = 64..2048 step 32 plus a fine window (paper range)")
       .option_int("max-n", 1024, "largest N (2048 with --full)")
       .option_int("step", 128, "N step (32 with --full)")
+      .option_str("schedule", "",
+                  "transient-fault schedule (e.g. mc1:off@25%..75%); runs the "
+                  "supervised loop at N=max-n instead of the figure sweep")
+      .option_int("sweeps", 8, "sweeps for the --schedule supervised loop")
       .option_str("csv", "", "mirror results to this CSV file");
   if (!cli.parse(argc, argv)) return 0;
+
+  const arch::AddressMap sched_map;
+  if (!cli.get_str("schedule").empty())
+    return run_supervised_mode(cli, kernels::jacobi_optimal_spec(sched_map));
 
   const bool full = cli.get_flag("full");
   const std::size_t max_n = full ? 2048 : static_cast<std::size_t>(cli.get_int("max-n"));

@@ -1,0 +1,197 @@
+#include "runtime/supervisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace mcopt::runtime {
+
+namespace {
+
+std::string set_to_string(const std::vector<unsigned>& set) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (i != 0) out << ',';
+    out << set[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace
+
+util::Status DetectorConfig::check() const {
+  util::Status status;
+  if (stable_window == 0)
+    status.note("DetectorConfig: stable_window must be >= 1");
+  if (!(offline_threshold > 0.0) || offline_threshold >= 1.0)
+    status.note("DetectorConfig: offline_threshold outside (0, 1)");
+  if (derate_threshold <= 1.0)
+    status.note("DetectorConfig: derate_threshold must exceed 1");
+  if (min_signal < 0.0 || min_signal >= 1.0)
+    status.note("DetectorConfig: min_signal outside [0, 1)");
+  if (replan_gain <= 1.0)
+    status.note("DetectorConfig: replan_gain must exceed 1");
+  if (backoff.initial == 0) status.note("DetectorConfig: backoff.initial == 0");
+  if (backoff.multiplier < 1.0)
+    status.note("DetectorConfig: backoff.multiplier < 1");
+  if (backoff.cap < backoff.initial)
+    status.note("DetectorConfig: backoff.cap < backoff.initial");
+  if (backoff.jitter < 0.0 || backoff.jitter >= 1.0)
+    status.note("DetectorConfig: backoff.jitter outside [0, 1)");
+  if (quiet_reset == 0) status.note("DetectorConfig: quiet_reset must be >= 1");
+  return status;
+}
+
+Supervisor::Supervisor(DetectorConfig cfg, const arch::InterleaveSpec& interleave,
+                       std::uint64_t seed)
+    : cfg_(cfg),
+      num_controllers_(interleave.num_controllers()),
+      backoff_(cfg.backoff, seed) {
+  cfg_.check().throw_if_failed();
+  if (num_controllers_ == 0)
+    throw std::invalid_argument("Supervisor: interleave has no controllers");
+}
+
+sim::FaultSpec Supervisor::diagnose(
+    const std::vector<double>& mc_utilization) const {
+  if (mc_utilization.size() != num_controllers_)
+    throw std::invalid_argument("Supervisor::diagnose: utilization size " +
+                                std::to_string(mc_utilization.size()) +
+                                " != controllers " +
+                                std::to_string(num_controllers_));
+  sim::FaultSpec diag;
+  const double peak =
+      *std::max_element(mc_utilization.begin(), mc_utilization.end());
+  if (peak < cfg_.min_signal) return diag;  // idle: no signal, assume healthy
+
+  for (unsigned c = 0; c < num_controllers_; ++c)
+    if (mc_utilization[c] < cfg_.offline_threshold * peak)
+      diag.offline_controllers.push_back(c);
+  // Never diagnose the whole chip dead: with all utilizations ~equal the
+  // peak scaling above cannot flag anyone, so this only guards degenerate
+  // threshold settings.
+  if (diag.offline_controllers.size() == num_controllers_)
+    diag.offline_controllers.clear();
+
+  // Derate detection against the median of the non-dead controllers: a slow
+  // DIMM saturates while its peers wait on it.
+  std::vector<double> alive;
+  for (unsigned c = 0; c < num_controllers_; ++c)
+    if (!diag.is_offline(c)) alive.push_back(mc_utilization[c]);
+  std::sort(alive.begin(), alive.end());
+  const double median = alive[alive.size() / 2];
+  if (median > 0.0) {
+    for (unsigned c = 0; c < num_controllers_; ++c) {
+      if (diag.is_offline(c)) continue;
+      if (mc_utilization[c] > cfg_.derate_threshold * median) {
+        // Busy-fraction ratio approximates the service slowdown.
+        const double factor =
+            std::clamp(median / mc_utilization[c], 0.05, 1.0);
+        diag.derates.push_back({c, factor});
+      }
+    }
+  }
+  return diag;
+}
+
+std::vector<unsigned> Supervisor::non_dead(const sim::FaultSpec& d) const {
+  std::vector<unsigned> set;
+  for (unsigned c = 0; c < num_controllers_; ++c)
+    if (!d.is_offline(c)) set.push_back(c);
+  return set;
+}
+
+Decision Supervisor::observe(const Sample& sample, double layout_gain) {
+  if (!(layout_gain > 0.0) || !std::isfinite(layout_gain))
+    throw std::invalid_argument("Supervisor::observe: bad layout_gain");
+
+  Decision dec;
+  dec.at = sample.end;
+  dec.diagnosis = planned_against_;
+  dec.plan_set = non_dead(planned_against_);
+
+  const double peak = sample.mc_utilization.empty()
+                          ? 0.0
+                          : *std::max_element(sample.mc_utilization.begin(),
+                                              sample.mc_utilization.end());
+  if (sample.mc_utilization.size() != num_controllers_ ||
+      peak < cfg_.min_signal) {
+    dec.reason = "idle";
+    return dec;
+  }
+
+  // Debounce: the diagnosis must repeat stable_window times in a row.
+  const sim::FaultSpec diag = diagnose(sample.mc_utilization);
+  const std::string descr = diag.describe();
+  if (descr == pending_descr_) {
+    ++pending_count_;
+  } else {
+    pending_descr_ = descr;
+    pending_diag_ = diag;
+    pending_count_ = 1;
+  }
+  if (pending_count_ < cfg_.stable_window) {
+    dec.reason = "unstable diagnosis (" + descr + ", " +
+                 std::to_string(pending_count_) + "/" +
+                 std::to_string(cfg_.stable_window) + ")";
+    return dec;
+  }
+
+  const bool fault_changed = descr != planned_against_.describe();
+  const bool layout_deficit = layout_gain >= cfg_.replan_gain;
+  if (!fault_changed && !layout_deficit) {
+    dec.reason = "planned state current";
+    if (++quiet_count_ >= cfg_.quiet_reset && backoff_.retries() != 0) {
+      backoff_.reset();
+      util::log_info("supervisor: backoff reset after quiet stretch at=" +
+                     std::to_string(sample.end));
+    }
+    return dec;
+  }
+  quiet_count_ = 0;
+
+  dec.diagnosis = diag;
+  dec.plan_set = non_dead(diag);
+  const std::string why = fault_changed
+                              ? "fault state " + planned_against_.describe() +
+                                    " -> " + descr
+                              : "layout gain " + std::to_string(layout_gain);
+  if (sample.end < next_allowed_) {
+    ++suppressed_;
+    dec.action = Action::kSuppressed;
+    dec.reason = why + "; suppressed by backoff until " +
+                 std::to_string(next_allowed_);
+    util::log_info("supervisor: action=suppressed at=" +
+                   std::to_string(sample.end) + " set=" +
+                   set_to_string(dec.plan_set) + " reason=" + dec.reason);
+    return dec;
+  }
+
+  dec.action = Action::kReplan;
+  dec.reason = why;
+  util::log_info("supervisor: action=replan at=" + std::to_string(sample.end) +
+                 " set=" + set_to_string(dec.plan_set) + " reason=" + why);
+  return dec;
+}
+
+void Supervisor::commit(arch::Cycles now) {
+  planned_against_ = pending_diag_;
+  next_allowed_ = now + backoff_.next();
+  ++replans_;
+  util::log_info("supervisor: replan committed at=" + std::to_string(now) +
+                 " planned_against=" + planned_against_.describe() +
+                 " next_allowed=" + std::to_string(next_allowed_));
+}
+
+void Supervisor::abort(arch::Cycles now) {
+  next_allowed_ = now + backoff_.next();
+  util::log_info("supervisor: replan declined at=" + std::to_string(now) +
+                 " next_allowed=" + std::to_string(next_allowed_));
+}
+
+}  // namespace mcopt::runtime

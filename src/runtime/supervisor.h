@@ -1,0 +1,144 @@
+#pragma once
+// Online self-healing supervisor for degraded-chip runs.
+//
+// The paper's planner is purely analytic ("no trial and error is required"):
+// given the address map and the surviving-controller set, it derives the
+// layout directly. What it cannot do is *know* the surviving set at run
+// time. The supervisor closes that loop: it watches a sliding window of
+// per-controller utilization samples coming out of the simulator, diagnoses
+// which controllers are dead (near-zero busy fraction) or derated
+// (saturated far above the median), and — when the diagnosis is stable and
+// differs from what the current layout was planned against — proposes a
+// replan over the observed healthy set. A jittered-exponential backoff
+// (util::Backoff, in simulated cycles) keeps a flapping controller from
+// triggering a replan storm, and every decision is logged through util::log
+// in a structured one-line format.
+//
+// The supervisor proposes; the supervised loop (supervised_loop.h) disposes:
+// it computes the candidate layout with seg::plan_* and a migration
+// break-even estimate from the analytic model, then either commit()s the
+// replan (migration performed, backoff armed) or abort()s it (not worth the
+// copy; backoff armed so the proposal is not re-made every slice).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "sim/faults.h"
+#include "util/backoff.h"
+#include "util/expected.h"
+
+namespace mcopt::runtime {
+
+/// Detector thresholds. Defaults are calibrated for the triad/Jacobi
+/// supervised loops (slice-grained samples, 4 controllers).
+struct DetectorConfig {
+  /// A diagnosis must repeat over this many consecutive samples before the
+  /// supervisor acts on it (debounces boundary slices that straddle a fault
+  /// transition).
+  unsigned stable_window = 2;
+  /// Dead detection: utilization below this fraction of the busiest
+  /// controller's.
+  double offline_threshold = 0.12;
+  /// Derate detection: utilization above this multiple of the median of the
+  /// non-dead controllers (a slow DIMM saturates while its peers idle).
+  double derate_threshold = 1.6;
+  /// Samples whose busiest controller sits below this are ignored (the
+  /// machine is idle; utilization carries no diagnostic signal).
+  double min_signal = 0.02;
+  /// Layout replans (fault state unchanged, current layout analytically
+  /// inferior) trigger only when candidate/current bandwidth exceeds this.
+  double replan_gain = 1.15;
+  /// Replan backoff, in simulated cycles.
+  util::BackoffConfig backoff{.initial = 50000, .multiplier = 2.0,
+                              .cap = 3200000, .jitter = 0.1};
+  /// Consecutive no-action samples after which the backoff resets.
+  unsigned quiet_reset = 4;
+
+  /// Non-throwing validation; reports every violation at once.
+  [[nodiscard]] util::Status check() const;
+};
+
+/// One observation window: per-controller busy fractions over
+/// [begin, end) of the *global* (supervised-loop) cycle timeline.
+struct Sample {
+  arch::Cycles begin = 0;
+  arch::Cycles end = 0;
+  std::vector<double> mc_utilization;
+};
+
+enum class Action {
+  kKeep,       ///< nothing to do (healthy, unstable, idle, or already planned)
+  kReplan,     ///< diagnosis or layout deficit warrants a replan now
+  kSuppressed  ///< replan warranted but inside the backoff window
+};
+
+/// The supervisor's verdict for one sample.
+struct Decision {
+  Action action = Action::kKeep;
+  /// Current believed fault state (dead + derated controllers).
+  sim::FaultSpec diagnosis;
+  /// Controllers a replan should lay streams out over (the non-dead set;
+  /// derated controllers stay in — their addresses cannot be avoided, only
+  /// rephased, which the analytic gate evaluates).
+  std::vector<unsigned> plan_set;
+  std::string reason;
+  arch::Cycles at = 0;
+};
+
+class Supervisor {
+ public:
+  /// `seed` feeds the backoff jitter; equal seeds replay exactly.
+  Supervisor(DetectorConfig cfg, const arch::InterleaveSpec& interleave,
+             std::uint64_t seed = 0);
+
+  /// Feeds one utilization sample. `layout_gain` is the caller's analytic
+  /// estimate of candidate/current bandwidth under the currently believed
+  /// fault state (1.0 = current layout already optimal); it lets the
+  /// supervisor propose replans for layout deficits (e.g. an aliased
+  /// starting layout) even when the fault diagnosis is unchanged.
+  [[nodiscard]] Decision observe(const Sample& sample,
+                                 double layout_gain = 1.0);
+
+  /// The loop migrated per the last kReplan decision: records the diagnosis
+  /// as planned-against and arms the backoff.
+  void commit(arch::Cycles now);
+
+  /// The loop declined the last kReplan decision (migration not worth it):
+  /// arms the backoff so the same proposal is not re-made every sample, but
+  /// keeps the planned-against state (conditions may still change).
+  void abort(arch::Cycles now);
+
+  /// Fault state the current layout was planned against.
+  [[nodiscard]] const sim::FaultSpec& planned_against() const noexcept {
+    return planned_against_;
+  }
+  /// Committed replans / backoff-suppressed proposals so far.
+  [[nodiscard]] unsigned replans() const noexcept { return replans_; }
+  [[nodiscard]] unsigned suppressed() const noexcept { return suppressed_; }
+  [[nodiscard]] const util::Backoff& backoff() const noexcept { return backoff_; }
+
+  /// Pure detector: classifies one utilization vector into a FaultSpec
+  /// (exposed for tests).
+  [[nodiscard]] sim::FaultSpec diagnose(
+      const std::vector<double>& mc_utilization) const;
+
+ private:
+  [[nodiscard]] std::vector<unsigned> non_dead(const sim::FaultSpec& d) const;
+
+  DetectorConfig cfg_;
+  unsigned num_controllers_;
+  util::Backoff backoff_;
+
+  sim::FaultSpec planned_against_{};  // healthy at start
+  sim::FaultSpec pending_diag_{};
+  std::string pending_descr_;
+  unsigned pending_count_ = 0;
+  unsigned quiet_count_ = 0;
+  arch::Cycles next_allowed_ = 0;
+  unsigned replans_ = 0;
+  unsigned suppressed_ = 0;
+};
+
+}  // namespace mcopt::runtime

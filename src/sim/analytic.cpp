@@ -104,4 +104,43 @@ AnalyticEstimate estimate_bandwidth(std::span<const AnalyticStream> streams,
   return est;
 }
 
+ScheduledEstimate estimate_bandwidth_scheduled(
+    std::span<const AnalyticStream> streams, unsigned num_threads,
+    const arch::Calibration& cal, const arch::AddressMap& map,
+    double clock_ghz, const FaultSpec& baseline, const FaultSchedule& schedule,
+    arch::Cycles horizon) {
+  if (schedule.has_relative())
+    throw std::invalid_argument(
+        "estimate_bandwidth_scheduled: schedule has unresolved percent bounds");
+  if (horizon == 0 || horizon == FaultSchedule::kNever)
+    throw std::invalid_argument(
+        "estimate_bandwidth_scheduled: horizon must be a finite run length");
+
+  ScheduledEstimate out;
+  double weighted_bw = 0.0;
+  double weighted_service = 0.0;
+  double weighted_latency = 0.0;
+  double weighted_balance = 0.0;
+  for (const FaultSchedule::Epoch& e : schedule.epochs(horizon, baseline)) {
+    ScheduledEstimate::EpochEstimate epoch;
+    epoch.begin = e.begin;
+    epoch.end = e.end;
+    epoch.faults = e.faults.describe();
+    epoch.estimate =
+        estimate_bandwidth(streams, num_threads, cal, map, clock_ghz, e.faults);
+    const double weight = static_cast<double>(e.end - e.begin) /
+                          static_cast<double>(horizon);
+    weighted_bw += epoch.estimate.bandwidth * weight;
+    weighted_service += epoch.estimate.service_bandwidth * weight;
+    weighted_latency += epoch.estimate.latency_bandwidth * weight;
+    weighted_balance += epoch.estimate.balance * weight;
+    out.epochs.push_back(std::move(epoch));
+  }
+  out.whole.bandwidth = weighted_bw;
+  out.whole.service_bandwidth = weighted_service;
+  out.whole.latency_bandwidth = weighted_latency;
+  out.whole.balance = weighted_balance;
+  return out;
+}
+
 }  // namespace mcopt::sim

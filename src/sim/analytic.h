@@ -17,6 +17,7 @@
 
 #include "arch/address_map.h"
 #include "arch/calibration.h"
+#include "sim/fault_schedule.h"
 #include "sim/faults.h"
 
 namespace mcopt::sim {
@@ -58,5 +59,30 @@ struct AnalyticEstimate {
     std::span<const AnalyticStream> streams, unsigned num_threads,
     const arch::Calibration& cal, const arch::AddressMap& map,
     double clock_ghz, const FaultSpec& faults = {});
+
+/// Epoch-resolved composition of the analytic model over a transient-fault
+/// schedule: the per-FaultSpec model is evaluated once per epoch (epoch
+/// boundaries = fault transitions over [0, horizon)) and composed with
+/// epoch-length weights — whole-run bytes are sum(bandwidth_e * length_e),
+/// so `whole.bandwidth` is the time-weighted mean the DES should approach.
+struct ScheduledEstimate {
+  struct EpochEstimate {
+    arch::Cycles begin = 0;
+    arch::Cycles end = 0;
+    std::string faults;  ///< merged active spec, FaultSpec::describe()
+    AnalyticEstimate estimate;
+  };
+  std::vector<EpochEstimate> epochs;
+  AnalyticEstimate whole;  ///< epoch-length-weighted composition
+};
+
+/// `schedule` must be resolved (no percent bounds); `horizon` is the run
+/// length in cycles the weights are taken over. `baseline` faults apply to
+/// every epoch (FaultSpec::merged semantics, mirroring the chip).
+[[nodiscard]] ScheduledEstimate estimate_bandwidth_scheduled(
+    std::span<const AnalyticStream> streams, unsigned num_threads,
+    const arch::Calibration& cal, const arch::AddressMap& map,
+    double clock_ghz, const FaultSpec& baseline, const FaultSchedule& schedule,
+    arch::Cycles horizon);
 
 }  // namespace mcopt::sim

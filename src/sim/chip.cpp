@@ -21,6 +21,26 @@ util::Status SimConfig::check() const {
   if (model_lockstep && lockstep_window == 0)
     status.note("SimConfig: lockstep_window must be >= 1");
   status.merge(faults.check(interleave));
+  if (!fault_schedule.empty()) {
+    if (fault_schedule.has_relative()) {
+      status.note(
+          "SimConfig: fault_schedule has unresolved percent bounds "
+          "(resolve them against a run horizon first)");
+    } else {
+      status.merge(fault_schedule.check(interleave));
+      // Baseline + scheduled faults combined must keep a survivor in every
+      // epoch (the schedule alone may be fine while the union is not).
+      if (status.ok())
+        for (const FaultSchedule::Epoch& e :
+             fault_schedule.epochs(FaultSchedule::kNever, faults))
+          if (e.faults.surviving_controllers(interleave).empty()) {
+            status.note(
+                "SimConfig: baseline faults plus schedule offline every "
+                "controller from cycle " + std::to_string(e.begin));
+            break;
+          }
+    }
+  }
   return status;
 }
 
@@ -96,12 +116,8 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
     l1_.emplace_back(cfg_.topology.l1d, Cache::WritePolicy::kWriteThrough);
   mcs_.clear();
   for (unsigned m = 0; m < cfg_.interleave.num_controllers(); ++m)
-    mcs_.emplace_back(cfg_.calibration, cfg_.interleave,
-                      cfg_.faults.derate_of(m));
-  mc_remap_ = cfg_.faults.controller_remap(cfg_.interleave);
-  bank_extra_.resize(cfg_.interleave.num_banks());
-  for (unsigned b = 0; b < cfg_.interleave.num_banks(); ++b)
-    bank_extra_[b] = cfg_.faults.bank_extra(b);
+    mcs_.emplace_back(cfg_.calibration, cfg_.interleave, 1.0);
+  bank_extra_.assign(cfg_.interleave.num_banks(), 0);
   bank_free_.assign(cfg_.interleave.num_banks(), 0);
   cores_.assign(cfg_.topology.num_cores, CoreState{});
   for (auto& core : cores_) {
@@ -128,10 +144,17 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
     ts.program = workload[t].get();
     ts.batch.resize(256);
     ts.store_slot.assign(cfg_.calibration.store_buffer_entries, 0);
-    straggle_[t] = cfg_.faults.straggle_of(t);
     expected_accesses += ts.program->total_accesses();
     runnable_.emplace(0, t);
   }
+
+  // Fault state: epoch 0 of the schedule (the schedule-free case is a single
+  // unbounded epoch carrying the baseline faults). Later epochs are applied
+  // by advance_epochs() as the event clock crosses their boundaries.
+  sched_epochs_ = cfg_.fault_schedule.epochs(FaultSchedule::kNever, cfg_.faults);
+  epoch_idx_ = 0;
+  epoch_marks_.clear();
+  apply_faults(sched_epochs_.front().faults);
 
   // Watchdog bookkeeping (active when a cycle budget is configured): a
   // workload is aborted with a diagnostic once every runnable thread's clock
@@ -147,6 +170,14 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
   while (!runnable_.empty()) {
     const auto [when, tid] = runnable_.top();
     runnable_.pop();
+    // The queue pops the globally earliest thread, so once its clock passes
+    // a fault transition every later reservation is on the far side too:
+    // applying the epoch here keeps the timeline consistent. Requests
+    // already enqueued drain with the old parameters (in-flight traffic is
+    // not reshaped by a transition).
+    if (epoch_idx_ + 1 < sched_epochs_.size() &&
+        when >= sched_epochs_[epoch_idx_ + 1].begin)
+      advance_epochs(when);
     if (cfg_.cycle_budget != 0 && when > cfg_.cycle_budget) {
       return util::Expected<SimResult>::failure(
           "Chip::run watchdog: cycle budget " +
@@ -206,14 +237,81 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
   }
   result.mem_read_bytes = mem_reads * cfg_.interleave.line_size();
   result.mem_write_bytes = mem_writes * cfg_.interleave.line_size();
-  result.degraded = cfg_.faults.any();
+  result.degraded = cfg_.faults.any() || !cfg_.fault_schedule.empty();
   result.mc_utilization.resize(result.mc.size(), 0.0);
   if (result.total_cycles != 0)
     for (std::size_t m = 0; m < result.mc.size(); ++m)
       result.mc_utilization[m] =
           static_cast<double>(result.mc[m].busy_cycles) /
           static_cast<double>(result.total_cycles);
+
+  // Per-epoch breakdown: deltas between the boundary snapshots (epoch k ends
+  // at snapshot k; the last entered epoch ends at total_cycles with the
+  // final counters). Epochs the run never reached are omitted.
+  if (!cfg_.fault_schedule.empty()) {
+    const std::size_t line = cfg_.interleave.line_size();
+    std::vector<McSnapshot> prev(mcs_.size());
+    for (std::size_t k = 0; k <= epoch_idx_; ++k) {
+      SimResult::EpochStats epoch;
+      epoch.begin = sched_epochs_[k].begin;
+      epoch.end = k < epoch_idx_ ? sched_epochs_[k + 1].begin
+                                 : std::max(result.total_cycles,
+                                            sched_epochs_[k].begin);
+      epoch.faults = sched_epochs_[k].faults.describe();
+      const std::vector<McSnapshot>* cut = nullptr;
+      std::vector<McSnapshot> final_snap(mcs_.size());
+      if (k < epoch_idx_) {
+        cut = &epoch_marks_[k];
+      } else {
+        for (std::size_t m = 0; m < mcs_.size(); ++m)
+          final_snap[m] = {mcs_[m].stats().reads, mcs_[m].stats().writes,
+                           mcs_[m].stats().busy_cycles};
+        cut = &final_snap;
+      }
+      epoch.mc_utilization.resize(mcs_.size(), 0.0);
+      std::uint64_t lines_moved = 0;
+      for (std::size_t m = 0; m < mcs_.size(); ++m) {
+        const std::uint64_t dr = (*cut)[m].reads - prev[m].reads;
+        const std::uint64_t dw = (*cut)[m].writes - prev[m].writes;
+        lines_moved += dr + dw;
+        epoch.mem_read_bytes += dr * line;
+        epoch.mem_write_bytes += dw * line;
+        if (epoch.length() != 0)
+          epoch.mc_utilization[m] =
+              static_cast<double>((*cut)[m].busy_cycles - prev[m].busy_cycles) /
+              static_cast<double>(epoch.length());
+      }
+      if (epoch.length() != 0 && result.clock_ghz > 0.0)
+        epoch.bandwidth = static_cast<double>(lines_moved * line) /
+                          arch::cycles_to_seconds(epoch.length(), result.clock_ghz);
+      prev = *cut;
+      result.epochs.push_back(std::move(epoch));
+    }
+  }
   return result;
+}
+
+void Chip::apply_faults(const FaultSpec& active) {
+  mc_remap_ = active.controller_remap(cfg_.interleave);
+  for (unsigned m = 0; m < static_cast<unsigned>(mcs_.size()); ++m)
+    mcs_[m].set_rate_factor(active.derate_of(m));
+  for (unsigned b = 0; b < static_cast<unsigned>(bank_extra_.size()); ++b)
+    bank_extra_[b] = active.bank_extra(b);
+  for (unsigned t = 0; t < static_cast<unsigned>(straggle_.size()); ++t)
+    straggle_[t] = active.straggle_of(t);
+}
+
+void Chip::advance_epochs(arch::Cycles now) {
+  while (epoch_idx_ + 1 < sched_epochs_.size() &&
+         now >= sched_epochs_[epoch_idx_ + 1].begin) {
+    std::vector<McSnapshot> snap(mcs_.size());
+    for (std::size_t m = 0; m < mcs_.size(); ++m)
+      snap[m] = {mcs_[m].stats().reads, mcs_[m].stats().writes,
+                 mcs_[m].stats().busy_cycles};
+    epoch_marks_.push_back(std::move(snap));
+    ++epoch_idx_;
+    apply_faults(sched_epochs_[epoch_idx_].faults);
+  }
 }
 
 arch::Cycles Chip::miss_to_l2(arch::Cycles when, arch::Addr addr, bool is_store) {

@@ -32,6 +32,7 @@
 #include "arch/calibration.h"
 #include "arch/topology.h"
 #include "sim/cache.h"
+#include "sim/fault_schedule.h"
 #include "sim/faults.h"
 #include "sim/memory_controller.h"
 #include "sim/program.h"
@@ -67,8 +68,15 @@ struct SimConfig {
   /// paper (3.7 / ~7.4 GB/s reported for 64-thread STREAM triad).
   std::uint64_t lockstep_window = 12;
   /// Injected hardware faults (offline/derated controllers, slow banks,
-  /// straggler strands). Default: healthy chip.
+  /// straggler strands). Default: healthy chip. These are the *baseline*:
+  /// present from cycle 0 for the whole run.
   FaultSpec faults{};
+  /// Transient faults: a timeline of arrive/clear events layered on top of
+  /// the baseline. The chip applies/retires them during the event loop at
+  /// their transition cycles (in-flight requests drain at the old
+  /// parameters), and SimResult::epochs reports a per-epoch breakdown.
+  /// Percent-relative bounds must be resolved() before the chip sees them.
+  FaultSchedule fault_schedule{};
   /// Watchdog: abort try_run() with a diagnostic once simulated time passes
   /// this many cycles (0 = unlimited). Guards harnesses against malformed
   /// workloads that would otherwise run unboundedly.
@@ -96,8 +104,30 @@ struct SimResult {
   double clock_ghz = 0.0;
   /// Busy fraction of each controller over the run (0 for an offline one).
   std::vector<double> mc_utilization;
-  /// True when the run executed under an injected fault (SimConfig::faults).
+  /// True when the run executed under an injected fault (SimConfig::faults
+  /// or a non-empty SimConfig::fault_schedule).
   bool degraded = false;
+
+  /// One fault-schedule epoch of the run: [begin, end) between consecutive
+  /// fault transitions (the last epoch ends at total_cycles). Traffic and
+  /// busy cycles are attributed to the epoch in which a request was
+  /// enqueued; a request spanning a boundary is not split.
+  struct EpochStats {
+    arch::Cycles begin = 0;
+    arch::Cycles end = 0;
+    /// FaultSpec::describe() of the merged active fault set.
+    std::string faults;
+    std::uint64_t mem_read_bytes = 0;
+    std::uint64_t mem_write_bytes = 0;
+    /// Busy fraction of each controller within the epoch.
+    std::vector<double> mc_utilization;
+    /// Actual traffic (both directions) per second within the epoch.
+    double bandwidth = 0.0;
+
+    [[nodiscard]] arch::Cycles length() const noexcept { return end - begin; }
+  };
+  /// Per-epoch breakdown; empty unless the run had a fault schedule.
+  std::vector<EpochStats> epochs;
 
   [[nodiscard]] double seconds() const noexcept {
     return clock_ghz <= 0.0 ? 0.0
@@ -154,6 +184,15 @@ class Chip {
   /// that fall back inside the lockstep window.
   void advance_min_iteration(arch::Cycles now);
 
+  /// Installs a fault set on the shared structures: controller remap, rate
+  /// factors, bank slowdowns, per-thread straggle. Called at run start and
+  /// at every fault-schedule transition.
+  void apply_faults(const FaultSpec& active);
+
+  /// Retires schedule epochs whose start the event clock has passed,
+  /// snapshotting per-controller counters at each boundary.
+  void advance_epochs(arch::Cycles now);
+
   SimConfig cfg_;
   arch::Placement placement_;
   arch::AddressMap map_;
@@ -169,6 +208,18 @@ class Chip {
   std::vector<CoreState> cores_;
   std::vector<ThreadState> threads_;
   std::uint64_t flops_total_ = 0;
+
+  // Fault-schedule state: the run's epoch list (always at least one entry),
+  // the index of the epoch currently in force, and per-controller counter
+  // snapshots taken at each boundary already crossed.
+  struct McSnapshot {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    arch::Cycles busy_cycles = 0;
+  };
+  std::vector<FaultSchedule::Epoch> sched_epochs_;
+  std::size_t epoch_idx_ = 0;
+  std::vector<std::vector<McSnapshot>> epoch_marks_;  // one row per boundary
 
   // Event loop state: (time, thread) min-heap of runnable threads and
   // (iteration, thread) min-heap of threads parked by the lockstep gate.

@@ -1,0 +1,274 @@
+#include "sim/fault_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace mcopt::sim {
+
+bool FaultSchedule::has_relative() const noexcept {
+  return std::any_of(intervals.begin(), intervals.end(),
+                     [](const Interval& iv) { return iv.relative; });
+}
+
+FaultSchedule FaultSchedule::resolved(arch::Cycles horizon) const {
+  FaultSchedule out;
+  out.intervals.reserve(intervals.size());
+  for (const Interval& iv : intervals) {
+    Interval r = iv;
+    if (iv.relative) {
+      r.relative = false;
+      r.begin = static_cast<arch::Cycles>(
+          std::llround(iv.begin_frac * static_cast<double>(horizon)));
+      r.end = iv.end_frac < 0.0
+                  ? kNever
+                  : static_cast<arch::Cycles>(std::llround(
+                        iv.end_frac * static_cast<double>(horizon)));
+    }
+    out.intervals.push_back(std::move(r));
+  }
+  return out;
+}
+
+FaultSchedule FaultSchedule::shifted(arch::Cycles offset) const {
+  FaultSchedule out;
+  for (const Interval& iv : intervals) {
+    if (iv.end != kNever && iv.end <= offset) continue;  // already cleared
+    Interval s = iv;
+    s.begin = iv.begin > offset ? iv.begin - offset : 0;
+    if (iv.end != kNever) s.end = iv.end - offset;
+    out.intervals.push_back(std::move(s));
+  }
+  return out;
+}
+
+FaultSpec FaultSchedule::active_at(arch::Cycles cycle,
+                                   const FaultSpec& baseline) const {
+  FaultSpec active = baseline;
+  for (const Interval& iv : intervals)
+    if (cycle >= iv.begin && cycle < iv.end)
+      active = FaultSpec::merged(active, iv.fault);
+  return active;
+}
+
+std::vector<arch::Cycles> FaultSchedule::transitions() const {
+  std::vector<arch::Cycles> cuts;
+  for (const Interval& iv : intervals) {
+    if (iv.begin > 0) cuts.push_back(iv.begin);
+    if (iv.end != kNever) cuts.push_back(iv.end);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return cuts;
+}
+
+std::size_t FaultSchedule::event_count() const noexcept {
+  std::size_t events = 0;
+  for (const Interval& iv : intervals) {
+    if (iv.begin > 0) ++events;       // arrive (begin 0 is the initial state)
+    if (iv.end != kNever) ++events;   // clear
+  }
+  return events;
+}
+
+std::vector<FaultSchedule::Epoch> FaultSchedule::epochs(
+    arch::Cycles horizon, const FaultSpec& baseline) const {
+  std::vector<arch::Cycles> cuts = transitions();
+  if (horizon != kNever)
+    cuts.erase(std::remove_if(cuts.begin(), cuts.end(),
+                              [&](arch::Cycles c) { return c >= horizon; }),
+               cuts.end());
+  std::vector<Epoch> out;
+  arch::Cycles begin = 0;
+  for (arch::Cycles cut : cuts) {
+    out.push_back({begin, cut, active_at(begin, baseline)});
+    begin = cut;
+  }
+  out.push_back({begin, horizon, active_at(begin, baseline)});
+  return out;
+}
+
+util::Status FaultSchedule::check(const arch::InterleaveSpec& spec) const {
+  util::Status status;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const Interval& iv = intervals[i];
+    const std::string tag = "FaultSchedule interval " + std::to_string(i);
+    util::Status fault_status = iv.fault.check(spec);
+    if (!fault_status.ok())
+      status.note(tag + ": " + fault_status.error().message);
+    if (iv.relative) {
+      if (!(iv.begin_frac >= 0.0) || iv.begin_frac > 1.0)
+        status.note(tag + ": percent begin must lie in [0, 100]");
+      if (iv.end_frac >= 0.0 &&
+          (iv.end_frac > 1.0 || iv.end_frac <= iv.begin_frac))
+        status.note(tag + ": percent bounds must satisfy begin < end <= 100");
+    } else if (iv.end != kNever && iv.end <= iv.begin) {
+      status.note(tag + ": begin " + std::to_string(iv.begin) +
+                  " must precede end " + std::to_string(iv.end));
+    }
+  }
+  // Overlapping intervals must never conspire to offline the whole chip.
+  // Percent bounds have no common timeline until resolved; the resolved
+  // schedule re-runs this check (SimConfig::check sees only resolved ones).
+  if (!has_relative() && status.ok()) {
+    for (const Epoch& e : epochs(kNever))
+      if (e.faults.surviving_controllers(spec).empty()) {
+        status.note(
+            "FaultSchedule: overlapping intervals offline every controller "
+            "during [" + std::to_string(e.begin) + ", " +
+            (e.end == kNever ? std::string("inf") : std::to_string(e.end)) +
+            ")");
+        break;
+      }
+  }
+  return status;
+}
+
+std::string FaultSchedule::describe() const {
+  if (intervals.empty()) return "empty";
+  std::string out;
+  for (const Interval& iv : intervals) {
+    if (!out.empty()) out += ',';
+    out += iv.fault.describe();
+    if (iv.relative) {
+      char buf[64];
+      if (iv.end_frac < 0.0)
+        std::snprintf(buf, sizeof buf, "@%g%%", iv.begin_frac * 100.0);
+      else
+        std::snprintf(buf, sizeof buf, "@%g%%..%g%%", iv.begin_frac * 100.0,
+                      iv.end_frac * 100.0);
+      out += buf;
+    } else if (iv.begin != 0 || iv.end != kNever) {
+      out += '@' + std::to_string(iv.begin);
+      if (iv.end != kNever) out += ".." + std::to_string(iv.end);
+    }
+  }
+  return out;
+}
+
+FaultSchedule FaultSchedule::constant(const FaultSpec& spec) {
+  FaultSchedule sched;
+  const auto add = [&sched](FaultSpec single) {
+    Interval iv;
+    iv.fault = std::move(single);
+    sched.intervals.push_back(std::move(iv));
+  };
+  for (unsigned c : spec.offline_controllers) {
+    FaultSpec s;
+    s.offline_controllers = {c};
+    add(std::move(s));
+  }
+  for (const FaultSpec::Derate& d : spec.derates) {
+    FaultSpec s;
+    s.derates = {d};
+    add(std::move(s));
+  }
+  for (const FaultSpec::SlowBank& b : spec.slow_banks) {
+    FaultSpec s;
+    s.slow_banks = {b};
+    add(std::move(s));
+  }
+  for (const FaultSpec::Straggler& st : spec.stragglers) {
+    FaultSpec s;
+    s.stragglers = {st};
+    add(std::move(s));
+  }
+  return sched;
+}
+
+namespace {
+
+/// Splits "a,b,c" into trimmed non-empty items (mirrors FaultSpec::parse).
+std::vector<std::string> split_items(const std::string& text) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    std::string item = text.substr(start, comma - start);
+    const auto lo = item.find_first_not_of(" \t");
+    const auto hi = item.find_last_not_of(" \t");
+    if (lo != std::string::npos) items.push_back(item.substr(lo, hi - lo + 1));
+    start = comma + 1;
+  }
+  return items;
+}
+
+struct Bound {
+  double value = 0.0;   // cycles, or fraction in [0,1] when percent
+  bool percent = false;
+};
+
+/// Parses one time bound: a strtod-able cycle count ("1e6") or a percent of
+/// the run ("25%"). Bounds ride through double; 2^53 keeps the cycle cast
+/// exact (mirrors FaultSpec::parse's cycle handling).
+util::Expected<Bound> parse_bound(const std::string& text,
+                                  const std::string& item) {
+  using Result = util::Expected<Bound>;
+  if (text.empty())
+    return Result::failure("FaultSchedule: empty time bound in '" + item + "'");
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  Bound bound;
+  if (end != nullptr && *end == '%' && *(end + 1) == '\0') {
+    if (!(parsed >= 0.0) || parsed > 100.0)
+      return Result::failure("FaultSchedule: percent bound in '" + item +
+                             "' must lie in [0, 100]");
+    bound.value = parsed / 100.0;
+    bound.percent = true;
+    return bound;
+  }
+  if (end == nullptr || *end != '\0')
+    return Result::failure("FaultSchedule: malformed time bound in '" + item +
+                           "'");
+  constexpr double kMaxCycles = 9007199254740992.0;  // 2^53
+  if (!(parsed >= 0.0 && parsed <= kMaxCycles))
+    return Result::failure("FaultSchedule: cycle bound in '" + item +
+                           "' must lie in [0, 2^53]");
+  bound.value = parsed;
+  return bound;
+}
+
+}  // namespace
+
+util::Expected<FaultSchedule> FaultSchedule::parse(const std::string& text) {
+  using Result = util::Expected<FaultSchedule>;
+  FaultSchedule sched;
+  for (const std::string& item : split_items(text)) {
+    const std::size_t at = item.find('@');
+    const auto spec = FaultSpec::parse(item.substr(0, at));
+    if (!spec) return Result::failure(spec.error().message);
+
+    Interval iv;
+    iv.fault = spec.value();
+    if (at != std::string::npos) {
+      const std::string stamp = item.substr(at + 1);
+      const std::size_t dots = stamp.find("..");
+      const auto begin =
+          parse_bound(stamp.substr(0, dots), item);
+      if (!begin) return Result::failure(begin.error().message);
+      util::Expected<Bound> end_bound = Bound{};
+      const bool has_end = dots != std::string::npos;
+      if (has_end) {
+        end_bound = parse_bound(stamp.substr(dots + 2), item);
+        if (!end_bound) return Result::failure(end_bound.error().message);
+        if (begin.value().percent != end_bound.value().percent)
+          return Result::failure(
+              "FaultSchedule: mixed cycle/percent bounds in '" + item + "'");
+      }
+      if (begin.value().percent) {
+        iv.relative = true;
+        iv.begin_frac = begin.value().value;
+        iv.end_frac = has_end ? end_bound.value().value : -1.0;
+      } else {
+        iv.begin = static_cast<arch::Cycles>(begin.value().value);
+        iv.end = has_end ? static_cast<arch::Cycles>(end_bound.value().value)
+                         : kNever;
+      }
+    }
+    sched.intervals.push_back(std::move(iv));
+  }
+  return sched;
+}
+
+}  // namespace mcopt::sim

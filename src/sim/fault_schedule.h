@@ -1,0 +1,110 @@
+#pragma once
+// Transient-fault timeline for the simulated memory subsystem.
+//
+// FaultSpec (faults.h) models a chip that is *born* degraded: faults are
+// fixed for the whole run. Real machines degrade mid-run — a DIMM drops a
+// speed bin during hour 3, firmware offlines a channel, a throttled strand
+// recovers. A FaultSchedule is a deterministic timeline of such events: each
+// interval activates one FaultSpec fault class over a cycle range, the chip
+// applies/retires the events during its event loop, and SimResult gains a
+// per-epoch breakdown (epoch boundaries = fault transitions). Everything is
+// integer cycles, so scheduled-fault runs stay exactly reproducible.
+//
+// Grammar (the bench `--schedule` knob) extends the --fault grammar with an
+// optional "@" time stamp per item:
+//
+//   mc1:off@1e6..5e6        controller 1 offline during cycles [1e6, 5e6)
+//   mc2:derate=0.5@2e6      controller 2 at half rate from cycle 2e6 onward
+//   bank3:slow=20@10%..60%  bank 3 slowed during 10%..60% of the run
+//   strand7:lag=8           no stamp: active for the whole run
+//
+// Percent bounds are relative to a run horizon and must be resolved with
+// resolved(horizon) before the schedule reaches the chip.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "arch/calibration.h"
+#include "sim/faults.h"
+#include "util/expected.h"
+
+namespace mcopt::sim {
+
+/// Deterministic timeline of transient faults. Default: empty (healthy).
+struct FaultSchedule {
+  /// Sentinel for "never clears".
+  static constexpr arch::Cycles kNever = ~arch::Cycles{0};
+
+  /// One timed fault: `fault` active during [begin, end) simulated cycles.
+  struct Interval {
+    FaultSpec fault;
+    arch::Cycles begin = 0;
+    arch::Cycles end = kNever;
+    /// Percent-relative bounds ("@25%..75%"): begin/end above are not
+    /// meaningful until resolved() maps the fractions onto a horizon.
+    bool relative = false;
+    double begin_frac = 0.0;
+    double end_frac = -1.0;  ///< < 0 = never clears
+  };
+  std::vector<Interval> intervals;
+
+  [[nodiscard]] bool empty() const noexcept { return intervals.empty(); }
+  /// True if any interval still carries unresolved percent bounds.
+  [[nodiscard]] bool has_relative() const noexcept;
+
+  /// Copy with percent bounds mapped onto [0, horizon] cycles (absolute
+  /// intervals pass through unchanged).
+  [[nodiscard]] FaultSchedule resolved(arch::Cycles horizon) const;
+
+  /// Copy with every bound moved `offset` cycles earlier: bounds clamp at 0
+  /// and intervals that end at or before the new origin are dropped. Sliced
+  /// supervision replays slice k against shifted(global_start_of_slice_k).
+  /// Requires a resolved schedule.
+  [[nodiscard]] FaultSchedule shifted(arch::Cycles offset) const;
+
+  /// Merged fault set active at `cycle`: `baseline` unioned with every
+  /// interval covering the cycle (FaultSpec::merged semantics).
+  [[nodiscard]] FaultSpec active_at(arch::Cycles cycle,
+                                    const FaultSpec& baseline = {}) const;
+
+  /// Sorted, deduplicated transition cycles (every interval begin and every
+  /// bounded end), excluding 0. Requires a resolved schedule.
+  [[nodiscard]] std::vector<arch::Cycles> transitions() const;
+
+  /// Number of arrive/clear events (bounded ends count, kNever does not).
+  /// This is the budget the chaos harness holds replan counts against.
+  [[nodiscard]] std::size_t event_count() const noexcept;
+
+  /// One run split at fault transitions: contiguous [begin, end) epochs
+  /// covering [0, horizon) (the final epoch ends at `horizon`, or kNever when
+  /// horizon == kNever), each carrying the merged active spec.
+  struct Epoch {
+    arch::Cycles begin = 0;
+    arch::Cycles end = kNever;
+    FaultSpec faults;
+  };
+  [[nodiscard]] std::vector<Epoch> epochs(arch::Cycles horizon,
+                                          const FaultSpec& baseline = {}) const;
+
+  /// Semantic validation: every interval's fault spec must be check()-clean
+  /// against the interleave, begin < end, and the *merged* active set of any
+  /// epoch must keep at least one controller serving traffic (overlapping
+  /// intervals may not offline the whole chip). Percent bounds must lie in
+  /// [0, 100] with begin < end. Reports every violation at once.
+  [[nodiscard]] util::Status check(const arch::InterleaveSpec& spec) const;
+
+  /// Human-readable one-liner ("mc1:off@1000..5000 ...", "empty").
+  [[nodiscard]] std::string describe() const;
+
+  /// Parses the extended grammar above. An empty string parses to the empty
+  /// schedule. Grammar-checked only; call check() afterwards.
+  [[nodiscard]] static util::Expected<FaultSchedule> parse(const std::string& text);
+
+  /// Wraps a plain FaultSpec as a whole-run schedule (one unbounded interval
+  /// per fault; an empty spec gives an empty schedule).
+  [[nodiscard]] static FaultSchedule constant(const FaultSpec& spec);
+};
+
+}  // namespace mcopt::sim

@@ -59,11 +59,18 @@ std::vector<unsigned> FaultSpec::controller_remap(
 
 util::Status FaultSpec::check(const arch::InterleaveSpec& spec) const {
   util::Status status;
-  for (unsigned c : offline_controllers)
+  std::vector<unsigned> seen_off;
+  for (unsigned c : offline_controllers) {
     if (c >= spec.num_controllers())
       status.note("FaultSpec: offline controller " + std::to_string(c) +
                   " out of range (chip has " +
                   std::to_string(spec.num_controllers()) + ")");
+    if (std::find(seen_off.begin(), seen_off.end(), c) != seen_off.end())
+      status.note("FaultSpec: controller " + std::to_string(c) +
+                  " offlined more than once");
+    else
+      seen_off.push_back(c);
+  }
   if (surviving_controllers(spec).empty())
     status.note("FaultSpec: at least one controller must survive");
   for (const Derate& d : derates) {
@@ -73,6 +80,9 @@ util::Status FaultSpec::check(const arch::InterleaveSpec& spec) const {
     if (!(d.factor > 0.0) || d.factor > 1.0)
       status.note("FaultSpec: derate factor " + std::to_string(d.factor) +
                   " must lie in (0, 1]");
+    if (is_offline(d.controller))
+      status.note("FaultSpec: controller " + std::to_string(d.controller) +
+                  " is both offline and derated (dead beats slow; pick one)");
   }
   for (const SlowBank& b : slow_banks)
     if (b.bank >= spec.num_banks())
@@ -80,6 +90,23 @@ util::Status FaultSpec::check(const arch::InterleaveSpec& spec) const {
                   " out of range (chip has " + std::to_string(spec.num_banks()) +
                   ")");
   return status;
+}
+
+FaultSpec FaultSpec::merged(const FaultSpec& a, const FaultSpec& b) {
+  FaultSpec out;
+  for (const FaultSpec* part : {&a, &b})
+    for (unsigned c : part->offline_controllers)
+      if (!out.is_offline(c)) out.offline_controllers.push_back(c);
+  std::sort(out.offline_controllers.begin(), out.offline_controllers.end());
+  for (const FaultSpec* part : {&a, &b}) {
+    for (const Derate& d : part->derates)
+      if (!out.is_offline(d.controller)) out.derates.push_back(d);
+    out.slow_banks.insert(out.slow_banks.end(), part->slow_banks.begin(),
+                          part->slow_banks.end());
+    out.stragglers.insert(out.stragglers.end(), part->stragglers.begin(),
+                          part->stragglers.end());
+  }
+  return out;
 }
 
 std::string FaultSpec::describe() const {

@@ -82,9 +82,19 @@ struct FaultSpec {
       const arch::InterleaveSpec& spec) const;
 
   /// Semantic validation against a chip's interleave: indices in range,
-  /// factors in (0,1], at least one controller must survive. Reports every
+  /// factors in (0,1], at least one controller must survive, no duplicate
+  /// mc<i> entries (off+off, or off+derate on the same controller — a
+  /// controller cannot be both dead and merely slow). Reports every
   /// violation at once.
   [[nodiscard]] util::Status check(const arch::InterleaveSpec& spec) const;
+
+  /// Normalizing union of two fault sets (used when timed fault intervals
+  /// overlap): offline sets are deduplicated, derates on a controller that
+  /// ends up offline are dropped (dead beats slow), remaining derates
+  /// concatenate (derate_of multiplies them), bank/straggler extras
+  /// concatenate (their accessors sum). The result of merging two
+  /// check()-clean specs is check()-clean as long as a controller survives.
+  [[nodiscard]] static FaultSpec merged(const FaultSpec& a, const FaultSpec& b);
 
   /// Human-readable one-liner ("mc0:off mc1:derate=0.50 ...", "healthy").
   [[nodiscard]] std::string describe() const;

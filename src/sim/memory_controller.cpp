@@ -31,6 +31,12 @@ MemoryController::MemoryController(const arch::Calibration& cal,
   banks_.resize(cal_.dram_banks);
 }
 
+void MemoryController::set_rate_factor(double rate_factor) {
+  if (!(rate_factor > 0.0) || rate_factor > 1.0)
+    throw std::invalid_argument("MemoryController: rate_factor must be in (0, 1]");
+  rate_factor_ = rate_factor;
+}
+
 std::uint64_t MemoryController::local_line(arch::Addr addr) const noexcept {
   const std::uint64_t global = addr >> line_bits_;
   // Line index layout (low to high): [bank-within-controller][controller][rest].

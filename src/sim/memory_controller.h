@@ -58,6 +58,12 @@ class MemoryController {
   /// (pipelined; the chip model applies max(completion, arrival+latency)).
   arch::Cycles request(arch::Cycles now, bool is_write, arch::Addr addr);
 
+  /// Re-derates the channel mid-run (transient-fault schedules): affects
+  /// every request enqueued from now on; in-flight service is not reshaped.
+  /// Throws outside (0, 1].
+  void set_rate_factor(double rate_factor);
+  [[nodiscard]] double rate_factor() const noexcept { return rate_factor_; }
+
   [[nodiscard]] const McStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::uint64_t bytes_transferred() const noexcept {
     return stats_.line_transfers() * line_bytes_;

@@ -1,0 +1,75 @@
+#pragma once
+// Jittered exponential backoff for retry loops.
+//
+// The runtime supervisor uses this to keep a flapping fault source (a
+// controller that oscillates between dead and alive) from triggering a
+// replan storm: each successive retry waits multiplier× longer, capped,
+// with a small deterministic jitter so co-scheduled supervisors do not
+// synchronize. All state is integer-free-of-wall-clock: delays are in
+// whatever unit the caller counts (the supervisor counts simulated cycles),
+// and jitter comes from util::Xoshiro256, so sequences replay exactly.
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/prng.h"
+
+namespace mcopt::util {
+
+struct BackoffConfig {
+  /// First delay, in caller units. Must be > 0.
+  std::uint64_t initial = 1;
+  /// Growth factor per retry. Must be >= 1.
+  double multiplier = 2.0;
+  /// Upper bound on the (pre-jitter) delay. Must be >= initial.
+  std::uint64_t cap = 64;
+  /// Symmetric jitter fraction in [0, 1): each delay is scaled by a factor
+  /// drawn uniformly from [1 - jitter, 1 + jitter].
+  double jitter = 0.1;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffConfig cfg, std::uint64_t seed = 0)
+      : cfg_(cfg), rng_(seed) {
+    if (cfg_.initial == 0) throw std::invalid_argument("Backoff: initial == 0");
+    if (cfg_.multiplier < 1.0)
+      throw std::invalid_argument("Backoff: multiplier < 1");
+    if (cfg_.cap < cfg_.initial)
+      throw std::invalid_argument("Backoff: cap < initial");
+    if (cfg_.jitter < 0.0 || cfg_.jitter >= 1.0)
+      throw std::invalid_argument("Backoff: jitter outside [0, 1)");
+    current_ = static_cast<double>(cfg_.initial);
+  }
+
+  /// Returns the next delay and escalates. The returned value is at least 1
+  /// (jitter never rounds a delay away entirely).
+  std::uint64_t next() {
+    const double capped = std::min(current_, static_cast<double>(cfg_.cap));
+    const double scale = 1.0 + cfg_.jitter * (2.0 * rng_.uniform() - 1.0);
+    current_ = std::min(current_ * cfg_.multiplier,
+                        static_cast<double>(cfg_.cap) * cfg_.multiplier);
+    ++retries_;
+    return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(capped * scale));
+  }
+
+  /// Back to the initial delay (call after a sustained healthy stretch).
+  void reset() noexcept {
+    current_ = static_cast<double>(cfg_.initial);
+    retries_ = 0;
+  }
+
+  /// Escalation count since construction or the last reset().
+  [[nodiscard]] unsigned retries() const noexcept { return retries_; }
+
+  [[nodiscard]] const BackoffConfig& config() const noexcept { return cfg_; }
+
+ private:
+  BackoffConfig cfg_;
+  double current_ = 1.0;
+  unsigned retries_ = 0;
+  Xoshiro256 rng_;
+};
+
+}  // namespace mcopt::util

@@ -9,18 +9,46 @@ CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& he
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
   if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
   write_row(header);
+  if (!out_) status_.note("CsvWriter: header write failed");
 }
 
-void CsvWriter::add_row(const std::vector<std::string>& cells) {
+Status CsvWriter::try_add_row(const std::vector<std::string>& cells) {
   if (cells.size() != columns_)
     throw std::invalid_argument("CsvWriter: row width does not match header");
+  if (closed_) status_.note("CsvWriter: add_row after close");
+  if (!status_.ok()) return status_;  // refuse: the file is already suspect
   write_row(cells);
+  if (!out_) {
+    status_.note("CsvWriter: write failed after " + std::to_string(rows_) +
+                 " rows (disk full?)");
+    return status_;
+  }
   ++rows_;
+  return status_;
 }
 
-void CsvWriter::flush() {
+Status CsvWriter::try_flush() {
+  if (closed_ || !status_.ok()) return status_;
   out_.flush();
-  if (!out_) throw std::runtime_error("CsvWriter: flush failed (disk full?)");
+  if (!out_)
+    status_.note("CsvWriter: flush failed after " + std::to_string(rows_) +
+                 " rows (disk full?)");
+  return status_;
+}
+
+Status CsvWriter::close() {
+  if (closed_) return status_;
+  closed_ = true;
+  if (status_.ok()) {
+    out_.flush();
+    if (!out_)
+      status_.note("CsvWriter: flush failed after " + std::to_string(rows_) +
+                   " rows (disk full?)");
+  }
+  out_.close();
+  if (status_.ok() && out_.fail())
+    status_.note("CsvWriter: close failed (buffered rows may be lost)");
+  return status_;
 }
 
 std::string CsvWriter::escape(const std::string& cell) {
@@ -42,7 +70,6 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
     out_ << escape(cells[i]);
   }
   out_.put('\n');
-  if (!out_) throw std::runtime_error("CsvWriter: write failed");
 }
 
 }  // namespace mcopt::util

@@ -1,30 +1,62 @@
 #pragma once
 // Minimal RFC-4180-ish CSV writer so bench harnesses can dump machine-readable
 // results next to the human-readable tables (use --csv <path>).
+//
+// Failure model: std::ofstream buffers, so a write that "succeeds" may still
+// die at flush time (disk full, path unlinked) — and a destructor swallows
+// that, silently truncating the CSV. The writer therefore carries a sticky
+// util::Status: every I/O step records its outcome, later rows are refused
+// once the stream has failed, and close() delivers the final verdict after
+// the buffer actually reaches the file. Benches must call close() (or
+// flush()) before declaring success.
 
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include "util/expected.h"
 
 namespace mcopt::util {
 
 /// Streaming CSV writer. Quotes cells containing separators/quotes/newlines.
 class CsvWriter {
  public:
-  /// Opens `path` for writing and emits the header row. Throws on failure.
+  /// Opens `path` for writing and emits the header row. Throws on failure
+  /// (historical API; an unopenable path is a usage error, not a mid-run
+  /// I/O surprise).
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
 
-  /// Appends one row. Throws std::runtime_error if the underlying stream
-  /// failed (disk full, path removed) — results must never be lost silently.
-  void add_row(const std::vector<std::string>& cells);
+  /// Appends one row; refuses (no-op) once the stream has failed. The
+  /// returned status is the sticky stream status, so a mid-write failure
+  /// surfaces here instead of vanishing into the stream buffer.
+  [[nodiscard]] Status try_add_row(const std::vector<std::string>& cells);
 
-  /// Flushes buffered rows to disk; throws std::runtime_error on I/O failure.
-  void flush();
+  /// Pushes buffered rows to the file and reports the sticky status.
+  [[nodiscard]] Status try_flush();
 
+  /// Flushes and closes the underlying file; the returned status is the
+  /// final verdict on whether every row reached disk. Further writes are
+  /// refused. Safe to call twice.
+  [[nodiscard]] Status close();
+
+  /// Sticky stream status: ok until the first failed I/O step.
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  /// Throwing wrappers (historical API).
+  void add_row(const std::vector<std::string>& cells) {
+    try_add_row(cells).throw_if_failed();
+  }
+  void flush() { try_flush().throw_if_failed(); }
+
+  /// Rows successfully accepted (header not counted).
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
 
   /// Escape a single cell per RFC 4180 (exposed for testing).
   [[nodiscard]] static std::string escape(const std::string& cell);
+
+  /// Test hook: forces failbit on the underlying stream, simulating an I/O
+  /// failure in the middle of a write sequence.
+  void poison_for_test() { out_.setstate(std::ios::failbit); }
 
  private:
   void write_row(const std::vector<std::string>& cells);
@@ -32,6 +64,8 @@ class CsvWriter {
   std::ofstream out_;
   std::size_t columns_;
   std::size_t rows_ = 0;
+  bool closed_ = false;
+  Status status_;
 };
 
 }  // namespace mcopt::util

@@ -1,0 +1,312 @@
+// Transient-fault schedules: grammar, epoch algebra, chip application and
+// the epoch-composed analytic model.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kernels/triad.h"
+#include "sim/analytic.h"
+#include "sim/chip.h"
+#include "sim/fault_schedule.h"
+#include "trace/virtual_arena.h"
+
+namespace mcopt {
+namespace {
+
+using sim::FaultSchedule;
+using sim::FaultSpec;
+
+TEST(FaultScheduleParse, EmptyStringIsEmptySchedule) {
+  const auto sched = FaultSchedule::parse("");
+  ASSERT_TRUE(sched.has_value());
+  EXPECT_TRUE(sched.value().empty());
+  EXPECT_EQ(sched.value().describe(), "empty");
+}
+
+TEST(FaultScheduleParse, CycleRangeGrammar) {
+  const auto sched = FaultSchedule::parse("mc1:off@1e6..5e6,mc2:derate=0.5@2e6");
+  ASSERT_TRUE(sched.has_value());
+  const auto& ivs = sched.value().intervals;
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_EQ(ivs[0].begin, 1000000u);
+  EXPECT_EQ(ivs[0].end, 5000000u);
+  EXPECT_TRUE(ivs[0].fault.is_offline(1));
+  EXPECT_EQ(ivs[1].begin, 2000000u);
+  EXPECT_EQ(ivs[1].end, FaultSchedule::kNever);
+  EXPECT_DOUBLE_EQ(ivs[1].fault.derate_of(2), 0.5);
+}
+
+TEST(FaultScheduleParse, UnstampedItemCoversWholeRun) {
+  const auto sched = FaultSchedule::parse("strand7:lag=8");
+  ASSERT_TRUE(sched.has_value());
+  ASSERT_EQ(sched.value().intervals.size(), 1u);
+  EXPECT_EQ(sched.value().intervals[0].begin, 0u);
+  EXPECT_EQ(sched.value().intervals[0].end, FaultSchedule::kNever);
+  EXPECT_EQ(sched.value().intervals[0].fault.straggle_of(7), 8u);
+}
+
+TEST(FaultScheduleParse, PercentBoundsAreRelative) {
+  const auto sched = FaultSchedule::parse("mc1:off@25%..75%");
+  ASSERT_TRUE(sched.has_value());
+  ASSERT_EQ(sched.value().intervals.size(), 1u);
+  const auto& iv = sched.value().intervals[0];
+  EXPECT_TRUE(iv.relative);
+  EXPECT_DOUBLE_EQ(iv.begin_frac, 0.25);
+  EXPECT_DOUBLE_EQ(iv.end_frac, 0.75);
+  EXPECT_TRUE(sched.value().has_relative());
+
+  const FaultSchedule resolved = sched.value().resolved(4000);
+  EXPECT_FALSE(resolved.has_relative());
+  EXPECT_EQ(resolved.intervals[0].begin, 1000u);
+  EXPECT_EQ(resolved.intervals[0].end, 3000u);
+}
+
+TEST(FaultScheduleParse, RejectsMalformedStamps) {
+  EXPECT_FALSE(FaultSchedule::parse("mc1:off@"));
+  EXPECT_FALSE(FaultSchedule::parse("mc1:off@abc"));
+  EXPECT_FALSE(FaultSchedule::parse("mc1:off@10..20%"));   // mixed kinds
+  EXPECT_FALSE(FaultSchedule::parse("mc1:off@150%..200%"));  // out of range
+  EXPECT_FALSE(FaultSchedule::parse("mc1:off@1e60"));        // > 2^53
+  EXPECT_FALSE(FaultSchedule::parse("bogus@100"));           // bad fault item
+}
+
+TEST(FaultScheduleParse, DescribeRoundTripsThroughParse) {
+  const auto sched =
+      FaultSchedule::parse("mc1:off@1000..5000,bank3:slow=20,strand0:lag=4@10");
+  ASSERT_TRUE(sched.has_value());
+  const auto reparsed = FaultSchedule::parse(sched.value().describe());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed.value().describe(), sched.value().describe());
+}
+
+TEST(FaultSchedule, ActiveAtMergesOverlappingIntervalsOntoBaseline) {
+  const auto sched =
+      FaultSchedule::parse("mc1:off@100..300,mc2:derate=0.5@200..400").value();
+  FaultSpec baseline;
+  baseline.slow_banks.push_back({0, 7});
+
+  const FaultSpec at0 = sched.active_at(0, baseline);
+  EXPECT_FALSE(at0.is_offline(1));
+  EXPECT_EQ(at0.bank_extra(0), 7u);
+
+  const FaultSpec at250 = sched.active_at(250, baseline);
+  EXPECT_TRUE(at250.is_offline(1));
+  EXPECT_DOUBLE_EQ(at250.derate_of(2), 0.5);
+  EXPECT_EQ(at250.bank_extra(0), 7u);
+
+  const FaultSpec at350 = sched.active_at(350, baseline);
+  EXPECT_FALSE(at350.is_offline(1));
+  EXPECT_DOUBLE_EQ(at350.derate_of(2), 0.5);
+}
+
+TEST(FaultSchedule, EpochsSplitAtTransitions) {
+  const auto sched = FaultSchedule::parse("mc0:off@100..300").value();
+  const auto epochs = sched.epochs(1000);
+  ASSERT_EQ(epochs.size(), 3u);
+  EXPECT_EQ(epochs[0].begin, 0u);
+  EXPECT_EQ(epochs[0].end, 100u);
+  EXPECT_FALSE(epochs[0].faults.any());
+  EXPECT_EQ(epochs[1].begin, 100u);
+  EXPECT_EQ(epochs[1].end, 300u);
+  EXPECT_TRUE(epochs[1].faults.is_offline(0));
+  EXPECT_EQ(epochs[2].begin, 300u);
+  EXPECT_EQ(epochs[2].end, 1000u);
+  EXPECT_FALSE(epochs[2].faults.any());
+  EXPECT_EQ(sched.event_count(), 2u);
+}
+
+TEST(FaultSchedule, ShiftedDropsClearedAndClampsBounds) {
+  const auto sched =
+      FaultSchedule::parse("mc0:off@100..300,mc1:off@500..700").value();
+  const FaultSchedule mid = sched.shifted(400);
+  ASSERT_EQ(mid.intervals.size(), 1u);  // first interval already cleared
+  EXPECT_EQ(mid.intervals[0].begin, 100u);
+  EXPECT_EQ(mid.intervals[0].end, 300u);
+
+  const FaultSchedule inside = sched.shifted(600);
+  ASSERT_EQ(inside.intervals.size(), 1u);
+  EXPECT_EQ(inside.intervals[0].begin, 0u);  // clamped: already active
+  EXPECT_EQ(inside.intervals[0].end, 100u);
+}
+
+TEST(FaultScheduleCheck, RejectsOverlappingTotalOutage) {
+  const arch::InterleaveSpec spec;  // 4 controllers
+  const auto ok = FaultSchedule::parse(
+      "mc0:off@0..100,mc1:off@0..100,mc2:off@0..100").value();
+  EXPECT_TRUE(ok.check(spec).ok());
+  const auto dead = FaultSchedule::parse(
+      "mc0:off@0..100,mc1:off@0..100,mc2:off@0..100,mc3:off@50..80").value();
+  const auto status = dead.check(spec);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("offline every controller"),
+            std::string::npos);
+}
+
+TEST(FaultScheduleCheck, RejectsInvertedBoundsAndBadSpecs) {
+  const arch::InterleaveSpec spec;
+  auto sched = FaultSchedule::parse("mc0:off@500..100").value();
+  EXPECT_FALSE(sched.check(spec).ok());
+  auto bad_mc = FaultSchedule::parse("mc9:off@0..10").value();
+  EXPECT_FALSE(bad_mc.check(spec).ok());
+}
+
+TEST(FaultSchedule, ConstantWrapsEveryFaultClass) {
+  FaultSpec spec;
+  spec.offline_controllers = {1};
+  spec.derates.push_back({2, 0.5});
+  spec.slow_banks.push_back({3, 10});
+  spec.stragglers.push_back({4, 6});
+  const FaultSchedule sched = FaultSchedule::constant(spec);
+  ASSERT_EQ(sched.intervals.size(), 4u);
+  EXPECT_EQ(sched.event_count(), 0u);  // all intervals start at 0, never clear
+  const FaultSpec active = sched.active_at(123);
+  EXPECT_TRUE(active.is_offline(1));
+  EXPECT_DOUBLE_EQ(active.derate_of(2), 0.5);
+  EXPECT_EQ(active.bank_extra(3), 10u);
+  EXPECT_EQ(active.straggle_of(4), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Chip-level behavior.
+
+sim::SimResult run_triad(const sim::SimConfig& cfg, std::size_t n,
+                         unsigned threads, unsigned sweeps = 1) {
+  trace::VirtualArena arena;
+  const arch::AddressMap map(cfg.interleave);
+  const auto bases = kernels::triad_layout_bases(
+      arena, kernels::TriadLayout::kPlannedOffsets, n, map, 128);
+  auto wl = kernels::make_triad_workload(bases, n, threads,
+                                         sched::Schedule::static_block(), sweeps);
+  sim::Chip chip(cfg, arch::equidistant_placement(threads, cfg.topology));
+  return chip.run(wl);
+}
+
+TEST(ChipSchedule, MidRunOutageProducesEpochBreakdown) {
+  constexpr std::size_t kN = 8192;
+  constexpr unsigned kThreads = 64;  // enough concurrency to be service-bound
+
+  sim::SimConfig healthy;
+  const sim::SimResult base = run_triad(healthy, kN, kThreads);
+  ASSERT_TRUE(base.epochs.empty());  // no schedule -> no breakdown
+  const arch::Cycles third = base.total_cycles / 3;
+
+  sim::SimConfig cfg;
+  cfg.fault_schedule = sim::FaultSchedule::parse(
+      "mc1:off@" + std::to_string(third) + ".." + std::to_string(2 * third))
+      .value();
+  ASSERT_TRUE(cfg.check().ok());
+  const sim::SimResult res = run_triad(cfg, kN, kThreads);
+
+  EXPECT_TRUE(res.degraded);
+  ASSERT_EQ(res.epochs.size(), 3u);
+  EXPECT_EQ(res.epochs[0].begin, 0u);
+  EXPECT_EQ(res.epochs[0].end, third);
+  EXPECT_EQ(res.epochs[1].faults, "mc1:off");
+  EXPECT_EQ(res.epochs[2].end, res.total_cycles);
+
+  // The dead controller serves (nearly) nothing during its outage epoch but
+  // works on both sides of it.
+  EXPECT_GT(res.epochs[0].mc_utilization[1], 0.1);
+  EXPECT_LT(res.epochs[1].mc_utilization[1],
+            0.25 * res.epochs[0].mc_utilization[1]);
+  EXPECT_GT(res.epochs[2].mc_utilization[1], 0.1);
+
+  // Outage epoch moves traffic strictly slower than the healthy first epoch.
+  EXPECT_LT(res.epochs[1].bandwidth, res.epochs[0].bandwidth);
+
+  // Epoch traffic sums to the whole run's traffic.
+  std::uint64_t bytes = 0;
+  for (const auto& e : res.epochs) bytes += e.mem_read_bytes + e.mem_write_bytes;
+  EXPECT_EQ(bytes, res.mem_read_bytes + res.mem_write_bytes);
+
+  // A transient outage costs time, but less than a permanent one.
+  sim::SimConfig always;
+  always.faults.offline_controllers = {1};
+  const sim::SimResult forever = run_triad(always, kN, kThreads);
+  EXPECT_GT(res.total_cycles, base.total_cycles);
+  EXPECT_LT(res.total_cycles, forever.total_cycles);
+}
+
+TEST(ChipSchedule, ScheduledRunsAreDeterministic) {
+  sim::SimConfig cfg;
+  cfg.fault_schedule =
+      sim::FaultSchedule::parse("mc2:derate=0.25@5000..40000").value();
+  const sim::SimResult a = run_triad(cfg, 4096, 8);
+  const sim::SimResult b = run_triad(cfg, 4096, 8);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t k = 0; k < a.epochs.size(); ++k)
+    EXPECT_EQ(a.epochs[k].mem_read_bytes, b.epochs[k].mem_read_bytes);
+}
+
+TEST(ChipSchedule, ConfigRejectsUnresolvedPercentSchedule) {
+  sim::SimConfig cfg;
+  cfg.fault_schedule = sim::FaultSchedule::parse("mc1:off@25%..75%").value();
+  const auto status = cfg.check();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("unresolved percent"),
+            std::string::npos);
+}
+
+TEST(ChipSchedule, ConfigRejectsBaselinePlusScheduleTotalOutage) {
+  sim::SimConfig cfg;
+  cfg.faults.offline_controllers = {0, 1, 2};
+  cfg.fault_schedule = sim::FaultSchedule::parse("mc3:off@100..200").value();
+  const auto status = cfg.check();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("offline every controller"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Analytic composition.
+
+TEST(ScheduledAnalytic, ConstantScheduleMatchesPlainEstimate) {
+  const arch::AddressMap map;
+  const arch::Calibration cal;
+  std::vector<sim::AnalyticStream> logical = {
+      {0, true}, {128, false}, {256, false}, {384, false}};
+  const auto physical = sim::expand_rfo(logical);
+
+  FaultSpec faults;
+  faults.offline_controllers = {1};
+  const auto plain =
+      sim::estimate_bandwidth(physical, 32, cal, map, 1.2, faults);
+  const auto composed = sim::estimate_bandwidth_scheduled(
+      physical, 32, cal, map, 1.2, faults, FaultSchedule{}, 100000);
+  ASSERT_EQ(composed.epochs.size(), 1u);
+  EXPECT_DOUBLE_EQ(composed.whole.bandwidth, plain.bandwidth);
+  EXPECT_DOUBLE_EQ(composed.whole.balance, plain.balance);
+}
+
+TEST(ScheduledAnalytic, CompositionIsEpochLengthWeighted) {
+  const arch::AddressMap map;
+  const arch::Calibration cal;
+  std::vector<sim::AnalyticStream> logical = {
+      {0, true}, {128, false}, {256, false}, {384, false}};
+  const auto physical = sim::expand_rfo(logical);
+
+  const double healthy =
+      sim::estimate_bandwidth(physical, 32, cal, map, 1.2).bandwidth;
+  FaultSpec off1;
+  off1.offline_controllers = {1};
+  const double degraded =
+      sim::estimate_bandwidth(physical, 32, cal, map, 1.2, off1).bandwidth;
+  ASSERT_LT(degraded, healthy);
+
+  // Outage covering the middle half of the run: expect 1/2 healthy + 1/2
+  // degraded exactly (the model is linear in the weights).
+  const auto sched = FaultSchedule::parse("mc1:off@25%..75%").value();
+  const auto composed = sim::estimate_bandwidth_scheduled(
+      physical, 32, cal, map, 1.2, {}, sched.resolved(100000), 100000);
+  ASSERT_EQ(composed.epochs.size(), 3u);
+  EXPECT_NEAR(composed.whole.bandwidth, 0.5 * healthy + 0.5 * degraded,
+              1e-6 * healthy);
+  EXPECT_LT(composed.whole.bandwidth, healthy);
+  EXPECT_GT(composed.whole.bandwidth, degraded);
+}
+
+}  // namespace
+}  // namespace mcopt

@@ -84,6 +84,48 @@ TEST(FaultSpec, CheckReportsEveryViolationAtOnce) {
   EXPECT_NE(msg.find("slow bank 99"), std::string::npos);
 }
 
+TEST(FaultSpec, CheckRejectsDuplicateOfflineEntries) {
+  FaultSpec spec;
+  spec.offline_controllers = {1, 1};
+  const util::Status status = spec.check(arch::InterleaveSpec{});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("offlined more than once"),
+            std::string::npos);
+}
+
+TEST(FaultSpec, CheckRejectsOfflineAndDeratedSameController) {
+  FaultSpec spec;
+  spec.offline_controllers = {2};
+  spec.derates.push_back({2, 0.5});
+  const util::Status status = spec.check(arch::InterleaveSpec{});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("both offline and derated"),
+            std::string::npos);
+}
+
+TEST(FaultSpec, CheckRejectsZeroDerateFactor) {
+  FaultSpec spec;
+  spec.derates.push_back({0, 0.0});
+  const util::Status status = spec.check(arch::InterleaveSpec{});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("must lie in (0, 1]"),
+            std::string::npos);
+}
+
+TEST(FaultSpec, DegenerateViolationsAccumulateInOneStatus) {
+  // A spec can be degenerate in several ways at once; every violation must
+  // land in the single returned Status, not just the first one hit.
+  FaultSpec spec;
+  spec.offline_controllers = {1, 1};
+  spec.derates.push_back({1, 0.0});
+  const util::Status status = spec.check(arch::InterleaveSpec{});
+  ASSERT_FALSE(status.ok());
+  const std::string& msg = status.error().message;
+  EXPECT_NE(msg.find("offlined more than once"), std::string::npos);
+  EXPECT_NE(msg.find("must lie in (0, 1]"), std::string::npos);
+  EXPECT_NE(msg.find("both offline and derated"), std::string::npos);
+}
+
 TEST(FaultSpec, CheckRejectsAllControllersOffline) {
   FaultSpec spec;
   spec.offline_controllers = {0, 1, 2, 3};

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "util/backoff.h"
+
+namespace mcopt::util {
+namespace {
+
+TEST(Backoff, EscalatesGeometricallyWithinJitterBounds) {
+  Backoff b({.initial = 100, .multiplier = 2.0, .cap = 100000, .jitter = 0.1},
+            42);
+  double expected = 100.0;
+  for (int i = 0; i < 8; ++i) {
+    const auto delay = static_cast<double>(b.next());
+    EXPECT_GE(delay, expected * 0.9 - 1.0);
+    EXPECT_LE(delay, expected * 1.1 + 1.0);
+    expected *= 2.0;
+  }
+  EXPECT_EQ(b.retries(), 8u);
+}
+
+TEST(Backoff, CapsAtConfiguredMaximum) {
+  Backoff b({.initial = 10, .multiplier = 4.0, .cap = 100, .jitter = 0.0}, 1);
+  EXPECT_EQ(b.next(), 10u);
+  EXPECT_EQ(b.next(), 40u);
+  EXPECT_EQ(b.next(), 100u);  // 160 capped
+  EXPECT_EQ(b.next(), 100u);  // stays capped
+}
+
+TEST(Backoff, ResetReturnsToInitial) {
+  Backoff b({.initial = 10, .multiplier = 2.0, .cap = 1000, .jitter = 0.0}, 1);
+  b.next();
+  b.next();
+  EXPECT_EQ(b.retries(), 2u);
+  b.reset();
+  EXPECT_EQ(b.retries(), 0u);
+  EXPECT_EQ(b.next(), 10u);
+}
+
+TEST(Backoff, EqualSeedsReplayExactly) {
+  const BackoffConfig cfg{.initial = 1000, .multiplier = 2.0, .cap = 64000,
+                          .jitter = 0.25};
+  Backoff a(cfg, 7);
+  Backoff b(cfg, 7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Backoff, NeverReturnsZero) {
+  Backoff b({.initial = 1, .multiplier = 1.0, .cap = 1, .jitter = 0.9}, 3);
+  for (int i = 0; i < 50; ++i) EXPECT_GE(b.next(), 1u);
+}
+
+TEST(Backoff, RejectsDegenerateConfigs) {
+  EXPECT_THROW(Backoff({.initial = 0}), std::invalid_argument);
+  EXPECT_THROW(Backoff({.initial = 1, .multiplier = 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(Backoff({.initial = 100, .multiplier = 2.0, .cap = 10}),
+               std::invalid_argument);
+  EXPECT_THROW(Backoff({.initial = 1, .multiplier = 2.0, .cap = 10,
+                        .jitter = 1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcopt::util

@@ -47,6 +47,48 @@ TEST(CsvEscape, QuotesSpecials) {
   EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
 }
 
+TEST_F(CsvTest, CloseDeliversFinalVerdictAndIsIdempotent) {
+  CsvWriter w(path_, {"x"});
+  w.add_row({"1"});
+  EXPECT_TRUE(w.close().ok());
+  EXPECT_TRUE(w.close().ok());  // second close is a no-op
+  EXPECT_EQ(slurp(path_), "x\n1\n");
+}
+
+TEST_F(CsvTest, MidWriteFailureSurfacesThroughStatus) {
+  CsvWriter w(path_, {"x"});
+  EXPECT_TRUE(w.try_add_row({"1"}).ok());
+  w.poison_for_test();
+  const Status bad = w.try_add_row({"2"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("write failed"), std::string::npos);
+  // Later rows are refused, not silently dropped: rows() stays at the last
+  // confirmed row and the sticky status keeps reporting the failure.
+  EXPECT_FALSE(w.try_add_row({"3"}).ok());
+  EXPECT_EQ(w.rows(), 1u);
+  EXPECT_FALSE(w.close().ok());
+  EXPECT_THROW(w.flush(), std::invalid_argument);
+}
+
+TEST_F(CsvTest, ThrowingWrapperPropagatesStreamFailure) {
+  CsvWriter w(path_, {"x"});
+  w.poison_for_test();
+  EXPECT_THROW(w.add_row({"1"}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, AddRowAfterCloseIsRefused) {
+  CsvWriter w(path_, {"x"});
+  EXPECT_TRUE(w.close().ok());
+  EXPECT_FALSE(w.try_add_row({"1"}).ok());
+  EXPECT_EQ(w.rows(), 0u);
+}
+
+TEST_F(CsvTest, WidthMismatchStillThrowsEvenWhenPoisoned) {
+  CsvWriter w(path_, {"x", "y"});
+  w.poison_for_test();
+  EXPECT_THROW((void)w.try_add_row({"1"}), std::invalid_argument);
+}
+
 TEST(CsvWriterErrors, UnopenablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/f.csv", {"a"}), std::runtime_error);
 }
