@@ -27,11 +27,21 @@
 #include <string>
 #include <vector>
 
+#ifndef _WIN32
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 #include "common.h"
+#include "runtime/checkpoint.h"
 #include "runtime/supervised_loop.h"
+#include "seg/integrity.h"
 #include "seg/planner.h"
 #include "util/backoff.h"
+#include "util/crc.h"
 #include "util/prng.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -320,6 +330,253 @@ int run_reference(const SoakParams& params, const std::string& json_path) {
   return recovery >= 1.3 ? 0 : 1;
 }
 
+// --- data-integrity chaos: --flips and --kill-resume ----------------------
+
+std::uint32_t field_crc(const seg::seg_array<double>& g) {
+  util::Crc32c crc;
+  for (std::size_t i = 0; i < g.num_segments(); ++i)
+    crc.update(g.segment(i).begin(), g.segment(i).size() * sizeof(double));
+  return crc.value();
+}
+
+/// --flips mode: native Jacobi with CRC-guarded segments under seeded
+/// bit-flip injection at a sweep of per-word rates. For every rate the run
+/// must detect EVERY injected corruption (CRC32C catches any single-bit
+/// error by construction), rebuild the damaged rows from the previous
+/// field, and finish bitwise-identical to an uninjected shadow run. The
+/// healthy-path (rate 0) pass reports the CRC seal+verify overhead; only
+/// soundness — zero undetected corruptions, bitwise recovery — affects the
+/// exit code.
+int run_flip_sweep(std::size_t n, unsigned sweeps, std::uint64_t seed) {
+  const auto schedule = sched::Schedule::static_block();
+  const double rates[] = {0.0, 1e-6, 1e-5, 1e-4, 1e-3};
+  bool pass = true;
+
+  std::printf("# flip-rate sweep: native Jacobi %zux%zu, %u sweeps, "
+              "CRC32C-guarded rows, seed %" PRIu64 "\n\n",
+              n, n, sweeps, seed);
+  std::printf("%-10s %-10s %-10s %-12s %-10s %s\n", "rate", "injected",
+              "detected", "undetected", "rebuilt", "recovered");
+
+  double plain_seconds = 0.0;
+  double guarded_seconds = 0.0;
+  for (const double rate : rates) {
+    util::Xoshiro256 rng(seed);
+    auto a = kernels::make_jacobi_grid(n, kernels::jacobi_plain_spec());
+    auto b = kernels::make_jacobi_grid(n, kernels::jacobi_plain_spec());
+    auto sa = kernels::make_jacobi_grid(n, kernels::jacobi_plain_spec());
+    auto sb = kernels::make_jacobi_grid(n, kernels::jacobi_plain_spec());
+    kernels::init_jacobi(a);
+    kernels::init_jacobi(b);
+    kernels::init_jacobi(sa);
+    kernels::init_jacobi(sb);
+    seg::SegmentGuard<double> ga(a), gb(b);
+    struct Half {
+      seg::seg_array<double>* grid;
+      seg::SegmentGuard<double>* guard;
+    };
+    Half cur{&a, &ga}, next{&b, &gb};
+    seg::seg_array<double>* shadow_cur = &sa;
+    seg::seg_array<double>* shadow_next = &sb;
+
+    std::uint64_t injected = 0, detected = 0, undetected = 0, rebuilt = 0;
+    util::Timer timer;
+    for (unsigned sweep = 0; sweep < sweeps; ++sweep) {
+      kernels::jacobi_sweep_seconds(*cur.grid, *next.grid, schedule);
+      next.guard->seal();
+      std::swap(cur, next);
+      kernels::jacobi_sweep_seconds(*shadow_cur, *shadow_next, schedule);
+      std::swap(shadow_cur, shadow_next);
+
+      // Inject: each word of the current field flips one random bit with
+      // probability `rate` (counter-mode draws; seeded, replayable).
+      std::vector<bool> hit(n, false);
+      for (std::size_t s = 0; s < n; ++s)
+        for (std::size_t j = 0; j < n; ++j)
+          if (rng.uniform() < rate) {
+            auto& word = cur.grid->segment(s)[j];
+            std::uint64_t bits;
+            __builtin_memcpy(&bits, &word, 8);
+            bits ^= std::uint64_t{1} << rng.below(64);
+            __builtin_memcpy(&word, &bits, 8);
+            hit[s] = true;
+            ++injected;
+          }
+
+      const auto flagged = cur.guard->corrupted();
+      std::vector<bool> caught(n, false);
+      for (const std::size_t s : flagged) caught[s] = true;
+      for (std::size_t s = 0; s < n; ++s)
+        if (hit[s] && !caught[s]) ++undetected;
+      detected += flagged.size();
+
+      if (!flagged.empty()) {
+        const auto report = cur.guard->scrub([&](std::size_t s) {
+          kernels::jacobi_rebuild_row(*cur.grid, *next.grid, s);
+          return true;
+        });
+        rebuilt += report.rebuilt.size();
+      }
+    }
+    const double seconds = timer.seconds();
+    if (rate == 0.0) guarded_seconds = seconds;
+
+    const bool recovered = field_crc(*cur.grid) == field_crc(*shadow_cur);
+    if (undetected != 0 || !recovered) pass = false;
+    std::printf("%-10.0e %-10" PRIu64 " %-10" PRIu64 " %-12" PRIu64
+                " %-10" PRIu64 " %s\n",
+                rate, injected, detected, undetected, rebuilt,
+                recovered ? "bitwise" : "MISMATCH");
+  }
+
+  // Healthy-path overhead: the same run without any guard.
+  {
+    auto a = kernels::make_jacobi_grid(n, kernels::jacobi_plain_spec());
+    auto b = kernels::make_jacobi_grid(n, kernels::jacobi_plain_spec());
+    kernels::init_jacobi(a);
+    kernels::init_jacobi(b);
+    util::Timer timer;
+    for (unsigned sweep = 0; sweep < sweeps; ++sweep) {
+      kernels::jacobi_sweep_seconds(a, b, schedule);
+      std::swap(a, b);
+    }
+    plain_seconds = timer.seconds();
+  }
+  if (plain_seconds > 0.0)
+    std::printf("\nhealthy-path CRC overhead: %.2f%% (guarded %.4fs vs plain "
+                "%.4fs; informational, not asserted)\n",
+                100.0 * (guarded_seconds - plain_seconds) / plain_seconds,
+                guarded_seconds, plain_seconds);
+  std::printf("flip sweep: %s\n", pass ? "PASS (zero undetected corruptions)"
+                                       : "FAIL");
+  return pass ? 0 : 1;
+}
+
+#ifndef _WIN32
+/// Child body for --kill-resume: a checkpointing native Jacobi solve that
+/// the parent SIGKILLs at a random point.
+[[noreturn]] void kill_resume_child(std::size_t n, unsigned sweeps,
+                                    unsigned every, const std::string& ck) {
+  auto a = kernels::make_jacobi_grid(n, kernels::jacobi_plain_spec());
+  auto b = kernels::make_jacobi_grid(n, kernels::jacobi_plain_spec());
+  kernels::init_jacobi(a);
+  kernels::init_jacobi(b);
+  seg::seg_array<double>* cur = &a;
+  seg::seg_array<double>* next = &b;
+  for (unsigned done = 0; done < sweeps;) {
+    kernels::jacobi_sweep_seconds(*cur, *next, sched::Schedule::static_block());
+    std::swap(cur, next);
+    ++done;
+    if (done % every == 0 || done == sweeps)
+      if (!runtime::save_jacobi_checkpoint(ck, *cur, done).ok()) _exit(3);
+  }
+  _exit(0);
+}
+
+/// --kill-resume mode: fork the checkpointing solve, SIGKILL it at a seeded
+/// random moment (possibly mid-checkpoint-write — the atomic-rename
+/// protocol must leave a loadable file or none), resume from whatever
+/// survives, and require the final field to be bitwise identical to an
+/// uninterrupted run.
+int run_kill_resume(std::size_t n, unsigned sweeps, unsigned every,
+                    const std::vector<std::uint64_t>& seeds) {
+  // Uninterrupted reference (also calibrates the kill window).
+  std::uint32_t ref_crc;
+  double ref_seconds;
+  {
+    auto a = kernels::make_jacobi_grid(n, kernels::jacobi_plain_spec());
+    auto b = kernels::make_jacobi_grid(n, kernels::jacobi_plain_spec());
+    kernels::init_jacobi(a);
+    kernels::init_jacobi(b);
+    seg::seg_array<double>* cur = &a;
+    seg::seg_array<double>* next = &b;
+    util::Timer timer;
+    for (unsigned done = 0; done < sweeps; ++done) {
+      kernels::jacobi_sweep_seconds(*cur, *next,
+                                    sched::Schedule::static_block());
+      std::swap(cur, next);
+    }
+    ref_seconds = timer.seconds();
+    ref_crc = field_crc(*cur);
+  }
+  std::printf("# kill-and-resume: Jacobi %zux%zu, %u sweeps, checkpoint "
+              "every %u; reference FIELD_CRC=0x%08x (%.3fs)\n\n",
+              n, n, sweeps, every, ref_crc, ref_seconds);
+
+  unsigned failures = 0;
+  for (const std::uint64_t seed : seeds) {
+    util::Xoshiro256 rng(seed);
+    const std::string ck =
+        "chaos_kill_" + std::to_string(seed) + ".ckpt";
+    std::remove(ck.c_str());
+    std::remove((ck + ".tmp").c_str());
+
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "chaos_soak: fork failed\n");
+      return 2;
+    }
+    if (pid == 0) kill_resume_child(n, sweeps, every, ck);
+
+    // The child also pays fork/init and one fsync per checkpoint, so its
+    // wall time exceeds the reference's; a window of several multiples
+    // lands kills before the first checkpoint, mid-run, and near the end.
+    const double kill_after =
+        rng.uniform(0.0, ref_seconds * 4.0 + 0.02 * static_cast<double>(
+                                                        sweeps / every));
+    usleep(static_cast<useconds_t>(kill_after * 1e6));
+    kill(pid, SIGKILL);
+    int wstatus = 0;
+    waitpid(pid, &wstatus, 0);
+
+    // Resume from whatever the dead child left behind. A missing file means
+    // it died before the first checkpoint: start over. A present file MUST
+    // load — a refusal here would mean the atomic-rename protocol tore.
+    auto a = kernels::make_jacobi_grid(n, kernels::jacobi_plain_spec());
+    auto b = kernels::make_jacobi_grid(n, kernels::jacobi_plain_spec());
+    kernels::init_jacobi(a);
+    kernels::init_jacobi(b);
+    seg::seg_array<double>* cur = &a;
+    seg::seg_array<double>* next = &b;
+    unsigned done = 0;
+    std::string note = "no checkpoint yet";
+    auto state = runtime::load_jacobi_checkpoint(ck);
+    if (state) {
+      if (!runtime::apply_jacobi_state(state.value(), *cur).ok()) {
+        std::printf("seed %" PRIu64 ": FAIL (checkpoint state rejected)\n",
+                    seed);
+        ++failures;
+        continue;
+      }
+      done = static_cast<unsigned>(state.value().sweeps);
+      note = "resumed at sweep " + std::to_string(done);
+    } else if (state.error().message.find("cannot open") == std::string::npos) {
+      // File exists but refused to load: torn write escaped the protocol.
+      std::printf("seed %" PRIu64 ": FAIL (%s)\n", seed,
+                  state.error().message.c_str());
+      ++failures;
+      continue;
+    }
+    for (; done < sweeps; ++done) {
+      kernels::jacobi_sweep_seconds(*cur, *next,
+                                    sched::Schedule::static_block());
+      std::swap(cur, next);
+    }
+    const std::uint32_t crc = field_crc(*cur);
+    const bool ok = crc == ref_crc;
+    std::printf("seed %" PRIu64 ": killed at %.3fs, %s -> FIELD_CRC=0x%08x "
+                "%s\n",
+                seed, kill_after, note.c_str(), crc, ok ? "PASS" : "FAIL");
+    if (!ok) ++failures;
+    std::remove(ck.c_str());
+    std::remove((ck + ".tmp").c_str());
+  }
+  std::printf("\nkill-and-resume: %zu seeds, %u failing\n", seeds.size(),
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+#endif  // !_WIN32
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -332,6 +589,15 @@ int main(int argc, char** argv) {
       .option_int("sweeps", 10, "triad sweeps (= supervision slices)")
       .option_str("fail-log", "", "append failing seeds + schedules here")
       .flag("reference", "run the fixed reference schedule and write JSON")
+      .flag("flips", "flip-rate sweep: CRC-guarded native Jacobi must "
+                     "detect and repair every injected bit flip")
+      .flag("kill-resume", "SIGKILL a checkpointing native Jacobi solve at "
+                           "random points; resumes must finish bitwise-"
+                           "identical to an uninterrupted run")
+      .option_int("grid", 384, "Jacobi grid size for --flips/--kill-resume")
+      .option_int("grid-sweeps", 64,
+                  "Jacobi sweeps for --flips/--kill-resume")
+      .option_int("every", 4, "checkpoint interval for --kill-resume")
       .option_str("json", "BENCH_supervisor.json",
                   "reference-mode output path");
   if (!cli.parse(argc, argv)) return 0;
@@ -353,6 +619,21 @@ int main(int argc, char** argv) {
   } else {
     const auto count = static_cast<std::uint64_t>(cli.get_int("seeds"));
     for (std::uint64_t s = 1; s <= count; ++s) seeds.push_back(s);
+  }
+
+  if (cli.get_flag("flips"))
+    return run_flip_sweep(static_cast<std::size_t>(cli.get_int("grid")),
+                          static_cast<unsigned>(cli.get_int("grid-sweeps")),
+                          seeds.front());
+  if (cli.get_flag("kill-resume")) {
+#ifndef _WIN32
+    return run_kill_resume(static_cast<std::size_t>(cli.get_int("grid")),
+                           static_cast<unsigned>(cli.get_int("grid-sweeps")),
+                           static_cast<unsigned>(cli.get_int("every")), seeds);
+#else
+    std::fprintf(stderr, "chaos_soak: --kill-resume needs fork(); POSIX only\n");
+    return 2;
+#endif
   }
 
   unsigned failures = 0;

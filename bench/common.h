@@ -127,10 +127,13 @@ inline double jacobi_mlups(std::size_t n, const seg::LayoutSpec& spec,
                       "Jacobi MLUPs");
 }
 
-/// Simulated D3Q19 LBM step in MLUPs/s.
-inline double lbm_mlups(std::size_t n, kernels::lbm::DataLayout layout,
-                        kernels::lbm::LoopOrder order, unsigned threads,
-                        std::size_t pad_x = 0, const sim::SimConfig& cfg = {}) {
+/// Simulated D3Q19 LBM step: the full simulator result (cycle counts for
+/// schedule horizons, corrupted-read counters for the flip fault class).
+inline sim::SimResult lbm_sim_result(std::size_t n,
+                                     kernels::lbm::DataLayout layout,
+                                     kernels::lbm::LoopOrder order,
+                                     unsigned threads, std::size_t pad_x = 0,
+                                     const sim::SimConfig& cfg = {}) {
   using namespace kernels::lbm;
   const Geometry g{n, n, n, pad_x, layout};
   trace::VirtualArena arena;
@@ -140,7 +143,15 @@ inline double lbm_mlups(std::size_t n, kernels::lbm::DataLayout layout,
   auto wl = make_lbm_workload(g, addr, order, threads,
                               sched::Schedule::static_block(), 1);
   sim::Chip chip(cfg, arch::equidistant_placement(threads, cfg.topology));
-  const sim::SimResult res = chip.run(wl);
+  return chip.run(wl);
+}
+
+/// Simulated D3Q19 LBM step in MLUPs/s.
+inline double lbm_mlups(std::size_t n, kernels::lbm::DataLayout layout,
+                        kernels::lbm::LoopOrder order, unsigned threads,
+                        std::size_t pad_x = 0, const sim::SimConfig& cfg = {}) {
+  const sim::SimResult res = lbm_sim_result(n, layout, order, threads, pad_x, cfg);
+  const kernels::lbm::Geometry g{n, n, n, pad_x, layout};
   return checked_rate(
       static_cast<double>(g.interior_cells()) / res.seconds() / 1e6,
       "LBM MLUPs");

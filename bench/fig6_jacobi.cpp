@@ -9,9 +9,115 @@
 // derived analytically by the planner — no trial and error.
 
 #include "common.h"
+#include "runtime/checkpoint.h"
 #include "runtime/supervised_loop.h"
+#include "seg/integrity.h"
+#include "util/crc.h"
+#include "util/timer.h"
 
 namespace {
+
+// --solve mode: a *native* (OpenMP) Jacobi solve with CRC-guarded segments
+// and crash-consistent checkpointing. Runs --solve sweeps at N=max-n,
+// writing a checkpoint every --checkpoint-every sweeps and optionally
+// verifying/scrubbing the field every --verify-every sweeps via
+// seg::SegmentGuard + jacobi_rebuild_row. With --resume the run continues
+// from a checkpoint and finishes bitwise-identically to an uninterrupted
+// run (asserted by the chaos kill-and-resume harness on the printed
+// FIELD_CRC line).
+int run_solve_mode(const mcopt::util::Cli& cli) {
+  using namespace mcopt;
+  const auto n = static_cast<std::size_t>(cli.get_int("max-n"));
+  const auto total = static_cast<std::uint64_t>(cli.get_int("solve"));
+  const auto every = static_cast<std::uint64_t>(cli.get_int("checkpoint-every"));
+  const auto verify_every =
+      static_cast<std::uint64_t>(cli.get_int("verify-every"));
+  const std::string ck_path = cli.get_str("checkpoint");
+  const auto schedule = sched::Schedule::static_chunk(1);
+
+  auto a = kernels::make_jacobi_grid(n, kernels::jacobi_plain_spec());
+  auto b = kernels::make_jacobi_grid(n, kernels::jacobi_plain_spec());
+  kernels::init_jacobi(a);
+  kernels::init_jacobi(b);
+
+  std::uint64_t done = 0;
+  if (!cli.get_str("resume").empty()) {
+    auto state = runtime::load_jacobi_checkpoint(cli.get_str("resume"));
+    if (!state) {
+      std::fprintf(stderr, "fig6_jacobi: %s\n", state.error().message.c_str());
+      return 2;
+    }
+    const auto applied = runtime::apply_jacobi_state(state.value(), a);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "fig6_jacobi: %s\n", applied.error().message.c_str());
+      return 2;
+    }
+    done = state.value().sweeps;
+    std::printf("# resumed from %s at sweep %llu\n",
+                cli.get_str("resume").c_str(),
+                static_cast<unsigned long long>(done));
+  }
+
+  // `cur` holds the current field F_t, `next` the previous one F_{t-1}
+  // (after the first sweep) — exactly the pair jacobi_rebuild_row needs.
+  seg::SegmentGuard<double> guard_a(a);
+  seg::SegmentGuard<double> guard_b(b);
+  struct Half {
+    seg::seg_array<double>* grid;
+    seg::SegmentGuard<double>* guard;
+  };
+  Half cur{&a, &guard_a};
+  Half next{&b, &guard_b};
+
+  std::uint64_t scrubbed_rows = 0;
+  double sweep_seconds = 0.0;
+  util::Timer wall;
+  for (; done < total; ) {
+    if (verify_every != 0 && done % verify_every == 0) {
+      const auto verdict = cur.guard->verify();
+      if (!verdict.ok() && done > 0) {
+        // The previous field (in `next`) regenerates any corrupted row.
+        const auto report = cur.guard->scrub([&](std::size_t s) {
+          kernels::jacobi_rebuild_row(*cur.grid, *next.grid, s);
+          return true;
+        });
+        scrubbed_rows += report.rebuilt.size();
+        std::printf("# integrity: scrubbed %zu rows at sweep %llu (%s)\n",
+                    report.rebuilt.size(),
+                    static_cast<unsigned long long>(done),
+                    verdict.error().message.c_str());
+      }
+    }
+    sweep_seconds += kernels::jacobi_sweep_seconds(*cur.grid, *next.grid, schedule);
+    // Seal only the generation the next verify will inspect: intermediate
+    // generations are overwritten two sweeps later without ever being
+    // verified, so sealing them would buy nothing and cost a full CRC pass
+    // per sweep.
+    if (verify_every != 0 && (done + 1) % verify_every == 0)
+      next.guard->seal();
+    std::swap(cur, next);
+    ++done;
+    if (every != 0 && (done % every == 0 || done == total)) {
+      const auto saved =
+          runtime::save_jacobi_checkpoint(ck_path, *cur.grid, done);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "fig6_jacobi: %s\n", saved.error().message.c_str());
+        return 2;
+      }
+    }
+  }
+
+  util::Crc32c crc;
+  for (std::size_t i = 0; i < n; ++i)
+    crc.update(cur.grid->segment(i).begin(), n * sizeof(double));
+  std::printf(
+      "SWEEPS=%llu FIELD_CRC=0x%08x scrubbed_rows=%llu sweep_s=%.3f "
+      "wall_s=%.3f\n",
+      static_cast<unsigned long long>(done), crc.value(),
+      static_cast<unsigned long long>(scrubbed_rows), sweep_seconds,
+      wall.seconds());
+  return 0;
+}
 
 // --schedule mode: the fig6 path becomes a supervised loop. Runs the
 // optimal-layout Jacobi for --sweeps sweeps under the transient-fault
@@ -54,12 +160,12 @@ int run_supervised_mode(const mcopt::util::Cli& cli,
   std::printf(
       "# supervised Jacobi, N=%zu, %u threads, %u sweeps\n"
       "# schedule: %s\n\n"
-      "supervised    %.1f MLUPs/s  (replans=%u suppressed=%u declined=%u, "
-      "migration %.1f%% of cycles)\n"
+      "supervised    %.1f MLUPs/s  (replans=%u suppressed=%u declined=%u "
+      "scrubs=%u, migration %.1f%% of cycles)\n"
       "unsupervised  %.1f MLUPs/s\n"
       "recovery ratio %.3fx, final diagnosis: %s\n",
       n, kThreads, sweeps, lc.sim.fault_schedule.describe().c_str(), sup_mlups,
-      sup.replans, sup.suppressed, sup.declined,
+      sup.replans, sup.suppressed, sup.declined, sup.scrubs,
       100.0 * static_cast<double>(sup.migration_cycles) /
           static_cast<double>(sup.total_cycles),
       unsup_mlups, sup_mlups / unsup_mlups,
@@ -79,8 +185,23 @@ int main(int argc, char** argv) {
                   "transient-fault schedule (e.g. mc1:off@25%..75%); runs the "
                   "supervised loop at N=max-n instead of the figure sweep")
       .option_int("sweeps", 8, "sweeps for the --schedule supervised loop")
+      .option_int("solve", 0,
+                  "native OpenMP solve for this many sweeps at N=max-n "
+                  "(checkpointable; prints FIELD_CRC)")
+      .option_int("checkpoint-every", 0,
+                  "write a crash-consistent checkpoint every N sweeps "
+                  "(--solve mode)")
+      .option_str("checkpoint", "fig6_jacobi.ckpt",
+                  "checkpoint file path (--solve mode)")
+      .option_str("resume", "",
+                  "resume a --solve run from this checkpoint file")
+      .option_int("verify-every", 0,
+                  "CRC-verify the field every N sweeps and rebuild corrupted "
+                  "rows from the previous field (--solve mode; 0 = off)")
       .option_str("csv", "", "mirror results to this CSV file");
   if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.get_int("solve") > 0) return run_solve_mode(cli);
 
   const arch::AddressMap sched_map;
   if (!cli.get_str("schedule").empty())

@@ -7,18 +7,111 @@
 // domain sizes where the padded x-row length hits a multiple of 64 elements
 // thrash unless padded; the sawtooth "modulo effect" from nz not dividing
 // by the thread count disappears when the outer z,y loops are coalesced.
+//
+// Fault parity with fig2/fig6: --fault injects a static hardware fault set
+// (including mc<i>:flip= silent corruption) into every simulated cell, and
+// --schedule runs each cell under a transient-fault schedule whose
+// percent-relative bounds resolve against that cell's own healthy run
+// length. --solve switches to a native checkpointable solve (see below).
 
 #include <algorithm>
 
 #include "common.h"
+#include "kernels/lbm/solver.h"
+#include "runtime/checkpoint.h"
+#include "util/crc.h"
+#include "util/timer.h"
+
+namespace {
+
+// --solve mode: native D3Q19 channel flow (walls on the z faces, body force
+// along x) for --solve steps on an n^3 domain, with crash-consistent
+// checkpointing every --checkpoint-every steps and --resume continuing to a
+// bitwise-identical field (asserted on the printed FIELD_CRC line).
+int run_solve_mode(const mcopt::util::Cli& cli) {
+  using namespace mcopt;
+  using namespace mcopt::kernels::lbm;
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto total = static_cast<std::uint64_t>(cli.get_int("solve"));
+  const auto every = static_cast<std::uint64_t>(cli.get_int("checkpoint-every"));
+  const std::string ck_path = cli.get_str("checkpoint");
+
+  Solver::Params p;
+  p.geometry = Geometry{n, n, n, 0, DataLayout::kIvJK};
+  p.force = {1e-5, 0.0, 0.0};
+  Solver solver(p);
+  solver.make_channel_walls_z();
+  solver.initialize(1.0);
+
+  if (!cli.get_str("resume").empty()) {
+    const auto status =
+        runtime::load_lbm_checkpoint(cli.get_str("resume"), solver);
+    if (!status.ok()) {
+      std::fprintf(stderr, "fig7_lbm: %s\n", status.error().message.c_str());
+      return 2;
+    }
+    std::printf("# resumed from %s at step %u\n", cli.get_str("resume").c_str(),
+                solver.steps_taken());
+  }
+
+  double step_seconds = 0.0;
+  util::Timer wall;
+  while (solver.steps_taken() < total) {
+    step_seconds += solver.step();
+    if (every != 0 &&
+        (solver.steps_taken() % every == 0 || solver.steps_taken() == total)) {
+      const auto saved = runtime::save_lbm_checkpoint(ck_path, solver);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "fig7_lbm: %s\n", saved.error().message.c_str());
+        return 2;
+      }
+    }
+  }
+
+  const std::vector<double>& f = solver.distributions();
+  const std::uint32_t crc =
+      mcopt::util::crc32c(f.data(), f.size() * sizeof(double));
+  std::printf("STEPS=%u FIELD_CRC=0x%08x mass=%.12e step_s=%.3f wall_s=%.3f\n",
+              solver.steps_taken(), crc, solver.total_mass(), step_seconds,
+              wall.seconds());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mcopt;
   using namespace mcopt::kernels::lbm;
   util::Cli cli("Fig. 7: D3Q19 LBM MLUPs/s vs domain size and data layout");
   cli.flag("full", "N = 30..126 step 4 (default: a representative subset)")
+      .option_str("fault", "",
+                  "inject hardware faults into every simulated cell, e.g. "
+                  "mc0:off,mc1:derate=0.5,mc2:flip=1e-9")
+      .option_str("schedule", "",
+                  "transient-fault schedule for every simulated cell (e.g. "
+                  "mc1:off@25%..75%); percent bounds resolve per cell")
+      .option_int("n", 30, "domain size for --solve mode")
+      .option_int("solve", 0,
+                  "native solve for this many steps on an n^3 channel "
+                  "(checkpointable; prints FIELD_CRC)")
+      .option_int("checkpoint-every", 0,
+                  "write a crash-consistent checkpoint every N steps "
+                  "(--solve mode)")
+      .option_str("checkpoint", "fig7_lbm.ckpt",
+                  "checkpoint file path (--solve mode)")
+      .option_str("resume", "",
+                  "resume a --solve run from this checkpoint file")
       .option_str("csv", "", "mirror results to this CSV file");
   if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.get_int("solve") > 0) return run_solve_mode(cli);
+
+  sim::SimConfig cfg;
+  cfg.faults = bench::parse_fault_knob(cli.get_str("fault"), cfg);
+  if (cfg.faults.any())
+    std::printf("# DEGRADED chip: %s\n", cfg.faults.describe().c_str());
+  const auto schedule_text = cli.get_str("schedule");
+  const bool scheduled = !schedule_text.empty();
 
   std::vector<std::size_t> sizes;
   if (cli.get_flag("full")) {
@@ -29,6 +122,27 @@ int main(int argc, char** argv) {
   } else {
     sizes = {30, 38, 46, 54, 62, 64, 70, 78, 94};
   }
+
+  std::uint64_t corrupted_reads = 0;
+  auto cell = [&](std::size_t n, DataLayout layout, LoopOrder order,
+                  unsigned threads, std::size_t pad_x = 0) {
+    sim::SimConfig run_cfg = cfg;
+    if (scheduled) {
+      // Percent-relative bounds refer to this cell's own run: probe the
+      // healthy length first, then resolve the schedule against it.
+      const auto probe =
+          bench::lbm_sim_result(n, layout, order, threads, pad_x, cfg);
+      run_cfg.fault_schedule = bench::parse_schedule_knob(
+          schedule_text, run_cfg, probe.total_cycles);
+    }
+    const auto res =
+        bench::lbm_sim_result(n, layout, order, threads, pad_x, run_cfg);
+    corrupted_reads += res.corrupted_reads;
+    const Geometry g{n, n, n, pad_x, layout};
+    return bench::checked_rate(
+        static_cast<double>(g.interior_cells()) / res.seconds() / 1e6,
+        "LBM MLUPs");
+  };
 
   std::printf(
       "# D3Q19 LBM, one time step, MLUPs/s (scaled domain; paper sweeps "
@@ -42,23 +156,24 @@ int main(int argc, char** argv) {
   for (std::size_t n : sizes) {
     rows.push_back(
         {std::to_string(n),
-         util::fmt_fixed(bench::lbm_mlups(n, DataLayout::kIJKv, LoopOrder::kOuterZ, 64), 2),
-         util::fmt_fixed(
-             bench::lbm_mlups(n, DataLayout::kIJKv, LoopOrder::kOuterZ, 64, 2), 2),
-         util::fmt_fixed(bench::lbm_mlups(n, DataLayout::kIvJK, LoopOrder::kOuterZ, 64), 2),
-         util::fmt_fixed(
-             bench::lbm_mlups(n, DataLayout::kIvJK, LoopOrder::kCoalescedZY, 64), 2),
-         util::fmt_fixed(
-             bench::lbm_mlups(n, DataLayout::kIvJK, LoopOrder::kCoalescedZY, 32), 2)});
+         util::fmt_fixed(cell(n, DataLayout::kIJKv, LoopOrder::kOuterZ, 64), 2),
+         util::fmt_fixed(cell(n, DataLayout::kIJKv, LoopOrder::kOuterZ, 64, 2), 2),
+         util::fmt_fixed(cell(n, DataLayout::kIvJK, LoopOrder::kOuterZ, 64), 2),
+         util::fmt_fixed(cell(n, DataLayout::kIvJK, LoopOrder::kCoalescedZY, 64), 2),
+         util::fmt_fixed(cell(n, DataLayout::kIvJK, LoopOrder::kCoalescedZY, 32), 2)});
     util::log_debug("N=" + std::to_string(n) + " done");
   }
   bench::emit(header, rows, cli.get_str("csv"));
 
-  const double ijkv = bench::lbm_mlups(62, DataLayout::kIJKv, LoopOrder::kOuterZ, 64);
-  const double ivjk = bench::lbm_mlups(62, DataLayout::kIvJK, LoopOrder::kOuterZ, 64);
-  const double outer33 = bench::lbm_mlups(33, DataLayout::kIvJK, LoopOrder::kOuterZ, 32);
-  const double fused33 =
-      bench::lbm_mlups(33, DataLayout::kIvJK, LoopOrder::kCoalescedZY, 32);
+  if (corrupted_reads != 0)
+    std::printf("\n# integrity: %llu corrupted reads served by flipping "
+                "controllers across the sweep\n",
+                static_cast<unsigned long long>(corrupted_reads));
+
+  const double ijkv = cell(62, DataLayout::kIJKv, LoopOrder::kOuterZ, 64);
+  const double ivjk = cell(62, DataLayout::kIvJK, LoopOrder::kOuterZ, 64);
+  const double outer33 = cell(33, DataLayout::kIvJK, LoopOrder::kOuterZ, 32);
+  const double fused33 = cell(33, DataLayout::kIvJK, LoopOrder::kCoalescedZY, 32);
   std::printf(
       "\nshape check: at the thrashing size N=62, IvJK/IJKv = %.2fx (paper: "
       "~2x); at N=33/32T, coalescing recovers %.2fx over outer-z (modulo "

@@ -73,6 +73,26 @@ double jacobi_sweep_seconds(const seg::seg_array<double>& src,
   return timer.seconds();
 }
 
+void jacobi_rebuild_row(seg::seg_array<double>& field,
+                        const seg::seg_array<double>& prev, std::size_t s) {
+  const std::size_t n = field.num_segments();
+  if (prev.num_segments() != n)
+    throw std::invalid_argument("jacobi_rebuild_row: grid size mismatch");
+  if (s >= n) throw std::out_of_range("jacobi_rebuild_row: row out of range");
+  auto& row = field.segment(s);
+  if (s == 0 || s + 1 == n) {
+    for (std::size_t j = 0; j < n; ++j) row[j] = 1.0;
+    return;
+  }
+  // Same call the sweep made for this row (relax_line touches only
+  // j in [1, n-1)), so the rebuilt values are bit-identical; the boundary
+  // columns are the Dirichlet condition.
+  row[0] = 1.0;
+  row[n - 1] = 1.0;
+  relax_line(row.begin(), prev.segment(s - 1).begin(),
+             prev.segment(s + 1).begin(), prev.segment(s).begin(), n);
+}
+
 double jacobi_max_delta(const seg::seg_array<double>& a,
                         const seg::seg_array<double>& b) {
   if (a.num_segments() != b.num_segments())

@@ -41,6 +41,15 @@ double jacobi_sweep_seconds(const seg::seg_array<double>& src,
 [[nodiscard]] double jacobi_max_delta(const seg::seg_array<double>& a,
                                       const seg::seg_array<double>& b);
 
+/// Bitwise-exact rebuild of row `s` of `field`, where `field` is the result
+/// of one sweep over `prev`: boundary rows/columns are the Dirichlet
+/// condition (1.0) and interior values re-run relax_line on prev's rows
+/// s-1, s, s+1. This is the integrity layer's Jacobi rebuild recipe — a
+/// corrupted row of the current grid is recoverable from the previous one
+/// without recomputing the sweep.
+void jacobi_rebuild_row(seg::seg_array<double>& field,
+                        const seg::seg_array<double>& prev, std::size_t s);
+
 /// Reference dense sweep for correctness tests (row-major n*n vectors).
 void jacobi_reference_sweep(const std::vector<double>& src,
                             std::vector<double>& dst, std::size_t n);

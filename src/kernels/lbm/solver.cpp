@@ -210,4 +210,43 @@ double Solver::f_at(std::size_t x, std::size_t y, std::size_t z,
   return f_[p_.geometry.f_index(x, y, z, v, steps_ % 2)];
 }
 
+void Solver::restore(std::vector<double> f, unsigned steps) {
+  if (f.size() != p_.geometry.f_elems())
+    throw std::invalid_argument(
+        "Solver::restore: state holds " + std::to_string(f.size()) +
+        " values, geometry needs " + std::to_string(p_.geometry.f_elems()));
+  f_ = std::move(f);
+  steps_ = steps;
+}
+
+void Solver::restream_slab(std::size_t z) {
+  const Geometry& g = p_.geometry;
+  if (steps_ == 0)
+    throw std::logic_error(
+        "Solver::restream_slab: no prior field before the first step");
+  if (z < 1 || z > g.nz)
+    throw std::out_of_range("Solver::restream_slab: slab out of range");
+  // The step that produced the current field read toggle steps_-1 and wrote
+  // toggle steps_. A push-style update writes only to z±1 neighbors, so
+  // re-running every source slab that can reach `z` regenerates the whole
+  // slab; the spill into adjacent slabs rewrites identical values (same
+  // inputs, same arithmetic).
+  const std::size_t read_toggle = (steps_ - 1) % 2;
+  const std::size_t write_toggle = 1 - read_toggle;
+  for (long dz = -1; dz <= 1; ++dz) {
+    const long raw = static_cast<long>(z) + dz;
+    std::size_t src_z;
+    if (raw < 1 || raw > static_cast<long>(g.nz)) {
+      if (!p_.periodic_z) continue;
+      src_z = wrap(raw, g.nz, true);
+    } else {
+      src_z = static_cast<std::size_t>(raw);
+    }
+    for (std::size_t y = 1; y <= g.ny; ++y)
+      for (std::size_t x = 1; x <= g.nx; ++x)
+        if (solid_[g.cell_index(x, y, src_z)] == 0)
+          update_cell(x, y, src_z, read_toggle, write_toggle);
+  }
+}
+
 }  // namespace mcopt::kernels::lbm

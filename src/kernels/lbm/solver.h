@@ -60,6 +60,25 @@ class Solver {
   [[nodiscard]] double f_at(std::size_t x, std::size_t y, std::size_t z,
                             std::size_t v) const;
 
+  // --- state capture (checkpoint/restart, integrity rebuild) --------------
+  /// Raw distribution storage, both toggle grids (for checkpointing).
+  [[nodiscard]] const std::vector<double>& distributions() const noexcept {
+    return f_;
+  }
+  /// Restores state captured from an identically configured solver: `f`
+  /// must hold geometry().f_elems() values and `steps` the step count at
+  /// capture (it fixes the toggle parity). Solid geometry is NOT part of
+  /// the state — apply the same set_solid/make_channel_walls_z calls before
+  /// restoring. Throws std::invalid_argument on a size mismatch.
+  void restore(std::vector<double> f, unsigned steps);
+  /// Integrity rebuild: recomputes interior z-slab `z` of the *current*
+  /// field by re-streaming from the prior toggle grid (re-runs the last
+  /// step's update for every cell that pushes into the slab; neighboring
+  /// slabs are rewritten with values identical to what they hold). Requires
+  /// at least one completed step. This restores a corrupted slab
+  /// bit-exactly without recomputing the whole step.
+  void restream_slab(std::size_t z);
+
  private:
   void update_cell(std::size_t x, std::size_t y, std::size_t z,
                    std::size_t read_toggle, std::size_t write_toggle);

@@ -1,0 +1,104 @@
+#pragma once
+// Crash-consistent checkpoint/restart for long solves.
+//
+// A checkpoint is a single file holding a versioned header, a table of
+// CRC32C-guarded sections, the raw section payloads, and a trailing
+// whole-file CRC. Writers produce it with write-to-temp + fsync + atomic
+// rename, so a reader never observes a half-written file under POSIX rename
+// semantics: either the previous checkpoint or the complete new one exists.
+// Readers validate every length and checksum before trusting a byte and
+// report problems as typed util::Status — a truncated or bit-flipped file
+// yields a diagnostic, never a crash or a silently wrong restart.
+//
+// Layout (all integers little-endian, as written by the host — checkpoints
+// are same-machine restart artifacts, not portable interchange):
+//
+//   u32 magic 'MCPT'   u32 version   u32 kind   u32 section_count
+//   u64 iteration      u64 user[4]
+//   u32 header_crc     (CRC32C of the preceding 56 bytes)
+//   section_count x { u64 bytes  u32 crc  u32 reserved }
+//   section payloads, concatenated
+//   u32 file_crc       (CRC32C of everything before it)
+//
+// `kind` identifies the producing application (solver) and `user` carries
+// its shape words; the typed helpers below fill them for the two paper
+// kernels so a resume can refuse a checkpoint from a different problem.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/lbm/solver.h"
+#include "seg/seg_array.h"
+#include "util/expected.h"
+
+namespace mcopt::runtime {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x5443504Du;  // "MCPT"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Application ids for Checkpoint::kind.
+inline constexpr std::uint32_t kJacobiCheckpoint = 1;
+inline constexpr std::uint32_t kLbmCheckpoint = 2;
+
+/// In-memory form of a checkpoint file.
+struct Checkpoint {
+  std::uint32_t kind = 0;
+  std::uint64_t iteration = 0;
+  std::array<std::uint64_t, 4> user{};
+  std::vector<std::vector<std::uint8_t>> sections;
+};
+
+/// Writes `ckpt` to `path` crash-consistently: the bytes land in
+/// `path + ".tmp"`, are fsync'd, and the temp file is renamed over `path`.
+[[nodiscard]] util::Status save_checkpoint(const std::string& path,
+                                           const Checkpoint& ckpt);
+
+/// Reads and fully validates a checkpoint. Any inconsistency — wrong magic,
+/// unsupported version, truncation at any offset, header/section/file CRC
+/// mismatch — comes back as a failure naming the first problem found.
+[[nodiscard]] util::Expected<Checkpoint> load_checkpoint(
+    const std::string& path);
+
+// --- Jacobi (Fig. 6) -------------------------------------------------------
+// One section: the n x n field, row-major doubles. user[0] = n,
+// iteration = completed sweeps. Only the current field is stored — the next
+// sweep fully rewrites the interior of the other toggle grid, and its
+// boundary is the Dirichlet condition, so the resume path re-runs
+// init_jacobi on both grids and then overlays the saved field.
+
+[[nodiscard]] util::Status save_jacobi_checkpoint(
+    const std::string& path, const seg::seg_array<double>& field,
+    std::uint64_t sweeps);
+
+struct JacobiState {
+  std::size_t n = 0;
+  std::uint64_t sweeps = 0;
+  std::vector<double> field;  ///< row-major n*n values
+};
+
+[[nodiscard]] util::Expected<JacobiState> load_jacobi_checkpoint(
+    const std::string& path);
+
+/// Copies a loaded state into a grid of matching size.
+[[nodiscard]] util::Status apply_jacobi_state(const JacobiState& state,
+                                              seg::seg_array<double>& field);
+
+// --- LBM (Fig. 7) ----------------------------------------------------------
+// One section: the full distribution storage (both toggle grids).
+// user[0..2] = nx/ny/nz, user[3] = pad_x * 4 + layout * 2 + 1 (shape word;
+// the +1 keeps it nonzero so an all-zero header cannot masquerade as a
+// matching geometry). iteration = completed steps. Solid geometry is not
+// part of the state — the resume path reapplies the same obstacle setup
+// before restoring.
+
+[[nodiscard]] util::Status save_lbm_checkpoint(
+    const std::string& path, const kernels::lbm::Solver& solver);
+
+/// Validates the checkpoint against `solver`'s geometry and restores the
+/// distributions and step count into it.
+[[nodiscard]] util::Status load_lbm_checkpoint(const std::string& path,
+                                               kernels::lbm::Solver& solver);
+
+}  // namespace mcopt::runtime

@@ -24,6 +24,9 @@ namespace {
 /// back to the whole slice. `global_begin` rebases onto the loop timeline.
 Sample make_sample(const sim::SimResult& res, arch::Cycles global_begin) {
   Sample s;
+  // Corruption is a whole-slice property: a flip anywhere in the slice must
+  // reach the supervisor even if the utilization window is a later epoch.
+  s.corrupted_reads = res.corrupted_reads;
   const arch::Cycles min_len =
       std::max<arch::Cycles>(1000, res.total_cycles / 20);
   for (auto it = res.epochs.rbegin(); it != res.epochs.rend(); ++it) {
@@ -42,6 +45,21 @@ Sample make_sample(const sim::SimResult& res, arch::Cycles global_begin) {
 
 arch::Cycles seconds_to_cycles(double seconds, double clock_ghz) {
   return static_cast<arch::Cycles>(std::ceil(seconds * clock_ghz * 1e9));
+}
+
+/// Charges one checksum-verify pass (read every live byte once) at `bw` to
+/// the loop's cycle count — the simulated cost of SegmentGuard::verify plus
+/// rebuild after the supervisor orders a scrub.
+void charge_scrub(LoopResult& out, arch::Cycles& global, double live_bytes,
+                  double bw, double ghz, const char* who) {
+  ++out.scrubs;
+  const arch::Cycles cost =
+      bw > 0.0 ? seconds_to_cycles(live_bytes / bw, ghz) : 0;
+  global += cost;
+  out.total_cycles += cost;
+  out.scrub_cycles += cost;
+  util::log_info(std::string(who) + ": scrub at=" + std::to_string(global) +
+                 " cost=" + std::to_string(cost) + " cycles");
 }
 
 /// Analytic triad bandwidth for the given array bases under a fault belief.
@@ -155,6 +173,11 @@ LoopResult run_supervised_triad(trace::VirtualArena& arena,
     const double gain = cur_bw > 0.0 ? cand_bw / cur_bw : 1.0;
 
     const Decision dec = sup.observe(last_sample, gain);
+    if (dec.action == Action::kScrub) {
+      charge_scrub(out, global, 4.0 * static_cast<double>(n) * 8.0, cur_bw,
+                   ghz, "supervised_triad");
+      continue;
+    }
     if (dec.action != Action::kReplan) continue;
 
     // Break-even gate: price the copy at the post-migration bandwidth and
@@ -270,6 +293,12 @@ LoopResult run_supervised_jacobi(trace::VirtualArena& arena, std::size_t n,
     const double gain = cur_bw > 0.0 ? cand_bw / cur_bw : 1.0;
 
     const Decision dec = sup.observe(last_sample, gain);
+    if (dec.action == Action::kScrub) {
+      charge_scrub(out, global,
+                   2.0 * static_cast<double>(n) * static_cast<double>(n) * 8.0,
+                   cur_bw, ghz, "supervised_jacobi");
+      continue;
+    }
     if (dec.action != Action::kReplan) continue;
 
     const seg::RowPlan plan =

@@ -14,6 +14,12 @@
 // charged to the loop's cycle count, so supervised results are directly
 // comparable to unsupervised ones.
 //
+// When the slice reports corrupted reads (the fault schedule carries a
+// mc<i>:flip=<r> entry), the supervisor orders a scrub instead: the loop
+// charges one full checksum-verify pass over the live arrays at the current
+// analytic bandwidth — the simulated counterpart of SegmentGuard::verify +
+// rebuild on the native kernels — and counts it in LoopResult::scrubs.
+//
 // With `supervise = false` the same slicing runs with the supervisor
 // bypassed — the fair baseline for "does self-healing pay for itself".
 
@@ -68,6 +74,8 @@ struct LoopResult {
   unsigned replans = 0;    ///< committed migrations
   unsigned suppressed = 0; ///< proposals swallowed by backoff
   unsigned declined = 0;   ///< proposals failing the break-even gate
+  unsigned scrubs = 0;     ///< integrity scrubs ordered by the supervisor
+  arch::Cycles scrub_cycles = 0;  ///< verify-pass share of total_cycles
   /// Fault state the supervisor believes at the end of the run (healthy for
   /// unsupervised loops).
   sim::FaultSpec final_diagnosis;

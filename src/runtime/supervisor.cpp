@@ -115,6 +115,19 @@ Decision Supervisor::observe(const Sample& sample, double layout_gain) {
   dec.diagnosis = planned_against_;
   dec.plan_set = non_dead(planned_against_);
 
+  // Integrity outranks everything: corrupted payloads must be scrubbed
+  // before any performance reasoning, and are never debounced or backed off.
+  if (sample.corrupted_reads > 0) {
+    ++scrubs_;
+    dec.action = Action::kScrub;
+    dec.reason = "integrity: " + std::to_string(sample.corrupted_reads) +
+                 " corrupted reads in [" + std::to_string(sample.begin) + ", " +
+                 std::to_string(sample.end) + ")";
+    util::log_info("supervisor: action=scrub at=" + std::to_string(sample.end) +
+                   " corrupted_reads=" + std::to_string(sample.corrupted_reads));
+    return dec;
+  }
+
   const double peak = sample.mc_utilization.empty()
                           ? 0.0
                           : *std::max_element(sample.mc_utilization.begin(),

@@ -14,6 +14,14 @@
 // triggering a replan storm, and every decision is logged through util::log
 // in a structured one-line format.
 //
+// A second, orthogonal channel watches data *integrity*: when a sample
+// reports corrupted reads (the simulator's silent-bit-flip counter, or a
+// native kernel's CRC verify), the supervisor orders a scrub — checksum
+// re-verification plus rebuild of the damaged segments — instead of a
+// replan. Scrubs bypass the debounce and the backoff: a replan is a
+// performance decision that can wait, a flipped payload is a correctness
+// event that cannot.
+//
 // The supervisor proposes; the supervised loop (supervised_loop.h) disposes:
 // it computes the candidate layout with seg::plan_* and a migration
 // break-even estimate from the analytic model, then either commit()s the
@@ -66,12 +74,16 @@ struct Sample {
   arch::Cycles begin = 0;
   arch::Cycles end = 0;
   std::vector<double> mc_utilization;
+  /// Integrity channel: reads the memory system served with flipped payloads
+  /// during the window (sim::SimResult::corrupted_reads for the slice).
+  std::uint64_t corrupted_reads = 0;
 };
 
 enum class Action {
   kKeep,       ///< nothing to do (healthy, unstable, idle, or already planned)
   kReplan,     ///< diagnosis or layout deficit warrants a replan now
-  kSuppressed  ///< replan warranted but inside the backoff window
+  kSuppressed, ///< replan warranted but inside the backoff window
+  kScrub       ///< corrupted reads observed: verify checksums and rebuild
 };
 
 /// The supervisor's verdict for one sample.
@@ -114,9 +126,10 @@ class Supervisor {
   [[nodiscard]] const sim::FaultSpec& planned_against() const noexcept {
     return planned_against_;
   }
-  /// Committed replans / backoff-suppressed proposals so far.
+  /// Committed replans / backoff-suppressed proposals / scrub orders so far.
   [[nodiscard]] unsigned replans() const noexcept { return replans_; }
   [[nodiscard]] unsigned suppressed() const noexcept { return suppressed_; }
+  [[nodiscard]] unsigned scrubs() const noexcept { return scrubs_; }
   [[nodiscard]] const util::Backoff& backoff() const noexcept { return backoff_; }
 
   /// Pure detector: classifies one utilization vector into a FaultSpec
@@ -139,6 +152,7 @@ class Supervisor {
   arch::Cycles next_allowed_ = 0;
   unsigned replans_ = 0;
   unsigned suppressed_ = 0;
+  unsigned scrubs_ = 0;
 };
 
 }  // namespace mcopt::runtime

@@ -1,0 +1,177 @@
+#pragma once
+// Per-segment CRC32C sidecars for seg_array<T> — the detection half of the
+// end-to-end integrity story (LLAMA-style: metadata attaches at the
+// segmentation layer, kernels stay untouched).
+//
+// A SegmentGuard shadows one seg_array with a 4-byte checksum per segment.
+// The segment is the natural protection unit: it is the paper's layout unit
+// (one Jacobi row / one 512 B-aligned block), the unit a single corrupted
+// FB-DIMM burst lands in, and the unit the rebuild recipes (re-relax a row
+// from its neighbors, re-stream an LBM slab from the prior field) can
+// restore without touching anything else.
+//
+// Life cycle per sweep of a protected solver:
+//
+//   guard.seal(s)      after legitimately writing segment s (cache-hot, so
+//                      the CRC pass costs a read of data already in L1/L2);
+//   guard.verify()     before trusting data — typed util::Status naming
+//                      every corrupted segment, never propagated garbage;
+//   guard.scrub(fn)    verify + rebuild: segments whose checksum mismatches
+//                      are handed to the caller's rebuilder; segments it
+//                      cannot restore are *quarantined* and poison status()
+//                      until rebuilt or resealed.
+//
+// The guard is non-owning: it must not outlive the array it protects.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seg/seg_array.h"
+#include "util/crc.h"
+#include "util/expected.h"
+
+namespace mcopt::seg {
+
+/// Result of one scrub pass.
+struct ScrubReport {
+  /// Segments whose checksum mismatched and whose rebuild succeeded.
+  std::vector<std::size_t> rebuilt;
+  /// Segments the rebuilder declined — now quarantined.
+  std::vector<std::size_t> quarantined;
+  /// Segments that verified clean.
+  std::size_t clean = 0;
+
+  [[nodiscard]] bool fully_recovered() const noexcept {
+    return quarantined.empty();
+  }
+};
+
+template <typename T>
+class SegmentGuard {
+ public:
+  using size_type = std::size_t;
+
+  /// Attaches to `array` and seals every segment as-is.
+  explicit SegmentGuard(seg_array<T>& array) : array_(&array) {
+    sidecars_.resize(array.num_segments(), 0);
+    quarantined_.assign(array.num_segments(), false);
+    seal();
+  }
+
+  [[nodiscard]] size_type num_segments() const noexcept {
+    return sidecars_.size();
+  }
+
+  /// Recomputes every sidecar from the current contents (declares the whole
+  /// array legitimate, clearing any quarantine).
+  void seal() {
+    for (size_type s = 0; s < sidecars_.size(); ++s) seal(s);
+  }
+
+  /// Recomputes segment `s`'s sidecar (call right after writing it, while
+  /// the data is cache-hot). Clears the segment's quarantine flag.
+  void seal(size_type s) {
+    sidecars_.at(s) = checksum(s);
+    quarantined_[s] = false;
+  }
+
+  /// Stored checksum of segment `s` (as of its last seal).
+  [[nodiscard]] std::uint32_t sidecar(size_type s) const {
+    return sidecars_.at(s);
+  }
+
+  /// True when segment `s` currently matches its sidecar.
+  [[nodiscard]] bool segment_clean(size_type s) const {
+    return checksum(s) == sidecars_.at(s);
+  }
+
+  /// Segments whose contents no longer match their sidecar.
+  [[nodiscard]] std::vector<size_type> corrupted() const {
+    std::vector<size_type> bad;
+    for (size_type s = 0; s < sidecars_.size(); ++s)
+      if (!segment_clean(s)) bad.push_back(s);
+    return bad;
+  }
+
+  /// Full re-verification: ok() when every segment matches, otherwise a
+  /// typed Status naming each mismatching segment. Quarantined segments are
+  /// reported even if their bytes happen to match again (stale data that was
+  /// never rebuilt is still not trustworthy).
+  [[nodiscard]] util::Status verify() const {
+    util::Status status;
+    for (size_type s = 0; s < sidecars_.size(); ++s) {
+      if (quarantined_[s]) {
+        status.note("SegmentGuard: segment " + std::to_string(s) +
+                    " is quarantined (corruption detected, not rebuilt)");
+      } else if (!segment_clean(s)) {
+        status.note("SegmentGuard: segment " + std::to_string(s) +
+                    " fails CRC32C (stored " + std::to_string(sidecars_[s]) +
+                    ", computed " + std::to_string(checksum(s)) + ")");
+      }
+    }
+    return status;
+  }
+
+  /// Sticky health: ok() unless segments sit in quarantine. Cheap (no CRC
+  /// pass) — this is what a caller consults before *reporting* results.
+  [[nodiscard]] util::Status status() const {
+    util::Status status;
+    for (size_type s = 0; s < quarantined_.size(); ++s)
+      if (quarantined_[s])
+        status.note("SegmentGuard: segment " + std::to_string(s) +
+                    " is quarantined");
+    return status;
+  }
+
+  /// Verify + repair. `rebuild(s)` must restore segment `s`'s contents and
+  /// return true, or return false when recovery is impossible; rebuilt
+  /// segments are resealed (and re-checked: a rebuilder that claims success
+  /// but leaves a mismatch against a caller-expected checksum is its
+  /// problem — the guard reseals whatever the rebuilder wrote). Unrebuilt
+  /// segments are quarantined.
+  template <typename Rebuild>
+  ScrubReport scrub(Rebuild&& rebuild) {
+    ScrubReport report;
+    for (size_type s = 0; s < sidecars_.size(); ++s) {
+      if (!quarantined_[s] && segment_clean(s)) {
+        ++report.clean;
+        continue;
+      }
+      if (rebuild(s)) {
+        seal(s);
+        report.rebuilt.push_back(s);
+      } else {
+        quarantined_[s] = true;
+        report.quarantined.push_back(s);
+      }
+    }
+    return report;
+  }
+
+  /// True when segment `s` is quarantined.
+  [[nodiscard]] bool is_quarantined(size_type s) const {
+    return quarantined_.at(s);
+  }
+
+  /// Currently quarantined segments.
+  [[nodiscard]] std::vector<size_type> quarantined() const {
+    std::vector<size_type> out;
+    for (size_type s = 0; s < quarantined_.size(); ++s)
+      if (quarantined_[s]) out.push_back(s);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t checksum(size_type s) const {
+    const auto& view = static_cast<const seg_array<T>&>(*array_).segment(s);
+    return util::crc32c(view.begin(), view.size() * sizeof(T));
+  }
+
+  seg_array<T>* array_;                  // non-owning
+  std::vector<std::uint32_t> sidecars_;  // one CRC32C per segment
+  std::vector<bool> quarantined_;        // sticky until rebuilt/resealed
+};
+
+}  // namespace mcopt::seg

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/prng.h"
+
 namespace mcopt::sim {
 
 util::Status SimConfig::check() const {
@@ -125,6 +127,10 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
     core.group_free.assign(cfg_.topology.thread_groups_per_core, 0);
   }
   flops_total_ = 0;
+  flip_draws_ = 0;
+  corrupted_total_ = 0;
+  mc_corrupted_.assign(cfg_.interleave.num_controllers(), 0);
+  corruption_log_.clear();
   min_iteration_ = 0;
   runnable_ = RunQueue{};
   parked_ = ParkQueue{};
@@ -238,6 +244,9 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
   result.mem_read_bytes = mem_reads * cfg_.interleave.line_size();
   result.mem_write_bytes = mem_writes * cfg_.interleave.line_size();
   result.degraded = cfg_.faults.any() || !cfg_.fault_schedule.empty();
+  result.corrupted_reads = corrupted_total_;
+  result.mc_corrupted_reads = mc_corrupted_;
+  result.corruption_log = corruption_log_;
   result.mc_utilization.resize(result.mc.size(), 0.0);
   if (result.total_cycles != 0)
     for (std::size_t m = 0; m < result.mc.size(); ++m)
@@ -299,6 +308,9 @@ void Chip::apply_faults(const FaultSpec& active) {
     bank_extra_[b] = active.bank_extra(b);
   for (unsigned t = 0; t < static_cast<unsigned>(straggle_.size()); ++t)
     straggle_[t] = active.straggle_of(t);
+  flip_rate_.assign(mcs_.size(), 0.0);
+  for (unsigned m = 0; m < static_cast<unsigned>(mcs_.size()); ++m)
+    flip_rate_[m] = active.flip_rate_of(m);
 }
 
 void Chip::advance_epochs(arch::Cycles now) {
@@ -334,9 +346,27 @@ arch::Cycles Chip::miss_to_l2(arch::Cycles when, arch::Addr addr, bool is_store)
   // is write-allocate). DRAM latency overlaps the controller's queue: the
   // requester sees whichever is later, queue drain or latency. Offline
   // controllers are remapped to their designated survivor.
-  MemoryController& mc = mcs_[mc_remap_[map_.controller_of(addr)]];
+  const unsigned serving = mc_remap_[map_.controller_of(addr)];
+  MemoryController& mc = mcs_[serving];
   const arch::Cycles service_done = mc.request(bank_start, /*is_write=*/false, addr);
+  maybe_flip(bank_start, addr, serving);
   return std::max(service_done, bank_start + cal.mem_latency);
+}
+
+void Chip::maybe_flip(arch::Cycles when, arch::Addr addr, unsigned controller) {
+  const double rate = flip_rate_[controller];
+  if (rate <= 0.0) return;
+  // Counter-mode splitmix64: draw k is a pure function of (flip_seed, k), so
+  // the corruption pattern is independent of event-loop interleaving details
+  // and replays exactly.
+  std::uint64_t state = cfg_.flip_seed + ++flip_draws_;
+  const double u =
+      static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+  if (u >= rate) return;
+  ++corrupted_total_;
+  ++mc_corrupted_[controller];
+  if (corruption_log_.size() < SimResult::kCorruptionLogCap)
+    corruption_log_.push_back({when, addr, controller});
 }
 
 void Chip::advance_min_iteration(arch::Cycles now) {

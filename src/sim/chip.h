@@ -77,6 +77,10 @@ struct SimConfig {
   /// parameters), and SimResult::epochs reports a per-epoch breakdown.
   /// Percent-relative bounds must be resolved() before the chip sees them.
   FaultSchedule fault_schedule{};
+  /// Seed for the deterministic per-read Bernoulli draws behind mc<i>:flip
+  /// faults. Same seed + same workload → bit-identical corruption pattern,
+  /// so flip runs replay exactly like every other fault.
+  std::uint64_t flip_seed = 0;
   /// Watchdog: abort try_run() with a diagnostic once simulated time passes
   /// this many cycles (0 = unlimited). Guards harnesses against malformed
   /// workloads that would otherwise run unboundedly.
@@ -107,6 +111,23 @@ struct SimResult {
   /// True when the run executed under an injected fault (SimConfig::faults
   /// or a non-empty SimConfig::fault_schedule).
   bool degraded = false;
+
+  /// Memory reads (RFO included) whose payload the serving controller
+  /// corrupted under an mc<i>:flip fault. The sim carries no real data, so
+  /// this is the ground truth a native integrity layer must account for:
+  /// every one of these must end up detected, or the run is lying.
+  std::uint64_t corrupted_reads = 0;
+  /// Per-(serving-)controller breakdown of corrupted_reads.
+  std::vector<std::uint64_t> mc_corrupted_reads;
+  /// One recorded corruption event (bounded log for diagnosis/replay).
+  struct Corruption {
+    arch::Cycles cycle = 0;
+    arch::Addr addr = 0;
+    unsigned controller = 0;
+  };
+  static constexpr std::size_t kCorruptionLogCap = 256;
+  /// First kCorruptionLogCap corruption events, in request order.
+  std::vector<Corruption> corruption_log;
 
   /// One fault-schedule epoch of the run: [begin, end) between consecutive
   /// fault transitions (the last epoch ends at total_cycles). Traffic and
@@ -180,6 +201,10 @@ class Chip {
   /// Load path below L1: L2 bank + controller; returns data-ready time.
   arch::Cycles miss_to_l2(arch::Cycles when, arch::Addr addr, bool is_store);
 
+  /// Deterministic Bernoulli draw for a read served by `controller`; records
+  /// the corruption when it fires.
+  void maybe_flip(arch::Cycles when, arch::Addr addr, unsigned controller);
+
   /// Recomputes the minimum running iteration and releases parked threads
   /// that fall back inside the lockstep window.
   void advance_min_iteration(arch::Cycles now);
@@ -204,10 +229,17 @@ class Chip {
   std::vector<unsigned> mc_remap_;         // fault remap (identity if healthy)
   std::vector<arch::Cycles> bank_extra_;   // per-bank fault slowdown
   std::vector<arch::Cycles> straggle_;     // per-thread fault lag
+  std::vector<double> flip_rate_;          // per-controller corruption prob
   std::vector<arch::Cycles> bank_free_;    // per global L2 bank
   std::vector<CoreState> cores_;
   std::vector<ThreadState> threads_;
   std::uint64_t flops_total_ = 0;
+
+  // Bit-flip bookkeeping, reset per run.
+  std::uint64_t flip_draws_ = 0;
+  std::uint64_t corrupted_total_ = 0;
+  std::vector<std::uint64_t> mc_corrupted_;
+  std::vector<SimResult::Corruption> corruption_log_;
 
   // Fault-schedule state: the run's epoch list (always at least one entry),
   // the index of the epoch currently in force, and per-controller counter

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace mcopt::sim {
 
@@ -124,26 +126,57 @@ util::Status FaultSchedule::check(const arch::InterleaveSpec& spec) const {
   return status;
 }
 
+namespace {
+
+/// Percent bound printed with just enough digits that parse()'s
+/// strtod-then-/100 recovers the stored fraction exactly. frac * 100.0
+/// rounds, so the exact preimage of frac under /100 may sit a couple of ulps
+/// away from the computed product — probe the neighborhood. Any fraction
+/// that itself came out of parse() (p / 100 for some double p) has such a
+/// preimage; for fractions that do not, the closest 17-digit form stands.
+std::string format_percent(double frac) {
+  char best[64];
+  const double y = frac * 100.0;
+  std::snprintf(best, sizeof best, "%.17g", y);
+  const double lo = -std::numeric_limits<double>::infinity();
+  const double hi = std::numeric_limits<double>::infinity();
+  const double down1 = std::nextafter(y, lo);
+  const double up1 = std::nextafter(y, hi);
+  const double candidates[5] = {y, down1, up1, std::nextafter(down1, lo),
+                                std::nextafter(up1, hi)};
+  for (int precision = 1; precision <= 17; ++precision)
+    for (double c : candidates) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.*g", precision, c);
+      if (std::strtod(buf, nullptr) / 100.0 == frac)
+        return std::string(buf) + "%";
+    }
+  return std::string(best) + "%";
+}
+
+}  // namespace
+
 std::string FaultSchedule::describe() const {
   if (intervals.empty()) return "empty";
   std::string out;
   for (const Interval& iv : intervals) {
-    if (!out.empty()) out += ',';
-    out += iv.fault.describe();
+    std::string stamp;
     if (iv.relative) {
-      char buf[64];
-      if (iv.end_frac < 0.0)
-        std::snprintf(buf, sizeof buf, "@%g%%", iv.begin_frac * 100.0);
-      else
-        std::snprintf(buf, sizeof buf, "@%g%%..%g%%", iv.begin_frac * 100.0,
-                      iv.end_frac * 100.0);
-      out += buf;
+      stamp = '@' + format_percent(iv.begin_frac);
+      if (iv.end_frac >= 0.0) stamp += ".." + format_percent(iv.end_frac);
     } else if (iv.begin != 0 || iv.end != kNever) {
-      out += '@' + std::to_string(iv.begin);
-      if (iv.end != kNever) out += ".." + std::to_string(iv.end);
+      stamp = '@' + std::to_string(iv.begin);
+      if (iv.end != kNever) stamp += ".." + std::to_string(iv.end);
+    }
+    // A multi-fault interval must emit one item per constituent fault, each
+    // carrying the stamp: "mc0:off mc1:off@5..9" does not re-parse, but
+    // "mc0:off@5..9,mc1:off@5..9" does (and is the same timeline).
+    for (const Interval& single : constant(iv.fault).intervals) {
+      if (!out.empty()) out += ',';
+      out += single.fault.describe() + stamp;
     }
   }
-  return out;
+  return out.empty() ? "empty" : out;
 }
 
 FaultSchedule FaultSchedule::constant(const FaultSpec& spec) {
@@ -171,6 +204,11 @@ FaultSchedule FaultSchedule::constant(const FaultSpec& spec) {
   for (const FaultSpec::Straggler& st : spec.stragglers) {
     FaultSpec s;
     s.stragglers = {st};
+    add(std::move(s));
+  }
+  for (const FaultSpec::BitFlip& f : spec.flips) {
+    FaultSpec s;
+    s.flips = {f};
     add(std::move(s));
   }
   return sched;

@@ -33,6 +33,16 @@ arch::Cycles FaultSpec::straggle_of(unsigned thread) const noexcept {
   return extra;
 }
 
+double FaultSpec::flip_rate_of(unsigned controller) const noexcept {
+  // Independent sources combine by inclusion-exclusion (p + r - p*r), which
+  // — unlike 1 - prod(1 - r) — is exact for the common single-entry case
+  // even at rates near machine epsilon.
+  double p = 0.0;
+  for (const BitFlip& f : flips)
+    if (f.controller == controller) p += f.rate - p * f.rate;
+  return p;
+}
+
 std::vector<unsigned> FaultSpec::surviving_controllers(
     const arch::InterleaveSpec& spec) const {
   std::vector<unsigned> alive;
@@ -89,6 +99,18 @@ util::Status FaultSpec::check(const arch::InterleaveSpec& spec) const {
       status.note("FaultSpec: slow bank " + std::to_string(b.bank) +
                   " out of range (chip has " + std::to_string(spec.num_banks()) +
                   ")");
+  for (const BitFlip& f : flips) {
+    if (f.controller >= spec.num_controllers())
+      status.note("FaultSpec: flipping controller " +
+                  std::to_string(f.controller) + " out of range");
+    if (!(f.rate >= 0.0) || f.rate > 1.0)
+      status.note("FaultSpec: flip rate " + std::to_string(f.rate) +
+                  " must lie in [0, 1]");
+    if (is_offline(f.controller))
+      status.note("FaultSpec: controller " + std::to_string(f.controller) +
+                  " is both offline and flipping (a dead channel moves no "
+                  "bits to corrupt; pick one)");
+  }
   return status;
 }
 
@@ -101,6 +123,8 @@ FaultSpec FaultSpec::merged(const FaultSpec& a, const FaultSpec& b) {
   for (const FaultSpec* part : {&a, &b}) {
     for (const Derate& d : part->derates)
       if (!out.is_offline(d.controller)) out.derates.push_back(d);
+    for (const BitFlip& f : part->flips)
+      if (!out.is_offline(f.controller)) out.flips.push_back(f);
     out.slow_banks.insert(out.slow_banks.end(), part->slow_banks.begin(),
                           part->slow_banks.end());
     out.stragglers.insert(out.stragglers.end(), part->stragglers.begin(),
@@ -108,6 +132,22 @@ FaultSpec FaultSpec::merged(const FaultSpec& a, const FaultSpec& b) {
   }
   return out;
 }
+
+namespace {
+
+/// Shortest decimal string that strtod's back to exactly `value`, so
+/// describe() → parse() is lossless (the round-trip fuzz test leans on this;
+/// a fixed "%.2f" silently truncated derates like 0.375).
+std::string format_double(double value) {
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+}  // namespace
 
 std::string FaultSpec::describe() const {
   if (!any()) return "healthy";
@@ -117,11 +157,12 @@ std::string FaultSpec::describe() const {
     out += item;
   };
   for (unsigned c : offline_controllers) append("mc" + std::to_string(c) + ":off");
-  for (const Derate& d : derates) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.2f", d.factor);
-    append("mc" + std::to_string(d.controller) + ":derate=" + buf);
-  }
+  for (const Derate& d : derates)
+    append("mc" + std::to_string(d.controller) +
+           ":derate=" + format_double(d.factor));
+  for (const BitFlip& f : flips)
+    append("mc" + std::to_string(f.controller) +
+           ":flip=" + format_double(f.rate));
   for (const SlowBank& b : slow_banks)
     append("bank" + std::to_string(b.bank) +
            ":slow=" + std::to_string(b.extra_busy));
@@ -218,9 +259,16 @@ util::Expected<FaultSpec> FaultSpec::parse(const std::string& text) {
         const auto factor = numeric_arg("derate");
         if (!factor) return Result::failure(factor.error().message);
         spec.derates.push_back({index, factor.value()});
+      } else if (action.rfind("flip=", 0) == 0) {
+        const auto rate = numeric_arg("flip");
+        if (!rate) return Result::failure(rate.error().message);
+        if (!(rate.value() >= 0.0 && rate.value() <= 1.0))
+          return Result::failure("FaultSpec: flip rate in '" + item +
+                                 "' must lie in [0, 1]");
+        spec.flips.push_back({index, rate.value()});
       } else {
         return Result::failure("FaultSpec: unknown controller action in '" +
-                               item + "' (use off or derate=<f>)");
+                               item + "' (use off, derate=<f> or flip=<r>)");
       }
     } else if (parse_index(target, "bank", index, consumed) &&
                consumed == target.size()) {

@@ -56,10 +56,22 @@ struct FaultSpec {
   };
   std::vector<Straggler> stragglers;
 
+  /// Silent-data-corruption rate of one controller: each memory read served
+  /// by it flips one payload bit with probability `rate` (an FB-DIMM channel
+  /// going marginal). The sim moves no real payloads, so the chip *counts*
+  /// corrupted reads deterministically (seeded per-read Bernoulli draw) and
+  /// reports them in SimResult; the native integrity layer (seg/integrity.h)
+  /// is what detects and repairs real flipped bits.
+  struct BitFlip {
+    unsigned controller = 0;
+    double rate = 0.0;  ///< per-read probability in [0, 1]
+  };
+  std::vector<BitFlip> flips;
+
   /// True if any fault is configured (the SimResult::degraded flag).
   [[nodiscard]] bool any() const noexcept {
     return !offline_controllers.empty() || !derates.empty() ||
-           !slow_banks.empty() || !stragglers.empty();
+           !slow_banks.empty() || !stragglers.empty() || !flips.empty();
   }
 
   [[nodiscard]] bool is_offline(unsigned controller) const noexcept;
@@ -70,6 +82,9 @@ struct FaultSpec {
   [[nodiscard]] arch::Cycles bank_extra(unsigned bank) const noexcept;
   /// Per-access straggle cycles of software thread `thread`.
   [[nodiscard]] arch::Cycles straggle_of(unsigned thread) const noexcept;
+  /// Per-read bit-flip probability of `controller` (independent sources
+  /// combine as 1 - prod(1 - rate); 0.0 when healthy).
+  [[nodiscard]] double flip_rate_of(unsigned controller) const noexcept;
 
   /// Controllers still serving traffic under `spec`, ascending.
   [[nodiscard]] std::vector<unsigned> surviving_controllers(
@@ -96,12 +111,15 @@ struct FaultSpec {
   /// check()-clean specs is check()-clean as long as a controller survives.
   [[nodiscard]] static FaultSpec merged(const FaultSpec& a, const FaultSpec& b);
 
-  /// Human-readable one-liner ("mc0:off mc1:derate=0.50 ...", "healthy").
+  /// Human-readable one-liner ("mc0:off mc1:derate=0.5 ...", "healthy").
+  /// Doubles print with shortest-round-trip precision, so the output
+  /// re-parses to an identical spec.
   [[nodiscard]] std::string describe() const;
 
   /// Parses the bench `--fault` grammar: comma-separated items of
   ///   mc<i>:off          offline controller i
   ///   mc<i>:derate=<f>   derate controller i to rate factor f
+  ///   mc<i>:flip=<r>     flip one bit per read on controller i w.p. r
   ///   bank<i>:slow=<c>   add c busy cycles to global L2 bank i
   ///   strand<t>:lag=<c>  add c cycles to every access of thread t
   /// An empty string parses to the healthy spec. The result is grammar-

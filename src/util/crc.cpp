@@ -1,0 +1,235 @@
+#include "util/crc.h"
+
+#include <array>
+
+namespace mcopt::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Software path: slice-by-8 over the reflected Castagnoli polynomial.
+// Tables are built once at static-init time (256 * 8 u32 = 8 KiB).
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // CRC32C, reflected
+
+struct Tables {
+  std::uint32_t t[8][256];
+  constexpr Tables() : t{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1u) ? kPoly : 0u);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (int s = 1; s < 8; ++s) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+// ---------------------------------------------------------------------------
+// Zero-byte shift operators. Appending n zero bytes to a message maps the
+// raw remainder through a GF(2)-linear operator; representing it as a 32x32
+// bit matrix (column k = operator applied to the unit vector 1<<k) lets the
+// hardware path run three independent crc32 dependency chains over adjacent
+// lanes and stitch the lane remainders together afterwards:
+//   raw(s, A||B||C) = shift_2L(raw(s, A)) ^ shift_L(raw(0, B)) ^ raw(0, C).
+// The matrices for the fixed lane length are folded at compile time by
+// repeated squaring (zlib's crc32_combine construction).
+
+// The lane is small (3 lanes = 1.5 KiB per block) so the interleaved loop
+// also engages for segment-sized buffers — a Jacobi row at N=1024 is 8 KiB.
+constexpr std::size_t kLaneBytes = 512;
+
+struct ShiftOp {
+  std::uint32_t col[32];
+};
+
+constexpr std::uint32_t shift_apply(const ShiftOp& op, std::uint32_t v) {
+  std::uint32_t out = 0;
+  for (int k = 0; v != 0; ++k, v >>= 1)
+    if (v & 1u) out ^= op.col[k];
+  return out;
+}
+
+// Byte-sliced form of a shift operator: 4 table loads per application
+// instead of a 32-iteration bit loop, cheap enough to run once per block.
+struct ShiftTab {
+  std::uint32_t t[4][256];
+};
+
+constexpr std::uint32_t shift_apply(const ShiftTab& tab, std::uint32_t v) {
+  return tab.t[0][v & 0xFFu] ^ tab.t[1][(v >> 8) & 0xFFu] ^
+         tab.t[2][(v >> 16) & 0xFFu] ^ tab.t[3][v >> 24];
+}
+
+struct ShiftOps {
+  ShiftTab lane;    // shift by kLaneBytes zero bytes
+  ShiftTab lane2;   // shift by 2 * kLaneBytes
+  constexpr ShiftOps() : lane{}, lane2{} {
+    // One-zero-byte operator: the table step with data byte 0.
+    ShiftOp byte{};
+    for (int k = 0; k < 32; ++k) {
+      const std::uint32_t s = 1u << k;
+      byte.col[k] = kTables.t[0][s & 0xFFu] ^ (s >> 8);
+    }
+    // Square log2(kLaneBytes) times: byte -> kLaneBytes bytes.
+    ShiftOp acc = byte;
+    for (std::size_t n = 1; n < kLaneBytes; n *= 2) {
+      ShiftOp sq{};
+      for (int k = 0; k < 32; ++k) sq.col[k] = shift_apply(acc, acc.col[k]);
+      acc = sq;
+    }
+    ShiftOp acc2{};
+    for (int k = 0; k < 32; ++k) acc2.col[k] = shift_apply(acc, acc.col[k]);
+    slice(lane, acc);
+    slice(lane2, acc2);
+  }
+
+ private:
+  static constexpr void slice(ShiftTab& tab, const ShiftOp& op) {
+    for (int byte = 0; byte < 4; ++byte)
+      for (std::uint32_t v = 0; v < 256; ++v)
+        tab.t[byte][v] = shift_apply(op, v << (8 * byte));
+  }
+};
+
+constexpr ShiftOps kShift{};
+
+// Core over the raw (non-inverted) remainder; callers handle the
+// 0xFFFFFFFF init / final-XOR convention.
+std::uint32_t sw_raw(std::uint32_t crc, const unsigned char* p,
+                     std::size_t n) noexcept {
+  // Byte-align until slice-by-8 can take over.
+  while (n != 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    __builtin_memcpy(&lo, p, 4);
+    __builtin_memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = kTables.t[7][lo & 0xFFu] ^ kTables.t[6][(lo >> 8) & 0xFFu] ^
+          kTables.t[5][(lo >> 16) & 0xFFu] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][hi & 0xFFu] ^ kTables.t[2][(hi >> 8) & 0xFFu] ^
+          kTables.t[1][(hi >> 16) & 0xFFu] ^ kTables.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n != 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --n;
+  }
+  return crc;
+}
+
+// ---------------------------------------------------------------------------
+// Hardware path: SSE4.2 crc32 instruction. The container's default flags do
+// not include -msse4.2, so the function carries a target attribute and is
+// only ever called after a cpuid probe.
+
+#if defined(__x86_64__) || defined(__i386__)
+#define MCOPT_CRC_HW 1
+
+__attribute__((target("sse4.2"))) std::uint32_t hw_raw(
+    std::uint32_t crc, const unsigned char* p, std::size_t n) noexcept {
+  while (n != 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+#if defined(__x86_64__)
+  std::uint64_t crc64 = crc;
+  // The crc32 instruction has 3-cycle latency on one result chain; running
+  // three chains over adjacent lanes hides it and roughly triples
+  // throughput. Lane remainders recombine through the precomputed
+  // zero-byte shift operators.
+  while (n >= 3 * kLaneBytes) {
+    std::uint64_t c0 = crc64;
+    std::uint64_t c1 = 0;
+    std::uint64_t c2 = 0;
+    const unsigned char* q1 = p + kLaneBytes;
+    const unsigned char* q2 = p + 2 * kLaneBytes;
+    for (std::size_t i = 0; i < kLaneBytes; i += 8) {
+      std::uint64_t v0;
+      std::uint64_t v1;
+      std::uint64_t v2;
+      __builtin_memcpy(&v0, p + i, 8);
+      __builtin_memcpy(&v1, q1 + i, 8);
+      __builtin_memcpy(&v2, q2 + i, 8);
+      c0 = __builtin_ia32_crc32di(c0, v0);
+      c1 = __builtin_ia32_crc32di(c1, v1);
+      c2 = __builtin_ia32_crc32di(c2, v2);
+    }
+    crc64 = shift_apply(kShift.lane2, static_cast<std::uint32_t>(c0)) ^
+            shift_apply(kShift.lane, static_cast<std::uint32_t>(c1)) ^
+            static_cast<std::uint32_t>(c2);
+    p += 3 * kLaneBytes;
+    n -= 3 * kLaneBytes;
+  }
+  while (n >= 8) {
+    std::uint64_t v;
+    __builtin_memcpy(&v, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, v);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+#else
+  while (n >= 4) {
+    std::uint32_t v;
+    __builtin_memcpy(&v, p, 4);
+    crc = __builtin_ia32_crc32si(crc, v);
+    p += 4;
+    n -= 4;
+  }
+#endif
+  while (n != 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+  return crc;
+}
+
+bool probe_hw() noexcept { return __builtin_cpu_supports("sse4.2") != 0; }
+#else
+#define MCOPT_CRC_HW 0
+bool probe_hw() noexcept { return false; }
+#endif
+
+const bool kUseHw = probe_hw();
+
+std::uint32_t dispatch_raw(std::uint32_t crc, const unsigned char* p,
+                           std::size_t n) noexcept {
+#if MCOPT_CRC_HW
+  if (kUseHw) return hw_raw(crc, p, n);
+#endif
+  return sw_raw(crc, p, n);
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t bytes,
+                     std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  return ~dispatch_raw(~seed, p, bytes);
+}
+
+std::uint32_t crc32c_sw(const void* data, std::size_t bytes,
+                        std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  return ~sw_raw(~seed, p, bytes);
+}
+
+bool crc32c_hw_available() noexcept { return kUseHw; }
+
+void Crc32c::update(const void* data, std::size_t bytes) noexcept {
+  state_ = dispatch_raw(state_, static_cast<const unsigned char*>(data), bytes);
+}
+
+}  // namespace mcopt::util

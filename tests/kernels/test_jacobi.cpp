@@ -137,5 +137,35 @@ TEST(JacobiSpecs, PlainVsOptimalBalance) {
   EXPECT_GE(map.lockstep_balance(opt_rows, 8), 0.99);
 }
 
+TEST(JacobiRebuild, RowRebuildIsBitwiseExact) {
+  const std::size_t n = 32;
+  auto src = make_jacobi_grid(n, jacobi_plain_spec());
+  auto dst = make_jacobi_grid(n, jacobi_plain_spec());
+  init_jacobi(src);
+  init_jacobi(dst);
+  // A few sweeps so the field has non-trivial values.
+  for (int sweep = 0; sweep < 5; ++sweep) {
+    jacobi_sweep_seconds(src, dst, sched::Schedule::static_block());
+    std::swap(src, dst);
+  }
+  // After the swap, `src` is the current field, `dst` the previous one.
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<double> expected(src.segment(s).begin(), src.segment(s).end());
+    // Corrupt the row, then rebuild it from the previous field.
+    for (std::size_t j = 0; j < n; ++j) src.segment(s)[j] = -1e308;
+    jacobi_rebuild_row(src, dst, s);
+    for (std::size_t j = 0; j < n; ++j)
+      ASSERT_EQ(src.segment(s)[j], expected[j]) << "row " << s << " col " << j;
+  }
+}
+
+TEST(JacobiRebuild, RejectsMismatchedAndOutOfRange) {
+  auto a = make_jacobi_grid(16, jacobi_plain_spec());
+  auto b = make_jacobi_grid(16, jacobi_plain_spec());
+  auto small = make_jacobi_grid(8, jacobi_plain_spec());
+  EXPECT_THROW(jacobi_rebuild_row(a, small, 1), std::invalid_argument);
+  EXPECT_THROW(jacobi_rebuild_row(a, b, 16), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace mcopt::kernels

@@ -155,5 +155,38 @@ TEST(SupervisedLoop, ConfigValidationAccumulates) {
   EXPECT_FALSE(percent.check().ok());
 }
 
+TEST(SupervisedTriad, FlipScheduleTriggersScrubs) {
+  trace::VirtualArena arena;
+  const auto planned = bases_for(arena, kernels::TriadLayout::kPlannedOffsets);
+
+  LoopConfig cfg = loop_config(true, 4);
+  cfg.sim.fault_schedule = sim::FaultSchedule::parse("mc0:flip=1").value();
+  const LoopResult res = run_supervised_triad(arena, planned, kN, cfg);
+
+  // Every slice reads through the flipping controller, so every slice
+  // surfaces corruption and the supervisor orders a scrub each time.
+  EXPECT_EQ(res.scrubs, cfg.slices);
+  EXPECT_GT(res.scrub_cycles, 0u);
+  EXPECT_EQ(res.replans, 0u);
+
+  // The unsupervised baseline reads the same corrupted data silently.
+  LoopConfig base = cfg;
+  base.supervise = false;
+  const LoopResult silent = run_supervised_triad(arena, planned, kN, base);
+  EXPECT_EQ(silent.scrubs, 0u);
+  EXPECT_EQ(silent.scrub_cycles, 0u);
+}
+
+TEST(SupervisedJacobi, FlipScheduleTriggersScrubs) {
+  trace::VirtualArena arena;
+  LoopConfig cfg = loop_config(true, 3);
+  cfg.sim.fault_schedule = sim::FaultSchedule::parse("mc2:flip=1").value();
+  const LoopResult res = run_supervised_jacobi(
+      arena, 256, seg::plan_row_layout(arch::AddressMap{}).spec(), cfg);
+  EXPECT_EQ(res.scrubs, cfg.slices);
+  EXPECT_GT(res.scrub_cycles, 0u);
+  EXPECT_EQ(res.replans, 0u);
+}
+
 }  // namespace
 }  // namespace mcopt::runtime

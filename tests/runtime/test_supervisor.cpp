@@ -200,5 +200,56 @@ TEST(Supervisor, RejectsMismatchedUtilizationVector) {
   EXPECT_THROW((void)sup.diagnose({0.5, 0.5}), std::invalid_argument);
 }
 
+TEST(Supervisor, CorruptedReadsOrderAScrub) {
+  Supervisor sup(small_backoff(), kSpec);
+  Sample s = sample_at(0, {0.5, 0.5, 0.5, 0.5});
+  s.corrupted_reads = 3;
+  const Decision dec = sup.observe(s);
+  EXPECT_EQ(dec.action, Action::kScrub);
+  EXPECT_NE(dec.reason.find("3 corrupted reads"), std::string::npos);
+  EXPECT_EQ(sup.scrubs(), 1u);
+  EXPECT_EQ(sup.replans(), 0u);
+}
+
+TEST(Supervisor, ScrubBypassesDebounceBackoffAndIdleGate) {
+  DetectorConfig cfg = small_backoff();
+  cfg.stable_window = 3;  // replans need 3 stable samples; scrubs need none
+  Supervisor sup(cfg, kSpec);
+
+  // Even an idle sample (no utilization signal) must surface corruption.
+  Sample idle = sample_at(0, {0.0, 0.0, 0.0, 0.0});
+  idle.corrupted_reads = 1;
+  EXPECT_EQ(sup.observe(idle).action, Action::kScrub);
+
+  // Arm the backoff via a committed replan; a scrub still fires inside it.
+  const std::vector<double> down{0.6, 0.01, 0.55, 0.58};
+  (void)sup.observe(sample_at(10000, down));
+  (void)sup.observe(sample_at(20000, down));
+  const Decision replan = sup.observe(sample_at(30000, down));
+  ASSERT_EQ(replan.action, Action::kReplan);
+  sup.commit(40000);
+
+  Sample inside_backoff = sample_at(41000, down);
+  inside_backoff.corrupted_reads = 7;
+  EXPECT_EQ(sup.observe(inside_backoff).action, Action::kScrub);
+  EXPECT_EQ(sup.scrubs(), 2u);
+}
+
+TEST(Supervisor, ScrubDoesNotDisturbDiagnosisState) {
+  Supervisor sup(small_backoff(), kSpec);  // stable_window = 2
+  const std::vector<double> down{0.6, 0.01, 0.55, 0.58};
+  (void)sup.observe(sample_at(0, down));  // 1/2 toward stability
+
+  Sample corrupt = sample_at(10000, down);
+  corrupt.corrupted_reads = 1;
+  EXPECT_EQ(sup.observe(corrupt).action, Action::kScrub);
+
+  // The interleaved scrub neither consumed nor reset the debounce window:
+  // the next clean matching sample completes it.
+  const Decision dec = sup.observe(sample_at(20000, down));
+  EXPECT_EQ(dec.action, Action::kReplan);
+  EXPECT_TRUE(dec.diagnosis.is_offline(1));
+}
+
 }  // namespace
 }  // namespace mcopt::runtime

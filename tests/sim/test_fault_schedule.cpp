@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "sim/chip.h"
 #include "sim/fault_schedule.h"
 #include "trace/virtual_arena.h"
+#include "util/prng.h"
 
 namespace mcopt {
 namespace {
@@ -79,6 +81,177 @@ TEST(FaultScheduleParse, DescribeRoundTripsThroughParse) {
   const auto reparsed = FaultSchedule::parse(sched.value().describe());
   ASSERT_TRUE(reparsed.has_value());
   EXPECT_EQ(reparsed.value().describe(), sched.value().describe());
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip fuzz: describe() → parse() must be the identity on resolved
+// schedules. This is what lets chaos_soak fail-logs and CI artifacts replay a
+// schedule from its printed form with zero drift.
+
+namespace roundtrip {
+
+bool same_spec(const FaultSpec& a, const FaultSpec& b) {
+  if (a.offline_controllers != b.offline_controllers) return false;
+  if (a.derates.size() != b.derates.size() || a.flips.size() != b.flips.size() ||
+      a.slow_banks.size() != b.slow_banks.size() ||
+      a.stragglers.size() != b.stragglers.size())
+    return false;
+  for (std::size_t i = 0; i < a.derates.size(); ++i)
+    if (a.derates[i].controller != b.derates[i].controller ||
+        a.derates[i].factor != b.derates[i].factor)
+      return false;
+  for (std::size_t i = 0; i < a.flips.size(); ++i)
+    if (a.flips[i].controller != b.flips[i].controller ||
+        a.flips[i].rate != b.flips[i].rate)
+      return false;
+  for (std::size_t i = 0; i < a.slow_banks.size(); ++i)
+    if (a.slow_banks[i].bank != b.slow_banks[i].bank ||
+        a.slow_banks[i].extra_busy != b.slow_banks[i].extra_busy)
+      return false;
+  for (std::size_t i = 0; i < a.stragglers.size(); ++i)
+    if (a.stragglers[i].thread != b.stragglers[i].thread ||
+        a.stragglers[i].extra_cycles != b.stragglers[i].extra_cycles)
+      return false;
+  return true;
+}
+
+bool same_interval(const FaultSchedule::Interval& a,
+                   const FaultSchedule::Interval& b) {
+  if (a.relative != b.relative) return false;
+  if (a.relative)
+    return a.begin_frac == b.begin_frac && a.end_frac == b.end_frac &&
+           same_spec(a.fault, b.fault);
+  return a.begin == b.begin && a.end == b.end && same_spec(a.fault, b.fault);
+}
+
+/// One random single-fault interval. Single-fault because describe() splits
+/// multi-fault intervals into one item each (separately tested below);
+/// adversarial doubles because the old fixed-precision formatting is exactly
+/// what this fuzz exists to keep out.
+FaultSchedule::Interval random_interval(util::Xoshiro256& rng) {
+  FaultSchedule::Interval iv;
+  switch (rng.below(5)) {
+    case 0:
+      iv.fault.offline_controllers = {static_cast<unsigned>(rng.below(4))};
+      break;
+    case 1:
+      iv.fault.derates.push_back(
+          {static_cast<unsigned>(rng.below(4)), rng.uniform(0.001, 1.0)});
+      break;
+    case 2:
+      iv.fault.flips.push_back(
+          {static_cast<unsigned>(rng.below(4)),
+           rng.uniform() * std::pow(10.0, -static_cast<double>(rng.below(12)))});
+      break;
+    case 3:
+      iv.fault.slow_banks.push_back(
+          {static_cast<unsigned>(rng.below(8)), rng.below(10000)});
+      break;
+    default:
+      iv.fault.stragglers.push_back(
+          {static_cast<unsigned>(rng.below(64)), rng.below(10000)});
+  }
+  switch (rng.below(4)) {
+    case 0:
+      break;  // whole-run: begin 0, never clears
+    case 1:
+      iv.begin = rng.below(std::uint64_t{1} << 40);
+      break;  // never clears
+    case 2: {
+      iv.begin = rng.below(std::uint64_t{1} << 40);
+      iv.end = iv.begin + 1 + rng.below(std::uint64_t{1} << 40);
+      break;
+    }
+    default: {
+      // Percent fractions are generated the way parse() makes them
+      // (percent-double / 100) — those are the values describe() must
+      // reproduce; a raw random fraction need not even be expressible as
+      // strtod(text)/100.
+      iv.relative = true;
+      const double begin_pct = rng.uniform(0.0, 90.0);
+      iv.begin_frac = begin_pct / 100.0;
+      iv.end_frac =
+          rng.below(4) == 0
+              ? -1.0
+              : rng.uniform(std::nextafter(begin_pct, 101.0), 100.0) / 100.0;
+      break;
+    }
+  }
+  return iv;
+}
+
+}  // namespace roundtrip
+
+TEST(FaultScheduleRoundTrip, DescribeParseIsIdentityFor64SeededSchedules) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    util::Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+    FaultSchedule sched;
+    const std::size_t n = 1 + rng.below(5);
+    for (std::size_t i = 0; i < n; ++i)
+      sched.intervals.push_back(roundtrip::random_interval(rng));
+
+    const std::string text = sched.describe();
+    const auto reparsed = FaultSchedule::parse(text);
+    ASSERT_TRUE(reparsed.has_value())
+        << "seed " << seed << ": '" << text << "': " << reparsed.error().message;
+    ASSERT_EQ(reparsed.value().intervals.size(), sched.intervals.size())
+        << "seed " << seed << ": '" << text << "'";
+    for (std::size_t i = 0; i < sched.intervals.size(); ++i)
+      EXPECT_TRUE(roundtrip::same_interval(sched.intervals[i],
+                                           reparsed.value().intervals[i]))
+          << "seed " << seed << " interval " << i << ": '" << text << "'";
+    // And the fixpoint: a second trip changes nothing.
+    EXPECT_EQ(reparsed.value().describe(), text) << "seed " << seed;
+  }
+}
+
+TEST(FaultScheduleRoundTrip, MultiFaultIntervalSplitsIntoEquivalentItems) {
+  // A programmatically built interval can hold several faults; its printed
+  // form is one item per fault sharing the stamp, and the reparsed schedule
+  // is the same *timeline* even though the interval list is longer.
+  FaultSchedule sched;
+  FaultSchedule::Interval iv;
+  iv.fault.offline_controllers = {0};
+  iv.fault.derates.push_back({1, 0.375});
+  iv.fault.flips.push_back({2, 1e-9});
+  iv.begin = 1000;
+  iv.end = 5000;
+  sched.intervals.push_back(iv);
+
+  const std::string text = sched.describe();
+  EXPECT_EQ(text, "mc0:off@1000..5000,mc1:derate=0.375@1000..5000,"
+                  "mc2:flip=1e-09@1000..5000");
+  const auto reparsed = FaultSchedule::parse(text);
+  ASSERT_TRUE(reparsed.has_value()) << reparsed.error().message;
+  ASSERT_EQ(reparsed.value().intervals.size(), 3u);
+  for (arch::Cycles cycle : {0u, 999u, 1000u, 3000u, 4999u, 5000u, 10000u}) {
+    EXPECT_TRUE(roundtrip::same_spec(sched.active_at(cycle),
+                                     reparsed.value().active_at(cycle)))
+        << "cycle " << cycle;
+  }
+}
+
+TEST(FaultScheduleRoundTrip, AdversarialDoublesSurviveTheTrip) {
+  // Values a fixed "%.2f" or "%g" would mangle.
+  FaultSchedule sched;
+  FaultSchedule::Interval a;
+  a.fault.derates.push_back({0, 1.0 / 3.0});
+  sched.intervals.push_back(a);
+  FaultSchedule::Interval b;
+  b.fault.flips.push_back({1, 2.5e-13});
+  b.relative = true;
+  // Fractions the way parse() produces them: percent-double over 100.
+  b.begin_frac = (100.0 / 3.0) / 100.0;
+  b.end_frac = (200.0 / 3.0) / 100.0;
+  sched.intervals.push_back(b);
+
+  const auto reparsed = FaultSchedule::parse(sched.describe());
+  ASSERT_TRUE(reparsed.has_value()) << reparsed.error().message;
+  ASSERT_EQ(reparsed.value().intervals.size(), 2u);
+  EXPECT_EQ(reparsed.value().intervals[0].fault.derates[0].factor, 1.0 / 3.0);
+  EXPECT_EQ(reparsed.value().intervals[1].fault.flips[0].rate, 2.5e-13);
+  EXPECT_EQ(reparsed.value().intervals[1].begin_frac, b.begin_frac);
+  EXPECT_EQ(reparsed.value().intervals[1].end_frac, b.end_frac);
 }
 
 TEST(FaultSchedule, ActiveAtMergesOverlappingIntervalsOntoBaseline) {

@@ -46,7 +46,67 @@ TEST(FaultSpec, ParseRoundTrip) {
   EXPECT_DOUBLE_EQ(spec.derate_of(1), 0.5);
   EXPECT_EQ(spec.bank_extra(3), 7u);
   EXPECT_EQ(spec.straggle_of(12), 9u);
-  EXPECT_EQ(spec.describe(), "mc0:off mc1:derate=0.50 bank3:slow=7 strand12:lag=9");
+  // Shortest-round-trip formatting: the description re-parses losslessly.
+  EXPECT_EQ(spec.describe(), "mc0:off mc1:derate=0.5 bank3:slow=7 strand12:lag=9");
+}
+
+TEST(FaultSpec, DescribeUsesShortestRoundTripDoubles) {
+  FaultSpec spec;
+  spec.derates.push_back({1, 0.375});
+  spec.flips.push_back({2, 1e-9});
+  EXPECT_EQ(spec.describe(), "mc1:derate=0.375 mc2:flip=1e-09");
+  const auto reparsed = FaultSpec::parse("mc1:derate=0.375,mc2:flip=1e-09");
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_DOUBLE_EQ(reparsed.value().derate_of(1), 0.375);
+  EXPECT_DOUBLE_EQ(reparsed.value().flip_rate_of(2), 1e-9);
+}
+
+TEST(FaultSpec, ParseFlip) {
+  const auto parsed = FaultSpec::parse("mc2:flip=1e-9");
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  const FaultSpec& spec = parsed.value();
+  EXPECT_TRUE(spec.any());
+  EXPECT_DOUBLE_EQ(spec.flip_rate_of(2), 1e-9);
+  EXPECT_DOUBLE_EQ(spec.flip_rate_of(0), 0.0);
+  EXPECT_TRUE(spec.check(arch::InterleaveSpec{}).ok());
+}
+
+TEST(FaultSpec, ParseRejectsBadFlipRates) {
+  EXPECT_FALSE(FaultSpec::parse("mc0:flip=-1e-9").has_value());
+  EXPECT_FALSE(FaultSpec::parse("mc0:flip=1.5").has_value());
+  EXPECT_FALSE(FaultSpec::parse("mc0:flip=nan").has_value());
+  EXPECT_FALSE(FaultSpec::parse("mc0:flip=").has_value());
+}
+
+TEST(FaultSpec, FlipRatesCombineAsIndependentSources) {
+  FaultSpec spec;
+  spec.flips.push_back({0, 0.5});
+  spec.flips.push_back({0, 0.5});
+  // 1 - (1 - 0.5)(1 - 0.5): independent sources, not a sum (which would
+  // exceed 1 for large rates).
+  EXPECT_DOUBLE_EQ(spec.flip_rate_of(0), 0.75);
+}
+
+TEST(FaultSpec, CheckRejectsOfflineAndFlippingSameController) {
+  FaultSpec spec;
+  spec.offline_controllers = {1};
+  spec.flips.push_back({1, 1e-6});
+  const util::Status status = spec.check(arch::InterleaveSpec{});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("both offline and flipping"),
+            std::string::npos);
+}
+
+TEST(FaultSpec, MergedDropsFlipsOnDeadControllers) {
+  FaultSpec off;
+  off.offline_controllers = {2};
+  FaultSpec flip;
+  flip.flips.push_back({2, 1e-6});
+  flip.flips.push_back({3, 1e-6});
+  const FaultSpec merged = FaultSpec::merged(off, flip);
+  EXPECT_DOUBLE_EQ(merged.flip_rate_of(2), 0.0);
+  EXPECT_DOUBLE_EQ(merged.flip_rate_of(3), 1e-6);
+  EXPECT_TRUE(merged.check(arch::InterleaveSpec{}).ok());
 }
 
 TEST(FaultSpec, ParseEmptyIsHealthy) {
@@ -237,6 +297,105 @@ TEST(ChipFaults, StragglerDelaysItsThread) {
                                   ? lagged.thread_finish[1] - healthy.thread_finish[1]
                                   : healthy.thread_finish[1] - lagged.thread_finish[1];
   EXPECT_LT(delta1, delta0 / 4);
+}
+
+TEST(ChipFaults, FlipRateOneCorruptsEveryMemoryRead) {
+  SimConfig cfg;
+  for (unsigned c = 0; c < 4; ++c) cfg.faults.flips.push_back({c, 1.0});
+  Chip chip(cfg, arch::equidistant_placement(4, cfg.topology));
+  Workload wl = read_streams(4, 2048, arch::Addr{1} << 21);
+  const SimResult res = chip.run(wl);
+  EXPECT_TRUE(res.degraded);
+  const std::uint64_t mem_reads =
+      res.mem_read_bytes / cfg.interleave.line_size();
+  EXPECT_GT(mem_reads, 0u);
+  EXPECT_EQ(res.corrupted_reads, mem_reads);
+  std::uint64_t per_mc = 0;
+  ASSERT_EQ(res.mc_corrupted_reads.size(), 4u);
+  for (std::uint64_t c : res.mc_corrupted_reads) per_mc += c;
+  EXPECT_EQ(per_mc, res.corrupted_reads);
+  EXPECT_EQ(res.corruption_log.size(), SimResult::kCorruptionLogCap);
+}
+
+TEST(ChipFaults, FlipRateZeroCorruptsNothing) {
+  SimConfig cfg;
+  cfg.faults.flips.push_back({0, 0.0});
+  Chip chip(cfg, arch::equidistant_placement(4, cfg.topology));
+  Workload wl = read_streams(4, 1024, arch::Addr{1} << 21);
+  const SimResult res = chip.run(wl);
+  EXPECT_EQ(res.corrupted_reads, 0u);
+  EXPECT_TRUE(res.corruption_log.empty());
+}
+
+TEST(ChipFaults, FlipsReplayExactlyForEqualSeeds) {
+  auto run_with_seed = [](std::uint64_t seed) {
+    SimConfig cfg;
+    cfg.flip_seed = seed;
+    for (unsigned c = 0; c < 4; ++c) cfg.faults.flips.push_back({c, 0.05});
+    Chip chip(cfg, arch::equidistant_placement(8, cfg.topology));
+    Workload wl = read_streams(8, 2048, arch::Addr{1} << 21);
+    return chip.run(wl);
+  };
+  const SimResult a = run_with_seed(42);
+  const SimResult b = run_with_seed(42);
+  const SimResult c = run_with_seed(43);
+  EXPECT_GT(a.corrupted_reads, 0u);
+  EXPECT_EQ(a.corrupted_reads, b.corrupted_reads);
+  ASSERT_EQ(a.corruption_log.size(), b.corruption_log.size());
+  for (std::size_t i = 0; i < a.corruption_log.size(); ++i) {
+    EXPECT_EQ(a.corruption_log[i].cycle, b.corruption_log[i].cycle);
+    EXPECT_EQ(a.corruption_log[i].addr, b.corruption_log[i].addr);
+    EXPECT_EQ(a.corruption_log[i].controller, b.corruption_log[i].controller);
+  }
+  // A different seed draws a different pattern (same expected count).
+  EXPECT_NE(a.corrupted_reads, 0u);
+  bool same_pattern = a.corrupted_reads == c.corrupted_reads;
+  if (same_pattern && !a.corruption_log.empty() && !c.corruption_log.empty())
+    same_pattern = a.corruption_log[0].cycle == c.corruption_log[0].cycle &&
+                   a.corruption_log[0].addr == c.corruption_log[0].addr;
+  EXPECT_FALSE(same_pattern);
+}
+
+TEST(ChipFaults, FlipCountTracksRate) {
+  auto corrupted_at = [](double rate) {
+    SimConfig cfg;
+    for (unsigned c = 0; c < 4; ++c) cfg.faults.flips.push_back({c, rate});
+    Chip chip(cfg, arch::equidistant_placement(8, cfg.topology));
+    Workload wl = read_streams(8, 4096, arch::Addr{1} << 21);
+    const SimResult res = chip.run(wl);
+    return std::pair<std::uint64_t, std::uint64_t>{
+        res.corrupted_reads, res.mem_read_bytes / cfg.interleave.line_size()};
+  };
+  const auto [hits_lo, reads_lo] = corrupted_at(0.01);
+  const auto [hits_hi, reads_hi] = corrupted_at(0.25);
+  EXPECT_EQ(reads_lo, reads_hi);  // the flip draw never alters timing/traffic
+  // Binomial(reads, rate) concentrates tightly at these sizes; a factor-of-2
+  // envelope around the mean will not flake.
+  const double mean_lo = static_cast<double>(reads_lo) * 0.01;
+  const double mean_hi = static_cast<double>(reads_hi) * 0.25;
+  EXPECT_GT(static_cast<double>(hits_lo), mean_lo / 2);
+  EXPECT_LT(static_cast<double>(hits_lo), mean_lo * 2);
+  EXPECT_GT(static_cast<double>(hits_hi), mean_hi / 2);
+  EXPECT_LT(static_cast<double>(hits_hi), mean_hi * 2);
+  EXPECT_GT(hits_hi, hits_lo);
+}
+
+TEST(ChipFaults, FlipsDoNotAlterTiming) {
+  auto run_with = [](bool flips) {
+    SimConfig cfg;
+    if (flips)
+      for (unsigned c = 0; c < 4; ++c) cfg.faults.flips.push_back({c, 0.5});
+    Chip chip(cfg, arch::equidistant_placement(8, cfg.topology));
+    Workload wl = read_streams(8, 2048, arch::Addr{1} << 21);
+    return chip.run(wl);
+  };
+  const SimResult clean = run_with(false);
+  const SimResult flipped = run_with(true);
+  // Corruption is a data fault, not a timing fault: cycle-exact equality.
+  EXPECT_EQ(flipped.total_cycles, clean.total_cycles);
+  EXPECT_EQ(flipped.mem_read_bytes, clean.mem_read_bytes);
+  EXPECT_EQ(flipped.mem_write_bytes, clean.mem_write_bytes);
+  EXPECT_GT(flipped.corrupted_reads, 0u);
 }
 
 TEST(ChipFaults, InvalidFaultSpecRejectedAtConstruction) {

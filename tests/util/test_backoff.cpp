@@ -49,6 +49,59 @@ TEST(Backoff, NeverReturnsZero) {
   for (int i = 0; i < 50; ++i) EXPECT_GE(b.next(), 1u);
 }
 
+TEST(Backoff, EveryDelayStaysWithinTheJitterEnvelope) {
+  // Across many attempts and seeds, no delay ever escapes the global
+  // envelope [initial*(1-j), cap*(1+j)] — the cap bounds the pre-jitter
+  // delay, so the jittered value can exceed `cap` by at most the jitter
+  // fraction and never falls below the jittered initial.
+  const BackoffConfig cfg{.initial = 50, .multiplier = 3.0, .cap = 5000,
+                          .jitter = 0.2};
+  const double lo = static_cast<double>(cfg.initial) * (1.0 - cfg.jitter);
+  const double hi = static_cast<double>(cfg.cap) * (1.0 + cfg.jitter);
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    Backoff b(cfg, seed);
+    for (int i = 0; i < 200; ++i) {
+      const auto delay = static_cast<double>(b.next());
+      EXPECT_GE(delay, lo - 1.0) << "seed " << seed << " attempt " << i;
+      EXPECT_LE(delay, hi + 1.0) << "seed " << seed << " attempt " << i;
+    }
+  }
+}
+
+TEST(Backoff, DifferentSeedsDiverge) {
+  // Reproducibility cuts both ways: equal seeds replay (covered above),
+  // and distinct seeds must actually decorrelate the jitter, or
+  // co-scheduled supervisors would still synchronize.
+  const BackoffConfig cfg{.initial = 100000, .multiplier = 2.0,
+                          .cap = 100000000, .jitter = 0.25};
+  Backoff a(cfg, 1);
+  Backoff b(cfg, 2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i)
+    if (a.next() != b.next()) ++differing;
+  EXPECT_GT(differing, 10);
+}
+
+TEST(Backoff, ResetRestartsEscalationInsideTheInitialEnvelope) {
+  // reset() rewinds the escalation, not the jitter stream (replaying the
+  // RNG would re-synchronize supervisors that reset together). So after a
+  // reset the next delay must sit in the *initial* jitter envelope again,
+  // even when the pre-reset delay had escalated to the cap.
+  const BackoffConfig cfg{.initial = 1000, .multiplier = 4.0, .cap = 64000,
+                          .jitter = 0.1};
+  Backoff b(cfg, 9);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) b.next();  // escalate well past the cap
+    EXPECT_EQ(b.retries(), 10u);
+    b.reset();
+    EXPECT_EQ(b.retries(), 0u);
+    const auto first = static_cast<double>(b.next());
+    EXPECT_GE(first, static_cast<double>(cfg.initial) * 0.9 - 1.0);
+    EXPECT_LE(first, static_cast<double>(cfg.initial) * 1.1 + 1.0);
+    b.reset();
+  }
+}
+
 TEST(Backoff, RejectsDegenerateConfigs) {
   EXPECT_THROW(Backoff({.initial = 0}), std::invalid_argument);
   EXPECT_THROW(Backoff({.initial = 1, .multiplier = 0.5}),

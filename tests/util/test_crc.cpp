@@ -1,0 +1,126 @@
+#include "util/crc.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace mcopt::util {
+namespace {
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 appendix + common published CRC32C vectors.
+  EXPECT_EQ(crc32c("", 0), 0u);
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(crc32c("a", 1), 0xC1D04330u);
+  EXPECT_EQ(crc32c("abc", 3), 0x364B3FB7u);
+  EXPECT_EQ(crc32c("The quick brown fox jumps over the lazy dog", 43),
+            0x22620404u);
+  std::vector<unsigned char> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::vector<unsigned char> ones(32, 0xFF);
+  EXPECT_EQ(crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32c, SoftwarePathMatchesKnownVectors) {
+  EXPECT_EQ(crc32c_sw("", 0), 0u);
+  EXPECT_EQ(crc32c_sw("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32c, HardwareAndSoftwareAgree) {
+  if (!crc32c_hw_available()) GTEST_SKIP() << "no SSE4.2 on this host";
+  Xoshiro256 rng(0xC4C1u);
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          std::size_t{8}, std::size_t{9}, std::size_t{63},
+                          std::size_t{64}, std::size_t{1000},
+                          std::size_t{4096}, std::size_t{4099},
+                          // Around and across the 3-lane interleaved
+                          // hardware loop (3 x 512-byte lanes per block).
+                          std::size_t{1535}, std::size_t{1536},
+                          std::size_t{1537}, std::size_t{3072},
+                          std::size_t{8192}, std::size_t{12289},
+                          std::size_t{40000}, std::size_t{100000}}) {
+    std::vector<unsigned char> buf(len);
+    for (auto& b : buf) b = static_cast<unsigned char>(rng());
+    EXPECT_EQ(crc32c(buf.data(), buf.size()), crc32c_sw(buf.data(), buf.size()))
+        << "len=" << len;
+    // Misaligned start exercises the byte-alignment prologues of both paths.
+    if (len > 3) {
+      EXPECT_EQ(crc32c(buf.data() + 3, buf.size() - 3),
+                crc32c_sw(buf.data() + 3, buf.size() - 3))
+          << "misaligned len=" << len;
+    }
+  }
+}
+
+TEST(Crc32c, SeedChainsAcrossCalls) {
+  const std::string msg = "0123456789abcdefghijklmnopqrstuvwxyz";
+  const std::uint32_t whole = crc32c(msg.data(), msg.size());
+  for (std::size_t cut = 0; cut <= msg.size(); ++cut) {
+    std::uint32_t head = crc32c(msg.data(), cut);
+    EXPECT_EQ(crc32c(msg.data() + cut, msg.size() - cut, head), whole)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Crc32c, SeedChainsAcrossTheInterleavedBlocks) {
+  // Chain cuts landing inside, on, and across 3-lane block boundaries must
+  // compose exactly like the byte-at-a-time path.
+  Xoshiro256 rng(0x3AAEu);
+  std::vector<unsigned char> buf(3 * 12288 + 1234);
+  for (auto& b : buf) b = static_cast<unsigned char>(rng());
+  const std::uint32_t whole = crc32c(buf.data(), buf.size());
+  for (std::size_t cut : {std::size_t{1}, std::size_t{1535}, std::size_t{1536},
+                          std::size_t{1537}, std::size_t{4096},
+                          std::size_t{24576}, buf.size() - 1}) {
+    const std::uint32_t head = crc32c(buf.data(), cut);
+    EXPECT_EQ(crc32c(buf.data() + cut, buf.size() - cut, head), whole)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  Xoshiro256 rng(0xABCDu);
+  std::vector<unsigned char> buf(10000);
+  for (auto& b : buf) b = static_cast<unsigned char>(rng());
+  const std::uint32_t whole = crc32c(buf.data(), buf.size());
+
+  Crc32c inc;
+  std::size_t pos = 0;
+  while (pos < buf.size()) {
+    std::size_t chunk = 1 + rng() % 257;
+    if (chunk > buf.size() - pos) chunk = buf.size() - pos;
+    inc.update(buf.data() + pos, chunk);
+    pos += chunk;
+  }
+  EXPECT_EQ(inc.value(), whole);
+
+  inc.reset();
+  EXPECT_EQ(inc.value(), 0u);
+  inc.update(buf.data(), buf.size());
+  EXPECT_EQ(inc.value(), whole);
+}
+
+TEST(Crc32c, SingleBitFlipsAlwaysChangeChecksum) {
+  // The property the integrity layer leans on: any single flipped bit in a
+  // segment-sized payload is detected.
+  std::vector<unsigned char> buf(512);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<unsigned char>(i * 131u);
+  const std::uint32_t clean = crc32c(buf.data(), buf.size());
+  for (std::size_t byte = 0; byte < buf.size(); byte += 17) {
+    for (int bit = 0; bit < 8; ++bit) {
+      buf[byte] ^= static_cast<unsigned char>(1u << bit);
+      EXPECT_NE(crc32c(buf.data(), buf.size()), clean)
+          << "byte=" << byte << " bit=" << bit;
+      buf[byte] ^= static_cast<unsigned char>(1u << bit);
+    }
+  }
+  EXPECT_EQ(crc32c(buf.data(), buf.size()), clean);
+}
+
+}  // namespace
+}  // namespace mcopt::util
