@@ -34,6 +34,7 @@
 #endif
 
 #include "common.h"
+#include "overload_common.h"
 #include "runtime/checkpoint.h"
 #include "runtime/supervised_loop.h"
 #include "seg/integrity.h"
@@ -577,6 +578,49 @@ int run_kill_resume(std::size_t n, unsigned sweeps, unsigned every,
 }
 #endif  // !_WIN32
 
+// --- overload chaos: --overload -------------------------------------------
+
+/// --overload mode: the open-loop overload generator composed with random
+/// mid-run fault schedules (bench::overload_chaos_params — the schedule
+/// draw lives in overload_common.h so the regression tier replays seeds
+/// bit-for-bit). Degraded-mode invariants (conservation, typed sheds,
+/// per-job shed-lag, goodput capped at the completed jobs' analytic rate)
+/// must hold for every seed; goodput may sag, jobs may shed, but nothing
+/// deadlocks or goes missing.
+int run_overload_chaos(const std::vector<std::uint64_t>& seeds, unsigned jobs,
+                       unsigned workers, double ratio,
+                       const std::string& fail_path) {
+  unsigned failures = 0;
+  std::FILE* fail_log = nullptr;
+  for (const std::uint64_t seed : seeds) {
+    const bench::OverloadParams params =
+        bench::overload_chaos_params(seed, jobs, workers, ratio);
+    const auto res = bench::run_overload(params);
+    const auto fails = bench::check_overload_invariants(params, res, false);
+    std::printf("seed %" PRIu64 ": goodput %.3f GB/s, %" PRIu64
+                " completed, %" PRIu64 " replans, %s\n",
+                seed, res.goodput_gbs, res.stats.completed,
+                res.stats.replans, fails.empty() ? "PASS" : "FAIL");
+    if (!fails.empty()) {
+      ++failures;
+      if (fail_log == nullptr && !fail_path.empty())
+        fail_log = std::fopen(fail_path.c_str(), "a");
+      if (fail_log != nullptr)
+        std::fprintf(fail_log, "overload seed %" PRIu64 "\n", seed);
+      for (const auto& f : fails) {
+        std::printf("  %s\n", f.c_str());
+        if (fail_log != nullptr) std::fprintf(fail_log, "  %s\n", f.c_str());
+      }
+    }
+  }
+  if (fail_log != nullptr) std::fclose(fail_log);
+  std::printf("\noverload chaos: %zu seeds, %u failing\n", seeds.size(),
+              failures);
+  if (failures != 0)
+    std::printf("replay any failure with: chaos_soak --overload --seed <N>\n");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -594,6 +638,13 @@ int main(int argc, char** argv) {
       .flag("kill-resume", "SIGKILL a checkpointing native Jacobi solve at "
                            "random points; resumes must finish bitwise-"
                            "identical to an uninterrupted run")
+      .flag("overload", "compose the executor overload generator with "
+                        "random fault schedules; degraded invariants must "
+                        "hold for every seed")
+      .option_int("jobs", 240, "jobs per seed for --overload")
+      .option_int("workers", 4, "executor worker threads for --overload")
+      .option_double("ratio", 2.0,
+                     "offered load (x capacity) for --overload")
       .option_int("grid", 384, "Jacobi grid size for --flips/--kill-resume")
       .option_int("grid-sweeps", 64,
                   "Jacobi sweeps for --flips/--kill-resume")
@@ -621,6 +672,11 @@ int main(int argc, char** argv) {
     for (std::uint64_t s = 1; s <= count; ++s) seeds.push_back(s);
   }
 
+  if (cli.get_flag("overload"))
+    return run_overload_chaos(seeds, static_cast<unsigned>(cli.get_int("jobs")),
+                              static_cast<unsigned>(cli.get_int("workers")),
+                              cli.get_double("ratio"),
+                              cli.get_str("fail-log"));
   if (cli.get_flag("flips"))
     return run_flip_sweep(static_cast<std::size_t>(cli.get_int("grid")),
                           static_cast<unsigned>(cli.get_int("grid-sweeps")),

@@ -1,0 +1,219 @@
+// Overload soak: seeded open-loop load against the executor's admission
+// control, sweeping offered load from well below to 4x the analytic
+// capacity of the generated job mix, healthy and under fault schedules.
+//
+// Every sweep point asserts the overload invariants (see overload_common.h):
+// the shed-lag bound on accepted jobs, byte-exact conservation across typed
+// shed reasons, goodput monotone-capped at the mix's analytic roofline, and
+// nothing lost silently across drain-on-shutdown. Failures print the seed
+// and are replayable with --seed N.
+//
+// --reference runs the canonical sweep and writes BENCH_overload.json
+// (goodput, shed breakdown and sojourn percentiles per offered ratio); the
+// exit code enforces the acceptance gate: goodput >= 0.9x of the smaller of
+// offered load and capacity at every healthy point, and a <1% deadline-miss
+// rate among accepted jobs even at 2x overload.
+//
+// --schedule injects a ground-truth fault timeline (percent stamps resolve
+// against the generated mix's horizon): goodput degrades, the invariants
+// must hold anyway. EXPERIMENTS.md tabulates healthy vs degraded.
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "overload_common.h"
+
+namespace {
+
+using namespace mcopt;
+
+struct SweepRow {
+  double ratio = 0.0;
+  bench::OverloadResult res;
+  std::vector<std::string> failures;
+};
+
+SweepRow run_point(double ratio, const bench::OverloadParams& base,
+                   const std::string& schedule_text) {
+  SweepRow row;
+  row.ratio = ratio;
+  bench::OverloadParams params = base;
+  params.offered_ratio = ratio;
+  const bool healthy = schedule_text.empty();
+  if (!healthy) {
+    const sim::SimConfig sim_cfg{};
+    params.truth = bench::parse_schedule_knob(schedule_text, sim_cfg,
+                                              bench::overload_horizon(params));
+  }
+  row.res = bench::run_overload(params);
+  row.failures = bench::check_overload_invariants(params, row.res, healthy);
+  return row;
+}
+
+std::string shed_breakdown(const runtime::exec::ExecutorStats& stats) {
+  using runtime::exec::ShedReason;
+  std::string out;
+  for (unsigned r = 1; r < stats.shed.size(); ++r) {
+    if (stats.shed[r] == 0) continue;
+    if (!out.empty()) out += " ";
+    out += std::string(to_string(static_cast<ShedReason>(r))) + "=" +
+           std::to_string(stats.shed[r]);
+  }
+  return out.empty() ? "-" : out;
+}
+
+int run_sweep(const std::vector<double>& ratios,
+              const bench::OverloadParams& base,
+              const std::string& schedule_text, const std::string& csv_path,
+              const std::string& json_path, bool reference,
+              const std::string& fail_log_path) {
+  std::vector<SweepRow> rows;
+  for (const double ratio : ratios)
+    rows.push_back(run_point(ratio, base, schedule_text));
+
+  std::vector<std::vector<std::string>> table_rows;
+  char buf[64];
+  for (const auto& row : rows) {
+    std::vector<std::string> cells;
+    auto cell = [&](const char* fmt, auto value) {
+      std::snprintf(buf, sizeof buf, fmt, value);
+      cells.emplace_back(buf);
+    };
+    cell("%.2f", row.ratio);
+    cell("%.3f", bench::checked_rate(row.res.offered_gbs, "offered GB/s"));
+    cell("%.3f", bench::checked_rate(row.res.capacity_gbs, "capacity GB/s"));
+    cell("%.3f", bench::checked_rate(row.res.goodput_gbs, "goodput GB/s"));
+    cell("%" PRIu64, row.res.stats.completed);
+    cells.push_back(shed_breakdown(row.res.stats));
+    cell("%.2f", row.res.miss_rate * 100.0);
+    cell("%.3f", row.res.p50_ms);
+    cell("%.3f", row.res.p99_ms);
+    cells.push_back(row.failures.empty() ? "PASS" : "FAIL");
+    table_rows.push_back(std::move(cells));
+  }
+  bench::emit({"offered_x", "offered_gbs", "capacity_gbs", "goodput_gbs",
+               "completed", "shed", "miss_pct", "p50_ms", "p99_ms", "check"},
+              table_rows, csv_path);
+
+  unsigned failures = 0;
+  std::FILE* fail_log = nullptr;
+  for (const auto& row : rows) {
+    if (row.failures.empty()) continue;
+    ++failures;
+    std::printf("offered %.2fx seed %" PRIu64 " FAILED:\n", row.ratio,
+                base.seed);
+    if (fail_log == nullptr && !fail_log_path.empty())
+      fail_log = std::fopen(fail_log_path.c_str(), "a");
+    if (fail_log != nullptr)
+      std::fprintf(fail_log, "seed %" PRIu64 " offered %.2fx\n", base.seed,
+                   row.ratio);
+    for (const auto& f : row.failures) {
+      std::printf("  %s\n", f.c_str());
+      if (fail_log != nullptr) std::fprintf(fail_log, "  %s\n", f.c_str());
+    }
+  }
+  if (fail_log != nullptr) std::fclose(fail_log);
+
+  if (reference && !json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr)
+      throw std::runtime_error("overload_soak: cannot write " + json_path);
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"executor_overload_soak\",\n"
+                 "  \"schedule\": \"%s\",\n"
+                 "  \"jobs\": %u,\n"
+                 "  \"seed\": %" PRIu64 ",\n"
+                 "  \"workers\": %u,\n"
+                 "  \"points\": [\n",
+                 schedule_text.empty() ? "healthy" : schedule_text.c_str(),
+                 base.jobs, base.seed, base.num_workers);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      std::fprintf(
+          f,
+          "    {\"offered_x\": %.2f, \"offered_gbs\": %.4f, "
+          "\"capacity_gbs\": %.4f, \"goodput_gbs\": %.4f, "
+          "\"completed\": %" PRIu64 ", \"miss_rate\": %.6f, "
+          "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
+          "\"shed\": \"%s\", \"pass\": %s}%s\n",
+          row.ratio, row.res.offered_gbs, row.res.capacity_gbs,
+          row.res.goodput_gbs, row.res.stats.completed, row.res.miss_rate,
+          row.res.p50_ms, row.res.p95_ms, row.res.p99_ms,
+          shed_breakdown(row.res.stats).c_str(),
+          row.failures.empty() ? "true" : "false",
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+std::vector<double> parse_ratios(const std::string& text) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t next = text.find(',', pos);
+    if (next == std::string::npos) next = text.size();
+    out.push_back(std::stod(text.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  if (out.empty()) throw std::invalid_argument("overload_soak: empty --ratios");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(
+      "Overload soak: open-loop load vs the executor's bandwidth-priced "
+      "admission control, 0.5x-4x analytic capacity (replay with --seed)");
+  cli.option_str("ratios", "0.5,0.75,1.0,1.5,2.0,3.0,4.0",
+                 "comma-separated offered-load multiples of capacity")
+      .option_int("jobs", 240, "jobs per sweep point")
+      .option_int("seed", 1, "load-generator seed")
+      .option_int("workers", 4, "executor worker threads")
+      .option_double("slack", 12.0, "mean deadline slack (x own service)")
+      .option_double("pace", 0.0,
+                     "real ns per virtual cycle for open-loop submission "
+                     "(0 = default: 0.5, or 20.0 under TSan)")
+      .option_str("schedule", "",
+                  "ground-truth fault timeline (e.g. mc1:off@25%..75%); "
+                  "degraded mode: goodput floor and miss-rate gate waived")
+      .flag("lbm", "include LBM jobs in the mix (OpenMP body; not TSan-safe)")
+      .flag("no-kernels", "skip job bodies: pure admission/accounting sweep")
+      .flag("reference", "canonical sweep; write JSON and gate acceptance")
+      .option_str("csv", "", "mirror the table to this CSV path")
+      .option_str("json", "BENCH_overload.json", "reference-mode output path")
+      .option_str("fail-log", "", "append failing seeds + invariants here");
+  if (!cli.parse(argc, argv)) return 0;
+
+  mcopt::bench::OverloadParams base;
+  base.jobs = static_cast<unsigned>(cli.get_int("jobs"));
+  base.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  base.num_workers = static_cast<unsigned>(cli.get_int("workers"));
+  base.deadline_slack = cli.get_double("slack");
+  base.include_lbm = cli.get_flag("lbm");
+  base.run_kernels = !cli.get_flag("no-kernels");
+#ifdef MCOPT_TSAN
+  // libgomp is not TSan-instrumented; the LBM body would report races that
+  // are not the executor's. Zero suppressions means zero OpenMP bodies.
+  base.include_lbm = false;
+  // Instrumentation slows real execution 10-20x; the open-loop replay clock
+  // must slow with it or workers fall behind the arrival schedule and the
+  // sweep measures the sanitizer, not the scheduler.
+  base.pace_ns_per_cycle = 20.0;
+#endif
+  if (cli.get_double("pace") > 0.0)
+    base.pace_ns_per_cycle = cli.get_double("pace");
+
+  const auto ratios = parse_ratios(cli.get_str("ratios"));
+  return run_sweep(ratios, base, cli.get_str("schedule"), cli.get_str("csv"),
+                   cli.get_str("json"), cli.get_flag("reference"),
+                   cli.get_str("fail-log"));
+}

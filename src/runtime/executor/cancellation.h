@@ -1,0 +1,60 @@
+#pragma once
+// Cooperative cancellation for executor jobs.
+//
+// A CancellationSource owns the flag; CancellationTokens are cheap copies
+// that kernel bodies poll at segment-loop granularity (between rows of a
+// Jacobi sweep, between triad chunks, between LBM steps). Cancellation is
+// strictly cooperative: a body observes the token at a generation boundary
+// and returns with its state at the last *completed* generation intact —
+// this is what makes the "cancelled mid-sweep leaves the field bit-identical
+// to its last completed generation" invariant testable (the in-progress
+// destination grid is simply abandoned; the source grid was never written).
+//
+// The flag is a relaxed-read / release-write atomic: a poll is one load on
+// the kernel's hot path, and the thread that observes the flag then
+// synchronizes with the canceller through the executor's queues, not
+// through the flag itself.
+
+#include <atomic>
+#include <memory>
+
+namespace mcopt::runtime::exec {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// True once the source requested cancellation. Safe to poll from any
+  /// thread; a default-constructed token is never cancelled.
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> flag) noexcept
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation; idempotent, callable from any thread.
+  void cancel() noexcept { flag_->store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CancellationToken token() const noexcept {
+    return CancellationToken(flag_);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace mcopt::runtime::exec

@@ -1,0 +1,134 @@
+#pragma once
+// Job model of the concurrent kernel runtime.
+//
+// A job is one kernel solve — a Schönauer triad, a 2D Jacobi relaxation or a
+// D3Q19 LBM channel — with an iteration count, a priority lane and a
+// deadline. Deadlines and arrivals live on the executor's *virtual* cycle
+// timeline (see executor.h): the memory subsystem is the contended resource,
+// so virtual time advances with bandwidth-work served, which keeps every
+// admission/shed decision deterministic and replayable while real worker
+// threads race over the bookkeeping.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "arch/calibration.h"
+
+namespace mcopt::runtime::exec {
+
+enum class JobKind { kTriad, kJacobi, kLbm };
+
+/// Priority lanes, highest first. Lane order is also pop order: a queued
+/// high-priority job always dequeues before any normal one.
+enum class Priority : unsigned { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr unsigned kNumLanes = 3;
+
+[[nodiscard]] constexpr const char* to_string(JobKind k) noexcept {
+  switch (k) {
+    case JobKind::kTriad: return "triad";
+    case JobKind::kJacobi: return "jacobi";
+    case JobKind::kLbm: return "lbm";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(Priority p) noexcept {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "?";
+}
+
+/// No-deadline sentinel (a batch job: runs whenever capacity allows).
+inline constexpr arch::Cycles kNoDeadline = ~arch::Cycles{0};
+
+/// One job submission.
+struct JobSpec {
+  JobKind kind = JobKind::kTriad;
+  /// Problem size: triad vector elements, Jacobi grid edge, LBM box edge.
+  std::size_t n = 4096;
+  /// Kernel iterations (sweeps / steps).
+  unsigned iterations = 1;
+  Priority priority = Priority::kNormal;
+  /// Absolute virtual-cycle deadline (kNoDeadline = none). The admission
+  /// gate rejects jobs whose priced completion estimate already misses it.
+  arch::Cycles deadline = kNoDeadline;
+  /// Arrival stamp on the virtual timeline. The executor's clock advances
+  /// monotonically to the largest arrival seen (an open-loop generator
+  /// submits with increasing stamps); 0 = "now".
+  arch::Cycles arrival = 0;
+  /// Observability hook: called from the worker thread after every
+  /// completed generation with the number of iterations done so far. Used
+  /// by tests to cancel at an exact generation; keep it cheap.
+  std::function<void(unsigned)> on_generation;
+};
+
+/// Why a job did not complete. Every non-completed job carries exactly one
+/// of these — overload sheds work, it never loses it silently.
+enum class ShedReason : unsigned {
+  kNone = 0,             ///< completed
+  kQueueFull,            ///< backpressure: priority lane at capacity
+  kWouldMissDeadline,    ///< admission: priced completion past the deadline
+  kNoCapacity,           ///< admission: no surviving controller to price on
+  kDeadlineExpiredInQueue,  ///< shed at dequeue: expired before service
+  kCancelled,            ///< cooperative cancellation observed
+  kShutdown              ///< executor shut down without draining the queue
+};
+
+[[nodiscard]] constexpr const char* to_string(ShedReason r) noexcept {
+  switch (r) {
+    case ShedReason::kNone: return "none";
+    case ShedReason::kQueueFull: return "queue-full";
+    case ShedReason::kWouldMissDeadline: return "would-miss-deadline";
+    case ShedReason::kNoCapacity: return "no-capacity";
+    case ShedReason::kDeadlineExpiredInQueue: return "expired-in-queue";
+    case ShedReason::kCancelled: return "cancelled";
+    case ShedReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+/// The admission price of a job: its layout-planned analytic bandwidth and
+/// the virtual service cycles that bandwidth converts its traffic into.
+struct Quote {
+  /// Analytic bandwidth (bytes/s) of the job's planned layout under the
+  /// fault state it was priced against.
+  double bandwidth = 0.0;
+  /// Total memory traffic of the job (both directions, RFO included).
+  std::uint64_t bytes = 0;
+  /// bytes at `bandwidth`, in virtual cycles.
+  arch::Cycles service_cycles = 0;
+  /// Controllers the layout was planned over (the priced surviving set).
+  std::vector<unsigned> plan_set;
+};
+
+/// Final accounting for one submitted job (rejected, shed or completed).
+struct JobReport {
+  std::uint64_t id = 0;
+  JobKind kind = JobKind::kTriad;
+  Priority priority = Priority::kNormal;
+  bool completed = false;
+  ShedReason shed = ShedReason::kNone;
+  arch::Cycles arrival = 0;
+  arch::Cycles deadline = kNoDeadline;
+  /// Virtual service window [start, finish); 0/0 for jobs never served.
+  arch::Cycles start = 0;
+  arch::Cycles finish = 0;
+  Quote quote;
+  /// Iterations completed before finish/cancellation.
+  unsigned iterations_done = 0;
+  /// CRC32C of the job's field at its last completed generation (the
+  /// cancellation bit-identity witness); 0 for jobs never started.
+  std::uint32_t field_crc = 0;
+
+  /// Completed after its deadline passed (bounded by the shed-lag bound).
+  [[nodiscard]] bool missed_deadline() const noexcept {
+    return completed && deadline != kNoDeadline && finish > deadline;
+  }
+};
+
+}  // namespace mcopt::runtime::exec

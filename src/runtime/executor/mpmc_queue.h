@@ -1,0 +1,143 @@
+#pragma once
+// Bounded multi-producer / multi-consumer queue with priority lanes.
+//
+// The executor's admission gate pushes priced jobs into one of kNumLanes
+// lanes (high / normal / low); worker threads pop the front of the highest
+// non-empty lane. Each lane is individually bounded — a full lane is typed
+// backpressure (the caller sheds with ShedReason::kQueueFull), never a
+// blocking producer.
+//
+// Concurrency is deliberately boring: one mutex, one condition variable.
+// Pop passes a `reserve` hook that runs UNDER the queue lock after the item
+// is chosen but before it is released to the caller. The executor uses this
+// to stamp the job's virtual service window against the bandwidth-server
+// tail (executor.h): because reservation and removal are one critical
+// section, the virtual start order equals the dequeue order exactly, which
+// is what makes the shed-lag bound provable. Mutex + condvar also makes the
+// queue ThreadSanitizer-clean by construction — there is no lock-free
+// cleverness to annotate or suppress.
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "runtime/executor/job.h"
+
+namespace mcopt::runtime::exec {
+
+template <typename T>
+class LaneQueue {
+ public:
+  /// `capacity[lane]` bounds each lane; every lane must hold at least one
+  /// item or the queue could never accept work on that lane.
+  explicit LaneQueue(std::array<std::size_t, kNumLanes> capacity)
+      : capacity_(capacity) {
+    for (const std::size_t cap : capacity_)
+      if (cap == 0)
+        throw std::invalid_argument("LaneQueue: lane capacity must be >= 1");
+  }
+
+  LaneQueue(const LaneQueue&) = delete;
+  LaneQueue& operator=(const LaneQueue&) = delete;
+
+  /// Enqueues onto `lane`. Returns false (typed backpressure) when the lane
+  /// is at capacity or the queue is closed; the item is untouched then.
+  [[nodiscard]] bool try_push(Priority lane, T item) {
+    const auto l = static_cast<std::size_t>(lane);
+    {
+      const std::lock_guard<std::mutex> guard(mu_);
+      if (closed_ || lanes_[l].size() >= capacity_[l]) return false;
+      lanes_[l].push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  /// Pops the front of the highest-priority non-empty lane. `reserve` runs
+  /// under the queue lock with a mutable reference to the chosen item —
+  /// keep it short (it is the serialization point for virtual-time
+  /// reservations). Returns nullopt only when closed and empty.
+  template <typename Reserve>
+  [[nodiscard]] std::optional<T> pop(Reserve&& reserve) {
+    std::unique_lock<std::mutex> guard(mu_);
+    cv_.wait(guard, [this] { return closed_ || !empty_locked(); });
+    for (auto& lane : lanes_) {
+      if (lane.empty()) continue;
+      reserve(lane.front());
+      T item = std::move(lane.front());
+      lane.pop_front();
+      return item;
+    }
+    return std::nullopt;  // closed and drained
+  }
+
+  /// Visits every queued item (highest lane first, FIFO within a lane)
+  /// under the lock. The executor uses this to re-price queued jobs after
+  /// a fault diagnosis; `fn` must not call back into the queue.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    const std::lock_guard<std::mutex> guard(mu_);
+    for (auto& lane : lanes_)
+      for (T& item : lane) fn(item);
+  }
+
+  /// Removes and returns everything still queued (highest lane first).
+  /// Used by non-draining shutdown so every job is accounted for.
+  [[nodiscard]] std::vector<T> shed_all() {
+    std::vector<T> out;
+    const std::lock_guard<std::mutex> guard(mu_);
+    for (auto& lane : lanes_) {
+      for (T& item : lane) out.push_back(std::move(item));
+      lane.clear();
+    }
+    return out;
+  }
+
+  /// Closes the queue: pushes start failing, pops drain what remains and
+  /// then return nullopt. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> guard(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> guard(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> guard(mu_);
+    std::size_t n = 0;
+    for (const auto& lane : lanes_) n += lane.size();
+    return n;
+  }
+
+  [[nodiscard]] std::size_t lane_size(Priority lane) const {
+    const std::lock_guard<std::mutex> guard(mu_);
+    return lanes_[static_cast<std::size_t>(lane)].size();
+  }
+
+ private:
+  [[nodiscard]] bool empty_locked() const {
+    for (const auto& lane : lanes_)
+      if (!lane.empty()) return false;
+    return true;
+  }
+
+  const std::array<std::size_t, kNumLanes> capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::array<std::deque<T>, kNumLanes> lanes_;
+  bool closed_ = false;
+};
+
+}  // namespace mcopt::runtime::exec

@@ -24,6 +24,18 @@ std::string set_to_string(const std::vector<unsigned>& set) {
 
 }  // namespace
 
+Supervisor::ScopedEntry::ScopedEntry(std::atomic_flag& flag) : flag_(flag) {
+  if (flag_.test_and_set(std::memory_order_acquire))
+    throw std::logic_error(
+        "Supervisor: concurrent observe/commit/abort — the supervisor is "
+        "single-consumer; feed samples through the executor's ingestion "
+        "queue");
+}
+
+Supervisor::ScopedEntry::~ScopedEntry() {
+  flag_.clear(std::memory_order_release);
+}
+
 util::Status DetectorConfig::check() const {
   util::Status status;
   if (stable_window == 0)
@@ -107,6 +119,7 @@ std::vector<unsigned> Supervisor::non_dead(const sim::FaultSpec& d) const {
 }
 
 Decision Supervisor::observe(const Sample& sample, double layout_gain) {
+  const ScopedEntry entry(entered_);
   if (!(layout_gain > 0.0) || !std::isfinite(layout_gain))
     throw std::invalid_argument("Supervisor::observe: bad layout_gain");
 
@@ -174,11 +187,11 @@ Decision Supervisor::observe(const Sample& sample, double layout_gain) {
                               ? "fault state " + planned_against_.describe() +
                                     " -> " + descr
                               : "layout gain " + std::to_string(layout_gain);
-  if (sample.end < next_allowed_) {
+  if (backoff_.ready_in(sample.end) > 0) {
     ++suppressed_;
     dec.action = Action::kSuppressed;
     dec.reason = why + "; suppressed by backoff until " +
-                 std::to_string(next_allowed_);
+                 std::to_string(backoff_.ready_at());
     util::log_info("supervisor: action=suppressed at=" +
                    std::to_string(sample.end) + " set=" +
                    set_to_string(dec.plan_set) + " reason=" + dec.reason);
@@ -193,18 +206,20 @@ Decision Supervisor::observe(const Sample& sample, double layout_gain) {
 }
 
 void Supervisor::commit(arch::Cycles now) {
+  const ScopedEntry entry(entered_);
   planned_against_ = pending_diag_;
-  next_allowed_ = now + backoff_.next();
+  backoff_.arm(now);
   ++replans_;
   util::log_info("supervisor: replan committed at=" + std::to_string(now) +
                  " planned_against=" + planned_against_.describe() +
-                 " next_allowed=" + std::to_string(next_allowed_));
+                 " next_allowed=" + std::to_string(backoff_.ready_at()));
 }
 
 void Supervisor::abort(arch::Cycles now) {
-  next_allowed_ = now + backoff_.next();
+  const ScopedEntry entry(entered_);
+  backoff_.arm(now);
   util::log_info("supervisor: replan declined at=" + std::to_string(now) +
-                 " next_allowed=" + std::to_string(next_allowed_));
+                 " next_allowed=" + std::to_string(backoff_.ready_at()));
 }
 
 }  // namespace mcopt::runtime

@@ -27,7 +27,20 @@
 // break-even estimate from the analytic model, then either commit()s the
 // replan (migration performed, backoff armed) or abort()s it (not worth the
 // copy; backoff armed so the proposal is not re-made every slice).
+//
+// THREADING CONTRACT — single consumer. The supervisor is deliberately not
+// internally synchronized: observe()/commit()/abort() mutate the debounce
+// and backoff state and must be called from exactly one logical consumer at
+// a time. Since the executor (runtime/executor/) introduced worker threads,
+// samples produced on workers are NOT allowed to call observe() directly —
+// they go through the executor's ingestion queue and are drained by its
+// control step, which serializes the calls. The contract is enforced, not
+// just documented: concurrent or re-entrant entry throws std::logic_error
+// ("feed samples through the executor's ingestion queue") before any state
+// is touched, and tests/runtime/test_executor.cpp exercises the path under
+// ThreadSanitizer.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -110,6 +123,11 @@ class Supervisor {
   /// fault state (1.0 = current layout already optimal); it lets the
   /// supervisor propose replans for layout deficits (e.g. an aliased
   /// starting layout) even when the fault diagnosis is unchanged.
+  ///
+  /// Single consumer only (see the threading contract above): concurrent or
+  /// re-entrant calls throw std::logic_error without touching any state.
+  /// Worker threads must enqueue samples on the executor's ingestion queue
+  /// instead of calling this directly.
   [[nodiscard]] Decision observe(const Sample& sample,
                                  double layout_gain = 1.0);
 
@@ -140,6 +158,21 @@ class Supervisor {
  private:
   [[nodiscard]] std::vector<unsigned> non_dead(const sim::FaultSpec& d) const;
 
+  /// RAII guard enforcing the single-consumer contract: throws
+  /// std::logic_error when a second thread (or a re-entrant call) enters a
+  /// mutating member while one is in flight. The acquire/release flag also
+  /// publishes the state between properly serialized alternating callers.
+  class ScopedEntry {
+   public:
+    explicit ScopedEntry(std::atomic_flag& flag);
+    ~ScopedEntry();
+    ScopedEntry(const ScopedEntry&) = delete;
+    ScopedEntry& operator=(const ScopedEntry&) = delete;
+
+   private:
+    std::atomic_flag& flag_;
+  };
+
   DetectorConfig cfg_;
   unsigned num_controllers_;
   util::Backoff backoff_;
@@ -149,7 +182,7 @@ class Supervisor {
   std::string pending_descr_;
   unsigned pending_count_ = 0;
   unsigned quiet_count_ = 0;
-  arch::Cycles next_allowed_ = 0;
+  std::atomic_flag entered_ = ATOMIC_FLAG_INIT;
   unsigned replans_ = 0;
   unsigned suppressed_ = 0;
   unsigned scrubs_ = 0;

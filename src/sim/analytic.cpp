@@ -45,6 +45,7 @@ AnalyticEstimate estimate_bandwidth(std::span<const AnalyticStream> streams,
 
   std::vector<std::uint64_t> reads(spec.num_controllers());
   std::vector<std::uint64_t> writes(spec.num_controllers());
+  std::vector<double> mc_cycles(spec.num_controllers(), 0.0);
   double total_step_cycles = 0.0;
   std::uint64_t total_reads = 0;
   std::uint64_t total_writes = 0;
@@ -70,6 +71,7 @@ AnalyticEstimate estimate_bandwidth(std::span<const AnalyticStream> streams,
       if (reads[c] != 0 && writes[c] != 0)
         cost += static_cast<double>(cal.mc_turnaround);
       cost *= cost_scale[c];
+      mc_cycles[c] += cost;
       step_cost = std::max(step_cost, cost);
       step_work += cost;
       total_reads += reads[c];
@@ -89,6 +91,12 @@ AnalyticEstimate estimate_bandwidth(std::span<const AnalyticStream> streams,
   AnalyticEstimate est;
   est.service_bandwidth = bytes_per_period / total_step_cycles * hz;
   est.balance = ideal_step_cycles / total_step_cycles;
+  // Busy fraction over the service critical path: the makespan of one
+  // period is total_step_cycles, of which controller c was busy mc_cycles[c]
+  // (offline controllers received no remapped lines, so they read 0).
+  est.mc_utilization.resize(spec.num_controllers());
+  for (unsigned c = 0; c < spec.num_controllers(); ++c)
+    est.mc_utilization[c] = mc_cycles[c] / total_step_cycles;
 
   // Latency/concurrency bound: each strand sustains one outstanding read
   // miss; writes drain through store buffers without blocking, so total
@@ -121,6 +129,7 @@ ScheduledEstimate estimate_bandwidth_scheduled(
   double weighted_service = 0.0;
   double weighted_latency = 0.0;
   double weighted_balance = 0.0;
+  std::vector<double> weighted_util(map.spec().num_controllers(), 0.0);
   for (const FaultSchedule::Epoch& e : schedule.epochs(horizon, baseline)) {
     ScheduledEstimate::EpochEstimate epoch;
     epoch.begin = e.begin;
@@ -134,12 +143,15 @@ ScheduledEstimate estimate_bandwidth_scheduled(
     weighted_service += epoch.estimate.service_bandwidth * weight;
     weighted_latency += epoch.estimate.latency_bandwidth * weight;
     weighted_balance += epoch.estimate.balance * weight;
+    for (std::size_t c = 0; c < weighted_util.size(); ++c)
+      weighted_util[c] += epoch.estimate.mc_utilization[c] * weight;
     out.epochs.push_back(std::move(epoch));
   }
   out.whole.bandwidth = weighted_bw;
   out.whole.service_bandwidth = weighted_service;
   out.whole.latency_bandwidth = weighted_latency;
   out.whole.balance = weighted_balance;
+  out.whole.mc_utilization = std::move(weighted_util);
   return out;
 }
 

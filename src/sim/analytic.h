@@ -44,6 +44,12 @@ struct AnalyticEstimate {
   double bandwidth = 0.0;
   /// Controller balance in (0,1]; 1/num_controllers is full aliasing.
   double balance = 0.0;
+  /// Predicted busy fraction of each controller relative to the service
+  /// critical path (the same convention as SimResult::mc_utilization): an
+  /// offline controller reads 0, the bottleneck controller reads ~1, and a
+  /// derated controller saturates above its healthy peers. This is what the
+  /// executor's workers feed the supervisor as measurement stand-ins.
+  std::vector<double> mc_utilization;
 };
 
 /// Estimates sustainable memory traffic for `streams` advancing in

@@ -54,7 +54,30 @@ class Backoff {
     return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(capped * scale));
   }
 
+  /// Arms the backoff at `now` (caller units): draws the next delay and
+  /// records `now + delay` as the next allowed attempt, queryable through
+  /// ready_at()/ready_in(). Returns the delay. This is next() plus the
+  /// bookkeeping every caller used to duplicate by hand.
+  std::uint64_t arm(std::uint64_t now) {
+    const std::uint64_t delay = next();
+    ready_at_ = now + delay;
+    return delay;
+  }
+
+  /// Time of the next allowed attempt (0 before the first arm()).
+  [[nodiscard]] std::uint64_t ready_at() const noexcept { return ready_at_; }
+
+  /// Caller units until the next allowed attempt: 0 when the attempt is
+  /// allowed now (or the backoff was never armed). Lets callers sort or
+  /// schedule circuit-broken resources without busy-polling next().
+  [[nodiscard]] std::uint64_t ready_in(std::uint64_t now) const noexcept {
+    return now >= ready_at_ ? 0 : ready_at_ - now;
+  }
+
   /// Back to the initial delay (call after a sustained healthy stretch).
+  /// Resets the escalation only — a deadline already armed via arm() stays
+  /// in force until it passes (a quiet stretch forgives the growth rate, not
+  /// the hold currently being served).
   void reset() noexcept {
     current_ = static_cast<double>(cfg_.initial);
     retries_ = 0;
@@ -69,6 +92,7 @@ class Backoff {
   BackoffConfig cfg_;
   double current_ = 1.0;
   unsigned retries_ = 0;
+  std::uint64_t ready_at_ = 0;
   Xoshiro256 rng_;
 };
 

@@ -1,0 +1,150 @@
+#include "runtime/executor/pricing.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernels/triad.h"
+
+namespace mcopt::runtime::exec {
+namespace {
+
+JobSpec triad_job(std::size_t n = 4096, unsigned iterations = 1) {
+  JobSpec j;
+  j.kind = JobKind::kTriad;
+  j.n = n;
+  j.iterations = iterations;
+  return j;
+}
+
+TEST(Pricing, TrafficBytesFollowTheDocumentedConventions) {
+  EXPECT_EQ(PricingModel::traffic_bytes(triad_job(1000, 1)),
+            kernels::triad_actual_bytes(1000));
+  EXPECT_EQ(PricingModel::traffic_bytes(triad_job(1000, 5)),
+            5 * kernels::triad_actual_bytes(1000));
+
+  JobSpec jacobi;
+  jacobi.kind = JobKind::kJacobi;
+  jacobi.n = 64;
+  jacobi.iterations = 3;
+  EXPECT_EQ(PricingModel::traffic_bytes(jacobi), 24u * 64 * 64 * 3);
+
+  JobSpec lbm;
+  lbm.kind = JobKind::kLbm;
+  lbm.n = 16;
+  lbm.iterations = 2;
+  EXPECT_EQ(PricingModel::traffic_bytes(lbm), 456u * 16 * 16 * 16 * 2);
+}
+
+TEST(Pricing, HealthyQuoteConvertsTrafficAtTheAnalyticBandwidth) {
+  const PricingModel model;
+  const JobSpec job = triad_job();
+  const auto quote = model.price(job, {});
+  ASSERT_TRUE(quote);
+  EXPECT_GT(quote.value().bandwidth, 0.0);
+  EXPECT_EQ(quote.value().bytes, PricingModel::traffic_bytes(job));
+  const auto expected = static_cast<arch::Cycles>(
+      std::ceil(static_cast<double>(quote.value().bytes) /
+                quote.value().bandwidth * model.clock_hz()));
+  EXPECT_EQ(quote.value().service_cycles, expected);
+  EXPECT_EQ(quote.value().plan_set, (std::vector<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(Pricing, ServiceCyclesScaleLinearlyWithIterations) {
+  const PricingModel model;
+  const auto one = model.price(triad_job(4096, 1), {});
+  const auto ten = model.price(triad_job(4096, 10), {});
+  ASSERT_TRUE(one);
+  ASSERT_TRUE(ten);
+  // Same layout, same bandwidth, 10x the traffic (ceil rounds by <1 cycle).
+  EXPECT_DOUBLE_EQ(ten.value().bandwidth, one.value().bandwidth);
+  EXPECT_NEAR(static_cast<double>(ten.value().service_cycles),
+              10.0 * static_cast<double>(one.value().service_cycles),
+              10.0);
+}
+
+TEST(Pricing, OfflineControllerRaisesTheQuote) {
+  const PricingModel model;
+  sim::FaultSpec faults;
+  faults.offline_controllers = {0};
+  const auto healthy = model.price(triad_job(), {});
+  const auto degraded = model.price(triad_job(), faults);
+  ASSERT_TRUE(healthy);
+  ASSERT_TRUE(degraded);
+  EXPECT_LT(degraded.value().bandwidth, healthy.value().bandwidth);
+  EXPECT_GT(degraded.value().service_cycles, healthy.value().service_cycles);
+  EXPECT_EQ(degraded.value().plan_set, (std::vector<unsigned>{1, 2, 3}));
+}
+
+TEST(Pricing, DeratedControllerRaisesTheQuote) {
+  const PricingModel model;
+  sim::FaultSpec faults;
+  faults.derates.push_back({2, 0.5});
+  const auto healthy = model.price(triad_job(), {});
+  const auto degraded = model.price(triad_job(), faults);
+  ASSERT_TRUE(healthy);
+  ASSERT_TRUE(degraded);
+  EXPECT_GT(degraded.value().service_cycles, healthy.value().service_cycles);
+  // Derated controllers still serve traffic, so they stay in the plan set.
+  EXPECT_EQ(degraded.value().plan_set, (std::vector<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(Pricing, NoSurvivingControllerFailsRecoverably) {
+  const PricingModel model;
+  sim::FaultSpec faults;
+  faults.offline_controllers = {0, 1, 2, 3};
+  const auto quote = model.price(triad_job(), faults);
+  ASSERT_FALSE(quote);  // Expected failure, not a throw: executor sheds typed
+  EXPECT_NE(quote.error().message.find("no surviving"), std::string::npos);
+  const auto est = model.estimate(JobKind::kTriad, faults);
+  EXPECT_FALSE(est);
+}
+
+TEST(Pricing, RooflineIsTheHealthyPlannedBandwidth) {
+  const PricingModel model;
+  for (const JobKind kind :
+       {JobKind::kTriad, JobKind::kJacobi, JobKind::kLbm}) {
+    const double roof = model.roofline_bandwidth(kind);
+    EXPECT_GT(roof, 1e9) << to_string(kind);  // >1 GB/s: sane magnitude
+    JobSpec probe;
+    probe.kind = kind;
+    probe.n = 4096;
+    const auto healthy = model.price(probe, {});
+    ASSERT_TRUE(healthy);
+    EXPECT_DOUBLE_EQ(roof, healthy.value().bandwidth) << to_string(kind);
+    sim::FaultSpec faults;
+    faults.offline_controllers = {1};
+    const auto degraded = model.price(probe, faults);
+    ASSERT_TRUE(degraded);
+    // Never above the roofline; 2-stream kernels (jacobi/lbm) can replan
+    // around a single dead controller without losing planned bandwidth
+    // (streams <= survivors), so equality is allowed there.
+    EXPECT_LE(degraded.value().bandwidth, roof) << to_string(kind);
+    if (kind == JobKind::kTriad)
+      EXPECT_LT(degraded.value().bandwidth, roof);
+  }
+}
+
+TEST(Pricing, EstimateExposesTheUtilizationStandIn) {
+  // The executor's workers feed the supervisor utilization vectors computed
+  // under the ground-truth fault state; an offline controller must read 0.
+  const PricingModel model;
+  sim::FaultSpec faults;
+  faults.offline_controllers = {3};
+  const auto est = model.estimate(JobKind::kJacobi, faults);
+  ASSERT_TRUE(est);
+  ASSERT_EQ(est.value().mc_utilization.size(), 4u);
+  EXPECT_EQ(est.value().mc_utilization[3], 0.0);
+  const auto healthy = model.estimate(JobKind::kJacobi, {});
+  ASSERT_TRUE(healthy);
+  for (const double u : healthy.value().mc_utilization) EXPECT_GT(u, 0.1);
+}
+
+TEST(Pricing, RejectsDegenerateConfigs) {
+  EXPECT_THROW(PricingModel({.clock_ghz = 0.0}), std::invalid_argument);
+  EXPECT_THROW(PricingModel({.clock_ghz = 1.2, .pricing_threads = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcopt::runtime::exec

@@ -1,5 +1,7 @@
 #include "sim/analytic.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace mcopt::sim {
@@ -105,6 +107,73 @@ TEST(Analytic, AllControllersOfflineRejected) {
   faults.offline_controllers = {0, 1, 2, 3};
   EXPECT_THROW((void)estimate_bandwidth(streams, 4, kCal, kMap, 1.2, faults),
                std::invalid_argument);
+}
+
+TEST(Analytic, UtilizationBalancedPutsEveryControllerOnTheCriticalPath) {
+  // One read per controller per step: every controller IS the critical path,
+  // so all four busy fractions read 1.
+  const std::vector<AnalyticStream> spread = {
+      {0, false}, {128, false}, {256, false}, {384, false}};
+  const auto est = estimate_bandwidth(spread, 64, kCal, kMap, 1.2);
+  ASSERT_EQ(est.mc_utilization.size(), 4u);
+  for (const double u : est.mc_utilization) EXPECT_NEAR(u, 1.0, 1e-9);
+}
+
+TEST(Analytic, UtilizationCannotSeeAliasing) {
+  // All four bases congruent mod the period: the streams hit exactly one
+  // controller per step, but WHICH controller rotates with the step index,
+  // so over a period each one is busy for 1/4 of the (4x-stretched)
+  // makespan. The utilization vector is flat — aliasing is invisible to it.
+  // This is the supervisor's documented "aliasing blind spot", the reason
+  // its layout_gain channel exists; the blind spot is asserted here so a
+  // future change to the utilization convention re-opens the discussion.
+  const std::vector<AnalyticStream> aliased = {
+      {0, false}, {512, false}, {1024, false}, {1536, false}};
+  const auto est = estimate_bandwidth(aliased, 64, kCal, kMap, 1.2);
+  ASSERT_EQ(est.mc_utilization.size(), 4u);
+  for (const double u : est.mc_utilization) EXPECT_NEAR(u, 0.25, 1e-9);
+}
+
+TEST(Analytic, UtilizationOfflineControllerReadsZero) {
+  const std::vector<AnalyticStream> spread = {
+      {0, false}, {128, false}, {256, false}, {384, false}};
+  FaultSpec faults;
+  faults.offline_controllers = {2};
+  const auto est = estimate_bandwidth(spread, 64, kCal, kMap, 1.2, faults);
+  ASSERT_EQ(est.mc_utilization.size(), 4u);
+  EXPECT_EQ(est.mc_utilization[2], 0.0);
+  // Its remap survivor serves double traffic, so it defines the makespan.
+  EXPECT_NEAR(*std::max_element(est.mc_utilization.begin(),
+                                est.mc_utilization.end()),
+              1.0, 1e-9);
+}
+
+TEST(Analytic, UtilizationDeratedControllerSaturatesAboveItsPeers) {
+  const std::vector<AnalyticStream> spread = {
+      {0, false}, {128, false}, {256, false}, {384, false}};
+  FaultSpec faults;
+  faults.derates.push_back({1, 0.5});
+  const auto est = estimate_bandwidth(spread, 64, kCal, kMap, 1.2, faults);
+  ASSERT_EQ(est.mc_utilization.size(), 4u);
+  EXPECT_NEAR(est.mc_utilization[1], 1.0, 1e-9);  // the doubled-cost bottleneck
+  for (const unsigned c : {0u, 2u, 3u})
+    EXPECT_NEAR(est.mc_utilization[c], 0.5, 1e-9);
+}
+
+TEST(Analytic, ScheduledWholeUtilizationIsEpochWeighted) {
+  const std::vector<AnalyticStream> spread = {
+      {0, false}, {128, false}, {256, false}, {384, false}};
+  FaultSchedule sched;
+  FaultSchedule::Interval iv;
+  iv.fault.offline_controllers = {1};
+  iv.begin = 0;
+  iv.end = 500000;
+  sched.intervals.push_back(iv);
+  const auto est = estimate_bandwidth_scheduled(spread, 64, kCal, kMap, 1.2,
+                                                {}, sched, 1000000);
+  ASSERT_EQ(est.whole.mc_utilization.size(), 4u);
+  // mc1: dead (0) for half the run, fully busy (1) for the other half.
+  EXPECT_NEAR(est.whole.mc_utilization[1], 0.5, 1e-9);
 }
 
 TEST(Analytic, ServiceBandwidthSaneMagnitude) {

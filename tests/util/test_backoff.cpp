@@ -102,6 +102,80 @@ TEST(Backoff, ResetRestartsEscalationInsideTheInitialEnvelope) {
   }
 }
 
+TEST(Backoff, ReadyInBeforeFirstArmIsAlwaysZero) {
+  const Backoff b({.initial = 100, .multiplier = 2.0, .cap = 800});
+  EXPECT_EQ(b.ready_at(), 0u);
+  EXPECT_EQ(b.ready_in(0), 0u);
+  EXPECT_EQ(b.ready_in(123456), 0u);
+}
+
+TEST(Backoff, ArmRecordsDeadlineAndReadyInCountsDown) {
+  Backoff b({.initial = 1000, .multiplier = 2.0, .cap = 64000, .jitter = 0.0},
+            7);
+  const std::uint64_t delay = b.arm(5000);
+  EXPECT_EQ(delay, 1000u);  // jitter 0: the exact initial delay
+  EXPECT_EQ(b.ready_at(), 6000u);
+  EXPECT_EQ(b.ready_in(5000), 1000u);
+  EXPECT_EQ(b.ready_in(5999), 1u);
+  EXPECT_EQ(b.ready_in(6000), 0u);   // exactly at the deadline: allowed
+  EXPECT_EQ(b.ready_in(90000), 0u);  // long past it
+}
+
+TEST(Backoff, ArmEscalatesLikeNext) {
+  // arm() must consume the same delay sequence as next(): two equally
+  // seeded instances, one driven by next() and one by arm(), stay in
+  // lock-step. This is what keeps the supervisor's replay determinism
+  // intact after its migration from hand-rolled deadline tracking.
+  const BackoffConfig cfg{.initial = 500, .multiplier = 3.0, .cap = 40000,
+                          .jitter = 0.2};
+  Backoff by_next(cfg, 11);
+  Backoff by_arm(cfg, 11);
+  std::uint64_t now = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t expect = by_next.next();
+    const std::uint64_t got = by_arm.arm(now);
+    EXPECT_EQ(got, expect);
+    EXPECT_EQ(by_arm.ready_at(), now + expect);
+    now += expect + 17;
+  }
+  EXPECT_EQ(by_arm.retries(), by_next.retries());
+}
+
+TEST(Backoff, ResetKeepsTheArmedDeadlineInForce) {
+  // A quiet-stretch reset forgives the escalation, not the hold currently
+  // being served: ready_at()/ready_in() still report the armed deadline.
+  Backoff b({.initial = 1000, .multiplier = 2.0, .cap = 64000, .jitter = 0.0});
+  b.arm(0);
+  b.arm(0);  // escalated: deadline at 2000
+  EXPECT_EQ(b.ready_at(), 2000u);
+  b.reset();
+  EXPECT_EQ(b.retries(), 0u);
+  EXPECT_EQ(b.ready_at(), 2000u);
+  EXPECT_EQ(b.ready_in(500), 1500u);
+  // ...but the next arm() starts from the initial delay again.
+  EXPECT_EQ(b.arm(2000), 1000u);
+}
+
+TEST(Backoff, ReadyInSortsBrokenResourcesWithoutPolling) {
+  // The executor's use case: several circuit-broken controllers, pick the
+  // one that re-opens first without calling next() (which would escalate).
+  const BackoffConfig cfg{.initial = 100, .multiplier = 2.0, .cap = 6400,
+                          .jitter = 0.0};
+  Backoff b0(cfg), b1(cfg), b2(cfg);
+  b0.arm(0);          // ready at 100
+  b1.arm(0);
+  b1.arm(100);        // escalated: ready at 300
+  b2.arm(0);
+  b2.arm(100);
+  b2.arm(300);        // ready at 700
+  const std::uint64_t now = 50;
+  EXPECT_LT(b0.ready_in(now), b1.ready_in(now));
+  EXPECT_LT(b1.ready_in(now), b2.ready_in(now));
+  // Querying ready_in never escalates the delay.
+  EXPECT_EQ(b0.retries(), 1u);
+  EXPECT_EQ(b2.retries(), 3u);
+}
+
 TEST(Backoff, RejectsDegenerateConfigs) {
   EXPECT_THROW(Backoff({.initial = 0}), std::invalid_argument);
   EXPECT_THROW(Backoff({.initial = 1, .multiplier = 0.5}),
