@@ -182,13 +182,15 @@ void check_epoch_model(const SoakParams& params,
   }
 }
 
-SeedOutcome run_seed(std::uint64_t seed, const SoakParams& params) {
+SeedOutcome run_seed(std::uint64_t seed, const SoakParams& params,
+                     bench::ObsGuard& obs) {
   SeedOutcome out;
   util::Xoshiro256 rng(seed);
   runtime::LoopConfig base;
   base.threads = params.threads;
   base.slices = params.slices;
   base.seed = seed;
+  obs.apply(base.sim);
 
   const sim::FaultSchedule raw =
       random_schedule(rng, params, base.sim.interleave);
@@ -216,6 +218,7 @@ SeedOutcome run_seed(std::uint64_t seed, const SoakParams& params) {
   sup_cfg.supervise = true;
   const auto sup =
       runtime::run_supervised_triad(sup_arena, sup_bases, params.n, sup_cfg);
+  obs.add_timeline("seed=" + std::to_string(seed), sup.mc_timeline);
 
   trace::VirtualArena unsup_arena;
   const auto unsup_bases = kernels::triad_layout_bases(
@@ -253,10 +256,12 @@ SeedOutcome run_seed(std::uint64_t seed, const SoakParams& params) {
   return out;
 }
 
-int run_reference(const SoakParams& params, const std::string& json_path) {
+int run_reference(const SoakParams& params, const std::string& json_path,
+                  bench::ObsGuard& obs) {
   runtime::LoopConfig base;
   base.threads = params.threads;
   base.slices = params.slices;
+  obs.apply(base.sim);
 
   const arch::Cycles horizon = estimate_horizon(params, base);
   base.sim.fault_schedule = bench::parse_schedule_knob(
@@ -270,6 +275,7 @@ int run_reference(const SoakParams& params, const std::string& json_path) {
   sup_cfg.supervise = true;
   const auto sup =
       runtime::run_supervised_triad(sup_arena, sup_bases, params.n, sup_cfg);
+  obs.add_timeline("reference", sup.mc_timeline);
 
   trace::VirtualArena aliased_arena;
   const auto aliased_bases = kernels::triad_layout_bases(
@@ -318,13 +324,15 @@ int run_reference(const SoakParams& params, const std::string& json_path) {
         "  \"replans\": %u,\n"
         "  \"suppressed\": %u,\n"
         "  \"declined\": %u,\n"
-        "  \"migration_cycle_share\": %.6f\n"
+        "  \"migration_cycle_share\": %.6f,\n"
+        "  \"metrics\": %s\n"
         "}\n",
         params.n, params.threads, params.slices, sup.bandwidth / 1e9,
         aliased.bandwidth / 1e9, planned.bandwidth / 1e9, recovery,
         sup.replans, sup.suppressed, sup.declined,
         static_cast<double>(sup.migration_cycles) /
-            static_cast<double>(sup.total_cycles));
+            static_cast<double>(sup.total_cycles),
+        obs::MetricsRegistry::instance().json().c_str());
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }
@@ -616,8 +624,10 @@ int run_overload_chaos(const std::vector<std::uint64_t>& seeds, unsigned jobs,
   if (fail_log != nullptr) std::fclose(fail_log);
   std::printf("\noverload chaos: %zu seeds, %u failing\n", seeds.size(),
               failures);
-  if (failures != 0)
+  if (failures != 0) {
+    bench::attach_failure_artifacts(fail_path);
     std::printf("replay any failure with: chaos_soak --overload --seed <N>\n");
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -651,7 +661,9 @@ int main(int argc, char** argv) {
       .option_int("every", 4, "checkpoint interval for --kill-resume")
       .option_str("json", "BENCH_supervisor.json",
                   "reference-mode output path");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsGuard obs(cli);
 
   SoakParams params;
   params.n = static_cast<std::size_t>(cli.get_int("n"));
@@ -660,7 +672,7 @@ int main(int argc, char** argv) {
 
   if (cli.get_flag("reference")) {
     params.threads = 64;
-    return run_reference(params, cli.get_str("json"));
+    return run_reference(params, cli.get_str("json"), obs);
   }
 
   const auto single = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -696,7 +708,7 @@ int main(int argc, char** argv) {
   std::FILE* fail_log = nullptr;
   const std::string fail_path = cli.get_str("fail-log");
   for (const std::uint64_t seed : seeds) {
-    const SeedOutcome outcome = run_seed(seed, params);
+    const SeedOutcome outcome = run_seed(seed, params, obs);
     if (!outcome.pass) {
       ++failures;
       if (fail_log == nullptr && !fail_path.empty())
@@ -711,7 +723,9 @@ int main(int argc, char** argv) {
   if (fail_log != nullptr) std::fclose(fail_log);
 
   std::printf("\nchaos soak: %zu seeds, %u failing\n", seeds.size(), failures);
-  if (failures != 0)
+  if (failures != 0) {
+    bench::attach_failure_artifacts(fail_path);
     std::printf("replay any failure with: chaos_soak --seed <N>\n");
+  }
   return failures == 0 ? 0 : 1;
 }

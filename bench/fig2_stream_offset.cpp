@@ -7,8 +7,57 @@
 // of 32 (array B lands on a different controller via bit 8), and a high
 // plateau at "skewed" offsets. 8 threads are latency-bound and barely
 // offset-sensitive.
+//
+// Doubles as the tracer's overhead yardstick: --trace-overhead N runs a
+// fixed 64-thread triad point N times with the recorder alternately off and
+// on, prints the median slowdown as TRACE_OVERHEAD_PCT=<x>, and exits
+// nonzero when it exceeds --overhead-budget (CI keys off both).
+
+#include <algorithm>
 
 #include "common.h"
+
+namespace {
+
+/// One interleaved off/on overhead measurement pass. Alternation (rather
+/// than all-off-then-all-on) cancels frequency/cache drift; the median of
+/// per-pair slowdowns shrugs off a single noisy rep.
+int run_overhead_mode(std::size_t n, const mcopt::sim::SimConfig& cfg,
+                      std::int64_t reps, double budget_pct,
+                      std::size_t ring_capacity) {
+  using namespace mcopt;
+  auto timed_run = [&]() {
+    const std::uint64_t t0 = util::monotonic_ns();
+    (void)bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, 32, 64, cfg);
+    return static_cast<double>(util::monotonic_ns() - t0);
+  };
+  // Warm both paths (allocator, code, and the recorder's thread buffers).
+  (void)timed_run();
+  obs::TraceRecorder::instance().enable(ring_capacity);
+  (void)timed_run();
+  obs::TraceRecorder::instance().disable();
+
+  std::vector<double> pcts;
+  for (std::int64_t rep = 0; rep < reps; ++rep) {
+    const double off_ns = timed_run();
+    obs::TraceRecorder::instance().enable(ring_capacity);
+    const double on_ns = timed_run();
+    obs::TraceRecorder::instance().disable();
+    pcts.push_back((on_ns - off_ns) / off_ns * 100.0);
+  }
+  std::sort(pcts.begin(), pcts.end());
+  const double median = pcts[pcts.size() / 2];
+  std::printf("TRACE_OVERHEAD_PCT=%.3f\n", median);
+  if (median > budget_pct) {
+    std::fprintf(stderr,
+                 "FAIL: tracer overhead %.3f%% exceeds budget %.3f%%\n",
+                 median, budget_pct);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mcopt;
@@ -22,7 +71,13 @@ int main(int argc, char** argv) {
       .option_str("fault", "",
                   "inject hardware faults, e.g. mc0:off,mc1:derate=0.5 "
                   "(see sim::FaultSpec::parse)")
-      .option_str("csv", "", "mirror results to this CSV file");
+      .option_str("csv", "", "mirror results to this CSV file")
+      .option_int("trace-overhead", 0,
+                  "measure tracer overhead with N interleaved off/on reps, "
+                  "print TRACE_OVERHEAD_PCT, exit")
+      .option_double("overhead-budget", 2.0,
+                     "overhead mode fails when the median pct exceeds this");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   const bool full = cli.get_flag("full");
@@ -36,6 +91,18 @@ int main(int argc, char** argv) {
   if (cfg.faults.any())
     std::printf("# DEGRADED chip: %s\n", cfg.faults.describe().c_str());
 
+  if (const std::int64_t reps = cli.get_int("trace-overhead"); reps > 0)
+    return run_overhead_mode(
+        n, cfg, reps, cli.get_double("overhead-budget"),
+        static_cast<std::size_t>(
+            std::max<std::int64_t>(8, cli.get_int("trace-capacity"))));
+
+  bench::ObsGuard obs(cli);
+  // Timeline sampling only on the 64-thread triad runs: that is the series
+  // fig. 2 is about, and sampling every cell would 6x the CSV for no story.
+  sim::SimConfig sampled = cfg;
+  obs.apply(sampled);
+
   std::printf(
       "# STREAM triad A=B+s*C (reported GB/s, RFO not counted), N=%zu DP "
       "words\n# copy64 = STREAM copy at 64 threads; analytic = closed-form "
@@ -47,12 +114,26 @@ int main(int argc, char** argv) {
                                            "analytic64"};
   std::vector<std::vector<std::string>> rows;
   for (std::size_t offset = 0; offset <= max_offset; offset += step) {
+    const obs::TraceSpan offset_span("fig2.offset", "bench", offset, n);
     std::vector<std::string> row{std::to_string(offset)};
-    for (unsigned threads : thread_counts)
-      row.push_back(util::fmt_fixed(
-          bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, offset,
-                                     threads, cfg),
-          2));
+    for (unsigned threads : thread_counts) {
+      double gbs;
+      if (threads == 64 && obs.timeline_requested()) {
+        sim::SimResult res = bench::stream_sim_result(
+            kernels::StreamOp::kTriad, n, offset, threads, sampled);
+        gbs = bench::checked_rate(
+            static_cast<double>(
+                kernels::stream_reported_bytes(kernels::StreamOp::kTriad, n)) /
+                res.seconds() / 1e9,
+            "STREAM GB/s");
+        obs.add_timeline("offset=" + std::to_string(offset),
+                         std::move(res.mc_timeline));
+      } else {
+        gbs = bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, offset,
+                                         threads, cfg);
+      }
+      row.push_back(util::fmt_fixed(gbs, 2));
+    }
     row.push_back(util::fmt_fixed(
         bench::stream_reported_gbs(kernels::StreamOp::kCopy, n, offset, 64, cfg),
         2));

@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
                   "inject hardware faults, e.g. mc0:off,mc1:derate=0.5 "
                   "(see sim::FaultSpec::parse); adds a replan column")
       .option_str("csv", "", "mirror results to this CSV file");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsGuard obs(cli);
 
   const bool full = cli.get_flag("full");
   const auto center = static_cast<std::size_t>(cli.get_int("n-center"));

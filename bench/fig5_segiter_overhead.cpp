@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
       .option_int("max-n", 10'000'000, "largest N")
       .option_int("reps", 7, "repetitions (best-of)")
       .option_str("csv", "", "mirror results to this CSV file");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsGuard obs(cli);
 
   const bool full = cli.get_flag("full");
   const auto min_n = static_cast<std::size_t>(cli.get_int("min-n"));

@@ -124,7 +124,8 @@ int run_solve_mode(const mcopt::util::Cli& cli) {
 // schedule, with and without the self-healing supervisor, and reports both
 // (migration cost is charged in cycles, so the comparison is end-to-end).
 int run_supervised_mode(const mcopt::util::Cli& cli,
-                        const mcopt::seg::LayoutSpec& optimal) {
+                        const mcopt::seg::LayoutSpec& optimal,
+                        mcopt::bench::ObsGuard& obs) {
   using namespace mcopt;
   const auto n = static_cast<std::size_t>(cli.get_int("max-n"));
   const auto sweeps = static_cast<unsigned>(cli.get_int("sweeps"));
@@ -133,6 +134,7 @@ int run_supervised_mode(const mcopt::util::Cli& cli,
   runtime::LoopConfig lc;
   lc.threads = kThreads;
   lc.slices = sweeps;
+  obs.apply(lc.sim);
 
   // Percent-relative schedule bounds resolve against an estimated horizon:
   // one probed unsupervised sweep times the sweep count.
@@ -150,6 +152,10 @@ int run_supervised_mode(const mcopt::util::Cli& cli,
   trace::VirtualArena unsup_arena;
   lc.supervise = false;
   const auto unsup = runtime::run_supervised_jacobi(unsup_arena, n, optimal, lc);
+  // Two labelled series, same global timeline: the supervised one shows the
+  // post-migration rebalance, the unsupervised one the stuck imbalance.
+  obs.add_timeline("supervised", sup.mc_timeline);
+  obs.add_timeline("unsupervised", unsup.mc_timeline);
 
   const double updates =
       static_cast<double>(trace::jacobi_updates_per_sweep(n)) * sweeps;
@@ -199,13 +205,15 @@ int main(int argc, char** argv) {
                   "CRC-verify the field every N sweeps and rebuild corrupted "
                   "rows from the previous field (--solve mode; 0 = off)")
       .option_str("csv", "", "mirror results to this CSV file");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsGuard obs(cli);
 
   if (cli.get_int("solve") > 0) return run_solve_mode(cli);
 
   const arch::AddressMap sched_map;
   if (!cli.get_str("schedule").empty())
-    return run_supervised_mode(cli, kernels::jacobi_optimal_spec(sched_map));
+    return run_supervised_mode(cli, kernels::jacobi_optimal_spec(sched_map), obs);
 
   const bool full = cli.get_flag("full");
   const std::size_t max_n = full ? 2048 : static_cast<std::size_t>(cli.get_int("max-n"));

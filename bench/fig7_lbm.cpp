@@ -102,7 +102,9 @@ int main(int argc, char** argv) {
       .option_str("resume", "",
                   "resume a --solve run from this checkpoint file")
       .option_str("csv", "", "mirror results to this CSV file");
+  bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::ObsGuard obs(cli);
 
   if (cli.get_int("solve") > 0) return run_solve_mode(cli);
 

@@ -116,6 +116,7 @@ int run_sweep(const std::vector<double>& ratios,
     }
   }
   if (fail_log != nullptr) std::fclose(fail_log);
+  if (failures != 0) bench::attach_failure_artifacts(fail_log_path);
 
   if (reference && !json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -147,7 +148,8 @@ int run_sweep(const std::vector<double>& ratios,
           row.failures.empty() ? "true" : "false",
           i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
+                 obs::MetricsRegistry::instance().json().c_str());
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }
@@ -191,7 +193,9 @@ int main(int argc, char** argv) {
       .option_str("csv", "", "mirror the table to this CSV path")
       .option_str("json", "BENCH_overload.json", "reference-mode output path")
       .option_str("fail-log", "", "append failing seeds + invariants here");
+  mcopt::bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  mcopt::bench::ObsGuard obs(cli);
 
   mcopt::bench::OverloadParams base;
   base.jobs = static_cast<unsigned>(cli.get_int("jobs"));

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts a bench run emits.
+
+Checks (stdlib only, no third-party deps):
+  --trace     Chrome trace_event JSON: parses, events carry ph/name/ts,
+              timestamps are non-decreasing, every B has a matching E per
+              (pid, tid), and the footer accounting is present.
+  --metrics   Prometheus text exposition: expected metric families exist,
+              histogram buckets are cumulative and end with +Inf == _count.
+  --timeline  Per-controller timeline CSV: header shape, rows march forward
+              without overlap per series, utilization stays in [0, 1].
+
+Exit code 0 when every provided artifact passes; 1 with a message per
+failure otherwise.
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print(f"FAIL: {msg}", file=sys.stderr)
+
+
+def check_trace(path, expect_events):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: missing traceEvents array")
+        return
+    if expect_events and not events:
+        fail(f"{path}: traceEvents is empty (was tracing enabled?)")
+        return
+    prev_ts = -1.0
+    opens = {}
+    for i, ev in enumerate(events):
+        for key in ("ph", "name", "ts", "pid", "tid"):
+            if key not in ev:
+                fail(f"{path}: event {i} lacks '{key}': {ev}")
+                return
+        ts = float(ev["ts"])
+        if ts < prev_ts:
+            fail(f"{path}: event {i} ts {ts} < previous {prev_ts}")
+            return
+        prev_ts = ts
+        lane = (ev["pid"], ev["tid"])
+        if ev["ph"] == "B":
+            opens.setdefault(lane, []).append(ev["name"])
+        elif ev["ph"] == "E":
+            if not opens.get(lane):
+                fail(f"{path}: event {i} is an E with no open B on {lane}")
+                return
+            opens[lane].pop()
+    for lane, stack in opens.items():
+        if stack:
+            fail(f"{path}: unclosed spans {stack} on {lane}")
+            return
+    other = doc.get("otherData", {})
+    for key in ("recorded", "dropped"):
+        if key not in other:
+            fail(f"{path}: otherData lacks '{key}'")
+            return
+    print(f"ok: {path}: {len(events)} events, "
+          f"recorded={other['recorded']} dropped={other['dropped']}")
+
+
+def check_metrics(path, families):
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        fail(f"{path}: {e}")
+        return
+    for family in families:
+        if family not in text:
+            fail(f"{path}: expected metric family '{family}' is absent")
+    # Histogram sanity: cumulative buckets, +Inf bucket equals _count.
+    buckets = {}  # name -> list of counts in order of appearance
+    counts = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.rpartition(" ")
+        if "_bucket{le=" in name:
+            base = name.split("_bucket{le=")[0]
+            buckets.setdefault(base, []).append(float(value))
+        elif name.endswith("_count"):
+            counts[name[: -len("_count")]] = float(value)
+    for base, series in buckets.items():
+        if any(b > a for a, b in zip(series[1:], series)):
+            fail(f"{path}: histogram '{base}' buckets are not cumulative: "
+                 f"{series}")
+        if base in counts and series and series[-1] != counts[base]:
+            fail(f"{path}: histogram '{base}' +Inf bucket {series[-1]} != "
+                 f"_count {counts[base]}")
+    print(f"ok: {path}: {len(buckets)} histogram families, "
+          f"{len(text.splitlines())} lines")
+
+
+def check_timeline(path):
+    try:
+        with open(path, newline="", encoding="utf-8") as f:
+            rows = list(csv.reader(f))
+    except OSError as e:
+        fail(f"{path}: {e}")
+        return
+    if not rows:
+        fail(f"{path}: empty timeline CSV")
+        return
+    header = rows[0]
+    if header[:4] != ["label", "sample", "begin_cycle", "end_cycle"]:
+        fail(f"{path}: unexpected header {header[:4]}")
+        return
+    mc_cols = [c for c in header[4:] if c.startswith("mc")]
+    if not mc_cols or len(mc_cols) != len(header) - 4:
+        fail(f"{path}: controller columns malformed: {header[4:]}")
+        return
+    if len(rows) < 2:
+        fail(f"{path}: header but no samples (cadence too coarse?)")
+        return
+    prev_end = {}
+    for i, row in enumerate(rows[1:], start=2):
+        label, _, begin, end = row[0], row[1], int(row[2]), int(row[3])
+        if end <= begin:
+            fail(f"{path}:{i}: empty interval [{begin}, {end})")
+            return
+        # Rows must march forward without overlapping; gaps are legal (a
+        # supervised loop charges migration/scrub cycles between simulated
+        # slices, so stitched timelines skip those stretches).
+        if label in prev_end and begin < prev_end[label]:
+            fail(f"{path}:{i}: series '{label}' overlaps: row starts at "
+                 f"{begin} before previous end {prev_end[label]}")
+            return
+        prev_end[label] = end
+        for col, cell in zip(mc_cols, row[4:]):
+            if cell == "":  # padding for narrower series
+                continue
+            util = float(cell)
+            if not 0.0 <= util <= 1.0 + 1e-9:
+                fail(f"{path}:{i}: {col} utilization {util} outside [0, 1]")
+                return
+    print(f"ok: {path}: {len(rows) - 1} samples, "
+          f"{len(mc_cols)} controllers, {len(prev_end)} series")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace JSON to validate")
+    ap.add_argument("--metrics", help="Prometheus text exposition to validate")
+    ap.add_argument("--timeline", help="per-controller timeline CSV to validate")
+    ap.add_argument("--expect-family", action="append", default=[],
+                    help="metric family that must appear (repeatable)")
+    ap.add_argument("--allow-empty-trace", action="store_true",
+                    help="do not fail on a trace with zero events")
+    args = ap.parse_args()
+    if not (args.trace or args.metrics or args.timeline):
+        ap.error("nothing to check: pass --trace, --metrics, or --timeline")
+    if args.trace:
+        check_trace(args.trace, expect_events=not args.allow_empty_trace)
+    if args.metrics:
+        families = args.expect_family or ["mcopt_bench_sim_runs_total"]
+        check_metrics(args.metrics, families)
+    if args.timeline:
+        check_timeline(args.timeline)
+    return 1 if FAILURES else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,181 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mcopt::obs {
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+void add_atomic_double(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: need at least one bucket bound");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (!std::isfinite(bounds_[i]))
+      throw std::invalid_argument("Histogram: bounds must be finite");
+    if (i != 0 && bounds_[i] <= bounds_[i - 1])
+      throw std::invalid_argument(
+          "Histogram: bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double x) noexcept {
+  // Prometheus le semantics: bucket i counts x <= bounds_[i]; the last
+  // bucket is +Inf. NaN lands in the overflow bucket (it is still counted).
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  add_atomic_double(sum_, x);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    const double below = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lower = i == 0 ? std::min(0.0, bounds_.front()) : bounds_[i - 1];
+    // The overflow bucket has no finite upper edge: clamp to the largest
+    // configured bound (the estimate stays within the known range).
+    const double upper = i < bounds_.size() ? bounds_[i] : bounds_.back();
+    if (upper <= lower) return upper;
+    const double frac =
+        std::clamp((rank - below) / static_cast<double>(in_bucket), 0.0, 1.0);
+    return lower + (upper - lower) * frac;
+  }
+  return bounds_.back();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() noexcept {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!help.empty()) help_.emplace(name, help);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!help.empty()) help_.emplace(name, help);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!help.empty()) help_.emplace(name, help);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.try_emplace(name, std::move(bounds)).first->second;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  const auto help_line = [&](const std::string& name) {
+    const auto it = help_.find(name);
+    if (it != help_.end())
+      out += "# HELP " + name + " " + it->second + "\n";
+  };
+  for (const auto& [name, c] : counters_) {
+    help_line(name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    help_line(name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + fmt_double(g.value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    help_line(name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      cumulative += h.bucket_count(i);
+      out += name + "_bucket{le=\"" + fmt_double(h.bounds()[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    cumulative += h.bucket_count(h.bounds().size());
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += name + "_sum " + fmt_double(h.sum()) + "\n";
+    out += name + "_count " + std::to_string(h.count()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + fmt_double(g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + std::to_string(h.count()) +
+           ",\"sum\":" + fmt_double(h.sum()) +
+           ",\"p50\":" + fmt_double(h.quantile(0.50)) +
+           ",\"p95\":" + fmt_double(h.quantile(0.95)) +
+           ",\"p99\":" + fmt_double(h.quantile(0.99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::reset_values() noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : counters_) kv.second.reset();
+  for (auto& kv : gauges_) kv.second.reset();
+  for (auto& kv : histograms_) kv.second.reset();
+}
+
+}  // namespace mcopt::obs

@@ -1,0 +1,122 @@
+#pragma once
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// histograms with quantile estimation. Instruments are registered once by
+// name (stable addresses, lock on registration only) and updated with
+// relaxed atomics — cheap enough for the executor's per-job paths.
+//
+// Export formats:
+//  * prometheus_text(): the text exposition format (one # TYPE block per
+//    instrument, cumulative le-buckets for histograms);
+//  * json(): a compact one-line JSON object for embedding into the
+//    BENCH_*.json snapshots the benches already write.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mcopt::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. `upper_bounds` must be finite and strictly
+/// increasing; an overflow (+Inf) bucket is implicit. observe() is a binary
+/// search plus two relaxed atomic updates.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  /// Quantile estimate by linear interpolation inside the containing
+  /// bucket. The estimate is always within that bucket's bounds; the
+  /// overflow bucket clamps to the largest finite bound. q outside [0, 1]
+  /// is clamped; an empty histogram returns 0.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Raw (non-cumulative) count of bucket i; i == bounds().size() is the
+  /// overflow bucket.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_.at(i).load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name-keyed registry. counter()/gauge()/histogram() return a stable
+/// reference, creating the instrument on first use (a histogram's bounds
+/// are fixed by its first registration; later calls ignore theirs).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance() noexcept;
+
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Prometheus text exposition of every registered instrument.
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// Compact one-line JSON snapshot:
+  /// {"counters":{...},"gauges":{...},"histograms":{"h":{"count":..,"sum":..,
+  ///  "p50":..,"p95":..,"p99":..}}}
+  [[nodiscard]] std::string json() const;
+
+  /// Zeroes every instrument's value; registrations (names, help, bucket
+  /// bounds) survive. Test/bench use.
+  void reset_values() noexcept;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::string> help_;
+};
+
+}  // namespace mcopt::obs

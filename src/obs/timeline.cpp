@@ -1,0 +1,48 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/csv.h"
+
+namespace mcopt::obs {
+
+util::Status write_mc_timeline_csv(const std::string& path,
+                                   const std::vector<McTimelineSeries>& series) {
+  std::size_t controllers = 0;
+  for (const McTimelineSeries& s : series)
+    for (const McSample& row : s.samples)
+      controllers = std::max(controllers, row.utilization.size());
+
+  std::vector<std::string> header = {"label", "sample", "begin_cycle",
+                                     "end_cycle"};
+  for (std::size_t m = 0; m < controllers; ++m)
+    header.push_back("mc" + std::to_string(m));
+
+  try {
+    util::CsvWriter csv(path, header);
+    char buf[32];
+    for (const McTimelineSeries& s : series) {
+      for (std::size_t i = 0; i < s.samples.size(); ++i) {
+        const McSample& row = s.samples[i];
+        std::vector<std::string> cells = {s.label, std::to_string(i),
+                                          std::to_string(row.begin),
+                                          std::to_string(row.end)};
+        for (std::size_t m = 0; m < controllers; ++m) {
+          if (m < row.utilization.size()) {
+            std::snprintf(buf, sizeof buf, "%.6f", row.utilization[m]);
+            cells.emplace_back(buf);
+          } else {
+            cells.emplace_back("");
+          }
+        }
+        csv.add_row(cells);
+      }
+    }
+    return csv.close();
+  } catch (const std::exception& e) {
+    return util::Status::failure(std::string("mc timeline: ") + e.what());
+  }
+}
+
+}  // namespace mcopt::obs

@@ -1,0 +1,46 @@
+#pragma once
+// Per-memory-controller utilization timelines: the time-resolved view the
+// paper's aliasing argument needs (which controller each stream hits, and
+// when) that end-of-run scalars cannot show. sim::Chip samples its
+// controller counters on a configurable cycle cadence into a McTimeline;
+// fig2/fig6/chaos turn one timeline per run into a controller x time CSV.
+//
+// The row type lives here (not in sim) so the obs layer stays independent
+// of the simulator: sim depends on obs, never the reverse.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace mcopt::obs {
+
+/// One cadence interval [begin, end) with the busy fraction of each
+/// controller inside it. Utilization can exceed 1.0: busy cycles are
+/// attributed to the interval in which the request was enqueued, so a
+/// burst that drains later inflates its issue interval (conserving total
+/// busy time across the timeline).
+struct McSample {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::vector<double> utilization;  ///< one entry per controller
+
+  [[nodiscard]] std::uint64_t length() const noexcept { return end - begin; }
+};
+
+using McTimeline = std::vector<McSample>;
+
+/// One labelled timeline (e.g. "offset=64" for a fig2 sweep point).
+struct McTimelineSeries {
+  std::string label;
+  McTimeline samples;
+};
+
+/// Writes `series` as CSV: label,sample,begin_cycle,end_cycle,mc0..mcK.
+/// Controller count is taken from the widest row; narrower rows pad with
+/// empty cells. Fails (typed Status) on an unwritable path.
+[[nodiscard]] util::Status write_mc_timeline_csv(
+    const std::string& path, const std::vector<McTimelineSeries>& series);
+
+}  // namespace mcopt::obs

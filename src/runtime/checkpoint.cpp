@@ -8,6 +8,7 @@
 #include <unistd.h>
 #endif
 
+#include "obs/trace.h"
 #include "util/crc.h"
 
 namespace mcopt::runtime {
@@ -70,6 +71,7 @@ util::Status errno_failure(const std::string& what, const std::string& path) {
 }  // namespace
 
 util::Status save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
+  const obs::TraceSpan span("ckpt.save", "ckpt", ckpt.sections.size(), 0);
   if (ckpt.sections.size() > 0xFFFFu)
     return util::Status::failure("checkpoint: too many sections");
   const std::vector<std::uint8_t> bytes = serialize(ckpt);
@@ -110,6 +112,7 @@ util::Status save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
 }
 
 util::Expected<Checkpoint> load_checkpoint(const std::string& path) {
+  const obs::TraceSpan span("ckpt.load", "ckpt");
   using Result = util::Expected<Checkpoint>;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr)

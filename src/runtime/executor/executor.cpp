@@ -8,6 +8,8 @@
 #include "kernels/jacobi.h"
 #include "kernels/lbm/solver.h"
 #include "kernels/triad.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/crc.h"
 #include "util/log.h"
 
@@ -24,6 +26,53 @@ std::uint32_t crc_grid(const seg::seg_array<double>& g) {
     crc.update(g.segment(i).begin(), g.segment(i).size() * sizeof(double));
   return crc.value();
 }
+
+/// Typed shed-event names: one literal per reason so a trace consumer can
+/// classify sheds without parsing args (the recorder stores pointers, so
+/// these must be literals).
+const char* shed_event_name(ShedReason r) noexcept {
+  switch (r) {
+    case ShedReason::kQueueFull: return "job.shed.queue-full";
+    case ShedReason::kWouldMissDeadline: return "job.shed.would-miss-deadline";
+    case ShedReason::kNoCapacity: return "job.shed.no-capacity";
+    case ShedReason::kDeadlineExpiredInQueue: return "job.shed.deadline-expired";
+    case ShedReason::kCancelled: return "job.shed.cancelled";
+    case ShedReason::kShutdown: return "job.shed.shutdown";
+    case ShedReason::kNone: break;
+  }
+  return "job.shed";
+}
+
+/// Executor metrics, registered once; updates are relaxed atomics on the
+/// submit/worker paths.
+struct ExecMetrics {
+  obs::Counter& submitted;
+  obs::Counter& admitted;
+  obs::Counter& completed;
+  obs::Counter& shed;
+  obs::Counter& replans;
+  obs::Counter& breaker_trips;
+  obs::Histogram& sojourn;
+
+  static ExecMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static ExecMetrics m{
+        reg.counter("mcopt_exec_jobs_submitted_total", "Jobs submitted"),
+        reg.counter("mcopt_exec_jobs_admitted_total",
+                    "Jobs past admission control"),
+        reg.counter("mcopt_exec_jobs_completed_total", "Jobs completed"),
+        reg.counter("mcopt_exec_jobs_shed_total",
+                    "Jobs shed for any reason (admission or later)"),
+        reg.counter("mcopt_exec_replans_total",
+                    "Replans committed by the control step"),
+        reg.counter("mcopt_exec_breaker_trips_total",
+                    "Circuit-breaker arms on diagnosed-dead controllers"),
+        reg.histogram("mcopt_exec_job_sojourn_cycles",
+                      {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9},
+                      "Completed-job sojourn (finish - arrival), sim cycles")};
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -95,6 +144,8 @@ SubmitResult Executor::submit(const JobSpec& spec) {
   SubmitResult out;
   out.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  ExecMetrics::get().submitted.inc();
+  obs::trace_instant("job.submit", "exec", out.id, spec.arrival);
   advance_arrival_clock(spec.arrival);
 
   JobReport rep;
@@ -109,6 +160,8 @@ SubmitResult Executor::submit(const JobSpec& spec) {
     out.rejected = r;
     rep.shed = r;
     shed_[shed_index(r)].fetch_add(1, std::memory_order_relaxed);
+    ExecMetrics::get().shed.inc();
+    obs::trace_instant(shed_event_name(r), "exec", out.id, spec.arrival);
     finalize(std::move(rep));
     return out;
   };
@@ -158,6 +211,8 @@ SubmitResult Executor::submit(const JobSpec& spec) {
     return reject(ShedReason::kQueueFull);
   }
   out.accepted = true;
+  ExecMetrics::get().admitted.inc();
+  obs::trace_instant("job.admit", "exec", out.id, spec.arrival);
   return out;
 }
 
@@ -202,11 +257,14 @@ void Executor::process(Pending&& job) {
   rep.start = job.start;
   rep.finish = job.finish;
 
+  obs::trace_instant("job.start", "exec", job.id, job.start);
   if (job.expired) {
     rep.shed = ShedReason::kDeadlineExpiredInQueue;
   } else if (job.token.cancelled()) {
     rep.shed = ShedReason::kCancelled;  // cancelled before the body started
   } else {
+    const obs::TraceSpan span("job.run", "exec", job.id,
+                              static_cast<std::uint64_t>(job.spec.kind));
     run_body(job, rep);
   }
 
@@ -214,10 +272,15 @@ void Executor::process(Pending&& job) {
     rep.completed = true;
     completed_.fetch_add(1, std::memory_order_relaxed);
     goodput_bytes_.fetch_add(rep.quote.bytes, std::memory_order_relaxed);
+    ExecMetrics& m = ExecMetrics::get();
+    m.completed.inc();
+    m.sojourn.observe(static_cast<double>(rep.finish - rep.arrival));
     ingest_sample(job);
     control_step();
   } else {
     shed_[shed_index(rep.shed)].fetch_add(1, std::memory_order_relaxed);
+    ExecMetrics::get().shed.inc();
+    obs::trace_instant(shed_event_name(rep.shed), "exec", job.id, job.start);
   }
   finalize(std::move(rep));
 }
@@ -359,6 +422,8 @@ void Executor::control_step() {
       if (d.action != Action::kReplan) continue;
       supervisor_.commit(s.end);
       replans_.fetch_add(1, std::memory_order_relaxed);
+      ExecMetrics::get().replans.inc();
+      obs::trace_instant("exec.replan", "exec", s.end, 0);
       util::log_info("executor: replan committed at " + std::to_string(s.end) +
                      " diagnosis=" + d.diagnosis.describe());
       apply_diagnosis(d.diagnosis, s.end);
@@ -377,6 +442,8 @@ void Executor::apply_diagnosis(const sim::FaultSpec& diagnosis,
         // escalates the hold geometrically).
         (void)breakers_[c].arm(now);
         breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+        ExecMetrics::get().breaker_trips.inc();
+        obs::trace_instant("exec.breaker", "exec", c, now);
         util::log_info("executor: breaker armed mc" + std::to_string(c) +
                        " until " + std::to_string(breakers_[c].ready_at()));
       }
@@ -430,6 +497,8 @@ void Executor::shutdown(Drain mode) {
     rep.shed = ShedReason::kShutdown;
     shed_[shed_index(ShedReason::kShutdown)].fetch_add(
         1, std::memory_order_relaxed);
+    ExecMetrics::get().shed.inc();
+    obs::trace_instant(shed_event_name(ShedReason::kShutdown), "exec", p.id, 0);
     finalize(std::move(rep));
   }
   control_step();  // drain the last samples into the supervisor

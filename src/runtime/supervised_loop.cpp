@@ -10,6 +10,7 @@
 #include "arch/topology.h"
 #include "kernels/jacobi.h"
 #include "kernels/triad.h"
+#include "obs/trace.h"
 #include "seg/planner.h"
 #include "sim/analytic.h"
 #include "trace/jacobi_program.h"
@@ -22,6 +23,22 @@ namespace {
 /// Picks the freshest *meaningful* utilization window out of a slice result:
 /// the latest schedule epoch that is long enough to carry signal, falling
 /// back to the whole slice. `global_begin` rebases onto the loop timeline.
+Sample make_sample(const sim::SimResult& res, arch::Cycles global_begin);
+
+/// Stitches one slice's controller timeline (slice-local cycles) onto the
+/// global loop timeline.
+void append_timeline(LoopResult& out, const sim::SimResult& res,
+                     arch::Cycles slice_begin) {
+  for (const obs::McSample& row : res.mc_timeline) {
+    obs::McSample shifted = row;
+    shifted.begin += slice_begin;
+    shifted.end += slice_begin;
+    out.mc_timeline.push_back(std::move(shifted));
+  }
+  out.mc_timeline_truncated =
+      out.mc_timeline_truncated || res.mc_timeline_truncated;
+}
+
 Sample make_sample(const sim::SimResult& res, arch::Cycles global_begin) {
   Sample s;
   // Corruption is a whole-slice property: a flip anywhere in the slice must
@@ -55,6 +72,7 @@ void charge_scrub(LoopResult& out, arch::Cycles& global, double live_bytes,
   ++out.scrubs;
   const arch::Cycles cost =
       bw > 0.0 ? seconds_to_cycles(live_bytes / bw, ghz) : 0;
+  obs::trace_instant("loop.scrub", "loop", global, cost);
   global += cost;
   out.total_cycles += cost;
   out.scrub_cycles += cost;
@@ -147,6 +165,7 @@ LoopResult run_supervised_triad(trace::VirtualArena& arena,
   Sample last_sample;
 
   for (unsigned slice = 0; slice < cfg.slices; ++slice) {
+    const obs::TraceSpan slice_span("loop.slice", "loop", slice, global);
     sim::SimConfig sc = cfg.sim;
     sc.fault_schedule = cfg.sim.fault_schedule.shifted(global);
     auto wl = kernels::make_triad_workload(bases, n, cfg.threads,
@@ -158,6 +177,7 @@ LoopResult run_supervised_triad(trace::VirtualArena& arena,
     global += res.total_cycles;
     out.total_cycles += res.total_cycles;
     out.bytes += res.mem_read_bytes + res.mem_write_bytes;
+    append_timeline(out, res, slice_begin);
     last_sample = make_sample(res, slice_begin);
     if (!cfg.supervise) continue;
 
@@ -202,6 +222,7 @@ LoopResult run_supervised_triad(trace::VirtualArena& arena,
     }
     if (!migrate) {
       ++out.declined;
+      obs::trace_instant("loop.decline", "loop", global, 0);
       sup.abort(global);
       util::log_info("supervised_triad: migration declined at=" +
                      std::to_string(global) + " (gain does not cover copy)" +
@@ -217,6 +238,7 @@ LoopResult run_supervised_triad(trace::VirtualArena& arena,
       bases[k] = arena.allocate(n * sizeof(double) + off, plan.base_align) + off;
     }
     const arch::Cycles mig_cycles = seconds_to_cycles(mig_seconds, ghz);
+    obs::trace_instant("loop.migrate", "loop", global, mig_cycles);
     global += mig_cycles;
     out.total_cycles += mig_cycles;
     out.migration_cycles += mig_cycles;
@@ -259,6 +281,7 @@ LoopResult run_supervised_jacobi(trace::VirtualArena& arena, std::size_t n,
   Sample last_sample;
 
   for (unsigned slice = 0; slice < cfg.slices; ++slice) {
+    const obs::TraceSpan slice_span("loop.slice", "loop", slice, global);
     const trace::VirtualSegArray& src = flipped ? grids.dest : grids.source;
     const trace::VirtualSegArray& dst = flipped ? grids.source : grids.dest;
     sim::SimConfig sc = cfg.sim;
@@ -272,6 +295,7 @@ LoopResult run_supervised_jacobi(trace::VirtualArena& arena, std::size_t n,
     global += res.total_cycles;
     out.total_cycles += res.total_cycles;
     out.bytes += res.mem_read_bytes + res.mem_write_bytes;
+    append_timeline(out, res, slice_begin);
     last_sample = make_sample(res, slice_begin);
     flipped = !flipped;
     if (!cfg.supervise) continue;
@@ -329,6 +353,7 @@ LoopResult run_supervised_jacobi(trace::VirtualArena& arena, std::size_t n,
     }
     if (!migrate) {
       ++out.declined;
+      obs::trace_instant("loop.decline", "loop", global, 0);
       sup.abort(global);
       util::log_info("supervised_jacobi: migration declined at=" +
                      std::to_string(global) + " (gain does not cover copy)");
@@ -338,6 +363,7 @@ LoopResult run_supervised_jacobi(trace::VirtualArena& arena, std::size_t n,
     grids = kernels::make_virtual_jacobi(arena, n, plan.spec());
     flipped = false;  // fresh grids: state lives in `source` again
     const arch::Cycles mig_cycles = seconds_to_cycles(mig_seconds, ghz);
+    obs::trace_instant("loop.migrate", "loop", global, mig_cycles);
     global += mig_cycles;
     out.total_cycles += mig_cycles;
     out.migration_cycles += mig_cycles;

@@ -83,6 +83,11 @@ struct LoopResult {
   std::vector<ReplanRecord> replan_log;
   /// Final stream bases (triad) / first interior row bases (Jacobi).
   std::vector<arch::Addr> final_bases;
+  /// Controller-utilization timeline stitched across slices onto the global
+  /// loop timeline (rows only when LoopConfig::sim.mc_sample_cadence != 0).
+  /// Migration and scrub charges appear as gaps between slice rows.
+  obs::McTimeline mc_timeline;
+  bool mc_timeline_truncated = false;
 };
 
 /// Supervised Schönauer triad A = B + C*D over `cfg.slices` sweeps starting

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace mcopt::runtime {
@@ -22,7 +24,40 @@ std::string set_to_string(const std::vector<unsigned>& set) {
   return out.str();
 }
 
+/// Supervisor metrics, registered once. Relaxed-atomic updates only on the
+/// observe path.
+struct SupMetrics {
+  obs::Counter& observations;
+  obs::Counter& replans;
+  obs::Counter& suppressed;
+  obs::Counter& scrubs;
+
+  static SupMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static SupMetrics m{
+        reg.counter("mcopt_supervisor_observations_total",
+                    "Samples fed through Supervisor::observe"),
+        reg.counter("mcopt_supervisor_replan_decisions_total",
+                    "Observe decisions with action=replan"),
+        reg.counter("mcopt_supervisor_suppressed_total",
+                    "Replans suppressed by the backoff window"),
+        reg.counter("mcopt_supervisor_scrub_orders_total",
+                    "Scrub orders issued on corrupted reads")};
+    return m;
+  }
+};
+
 }  // namespace
+
+const char* action_event_name(Action a) noexcept {
+  switch (a) {
+    case Action::kKeep: return "supervisor.action.keep";
+    case Action::kReplan: return "supervisor.action.replan";
+    case Action::kSuppressed: return "supervisor.action.suppressed";
+    case Action::kScrub: return "supervisor.action.scrub";
+  }
+  return "supervisor.action";
+}
 
 Supervisor::ScopedEntry::ScopedEntry(std::atomic_flag& flag) : flag_(flag) {
   if (flag_.test_and_set(std::memory_order_acquire))
@@ -120,6 +155,25 @@ std::vector<unsigned> Supervisor::non_dead(const sim::FaultSpec& d) const {
 
 Decision Supervisor::observe(const Sample& sample, double layout_gain) {
   const ScopedEntry entry(entered_);
+  // Span wraps the whole decision so the action instant below always has an
+  // enclosing supervisor.observe parent in the exported trace.
+  obs::TraceSpan span("supervisor.observe", "supervisor", sample.end,
+                      sample.corrupted_reads);
+  SupMetrics& m = SupMetrics::get();
+  m.observations.inc();
+  Decision dec = observe_impl(sample, layout_gain);
+  obs::trace_instant(action_event_name(dec.action), "supervisor",
+                     static_cast<std::uint64_t>(dec.action), dec.at);
+  switch (dec.action) {
+    case Action::kReplan: m.replans.inc(); break;
+    case Action::kSuppressed: m.suppressed.inc(); break;
+    case Action::kScrub: m.scrubs.inc(); break;
+    case Action::kKeep: break;
+  }
+  return dec;
+}
+
+Decision Supervisor::observe_impl(const Sample& sample, double layout_gain) {
   if (!(layout_gain > 0.0) || !std::isfinite(layout_gain))
     throw std::invalid_argument("Supervisor::observe: bad layout_gain");
 
@@ -207,6 +261,7 @@ Decision Supervisor::observe(const Sample& sample, double layout_gain) {
 
 void Supervisor::commit(arch::Cycles now) {
   const ScopedEntry entry(entered_);
+  obs::trace_instant("supervisor.commit", "supervisor", now, replans_ + 1u);
   planned_against_ = pending_diag_;
   backoff_.arm(now);
   ++replans_;
@@ -217,6 +272,7 @@ void Supervisor::commit(arch::Cycles now) {
 
 void Supervisor::abort(arch::Cycles now) {
   const ScopedEntry entry(entered_);
+  obs::trace_instant("supervisor.abort", "supervisor", now, 0);
   backoff_.arm(now);
   util::log_info("supervisor: replan declined at=" + std::to_string(now) +
                  " next_allowed=" + std::to_string(backoff_.ready_at()));

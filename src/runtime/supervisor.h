@@ -112,6 +112,11 @@ struct Decision {
   arch::Cycles at = 0;
 };
 
+/// Trace-event name ("supervisor.action.keep" etc.) the observe() wrapper
+/// emits for each decision; exposed so tests and trace consumers share one
+/// spelling. Returns a string literal (the trace recorder stores pointers).
+[[nodiscard]] const char* action_event_name(Action a) noexcept;
+
 class Supervisor {
  public:
   /// `seed` feeds the backoff jitter; equal seeds replay exactly.
@@ -157,6 +162,10 @@ class Supervisor {
 
  private:
   [[nodiscard]] std::vector<unsigned> non_dead(const sim::FaultSpec& d) const;
+
+  /// observe() body; the public wrapper adds the single-consumer guard plus
+  /// the "supervisor.observe" trace span enclosing the decision instant.
+  [[nodiscard]] Decision observe_impl(const Sample& sample, double layout_gain);
 
   /// RAII guard enforcing the single-consumer contract: throws
   /// std::logic_error when a second thread (or a re-entrant call) enters a

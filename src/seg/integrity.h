@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "seg/seg_array.h"
 #include "util/crc.h"
 #include "util/expected.h"
@@ -100,6 +101,7 @@ class SegmentGuard {
   /// reported even if their bytes happen to match again (stale data that was
   /// never rebuilt is still not trustworthy).
   [[nodiscard]] util::Status verify() const {
+    const obs::TraceSpan span("seg.verify", "seg", sidecars_.size(), 0);
     util::Status status;
     for (size_type s = 0; s < sidecars_.size(); ++s) {
       if (quarantined_[s]) {
@@ -133,6 +135,7 @@ class SegmentGuard {
   /// segments are quarantined.
   template <typename Rebuild>
   ScrubReport scrub(Rebuild&& rebuild) {
+    obs::TraceSpan span("seg.scrub", "seg", sidecars_.size(), 0);
     ScrubReport report;
     for (size_type s = 0; s < sidecars_.size(); ++s) {
       if (!quarantined_[s] && segment_clean(s)) {
@@ -147,6 +150,7 @@ class SegmentGuard {
         report.quarantined.push_back(s);
       }
     }
+    span.set_args(report.rebuilt.size(), report.quarantined.size());
     return report;
   }
 

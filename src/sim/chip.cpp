@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/prng.h"
 
 namespace mcopt::sim {
@@ -162,6 +163,16 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
   epoch_marks_.clear();
   apply_faults(sched_epochs_.front().faults);
 
+  // Timeline sampling state (cadence 0 = off, next_sample_ stays unreachable).
+  const arch::Cycles cadence = cfg_.mc_sample_cadence;
+  next_sample_ = cadence == 0 ? ~arch::Cycles{0} : cadence;
+  sample_prev_.assign(mcs_.size(), McSnapshot{});
+  timeline_.clear();
+  timeline_truncated_ = false;
+
+  // One span per chip run; args carry thread count and advertised accesses.
+  obs::TraceSpan run_span("sim.run", "sim", n, expected_accesses);
+
   // Watchdog bookkeeping (active when a cycle budget is configured): a
   // workload is aborted with a diagnostic once every runnable thread's clock
   // has passed the budget, or once a program emits more accesses than it
@@ -184,7 +195,9 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
     if (epoch_idx_ + 1 < sched_epochs_.size() &&
         when >= sched_epochs_[epoch_idx_ + 1].begin)
       advance_epochs(when);
+    if (when >= next_sample_) advance_samples(when);
     if (cfg_.cycle_budget != 0 && when > cfg_.cycle_budget) {
+      obs::trace_instant("sim.watchdog", "sim", when, cfg_.cycle_budget);
       return util::Expected<SimResult>::failure(
           "Chip::run watchdog: cycle budget " +
           std::to_string(cfg_.cycle_budget) + " exceeded at cycle " +
@@ -210,9 +223,11 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
           std::to_string(expected_accesses) + " accesses");
     }
   }
-  if (!parked_.empty())
+  if (!parked_.empty()) {
+    obs::trace_instant("sim.deadlock", "sim", parked_.size(), 0);
     return util::Expected<SimResult>::failure(
         "Chip::run: lockstep deadlock (parked threads remain)");
+  }
 
   SimResult result;
   result.clock_ghz = cfg_.topology.clock_ghz;
@@ -253,6 +268,33 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
       result.mc_utilization[m] =
           static_cast<double>(result.mc[m].busy_cycles) /
           static_cast<double>(result.total_cycles);
+
+  // Timeline: close out whole rows the drain phase crossed, then a final
+  // partial row up to total_cycles so busy totals are conserved.
+  if (cfg_.mc_sample_cadence != 0) {
+    advance_samples(result.total_cycles);
+    const arch::Cycles begin = next_sample_ - cfg_.mc_sample_cadence;
+    if (!timeline_truncated_ && result.total_cycles > begin) {
+      obs::McSample row;
+      row.begin = begin;
+      row.end = result.total_cycles;
+      row.utilization.resize(mcs_.size(), 0.0);
+      for (std::size_t m = 0; m < mcs_.size(); ++m) {
+        // Same burst-carry rule as advance_samples(); the run is over, so
+        // anything still unattributed lands in this final partial row.
+        const arch::Cycles busy = mcs_[m].stats().busy_cycles;
+        const arch::Cycles take =
+            std::min(busy - sample_prev_[m].busy_cycles, row.length());
+        row.utilization[m] =
+            static_cast<double>(take) / static_cast<double>(row.length());
+        sample_prev_[m].busy_cycles += take;
+      }
+      timeline_.push_back(std::move(row));
+    }
+    result.mc_timeline = std::move(timeline_);
+    result.mc_timeline_truncated = timeline_truncated_;
+    timeline_.clear();
+  }
 
   // Per-epoch breakdown: deltas between the boundary snapshots (epoch k ends
   // at snapshot k; the last entered epoch ends at total_cycles with the
@@ -323,6 +365,39 @@ void Chip::advance_epochs(arch::Cycles now) {
     epoch_marks_.push_back(std::move(snap));
     ++epoch_idx_;
     apply_faults(sched_epochs_[epoch_idx_].faults);
+    obs::trace_instant("sim.epoch", "sim", epoch_idx_,
+                       sched_epochs_[epoch_idx_].begin);
+  }
+}
+
+void Chip::advance_samples(arch::Cycles now) {
+  const arch::Cycles cadence = cfg_.mc_sample_cadence;
+  while (next_sample_ <= now) {
+    if (timeline_.size() >= kTimelineRowCap) {
+      // Cap hit: drop the tail, park the boundary out of reach so the event
+      // loop stops paying for the check.
+      timeline_truncated_ = true;
+      next_sample_ = ~arch::Cycles{0};
+      return;
+    }
+    obs::McSample row;
+    row.begin = next_sample_ - cadence;
+    row.end = next_sample_;
+    row.utilization.resize(mcs_.size(), 0.0);
+    for (std::size_t m = 0; m < mcs_.size(); ++m) {
+      // A burst's full service is charged to busy_cycles at dispatch, so a
+      // boundary can cut mid-burst with more busy than the row holds: cap
+      // the row at 1.0 and carry the excess into the next row (sample_prev_
+      // only advances by what was attributed, keeping totals conserved).
+      const arch::Cycles busy = mcs_[m].stats().busy_cycles;
+      const arch::Cycles take =
+          std::min(busy - sample_prev_[m].busy_cycles, cadence);
+      row.utilization[m] =
+          static_cast<double>(take) / static_cast<double>(cadence);
+      sample_prev_[m].busy_cycles += take;
+    }
+    timeline_.push_back(std::move(row));
+    next_sample_ += cadence;
   }
 }
 

@@ -31,6 +31,7 @@
 #include "arch/address_map.h"
 #include "arch/calibration.h"
 #include "arch/topology.h"
+#include "obs/timeline.h"
 #include "sim/cache.h"
 #include "sim/fault_schedule.h"
 #include "sim/faults.h"
@@ -85,6 +86,12 @@ struct SimConfig {
   /// this many cycles (0 = unlimited). Guards harnesses against malformed
   /// workloads that would otherwise run unboundedly.
   arch::Cycles cycle_budget = 0;
+  /// Sample per-controller busy counters every this many cycles into
+  /// SimResult::mc_timeline (0 = off). The cadence trades time resolution
+  /// against result size: one row per interval per run, with a 2^20-row cap
+  /// (mc_timeline_truncated). Sampling rides the existing event-loop epoch
+  /// check, so the per-access cost is one compare when enabled.
+  arch::Cycles mc_sample_cadence = 0;
 
   /// Non-throwing validation; reports every violation at once.
   [[nodiscard]] util::Status check() const;
@@ -149,6 +156,15 @@ struct SimResult {
   };
   /// Per-epoch breakdown; empty unless the run had a fault schedule.
   std::vector<EpochStats> epochs;
+
+  /// Controller-utilization timeline: one row per mc_sample_cadence cycles
+  /// (empty when the cadence is 0). Busy cycles are attributed to the
+  /// interval in which the request was enqueued (totals are conserved; a
+  /// row's utilization can exceed 1.0 on a burst that drains later). The
+  /// final row may be shorter than the cadence.
+  obs::McTimeline mc_timeline;
+  /// True when the 2^20-row cap was hit and the timeline tail was dropped.
+  bool mc_timeline_truncated = false;
 
   [[nodiscard]] double seconds() const noexcept {
     return clock_ghz <= 0.0 ? 0.0
@@ -218,6 +234,10 @@ class Chip {
   /// snapshotting per-controller counters at each boundary.
   void advance_epochs(arch::Cycles now);
 
+  /// Emits one timeline row per whole cadence interval the event clock has
+  /// passed (active when cfg_.mc_sample_cadence != 0).
+  void advance_samples(arch::Cycles now);
+
   SimConfig cfg_;
   arch::Placement placement_;
   arch::AddressMap map_;
@@ -252,6 +272,14 @@ class Chip {
   std::vector<FaultSchedule::Epoch> sched_epochs_;
   std::size_t epoch_idx_ = 0;
   std::vector<std::vector<McSnapshot>> epoch_marks_;  // one row per boundary
+
+  // MC-utilization timeline state (active when cfg_.mc_sample_cadence != 0):
+  // end of the next row, counters at the previous boundary, rows so far.
+  static constexpr std::size_t kTimelineRowCap = std::size_t{1} << 20;
+  arch::Cycles next_sample_ = 0;
+  std::vector<McSnapshot> sample_prev_;
+  obs::McTimeline timeline_;
+  bool timeline_truncated_ = false;
 
   // Event loop state: (time, thread) min-heap of runnable threads and
   // (iteration, thread) min-heap of threads parked by the lockstep gate.

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
+
+#include "util/log.h"
 
 namespace mcopt::util {
 
@@ -83,6 +86,16 @@ std::string Cli::nearest(const std::string& name) const {
 }
 
 bool Cli::parse(int argc, const char* const* argv) {
+  // Environment validation happens here rather than at static-init so CLI
+  // front-ends reject a junk MCOPT_LOG_LEVEL with a typed error instead of
+  // silently running at the default verbosity (the static initializer only
+  // warns — a library consumer must not abort before main).
+  if (const char* env = std::getenv("MCOPT_LOG_LEVEL");
+      env != nullptr && *env != '\0') {
+    const auto level = log_level_from_env(env);
+    if (!level) throw std::invalid_argument(level.error().message);
+    set_log_level(level.value());
+  }
   std::vector<std::string> unknown;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];

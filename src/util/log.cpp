@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,7 +10,10 @@ namespace mcopt::util {
 namespace {
 
 /// Initial threshold: MCOPT_LOG_LEVEL when set and parseable, else kInfo.
-/// Runs once at static-init time, before main.
+/// Runs once at static-init time, before main. Kept warn-and-default here
+/// (library consumers must not abort in a static initializer); CLI entry
+/// points call log_level_from_env() and turn the same junk into a hard
+/// error.
 LogLevel initial_level() {
   const char* env = std::getenv("MCOPT_LOG_LEVEL");
   if (env == nullptr || *env == '\0') return LogLevel::kInfo;
@@ -22,6 +26,7 @@ LogLevel initial_level() {
 }
 
 std::atomic<LogLevel> g_level{initial_level()};
+std::atomic<LogMirror> g_mirror{nullptr};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -31,6 +36,40 @@ const char* level_tag(LogLevel level) {
     case LogLevel::kError: return "ERROR";
   }
   return "?????";
+}
+
+bool needs_quoting(const std::string& v) {
+  if (v.empty()) return true;
+  for (char ch : v)
+    if (ch == ' ' || ch == '"' || ch == '=' || ch == '\\' || ch == '\n' ||
+        ch == '\t')
+      return true;
+  return false;
+}
+
+void append_field_value(std::string& out, const std::string& v) {
+  if (!needs_quoting(v)) {
+    out += v;
+    return;
+  }
+  out += '"';
+  for (char ch : v) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch; break;
+    }
+  }
+  out += '"';
+}
+
+void emit(LogLevel level, const std::string& line) {
+  const std::uint64_t ts = monotonic_ns();
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), line.c_str());
+  if (const LogMirror mirror = g_mirror.load(std::memory_order_acquire))
+    mirror(level, ts, line.c_str(), line.size());
 }
 
 }  // namespace
@@ -46,13 +85,83 @@ std::optional<LogLevel> parse_log_level(const std::string& text) {
   return std::nullopt;
 }
 
+Expected<LogLevel> log_level_from_env(const char* value) {
+  if (value == nullptr || *value == '\0') return LogLevel::kInfo;
+  if (const auto parsed = parse_log_level(value)) return *parsed;
+  return Expected<LogLevel>::failure(
+      std::string("MCOPT_LOG_LEVEL='") + value +
+      "' is not a log level (want debug|info|warn|error or 0-3)");
+}
+
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
+std::uint64_t monotonic_ns() noexcept {
+  using clock = std::chrono::steady_clock;
+  // Zero-based at first use so timestamps stay small and readable; the
+  // trace recorder shares this function, keeping log lines and trace
+  // events on one axis.
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           epoch)
+          .count());
+}
+
+LogField kv(std::string key, const std::string& value) {
+  return LogField{std::move(key), value};
+}
+LogField kv(std::string key, const char* value) {
+  return LogField{std::move(key), value == nullptr ? std::string() : value};
+}
+LogField kv(std::string key, std::uint64_t value) {
+  return LogField{std::move(key), std::to_string(value)};
+}
+LogField kv(std::string key, std::int64_t value) {
+  return LogField{std::move(key), std::to_string(value)};
+}
+LogField kv(std::string key, int value) {
+  return LogField{std::move(key), std::to_string(value)};
+}
+LogField kv(std::string key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return LogField{std::move(key), buf};
+}
+LogField kv(std::string key, bool value) {
+  return LogField{std::move(key), value ? "true" : "false"};
+}
+
+std::string format_log_line(const std::string& message,
+                            const std::vector<LogField>& fields) {
+  std::string line = message;
+  for (const LogField& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    append_field_value(line, f.value);
+  }
+  return line;
+}
+
 void log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+  emit(level, message);
+}
+
+void log(LogLevel level, const std::string& message,
+         const std::vector<LogField>& fields) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  emit(level, format_log_line(message, fields));
+}
+
+void set_log_mirror(LogMirror mirror) noexcept {
+  g_mirror.store(mirror, std::memory_order_release);
+}
+
+LogMirror log_mirror() noexcept {
+  return g_mirror.load(std::memory_order_acquire);
 }
 
 }  // namespace mcopt::util

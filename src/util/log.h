@@ -1,9 +1,21 @@
 #pragma once
 // Minimal leveled logging to stderr. Benches use it for progress lines that
 // must not pollute the stdout result tables.
+//
+// The sink is shared with the obs layer: every emitted line carries a
+// monotonic_ns() timestamp (the same clock the trace recorder stamps events
+// with, so log lines and trace spans align), and an optional mirror hook
+// forwards each line to whoever installed it (obs::TraceRecorder turns them
+// into "log.*" instants). util must not depend on obs, hence the
+// function-pointer hook rather than a direct call.
 
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
+
+#include "util/expected.h"
 
 namespace mcopt::util {
 
@@ -14,17 +26,75 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// else — callers decide whether that is fatal.
 [[nodiscard]] std::optional<LogLevel> parse_log_level(const std::string& text);
 
+/// Typed-error variant for validating MCOPT_LOG_LEVEL: an unset/empty value
+/// yields the default (kInfo); an unknown value is a failure naming the bad
+/// value and the accepted spellings, so CLI front-ends can reject it instead
+/// of silently running at the wrong verbosity.
+[[nodiscard]] Expected<LogLevel> log_level_from_env(const char* value);
+
 /// Global threshold; messages below it are dropped. Default: kInfo, or the
 /// MCOPT_LOG_LEVEL environment variable when set to a parseable level at
-/// startup (an unparseable value is ignored with a warning).
+/// startup (an unparseable value is ignored with a warning at static-init
+/// time; CLI entry points additionally reject it via log_level_from_env()).
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level() noexcept;
 
+/// Nanoseconds on a process-wide monotonic clock (zero at first use). The
+/// trace recorder stamps events with the same clock.
+[[nodiscard]] std::uint64_t monotonic_ns() noexcept;
+
+/// One structured key=value field. Values are pre-rendered to text; use the
+/// kv() helpers rather than formatting by hand.
+struct LogField {
+  std::string key;
+  std::string value;
+};
+
+[[nodiscard]] LogField kv(std::string key, const std::string& value);
+[[nodiscard]] LogField kv(std::string key, const char* value);
+[[nodiscard]] LogField kv(std::string key, std::uint64_t value);
+[[nodiscard]] LogField kv(std::string key, std::int64_t value);
+[[nodiscard]] LogField kv(std::string key, int value);
+[[nodiscard]] LogField kv(std::string key, double value);
+[[nodiscard]] LogField kv(std::string key, bool value);
+
 void log(LogLevel level, const std::string& message);
+/// Structured variant: renders "message key=value key=value". Values
+/// containing spaces/quotes are double-quoted with minimal escaping so the
+/// line stays grep- and machine-splittable.
+void log(LogLevel level, const std::string& message,
+         const std::vector<LogField>& fields);
 
 inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
 inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
 inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
 inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+inline void log_debug(const std::string& m, const std::vector<LogField>& f) {
+  log(LogLevel::kDebug, m, f);
+}
+inline void log_info(const std::string& m, const std::vector<LogField>& f) {
+  log(LogLevel::kInfo, m, f);
+}
+inline void log_warn(const std::string& m, const std::vector<LogField>& f) {
+  log(LogLevel::kWarn, m, f);
+}
+inline void log_error(const std::string& m, const std::vector<LogField>& f) {
+  log(LogLevel::kError, m, f);
+}
+
+/// Mirror hook: called (when installed) for every line that passes the level
+/// threshold, with the already-rendered "message key=value..." text and its
+/// monotonic_ns() timestamp. The hook runs on the logging thread and must be
+/// cheap and non-blocking; install nullptr to remove.
+using LogMirror = void (*)(LogLevel level, std::uint64_t ts_ns,
+                           const char* text, std::size_t len);
+void set_log_mirror(LogMirror mirror) noexcept;
+[[nodiscard]] LogMirror log_mirror() noexcept;
+
+/// Renders message + fields exactly as log() would (exposed for testing the
+/// quoting rules without capturing stderr).
+[[nodiscard]] std::string format_log_line(const std::string& message,
+                                          const std::vector<LogField>& fields);
 
 }  // namespace mcopt::util

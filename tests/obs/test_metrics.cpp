@@ -1,0 +1,146 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mcopt::obs {
+namespace {
+
+/// The registry is process-global; each test works with its own instrument
+/// names and zeroes values afterwards so other suites in this binary see a
+/// clean slate.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { MetricsRegistry::instance().reset_values(); }
+};
+
+TEST_F(MetricsTest, CounterAccumulatesAndResets) {
+  Counter& c = MetricsRegistry::instance().counter("t_counter", "help");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&MetricsRegistry::instance().counter("t_counter"), &c);
+  MetricsRegistry::instance().reset_values();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, GaugeHoldsLastValue) {
+  Gauge& g = MetricsRegistry::instance().gauge("t_gauge");
+  g.set(2.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST_F(MetricsTest, HistogramRejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(MetricsTest, HistogramCountsSumAndBuckets) {
+  Histogram& h =
+      MetricsRegistry::instance().histogram("t_hist", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket le=1
+  h.observe(5.0);    // bucket le=10
+  h.observe(50.0);   // bucket le=100
+  h.observe(500.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+}
+
+TEST_F(MetricsTest, QuantileEstimateStaysInsideContainingBucket) {
+  Histogram& h = MetricsRegistry::instance().histogram(
+      "t_hist_q", {1.0, 2.0, 4.0, 8.0, 16.0});
+  // 100 samples spread uniformly in (2, 4]: every quantile must land there.
+  for (int i = 0; i < 100; ++i)
+    h.observe(2.0 + 2.0 * (static_cast<double>(i) + 0.5) / 100.0);
+  for (const double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    const double est = h.quantile(q);
+    EXPECT_GE(est, 2.0) << "q=" << q;
+    EXPECT_LE(est, 4.0) << "q=" << q;
+  }
+  // Interpolation is monotone in q.
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.9));
+}
+
+TEST_F(MetricsTest, QuantileEdgeCases) {
+  Histogram& h =
+      MetricsRegistry::instance().histogram("t_hist_edge", {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  h.observe(100.0);                        // overflow bucket only
+  // Overflow clamps to the largest finite bound, not infinity.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+  // q is clamped to [0, 1].
+  EXPECT_NO_THROW((void)h.quantile(-1.0));
+  EXPECT_NO_THROW((void)h.quantile(2.0));
+}
+
+TEST_F(MetricsTest, PrometheusTextExposition) {
+  MetricsRegistry::instance().counter("t_expo_jobs", "jobs seen").inc(3);
+  MetricsRegistry::instance().gauge("t_expo_depth").set(1.5);
+  Histogram& h =
+      MetricsRegistry::instance().histogram("t_expo_lat", {1.0, 10.0}, "lat");
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+
+  const std::string text = MetricsRegistry::instance().prometheus_text();
+  EXPECT_NE(text.find("# HELP t_expo_jobs jobs seen"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_expo_jobs counter"), std::string::npos);
+  EXPECT_NE(text.find("t_expo_jobs 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_expo_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_expo_lat histogram"), std::string::npos);
+  // le-buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("t_expo_lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("t_expo_lat_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("t_expo_lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("t_expo_lat_count 3"), std::string::npos);
+  EXPECT_NE(text.find("t_expo_lat_sum"), std::string::npos);
+}
+
+TEST_F(MetricsTest, JsonSnapshotHasAllThreeSections) {
+  MetricsRegistry::instance().counter("t_json_c").inc(7);
+  MetricsRegistry::instance().gauge("t_json_g").set(0.5);
+  MetricsRegistry::instance().histogram("t_json_h", {1.0}).observe(0.25);
+
+  const std::string j = MetricsRegistry::instance().json();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"t_json_c\":7"), std::string::npos);
+  EXPECT_NE(j.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(j.find("\"p50\""), std::string::npos);
+  EXPECT_NE(j.find("\"p99\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, ConcurrentUpdatesConserveCounts) {
+  Counter& c = MetricsRegistry::instance().counter("t_mt_counter");
+  Histogram& h = MetricsRegistry::instance().histogram("t_mt_hist", {0.5});
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPer = 10000;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t)
+    workers.emplace_back([&c, &h] {
+      for (std::uint64_t i = 0; i < kPer; ++i) {
+        c.inc();
+        h.observe(1.0);
+      }
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPer);
+  EXPECT_EQ(h.count(), kThreads * kPer);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads * kPer));
+}
+
+}  // namespace
+}  // namespace mcopt::obs

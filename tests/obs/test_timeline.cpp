@@ -1,0 +1,142 @@
+#include "obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/chip.h"
+#include "trace/stream_program.h"
+
+namespace mcopt::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(McTimelineCsv, WritesLabelledRows) {
+  McTimelineSeries s;
+  s.label = "offset=64";
+  s.samples.push_back({0, 100, {0.5, 0.25}});
+  s.samples.push_back({100, 150, {1.0, 0.0}});
+  const std::string path = testing::TempDir() + "timeline_golden.csv";
+  ASSERT_TRUE(write_mc_timeline_csv(path, {s}).ok());
+  EXPECT_EQ(slurp(path),
+            "label,sample,begin_cycle,end_cycle,mc0,mc1\n"
+            "offset=64,0,0,100,0.500000,0.250000\n"
+            "offset=64,1,100,150,1.000000,0.000000\n");
+  std::remove(path.c_str());
+}
+
+TEST(McTimelineCsv, PadsNarrowRowsToWidestController) {
+  McTimelineSeries a{"a", {{0, 10, {0.1}}}};
+  McTimelineSeries b{"b", {{0, 10, {0.2, 0.3, 0.4}}}};
+  const std::string path = testing::TempDir() + "timeline_pad.csv";
+  ASSERT_TRUE(write_mc_timeline_csv(path, {a, b}).ok());
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("label,sample,begin_cycle,end_cycle,mc0,mc1,mc2\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("a,0,0,10,0.100000,,\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(McTimelineCsv, FailsTypedOnUnwritablePath) {
+  const auto status =
+      write_mc_timeline_csv("/nonexistent-dir/timeline.csv", {});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("timeline.csv"), std::string::npos);
+}
+
+sim::Workload read_streams(unsigned threads, std::size_t n_per_thread) {
+  sim::Workload wl;
+  for (unsigned t = 0; t < threads; ++t) {
+    std::vector<trace::StreamDesc> s{
+        {(arch::Addr{1} << 32) + t * (arch::Addr{1} << 22), false, 0}};
+    wl.push_back(std::make_unique<trace::LockstepStreamProgram>(
+        s, sizeof(double), std::vector<sched::IterRange>{{0, n_per_thread}},
+        1));
+  }
+  return wl;
+}
+
+TEST(ChipTimeline, DisabledByDefault) {
+  sim::SimConfig cfg;
+  sim::Chip chip(cfg, arch::equidistant_placement(2, cfg.topology));
+  auto wl = read_streams(2, 4096);
+  const sim::SimResult res = chip.run(wl);
+  EXPECT_TRUE(res.mc_timeline.empty());
+  EXPECT_FALSE(res.mc_timeline_truncated);
+}
+
+TEST(ChipTimeline, RowsTileTheRunAndConserveBusyCycles) {
+  sim::SimConfig cfg;
+  cfg.mc_sample_cadence = 2000;
+  sim::Chip chip(cfg, arch::equidistant_placement(4, cfg.topology));
+  auto wl = read_streams(4, 8192);
+  const sim::SimResult res = chip.run(wl);
+
+  ASSERT_FALSE(res.mc_timeline.empty());
+  EXPECT_FALSE(res.mc_timeline_truncated);
+
+  // Rows are contiguous from 0 to total_cycles; whole rows span one
+  // cadence, the final row is the partial remainder.
+  EXPECT_EQ(res.mc_timeline.front().begin, 0u);
+  for (std::size_t i = 0; i < res.mc_timeline.size(); ++i) {
+    const auto& row = res.mc_timeline[i];
+    ASSERT_EQ(row.utilization.size(), res.mc.size());
+    EXPECT_GT(row.end, row.begin);
+    // A boundary that cuts mid-burst must carry the excess forward, never
+    // report a physically impossible > 1.0 utilization.
+    for (const double util : row.utilization) {
+      EXPECT_GE(util, 0.0);
+      EXPECT_LE(util, 1.0);
+    }
+    if (i != 0) EXPECT_EQ(row.begin, res.mc_timeline[i - 1].end);
+    if (i + 1 < res.mc_timeline.size())
+      EXPECT_EQ(row.length(), cfg.mc_sample_cadence);
+  }
+  EXPECT_EQ(res.mc_timeline.back().end, res.total_cycles);
+
+  // Busy attribution telescopes: the per-row deltas sum to each
+  // controller's end-of-run busy counter, exactly.
+  for (std::size_t m = 0; m < res.mc.size(); ++m) {
+    double busy = 0.0;
+    for (const auto& row : res.mc_timeline)
+      busy += row.utilization[m] * static_cast<double>(row.length());
+    EXPECT_NEAR(busy, static_cast<double>(res.mc[m].busy_cycles),
+                1e-6 * static_cast<double>(res.total_cycles) + 1.0)
+        << "controller " << m;
+  }
+}
+
+TEST(ChipTimeline, SecondRunStartsAFreshTimeline) {
+  sim::SimConfig cfg;
+  cfg.mc_sample_cadence = 2000;
+  sim::Chip chip(cfg, arch::equidistant_placement(2, cfg.topology));
+  auto wl1 = read_streams(2, 4096);
+  const sim::SimResult r1 = chip.run(wl1);
+  auto wl2 = read_streams(2, 4096);
+  const sim::SimResult r2 = chip.run(wl2);
+  // Same workload, same chip: the second timeline restarts at cycle 0 with
+  // the same number of rows, not a continuation of the first.
+  ASSERT_FALSE(r2.mc_timeline.empty());
+  EXPECT_EQ(r2.mc_timeline.front().begin, 0u);
+  EXPECT_EQ(r1.mc_timeline.size(), r2.mc_timeline.size());
+}
+
+TEST(ChipTimeline, CadenceValidation) {
+  sim::SimConfig cfg;
+  cfg.mc_sample_cadence = 0;  // off is always valid
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+}  // namespace
+}  // namespace mcopt::obs

@@ -1,0 +1,270 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/log.h"
+
+namespace mcopt::obs {
+namespace {
+
+/// Every test starts from a clean recorder with its own ring capacity and
+/// leaves it disabled (the recorder is process-global; later tests and other
+/// suites in this binary must not see leftover events).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::instance().disable();
+    TraceRecorder::instance().reset();
+  }
+  void TearDown() override {
+    TraceRecorder::instance().disable();
+    TraceRecorder::instance().reset();
+  }
+
+  static std::string temp_path(const char* stem) {
+    return testing::TempDir() + stem;
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  static std::size_t count_occurrences(const std::string& hay,
+                                       const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size()))
+      ++n;
+    return n;
+  }
+};
+
+TEST_F(TraceTest, DisabledRecorderIsANoop) {
+  ASSERT_FALSE(TraceRecorder::instance().enabled());
+  TraceRecorder::instance().record(Phase::kInstant, "noop", "test", 1, 2);
+  { TraceSpan span("noop.span", "test"); }
+  trace_instant("noop.instant", "test");
+  EXPECT_EQ(TraceRecorder::instance().recorded(), 0u);
+  EXPECT_EQ(TraceRecorder::instance().threads_seen(), 0u);
+  EXPECT_TRUE(TraceRecorder::instance().snapshot().empty());
+}
+
+TEST_F(TraceTest, EventsRoundTripThroughSnapshot) {
+  TraceRecorder::instance().enable(64);
+  trace_instant("alpha", "test", 7, 9);
+  trace_counter("queue.depth", "test", 42);
+  { TraceSpan span("beta", "test", 1, 2); }
+
+  const auto events = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(events[0].name, "alpha");
+  EXPECT_STREQ(events[0].cat, "test");
+  EXPECT_EQ(events[0].phase, Phase::kInstant);
+  EXPECT_EQ(events[0].a, 7u);
+  EXPECT_EQ(events[0].b, 9u);
+  EXPECT_EQ(events[1].phase, Phase::kCounter);
+  EXPECT_EQ(events[1].a, 42u);
+  EXPECT_EQ(events[2].phase, Phase::kBegin);
+  EXPECT_EQ(events[3].phase, Phase::kEnd);
+  EXPECT_STREQ(events[3].name, "beta");
+  // Snapshot is timestamp-sorted and per-thread timestamps are monotone.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+}
+
+TEST_F(TraceTest, RingWrapKeepsNewestAndCountsDrops) {
+  TraceRecorder::instance().enable(8);
+  constexpr std::uint64_t kTotal = 50;
+  for (std::uint64_t i = 0; i < kTotal; ++i)
+    trace_instant("wrap", "test", i);
+
+  EXPECT_EQ(TraceRecorder::instance().recorded(), kTotal);
+  EXPECT_EQ(TraceRecorder::instance().dropped(), kTotal - 8);
+
+  const auto events = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Flight-recorder semantics: the survivors are exactly the newest events.
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].a, kTotal - 8 + i);
+}
+
+TEST_F(TraceTest, ResetDiscardsEventsAndAppliesNewCapacity) {
+  TraceRecorder::instance().enable(8);
+  for (int i = 0; i < 20; ++i) trace_instant("before", "test");
+  EXPECT_GT(TraceRecorder::instance().dropped(), 0u);
+
+  TraceRecorder::instance().reset();
+  EXPECT_EQ(TraceRecorder::instance().recorded(), 0u);
+  EXPECT_EQ(TraceRecorder::instance().dropped(), 0u);
+  EXPECT_EQ(TraceRecorder::instance().threads_seen(), 0u);
+
+  TraceRecorder::instance().enable(64);
+  for (int i = 0; i < 20; ++i) trace_instant("after", "test");
+  EXPECT_EQ(TraceRecorder::instance().recorded(), 20u);
+  EXPECT_EQ(TraceRecorder::instance().dropped(), 0u);
+}
+
+TEST_F(TraceTest, ConcurrentWritersLoseNothingWithinCapacity) {
+  TraceRecorder::instance().enable(1 << 12);
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const TraceSpan span("worker.op", "test", t, i);
+        trace_instant("worker.tick", "test", t, i);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Concurrent readers must never tear: snapshot while writers are live.
+  for (int i = 0; i < 50; ++i) {
+    const auto mid = TraceRecorder::instance().snapshot();
+    for (const auto& ev : mid) EXPECT_NE(ev.name, nullptr);
+  }
+  for (auto& w : writers) w.join();
+
+  // 3 events per iteration (B, i, E), plus possibly this thread's.
+  const std::uint64_t expected = kThreads * kPerThread * 3;
+  EXPECT_GE(TraceRecorder::instance().recorded(), expected);
+  EXPECT_EQ(TraceRecorder::instance().dropped(), 0u);
+  EXPECT_GE(TraceRecorder::instance().threads_seen(), kThreads);
+
+  // Per-writer: every span is committed and well-nested.
+  const auto events = TraceRecorder::instance().snapshot();
+  std::map<std::uint32_t, std::uint64_t> begins, ends;
+  for (const auto& ev : events) {
+    if (std::string(ev.name) != "worker.op") continue;
+    if (ev.phase == Phase::kBegin) ++begins[ev.tid];
+    if (ev.phase == Phase::kEnd) ++ends[ev.tid];
+  }
+  std::uint64_t total_begins = 0;
+  for (const auto& [tid, n] : begins) {
+    EXPECT_EQ(n, ends[tid]) << "unbalanced spans on tid " << tid;
+    total_begins += n;
+  }
+  EXPECT_EQ(total_begins, kThreads * kPerThread);
+}
+
+TEST_F(TraceTest, ChromeTraceExportIsBalancedAndWellFormed) {
+  TraceRecorder::instance().enable(256);
+  {
+    const TraceSpan outer("outer", "test", 1);
+    const TraceSpan inner("inner", "test", 2);
+    trace_instant("tick", "test");
+  }
+  util::log_info("hello \"trace\"");  // mirror: exercises JSON escaping
+
+  const std::string path = temp_path("trace_export.json");
+  ASSERT_TRUE(TraceRecorder::instance().write_chrome_trace(path).ok());
+
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(body.find("\\\"trace\\\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(body, "\"ph\":\"B\""),
+            count_occurrences(body, "\"ph\":\"E\""));
+  // Braces and brackets balance — the file parses as JSON.
+  long depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, OpenSpansGetSyntheticEnds) {
+  TraceRecorder::instance().enable(256);
+  // A span begun but not ended (snapshot taken mid-flight).
+  TraceRecorder::instance().record(Phase::kBegin, "open.span", "test");
+  trace_instant("later", "test");
+
+  const std::string path = temp_path("trace_open.json");
+  ASSERT_TRUE(TraceRecorder::instance().write_chrome_trace(path).ok());
+  const std::string body = slurp(path);
+  EXPECT_EQ(count_occurrences(body, "\"ph\":\"B\""), 1u);
+  EXPECT_EQ(count_occurrences(body, "\"ph\":\"E\""), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, OrphanEndsAreDropped) {
+  TraceRecorder::instance().enable(256);
+  // An E whose B was overwritten at the ring edge must not poison the file.
+  TraceRecorder::instance().record(Phase::kEnd, "orphan", "test");
+  const std::string path = temp_path("trace_orphan.json");
+  ASSERT_TRUE(TraceRecorder::instance().write_chrome_trace(path).ok());
+  const std::string body = slurp(path);
+  EXPECT_EQ(count_occurrences(body, "\"ph\":\"E\""), 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, FlightDumpKeepsOnlyTheTailWindow) {
+  TraceRecorder::instance().enable(1 << 10);
+  for (int i = 0; i < 100; ++i) trace_instant("early", "test");
+  for (int i = 0; i < 8; ++i) trace_instant("late", "test");
+
+  const std::string path = temp_path("trace_flight.json");
+  ASSERT_TRUE(TraceRecorder::instance().write_flight_dump(path, 8).ok());
+  const std::string body = slurp(path);
+  EXPECT_EQ(count_occurrences(body, "\"late\""), 8u);
+  EXPECT_EQ(count_occurrences(body, "\"early\""), 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, LogLinesMirrorIntoTheTrace) {
+  TraceRecorder::instance().enable(256);
+  util::log_warn("controller wobble", {util::kv("mc", 2)});
+  const auto events = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "log.warn");
+  EXPECT_STREQ(events[0].cat, "log");
+  // Inline messages truncate to the slot budget but keep the prefix.
+  EXPECT_EQ(events[0].msg.substr(0, 10), "controller");
+  TraceRecorder::instance().disable();
+  // After disable the mirror is torn down: logging no longer records.
+  util::log_warn("not recorded");
+  EXPECT_EQ(TraceRecorder::instance().snapshot().size(), 1u);
+}
+
+TEST_F(TraceTest, DumpToFdIsWritableAndNonEmpty) {
+  TraceRecorder::instance().enable(256);
+  trace_instant("fd.event", "test", 123, 456);
+  const std::string path = temp_path("trace_fd.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(TraceRecorder::instance().dump_to_fd(fileno(f)), 0);
+  std::fclose(f);
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("fd.event"), std::string::npos);
+  EXPECT_NE(body.find("a=123"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mcopt::obs

@@ -1,0 +1,205 @@
+// Trace round-trip acceptance tests: the executor's job lifecycle and the
+// supervisor's decisions must survive the recorder and exporter intact.
+// Every admitted job has a matched job.run B/E pair or a typed shed
+// instant; every supervisor action instant falls inside the observe span
+// that produced it.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "obs/trace.h"
+#include "runtime/executor/executor.h"
+#include "runtime/supervisor.h"
+
+namespace mcopt {
+namespace {
+
+using runtime::exec::Executor;
+using runtime::exec::ExecutorConfig;
+using runtime::exec::JobKind;
+using runtime::exec::JobReport;
+using runtime::exec::JobSpec;
+using runtime::exec::ShedReason;
+
+class TraceRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::TraceRecorder::instance().disable();
+    obs::TraceRecorder::instance().reset();
+    obs::TraceRecorder::instance().enable(1 << 14);
+  }
+  void TearDown() override {
+    obs::TraceRecorder::instance().disable();
+    obs::TraceRecorder::instance().reset();
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  static std::size_t count_occurrences(const std::string& hay,
+                                       const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size()))
+      ++n;
+    return n;
+  }
+
+  static bool starts_with(const char* name, const char* prefix) {
+    return std::string(name).rfind(prefix, 0) == 0;
+  }
+};
+
+TEST_F(TraceRoundTrip, EveryJobHasMatchedRunSpanOrTypedShedEvent) {
+  ExecutorConfig cfg;
+  cfg.num_workers = 2;
+  cfg.run_kernels = false;  // pure lifecycle accounting, no kernel bodies
+  Executor ex(cfg);
+
+  // A mix that exercises both outcomes: jobs with no deadline complete;
+  // jobs with an already-impossible absolute deadline are shed at the
+  // admission gate with a typed reason.
+  for (int i = 0; i < 24; ++i) {
+    JobSpec j;
+    j.kind = JobKind::kTriad;
+    j.n = 256;
+    j.iterations = 1;
+    if (i % 3 == 2) j.deadline = 1;  // priced completion cannot make this
+    (void)ex.submit(j);
+  }
+  ex.shutdown(Executor::Drain::kDrain);
+
+  const std::vector<JobReport> reports = ex.reports();
+  ASSERT_EQ(reports.size(), 24u);
+  ASSERT_EQ(obs::TraceRecorder::instance().dropped(), 0u)
+      << "ring too small for the lifecycle events; the check would be vacuous";
+
+  const auto events = obs::TraceRecorder::instance().snapshot();
+  std::map<std::uint64_t, int> submit, run_begin, run_end, shed;
+  for (const auto& ev : events) {
+    const std::string name(ev.name);
+    if (name == "job.submit") ++submit[ev.a];
+    if (name == "job.run" && ev.phase == obs::Phase::kBegin) ++run_begin[ev.a];
+    if (name == "job.run" && ev.phase == obs::Phase::kEnd) ++run_end[ev.a];
+    if (starts_with(ev.name, "job.shed")) ++shed[ev.a];
+  }
+
+  for (const JobReport& r : reports) {
+    EXPECT_EQ(submit[r.id], 1) << "job " << r.id;
+    if (r.completed) {
+      EXPECT_EQ(run_begin[r.id], 1) << "job " << r.id;
+      EXPECT_EQ(run_end[r.id], 1) << "job " << r.id;
+      EXPECT_EQ(shed[r.id], 0) << "job " << r.id;
+    } else {
+      EXPECT_NE(r.shed, ShedReason::kNone) << "job " << r.id;
+      EXPECT_EQ(shed[r.id], 1) << "job " << r.id;
+      EXPECT_EQ(run_begin[r.id], 0) << "job " << r.id;
+    }
+  }
+
+  // Both outcomes actually occurred, or the test proves nothing.
+  EXPECT_FALSE(run_begin.empty());
+  EXPECT_FALSE(shed.empty());
+
+  // The exporter preserves the balance: every B has an E in the file.
+  const std::string path = testing::TempDir() + "executor_trace.json";
+  ASSERT_TRUE(obs::TraceRecorder::instance().write_chrome_trace(path).ok());
+  const std::string body = slurp(path);
+  EXPECT_EQ(count_occurrences(body, "\"ph\":\"B\""),
+            count_occurrences(body, "\"ph\":\"E\""));
+  EXPECT_NE(body.find("job.shed."), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceRoundTrip, EverySupervisorActionNestsInsideAnObserveSpan) {
+  const arch::InterleaveSpec spec{};  // 4 controllers
+  runtime::DetectorConfig det;
+  det.backoff = {.initial = 50000, .multiplier = 2.0, .cap = 1600000,
+                 .jitter = 0.0};
+  runtime::Supervisor sup(det, spec);
+
+  const std::vector<double> down = {0.6, 0.0, 0.55, 0.58};
+  const std::vector<double> up = {0.5, 0.52, 0.48, 0.51};
+  auto sample_at = [](arch::Cycles begin, std::vector<double> util) {
+    return runtime::Sample{begin, begin + 10000, std::move(util)};
+  };
+
+  // Drive keep (debounce), replan, and suppressed (flap inside backoff).
+  (void)sup.observe(sample_at(0, down));
+  ASSERT_EQ(sup.observe(sample_at(10000, down)).action,
+            runtime::Action::kReplan);
+  sup.commit(20000);
+  (void)sup.observe(sample_at(30000, up));
+  ASSERT_EQ(sup.observe(sample_at(40000, up)).action,
+            runtime::Action::kSuppressed);
+  constexpr std::size_t kObserveCalls = 4;
+
+  const auto events = obs::TraceRecorder::instance().snapshot();
+  struct Window {
+    std::uint32_t tid;
+    std::uint64_t begin_ns;
+    std::uint64_t end_ns;
+  };
+  std::vector<Window> observe_windows;
+  std::map<std::uint32_t, std::vector<std::uint64_t>> open;  // tid -> B stack
+  std::vector<obs::TraceEvent> actions;
+  std::size_t commits = 0;
+  for (const auto& ev : events) {
+    const std::string name(ev.name);
+    if (name == "supervisor.observe") {
+      if (ev.phase == obs::Phase::kBegin) {
+        open[ev.tid].push_back(ev.ts_ns);
+      } else if (ev.phase == obs::Phase::kEnd) {
+        ASSERT_FALSE(open[ev.tid].empty()) << "E without B";
+        observe_windows.push_back({ev.tid, open[ev.tid].back(), ev.ts_ns});
+        open[ev.tid].pop_back();
+      }
+    }
+    if (starts_with(ev.name, "supervisor.action.")) actions.push_back(ev);
+    if (name == "supervisor.commit") ++commits;
+  }
+  for (const auto& [tid, stack] : open)
+    EXPECT_TRUE(stack.empty()) << "unclosed observe span on tid " << tid;
+
+  // One observe span and exactly one action instant per observe() call.
+  EXPECT_EQ(observe_windows.size(), kObserveCalls);
+  ASSERT_EQ(actions.size(), kObserveCalls);
+  EXPECT_EQ(commits, 1u);
+
+  // The acceptance criterion: every action has a parent observe span —
+  // same thread, timestamp inside the span's [B, E] window.
+  for (const auto& act : actions) {
+    bool nested = false;
+    for (const auto& w : observe_windows)
+      if (w.tid == act.tid && act.ts_ns >= w.begin_ns && act.ts_ns <= w.end_ns)
+        nested = true;
+    EXPECT_TRUE(nested) << act.name << " at ts " << act.ts_ns
+                        << " has no enclosing supervisor.observe span";
+  }
+
+  // All three decision kinds round-tripped.
+  std::size_t keeps = 0, replans = 0, suppressed = 0;
+  for (const auto& act : actions) {
+    if (std::string(act.name) == "supervisor.action.keep") ++keeps;
+    if (std::string(act.name) == "supervisor.action.replan") ++replans;
+    if (std::string(act.name) == "supervisor.action.suppressed") ++suppressed;
+  }
+  EXPECT_GE(keeps, 1u);
+  EXPECT_EQ(replans, 1u);
+  EXPECT_EQ(suppressed, 1u);
+}
+
+}  // namespace
+}  // namespace mcopt

@@ -62,6 +62,78 @@ TEST(Log, RejectsGarbageLevels) {
   EXPECT_EQ(parse_log_level("debug,info"), std::nullopt);
 }
 
+TEST(Log, FormatsStructuredFields) {
+  EXPECT_EQ(format_log_line("plain", {}), "plain");
+  EXPECT_EQ(format_log_line("msg", {kv("mc", 2), kv("gbs", 3.5)}),
+            "msg mc=2 gbs=3.5");
+  EXPECT_EQ(format_log_line("m", {kv("ok", true), kv("bad", false)}),
+            "m ok=true bad=false");
+  EXPECT_EQ(format_log_line("m", {kv("neg", std::int64_t{-7})}), "m neg=-7");
+}
+
+TEST(Log, QuotesValuesThatWouldBreakSplitting) {
+  // Spaces and quotes force double-quoting with minimal escaping; the line
+  // must stay machine-splittable on unquoted whitespace.
+  EXPECT_EQ(format_log_line("m", {kv("path", "/a b/c")}),
+            "m path=\"/a b/c\"");
+  EXPECT_EQ(format_log_line("m", {kv("q", "say \"hi\"")}),
+            "m q=\"say \\\"hi\\\"\"");
+  EXPECT_EQ(format_log_line("m", {kv("plain", "no-quotes-needed")}),
+            "m plain=no-quotes-needed");
+}
+
+TEST(Log, EnvValidationIsTypedAndNamesTheBadValue) {
+  // Unset or empty -> default level, not an error.
+  EXPECT_TRUE(log_level_from_env(nullptr).has_value());
+  EXPECT_EQ(log_level_from_env(nullptr).value(), LogLevel::kInfo);
+  EXPECT_EQ(log_level_from_env("").value(), LogLevel::kInfo);
+  EXPECT_EQ(log_level_from_env("debug").value(), LogLevel::kDebug);
+  EXPECT_EQ(log_level_from_env("2").value(), LogLevel::kWarn);
+
+  const auto bad = log_level_from_env("verbose");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_NE(bad.error().message.find("verbose"), std::string::npos);
+  EXPECT_NE(bad.error().message.find("MCOPT_LOG_LEVEL"), std::string::npos);
+}
+
+TEST(Log, MonotonicClockNeverGoesBackwards) {
+  std::uint64_t prev = monotonic_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t now = monotonic_ns();
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Log, MirrorSeesRenderedLinesAboveThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  static int calls;
+  static std::string last;
+  static LogLevel last_level;
+  calls = 0;
+  last.clear();
+  set_log_mirror([](LogLevel level, std::uint64_t ts_ns, const char* text,
+                    std::size_t len) {
+    ++calls;
+    last.assign(text, len);
+    last_level = level;
+    EXPECT_LE(ts_ns, monotonic_ns());
+  });
+  ASSERT_NE(log_mirror(), nullptr);
+
+  log_debug("below threshold");  // dropped before the mirror
+  log_warn("mirrored", {kv("mc", 3)});
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(last, "mirrored mc=3");
+  EXPECT_EQ(last_level, LogLevel::kWarn);
+
+  set_log_mirror(nullptr);
+  EXPECT_EQ(log_mirror(), nullptr);
+  log_warn("not mirrored");
+  EXPECT_EQ(calls, 1);
+}
+
 TEST(Log, EmittingBelowThresholdIsSafe) {
   LogLevelGuard guard;
   set_log_level(LogLevel::kError);
