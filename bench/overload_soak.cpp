@@ -17,7 +17,16 @@
 // --schedule injects a ground-truth fault timeline (percent stamps resolve
 // against the generated mix's horizon): goodput degrades, the invariants
 // must hold anyway. EXPERIMENTS.md tabulates healthy vs degraded.
+//
+// --service switches to the multi-tenant service soak (service_common.h):
+// thousands of tenants with weights, quotas and SLO classes, a seeded share
+// of them adversarial, run twice (full mix + attacker-muted solo baseline)
+// and checked against the isolation invariants S1-S4. --service-chaos N
+// instead runs N seeded chaos pairs, each with a random controller-fault
+// schedule on top of the adversarial mix. Reference mode writes
+// BENCH_service.json with per-behavior aggregates and Jain's index.
 
+#include <array>
 #include <cinttypes>
 #include <cstdio>
 #include <string>
@@ -25,6 +34,7 @@
 
 #include "common.h"
 #include "overload_common.h"
+#include "service_common.h"
 
 namespace {
 
@@ -156,6 +166,202 @@ int run_sweep(const std::vector<double>& ratios,
   return failures == 0 ? 0 : 1;
 }
 
+/// Per-behavior aggregate of one service run, for the table and the JSON.
+struct BehaviorAgg {
+  unsigned tenants = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t door_shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t offered_bytes = 0;
+  std::uint64_t goodput_bytes = 0;
+  double worst_goodput_ratio = 1.0;  ///< min goodput/offered across tenants
+};
+
+std::array<BehaviorAgg, bench::kNumTenantBehaviors> aggregate_behaviors(
+    const bench::ServiceSoakResult& res) {
+  std::array<BehaviorAgg, bench::kNumTenantBehaviors> agg{};
+  for (std::size_t i = 0; i < res.tenants.size(); ++i) {
+    const auto& t = res.tenants[i];
+    BehaviorAgg& a = agg[static_cast<unsigned>(res.behaviors[i])];
+    ++a.tenants;
+    a.submitted += t.counters.submitted;
+    a.door_shed += t.counters.throttled + t.counters.breaker_rejected;
+    a.completed += t.completed;
+    a.offered_bytes += t.counters.offered_bytes;
+    a.goodput_bytes += t.goodput_bytes;
+    if (t.counters.offered_bytes > 0)
+      a.worst_goodput_ratio =
+          std::min(a.worst_goodput_ratio,
+                   static_cast<double>(t.goodput_bytes) /
+                       static_cast<double>(t.counters.offered_bytes));
+  }
+  return agg;
+}
+
+/// Largest mixed/solo p99 ratio among well-behaved tenants with enough
+/// completions for a stable quantile — the same >= 1000-sample floor the
+/// S3 gate uses (below it a per-tenant p99 is a single sparse order
+/// statistic). When no tenant qualifies (small smoke runs), falls back to
+/// the pooled victim-population ratio.
+double worst_p99_ratio(const bench::ServiceSoakResult& mixed,
+                       const bench::ServiceSoakResult& baseline) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < mixed.tenants.size(); ++i) {
+    if (mixed.behaviors[i] != bench::TenantBehavior::kWellBehaved) continue;
+    const auto& t = mixed.tenants[i];
+    const auto& b = baseline.tenants[i];
+    if (t.completed < 1000 || b.completed < 1000 || b.p99_ms <= 0.0) continue;
+    worst = std::max(worst, t.p99_ms / b.p99_ms);
+  }
+  if (worst == 0.0 && baseline.victim_pool_p99_ms > 0.0)
+    worst = mixed.victim_pool_p99_ms / baseline.victim_pool_p99_ms;
+  return worst;
+}
+
+/// One mixed + solo-baseline service pair; prints the per-behavior table
+/// and returns the invariant failures.
+std::vector<std::string> run_service_pair(
+    const bench::ServiceSoakParams& params, bench::ServiceSoakResult& mixed,
+    bench::ServiceSoakResult& baseline) {
+  mixed = bench::run_service_soak(params);
+  bench::ServiceSoakParams solo = params;
+  solo.mute_attackers = true;
+  baseline = bench::run_service_soak(solo);
+  const bool degraded = !params.truth.intervals.empty();
+  const auto failures =
+      bench::check_service_invariants(params, mixed, baseline, degraded);
+
+  const auto agg = aggregate_behaviors(mixed);
+  std::printf(
+      "service seed %" PRIu64 ": %u tenants, %" PRIu64
+      " jobs at the door, horizon %.2f vs, capacity %.2f GB/s%s\n",
+      params.seed, params.tenants, mixed.submissions,
+      static_cast<double>(mixed.horizon) / mixed.clock_hz, mixed.capacity_gbs,
+      degraded ? " (degraded: fault schedule injected)" : "");
+  std::printf("  %-16s %7s %10s %10s %10s %9s %9s\n", "behavior", "tenants",
+              "submitted", "door-shed", "completed", "goodput%", "worst%");
+  for (unsigned b = 0; b < bench::kNumTenantBehaviors; ++b) {
+    const BehaviorAgg& a = agg[b];
+    if (a.tenants == 0) continue;
+    const double pct =
+        a.offered_bytes == 0 ? 0.0
+                             : 100.0 * static_cast<double>(a.goodput_bytes) /
+                                   static_cast<double>(a.offered_bytes);
+    std::printf("  %-16s %7u %10" PRIu64 " %10" PRIu64 " %10" PRIu64
+                " %8.2f%% %8.2f%%\n",
+                to_string(static_cast<bench::TenantBehavior>(b)), a.tenants,
+                a.submitted, a.door_shed, a.completed, pct,
+                a.worst_goodput_ratio * 100.0);
+  }
+  std::printf("  goodput %.2f GB/s, jain(goodput/weight) %.4f, breaker "
+              "opens %" PRIu64 ", cancelled %" PRIu64
+              ", worst victim p99 ratio %.3f\n",
+              mixed.goodput_gbs, mixed.jain_weighted, mixed.breaker_opens,
+              mixed.cancelled_requests, worst_p99_ratio(mixed, baseline));
+  std::printf("  offered %.2f GB/s over the window, drained at %.2f vs, "
+              "executor sheds: %s\n",
+              static_cast<double>(mixed.offered_bytes) /
+                  (static_cast<double>(mixed.horizon) / mixed.clock_hz) / 1e9,
+              static_cast<double>(mixed.drained_at) / mixed.clock_hz,
+              shed_breakdown(mixed.exec_stats).c_str());
+  std::printf("  victim pool p50/p99: %.3f/%.3f ms mixed vs %.3f/%.3f ms "
+              "solo\n",
+              mixed.victim_pool_p50_ms, mixed.victim_pool_p99_ms,
+              baseline.victim_pool_p50_ms, baseline.victim_pool_p99_ms);
+  return failures;
+}
+
+int run_service(const bench::ServiceSoakParams& base, unsigned chaos_runs,
+                bool reference, const std::string& json_path,
+                const std::string& fail_log_path) {
+  unsigned failed_runs = 0;
+  std::FILE* fail_log = nullptr;
+  bench::ServiceSoakResult mixed, baseline;
+
+  const auto report = [&](std::uint64_t seed,
+                          const std::vector<std::string>& failures) {
+    if (failures.empty()) return;
+    ++failed_runs;
+    std::printf("service seed %" PRIu64 " FAILED:\n", seed);
+    if (fail_log == nullptr && !fail_log_path.empty())
+      fail_log = std::fopen(fail_log_path.c_str(), "a");
+    if (fail_log != nullptr)
+      std::fprintf(fail_log, "service seed %" PRIu64 "\n", seed);
+    for (const auto& f : failures) {
+      std::printf("  %s\n", f.c_str());
+      if (fail_log != nullptr) std::fprintf(fail_log, "  %s\n", f.c_str());
+    }
+  };
+
+  if (chaos_runs > 0) {
+    for (unsigned i = 0; i < chaos_runs; ++i) {
+      const std::uint64_t seed = base.seed + i;
+      const auto params = bench::service_chaos_params(
+          seed, base.tenants, base.target_jobs, base.num_workers);
+      report(seed, run_service_pair(params, mixed, baseline));
+    }
+  } else {
+    report(base.seed, run_service_pair(base, mixed, baseline));
+  }
+  if (fail_log != nullptr) std::fclose(fail_log);
+  if (failed_runs != 0) bench::attach_failure_artifacts(fail_log_path);
+
+  if (reference && !json_path.empty() && chaos_runs == 0) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr)
+      throw std::runtime_error("overload_soak: cannot write " + json_path);
+    const auto agg = aggregate_behaviors(mixed);
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"service_soak\",\n"
+                 "  \"tenants\": %u,\n"
+                 "  \"target_jobs\": %u,\n"
+                 "  \"seed\": %" PRIu64 ",\n"
+                 "  \"workers\": %u,\n"
+                 "  \"attacker_fraction\": %.4f,\n"
+                 "  \"attacker_overdrive\": %.2f,\n"
+                 "  \"quota_headroom\": %.2f,\n"
+                 "  \"submissions\": %" PRIu64 ",\n"
+                 "  \"horizon_vs\": %.4f,\n"
+                 "  \"capacity_gbs\": %.4f,\n"
+                 "  \"goodput_gbs\": %.4f,\n"
+                 "  \"door_shed\": %" PRIu64 ",\n"
+                 "  \"breaker_opens\": %" PRIu64 ",\n"
+                 "  \"cancelled\": %" PRIu64 ",\n"
+                 "  \"jain_weighted\": %.6f,\n"
+                 "  \"worst_victim_p99_ratio\": %.4f,\n"
+                 "  \"behaviors\": [\n",
+                 base.tenants, base.target_jobs, base.seed, base.num_workers,
+                 base.attacker_fraction, base.attacker_overdrive,
+                 base.quota_headroom, mixed.submissions,
+                 static_cast<double>(mixed.horizon) / mixed.clock_hz,
+                 mixed.capacity_gbs, mixed.goodput_gbs, mixed.door_shed,
+                 mixed.breaker_opens, mixed.cancelled_requests,
+                 mixed.jain_weighted, worst_p99_ratio(mixed, baseline));
+    bool first = true;
+    for (unsigned b = 0; b < bench::kNumTenantBehaviors; ++b) {
+      const BehaviorAgg& a = agg[b];
+      if (a.tenants == 0) continue;
+      std::fprintf(
+          f,
+          "%s    {\"behavior\": \"%s\", \"tenants\": %u, "
+          "\"submitted\": %" PRIu64 ", \"door_shed\": %" PRIu64
+          ", \"completed\": %" PRIu64 ", \"offered_bytes\": %" PRIu64
+          ", \"goodput_bytes\": %" PRIu64 ", \"worst_goodput_ratio\": %.4f}",
+          first ? "" : ",\n", to_string(static_cast<bench::TenantBehavior>(b)),
+          a.tenants, a.submitted, a.door_shed, a.completed, a.offered_bytes,
+          a.goodput_bytes, a.worst_goodput_ratio);
+      first = false;
+    }
+    std::fprintf(f, "\n  ],\n  \"pass\": %s,\n  \"metrics\": %s\n}\n",
+                 failed_runs == 0 ? "true" : "false",
+                 obs::MetricsRegistry::instance().json().c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return failed_runs == 0 ? 0 : 1;
+}
+
 std::vector<double> parse_ratios(const std::string& text) {
   std::vector<double> out;
   std::size_t pos = 0;
@@ -190,8 +396,23 @@ int main(int argc, char** argv) {
       .flag("lbm", "include LBM jobs in the mix (OpenMP body; not TSan-safe)")
       .flag("no-kernels", "skip job bodies: pure admission/accounting sweep")
       .flag("reference", "canonical sweep; write JSON and gate acceptance")
+      .flag("service",
+            "multi-tenant service soak: adversarial mix + solo baseline, "
+            "isolation invariants S1-S4 (see service_common.h)")
+      .option_int("tenants", 1000, "service mode: tenant count")
+      .option_int("service-jobs", 1000000,
+                  "service mode: target submissions of the full mix")
+      .option_double("attackers", 0.02,
+                     "service mode: adversarial tenant fraction")
+      .option_double("overdrive", 4.0,
+                     "service mode: attacker offered load (x own quota)")
+      .option_int("service-chaos", 0,
+                  "service mode: run N seeded chaos pairs (random fault "
+                  "schedules, seeds seed..seed+N-1) instead of one reference "
+                  "pair")
       .option_str("csv", "", "mirror the table to this CSV path")
-      .option_str("json", "BENCH_overload.json", "reference-mode output path")
+      .option_str("json", "", "reference-mode output path (default "
+                              "BENCH_overload.json / BENCH_service.json)")
       .option_str("fail-log", "", "append failing seeds + invariants here");
   mcopt::bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -216,8 +437,35 @@ int main(int argc, char** argv) {
   if (cli.get_double("pace") > 0.0)
     base.pace_ns_per_cycle = cli.get_double("pace");
 
+  if (cli.get_flag("service")) {
+    mcopt::bench::ServiceSoakParams sp;
+    sp.tenants = static_cast<unsigned>(cli.get_int("tenants"));
+    sp.target_jobs = static_cast<unsigned>(cli.get_int("service-jobs"));
+    sp.seed = base.seed;
+    sp.num_workers = base.num_workers;
+    sp.attacker_fraction = cli.get_double("attackers");
+    sp.attacker_overdrive = cli.get_double("overdrive");
+    sp.run_kernels = false;  // accounting mode: invariants are virtual-time
+    sp.pace_ns_per_cycle = cli.get_double("pace");
+    if (!cli.get_str("schedule").empty()) {
+      const sim::SimConfig sim_cfg{};
+      const arch::Cycles horizon = mcopt::bench::service_soak_horizon(sp);
+      sp.truth = mcopt::bench::parse_schedule_knob(
+          cli.get_str("schedule"), sim_cfg, horizon + horizon / 4);
+    }
+    const std::string json = cli.get_str("json").empty()
+                                 ? std::string("BENCH_service.json")
+                                 : cli.get_str("json");
+    return run_service(sp,
+                       static_cast<unsigned>(cli.get_int("service-chaos")),
+                       cli.get_flag("reference"), json,
+                       cli.get_str("fail-log"));
+  }
+
   const auto ratios = parse_ratios(cli.get_str("ratios"));
+  const std::string json = cli.get_str("json").empty()
+                               ? std::string("BENCH_overload.json")
+                               : cli.get_str("json");
   return run_sweep(ratios, base, cli.get_str("schedule"), cli.get_str("csv"),
-                   cli.get_str("json"), cli.get_flag("reference"),
-                   cli.get_str("fail-log"));
+                   json, cli.get_flag("reference"), cli.get_str("fail-log"));
 }

@@ -38,6 +38,7 @@ const char* shed_event_name(ShedReason r) noexcept {
     case ShedReason::kDeadlineExpiredInQueue: return "job.shed.deadline-expired";
     case ShedReason::kCancelled: return "job.shed.cancelled";
     case ShedReason::kShutdown: return "job.shed.shutdown";
+    case ShedReason::kTenantThrottled: return "job.shed.tenant-throttled";
     case ShedReason::kNone: break;
   }
   return "job.shed";
@@ -79,7 +80,7 @@ struct ExecMetrics {
 Executor::Executor(ExecutorConfig cfg)
     : cfg_(std::move(cfg)),
       pricing_(cfg_.pricing),
-      queue_(cfg_.lane_capacity),
+      queue_(cfg_.lane_capacity, cfg_.queue_policy),
       supervisor_(cfg_.detector, cfg_.pricing.map.spec(), cfg_.seed) {
   if (cfg_.num_workers == 0)
     throw std::invalid_argument("Executor: num_workers must be >= 1");
@@ -141,6 +142,8 @@ std::vector<unsigned> Executor::broken_controllers(arch::Cycles now) const {
 }
 
 SubmitResult Executor::submit(const JobSpec& spec) {
+  if (!(spec.fair_weight > 0.0))
+    throw std::invalid_argument("Executor: JobSpec::fair_weight must be > 0");
   SubmitResult out;
   out.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -152,6 +155,7 @@ SubmitResult Executor::submit(const JobSpec& spec) {
   rep.id = out.id;
   rep.kind = spec.kind;
   rep.priority = spec.priority;
+  rep.tenant = spec.tenant;
   rep.arrival = spec.arrival;
   rep.deadline = spec.deadline;
 
@@ -205,7 +209,10 @@ SubmitResult Executor::submit(const JobSpec& spec) {
     cancel_sources_.emplace(out.id, std::move(source));
   }
 
-  if (!queue_.try_push(spec.priority, std::move(p))) {
+  // Under kWeightedFair the tenant is the flow and the quote's bytes are
+  // the job's WFQ length — fairness is measured in bandwidth, not jobs.
+  if (!queue_.try_push(spec.priority, spec.tenant, spec.fair_weight,
+                       p.quote.bytes, std::move(p))) {
     // Return the projection the rejected job reserved.
     admit_tail_.fetch_sub(service, std::memory_order_relaxed);
     return reject(ShedReason::kQueueFull);
@@ -251,6 +258,7 @@ void Executor::process(Pending&& job) {
   rep.id = job.id;
   rep.kind = job.spec.kind;
   rep.priority = job.spec.priority;
+  rep.tenant = job.spec.tenant;
   rep.arrival = job.spec.arrival;
   rep.deadline = job.spec.deadline;
   rep.quote = job.quote;
@@ -491,6 +499,7 @@ void Executor::shutdown(Drain mode) {
     rep.id = p.id;
     rep.kind = p.spec.kind;
     rep.priority = p.spec.priority;
+    rep.tenant = p.spec.tenant;
     rep.arrival = p.spec.arrival;
     rep.deadline = p.spec.deadline;
     rep.quote = p.quote;

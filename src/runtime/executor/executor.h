@@ -100,6 +100,11 @@ struct ExecutorConfig {
   unsigned num_workers = 4;
   /// Per-lane queue bounds (high, normal, low).
   std::array<std::size_t, kNumLanes> lane_capacity = {16, 64, 64};
+  /// Queue pop order. kStrictPriority is the PR-4 behavior; the service
+  /// layer selects kWeightedFair so per-tenant flows (JobSpec::tenant /
+  /// fair_weight, quote bytes as the cost) share dequeue bandwidth in
+  /// weight proportion with bit-stable (lane, sequence) tie-breaking.
+  QueuePolicy queue_policy = QueuePolicy::kStrictPriority;
   /// Admission slack subtracted from every deadline at the gate.
   arch::Cycles admission_margin = 0;
   /// Ground-truth fault timeline on the virtual clock (what the "hardware"
@@ -128,7 +133,7 @@ struct ExecutorStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   /// Indexed by ShedReason (kNone slot unused).
-  std::array<std::uint64_t, 7> shed{};
+  std::array<std::uint64_t, kNumShedReasons> shed{};
   std::uint64_t goodput_bytes = 0;
   std::uint64_t replans = 0;
   std::uint64_t breaker_trips = 0;
@@ -183,6 +188,15 @@ class Executor {
 
   [[nodiscard]] const PricingModel& pricing() const noexcept { return pricing_; }
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+
+  /// Gates worker dequeue (LaneQueue::hold/release): while held, accepted
+  /// jobs accumulate in the queue unpopped, so a submitter can publish an
+  /// arrival batch atomically with respect to reservation order — pops,
+  /// and with them the virtual service windows, then depend only on the
+  /// batch content, never on push/pop timing. Deterministic-replay hook
+  /// for seeded soaks; shutdown overrides a hold.
+  void hold_dequeue() { queue_.hold(); }
+  void release_dequeue() { queue_.release(); }
 
  private:
   struct Pending {
@@ -240,7 +254,7 @@ class Executor {
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
-  std::array<std::atomic<std::uint64_t>, 7> shed_{};
+  std::array<std::atomic<std::uint64_t>, kNumShedReasons> shed_{};
   std::atomic<std::uint64_t> goodput_bytes_{0};
   std::atomic<std::uint64_t> replans_{0};
   std::atomic<std::uint64_t> breaker_trips_{0};

@@ -61,6 +61,13 @@ struct JobSpec {
   /// monotonically to the largest arrival seen (an open-loop generator
   /// submits with increasing stamps); 0 = "now".
   arch::Cycles arrival = 0;
+  /// Owning tenant (WFQ flow id). 0 is the anonymous default tenant; the
+  /// service layer (runtime/service) assigns real ids and weights.
+  std::uint32_t tenant = 0;
+  /// WFQ weight of this job's flow under QueuePolicy::kWeightedFair
+  /// (ignored under strict priority). All jobs of one flow should carry the
+  /// flow's weight; must be > 0.
+  double fair_weight = 1.0;
   /// Observability hook: called from the worker thread after every
   /// completed generation with the number of iterations done so far. Used
   /// by tests to cancel at an exact generation; keep it cheap.
@@ -76,8 +83,12 @@ enum class ShedReason : unsigned {
   kNoCapacity,           ///< admission: no surviving controller to price on
   kDeadlineExpiredInQueue,  ///< shed at dequeue: expired before service
   kCancelled,            ///< cooperative cancellation observed
-  kShutdown              ///< executor shut down without draining the queue
+  kShutdown,             ///< executor shut down without draining the queue
+  kTenantThrottled       ///< service door: tenant over quota or breaker open
 };
+
+/// Number of ShedReason values (sizes the per-reason stat arrays).
+inline constexpr std::size_t kNumShedReasons = 8;
 
 [[nodiscard]] constexpr const char* to_string(ShedReason r) noexcept {
   switch (r) {
@@ -88,6 +99,7 @@ enum class ShedReason : unsigned {
     case ShedReason::kDeadlineExpiredInQueue: return "expired-in-queue";
     case ShedReason::kCancelled: return "cancelled";
     case ShedReason::kShutdown: return "shutdown";
+    case ShedReason::kTenantThrottled: return "tenant-throttled";
   }
   return "?";
 }
@@ -111,6 +123,7 @@ struct JobReport {
   std::uint64_t id = 0;
   JobKind kind = JobKind::kTriad;
   Priority priority = Priority::kNormal;
+  std::uint32_t tenant = 0;
   bool completed = false;
   ShedReason shed = ShedReason::kNone;
   arch::Cycles arrival = 0;

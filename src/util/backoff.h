@@ -96,4 +96,86 @@ class Backoff {
   Xoshiro256 rng_;
 };
 
+/// Three-state circuit breaker over a Backoff hold.
+///
+/// kClosed: requests flow; `trip_threshold` consecutive recorded failures
+/// open the breaker (an armed Backoff hold on the caller's clock).
+/// kOpen: every allow() is refused until the hold expires; the FIRST
+/// allow() at or past ready() transitions to kHalfOpen and admits exactly
+/// one trial request (the probe) instead of fully reopening the gate.
+/// kHalfOpen: further allow() calls are refused while the probe is
+/// outstanding. record_success() closes the breaker and forgives the
+/// escalation; record_failure() reopens it with a geometrically longer
+/// hold (the probe failed — the resource is still sick).
+///
+/// Like Backoff, all time is in caller units (the service layer counts
+/// virtual cycles) and jitter is seeded, so sequences replay exactly.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BackoffConfig cfg, unsigned trip_threshold = 1,
+                          std::uint64_t seed = 0)
+      : backoff_(cfg, seed), trip_threshold_(trip_threshold) {
+    if (trip_threshold_ == 0)
+      throw std::invalid_argument("CircuitBreaker: trip_threshold == 0");
+  }
+
+  /// May a request proceed at `now`? Closed: always. Open: only once the
+  /// hold expires, and that single admission IS the half-open probe.
+  /// Half-open: no — the outstanding probe decides.
+  [[nodiscard]] bool allow(std::uint64_t now) noexcept {
+    switch (state_) {
+      case State::kClosed: return true;
+      case State::kOpen:
+        if (backoff_.ready_in(now) > 0) return false;
+        state_ = State::kHalfOpen;
+        return true;  // the single trial request
+      case State::kHalfOpen: return false;
+    }
+    return false;
+  }
+
+  /// The guarded resource served a request. Closes the breaker from any
+  /// state and forgives both the failure streak and the hold escalation.
+  void record_success() noexcept {
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+    backoff_.reset();
+  }
+
+  /// The guarded resource failed a request at `now`. In half-open this is
+  /// the probe's verdict: reopen with an escalated hold. In closed, a
+  /// streak of `trip_threshold` failures opens the breaker.
+  void record_failure(std::uint64_t now) {
+    if (state_ == State::kHalfOpen) {
+      state_ = State::kOpen;
+      (void)backoff_.arm(now);  // escalated: arm() draws the next delay
+      return;
+    }
+    if (state_ == State::kOpen) return;  // already holding; nothing flowed
+    if (++consecutive_failures_ >= trip_threshold_) {
+      state_ = State::kOpen;
+      (void)backoff_.arm(now);
+    }
+  }
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  /// Caller units until an open breaker admits its probe (0 when closed or
+  /// half-open — the gate is not time-held in those states).
+  [[nodiscard]] std::uint64_t ready_in(std::uint64_t now) const noexcept {
+    return state_ == State::kOpen ? backoff_.ready_in(now) : 0;
+  }
+  [[nodiscard]] unsigned consecutive_failures() const noexcept {
+    return consecutive_failures_;
+  }
+  [[nodiscard]] unsigned reopens() const noexcept { return backoff_.retries(); }
+
+ private:
+  Backoff backoff_;
+  unsigned trip_threshold_;
+  unsigned consecutive_failures_ = 0;
+  State state_ = State::kClosed;
+};
+
 }  // namespace mcopt::util

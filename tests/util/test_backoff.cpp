@@ -176,6 +176,103 @@ TEST(Backoff, ReadyInSortsBrokenResourcesWithoutPolling) {
   EXPECT_EQ(b2.retries(), 3u);
 }
 
+TEST(CircuitBreaker, ClosedUntilFailureStreakReachesThreshold) {
+  CircuitBreaker cb({.initial = 100, .multiplier = 2.0, .cap = 800,
+                     .jitter = 0.0},
+                    /*trip_threshold=*/3);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  cb.record_failure(0);
+  cb.record_failure(1);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.allow(2));
+  cb.record_failure(2);  // third consecutive: trips
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(cb.allow(2));
+}
+
+TEST(CircuitBreaker, SuccessForgivesAClosedFailureStreak) {
+  // Failures must be *consecutive* to trip: a success in between rewinds
+  // the streak, so sporadic throttles never open the gate.
+  CircuitBreaker cb({.initial = 100, .multiplier = 2.0, .cap = 800,
+                     .jitter = 0.0},
+                    3);
+  cb.record_failure(0);
+  cb.record_failure(1);
+  cb.record_success();
+  EXPECT_EQ(cb.consecutive_failures(), 0u);
+  cb.record_failure(2);
+  cb.record_failure(3);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, OpenHoldsThenAdmitsExactlyOneHalfOpenProbe) {
+  CircuitBreaker cb({.initial = 100, .multiplier = 2.0, .cap = 800,
+                     .jitter = 0.0},
+                    1);
+  cb.record_failure(1000);  // threshold 1: opens, hold ends at 1100
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(cb.allow(1050));
+  EXPECT_EQ(cb.ready_in(1050), 50u);
+  // First allow() at/past the deadline IS the probe...
+  EXPECT_TRUE(cb.allow(1100));
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);
+  // ...and the gate stays shut while the probe is outstanding.
+  EXPECT_FALSE(cb.allow(1100));
+  EXPECT_FALSE(cb.allow(99999));
+  EXPECT_EQ(cb.ready_in(1100), 0u);  // half-open is not time-held
+}
+
+TEST(CircuitBreaker, ProbeSuccessClosesAndForgivesTheEscalation) {
+  CircuitBreaker cb({.initial = 100, .multiplier = 2.0, .cap = 800,
+                     .jitter = 0.0},
+                    1);
+  cb.record_failure(0);
+  ASSERT_TRUE(cb.allow(100));  // probe
+  cb.record_success();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.allow(100));
+  // Forgiven escalation: the next trip serves the initial hold again.
+  cb.record_failure(200);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(cb.ready_in(200), 100u);
+}
+
+TEST(CircuitBreaker, ProbeFailureReopensWithGeometricallyLongerHold) {
+  CircuitBreaker cb({.initial = 100, .multiplier = 2.0, .cap = 800,
+                     .jitter = 0.0},
+                    1);
+  std::uint64_t now = 0;
+  cb.record_failure(now);  // open #1: hold 100
+  std::uint64_t expected_hold = 100;
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_EQ(cb.ready_in(now), expected_hold);
+    now += expected_hold;
+    ASSERT_TRUE(cb.allow(now));  // probe
+    cb.record_failure(now);      // probe fails: reopen, escalated
+    EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+    expected_hold = std::min<std::uint64_t>(2 * expected_hold, 800);
+  }
+  EXPECT_EQ(cb.reopens(), 5u);  // the initial open + four failed probes
+}
+
+TEST(CircuitBreaker, FailuresWhileOpenDoNotEscalateTheHold) {
+  // While open nothing flows, so reported failures carry no new
+  // information and must not push the reopen deadline further out.
+  CircuitBreaker cb({.initial = 100, .multiplier = 2.0, .cap = 800,
+                     .jitter = 0.0},
+                    1);
+  cb.record_failure(0);
+  const std::uint64_t hold = cb.ready_in(0);
+  cb.record_failure(10);
+  cb.record_failure(20);
+  EXPECT_EQ(cb.ready_in(0), hold);
+  EXPECT_EQ(cb.reopens(), 1u);
+}
+
+TEST(CircuitBreaker, RejectsZeroTripThreshold) {
+  EXPECT_THROW(CircuitBreaker({.initial = 1}, 0), std::invalid_argument);
+}
+
 TEST(Backoff, RejectsDegenerateConfigs) {
   EXPECT_THROW(Backoff({.initial = 0}), std::invalid_argument);
   EXPECT_THROW(Backoff({.initial = 1, .multiplier = 0.5}),
