@@ -20,7 +20,9 @@
 // The seed of every run is printed; any failure is replayable with --seed N
 // (and appended to --fail-log for CI artifact upload). --reference runs the
 // fixed reference schedule (mc1:off@25%..75%) and writes the supervised vs
-// unsupervised triad comparison to BENCH_supervisor.json.
+// unsupervised triad comparison to BENCH_supervisor.json. --sockets N (>= 2)
+// switches to socket-granular NUMA chaos: seeded sock/link fault schedules
+// against the supervised node loop's failover invariants (N1-N3 below).
 
 #include <cinttypes>
 #include <cstdio>
@@ -34,8 +36,10 @@
 #endif
 
 #include "common.h"
+#include "numa_common.h"
 #include "overload_common.h"
 #include "runtime/checkpoint.h"
+#include "runtime/numa_loop.h"
 #include "runtime/supervised_loop.h"
 #include "seg/integrity.h"
 #include "seg/planner.h"
@@ -631,6 +635,136 @@ int run_overload_chaos(const std::vector<std::uint64_t>& seeds, unsigned jobs,
   return failures == 0 ? 0 : 1;
 }
 
+// --- NUMA socket chaos: --sockets N ---------------------------------------
+
+/// --sockets N (N >= 2) mode: seeded socket-granular fault schedules
+/// (sock:off, sock:derate, link derate/off — bench::numa_chaos_schedule, so
+/// the regression tier replays seeds bit-for-bit) against the supervised
+/// node loop. Invariants:
+///
+///   N1  cross-socket supervision never loses: supervised node bandwidth
+///       >= unsupervised * (1 - eps) under the same schedule and the same
+///       local starting placement;
+///   N2  failover is sound: after every committed migration each job's
+///       compute and home socket lie inside that replan's healthy set;
+///   N3  no thrash: committed replans <= schedule transitions + 1.
+int run_numa_chaos(const std::vector<std::uint64_t>& seeds, unsigned sockets,
+                   const SoakParams& params, const std::string& fail_path,
+                   bench::ObsGuard& obs) {
+  runtime::NodeLoopConfig base;
+  base.node.node.num_sockets = sockets;
+  base.node.validate();
+  obs.apply(base.node.sim);
+  // Worst-case failover packs every job onto one chip.
+  base.threads = std::min(
+      params.threads, base.node.sim.topology.max_threads() / sockets);
+  // De-resonate the static-block partition: a chunk that is a whole number
+  // of interleave periods marches every strand through the same controller
+  // sequence in lockstep (convoy), which the analytic model deliberately
+  // does not capture — and an over-predicted packed placement would make
+  // the migration gate commit losing moves.
+  const std::size_t period =
+      arch::AddressMap(base.node.sim.interleave).spec().period_bytes();
+  const auto chunk_bytes = [&](unsigned t) {
+    return ((params.n + t - 1) / t) * sizeof(double);
+  };
+  while (base.threads > 2 && chunk_bytes(base.threads) % period == 0)
+    --base.threads;
+  base.slices = params.slices;
+
+  // One healthy probe resolves every seed's percent-relative stamps.
+  runtime::NodeLoopConfig probe = base;
+  probe.supervise = false;
+  probe.node.sim.mc_sample_cadence = 0;
+  const arch::Cycles horizon =
+      runtime::run_supervised_node_triad(params.n, probe).total_cycles;
+
+  std::printf("# NUMA chaos: %u sockets, triad n=%zu, %u strands/job, %u "
+              "slices, horizon %" PRIu64 "\n",
+              sockets, params.n, base.threads, base.slices,
+              static_cast<std::uint64_t>(horizon));
+
+  unsigned failures = 0;
+  std::FILE* fail_log = nullptr;
+  for (const std::uint64_t seed : seeds) {
+    SeedOutcome out;
+    util::Xoshiro256 rng(seed);
+    const sim::FaultSchedule resolved =
+        bench::numa_chaos_schedule(rng, sockets).resolved(horizon);
+    const auto status = resolved.check(base.node.sim.interleave, sockets);
+    if (!status.ok()) {
+      out.fail("generator produced invalid schedule: " +
+               status.error().message);
+    } else {
+      std::printf("seed %" PRIu64 ": schedule %s\n", seed,
+                  resolved.describe().c_str());
+      runtime::NodeLoopConfig cfg = base;
+      cfg.seed = seed;
+      cfg.node.sim.fault_schedule = resolved;
+      cfg.supervise = true;
+      const auto sup = runtime::run_supervised_node_triad(params.n, cfg);
+      for (unsigned s = 0; s < sup.socket_timelines.size(); ++s)
+        if (!sup.socket_timelines[s].empty())
+          obs.add_timeline("seed=" + std::to_string(seed) + ".sock" +
+                               std::to_string(s),
+                           sup.socket_timelines[s]);
+      cfg.supervise = false;
+      const auto unsup = runtime::run_supervised_node_triad(params.n, cfg);
+
+      if (sup.bandwidth < unsup.bandwidth * 0.98)
+        out.fail("N1: supervised " + std::to_string(sup.bandwidth / 1e9) +
+                 " GB/s < unsupervised " +
+                 std::to_string(unsup.bandwidth / 1e9) + " GB/s");
+      for (const runtime::NodeReplanRecord& replan : sup.replan_log)
+        for (const runtime::NodeJob& job : replan.jobs) {
+          bool compute_ok = false;
+          bool home_ok = false;
+          for (const unsigned h : replan.healthy_sockets) {
+            compute_ok |= (job.compute_socket == h);
+            home_ok |= (job.home_socket == h);
+          }
+          if (!compute_ok || !home_ok)
+            out.fail("N2: job on socket " +
+                     std::to_string(job.compute_socket) + " homed " +
+                     std::to_string(job.home_socket) +
+                     " outside the replan's healthy set");
+        }
+      const unsigned replan_budget =
+          static_cast<unsigned>(resolved.event_count()) + 1;
+      if (sup.replans > replan_budget)
+        out.fail("N3: " + std::to_string(sup.replans) +
+                 " replans exceed budget " + std::to_string(replan_budget) +
+                 " (thrash)");
+
+      std::printf("  supervised %.2f GB/s (replans=%u suppressed=%u "
+                  "declined=%u) unsupervised %.2f GB/s -> %s\n",
+                  sup.bandwidth / 1e9, sup.replans, sup.suppressed,
+                  sup.declined, unsup.bandwidth / 1e9,
+                  out.pass ? "PASS" : "FAIL");
+    }
+    for (const auto& f : out.failures) std::printf("    %s\n", f.c_str());
+    if (!out.pass) {
+      ++failures;
+      if (fail_log == nullptr && !fail_path.empty())
+        fail_log = std::fopen(fail_path.c_str(), "a");
+      if (fail_log != nullptr) {
+        std::fprintf(fail_log, "numa seed %" PRIu64 "\n", seed);
+        for (const auto& f : out.failures)
+          std::fprintf(fail_log, "  %s\n", f.c_str());
+      }
+    }
+  }
+  if (fail_log != nullptr) std::fclose(fail_log);
+
+  std::printf("\nNUMA chaos: %zu seeds, %u failing\n", seeds.size(), failures);
+  if (failures != 0) {
+    bench::attach_failure_artifacts(fail_path);
+    std::printf("replay any failure with: chaos_soak --sockets %u --seed <N>\n",
+                sockets);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -651,6 +785,9 @@ int main(int argc, char** argv) {
       .flag("overload", "compose the executor overload generator with "
                         "random fault schedules; degraded invariants must "
                         "hold for every seed")
+      .option_int("sockets", 1,
+                  "fuzz socket/link faults on an N-socket node instead of "
+                  "single-chip faults (>= 2 enables NUMA chaos)")
       .option_int("jobs", 240, "jobs per seed for --overload")
       .option_int("workers", 4, "executor worker threads for --overload")
       .option_double("ratio", 2.0,
@@ -684,6 +821,9 @@ int main(int argc, char** argv) {
     for (std::uint64_t s = 1; s <= count; ++s) seeds.push_back(s);
   }
 
+  if (cli.get_int("sockets") > 1)
+    return run_numa_chaos(seeds, static_cast<unsigned>(cli.get_int("sockets")),
+                          params, cli.get_str("fail-log"), obs);
   if (cli.get_flag("overload"))
     return run_overload_chaos(seeds, static_cast<unsigned>(cli.get_int("jobs")),
                               static_cast<unsigned>(cli.get_int("workers")),

@@ -1,0 +1,209 @@
+#pragma once
+// Shared plumbing for the NUMA benches and the tier-1 NumaRegression test:
+// the four STREAM placements of the cross-socket sweep (local / interleaved
+// / remote / first-touch), their DES and analytic runners, and the seeded
+// socket/link chaos schedule generator (kept here so the regression tier can
+// replay chaos seeds bit-for-bit, exactly like overload_common.h).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "kernels/triad.h"
+#include "seg/planner.h"
+#include "sim/analytic.h"
+#include "sim/node.h"
+#include "util/prng.h"
+
+namespace mcopt::bench {
+
+/// The cross-socket STREAM placements, in the order the sweep reports them.
+enum class NumaPlacement { kLocal, kInterleaved, kRemote, kFirstTouch };
+
+inline const char* numa_placement_name(NumaPlacement p) {
+  switch (p) {
+    case NumaPlacement::kLocal: return "local";
+    case NumaPlacement::kInterleaved: return "interleaved";
+    case NumaPlacement::kRemote: return "remote";
+    case NumaPlacement::kFirstTouch: return "first-touch";
+  }
+  return "?";
+}
+
+struct NumaSweepParams {
+  unsigned sockets = 2;
+  std::size_t n = 4096;       ///< triad elements per socket's job
+  unsigned threads = 16;      ///< strands per socket
+  unsigned sweeps = 4;
+};
+
+/// Per-socket triad array bases (A,B,C,D per socket) for one placement.
+///
+/// - local: socket s's arrays in its own domain (the planner's placement);
+/// - interleaved: best-effort round-robin — socket s's k-th array homed in
+///   domain (s+k) % S, the contiguous-domain analogue of page interleave;
+/// - remote: socket s's arrays in domain (s+1) % S, every access one hop;
+/// - first-touch: the serial-init pitfall — one thread touched every page
+///   first, so ALL arrays land in domain 0 and socket 0's controllers serve
+///   the whole node.
+///
+/// Co-homed arrays are rotated through the controller stride so placements
+/// differ in distance, not in accidental controller aliasing.
+inline std::vector<std::vector<arch::Addr>> numa_placement_bases(
+    NumaPlacement placement, const NumaSweepParams& params,
+    const arch::NodeTopology& node, const arch::AddressMap& map) {
+  const seg::StreamPlan plan = seg::plan_stream_offsets(4, map);
+  const std::size_t period = map.spec().period_bytes();
+  const std::size_t stride = period / map.spec().num_controllers();
+  std::vector<unsigned> homed(params.sockets, 0);  // arrays per domain
+  std::vector<std::vector<arch::Addr>> bases(params.sockets);
+  for (unsigned s = 0; s < params.sockets; ++s) {
+    bases[s].resize(4);
+    for (std::size_t k = 0; k < 4; ++k) {
+      unsigned home = s;
+      switch (placement) {
+        case NumaPlacement::kLocal: home = s; break;
+        case NumaPlacement::kInterleaved:
+          home = (s + static_cast<unsigned>(k)) % params.sockets;
+          break;
+        case NumaPlacement::kRemote: home = (s + 1) % params.sockets; break;
+        case NumaPlacement::kFirstTouch: home = 0; break;
+      }
+      const unsigned rotation = homed[home]++;
+      const std::size_t off =
+          (plan.offsets[k] + static_cast<std::size_t>(rotation) * stride) %
+          period;
+      const arch::Addr slot = node.socket_base(home) +
+                              static_cast<arch::Addr>(rotation) *
+                                  ((arch::Addr{1} << 24) + 8192);
+      bases[s][k] = (slot + plan.base_align - 1) / plan.base_align *
+                        plan.base_align + off;
+    }
+  }
+  return bases;
+}
+
+/// One DES run of the placement: every socket sweeps its own triad job.
+inline sim::NodeResult run_numa_placement(
+    NumaPlacement placement, const NumaSweepParams& params,
+    const sim::NodeConfig& cfg) {
+  const arch::AddressMap map(cfg.sim.interleave);
+  const auto bases = numa_placement_bases(placement, params, cfg.node, map);
+  std::vector<sim::Workload> wls(params.sockets);
+  for (unsigned s = 0; s < params.sockets; ++s)
+    wls[s] = kernels::make_triad_workload(bases[s], params.n, params.threads,
+                                          sched::Schedule::static_block(),
+                                          params.sweeps);
+  sim::Node node(cfg);
+  return node.run(wls);
+}
+
+/// The analytic twin of run_numa_placement (same bases, same fault state).
+inline sim::NodeEstimate estimate_numa_placement(
+    NumaPlacement placement, const NumaSweepParams& params,
+    const sim::NodeConfig& cfg, const sim::FaultSpec& faults = {}) {
+  const arch::AddressMap map(cfg.sim.interleave);
+  const auto bases = numa_placement_bases(placement, params, cfg.node, map);
+  std::vector<std::vector<sim::AnalyticStream>> streams(params.sockets);
+  std::vector<unsigned> threads(params.sockets, params.threads);
+  for (unsigned s = 0; s < params.sockets; ++s) {
+    const std::vector<sim::AnalyticStream> logical = {{bases[s][0], true},
+                                                      {bases[s][1], false},
+                                                      {bases[s][2], false},
+                                                      {bases[s][3], false}};
+    streams[s] = sim::expand_rfo(logical);
+  }
+  return sim::estimate_node_bandwidth(streams, threads, cfg.sim.calibration,
+                                      map, cfg.node,
+                                      cfg.sim.topology.clock_ghz, faults);
+}
+
+/// Parses the --distance knob: empty = topology defaults, a single integer
+/// = uniform remote link cost (cycles per 64 B line), or S*S comma-
+/// separated entries for the full row-major link-cycle matrix (diagonal
+/// entries must be 0).
+inline void apply_distance_knob(const std::string& text,
+                                arch::NodeTopology& node) {
+  if (text.empty()) return;
+  std::vector<arch::Cycles> entries;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string cell =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    try {
+      entries.push_back(static_cast<arch::Cycles>(std::stoull(cell)));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--distance: bad cell '" + cell + "'");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (entries.size() == 1) {
+    node.link_line_cycles = entries[0];
+    return;
+  }
+  if (entries.size() !=
+      static_cast<std::size_t>(node.num_sockets) * node.num_sockets)
+    throw std::invalid_argument(
+        "--distance: expected 1 or sockets^2 entries, got " +
+        std::to_string(entries.size()));
+  node.link_cycle_matrix = entries;
+}
+
+/// Seeded socket/link chaos schedule for the NUMA soak (and its tier-1
+/// replays): 1-2 percent-relative intervals drawn from the socket-granular
+/// fault classes. Derates and link faults are transient (begin in
+/// [10%, 45%], clear by 85%); a sock:off persists to the end of the run —
+/// a dead socket is a failed fault domain, not a glitch, and a supervisor
+/// that migrated away from it must not be penalized against a baseline
+/// whose outage conveniently heals. At most one sock:off OR one dead link
+/// per schedule, so every socket keeps a route to surviving memory and the
+/// node connectivity check always passes.
+inline sim::FaultSchedule numa_chaos_schedule(util::Xoshiro256& rng,
+                                              unsigned sockets) {
+  sim::FaultSchedule sched;
+  const unsigned intervals = 1 + static_cast<unsigned>(rng.below(2));
+  bool socket_killed = false;
+  bool link_killed = false;
+  for (unsigned i = 0; i < intervals; ++i) {
+    sim::FaultSchedule::Interval iv;
+    iv.relative = true;
+    iv.begin_frac = rng.uniform(0.10, 0.45);
+    iv.end_frac = iv.begin_frac + rng.uniform(0.15, 0.85 - iv.begin_frac);
+    const unsigned a = static_cast<unsigned>(rng.below(sockets));
+    const unsigned b = (a + 1 + static_cast<unsigned>(rng.below(sockets - 1))) %
+                       sockets;
+    switch (rng.below(4)) {
+      case 0:
+        if (!socket_killed && !link_killed) {
+          iv.fault.offline_sockets.push_back(a);
+          iv.end_frac = 1.0;  // fault domains die for good
+          socket_killed = true;
+          break;
+        }
+        [[fallthrough]];
+      case 1:
+        iv.fault.socket_derates.push_back({a, rng.uniform(0.3, 0.75)});
+        break;
+      case 2:
+        iv.fault.link_faults.push_back({a, b, rng.uniform(0.2, 0.6), false});
+        break;
+      default:
+        // A dead link, only when no socket is also dead in this schedule
+        // (two overlapping cuts could isolate a domain on small meshes).
+        if (sockets > 2 && !socket_killed) {
+          iv.fault.link_faults.push_back({a, b, 1.0, true});
+          link_killed = true;
+        } else {
+          iv.fault.socket_derates.push_back({a, rng.uniform(0.3, 0.75)});
+        }
+        break;
+    }
+    sched.intervals.push_back(std::move(iv));
+  }
+  return sched;
+}
+
+}  // namespace mcopt::bench

@@ -107,15 +107,28 @@ def check_metrics(path, families):
           f"{len(text.splitlines())} lines")
 
 
+CSV_SCHEMA_VERSION = "mcopt-csv v2"
+
+
 def check_timeline(path):
     try:
         with open(path, newline="", encoding="utf-8") as f:
-            rows = list(csv.reader(f))
+            lines = f.read().splitlines(keepends=True)
     except OSError as e:
         fail(f"{path}: {e}")
         return
-    if not rows:
+    if not lines:
         fail(f"{path}: empty timeline CSV")
+        return
+    # Line 1 must carry the writer's schema stamp: a file written under a
+    # different column convention is rejected up front instead of misread.
+    if not lines[0].startswith(f"# {CSV_SCHEMA_VERSION}"):
+        fail(f"{path}: missing '# {CSV_SCHEMA_VERSION}' schema header "
+             f"(got: {lines[0].strip()!r})")
+        return
+    rows = list(csv.reader(lines[1:]))
+    if not rows:
+        fail(f"{path}: schema header but no CSV header row")
         return
     header = rows[0]
     if header[:4] != ["label", "sample", "begin_cycle", "end_cycle"]:

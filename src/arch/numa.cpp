@@ -1,0 +1,108 @@
+#include "arch/numa.h"
+
+#include <cstdlib>
+
+namespace mcopt::arch {
+
+namespace {
+
+bool is_pow2(unsigned v) { return v != 0 && (v & (v - 1)) == 0; }
+
+Cycles matrix_at(const std::vector<Cycles>& m, unsigned n, unsigned i,
+                 unsigned j, Cycles uniform) {
+  if (i == j) return 0;
+  if (m.empty()) return uniform;
+  return m[static_cast<std::size_t>(i) * n + j];
+}
+
+}  // namespace
+
+Cycles NodeTopology::latency(unsigned i, unsigned j) const {
+  return matrix_at(latency_matrix, num_sockets, i, j, remote_latency);
+}
+
+Cycles NodeTopology::link_cycles(unsigned i, unsigned j) const {
+  return matrix_at(link_cycle_matrix, num_sockets, i, j, link_line_cycles);
+}
+
+util::Status NodeTopology::check() const {
+  util::Status status;
+  if (!is_pow2(num_sockets) || num_sockets > kMaxSockets)
+    status.note("NodeTopology: num_sockets " + std::to_string(num_sockets) +
+                " must be a power of two in [1, " +
+                std::to_string(kMaxSockets) + "]");
+  try {
+    chip.validate();
+  } catch (const std::exception& e) {
+    status.note(std::string("NodeTopology: ") + e.what());
+  }
+  if (home_shift < 12 || home_shift > 40)
+    status.note("NodeTopology: home_shift " + std::to_string(home_shift) +
+                " outside [12, 40] (page scale to 1 TiB domains)");
+  if (num_sockets > 1 && link_line_cycles == 0)
+    status.note("NodeTopology: link_line_cycles must be >= 1 (an infinite-"
+                "bandwidth link hides every NUMA effect this model exists "
+                "to expose)");
+  const auto check_matrix = [&](const std::vector<Cycles>& m, const char* who) {
+    if (m.empty()) return;
+    const std::size_t want =
+        static_cast<std::size_t>(num_sockets) * num_sockets;
+    if (m.size() != want) {
+      status.note(std::string("NodeTopology: ") + who + " has " +
+                  std::to_string(m.size()) + " entries, want " +
+                  std::to_string(want));
+      return;
+    }
+    for (unsigned i = 0; i < num_sockets; ++i)
+      if (m[static_cast<std::size_t>(i) * num_sockets + i] != 0)
+        status.note(std::string("NodeTopology: ") + who + " diagonal entry " +
+                    std::to_string(i) + " must be 0 (local is not remote)");
+  };
+  check_matrix(latency_matrix, "latency_matrix");
+  check_matrix(link_cycle_matrix, "link_cycle_matrix");
+  if (!link_cycle_matrix.empty() &&
+      link_cycle_matrix.size() ==
+          static_cast<std::size_t>(num_sockets) * num_sockets) {
+    for (unsigned i = 0; i < num_sockets; ++i)
+      for (unsigned j = 0; j < num_sockets; ++j)
+        if (i != j &&
+            link_cycle_matrix[static_cast<std::size_t>(i) * num_sockets + j] ==
+                0)
+          status.note("NodeTopology: link_cycle_matrix[" + std::to_string(i) +
+                      "," + std::to_string(j) + "] must be >= 1");
+  }
+  return status;
+}
+
+void NodeTopology::validate() const { check().throw_if_failed(); }
+
+util::Expected<NodeTopology> parse_distance(const std::string& text,
+                                            NodeTopology base) {
+  using Result = util::Expected<NodeTopology>;
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos)
+    return Result::failure("--distance: expected <latency>:<line_cycles>, got '" +
+                           text + "'");
+  const auto parse_cycles = [&](const std::string& part,
+                                const char* who) -> util::Expected<Cycles> {
+    char* end = nullptr;
+    const double v = std::strtod(part.c_str(), &end);
+    constexpr double kMax = 9007199254740992.0;  // 2^53: exact double range
+    if (part.empty() || end == nullptr || *end != '\0' ||
+        !(v >= 0.0 && v <= kMax))
+      return util::Expected<Cycles>::failure(
+          std::string("--distance: malformed ") + who + " in '" + text + "'");
+    return static_cast<Cycles>(v);
+  };
+  const auto lat = parse_cycles(text.substr(0, colon), "latency");
+  if (!lat) return Result::failure(lat.error().message);
+  const auto line = parse_cycles(text.substr(colon + 1), "line_cycles");
+  if (!line) return Result::failure(line.error().message);
+  base.remote_latency = lat.value();
+  base.link_line_cycles = line.value();
+  base.latency_matrix.clear();
+  base.link_cycle_matrix.clear();
+  return base;
+}
+
+}  // namespace mcopt::arch

@@ -1,0 +1,113 @@
+#pragma once
+// Multi-socket (NUMA) node topology: N identical chips joined by a modeled
+// coherent interconnect with per-socket memory domains.
+//
+// The paper studies one UltraSPARC T2; at production scale a "machine" is
+// many such chips, and the dominant degradation unit becomes a whole socket
+// or an inter-socket link rather than a single memory controller. Bergstrom's
+// "Measuring NUMA effects with the STREAM benchmark" (PAPERS.md) grounds the
+// model: local accesses see the chip's own controllers at full service rate,
+// remote accesses additionally pay a per-hop latency penalty and serialize on
+// the link's per-line transfer cost (the bandwidth cap), and placement policy
+// (local / first-touch / page-interleaved / forced-remote) decides which of
+// the two regimes each page lives in.
+//
+// The address space is carved into per-socket home domains by a contiguous
+// bit field, mirroring how InterleaveSpec carves controller/bank fields:
+//
+//   home_socket_of(a) = (a >> home_shift) & (num_sockets - 1)
+//
+// With the default home_shift = 32 each socket owns contiguous 4 GiB
+// domains ("local"/"first-touch" placement: allocate inside your own
+// domain). Dropping home_shift to the page scale (e.g. 12) makes contiguous
+// arrays page-interleave across all sockets — the OS "interleave" policy —
+// without touching the allocator.
+//
+// Distance is a full (num_sockets x num_sockets) matrix of (extra fill
+// latency, cycles per 64 B line) pairs; the uniform one-hop defaults cover
+// the symmetric glueless case and tests/benches can override per pair.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/address_map.h"
+#include "arch/calibration.h"
+#include "arch/topology.h"
+#include "util/expected.h"
+
+namespace mcopt::arch {
+
+/// Static topology of an N-socket node. Default: two T2 sockets with a
+/// symmetric one-hop interconnect calibrated so remote STREAM bandwidth
+/// lands near half of local (Bergstrom's measured asymmetry).
+struct NodeTopology {
+  /// Socket count; power of two in [1, kMaxSockets].
+  unsigned num_sockets = 2;
+  static constexpr unsigned kMaxSockets = 8;
+
+  /// Per-socket chip (sockets are identical).
+  ChipTopology chip{};
+
+  /// Bit position of the home-socket field: socket s owns addresses with
+  /// (a >> home_shift) & (num_sockets - 1) == s. 32 = contiguous 4 GiB
+  /// domains; page-scale values model OS interleaved placement.
+  unsigned home_shift = 32;
+
+  /// Extra fill latency (cycles) of a one-hop remote access, added on top of
+  /// the serving side's DRAM latency (~100 ns of interconnect round trip).
+  Cycles remote_latency = 120;
+
+  /// Per-line transfer cost (cycles per 64 B line) of one hop: the link's
+  /// bandwidth cap. 16 cycles at 1.2 GHz = 4.8 GB/s per direction, ~0.3 of
+  /// one socket's local STREAM envelope — the asymmetry the cross-socket
+  /// sweep bench must reproduce.
+  Cycles link_line_cycles = 16;
+
+  /// Optional per-pair overrides, row-major num_sockets^2 entries (entry
+  /// i*num_sockets+j = cost i -> j). Empty = uniform one-hop costs above.
+  /// Diagonal entries must be 0.
+  std::vector<Cycles> latency_matrix;
+  std::vector<Cycles> link_cycle_matrix;
+
+  /// Home socket of an address.
+  [[nodiscard]] constexpr unsigned home_socket_of(Addr a) const noexcept {
+    return static_cast<unsigned>((a >> home_shift) & (num_sockets - 1));
+  }
+
+  /// First address of socket s's home domain (contiguous-domain layouts only;
+  /// meaningless for page-interleaved home_shift values).
+  [[nodiscard]] constexpr Addr socket_base(unsigned s) const noexcept {
+    return static_cast<Addr>(s) << home_shift;
+  }
+
+  /// Bytes per contiguous home domain (before the pattern repeats).
+  [[nodiscard]] constexpr std::uint64_t domain_bytes() const noexcept {
+    return std::uint64_t{1} << home_shift;
+  }
+
+  /// Extra latency of a direct i -> j access (0 on the diagonal).
+  [[nodiscard]] Cycles latency(unsigned i, unsigned j) const;
+
+  /// Per-line transfer cycles of the direct i -> j link (0 on the diagonal).
+  [[nodiscard]] Cycles link_cycles(unsigned i, unsigned j) const;
+
+  /// True when the topology is a single socket (the degenerate chip case all
+  /// pre-NUMA code paths run under).
+  [[nodiscard]] constexpr bool single_socket() const noexcept {
+    return num_sockets == 1;
+  }
+
+  /// Non-throwing validation; reports every violation at once.
+  [[nodiscard]] util::Status check() const;
+  /// Throwing wrapper around check().
+  void validate() const;
+};
+
+/// Parses the bench `--distance` knob: "<latency>:<line_cycles>", e.g.
+/// "120:16". Both values are uniform one-hop costs in cycles.
+[[nodiscard]] util::Expected<NodeTopology> parse_distance(
+    const std::string& text, NodeTopology base);
+
+}  // namespace mcopt::arch

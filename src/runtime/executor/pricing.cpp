@@ -82,6 +82,57 @@ util::Expected<sim::AnalyticEstimate> PricingModel::estimate(
   }
 }
 
+util::Expected<sim::NodeEstimate> PricingModel::estimate_node(
+    JobKind kind, const arch::NodeTopology& node,
+    const sim::FaultSpec& faults) const {
+  using Result = util::Expected<sim::NodeEstimate>;
+  const std::vector<unsigned> memory = faults.surviving_sockets(node.num_sockets);
+  if (memory.empty())
+    return Result::failure(
+        "pricing: no surviving socket memory to plan a layout on");
+
+  std::vector<unsigned> compute(node.num_sockets);
+  for (unsigned s = 0; s < node.num_sockets; ++s) compute[s] = s;
+  const StreamShape shape = shape_of(kind);
+  try {
+    const seg::NodeStreamPlan plan = seg::plan_node_stream_shards(
+        shape.num_streams, cfg_.map, node, compute, memory);
+    std::vector<std::vector<sim::AnalyticStream>> streams(node.num_sockets);
+    std::vector<unsigned> strands(node.num_sockets, cfg_.pricing_threads);
+    for (const seg::NodeStreamPlan::Shard& shard : plan.shards) {
+      std::vector<sim::AnalyticStream> logical;
+      logical.reserve(shard.bases.size());
+      for (std::size_t k = 0; k < shard.bases.size(); ++k)
+        logical.push_back({shard.bases[k], k == shape.write_index});
+      streams[shard.compute_socket] = sim::expand_rfo(logical);
+    }
+    return Result(sim::estimate_node_bandwidth(streams, strands,
+                                               cfg_.calibration, cfg_.map, node,
+                                               cfg_.clock_ghz, faults));
+  } catch (const std::invalid_argument& e) {
+    return Result::failure(std::string("pricing: ") + e.what());
+  }
+}
+
+util::Expected<Quote> PricingModel::price_node(
+    const JobSpec& job, const arch::NodeTopology& node,
+    const sim::FaultSpec& faults) const {
+  const auto est = estimate_node(job.kind, node, faults);
+  if (!est) return util::Expected<Quote>::failure(est.error().message);
+  if (!(est.value().bandwidth > 0.0))
+    return util::Expected<Quote>::failure(
+        "pricing: node analytic model returned non-positive bandwidth");
+
+  Quote q;
+  q.bandwidth = est.value().bandwidth;
+  q.bytes = traffic_bytes(job);
+  q.service_cycles = static_cast<arch::Cycles>(std::ceil(
+      static_cast<double>(q.bytes) / q.bandwidth * clock_hz()));
+  if (q.service_cycles == 0) q.service_cycles = 1;  // nothing is free
+  q.plan_set = faults.surviving_sockets(node.num_sockets);
+  return q;
+}
+
 util::Expected<Quote> PricingModel::price(const JobSpec& job,
                                           const sim::FaultSpec& faults) const {
   const auto est = estimate(job.kind, faults);

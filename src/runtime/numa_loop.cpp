@@ -1,0 +1,332 @@
+#include "runtime/numa_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "kernels/triad.h"
+#include "obs/trace.h"
+#include "seg/planner.h"
+#include "sim/analytic.h"
+#include "sim/numa.h"
+#include "util/log.h"
+
+namespace mcopt::runtime {
+
+namespace {
+
+/// Bump allocator over the contiguous home domains: hands out array storage
+/// inside a chosen socket's domain at a planner-chosen period offset.
+class DomainArena {
+ public:
+  explicit DomainArena(const arch::NodeTopology& node) : node_(node) {
+    next_.reserve(node.num_sockets);
+    for (unsigned d = 0; d < node.num_sockets; ++d)
+      next_.push_back(node.socket_base(d));
+  }
+
+  arch::Addr allocate(unsigned domain, std::size_t bytes, std::size_t align,
+                      std::size_t offset) {
+    const arch::Addr aligned =
+        (next_.at(domain) + align - 1) / align * align + offset;
+    next_[domain] = aligned + bytes;
+    if (next_[domain] > node_.socket_base(domain) + node_.domain_bytes())
+      throw std::invalid_argument(
+          "run_supervised_node_triad: home domain " + std::to_string(domain) +
+          " overflows (shrink n or raise home_shift)");
+    return aligned;
+  }
+
+ private:
+  arch::NodeTopology node_;
+  std::vector<arch::Addr> next_;
+};
+
+arch::Cycles seconds_to_cycles(double seconds, double clock_ghz) {
+  return static_cast<arch::Cycles>(std::ceil(seconds * clock_ghz * 1e9));
+}
+
+/// Analytic node bandwidth of a job placement under a fault belief.
+double placement_bw(const std::vector<NodeJob>& jobs, unsigned threads,
+                    const sim::NodeConfig& nc, const arch::AddressMap& map,
+                    const sim::FaultSpec& belief) {
+  const unsigned n = nc.node.num_sockets;
+  std::vector<std::vector<sim::AnalyticStream>> streams(n);
+  std::vector<unsigned> strands(n, 0);
+  for (const NodeJob& job : jobs) {
+    const std::vector<sim::AnalyticStream> logical = {{job.bases[0], true},
+                                                      {job.bases[1], false},
+                                                      {job.bases[2], false},
+                                                      {job.bases[3], false}};
+    const auto physical = sim::expand_rfo(logical);
+    auto& dst = streams[job.compute_socket];
+    dst.insert(dst.end(), physical.begin(), physical.end());
+    strands[job.compute_socket] += threads;
+  }
+  return sim::estimate_node_bandwidth(streams, strands, nc.sim.calibration, map,
+                                      nc.node, nc.sim.topology.clock_ghz,
+                                      belief)
+      .bandwidth;
+}
+
+/// Failover placement: jobs whose home survives and is local stay put; every
+/// other job moves, compute and data together, to the least-loaded healthy
+/// socket. `materialize` allocates real storage; probe placements reuse a
+/// scratch offset inside the target domain (only home + period offset matter
+/// to the analytic gate).
+std::vector<NodeJob> plan_failover(const std::vector<NodeJob>& jobs,
+                                   const std::vector<unsigned>& healthy,
+                                   const arch::AddressMap& map,
+                                   const arch::NodeTopology& node,
+                                   DomainArena* materialize, std::size_t n) {
+  const std::size_t period = map.spec().period_bytes();
+  const std::size_t stride = period / map.spec().num_controllers();
+  const auto is_healthy = [&](unsigned s) {
+    return std::find(healthy.begin(), healthy.end(), s) != healthy.end();
+  };
+  std::vector<unsigned> load(node.num_sockets, 0);
+  std::vector<NodeJob> out = jobs;
+  for (const NodeJob& job : out)
+    if (is_healthy(job.home_socket) && job.home_socket == job.compute_socket)
+      ++load[job.home_socket];
+  for (NodeJob& job : out) {
+    if (is_healthy(job.home_socket) && job.home_socket == job.compute_socket)
+      continue;
+    unsigned target = healthy.front();
+    for (const unsigned h : healthy)
+      if (load[h] < load[target]) target = h;
+    const unsigned rotation = load[target];
+    ++load[target];
+    job.compute_socket = target;
+    job.home_socket = target;
+    const seg::StreamPlan plan = seg::plan_stream_offsets(4, map);
+    for (std::size_t k = 0; k < 4; ++k) {
+      const std::size_t off =
+          (plan.offsets[k] + static_cast<std::size_t>(rotation) * stride) %
+          period;
+      job.bases[k] =
+          materialize != nullptr
+              ? materialize->allocate(target, n * sizeof(double) + off,
+                                      plan.base_align, off)
+              : node.socket_base(target) + (arch::Addr{1} << 30) + off;
+    }
+  }
+  return out;
+}
+
+bool same_placement(const std::vector<NodeJob>& a,
+                    const std::vector<NodeJob>& b) {
+  for (std::size_t j = 0; j < a.size(); ++j)
+    if (a[j].compute_socket != b[j].compute_socket ||
+        a[j].home_socket != b[j].home_socket)
+      return false;
+  return true;
+}
+
+}  // namespace
+
+util::Status NodeLoopConfig::check() const {
+  util::Status status;
+  status.merge(node.check());
+  status.merge(detector.check());
+  if (node.node.single_socket())
+    status.note("NodeLoopConfig: node loop needs >= 2 sockets");
+  if (threads == 0) status.note("NodeLoopConfig: threads must be >= 1");
+  if (slices == 0) status.note("NodeLoopConfig: slices must be >= 1");
+  if (!(migration_safety >= 0.0) || !std::isfinite(migration_safety))
+    status.note("NodeLoopConfig: migration_safety must be finite and >= 0");
+  if (node.sim.fault_schedule.has_relative())
+    status.note("NodeLoopConfig: fault schedule has unresolved percent bounds");
+  // Worst-case failover packs every job onto one surviving chip.
+  if (threads * node.node.num_sockets > node.sim.topology.max_threads())
+    status.note("NodeLoopConfig: threads*sockets exceeds one chip's strands (" +
+                std::to_string(node.sim.topology.max_threads()) +
+                "); failover could not pack jobs onto one survivor");
+  return status;
+}
+
+NodeLoopResult run_supervised_node_triad(std::size_t n,
+                                         const NodeLoopConfig& cfg) {
+  cfg.check().throw_if_failed();
+  const unsigned sockets = cfg.node.node.num_sockets;
+  const arch::AddressMap map(cfg.node.sim.interleave);
+  const double ghz = cfg.node.sim.topology.clock_ghz;
+  NodeSupervisor sup(cfg.detector, cfg.node.node, cfg.seed);
+  DomainArena arena(cfg.node.node);
+
+  // One job per socket, arrays local at planner offsets.
+  std::vector<NodeJob> jobs(sockets);
+  const seg::StreamPlan plan = seg::plan_stream_offsets(4, map);
+  for (unsigned s = 0; s < sockets; ++s) {
+    jobs[s].compute_socket = s;
+    jobs[s].home_socket = s;
+    jobs[s].bases.resize(4);
+    for (std::size_t k = 0; k < 4; ++k)
+      jobs[s].bases[k] = arena.allocate(s, n * sizeof(double) + plan.offsets[k],
+                                        plan.base_align, plan.offsets[k]);
+  }
+
+  NodeLoopResult out;
+  out.socket_timelines.resize(sockets);
+  arch::Cycles global = 0;
+  NodeSample last_sample;
+
+  for (unsigned slice = 0; slice < cfg.slices; ++slice) {
+    const obs::TraceSpan slice_span("nodeloop.slice", "loop", slice, global);
+    sim::NodeConfig nc = cfg.node;
+    nc.sim.fault_schedule = cfg.node.sim.fault_schedule.shifted(global);
+    std::vector<sim::Workload> wls(sockets);
+    for (const NodeJob& job : jobs) {
+      auto wl = kernels::make_triad_workload(job.bases, n, cfg.threads,
+                                             sched::Schedule::static_block(), 1);
+      auto& dst = wls[job.compute_socket];
+      for (auto& program : wl) dst.push_back(std::move(program));
+    }
+    sim::Node node(nc);
+    sim::NodeResult res = node.run(wls);
+
+    const arch::Cycles slice_begin = global;
+    global += res.total_cycles;
+    out.total_cycles += res.total_cycles;
+    out.bytes += res.mem_read_bytes + res.mem_write_bytes;
+    out.remote_bytes += res.remote_read_bytes + res.remote_write_bytes;
+    out.slice_log.push_back({slice_begin, global,
+                             res.mem_read_bytes + res.mem_write_bytes,
+                             res.remote_read_bytes + res.remote_write_bytes});
+    for (unsigned s = 0; s < sockets; ++s) {
+      for (const obs::McSample& row : res.sockets[s].mc_timeline) {
+        obs::McSample shifted = row;
+        shifted.begin += slice_begin;
+        shifted.end += slice_begin;
+        out.socket_timelines[s].push_back(std::move(shifted));
+      }
+    }
+
+    last_sample = NodeSample{};
+    last_sample.begin = slice_begin;
+    last_sample.end = global;
+    last_sample.socket_utilization = res.socket_utilization;
+    last_sample.link_utilization.assign(sockets, {});
+    last_sample.link_line_cost.assign(sockets, {});
+    for (unsigned s = 0; s < sockets; ++s) {
+      last_sample.link_utilization[s].assign(sockets, 0.0);
+      last_sample.link_line_cost[s].assign(sockets, 0.0);
+      const auto& links = res.sockets[s].links;
+      for (unsigned t = 0; t < links.size(); ++t) {
+        if (res.total_cycles != 0)
+          last_sample.link_utilization[s][t] =
+              static_cast<double>(links[t].busy_cycles) /
+              static_cast<double>(res.total_cycles);
+        if (links[t].line_transfers() != 0)
+          last_sample.link_line_cost[s][t] =
+              static_cast<double>(links[t].busy_cycles) /
+              static_cast<double>(links[t].line_transfers());
+      }
+    }
+    if (!cfg.supervise) continue;
+
+    // Placement channel: candidate failover layout under the current belief
+    // vs what is running now.
+    const sim::FaultSpec& belief = sup.planned_against();
+    const auto believed_healthy = belief.surviving_sockets(sockets);
+    const std::vector<NodeJob> believed_cand = plan_failover(
+        jobs, believed_healthy, map, cfg.node.node, nullptr, n);
+    const double cur_bw = placement_bw(jobs, cfg.threads, cfg.node, map, belief);
+    const double cand_bw = same_placement(jobs, believed_cand)
+                               ? cur_bw
+                               : placement_bw(believed_cand, cfg.threads,
+                                              cfg.node, map, belief);
+    const double gain = cur_bw > 0.0 ? cand_bw / cur_bw : 1.0;
+
+    const NodeDecision dec = sup.observe(last_sample, gain);
+    if (dec.action != Action::kReplan) continue;
+
+    const std::vector<NodeJob> candidate = plan_failover(
+        jobs, dec.healthy_sockets, map, cfg.node.node, nullptr, n);
+    if (same_placement(jobs, candidate)) {
+      // Nothing to move (e.g. a link derate with every job already local):
+      // record the new belief without paying a migration.
+      sup.commit(global);
+      ++out.replans;
+      continue;
+    }
+
+    const double bw_now =
+        placement_bw(jobs, cfg.threads, cfg.node, map, dec.diagnosis);
+    const double bw_new =
+        placement_bw(candidate, cfg.threads, cfg.node, map, dec.diagnosis);
+    const unsigned remaining = cfg.slices - slice - 1;
+    bool migrate = false;
+    double mig_seconds = 0.0;
+    if (remaining > 0 && bw_now > 0.0 && bw_new > bw_now) {
+      const double rem_bytes =
+          static_cast<double>(remaining) * static_cast<double>(jobs.size()) *
+          static_cast<double>(kernels::triad_actual_bytes(n));
+      const double saved = rem_bytes / bw_now - rem_bytes / bw_new;
+      // Price each moved job: B, C, D read once from wherever the old home
+      // is served under the diagnosis (link bandwidth when remote), then
+      // first-touch written into the new home at the post-migration rate.
+      const double copy_bytes = 3.0 * static_cast<double>(n) * 8.0;
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (jobs[j].compute_socket == candidate[j].compute_socket &&
+            jobs[j].home_socket == candidate[j].home_socket)
+          continue;
+        const sim::NumaRoutes routes = sim::resolve_numa_routes(
+            cfg.node.node, dec.diagnosis, candidate[j].compute_socket);
+        const unsigned serving = routes.home_serving[jobs[j].home_socket];
+        double read_bw = bw_new;
+        if (serving != candidate[j].compute_socket &&
+            routes.line_cycles[serving] > 0)
+          read_bw = std::min(
+              read_bw, 64.0 / static_cast<double>(routes.line_cycles[serving]) *
+                           ghz * 1e9);
+        mig_seconds += copy_bytes / read_bw + copy_bytes / bw_new;
+      }
+      migrate = saved * cfg.migration_safety >= mig_seconds;
+    }
+    if (!migrate) {
+      ++out.declined;
+      obs::trace_instant("sock.decline", "numa", global, 0);
+      sup.abort(global);
+      util::log_info("node_triad: migration declined at=" +
+                     std::to_string(global) + " bw_now=" +
+                     std::to_string(bw_now) + " bw_new=" +
+                     std::to_string(bw_new) + " mig_s=" +
+                     std::to_string(mig_seconds));
+      continue;
+    }
+
+    jobs = plan_failover(jobs, dec.healthy_sockets, map, cfg.node.node, &arena,
+                         n);
+    const arch::Cycles mig_cycles = seconds_to_cycles(mig_seconds, ghz);
+    obs::trace_instant("sock.migrate", "numa", global, mig_cycles);
+    global += mig_cycles;
+    out.total_cycles += mig_cycles;
+    out.migration_cycles += mig_cycles;
+    sup.commit(global);
+    ++out.replans;
+    out.replan_log.push_back({global, dec.healthy_sockets, jobs, mig_cycles});
+    util::log_info("node_triad: migrated at=" + std::to_string(global) +
+                   " cost=" + std::to_string(mig_cycles) + " cycles");
+  }
+
+  out.suppressed = sup.suppressed();
+  out.final_diagnosis =
+      cfg.supervise && !last_sample.socket_utilization.empty()
+          ? sup.diagnose(last_sample, sup.planned_against())
+          : sim::FaultSpec{};
+  out.final_socket_utilization = last_sample.socket_utilization;
+  out.final_jobs = jobs;
+  out.seconds = arch::cycles_to_seconds(out.total_cycles, ghz);
+  out.bandwidth =
+      out.seconds > 0.0 ? static_cast<double>(out.bytes) / out.seconds : 0.0;
+  out.remote_fraction =
+      out.bytes != 0
+          ? static_cast<double>(out.remote_bytes) / static_cast<double>(out.bytes)
+          : 0.0;
+  return out;
+}
+
+}  // namespace mcopt::runtime

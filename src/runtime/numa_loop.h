@@ -1,0 +1,129 @@
+#pragma once
+// Supervised multi-socket job loop: run -> sample -> (maybe) migrate jobs
+// across sockets -> continue.
+//
+// The node loop runs one triad job per socket, each job's four arrays homed
+// in its socket's own memory domain (the planner's local placement). Every
+// slice runs all jobs on the sim::Node DES with the remaining portion of the
+// fault schedule, then feeds per-socket utilization and per-link occupancy/
+// per-line-cost observations to a runtime::NodeSupervisor. On a kReplan
+// verdict the loop builds a failover placement — jobs whose home domain died
+// move, compute and data together, onto the least-loaded surviving sockets —
+// and commits it only when the analytic projection clears the migration cost
+// by the break-even margin (LoopConfig::migration_safety semantics).
+//
+// Migration pricing follows the physical story: each moved job's live
+// arrays (B, C, D; A is overwritten every sweep) are read once from wherever
+// their old home is served *now* — at link bandwidth when that is across the
+// interconnect — and first-touch written once into the new home domain at
+// the post-migration node bandwidth. A dead old home prices reads at the
+// remap survivor's route, exactly what the DES would charge.
+//
+// With `supervise = false` the same slicing runs with the supervisor
+// bypassed — the surviving-socket convergence baseline for the NUMA
+// regression tests.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/timeline.h"
+#include "runtime/supervisor.h"
+#include "sim/node.h"
+#include "util/expected.h"
+
+namespace mcopt::runtime {
+
+struct NodeLoopConfig {
+  /// Node topology plus the per-socket chip template. The fault schedule
+  /// must be resolved and is interpreted on the loop's global timeline.
+  sim::NodeConfig node{};
+  /// Strands per job (every socket that hosts j jobs runs j*threads strands;
+  /// the worst failover case num_sockets*threads must fit one chip).
+  unsigned threads = 16;
+  /// Number of sweeps == slices (one sweep of every live job per slice).
+  unsigned slices = 12;
+  /// false = unsupervised baseline: identical slicing, never migrates.
+  bool supervise = true;
+  NodeDetectorConfig detector{};
+  /// Migrate only when projected_savings * migration_safety >= cost.
+  double migration_safety = 0.5;
+  /// Seeds the node supervisor's backoff jitter.
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] util::Status check() const;
+};
+
+/// One triad job: where it computes and where its arrays live.
+struct NodeJob {
+  unsigned compute_socket = 0;
+  unsigned home_socket = 0;
+  /// Array bases, order A,B,C,D.
+  std::vector<arch::Addr> bases;
+};
+
+/// One committed cross-socket migration.
+struct NodeReplanRecord {
+  arch::Cycles at = 0;  ///< global cycle the migration completed
+  std::vector<unsigned> healthy_sockets;
+  std::vector<NodeJob> jobs;  ///< post-migration placement
+  arch::Cycles migration_cycles = 0;
+};
+
+/// Per-slice accounting on the loop's global timeline (migration gaps fall
+/// between slices). Lets callers measure phase bandwidths — e.g. the
+/// converged tail after the last committed migration.
+struct NodeSliceRecord {
+  arch::Cycles begin = 0;
+  arch::Cycles end = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t remote_bytes = 0;
+};
+
+struct NodeLoopResult {
+  arch::Cycles total_cycles = 0;
+  arch::Cycles migration_cycles = 0;
+  std::uint64_t bytes = 0;         ///< kernel traffic, both directions
+  std::uint64_t remote_bytes = 0;  ///< cross-socket share of `bytes`
+  double seconds = 0.0;
+  double bandwidth = 0.0;  ///< bytes/seconds, migration time included
+  double remote_fraction = 0.0;
+  unsigned replans = 0;
+  unsigned suppressed = 0;
+  unsigned declined = 0;
+  /// Socket/link fault state the supervisor believes at the end.
+  sim::FaultSpec final_diagnosis;
+  std::vector<double> final_socket_utilization;
+  std::vector<NodeReplanRecord> replan_log;
+  std::vector<NodeSliceRecord> slice_log;
+  std::vector<NodeJob> final_jobs;
+  /// Per-socket controller timelines stitched onto the global loop timeline
+  /// (rows only when node.sim.mc_sample_cadence != 0).
+  std::vector<obs::McTimeline> socket_timelines;
+
+  /// Bandwidth over the slices beginning at or after `from` — pass the last
+  /// replan's stamp to measure the converged post-migration tail. Migration
+  /// gaps are excluded (they are not slice time).
+  [[nodiscard]] double tail_bandwidth(arch::Cycles from,
+                                      double clock_ghz) const noexcept {
+    std::uint64_t tail_bytes = 0;
+    arch::Cycles tail_cycles = 0;
+    for (const NodeSliceRecord& s : slice_log) {
+      if (s.begin < from) continue;
+      tail_bytes += s.bytes;
+      tail_cycles += s.end - s.begin;
+    }
+    return tail_cycles == 0 ? 0.0
+                            : static_cast<double>(tail_bytes) /
+                                  arch::cycles_to_seconds(tail_cycles,
+                                                          clock_ghz);
+  }
+};
+
+/// Supervised node-wide triad: one n-element job per socket over
+/// cfg.slices sweeps. Requires contiguous home domains large enough for the
+/// worst failover packing (throws std::invalid_argument otherwise).
+[[nodiscard]] NodeLoopResult run_supervised_node_triad(
+    std::size_t n, const NodeLoopConfig& cfg);
+
+}  // namespace mcopt::runtime

@@ -278,4 +278,218 @@ void Supervisor::abort(arch::Cycles now) {
                  " next_allowed=" + std::to_string(backoff_.ready_at()));
 }
 
+// ---------------------------------------------------------------------------
+// NodeSupervisor
+
+util::Status NodeDetectorConfig::check() const {
+  util::Status status;
+  if (stable_window == 0)
+    status.note("NodeDetectorConfig: stable_window must be >= 1");
+  if (!(offline_threshold > 0.0) || offline_threshold >= 1.0)
+    status.note("NodeDetectorConfig: offline_threshold outside (0, 1)");
+  if (!(link_saturation > 0.0) || link_saturation >= 1.0)
+    status.note("NodeDetectorConfig: link_saturation outside (0, 1)");
+  if (derate_threshold <= 1.0)
+    status.note("NodeDetectorConfig: derate_threshold must exceed 1");
+  if (min_signal < 0.0 || min_signal >= 1.0)
+    status.note("NodeDetectorConfig: min_signal outside [0, 1)");
+  if (replan_gain <= 1.0)
+    status.note("NodeDetectorConfig: replan_gain must exceed 1");
+  if (backoff.initial == 0)
+    status.note("NodeDetectorConfig: backoff.initial == 0");
+  if (backoff.multiplier < 1.0)
+    status.note("NodeDetectorConfig: backoff.multiplier < 1");
+  if (backoff.cap < backoff.initial)
+    status.note("NodeDetectorConfig: backoff.cap < backoff.initial");
+  if (backoff.jitter < 0.0 || backoff.jitter >= 1.0)
+    status.note("NodeDetectorConfig: backoff.jitter outside [0, 1)");
+  if (quiet_reset == 0)
+    status.note("NodeDetectorConfig: quiet_reset must be >= 1");
+  return status;
+}
+
+NodeSupervisor::NodeSupervisor(NodeDetectorConfig cfg,
+                               const arch::NodeTopology& node,
+                               std::uint64_t seed)
+    : cfg_(cfg), node_(node), backoff_(cfg.backoff, seed) {
+  cfg_.check().throw_if_failed();
+  node_.validate();
+  if (node_.single_socket())
+    throw std::invalid_argument(
+        "NodeSupervisor: single-socket topology has no socket fault domains");
+}
+
+sim::FaultSpec NodeSupervisor::diagnose(const NodeSample& sample,
+                                        const sim::FaultSpec& prior) const {
+  const unsigned n = node_.num_sockets;
+  if (sample.socket_utilization.size() != n)
+    throw std::invalid_argument(
+        "NodeSupervisor::diagnose: socket utilization size " +
+        std::to_string(sample.socket_utilization.size()) + " != sockets " +
+        std::to_string(n));
+  const auto link_util = [&](unsigned s, unsigned t) {
+    return s < sample.link_utilization.size() &&
+                   t < sample.link_utilization[s].size()
+               ? sample.link_utilization[s][t]
+               : 0.0;
+  };
+  const auto link_cost = [&](unsigned s, unsigned t) {
+    return s < sample.link_line_cost.size() &&
+                   t < sample.link_line_cost[s].size()
+               ? sample.link_line_cost[s][t]
+               : 0.0;
+  };
+
+  sim::FaultSpec diag;
+  const double peak = *std::max_element(sample.socket_utilization.begin(),
+                                        sample.socket_utilization.end());
+  for (unsigned s = 0; s < n; ++s) {
+    const double util = sample.socket_utilization[s];
+    double outbound = 0.0;
+    for (unsigned t = 0; t < n; ++t)
+      outbound = std::max(outbound, link_util(s, t));
+    if (util < cfg_.offline_threshold * peak &&
+        outbound > cfg_.link_saturation) {
+      // The dead-memory signature: local controllers idle while the socket
+      // limps over the interconnect.
+      diag.offline_sockets.push_back(s);
+    } else if (util < cfg_.min_signal && outbound < cfg_.min_signal) {
+      // No evidence either way: carry the prior belief forward (a migrated-
+      // away socket goes silent and must not flap back to healthy).
+      if (prior.is_socket_offline(s)) diag.offline_sockets.push_back(s);
+    }
+  }
+  if (diag.offline_sockets.size() == n) diag.offline_sockets.clear();
+
+  // Link derates read off observed per-line cost inflation. Serving-socket
+  // derates and multi-hop reroutes inflate the same observable; the factor
+  // is attributed to the direct link, which is what the placement gate
+  // prices anyway.
+  for (unsigned s = 0; s < n; ++s) {
+    for (unsigned t = s + 1; t < n; ++t) {
+      const double healthy = static_cast<double>(node_.link_cycles(s, t));
+      const double observed = std::max(link_cost(s, t), link_cost(t, s));
+      if (healthy <= 0.0 || observed <= 0.0) continue;
+      if (diag.is_socket_offline(s) || diag.is_socket_offline(t)) continue;
+      if (observed > cfg_.derate_threshold * healthy) {
+        const double factor = std::clamp(healthy / observed, 0.05, 1.0);
+        diag.link_faults.push_back({s, t, factor, false});
+      }
+    }
+  }
+  return diag;
+}
+
+std::vector<unsigned> NodeSupervisor::non_dead(const sim::FaultSpec& d) const {
+  std::vector<unsigned> set;
+  for (unsigned s = 0; s < node_.num_sockets; ++s)
+    if (!d.is_socket_offline(s)) set.push_back(s);
+  return set;
+}
+
+NodeDecision NodeSupervisor::observe(const NodeSample& sample,
+                                     double layout_gain) {
+  if (!(layout_gain > 0.0) || !std::isfinite(layout_gain))
+    throw std::invalid_argument("NodeSupervisor::observe: bad layout_gain");
+  obs::TraceSpan span("nodesup.observe", "supervisor", sample.end, 0);
+
+  NodeDecision dec;
+  dec.at = sample.end;
+  dec.diagnosis = planned_against_;
+  dec.healthy_sockets = non_dead(planned_against_);
+
+  const double peak = sample.socket_utilization.empty()
+                          ? 0.0
+                          : *std::max_element(sample.socket_utilization.begin(),
+                                              sample.socket_utilization.end());
+  double busiest_link = 0.0;
+  for (const auto& row : sample.link_utilization)
+    for (const double u : row) busiest_link = std::max(busiest_link, u);
+  if (sample.socket_utilization.size() != node_.num_sockets ||
+      (peak < cfg_.min_signal && busiest_link < cfg_.min_signal)) {
+    dec.reason = "idle";
+    return dec;
+  }
+
+  const sim::FaultSpec diag = diagnose(sample, planned_against_);
+  const std::string descr = diag.describe();
+  if (descr == pending_descr_) {
+    ++pending_count_;
+  } else {
+    pending_descr_ = descr;
+    pending_diag_ = diag;
+    pending_count_ = 1;
+  }
+  if (pending_count_ < cfg_.stable_window) {
+    dec.reason = "unstable diagnosis (" + descr + ", " +
+                 std::to_string(pending_count_) + "/" +
+                 std::to_string(cfg_.stable_window) + ")";
+    return dec;
+  }
+
+  const bool fault_changed = descr != planned_against_.describe();
+  const bool layout_deficit = layout_gain >= cfg_.replan_gain;
+  if (!fault_changed && !layout_deficit) {
+    dec.reason = "planned state current";
+    if (++quiet_count_ >= cfg_.quiet_reset && backoff_.retries() != 0) {
+      backoff_.reset();
+      util::log_info("nodesup: backoff reset after quiet stretch at=" +
+                     std::to_string(sample.end));
+    }
+    return dec;
+  }
+  quiet_count_ = 0;
+
+  // sock.*/link.* instants mark newly suspected fault domains on the trace
+  // timeline, replan or not.
+  for (const unsigned s : diag.offline_sockets)
+    if (!planned_against_.is_socket_offline(s))
+      obs::trace_instant("sock.offline.suspect", "numa", sample.end, s);
+  for (const auto& lf : diag.link_faults)
+    if (planned_against_.link_derate_of(lf.a, lf.b) == 1.0)
+      obs::trace_instant("link.degraded.suspect", "numa", sample.end,
+                         lf.a * arch::NodeTopology::kMaxSockets + lf.b);
+
+  dec.diagnosis = diag;
+  dec.healthy_sockets = non_dead(diag);
+  const std::string why = fault_changed
+                              ? "fault state " + planned_against_.describe() +
+                                    " -> " + descr
+                              : "placement gain " + std::to_string(layout_gain);
+  if (backoff_.ready_in(sample.end) > 0) {
+    ++suppressed_;
+    dec.action = Action::kSuppressed;
+    dec.reason = why + "; suppressed by backoff until " +
+                 std::to_string(backoff_.ready_at());
+    util::log_info("nodesup: action=suppressed at=" +
+                   std::to_string(sample.end) + " set=" +
+                   set_to_string(dec.healthy_sockets) + " reason=" + dec.reason);
+    return dec;
+  }
+
+  dec.action = Action::kReplan;
+  dec.reason = why;
+  util::log_info("nodesup: action=replan at=" + std::to_string(sample.end) +
+                 " set=" + set_to_string(dec.healthy_sockets) +
+                 " reason=" + why);
+  return dec;
+}
+
+void NodeSupervisor::commit(arch::Cycles now) {
+  obs::trace_instant("nodesup.commit", "supervisor", now, replans_ + 1u);
+  planned_against_ = pending_diag_;
+  backoff_.arm(now);
+  ++replans_;
+  util::log_info("nodesup: replan committed at=" + std::to_string(now) +
+                 " planned_against=" + planned_against_.describe() +
+                 " next_allowed=" + std::to_string(backoff_.ready_at()));
+}
+
+void NodeSupervisor::abort(arch::Cycles now) {
+  obs::trace_instant("nodesup.abort", "supervisor", now, 0);
+  backoff_.arm(now);
+  util::log_info("nodesup: replan declined at=" + std::to_string(now) +
+                 " next_allowed=" + std::to_string(backoff_.ready_at()));
+}
+
 }  // namespace mcopt::runtime

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "arch/address_map.h"
+#include "arch/numa.h"
 #include "sim/faults.h"
 #include "util/backoff.h"
 #include "util/expected.h"
@@ -195,6 +196,130 @@ class Supervisor {
   unsigned replans_ = 0;
   unsigned suppressed_ = 0;
   unsigned scrubs_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Node-level supervision: socket and link fault domains.
+//
+// At multi-chip scale the degradation unit is a whole socket's memory domain
+// or an inter-socket link, and the signal changes shape: a socket whose
+// memory died does NOT go quiet — its controllers idle while its *outbound
+// link ports saturate*, because every fill it used to serve locally now
+// limps across the interconnect at remap cost. The node detector keys on
+// exactly that signature (utilization collapse + link saturation) so a
+// merely idle socket is never mistaken for a dead one. Link derates are
+// read off the observed per-line transfer cost: the DES charges
+// raw_cycles / derate per line, so cost inflation over the topology's
+// healthy figure is the derate, directly.
+//
+// Evidence rule: a socket showing neither memory traffic nor link traffic
+// contributes NO evidence, and the detector carries the prior belief for it
+// forward. This is what keeps failover stable — after jobs migrate off a
+// dead socket it goes silent, and a naive detector would flip it back to
+// healthy and thrash the replan loop.
+
+/// Node detector thresholds. Defaults calibrated for slice-grained samples
+/// from sim::Node runs.
+struct NodeDetectorConfig {
+  /// Consecutive identical diagnoses required before acting.
+  unsigned stable_window = 2;
+  /// Dead-socket detection: socket utilization below this fraction of the
+  /// busiest socket's...
+  double offline_threshold = 0.12;
+  /// ...while its busiest outbound link exceeds this busy fraction.
+  double link_saturation = 0.5;
+  /// Link-derate detection: observed per-line cost above this multiple of
+  /// the topology's healthy cost.
+  double derate_threshold = 1.6;
+  /// Samples whose busiest socket sits below this carry no signal.
+  double min_signal = 0.02;
+  /// Placement replans (diagnosis unchanged) trigger only when
+  /// candidate/current bandwidth exceeds this.
+  double replan_gain = 1.15;
+  /// Replan backoff, in simulated cycles.
+  util::BackoffConfig backoff{.initial = 50000, .multiplier = 2.0,
+                              .cap = 3200000, .jitter = 0.1};
+  /// Consecutive no-action samples after which the backoff resets.
+  unsigned quiet_reset = 4;
+
+  /// Non-throwing validation; reports every violation at once.
+  [[nodiscard]] util::Status check() const;
+};
+
+/// One node observation window over [begin, end) of the loop timeline.
+struct NodeSample {
+  arch::Cycles begin = 0;
+  arch::Cycles end = 0;
+  /// Mean controller busy fraction of each socket over the window.
+  std::vector<double> socket_utilization;
+  /// Busy fraction of socket s's link port toward peer t (entry [s][t];
+  /// diagonal 0). Empty rows allowed for idle sockets.
+  std::vector<std::vector<double>> link_utilization;
+  /// Observed cycles per 64 B line on socket s's port toward t (busy cycles
+  /// over line transfers; 0 = no traffic, i.e. no evidence).
+  std::vector<std::vector<double>> link_line_cost;
+};
+
+/// The node supervisor's verdict for one sample.
+struct NodeDecision {
+  Action action = Action::kKeep;
+  /// Believed socket/link fault state.
+  sim::FaultSpec diagnosis;
+  /// Sockets a replan may place compute and memory on (the non-dead set).
+  std::vector<unsigned> healthy_sockets;
+  std::string reason;
+  arch::Cycles at = 0;
+};
+
+/// Socket/link-domain supervisor: same propose/commit/abort protocol and
+/// debounce+backoff discipline as Supervisor, over NodeSample evidence.
+/// Single consumer, not internally synchronized (the node loop is the only
+/// caller; cross-thread use needs external serialization).
+class NodeSupervisor {
+ public:
+  NodeSupervisor(NodeDetectorConfig cfg, const arch::NodeTopology& node,
+                 std::uint64_t seed = 0);
+
+  /// Feeds one node sample. `layout_gain` is the caller's analytic estimate
+  /// of candidate/current node bandwidth under the current belief (placement
+  /// channel, exactly as Supervisor::observe's layout_gain).
+  [[nodiscard]] NodeDecision observe(const NodeSample& sample,
+                                     double layout_gain = 1.0);
+
+  /// The loop migrated per the last kReplan decision.
+  void commit(arch::Cycles now);
+  /// The loop declined the last kReplan decision.
+  void abort(arch::Cycles now);
+
+  [[nodiscard]] const sim::FaultSpec& planned_against() const noexcept {
+    return planned_against_;
+  }
+  [[nodiscard]] unsigned replans() const noexcept { return replans_; }
+  [[nodiscard]] unsigned suppressed() const noexcept { return suppressed_; }
+  [[nodiscard]] const util::Backoff& backoff() const noexcept {
+    return backoff_;
+  }
+
+  /// Pure detector (exposed for tests): classifies one sample into a
+  /// socket/link FaultSpec, carrying `prior` forward for evidence-free
+  /// sockets. observe() passes planned_against() as the prior.
+  [[nodiscard]] sim::FaultSpec diagnose(const NodeSample& sample,
+                                        const sim::FaultSpec& prior) const;
+
+ private:
+  [[nodiscard]] std::vector<unsigned> non_dead(const sim::FaultSpec& d) const;
+
+  NodeDetectorConfig cfg_;
+  arch::NodeTopology node_;
+  util::Backoff backoff_;
+
+  sim::FaultSpec planned_against_{};
+  sim::FaultSpec pending_diag_{};
+  std::string pending_descr_;
+  unsigned pending_count_ = 0;
+  unsigned quiet_count_ = 0;
+  unsigned replans_ = 0;
+  unsigned suppressed_ = 0;
 };
 
 }  // namespace mcopt::runtime

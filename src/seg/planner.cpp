@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 #include <stdexcept>
+#include <tuple>
 
 #include "util/table.h"
 
@@ -95,6 +96,93 @@ RowPlan plan_row_layout(const arch::AddressMap& map,
   plan.shift_cycle.reserve(surviving.size());
   for (unsigned c : surviving) plan.shift_cycle.push_back(c * stride);
   return plan;
+}
+
+namespace {
+
+/// Validation of a socket subset against the node topology.
+void require_valid_sockets(std::span<const unsigned> sockets,
+                           const arch::NodeTopology& node, const char* what) {
+  if (sockets.empty())
+    throw std::invalid_argument(std::string("plan_node_stream_shards: ") +
+                                what + " socket set is empty");
+  std::set<unsigned> seen;
+  for (unsigned s : sockets) {
+    if (s >= node.num_sockets)
+      throw std::invalid_argument(std::string("plan_node_stream_shards: ") +
+                                  what + " socket " + std::to_string(s) +
+                                  " out of range");
+    if (!seen.insert(s).second)
+      throw std::invalid_argument(std::string("plan_node_stream_shards: duplicate ") +
+                                  what + " socket " + std::to_string(s));
+  }
+}
+
+}  // namespace
+
+NodeStreamPlan plan_node_stream_shards(std::size_t num_arrays,
+                                       const arch::AddressMap& map,
+                                       const arch::NodeTopology& node,
+                                       std::span<const unsigned> compute_sockets,
+                                       std::span<const unsigned> memory_sockets) {
+  if (num_arrays == 0)
+    throw std::invalid_argument("plan_node_stream_shards: num_arrays == 0");
+  require_valid_sockets(compute_sockets, node, "compute");
+  require_valid_sockets(memory_sockets, node, "memory");
+
+  const std::size_t period = map.spec().period_bytes();
+  const std::size_t stride = period / map.spec().num_controllers();
+
+  NodeStreamPlan plan;
+  plan.shards.reserve(compute_sockets.size());
+  std::vector<unsigned> domain_load(node.num_sockets, 0);
+  unsigned remote = 0;
+  for (const unsigned c : compute_sockets) {
+    NodeStreamPlan::Shard shard;
+    shard.compute_socket = c;
+    // Priced placement: per-line link cycles first, then current domain load
+    // (spread orphans over equidistant survivors), then index for
+    // determinism. A surviving local domain always wins at price 0.
+    unsigned best = memory_sockets.front();
+    for (const unsigned m : memory_sockets) {
+      const auto price = [&](unsigned d) {
+        return std::tuple(node.link_cycles(c, d), domain_load[d], d);
+      };
+      if (price(m) < price(best)) best = m;
+    }
+    shard.home_socket = best;
+    shard.link_cycles = node.link_cycles(c, best);
+    if (shard.remote()) ++remote;
+
+    // Co-homed shards rotate through the controller stride so their streams
+    // land on different controllers of the shared domain.
+    const unsigned rotation = domain_load[best];
+    ++domain_load[best];
+    shard.streams = plan_stream_offsets(num_arrays, map);
+    for (std::size_t k = 0; k < num_arrays; ++k)
+      shard.streams.offsets[k] = (shard.streams.offsets[k] +
+                                  static_cast<std::size_t>(rotation) * stride) %
+                                 period;
+    shard.bases.reserve(num_arrays);
+    for (std::size_t k = 0; k < num_arrays; ++k)
+      shard.bases.push_back(node.socket_base(shard.home_socket) +
+                            shard.streams.offsets[k]);
+    plan.shards.push_back(std::move(shard));
+  }
+  plan.remote_fraction =
+      static_cast<double>(remote) / static_cast<double>(plan.shards.size());
+  plan.summary = "shards=" + std::to_string(plan.shards.size()) +
+                 " remote=" + std::to_string(remote) + "/" +
+                 std::to_string(plan.shards.size());
+  return plan;
+}
+
+NodeStreamPlan plan_node_stream_shards(std::size_t num_arrays,
+                                       const arch::AddressMap& map,
+                                       const arch::NodeTopology& node) {
+  std::vector<unsigned> all(node.num_sockets);
+  for (unsigned s = 0; s < node.num_sockets; ++s) all[s] = s;
+  return plan_node_stream_shards(num_arrays, map, node, all, all);
 }
 
 AliasReport diagnose_streams(std::span<const arch::Addr> bases,

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "arch/address_map.h"
+#include "arch/numa.h"
 #include "seg/layout.h"
 
 namespace mcopt::seg {
@@ -73,6 +74,58 @@ struct RowPlan {
 /// controllers. Same argument validation as the stream overload.
 [[nodiscard]] RowPlan plan_row_layout(const arch::AddressMap& map,
                                       std::span<const unsigned> surviving);
+
+// ---------------------------------------------------------------------------
+// NUMA sharding: the stream-offset recipe lifted to an N-socket node. Each
+// surviving compute socket gets its own shard of arrays, homed in a surviving
+// memory domain — its own when alive, else the cheapest reachable survivor by
+// interconnect distance ("priced remote placement": per-line link cycles are
+// the price; load ties break toward the emptier domain so orphaned sockets
+// spread instead of piling onto one survivor). Within a domain, shards are
+// rotated through the controller stride so co-homed shards do not alias onto
+// the same controllers.
+
+/// A node-wide stream layout: one shard per surviving compute socket.
+struct NodeStreamPlan {
+  struct Shard {
+    unsigned compute_socket = 0;
+    /// Memory domain serving this shard's arrays (== compute_socket when the
+    /// placement is local).
+    unsigned home_socket = 0;
+    /// Per-line interconnect price of the chosen placement (0 = local).
+    arch::Cycles link_cycles = 0;
+    /// Controller-offset plan within the home domain.
+    StreamPlan streams;
+    /// Absolute planned base of each array: socket_base(home) + offset.
+    std::vector<arch::Addr> bases;
+
+    [[nodiscard]] bool remote() const noexcept {
+      return home_socket != compute_socket;
+    }
+  };
+  std::vector<Shard> shards;
+  /// Fraction of shards placed remotely.
+  double remote_fraction = 0.0;
+  /// Human-readable one-line summary for logs.
+  std::string summary;
+};
+
+/// Plans per-socket shards of `num_arrays` lock-step arrays each over the
+/// surviving topology. `compute_sockets` are the sockets that will run work;
+/// `memory_sockets` the domains still serving memory (both non-empty,
+/// in-range, duplicate-free subsets of node.num_sockets — derive them from
+/// sim::FaultSpec::surviving_sockets and link reachability). Throws
+/// std::invalid_argument on bad subsets or num_arrays == 0.
+[[nodiscard]] NodeStreamPlan plan_node_stream_shards(
+    std::size_t num_arrays, const arch::AddressMap& map,
+    const arch::NodeTopology& node, std::span<const unsigned> compute_sockets,
+    std::span<const unsigned> memory_sockets);
+
+/// Healthy-node convenience overload: every socket computes, every domain
+/// serves, so each shard is local.
+[[nodiscard]] NodeStreamPlan plan_node_stream_shards(
+    std::size_t num_arrays, const arch::AddressMap& map,
+    const arch::NodeTopology& node);
 
 /// Diagnosis of a set of concurrently traversed stream base addresses.
 struct AliasReport {

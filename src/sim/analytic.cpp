@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/numa.h"
+
 namespace mcopt::sim {
 
 std::vector<AnalyticStream> expand_rfo(std::span<const AnalyticStream> logical) {
@@ -152,6 +154,215 @@ ScheduledEstimate estimate_bandwidth_scheduled(
   out.whole.latency_bandwidth = weighted_latency;
   out.whole.balance = weighted_balance;
   out.whole.mc_utilization = std::move(weighted_util);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// NUMA node model.
+
+NodeEstimate estimate_node_bandwidth(
+    std::span<const std::vector<AnalyticStream>> socket_streams,
+    std::span<const unsigned> socket_threads, const arch::Calibration& cal,
+    const arch::AddressMap& map, const arch::NodeTopology& node,
+    double clock_ghz, const FaultSpec& faults) {
+  const unsigned n = node.num_sockets;
+  if (socket_streams.size() != n || socket_threads.size() != n)
+    throw std::invalid_argument(
+        "estimate_node_bandwidth: need one stream set and thread count per "
+        "socket");
+
+  const auto& spec = map.spec();
+  const std::uint64_t steps = spec.period_bytes() / spec.line_size();
+  const double line = static_cast<double>(spec.line_size());
+  const double hz = clock_ghz * 1e9;
+  const double read_cost =
+      static_cast<double>(cal.mc_request_overhead + cal.mc_read_service);
+  const double write_cost =
+      static_cast<double>(cal.mc_request_overhead + cal.mc_write_service);
+  const std::vector<unsigned> remap = faults.controller_remap(spec);
+
+  NodeEstimate out;
+  out.sockets.resize(n);
+  double total_bytes = 0.0;
+  double remote_bytes = 0.0;
+  double makespan_cycles = 0.0;  // slowest socket's cycles per period
+
+  for (unsigned s = 0; s < n; ++s) {
+    NodeSocketEstimate& sock = out.sockets[s];
+    sock.link_utilization.assign(n, 0.0);
+    const std::vector<AnalyticStream>& streams = socket_streams[s];
+    if (streams.empty()) continue;
+    if (socket_threads[s] == 0)
+      throw std::invalid_argument(
+          "estimate_node_bandwidth: socket with streams but no threads");
+
+    const NumaRoutes routes = resolve_numa_routes(node, faults, s);
+    // A derated socket slows its own controllers too (Chip::apply_faults).
+    const double socket_factor = faults.socket_derate_of(s);
+    std::vector<double> cost_scale(spec.num_controllers());
+    for (unsigned c = 0; c < spec.num_controllers(); ++c)
+      cost_scale[c] = 1.0 / (faults.derate_of(c) * socket_factor);
+
+    std::vector<std::uint64_t> reads(spec.num_controllers());
+    std::vector<std::uint64_t> writes(spec.num_controllers());
+    std::vector<double> mc_cycles(spec.num_controllers(), 0.0);
+    std::vector<double> link_cycles(n, 0.0);
+    std::vector<std::uint64_t> link_lines(n, 0);
+    double total_step_cycles = 0.0;
+    double ideal_step_cycles = 0.0;
+    std::uint64_t local_reads = 0;
+    std::uint64_t local_writes = 0;
+    std::uint64_t remote_lines = 0;
+    std::uint64_t remote_reads = 0;
+    double read_latency_sum = 0.0;
+    const std::vector<unsigned> alive = faults.surviving_controllers(spec);
+
+    for (std::uint64_t k = 0; k < steps; ++k) {
+      std::fill(reads.begin(), reads.end(), 0);
+      std::fill(writes.begin(), writes.end(), 0);
+      std::vector<double> step_link(n, 0.0);
+      for (const AnalyticStream& st : streams) {
+        const arch::Addr a = st.base + k * spec.line_size();
+        const unsigned serving = routes.home_serving[node.home_socket_of(a)];
+        if (serving == s) {
+          const unsigned c = remap[map.controller_of(a)];
+          if (st.write)
+            ++writes[c];
+          else {
+            ++reads[c];
+            read_latency_sum += static_cast<double>(cal.mem_latency);
+          }
+        } else {
+          const double cyc = static_cast<double>(routes.line_cycles[serving]);
+          step_link[serving] += cyc;
+          link_cycles[serving] += cyc;
+          ++link_lines[serving];
+          ++remote_lines;
+          if (!st.write) {
+            ++remote_reads;
+            read_latency_sum += static_cast<double>(cal.mem_latency +
+                                                    routes.latency[serving]);
+          }
+        }
+      }
+      double step_cost = 0.0;
+      double step_work = 0.0;
+      for (unsigned c = 0; c < spec.num_controllers(); ++c) {
+        double cost = static_cast<double>(reads[c]) * read_cost +
+                      static_cast<double>(writes[c]) * write_cost;
+        if (reads[c] != 0 && writes[c] != 0)
+          cost += static_cast<double>(cal.mc_turnaround);
+        cost *= cost_scale[c];
+        mc_cycles[c] += cost;
+        step_cost = std::max(step_cost, cost);
+        step_work += cost;
+        local_reads += reads[c];
+        local_writes += writes[c];
+      }
+      for (unsigned t = 0; t < n; ++t)
+        step_cost = std::max(step_cost, step_link[t]);
+      total_step_cycles += step_cost;
+      ideal_step_cycles +=
+          step_work / static_cast<double>(std::max<std::size_t>(
+                          alive.size(), 1));
+    }
+
+    const std::uint64_t lines_per_period =
+        static_cast<std::uint64_t>(streams.size()) * steps;
+    const std::uint64_t total_reads_s =
+        local_reads + remote_reads;
+    sock.bytes_per_period = static_cast<double>(lines_per_period) * line;
+    sock.remote_fraction = static_cast<double>(remote_lines) /
+                           static_cast<double>(lines_per_period);
+
+    AnalyticEstimate& est = sock.chip;
+    est.service_bandwidth = sock.bytes_per_period / total_step_cycles * hz;
+    est.balance =
+        total_step_cycles > 0.0 ? ideal_step_cycles / total_step_cycles : 0.0;
+    est.mc_utilization.resize(spec.num_controllers());
+    for (unsigned c = 0; c < spec.num_controllers(); ++c)
+      est.mc_utilization[c] = mc_cycles[c] / total_step_cycles;
+    for (unsigned t = 0; t < n; ++t)
+      sock.link_utilization[t] = link_cycles[t] / total_step_cycles;
+
+    // Concurrency bound: each strand sustains one outstanding read miss
+    // whose round trip is DRAM latency plus, for remote reads, the path's
+    // extra fill latency — averaged over the socket's read lines.
+    const double avg_read_latency =
+        total_reads_s != 0
+            ? read_latency_sum / static_cast<double>(total_reads_s)
+            : static_cast<double>(cal.mem_latency);
+    const double read_fraction =
+        static_cast<double>(total_reads_s) /
+        static_cast<double>(lines_per_period);
+    const double read_bw_limit =
+        static_cast<double>(socket_threads[s]) * line / avg_read_latency * hz;
+    est.latency_bandwidth =
+        read_fraction > 0.0 ? read_bw_limit / read_fraction : read_bw_limit;
+    est.bandwidth = std::min(est.service_bandwidth, est.latency_bandwidth);
+
+    total_bytes += sock.bytes_per_period;
+    remote_bytes += static_cast<double>(remote_lines) * line;
+    // Cycles this socket needs per period at its own bandwidth.
+    makespan_cycles =
+        std::max(makespan_cycles, sock.bytes_per_period / est.bandwidth * hz);
+  }
+
+  if (makespan_cycles > 0.0)
+    out.bandwidth = total_bytes / makespan_cycles * hz;
+  out.remote_fraction =
+      total_bytes > 0.0 ? remote_bytes / total_bytes : 0.0;
+  return out;
+}
+
+ScheduledNodeEstimate estimate_node_bandwidth_scheduled(
+    std::span<const std::vector<AnalyticStream>> socket_streams,
+    std::span<const unsigned> socket_threads, const arch::Calibration& cal,
+    const arch::AddressMap& map, const arch::NodeTopology& node,
+    double clock_ghz, const FaultSpec& baseline, const FaultSchedule& schedule,
+    arch::Cycles horizon) {
+  if (schedule.has_relative())
+    throw std::invalid_argument(
+        "estimate_node_bandwidth_scheduled: schedule has unresolved percent "
+        "bounds");
+  if (horizon == 0 || horizon == FaultSchedule::kNever)
+    throw std::invalid_argument(
+        "estimate_node_bandwidth_scheduled: horizon must be a finite run "
+        "length");
+
+  ScheduledNodeEstimate out;
+  out.whole.sockets.resize(node.num_sockets);
+  for (auto& sock : out.whole.sockets)
+    sock.link_utilization.assign(node.num_sockets, 0.0);
+  for (const FaultSchedule::Epoch& e : schedule.epochs(horizon, baseline)) {
+    ScheduledNodeEstimate::EpochEstimate epoch;
+    epoch.begin = e.begin;
+    epoch.end = e.end;
+    epoch.faults = e.faults.describe();
+    epoch.estimate = estimate_node_bandwidth(
+        socket_streams, socket_threads, cal, map, node, clock_ghz, e.faults);
+    const double weight = static_cast<double>(e.end - e.begin) /
+                          static_cast<double>(horizon);
+    out.whole.bandwidth += epoch.estimate.bandwidth * weight;
+    out.whole.remote_fraction += epoch.estimate.remote_fraction * weight;
+    for (unsigned s = 0; s < node.num_sockets; ++s) {
+      const NodeSocketEstimate& from = epoch.estimate.sockets[s];
+      NodeSocketEstimate& into = out.whole.sockets[s];
+      into.chip.bandwidth += from.chip.bandwidth * weight;
+      into.chip.service_bandwidth += from.chip.service_bandwidth * weight;
+      into.chip.latency_bandwidth += from.chip.latency_bandwidth * weight;
+      into.chip.balance += from.chip.balance * weight;
+      into.remote_fraction += from.remote_fraction * weight;
+      into.bytes_per_period += from.bytes_per_period * weight;
+      if (into.chip.mc_utilization.size() < from.chip.mc_utilization.size())
+        into.chip.mc_utilization.resize(from.chip.mc_utilization.size(), 0.0);
+      for (std::size_t c = 0; c < from.chip.mc_utilization.size(); ++c)
+        into.chip.mc_utilization[c] += from.chip.mc_utilization[c] * weight;
+      for (std::size_t t = 0; t < from.link_utilization.size(); ++t)
+        into.link_utilization[t] += from.link_utilization[t] * weight;
+    }
+    out.epochs.push_back(std::move(epoch));
+  }
   return out;
 }
 

@@ -17,6 +17,7 @@
 
 #include "arch/address_map.h"
 #include "arch/calibration.h"
+#include "arch/numa.h"
 #include "sim/fault_schedule.h"
 #include "sim/faults.h"
 
@@ -88,6 +89,72 @@ struct ScheduledEstimate {
 [[nodiscard]] ScheduledEstimate estimate_bandwidth_scheduled(
     std::span<const AnalyticStream> streams, unsigned num_threads,
     const arch::Calibration& cal, const arch::AddressMap& map,
+    double clock_ghz, const FaultSpec& baseline, const FaultSchedule& schedule,
+    arch::Cycles horizon);
+
+// ---------------------------------------------------------------------------
+// Multi-socket (NUMA) analytic model — the closed form of sim::Node exactly
+// as estimate_bandwidth is the closed form of sim::Chip. Per compute socket,
+// each step's lines split into locally served ones (controller costing as
+// above, socket derate applied) and remotely served ones (serialized on the
+// per-peer link port at the surviving path's effective per-line cost); the
+// step advances at the slowest of the two. Reads served remotely also pay
+// the path latency in the concurrency bound. The node's bandwidth composes
+// per-socket times by makespan: total bytes over the slowest socket's time.
+
+/// Per-socket slice of a node estimate.
+struct NodeSocketEstimate {
+  /// The socket's own service/latency/bandwidth breakdown (local view:
+  /// mc_utilization covers its controllers; remote lines are excluded from
+  /// controller costs and live in link_utilization instead).
+  AnalyticEstimate chip;
+  /// Predicted busy fraction of the link port toward each peer socket,
+  /// relative to the socket's service critical path (entry self = 0).
+  std::vector<double> link_utilization;
+  /// Fraction of this socket's traffic served by a remote socket.
+  double remote_fraction = 0.0;
+  /// Bytes per interleave period this socket moves (0 = idle socket).
+  double bytes_per_period = 0.0;
+};
+
+struct NodeEstimate {
+  /// Total bytes/s of the node: all sockets' bytes over the slowest
+  /// socket's per-period time (the DES makespan composition).
+  double bandwidth = 0.0;
+  std::vector<NodeSocketEstimate> sockets;
+  /// Fraction of all traffic served remotely.
+  double remote_fraction = 0.0;
+};
+
+/// Estimates node bandwidth for per-socket stream sets advancing in
+/// lock-step. `socket_streams[s]` are socket s's streams (pre-expanded with
+/// expand_rfo; empty = idle socket) and `socket_threads[s]` its strand
+/// count. `faults` may carry sock/link classes; routing mirrors
+/// resolve_numa_routes exactly, so the estimate tracks what sim::Node
+/// actually does under the same spec.
+[[nodiscard]] NodeEstimate estimate_node_bandwidth(
+    std::span<const std::vector<AnalyticStream>> socket_streams,
+    std::span<const unsigned> socket_threads, const arch::Calibration& cal,
+    const arch::AddressMap& map, const arch::NodeTopology& node,
+    double clock_ghz, const FaultSpec& faults = {});
+
+/// Epoch-resolved composition over a transient-fault schedule (the node
+/// analogue of estimate_bandwidth_scheduled; same weighting semantics).
+struct ScheduledNodeEstimate {
+  struct EpochEstimate {
+    arch::Cycles begin = 0;
+    arch::Cycles end = 0;
+    std::string faults;
+    NodeEstimate estimate;
+  };
+  std::vector<EpochEstimate> epochs;
+  NodeEstimate whole;  ///< epoch-length-weighted composition
+};
+
+[[nodiscard]] ScheduledNodeEstimate estimate_node_bandwidth_scheduled(
+    std::span<const std::vector<AnalyticStream>> socket_streams,
+    std::span<const unsigned> socket_threads, const arch::Calibration& cal,
+    const arch::AddressMap& map, const arch::NodeTopology& node,
     double clock_ghz, const FaultSpec& baseline, const FaultSchedule& schedule,
     arch::Cycles horizon);
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "sim/numa.h"
 #include "util/prng.h"
 
 namespace mcopt::sim {
@@ -23,25 +24,52 @@ util::Status SimConfig::check() const {
     status.note("SimConfig: fewer banks than controllers");
   if (model_lockstep && lockstep_window == 0)
     status.note("SimConfig: lockstep_window must be >= 1");
-  status.merge(faults.check(interleave));
+  unsigned num_sockets = 1;
+  if (numa.enabled) {
+    status.merge(numa.node.check());
+    if (numa.socket >= numa.node.num_sockets)
+      status.note("SimConfig: numa.socket " + std::to_string(numa.socket) +
+                  " out of range for " + std::to_string(numa.node.num_sockets) +
+                  " sockets");
+    num_sockets = numa.node.num_sockets;
+  }
+  status.merge(faults.check(interleave, num_sockets));
+  if (numa.enabled && status.ok())
+    status.merge(check_numa_connectivity(numa.node, faults));
   if (!fault_schedule.empty()) {
     if (fault_schedule.has_relative()) {
       status.note(
           "SimConfig: fault_schedule has unresolved percent bounds "
           "(resolve them against a run horizon first)");
     } else {
-      status.merge(fault_schedule.check(interleave));
+      status.merge(fault_schedule.check(interleave, num_sockets));
       // Baseline + scheduled faults combined must keep a survivor in every
       // epoch (the schedule alone may be fine while the union is not).
       if (status.ok())
         for (const FaultSchedule::Epoch& e :
-             fault_schedule.epochs(FaultSchedule::kNever, faults))
+             fault_schedule.epochs(FaultSchedule::kNever, faults)) {
           if (e.faults.surviving_controllers(interleave).empty()) {
             status.note(
                 "SimConfig: baseline faults plus schedule offline every "
                 "controller from cycle " + std::to_string(e.begin));
             break;
           }
+          if (numa.enabled) {
+            if (e.faults.surviving_sockets(num_sockets).empty()) {
+              status.note(
+                  "SimConfig: baseline faults plus schedule offline every "
+                  "socket from cycle " + std::to_string(e.begin));
+              break;
+            }
+            const util::Status conn =
+                check_numa_connectivity(numa.node, e.faults);
+            if (!conn.ok()) {
+              status.note("SimConfig: from cycle " + std::to_string(e.begin) +
+                          ": " + conn.error().message);
+              break;
+            }
+          }
+        }
     }
   }
   return status;
@@ -120,6 +148,9 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
   mcs_.clear();
   for (unsigned m = 0; m < cfg_.interleave.num_controllers(); ++m)
     mcs_.emplace_back(cfg_.calibration, cfg_.interleave, 1.0);
+  const unsigned sockets = cfg_.numa.enabled ? cfg_.numa.node.num_sockets : 1;
+  link_free_.assign(sockets, 0);
+  link_stats_.assign(cfg_.numa.enabled ? sockets : 0, SimResult::LinkStats{});
   bank_extra_.assign(cfg_.interleave.num_banks(), 0);
   bank_free_.assign(cfg_.interleave.num_banks(), 0);
   cores_.assign(cfg_.topology.num_cores, CoreState{});
@@ -161,6 +192,7 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
   sched_epochs_ = cfg_.fault_schedule.epochs(FaultSchedule::kNever, cfg_.faults);
   epoch_idx_ = 0;
   epoch_marks_.clear();
+  epoch_link_marks_.clear();
   apply_faults(sched_epochs_.front().faults);
 
   // Timeline sampling state (cadence 0 = off, next_sample_ stays unreachable).
@@ -258,6 +290,23 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
   }
   result.mem_read_bytes = mem_reads * cfg_.interleave.line_size();
   result.mem_write_bytes = mem_writes * cfg_.interleave.line_size();
+  if (cfg_.numa.enabled) {
+    std::uint64_t remote_fills = 0;
+    std::uint64_t remote_wbs = 0;
+    for (const SimResult::LinkStats& link : link_stats_) {
+      remote_fills += link.fills;
+      remote_wbs += link.writebacks;
+      // The chip is done only after in-flight link transfers drain.
+      result.total_cycles = std::max(result.total_cycles, link.last_completion);
+    }
+    result.links = link_stats_;
+    result.remote_read_bytes = remote_fills * cfg_.interleave.line_size();
+    result.remote_write_bytes = remote_wbs * cfg_.interleave.line_size();
+    // Remote lines never touch a local controller, so fold them into the
+    // traffic totals here (memory_bandwidth() must count all lines moved).
+    result.mem_read_bytes += result.remote_read_bytes;
+    result.mem_write_bytes += result.remote_write_bytes;
+  }
   result.degraded = cfg_.faults.any() || !cfg_.fault_schedule.empty();
   result.corrupted_reads = corrupted_total_;
   result.mc_corrupted_reads = mc_corrupted_;
@@ -302,6 +351,7 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
   if (!cfg_.fault_schedule.empty()) {
     const std::size_t line = cfg_.interleave.line_size();
     std::vector<McSnapshot> prev(mcs_.size());
+    std::vector<SimResult::LinkStats> link_prev(link_stats_.size());
     for (std::size_t k = 0; k <= epoch_idx_; ++k) {
       SimResult::EpochStats epoch;
       epoch.begin = sched_epochs_[k].begin;
@@ -311,13 +361,16 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
       epoch.faults = sched_epochs_[k].faults.describe();
       const std::vector<McSnapshot>* cut = nullptr;
       std::vector<McSnapshot> final_snap(mcs_.size());
+      const std::vector<SimResult::LinkStats>* link_cut = nullptr;
       if (k < epoch_idx_) {
         cut = &epoch_marks_[k];
+        link_cut = &epoch_link_marks_[k];
       } else {
         for (std::size_t m = 0; m < mcs_.size(); ++m)
           final_snap[m] = {mcs_[m].stats().reads, mcs_[m].stats().writes,
                            mcs_[m].stats().busy_cycles};
         cut = &final_snap;
+        link_cut = &link_stats_;
       }
       epoch.mc_utilization.resize(mcs_.size(), 0.0);
       std::uint64_t lines_moved = 0;
@@ -332,10 +385,28 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
               static_cast<double>((*cut)[m].busy_cycles - prev[m].busy_cycles) /
               static_cast<double>(epoch.length());
       }
+      epoch.link_utilization.resize(link_cut->size(), 0.0);
+      for (std::size_t t = 0; t < link_cut->size(); ++t) {
+        const std::uint64_t dr = (*link_cut)[t].fills - link_prev[t].fills;
+        const std::uint64_t dw =
+            (*link_cut)[t].writebacks - link_prev[t].writebacks;
+        lines_moved += dr + dw;
+        epoch.remote_read_bytes += dr * line;
+        epoch.remote_write_bytes += dw * line;
+        if (epoch.length() != 0)
+          epoch.link_utilization[t] =
+              static_cast<double>((*link_cut)[t].busy_cycles -
+                                  link_prev[t].busy_cycles) /
+              static_cast<double>(epoch.length());
+      }
+      // Remote lines moved as part of this epoch's traffic too.
+      epoch.mem_read_bytes += epoch.remote_read_bytes;
+      epoch.mem_write_bytes += epoch.remote_write_bytes;
       if (epoch.length() != 0 && result.clock_ghz > 0.0)
         epoch.bandwidth = static_cast<double>(lines_moved * line) /
                           arch::cycles_to_seconds(epoch.length(), result.clock_ghz);
       prev = *cut;
+      link_prev = *link_cut;
       result.epochs.push_back(std::move(epoch));
     }
   }
@@ -344,8 +415,19 @@ util::Expected<SimResult> Chip::try_run(Workload& workload) {
 
 void Chip::apply_faults(const FaultSpec& active) {
   mc_remap_ = active.controller_remap(cfg_.interleave);
+  // A derated socket slows its own controllers uniformly on top of any
+  // per-controller derate (remote fills from it are scaled in the routes).
+  const double socket_factor =
+      cfg_.numa.enabled ? active.socket_derate_of(cfg_.numa.socket) : 1.0;
   for (unsigned m = 0; m < static_cast<unsigned>(mcs_.size()); ++m)
-    mcs_[m].set_rate_factor(active.derate_of(m));
+    mcs_[m].set_rate_factor(active.derate_of(m) * socket_factor);
+  if (cfg_.numa.enabled) {
+    const NumaRoutes routes =
+        resolve_numa_routes(cfg_.numa.node, active, cfg_.numa.socket);
+    home_serving_ = routes.home_serving;
+    serve_latency_ = routes.latency;
+    serve_line_cycles_ = routes.line_cycles;
+  }
   for (unsigned b = 0; b < static_cast<unsigned>(bank_extra_.size()); ++b)
     bank_extra_[b] = active.bank_extra(b);
   for (unsigned t = 0; t < static_cast<unsigned>(straggle_.size()); ++t)
@@ -363,6 +445,7 @@ void Chip::advance_epochs(arch::Cycles now) {
       snap[m] = {mcs_[m].stats().reads, mcs_[m].stats().writes,
                  mcs_[m].stats().busy_cycles};
     epoch_marks_.push_back(std::move(snap));
+    epoch_link_marks_.push_back(link_stats_);
     ++epoch_idx_;
     apply_faults(sched_epochs_[epoch_idx_].faults);
     obs::trace_instant("sim.epoch", "sim", epoch_idx_,
@@ -401,9 +484,28 @@ void Chip::advance_samples(arch::Cycles now) {
   }
 }
 
+arch::Cycles Chip::link_transfer(arch::Cycles when, unsigned target,
+                                 bool is_writeback) {
+  // One earliest-start port per peer socket: every line (fill or write-back)
+  // occupies it for the surviving path's per-line cycles. Serializing both
+  // directions on one port is the link's bandwidth cap — the asymmetry the
+  // cross-socket sweep measures.
+  const arch::Cycles start = std::max(link_free_[target], when);
+  const arch::Cycles done = start + serve_line_cycles_[target];
+  link_free_[target] = done;
+  SimResult::LinkStats& stats = link_stats_[target];
+  (is_writeback ? stats.writebacks : stats.fills) += 1;
+  stats.busy_cycles += serve_line_cycles_[target];
+  stats.last_completion = std::max(stats.last_completion, done);
+  return done;
+}
+
 arch::Cycles Chip::miss_to_l2(arch::Cycles when, arch::Addr addr, bool is_store) {
   const arch::Calibration& cal = cfg_.calibration;
-  // L2 bank occupancy.
+  const bool numa = cfg_.numa.enabled;
+  const unsigned self = cfg_.numa.socket;
+  // L2 bank occupancy (remote lines are cached locally, so they occupy the
+  // local bank like any other line).
   const unsigned bank = map_.global_bank_of(addr);
   const arch::Cycles bank_start = std::max(bank_free_[bank], when);
   bank_free_[bank] = bank_start + cal.l2_bank_busy + bank_extra_[bank];
@@ -411,16 +513,37 @@ arch::Cycles Chip::miss_to_l2(arch::Cycles when, arch::Addr addr, bool is_store)
   const CacheOutcome outcome = is_store ? l2_->store(addr) : l2_->load(addr);
   if (outcome.writeback_line != CacheOutcome::kNoEviction) {
     // Asynchronous write-back of the evicted dirty line; consumes write
-    // bandwidth on the evicted line's controller but blocks nobody.
-    mcs_[mc_remap_[map_.controller_of(outcome.writeback_line)]].request(
-        bank_start, /*is_write=*/true, outcome.writeback_line);
+    // bandwidth on the evicted line's serving side but blocks nobody.
+    const unsigned wb_serving =
+        numa ? home_serving_[cfg_.numa.node.home_socket_of(
+                   outcome.writeback_line)]
+             : self;
+    if (numa && wb_serving != self) {
+      link_transfer(bank_start, wb_serving, /*is_writeback=*/true);
+    } else {
+      mcs_[mc_remap_[map_.controller_of(outcome.writeback_line)]].request(
+          bank_start, /*is_write=*/true, outcome.writeback_line);
+    }
   }
   if (outcome.hit) return bank_start + cal.l2_hit_latency;
 
   // L2 miss: line fetch (an RFO read when triggered by a store, since the L2
-  // is write-allocate). DRAM latency overlaps the controller's queue: the
-  // requester sees whichever is later, queue drain or latency. Offline
-  // controllers are remapped to their designated survivor.
+  // is write-allocate).
+  const unsigned home_serving =
+      numa ? home_serving_[cfg_.numa.node.home_socket_of(addr)] : self;
+  if (numa && home_serving != self) {
+    // Remote fill: serialize on the link port, then pay DRAM latency plus
+    // the path's extra fill latency. The peer's controller occupancy is
+    // folded into the per-line link cost; flip faults are per local
+    // controller and do not apply.
+    const arch::Cycles transfer_done =
+        link_transfer(bank_start, home_serving, /*is_writeback=*/false);
+    return std::max(transfer_done,
+                    bank_start + cal.mem_latency + serve_latency_[home_serving]);
+  }
+  // Local fill: DRAM latency overlaps the controller's queue — the requester
+  // sees whichever is later, queue drain or latency. Offline controllers are
+  // remapped to their designated survivor.
   const unsigned serving = mc_remap_[map_.controller_of(addr)];
   MemoryController& mc = mcs_[serving];
   const arch::Cycles service_done = mc.request(bank_start, /*is_write=*/false, addr);

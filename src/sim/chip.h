@@ -30,6 +30,7 @@
 
 #include "arch/address_map.h"
 #include "arch/calibration.h"
+#include "arch/numa.h"
 #include "arch/topology.h"
 #include "obs/timeline.h"
 #include "sim/cache.h"
@@ -93,6 +94,19 @@ struct SimConfig {
   /// check, so the per-access cost is one compare when enabled.
   arch::Cycles mc_sample_cadence = 0;
 
+  /// Multi-socket view: this chip simulates socket `socket` of `node`, and
+  /// addresses homed on other sockets are served over the modeled
+  /// interconnect (per-target link port: earliest-start reservation of the
+  /// path's per-line cycles, plus the path's extra fill latency). Disabled =
+  /// the historical single-chip model; socket/link fault classes are only
+  /// valid when enabled. sim::Node composes one enabled Chip per socket.
+  struct NumaView {
+    bool enabled = false;
+    unsigned socket = 0;
+    arch::NodeTopology node{};
+  };
+  NumaView numa{};
+
   /// Non-throwing validation; reports every violation at once.
   [[nodiscard]] util::Status check() const;
   /// Throwing wrapper around check() (historical API).
@@ -109,8 +123,27 @@ struct SimResult {
   CacheStats l1;  ///< aggregated over cores
   CacheStats l2;
   std::vector<McStats> mc;  ///< one entry per memory controller
-  std::uint64_t mem_read_bytes = 0;   ///< includes RFO reads
-  std::uint64_t mem_write_bytes = 0;  ///< L2 write-backs
+  std::uint64_t mem_read_bytes = 0;   ///< includes RFO reads + remote fills
+  std::uint64_t mem_write_bytes = 0;  ///< L2 write-backs, remote included
+
+  /// Cross-socket traffic served over one interconnect link (NUMA runs).
+  struct LinkStats {
+    std::uint64_t fills = 0;       ///< remote lines filled from the peer
+    std::uint64_t writebacks = 0;  ///< dirty remote lines written back
+    arch::Cycles busy_cycles = 0;  ///< port occupancy (per-line transfer)
+    arch::Cycles last_completion = 0;
+
+    [[nodiscard]] std::uint64_t line_transfers() const noexcept {
+      return fills + writebacks;
+    }
+  };
+  /// Entry t: traffic this socket moved to/from serving socket t (entry
+  /// `self` unused). Empty unless the run had an enabled NumaView.
+  std::vector<LinkStats> links;
+  /// Bytes of this chip's traffic served by a remote socket (subset of
+  /// mem_read_bytes / mem_write_bytes).
+  std::uint64_t remote_read_bytes = 0;
+  std::uint64_t remote_write_bytes = 0;
   std::vector<arch::Cycles> thread_finish;  ///< per software thread
   double clock_ghz = 0.0;
   /// Busy fraction of each controller over the run (0 for an offline one).
@@ -145,10 +178,16 @@ struct SimResult {
     arch::Cycles end = 0;
     /// FaultSpec::describe() of the merged active fault set.
     std::string faults;
-    std::uint64_t mem_read_bytes = 0;
-    std::uint64_t mem_write_bytes = 0;
+    std::uint64_t mem_read_bytes = 0;   ///< remote fills included (NUMA)
+    std::uint64_t mem_write_bytes = 0;  ///< remote write-backs included
+    /// Remotely served subset of the byte totals above (NUMA runs).
+    std::uint64_t remote_read_bytes = 0;
+    std::uint64_t remote_write_bytes = 0;
     /// Busy fraction of each controller within the epoch.
     std::vector<double> mc_utilization;
+    /// Busy fraction of each link port within the epoch (entry = peer
+    /// socket; empty unless the run had an enabled NumaView).
+    std::vector<double> link_utilization;
     /// Actual traffic (both directions) per second within the epoch.
     double bandwidth = 0.0;
 
@@ -217,6 +256,12 @@ class Chip {
   /// Load path below L1: L2 bank + controller; returns data-ready time.
   arch::Cycles miss_to_l2(arch::Cycles when, arch::Addr addr, bool is_store);
 
+  /// Reserves the link port toward serving socket `target` for one line
+  /// transfer starting no earlier than `when`; returns the transfer-complete
+  /// time (fill latency NOT included — the caller adds it for fills).
+  arch::Cycles link_transfer(arch::Cycles when, unsigned target,
+                             bool is_writeback);
+
   /// Deterministic Bernoulli draw for a read served by `controller`; records
   /// the corruption when it fires.
   void maybe_flip(arch::Cycles when, arch::Addr addr, unsigned controller);
@@ -247,6 +292,14 @@ class Chip {
   std::vector<Cache> l1_;                  // per core
   std::vector<MemoryController> mcs_;      // per controller
   std::vector<unsigned> mc_remap_;         // fault remap (identity if healthy)
+  // NUMA routing state, recomputed by apply_faults() (empty when disabled):
+  // which socket serves each home domain and the per-serving-socket path
+  // costs, plus one earliest-start link port per serving socket.
+  std::vector<unsigned> home_serving_;
+  std::vector<arch::Cycles> serve_latency_;     // per serving socket
+  std::vector<arch::Cycles> serve_line_cycles_; // per serving socket
+  std::vector<arch::Cycles> link_free_;         // per serving socket port
+  std::vector<SimResult::LinkStats> link_stats_;
   std::vector<arch::Cycles> bank_extra_;   // per-bank fault slowdown
   std::vector<arch::Cycles> straggle_;     // per-thread fault lag
   std::vector<double> flip_rate_;          // per-controller corruption prob
@@ -272,6 +325,8 @@ class Chip {
   std::vector<FaultSchedule::Epoch> sched_epochs_;
   std::size_t epoch_idx_ = 0;
   std::vector<std::vector<McSnapshot>> epoch_marks_;  // one row per boundary
+  // Link-port counter snapshots at the same boundaries (NUMA runs only).
+  std::vector<std::vector<SimResult::LinkStats>> epoch_link_marks_;
 
   // MC-utilization timeline state (active when cfg_.mc_sample_cadence != 0):
   // end of the next row, counters at the previous boundary, rows so far.

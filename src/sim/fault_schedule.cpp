@@ -90,12 +90,13 @@ std::vector<FaultSchedule::Epoch> FaultSchedule::epochs(
   return out;
 }
 
-util::Status FaultSchedule::check(const arch::InterleaveSpec& spec) const {
+util::Status FaultSchedule::check(const arch::InterleaveSpec& spec,
+                                  unsigned num_sockets) const {
   util::Status status;
   for (std::size_t i = 0; i < intervals.size(); ++i) {
     const Interval& iv = intervals[i];
     const std::string tag = "FaultSchedule interval " + std::to_string(i);
-    util::Status fault_status = iv.fault.check(spec);
+    util::Status fault_status = iv.fault.check(spec, num_sockets);
     if (!fault_status.ok())
       status.note(tag + ": " + fault_status.error().message);
     if (iv.relative) {
@@ -113,15 +114,24 @@ util::Status FaultSchedule::check(const arch::InterleaveSpec& spec) const {
   // Percent bounds have no common timeline until resolved; the resolved
   // schedule re-runs this check (SimConfig::check sees only resolved ones).
   if (!has_relative() && status.ok()) {
-    for (const Epoch& e : epochs(kNever))
+    for (const Epoch& e : epochs(kNever)) {
+      const std::string span =
+          "[" + std::to_string(e.begin) + ", " +
+          (e.end == kNever ? std::string("inf") : std::to_string(e.end)) + ")";
       if (e.faults.surviving_controllers(spec).empty()) {
         status.note(
             "FaultSchedule: overlapping intervals offline every controller "
-            "during [" + std::to_string(e.begin) + ", " +
-            (e.end == kNever ? std::string("inf") : std::to_string(e.end)) +
-            ")");
+            "during " + span);
         break;
       }
+      if (num_sockets > 1 &&
+          e.faults.surviving_sockets(num_sockets).empty()) {
+        status.note(
+            "FaultSchedule: overlapping intervals offline every socket "
+            "during " + span);
+        break;
+      }
+    }
   }
   return status;
 }
@@ -211,6 +221,21 @@ FaultSchedule FaultSchedule::constant(const FaultSpec& spec) {
     s.flips = {f};
     add(std::move(s));
   }
+  for (unsigned sock : spec.offline_sockets) {
+    FaultSpec s;
+    s.offline_sockets = {sock};
+    add(std::move(s));
+  }
+  for (const FaultSpec::SocketDerate& d : spec.socket_derates) {
+    FaultSpec s;
+    s.socket_derates = {d};
+    add(std::move(s));
+  }
+  for (const FaultSpec::LinkFault& l : spec.link_faults) {
+    FaultSpec s;
+    s.link_faults = {l};
+    add(std::move(s));
+  }
   return sched;
 }
 
@@ -270,11 +295,16 @@ util::Expected<Bound> parse_bound(const std::string& text,
 }  // namespace
 
 util::Expected<FaultSchedule> FaultSchedule::parse(const std::string& text) {
+  return parse(text, FaultLimits{});
+}
+
+util::Expected<FaultSchedule> FaultSchedule::parse(const std::string& text,
+                                                   const FaultLimits& limits) {
   using Result = util::Expected<FaultSchedule>;
   FaultSchedule sched;
   for (const std::string& item : split_items(text)) {
     const std::size_t at = item.find('@');
-    const auto spec = FaultSpec::parse(item.substr(0, at));
+    const auto spec = FaultSpec::parse(item.substr(0, at), limits);
     if (!spec) return Result::failure(spec.error().message);
 
     Interval iv;

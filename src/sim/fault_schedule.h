@@ -93,14 +93,21 @@ struct FaultSchedule {
   /// epoch must keep at least one controller serving traffic (overlapping
   /// intervals may not offline the whole chip). Percent bounds must lie in
   /// [0, 100] with begin < end. Reports every violation at once.
-  [[nodiscard]] util::Status check(const arch::InterleaveSpec& spec) const;
+  /// `num_sockets` bounds sock/link classes exactly as FaultSpec::check —
+  /// including "at least one socket's memory survives every epoch".
+  [[nodiscard]] util::Status check(const arch::InterleaveSpec& spec,
+                                   unsigned num_sockets = 1) const;
 
   /// Human-readable one-liner ("mc1:off@1000..5000 ...", "empty").
   [[nodiscard]] std::string describe() const;
 
   /// Parses the extended grammar above. An empty string parses to the empty
-  /// schedule. Grammar-checked only; call check() afterwards.
+  /// schedule. Grammar-checked only; call check() afterwards. The
+  /// FaultLimits overload rejects out-of-range indices at parse time
+  /// (FaultSpec::parse semantics).
   [[nodiscard]] static util::Expected<FaultSchedule> parse(const std::string& text);
+  [[nodiscard]] static util::Expected<FaultSchedule> parse(
+      const std::string& text, const FaultLimits& limits);
 
   /// Wraps a plain FaultSpec as a whole-run schedule (one unbounded interval
   /// per fault; an empty spec gives an empty schedule).

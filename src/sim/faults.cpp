@@ -43,6 +43,55 @@ double FaultSpec::flip_rate_of(unsigned controller) const noexcept {
   return p;
 }
 
+bool FaultSpec::is_socket_offline(unsigned socket) const noexcept {
+  return std::find(offline_sockets.begin(), offline_sockets.end(), socket) !=
+         offline_sockets.end();
+}
+
+double FaultSpec::socket_derate_of(unsigned socket) const noexcept {
+  double factor = 1.0;
+  for (const SocketDerate& d : socket_derates)
+    if (d.socket == socket) factor *= d.factor;
+  return factor;
+}
+
+bool FaultSpec::is_link_offline(unsigned i, unsigned j) const noexcept {
+  for (const LinkFault& l : link_faults)
+    if (l.offline && ((l.a == i && l.b == j) || (l.a == j && l.b == i)))
+      return true;
+  return false;
+}
+
+double FaultSpec::link_derate_of(unsigned i, unsigned j) const noexcept {
+  double factor = 1.0;
+  for (const LinkFault& l : link_faults)
+    if (!l.offline && ((l.a == i && l.b == j) || (l.a == j && l.b == i)))
+      factor *= l.factor;
+  return factor;
+}
+
+std::vector<unsigned> FaultSpec::surviving_sockets(unsigned num_sockets) const {
+  std::vector<unsigned> alive;
+  for (unsigned s = 0; s < num_sockets; ++s)
+    if (!is_socket_offline(s)) alive.push_back(s);
+  return alive;
+}
+
+std::vector<unsigned> FaultSpec::socket_remap(unsigned num_sockets) const {
+  const std::vector<unsigned> alive = surviving_sockets(num_sockets);
+  std::vector<unsigned> remap(num_sockets);
+  std::size_t next_survivor = 0;  // spread dead domains' load round-robin
+  for (unsigned s = 0; s < num_sockets; ++s) {
+    if (!is_socket_offline(s)) {
+      remap[s] = s;
+    } else {
+      remap[s] = alive.at(next_survivor % alive.size());
+      ++next_survivor;
+    }
+  }
+  return remap;
+}
+
 std::vector<unsigned> FaultSpec::surviving_controllers(
     const arch::InterleaveSpec& spec) const {
   std::vector<unsigned> alive;
@@ -67,7 +116,8 @@ std::vector<unsigned> FaultSpec::controller_remap(
   return remap;
 }
 
-util::Status FaultSpec::check(const arch::InterleaveSpec& spec) const {
+util::Status FaultSpec::check(const arch::InterleaveSpec& spec,
+                              unsigned num_sockets) const {
   util::Status status;
   std::vector<unsigned> seen_off;
   for (unsigned c : offline_controllers) {
@@ -111,6 +161,62 @@ util::Status FaultSpec::check(const arch::InterleaveSpec& spec) const {
                   " is both offline and flipping (a dead channel moves no "
                   "bits to corrupt; pick one)");
   }
+
+  // Socket/link classes. With the default num_sockets == 1 any such fault is
+  // invalid: a single-chip run cannot honor them and must say so rather than
+  // silently simulating a healthy machine.
+  const bool numa = num_sockets > 1;
+  std::vector<unsigned> seen_sock_off;
+  for (unsigned s : offline_sockets) {
+    if (!numa)
+      status.note("FaultSpec: sock" + std::to_string(s) +
+                  ":off requires a multi-socket topology");
+    else if (s >= num_sockets)
+      status.note("FaultSpec: offline socket " + std::to_string(s) +
+                  " out of range (node has " + std::to_string(num_sockets) +
+                  ")");
+    if (std::find(seen_sock_off.begin(), seen_sock_off.end(), s) !=
+        seen_sock_off.end())
+      status.note("FaultSpec: socket " + std::to_string(s) +
+                  " offlined more than once");
+    else
+      seen_sock_off.push_back(s);
+  }
+  if (numa && surviving_sockets(num_sockets).empty())
+    status.note("FaultSpec: at least one socket's memory must survive");
+  for (const SocketDerate& d : socket_derates) {
+    if (!numa)
+      status.note("FaultSpec: sock" + std::to_string(d.socket) +
+                  ":derate requires a multi-socket topology");
+    else if (d.socket >= num_sockets)
+      status.note("FaultSpec: derated socket " + std::to_string(d.socket) +
+                  " out of range");
+    if (!(d.factor > 0.0) || d.factor > 1.0)
+      status.note("FaultSpec: socket derate factor " +
+                  std::to_string(d.factor) + " must lie in (0, 1]");
+    if (is_socket_offline(d.socket))
+      status.note("FaultSpec: socket " + std::to_string(d.socket) +
+                  " is both offline and derated (dead beats slow; pick one)");
+  }
+  for (const LinkFault& l : link_faults) {
+    const std::string name =
+        "link" + std::to_string(l.a) + "-" + std::to_string(l.b);
+    if (!numa)
+      status.note("FaultSpec: " + name +
+                  " requires a multi-socket topology");
+    else if (l.a >= num_sockets || l.b >= num_sockets)
+      status.note("FaultSpec: " + name + " endpoint out of range (node has " +
+                  std::to_string(num_sockets) + " sockets)");
+    if (l.a == l.b)
+      status.note("FaultSpec: " + name +
+                  " connects a socket to itself (no such link)");
+    if (!l.offline && (!(l.factor > 0.0) || l.factor > 1.0))
+      status.note("FaultSpec: " + name + " derate factor " +
+                  std::to_string(l.factor) + " must lie in (0, 1]");
+    if (!l.offline && is_link_offline(l.a, l.b))
+      status.note("FaultSpec: " + name +
+                  " is both offline and derated (dead beats slow; pick one)");
+  }
   return status;
 }
 
@@ -130,6 +236,25 @@ FaultSpec FaultSpec::merged(const FaultSpec& a, const FaultSpec& b) {
     out.stragglers.insert(out.stragglers.end(), part->stragglers.begin(),
                           part->stragglers.end());
   }
+  // Socket classes mirror the controller rules one level up: offline sets
+  // dedupe, dead beats slow.
+  for (const FaultSpec* part : {&a, &b})
+    for (unsigned s : part->offline_sockets)
+      if (!out.is_socket_offline(s)) out.offline_sockets.push_back(s);
+  std::sort(out.offline_sockets.begin(), out.offline_sockets.end());
+  for (const FaultSpec* part : {&a, &b})
+    for (const SocketDerate& d : part->socket_derates)
+      if (!out.is_socket_offline(d.socket)) out.socket_derates.push_back(d);
+  // Links: offline entries dedupe (unordered pair), derates on a dead link
+  // are dropped, remaining derates concatenate (link_derate_of multiplies).
+  for (const FaultSpec* part : {&a, &b})
+    for (const LinkFault& l : part->link_faults)
+      if (l.offline && !out.is_link_offline(l.a, l.b))
+        out.link_faults.push_back(l);
+  for (const FaultSpec* part : {&a, &b})
+    for (const LinkFault& l : part->link_faults)
+      if (!l.offline && !out.is_link_offline(l.a, l.b))
+        out.link_faults.push_back(l);
   return out;
 }
 
@@ -169,6 +294,15 @@ std::string FaultSpec::describe() const {
   for (const Straggler& s : stragglers)
     append("strand" + std::to_string(s.thread) +
            ":lag=" + std::to_string(s.extra_cycles));
+  for (unsigned s : offline_sockets)
+    append("sock" + std::to_string(s) + ":off");
+  for (const SocketDerate& d : socket_derates)
+    append("sock" + std::to_string(d.socket) +
+           ":derate=" + format_double(d.factor));
+  for (const LinkFault& l : link_faults)
+    append("link" + std::to_string(l.a) + "-" + std::to_string(l.b) +
+           (l.offline ? std::string(":off")
+                      : ":derate=" + format_double(l.factor)));
   return out;
 }
 
@@ -212,8 +346,25 @@ bool parse_index(const std::string& text, const char* prefix, unsigned& index,
 }  // namespace
 
 util::Expected<FaultSpec> FaultSpec::parse(const std::string& text) {
+  return parse(text, FaultLimits{});
+}
+
+util::Expected<FaultSpec> FaultSpec::parse(const std::string& text,
+                                           const FaultLimits& limits) {
   using Result = util::Expected<FaultSpec>;
   FaultSpec spec;
+  // Parse-time index validation (a limit of 0 = unchecked): failing here
+  // names the offending item, which apply-time check() cannot do.
+  const auto check_limit = [](unsigned index, unsigned limit, const char* kind,
+                              const std::string& item) -> util::Status {
+    util::Status status;
+    if (limit != 0 && index >= limit)
+      status.note("FaultSpec: " + std::string(kind) + " " +
+                  std::to_string(index) + " in '" + item +
+                  "' out of range (topology has " + std::to_string(limit) +
+                  ")");
+    return status;
+  };
   for (const std::string& item : split_items(text)) {
     const std::size_t colon = item.find(':');
     if (colon == std::string::npos)
@@ -253,6 +404,9 @@ util::Expected<FaultSpec> FaultSpec::parse(const std::string& text) {
     };
 
     if (parse_index(target, "mc", index, consumed) && consumed == target.size()) {
+      const util::Status in_range =
+          check_limit(index, limits.num_controllers, "controller", item);
+      if (!in_range.ok()) return Result::failure(in_range.error().message);
       if (action == "off") {
         spec.offline_controllers.push_back(index);
       } else if (action.rfind("derate=", 0) == 0) {
@@ -272,17 +426,64 @@ util::Expected<FaultSpec> FaultSpec::parse(const std::string& text) {
       }
     } else if (parse_index(target, "bank", index, consumed) &&
                consumed == target.size()) {
+      const util::Status in_range =
+          check_limit(index, limits.num_banks, "bank", item);
+      if (!in_range.ok()) return Result::failure(in_range.error().message);
       const auto cycles = cycle_arg("slow");
       if (!cycles) return Result::failure(cycles.error().message);
       spec.slow_banks.push_back({index, cycles.value()});
     } else if (parse_index(target, "strand", index, consumed) &&
                consumed == target.size()) {
+      const util::Status in_range =
+          check_limit(index, limits.num_threads, "strand", item);
+      if (!in_range.ok()) return Result::failure(in_range.error().message);
       const auto cycles = cycle_arg("lag");
       if (!cycles) return Result::failure(cycles.error().message);
       spec.stragglers.push_back({index, cycles.value()});
+    } else if (parse_index(target, "sock", index, consumed) &&
+               consumed == target.size()) {
+      const util::Status in_range =
+          check_limit(index, limits.num_sockets, "socket", item);
+      if (!in_range.ok()) return Result::failure(in_range.error().message);
+      if (action == "off") {
+        spec.offline_sockets.push_back(index);
+      } else if (action.rfind("derate=", 0) == 0) {
+        const auto factor = numeric_arg("derate");
+        if (!factor) return Result::failure(factor.error().message);
+        spec.socket_derates.push_back({index, factor.value()});
+      } else {
+        return Result::failure("FaultSpec: unknown socket action in '" + item +
+                               "' (use off or derate=<f>)");
+      }
+    } else if (parse_index(target, "link", index, consumed) &&
+               consumed < target.size() && target[consumed] == '-') {
+      unsigned other = 0;
+      std::size_t tail = 0;
+      const std::string rest = target.substr(consumed + 1);
+      // Reuse the digit parser on the second endpoint ("" prefix).
+      if (!parse_index(rest, "", other, tail) || tail != rest.size())
+        return Result::failure("FaultSpec: malformed link pair in '" + item +
+                               "' (use link<i>-<j>)");
+      for (unsigned endpoint : {index, other}) {
+        const util::Status in_range =
+            check_limit(endpoint, limits.num_sockets, "link endpoint", item);
+        if (!in_range.ok()) return Result::failure(in_range.error().message);
+      }
+      if (action == "off") {
+        spec.link_faults.push_back({index, other, 1.0, /*offline=*/true});
+      } else if (action.rfind("derate=", 0) == 0) {
+        const auto factor = numeric_arg("derate");
+        if (!factor) return Result::failure(factor.error().message);
+        spec.link_faults.push_back({index, other, factor.value(),
+                                    /*offline=*/false});
+      } else {
+        return Result::failure("FaultSpec: unknown link action in '" + item +
+                               "' (use off or derate=<f>)");
+      }
     } else {
-      return Result::failure("FaultSpec: unknown target in '" + item +
-                             "' (use mc<i>, bank<i> or strand<t>)");
+      return Result::failure(
+          "FaultSpec: unknown target in '" + item +
+          "' (use mc<i>, bank<i>, strand<t>, sock<i> or link<i>-<j>)");
     }
   }
   return spec;

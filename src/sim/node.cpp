@@ -1,0 +1,90 @@
+#include "sim/node.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "arch/topology.h"
+
+namespace mcopt::sim {
+
+namespace {
+
+SimConfig socket_config(const NodeConfig& cfg, unsigned socket) {
+  SimConfig sc = cfg.sim;
+  sc.numa.enabled = !cfg.node.single_socket();
+  sc.numa.socket = socket;
+  sc.numa.node = cfg.node;
+  return sc;
+}
+
+}  // namespace
+
+util::Status NodeConfig::check() const {
+  util::Status status = node.check();
+  if (!status.ok()) return status;
+  // The per-socket view carries every cross-layer constraint (fault classes
+  // against num_sockets, connectivity, schedule epochs); socket 0's view is
+  // representative since the sockets are identical.
+  status.merge(socket_config(*this, 0).check());
+  return status;
+}
+
+void NodeConfig::validate() const { check().throw_if_failed(); }
+
+Node::Node(NodeConfig config) : cfg_(std::move(config)) {
+  cfg_.validate();
+}
+
+NodeResult Node::run(std::vector<Workload>& workloads) {
+  util::Expected<NodeResult> result = try_run(workloads);
+  if (!result) throw std::runtime_error(result.error().message);
+  return std::move(result.value());
+}
+
+util::Expected<NodeResult> Node::try_run(std::vector<Workload>& workloads) {
+  const unsigned n = cfg_.node.num_sockets;
+  if (workloads.size() != n)
+    throw std::invalid_argument(
+        "Node::run: expected one workload per socket (" + std::to_string(n) +
+        "), got " + std::to_string(workloads.size()));
+
+  NodeResult result;
+  result.sockets.resize(n);
+  result.socket_utilization.assign(n, 0.0);
+  result.clock_ghz = cfg_.sim.topology.clock_ghz;
+  for (unsigned s = 0; s < n; ++s) {
+    if (workloads[s].empty()) continue;  // idle socket
+    const SimConfig sc = socket_config(cfg_, s);
+    Chip chip(sc, arch::equidistant_placement(
+                      static_cast<unsigned>(workloads[s].size()), sc.topology));
+    util::Expected<SimResult> res = chip.try_run(workloads[s]);
+    if (!res)
+      return util::Expected<NodeResult>::failure(
+          "socket " + std::to_string(s) + ": " + res.error().message);
+    result.sockets[s] = std::move(res.value());
+    const SimResult& sr = result.sockets[s];
+    result.total_cycles = std::max(result.total_cycles, sr.total_cycles);
+    result.mem_read_bytes += sr.mem_read_bytes;
+    result.mem_write_bytes += sr.mem_write_bytes;
+    result.remote_read_bytes += sr.remote_read_bytes;
+    result.remote_write_bytes += sr.remote_write_bytes;
+    result.degraded = result.degraded || sr.degraded;
+  }
+  if (result.total_cycles != 0) {
+    for (unsigned s = 0; s < n; ++s) {
+      const SimResult& sr = result.sockets[s];
+      if (sr.mc.empty()) continue;
+      arch::Cycles busy = 0;
+      for (const McStats& mc : sr.mc) busy += mc.busy_cycles;
+      result.socket_utilization[s] =
+          static_cast<double>(busy) /
+          (static_cast<double>(sr.mc.size()) *
+           static_cast<double>(result.total_cycles));
+    }
+  }
+  return result;
+}
+
+}  // namespace mcopt::sim

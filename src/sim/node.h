@@ -1,0 +1,94 @@
+#pragma once
+// Multi-socket node simulator: one Chip DES per socket composed under a
+// shared NUMA topology and fault timeline.
+//
+// Each socket runs its own threads against its own caches and controllers;
+// accesses homed on another socket are served over the modeled interconnect
+// (sim/numa.h routes, Chip::NumaView). The sockets' event loops are
+// independent — a remote fill pays the serving path's per-line link cost and
+// latency, which is where the peer's memory occupancy is folded in — so the
+// node's makespan is the slowest socket's makespan. Everything stays integer
+// cycles and exactly reproducible.
+
+#include <vector>
+
+#include "arch/numa.h"
+#include "sim/chip.h"
+#include "util/expected.h"
+
+namespace mcopt::sim {
+
+/// Configuration of an N-socket run: the node topology plus one per-socket
+/// chip configuration template (faults, schedule, lockstep, sampling knobs
+/// are shared; the per-socket NumaView is filled in by Node).
+struct NodeConfig {
+  arch::NodeTopology node{};
+  /// Template chip config; `sim.numa` is overwritten per socket, and
+  /// `sim.topology`/`sim.interleave` must describe one socket's chip.
+  SimConfig sim{};
+
+  /// Non-throwing validation; reports every violation at once.
+  [[nodiscard]] util::Status check() const;
+  /// Throwing wrapper around check().
+  void validate() const;
+};
+
+/// Aggregated results of one node run.
+struct NodeResult {
+  /// Per-socket chip results (default-constructed for idle sockets).
+  std::vector<SimResult> sockets;
+  arch::Cycles total_cycles = 0;  ///< slowest socket (drain included)
+  double clock_ghz = 0.0;
+  std::uint64_t mem_read_bytes = 0;
+  std::uint64_t mem_write_bytes = 0;
+  /// Remotely served subset of the totals above.
+  std::uint64_t remote_read_bytes = 0;
+  std::uint64_t remote_write_bytes = 0;
+  /// Mean controller busy fraction of each socket over the node's makespan
+  /// (a dead or idle socket reads 0).
+  std::vector<double> socket_utilization;
+  bool degraded = false;
+
+  [[nodiscard]] double seconds() const noexcept {
+    return clock_ghz <= 0.0 ? 0.0
+                            : arch::cycles_to_seconds(total_cycles, clock_ghz);
+  }
+  /// Actual memory traffic (both directions, all sockets) per second.
+  [[nodiscard]] double memory_bandwidth() const noexcept {
+    return seconds() == 0.0
+               ? 0.0
+               : static_cast<double>(mem_read_bytes + mem_write_bytes) /
+                     seconds();
+  }
+  /// Fraction of all traffic served by a remote socket.
+  [[nodiscard]] double remote_fraction() const noexcept {
+    const double total =
+        static_cast<double>(mem_read_bytes + mem_write_bytes);
+    return total == 0.0 ? 0.0
+                        : static_cast<double>(remote_read_bytes +
+                                              remote_write_bytes) /
+                              total;
+  }
+};
+
+/// The node simulator. Construct once per config; run() takes one Workload
+/// per socket (empty = idle socket) and may be called repeatedly.
+class Node {
+ public:
+  explicit Node(NodeConfig config);
+
+  [[nodiscard]] const NodeConfig& config() const noexcept { return cfg_; }
+
+  /// Runs one workload per socket to completion. workloads.size() must equal
+  /// the socket count; each socket's threads are placed equidistantly on its
+  /// own chip. Throws std::runtime_error on a watchdog abort.
+  NodeResult run(std::vector<Workload>& workloads);
+
+  /// Like run(), but reports watchdog/guardrail aborts as a diagnostic.
+  util::Expected<NodeResult> try_run(std::vector<Workload>& workloads);
+
+ private:
+  NodeConfig cfg_;
+};
+
+}  // namespace mcopt::sim

@@ -1,0 +1,133 @@
+#include "sim/numa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace mcopt::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// All-pairs surviving-path costs: line cycles (derate-scaled, the metric)
+/// with latency carried along the chosen path as tie-breaker.
+struct PathCosts {
+  std::vector<double> cycles;        // n*n, kInf = unreachable
+  std::vector<arch::Cycles> latency; // n*n, valid where cycles finite
+};
+
+PathCosts all_pairs(const arch::NodeTopology& node, const FaultSpec& active) {
+  const unsigned n = node.num_sockets;
+  PathCosts c;
+  c.cycles.assign(static_cast<std::size_t>(n) * n, kInf);
+  c.latency.assign(static_cast<std::size_t>(n) * n, 0);
+  const auto at = [n](unsigned i, unsigned j) {
+    return static_cast<std::size_t>(i) * n + j;
+  };
+  for (unsigned i = 0; i < n; ++i) {
+    c.cycles[at(i, i)] = 0.0;
+    for (unsigned j = 0; j < n; ++j) {
+      if (i == j || active.is_link_offline(i, j)) continue;
+      c.cycles[at(i, j)] = static_cast<double>(node.link_cycles(i, j)) /
+                           active.link_derate_of(i, j);
+      c.latency[at(i, j)] = node.latency(i, j);
+    }
+  }
+  for (unsigned k = 0; k < n; ++k)
+    for (unsigned i = 0; i < n; ++i)
+      for (unsigned j = 0; j < n; ++j) {
+        const double via = c.cycles[at(i, k)] + c.cycles[at(k, j)];
+        if (via == kInf) continue;
+        const arch::Cycles via_lat = c.latency[at(i, k)] + c.latency[at(k, j)];
+        if (via < c.cycles[at(i, j)] ||
+            (via == c.cycles[at(i, j)] && via_lat < c.latency[at(i, j)])) {
+          c.cycles[at(i, j)] = via;
+          c.latency[at(i, j)] = via_lat;
+        }
+      }
+  return c;
+}
+
+arch::Cycles ceil_cycles(double v) {
+  return v <= 0.0 ? 0 : static_cast<arch::Cycles>(std::ceil(v));
+}
+
+}  // namespace
+
+NumaRoutes resolve_numa_routes(const arch::NodeTopology& node,
+                               const FaultSpec& active, unsigned self) {
+  const unsigned n = node.num_sockets;
+  const PathCosts costs = all_pairs(node, active);
+  const auto at = [n](unsigned i, unsigned j) {
+    return static_cast<std::size_t>(i) * n + j;
+  };
+
+  NumaRoutes routes;
+  routes.latency.assign(n, 0);
+  routes.line_cycles.assign(n, 0);
+  routes.reachable.assign(n, false);
+  for (unsigned t = 0; t < n; ++t) {
+    const double raw = costs.cycles[at(self, t)];
+    routes.reachable[t] = raw != kInf;
+    if (!routes.reachable[t]) continue;
+    routes.latency[t] = costs.latency[at(self, t)];
+    // A derated serving socket slows remote fills from it by the same factor
+    // as its own controllers (the memory side is the bottleneck, not the
+    // wire). Local fills (t == self) pay it through the MC rate factor
+    // instead, so the path cost stays 0.
+    const double serve = t == self ? raw : raw / active.socket_derate_of(t);
+    routes.line_cycles[t] = ceil_cycles(serve);
+  }
+
+  routes.home_serving = active.socket_remap(n);
+  for (unsigned h = 0; h < n; ++h) {
+    unsigned t = routes.home_serving[h];
+    if (routes.reachable[t]) continue;
+    // The round-robin survivor is partitioned away from `self`: re-home to
+    // the nearest reachable survivor (cheapest line cost, then latency, then
+    // index — deterministic). check_numa_connectivity guarantees one exists
+    // for any config that passed SimConfig::check; the self fallback below
+    // only keeps a violated precondition deterministic.
+    unsigned best = self;
+    double best_cycles = kInf;
+    arch::Cycles best_latency = 0;
+    for (unsigned s = 0; s < n; ++s) {
+      if (!routes.reachable[s] || active.is_socket_offline(s)) continue;
+      const double cyc = static_cast<double>(routes.line_cycles[s]);
+      if (cyc < best_cycles ||
+          (cyc == best_cycles && routes.latency[s] < best_latency)) {
+        best = s;
+        best_cycles = cyc;
+        best_latency = routes.latency[s];
+      }
+    }
+    routes.home_serving[h] = best;
+  }
+  return routes;
+}
+
+util::Status check_numa_connectivity(const arch::NodeTopology& node,
+                                     const FaultSpec& active) {
+  util::Status status;
+  const unsigned n = node.num_sockets;
+  if (n <= 1) return status;
+  const PathCosts costs = all_pairs(node, active);
+  for (unsigned s = 0; s < n; ++s) {
+    bool any_memory = false;
+    for (unsigned t = 0; t < n; ++t)
+      if (!active.is_socket_offline(t) &&
+          costs.cycles[static_cast<std::size_t>(s) * n + t] != kInf) {
+        any_memory = true;
+        break;
+      }
+    if (!any_memory)
+      status.note("numa: socket " + std::to_string(s) +
+                  " cannot reach any surviving memory domain (link faults "
+                  "partition it from every live socket)");
+  }
+  return status;
+}
+
+}  // namespace mcopt::sim

@@ -1,0 +1,59 @@
+#pragma once
+// NUMA route resolution: which socket serves each home domain, and at what
+// cost, under an active fault set.
+//
+// The per-socket Chip DES never sees other chips directly; it sees a routing
+// table derived from the node topology and the active faults. For socket
+// `self` the table answers, per home domain h:
+//
+//   * serving socket  — h itself when healthy, or the survivor its addresses
+//     fail over to (FaultSpec::socket_remap), re-homed to the nearest
+//     *reachable* survivor when link faults partition the interconnect;
+//   * path latency    — summed per-hop extra fill latency self -> serving;
+//   * path line cost  — summed per-hop cycles per 64 B line, each hop scaled
+//     by its link derate, the whole path scaled by the serving socket's
+//     memory derate (a slow socket serves remote fills slowly too).
+//
+// Routes are shortest paths by line cost (bandwidth is the binding NUMA
+// constraint; latency breaks ties) over the surviving links — Floyd-Warshall
+// on a <= 8-socket matrix, recomputed at every fault-schedule transition.
+
+#include <vector>
+
+#include "arch/calibration.h"
+#include "arch/numa.h"
+#include "sim/faults.h"
+#include "util/expected.h"
+
+namespace mcopt::sim {
+
+/// Resolved routing table for one observer socket under one fault set.
+struct NumaRoutes {
+  /// Entry h: socket whose memory serves home domain h (self included).
+  std::vector<unsigned> home_serving;
+  /// Entry t: summed extra fill latency of the surviving path self -> t
+  /// (0 for t == self; unspecified when !reachable[t]).
+  std::vector<arch::Cycles> latency;
+  /// Entry t: effective cycles per line of the surviving path self -> t,
+  /// link derates and t's socket derate applied (0 for t == self).
+  std::vector<arch::Cycles> line_cycles;
+  /// Entry t: true when a surviving path self -> t exists.
+  std::vector<bool> reachable;
+};
+
+/// Resolves the routing table of socket `self` under `active`. Requires
+/// active.check(..., node.num_sockets) clean and
+/// check_numa_connectivity(node, active) clean; under those preconditions
+/// every home domain resolves to a reachable surviving socket.
+[[nodiscard]] NumaRoutes resolve_numa_routes(const arch::NodeTopology& node,
+                                             const FaultSpec& active,
+                                             unsigned self);
+
+/// Connectivity validation: under `active`, every socket must reach at least
+/// one surviving memory domain over surviving links (a compute socket cut
+/// off from all live memory cannot make progress, and silently serving it
+/// locally would fake resilience). Reports every violation at once.
+[[nodiscard]] util::Status check_numa_connectivity(
+    const arch::NodeTopology& node, const FaultSpec& active);
+
+}  // namespace mcopt::sim

@@ -8,6 +8,10 @@ CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& he
     : out_(path), columns_(header.size()) {
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
   if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+  out_ << "# " << kSchemaVersion << ", columns:";
+  for (std::size_t i = 0; i < header.size(); ++i)
+    out_ << (i ? "," : " ") << header[i];
+  out_.put('\n');
   write_row(header);
   if (!out_) status_.note("CsvWriter: header write failed");
 }

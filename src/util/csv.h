@@ -19,11 +19,21 @@
 namespace mcopt::util {
 
 /// Streaming CSV writer. Quotes cells containing separators/quotes/newlines.
+///
+/// Every file opens with a schema-version comment line
+/// (`# mcopt-csv v2, columns: <header names>`) ahead of the header row, so
+/// downstream parsers (scripts/check_obs_outputs.py and friends) can reject
+/// files written under a different column convention instead of silently
+/// misreading them. v2 marks the NUMA generation: socket/placement columns
+/// may appear after the classic ones.
 class CsvWriter {
  public:
-  /// Opens `path` for writing and emits the header row. Throws on failure
-  /// (historical API; an unopenable path is a usage error, not a mid-run
-  /// I/O surprise).
+  /// Version tag stamped into the leading comment line of every file.
+  static constexpr const char* kSchemaVersion = "mcopt-csv v2";
+
+  /// Opens `path` for writing and emits the version comment plus the header
+  /// row. Throws on failure (historical API; an unopenable path is a usage
+  /// error, not a mid-run I/O surprise).
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
 
   /// Appends one row; refuses (no-op) once the stream has failed. The

@@ -1,0 +1,138 @@
+#include "arch/numa.h"
+
+#include <gtest/gtest.h>
+
+namespace mcopt::arch {
+namespace {
+
+TEST(NodeTopology, DefaultsAreValidTwoSocketNode) {
+  const NodeTopology node;
+  EXPECT_TRUE(node.check().ok()) << node.check().error().message;
+  EXPECT_EQ(node.num_sockets, 2u);
+  EXPECT_FALSE(node.single_socket());
+  EXPECT_NO_THROW(node.validate());
+}
+
+TEST(NodeTopology, SingleSocketDegeneratesToPlainChip) {
+  NodeTopology node;
+  node.num_sockets = 1;
+  EXPECT_TRUE(node.single_socket());
+  EXPECT_TRUE(node.check().ok());
+  // Every address is home to the only socket.
+  EXPECT_EQ(node.home_socket_of(0), 0u);
+  EXPECT_EQ(node.home_socket_of(Addr{123} << 32), 0u);
+}
+
+TEST(NodeTopology, HomeDecodeCarvesContiguousDomains) {
+  NodeTopology node;
+  node.num_sockets = 4;
+  node.home_shift = 32;
+  EXPECT_EQ(node.domain_bytes(), std::uint64_t{1} << 32);
+  for (unsigned s = 0; s < 4; ++s) {
+    EXPECT_EQ(node.home_socket_of(node.socket_base(s)), s);
+    EXPECT_EQ(node.home_socket_of(node.socket_base(s) + node.domain_bytes() - 1),
+              s);
+  }
+  // The pattern repeats above the top domain (field wraps).
+  EXPECT_EQ(node.home_socket_of(node.socket_base(4)), 0u);
+}
+
+TEST(NodeTopology, PageScaleHomeShiftInterleavesArrays) {
+  NodeTopology node;
+  node.num_sockets = 2;
+  node.home_shift = 12;  // 4 KiB pages round-robin across sockets
+  EXPECT_EQ(node.home_socket_of(0), 0u);
+  EXPECT_EQ(node.home_socket_of(Addr{1} << 12), 1u);
+  EXPECT_EQ(node.home_socket_of(Addr{2} << 12), 0u);
+  EXPECT_TRUE(node.check().ok());
+}
+
+TEST(NodeTopology, UniformDistanceDefaults) {
+  const NodeTopology node;
+  EXPECT_EQ(node.latency(0, 0), 0u);
+  EXPECT_EQ(node.latency(0, 1), node.remote_latency);
+  EXPECT_EQ(node.latency(1, 0), node.remote_latency);
+  EXPECT_EQ(node.link_cycles(0, 0), 0u);
+  EXPECT_EQ(node.link_cycles(0, 1), node.link_line_cycles);
+}
+
+TEST(NodeTopology, MatrixOverridesWinOverUniformCosts) {
+  NodeTopology node;
+  node.num_sockets = 2;
+  node.latency_matrix = {0, 200, 80, 0};
+  node.link_cycle_matrix = {0, 32, 8, 0};
+  EXPECT_TRUE(node.check().ok()) << node.check().error().message;
+  EXPECT_EQ(node.latency(0, 1), 200u);
+  EXPECT_EQ(node.latency(1, 0), 80u);
+  EXPECT_EQ(node.link_cycles(0, 1), 32u);
+  EXPECT_EQ(node.link_cycles(1, 0), 8u);
+  EXPECT_EQ(node.latency(0, 0), 0u);
+}
+
+TEST(NodeTopology, CheckRejectsBadShapes) {
+  {
+    NodeTopology node;  // not a power of two
+    node.num_sockets = 3;
+    EXPECT_FALSE(node.check().ok());
+  }
+  {
+    NodeTopology node;  // beyond kMaxSockets
+    node.num_sockets = 16;
+    EXPECT_FALSE(node.check().ok());
+  }
+  {
+    NodeTopology node;  // home_shift out of range
+    node.home_shift = 8;
+    EXPECT_FALSE(node.check().ok());
+  }
+  {
+    NodeTopology node;  // infinite-bandwidth link
+    node.link_line_cycles = 0;
+    EXPECT_FALSE(node.check().ok());
+  }
+  {
+    NodeTopology node;  // wrong matrix size
+    node.latency_matrix = {0, 1, 2};
+    EXPECT_FALSE(node.check().ok());
+  }
+  {
+    NodeTopology node;  // nonzero diagonal
+    node.latency_matrix = {5, 100, 100, 0};
+    EXPECT_FALSE(node.check().ok());
+  }
+  {
+    NodeTopology node;  // zero off-diagonal link cycles
+    node.link_cycle_matrix = {0, 0, 16, 0};
+    EXPECT_FALSE(node.check().ok());
+  }
+  NodeTopology bad;
+  bad.num_sockets = 5;
+  EXPECT_THROW(bad.validate(), std::exception);
+}
+
+TEST(NodeTopology, ParseDistanceSetsUniformCosts) {
+  NodeTopology base;
+  base.latency_matrix = {0, 1, 1, 0};  // overrides must be cleared
+  base.link_cycle_matrix = {0, 2, 2, 0};
+  const auto parsed = parse_distance("200:32", base);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().remote_latency, 200u);
+  EXPECT_EQ(parsed.value().link_line_cycles, 32u);
+  EXPECT_TRUE(parsed.value().latency_matrix.empty());
+  EXPECT_TRUE(parsed.value().link_cycle_matrix.empty());
+  EXPECT_EQ(parsed.value().latency(0, 1), 200u);
+  EXPECT_EQ(parsed.value().link_cycles(0, 1), 32u);
+}
+
+TEST(NodeTopology, ParseDistanceRejectsGarbage) {
+  const NodeTopology base;
+  EXPECT_FALSE(parse_distance("", base).has_value());
+  EXPECT_FALSE(parse_distance("120", base).has_value());
+  EXPECT_FALSE(parse_distance("abc:16", base).has_value());
+  EXPECT_FALSE(parse_distance("120:xyz", base).has_value());
+  EXPECT_FALSE(parse_distance("-5:16", base).has_value());
+  EXPECT_FALSE(parse_distance("120:1e300", base).has_value());
+}
+
+}  // namespace
+}  // namespace mcopt::arch

@@ -30,6 +30,8 @@ TEST(McTimelineCsv, WritesLabelledRows) {
   const std::string path = testing::TempDir() + "timeline_golden.csv";
   ASSERT_TRUE(write_mc_timeline_csv(path, {s}).ok());
   EXPECT_EQ(slurp(path),
+            "# mcopt-csv v2, columns: label,sample,begin_cycle,end_cycle,"
+            "mc0,mc1\n"
             "label,sample,begin_cycle,end_cycle,mc0,mc1\n"
             "offset=64,0,0,100,0.500000,0.250000\n"
             "offset=64,1,100,150,1.000000,0.000000\n");

@@ -1,0 +1,128 @@
+// Tests of the NUMA stream sharder: local placement when a socket's own
+// memory survives, priced remote rehoming when it doesn't, load spreading
+// over equidistant survivors, distance-matrix awareness, and controller
+// rotation between co-homed shards.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "seg/planner.h"
+
+namespace mcopt::seg {
+namespace {
+
+const arch::AddressMap kMap;
+
+TEST(NodePlanner, HealthyNodePlacesEveryShardLocally) {
+  arch::NodeTopology node;
+  node.num_sockets = 4;
+  const NodeStreamPlan plan = plan_node_stream_shards(3, kMap, node);
+  ASSERT_EQ(plan.shards.size(), 4u);
+  EXPECT_DOUBLE_EQ(plan.remote_fraction, 0.0);
+  for (unsigned s = 0; s < 4; ++s) {
+    const auto& shard = plan.shards[s];
+    EXPECT_EQ(shard.compute_socket, s);
+    EXPECT_EQ(shard.home_socket, s);
+    EXPECT_FALSE(shard.remote());
+    EXPECT_EQ(shard.link_cycles, 0u);
+    ASSERT_EQ(shard.bases.size(), 3u);
+    for (const arch::Addr b : shard.bases)
+      EXPECT_EQ(node.home_socket_of(b), s);
+  }
+  // Local shards carry the classic stream offsets: 0, 128, 256.
+  EXPECT_EQ(plan.shards[0].streams.offsets,
+            (std::vector<std::size_t>{0, 128, 256}));
+}
+
+TEST(NodePlanner, DeadMemoryRehomesToSurvivorAtLinkPrice) {
+  arch::NodeTopology node;  // 2 sockets
+  const std::vector<unsigned> compute = {0, 1};
+  const std::vector<unsigned> memory = {0};  // socket 1's memory is gone
+  const NodeStreamPlan plan =
+      plan_node_stream_shards(3, kMap, node, compute, memory);
+  ASSERT_EQ(plan.shards.size(), 2u);
+  EXPECT_FALSE(plan.shards[0].remote());
+  EXPECT_TRUE(plan.shards[1].remote());
+  EXPECT_EQ(plan.shards[1].home_socket, 0u);
+  EXPECT_EQ(plan.shards[1].link_cycles, node.link_line_cycles);
+  EXPECT_DOUBLE_EQ(plan.remote_fraction, 0.5);
+  for (const arch::Addr b : plan.shards[1].bases)
+    EXPECT_EQ(node.home_socket_of(b), 0u);
+}
+
+TEST(NodePlanner, OrphanedSocketsSpreadOverEquidistantSurvivors) {
+  arch::NodeTopology node;
+  node.num_sockets = 4;
+  const std::vector<unsigned> compute = {0, 1, 2, 3};
+  const std::vector<unsigned> memory = {0, 1};
+  const NodeStreamPlan plan =
+      plan_node_stream_shards(2, kMap, node, compute, memory);
+  // Sockets 2 and 3 are equidistant from both survivors: the load tie-break
+  // must split them instead of stacking both onto domain 0.
+  EXPECT_EQ(plan.shards[2].home_socket, 0u);
+  EXPECT_EQ(plan.shards[3].home_socket, 1u);
+  EXPECT_DOUBLE_EQ(plan.remote_fraction, 0.5);
+}
+
+TEST(NodePlanner, DistanceMatrixSteersRemotePlacement) {
+  arch::NodeTopology node;
+  node.num_sockets = 4;
+  // Make socket 2's link to 1 four times cheaper than to 0.
+  node.latency_matrix.assign(16, node.remote_latency);
+  node.link_cycle_matrix.assign(16, 32);
+  for (unsigned i = 0; i < 4; ++i) {
+    node.latency_matrix[i * 4 + i] = 0;
+    node.link_cycle_matrix[i * 4 + i] = 0;
+  }
+  node.link_cycle_matrix[2 * 4 + 1] = 8;
+  node.validate();
+  const std::vector<unsigned> compute = {2};
+  const std::vector<unsigned> memory = {0, 1};
+  const NodeStreamPlan plan =
+      plan_node_stream_shards(2, kMap, node, compute, memory);
+  ASSERT_EQ(plan.shards.size(), 1u);
+  EXPECT_EQ(plan.shards[0].home_socket, 1u);
+  EXPECT_EQ(plan.shards[0].link_cycles, 8u);
+}
+
+TEST(NodePlanner, CoHomedShardsRotateOffControllerZero) {
+  arch::NodeTopology node;  // 2 sockets, only domain 0 survives
+  const std::vector<unsigned> compute = {0, 1};
+  const std::vector<unsigned> memory = {0};
+  const NodeStreamPlan plan =
+      plan_node_stream_shards(2, kMap, node, compute, memory);
+  // Second shard on the same domain is rotated by one controller stride, so
+  // the two shards' arrays do not alias pairwise.
+  EXPECT_EQ(plan.shards[0].streams.offsets,
+            (std::vector<std::size_t>{0, 128}));
+  EXPECT_EQ(plan.shards[1].streams.offsets,
+            (std::vector<std::size_t>{128, 256}));
+  std::vector<arch::Addr> all;
+  for (const auto& shard : plan.shards)
+    all.insert(all.end(), shard.bases.begin(), shard.bases.end());
+  const AliasReport report = diagnose_streams(all, kMap);
+  EXPECT_FALSE(report.fully_aliased);
+  // Unrotated, both shards would sit on {mc0, mc1} for balance 0.25; the
+  // rotation yields {0,1} + {1,2} = one shared controller, balance 0.5.
+  EXPECT_GE(report.balance, 0.5);
+}
+
+TEST(NodePlanner, RejectsDegenerateInput) {
+  arch::NodeTopology node;
+  const std::vector<unsigned> ok = {0};
+  const std::vector<unsigned> empty;
+  const std::vector<unsigned> oob = {2};
+  const std::vector<unsigned> dup = {0, 0};
+  EXPECT_THROW((void)plan_node_stream_shards(0, kMap, node, ok, ok),
+               std::invalid_argument);
+  EXPECT_THROW((void)plan_node_stream_shards(1, kMap, node, empty, ok),
+               std::invalid_argument);
+  EXPECT_THROW((void)plan_node_stream_shards(1, kMap, node, ok, oob),
+               std::invalid_argument);
+  EXPECT_THROW((void)plan_node_stream_shards(1, kMap, node, dup, ok),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcopt::seg

@@ -17,6 +17,7 @@
 namespace mcopt {
 namespace {
 
+using sim::FaultLimits;
 using sim::FaultSchedule;
 using sim::FaultSpec;
 
@@ -92,10 +93,23 @@ namespace roundtrip {
 
 bool same_spec(const FaultSpec& a, const FaultSpec& b) {
   if (a.offline_controllers != b.offline_controllers) return false;
+  if (a.offline_sockets != b.offline_sockets) return false;
   if (a.derates.size() != b.derates.size() || a.flips.size() != b.flips.size() ||
       a.slow_banks.size() != b.slow_banks.size() ||
-      a.stragglers.size() != b.stragglers.size())
+      a.stragglers.size() != b.stragglers.size() ||
+      a.socket_derates.size() != b.socket_derates.size() ||
+      a.link_faults.size() != b.link_faults.size())
     return false;
+  for (std::size_t i = 0; i < a.socket_derates.size(); ++i)
+    if (a.socket_derates[i].socket != b.socket_derates[i].socket ||
+        a.socket_derates[i].factor != b.socket_derates[i].factor)
+      return false;
+  for (std::size_t i = 0; i < a.link_faults.size(); ++i)
+    if (a.link_faults[i].a != b.link_faults[i].a ||
+        a.link_faults[i].b != b.link_faults[i].b ||
+        a.link_faults[i].factor != b.link_faults[i].factor ||
+        a.link_faults[i].offline != b.link_faults[i].offline)
+      return false;
   for (std::size_t i = 0; i < a.derates.size(); ++i)
     if (a.derates[i].controller != b.derates[i].controller ||
         a.derates[i].factor != b.derates[i].factor)
@@ -130,7 +144,7 @@ bool same_interval(const FaultSchedule::Interval& a,
 /// what this fuzz exists to keep out.
 FaultSchedule::Interval random_interval(util::Xoshiro256& rng) {
   FaultSchedule::Interval iv;
-  switch (rng.below(5)) {
+  switch (rng.below(9)) {
     case 0:
       iv.fault.offline_controllers = {static_cast<unsigned>(rng.below(4))};
       break;
@@ -147,9 +161,29 @@ FaultSchedule::Interval random_interval(util::Xoshiro256& rng) {
       iv.fault.slow_banks.push_back(
           {static_cast<unsigned>(rng.below(8)), rng.below(10000)});
       break;
-    default:
+    case 4:
       iv.fault.stragglers.push_back(
           {static_cast<unsigned>(rng.below(64)), rng.below(10000)});
+      break;
+    case 5:
+      iv.fault.offline_sockets = {static_cast<unsigned>(rng.below(8))};
+      break;
+    case 6:
+      iv.fault.socket_derates.push_back(
+          {static_cast<unsigned>(rng.below(8)), rng.uniform(0.001, 1.0)});
+      break;
+    case 7: {
+      const unsigned a = static_cast<unsigned>(rng.below(8));
+      iv.fault.link_faults.push_back(
+          {a, (a + 1 + static_cast<unsigned>(rng.below(7))) % 8, 1.0, true});
+      break;
+    }
+    default: {
+      const unsigned a = static_cast<unsigned>(rng.below(8));
+      iv.fault.link_faults.push_back(
+          {a, (a + 1 + static_cast<unsigned>(rng.below(7))) % 8,
+           rng.uniform(0.001, 1.0), false});
+    }
   }
   switch (rng.below(4)) {
     case 0:
@@ -331,14 +365,115 @@ TEST(FaultSchedule, ConstantWrapsEveryFaultClass) {
   spec.derates.push_back({2, 0.5});
   spec.slow_banks.push_back({3, 10});
   spec.stragglers.push_back({4, 6});
+  spec.offline_sockets = {1};
+  spec.socket_derates.push_back({0, 0.5});
+  spec.link_faults.push_back({0, 1, 1.0, true});
   const FaultSchedule sched = FaultSchedule::constant(spec);
-  ASSERT_EQ(sched.intervals.size(), 4u);
+  ASSERT_EQ(sched.intervals.size(), 7u);
   EXPECT_EQ(sched.event_count(), 0u);  // all intervals start at 0, never clear
   const FaultSpec active = sched.active_at(123);
   EXPECT_TRUE(active.is_offline(1));
   EXPECT_DOUBLE_EQ(active.derate_of(2), 0.5);
   EXPECT_EQ(active.bank_extra(3), 10u);
   EXPECT_EQ(active.straggle_of(4), 6u);
+  EXPECT_TRUE(active.is_socket_offline(1));
+  EXPECT_DOUBLE_EQ(active.socket_derate_of(0), 0.5);
+  EXPECT_TRUE(active.is_link_offline(1, 0));
+}
+
+// ---------------------------------------------------------------------------
+// NUMA fault classes in the schedule grammar (sock<i>, link<i>-<j>).
+
+TEST(FaultScheduleNuma, SocketAndLinkItemsRoundTrip) {
+  const auto sched = FaultSchedule::parse(
+      "sock0:off@1e6..5e6,link0-1:derate=0.5@25%..75%,sock1:derate=0.25");
+  ASSERT_TRUE(sched.has_value()) << sched.error().message;
+  const auto& ivs = sched.value().intervals;
+  ASSERT_EQ(ivs.size(), 3u);
+  EXPECT_TRUE(ivs[0].fault.is_socket_offline(0));
+  EXPECT_EQ(ivs[0].begin, 1000000u);
+  EXPECT_EQ(ivs[0].end, 5000000u);
+  EXPECT_TRUE(ivs[1].relative);
+  EXPECT_DOUBLE_EQ(ivs[1].begin_frac, 0.25);
+  EXPECT_DOUBLE_EQ(ivs[1].fault.link_derate_of(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(ivs[2].fault.socket_derate_of(1), 0.25);
+  EXPECT_EQ(ivs[2].end, FaultSchedule::kNever);
+  const auto reparsed = FaultSchedule::parse(sched.value().describe());
+  ASSERT_TRUE(reparsed.has_value()) << reparsed.error().message;
+  EXPECT_EQ(reparsed.value().describe(), sched.value().describe());
+}
+
+TEST(FaultScheduleNuma, MixedChipAndSocketTimelineRoundTripsAndMerges) {
+  // One timeline carrying both hierarchy levels: a controller outage inside a
+  // socket derate window, with percent stamps on the socket item.
+  const auto sched = FaultSchedule::parse(
+      "mc1:off@100..300,sock1:derate=0.5@10%..90%,link0-1:off@200");
+  ASSERT_TRUE(sched.has_value()) << sched.error().message;
+  const std::string text = sched.value().describe();
+  const auto reparsed = FaultSchedule::parse(text);
+  ASSERT_TRUE(reparsed.has_value()) << reparsed.error().message;
+  EXPECT_EQ(reparsed.value().describe(), text);
+
+  const FaultSchedule resolved = sched.value().resolved(1000);
+  const FaultSpec at250 = resolved.active_at(250);
+  EXPECT_TRUE(at250.is_offline(1));
+  EXPECT_DOUBLE_EQ(at250.socket_derate_of(1), 0.5);
+  EXPECT_TRUE(at250.is_link_offline(0, 1));
+  const FaultSpec at950 = resolved.active_at(950);
+  EXPECT_FALSE(at950.is_offline(1));
+  EXPECT_DOUBLE_EQ(at950.socket_derate_of(1), 1.0);  // cleared at 90%
+  EXPECT_TRUE(at950.is_link_offline(0, 1));          // never clears
+}
+
+TEST(FaultScheduleNuma, ShiftedPreservesSocketAndLinkFaults) {
+  const auto sched = FaultSchedule::parse(
+      "sock0:off@100..300,link0-1:derate=0.5@500..700,sock1:derate=0.5@600")
+      .value();
+  const FaultSchedule mid = sched.shifted(400);
+  ASSERT_EQ(mid.intervals.size(), 2u);  // sock0 outage already cleared
+  EXPECT_DOUBLE_EQ(mid.intervals[0].fault.link_derate_of(0, 1), 0.5);
+  EXPECT_EQ(mid.intervals[0].begin, 100u);
+  EXPECT_EQ(mid.intervals[0].end, 300u);
+  EXPECT_DOUBLE_EQ(mid.intervals[1].fault.socket_derate_of(1), 0.5);
+  EXPECT_EQ(mid.intervals[1].begin, 200u);
+  EXPECT_EQ(mid.intervals[1].end, FaultSchedule::kNever);
+
+  const FaultSchedule inside = sched.shifted(650);
+  ASSERT_EQ(inside.intervals.size(), 2u);
+  EXPECT_EQ(inside.intervals[0].begin, 0u);  // clamped: already active
+  EXPECT_EQ(inside.intervals[0].end, 50u);
+}
+
+TEST(FaultScheduleNuma, CheckRejectsSocketFaultsOnSingleSocketConfig) {
+  const arch::InterleaveSpec spec;
+  const auto sched = FaultSchedule::parse("sock0:off@100..200").value();
+  EXPECT_FALSE(sched.check(spec).ok());      // default num_sockets = 1
+  EXPECT_TRUE(sched.check(spec, 2).ok());
+}
+
+TEST(FaultScheduleNuma, CheckRejectsOverlappingTotalSocketOutage) {
+  const arch::InterleaveSpec spec;
+  const auto ok =
+      FaultSchedule::parse("sock0:off@0..100,sock1:off@200..300").value();
+  EXPECT_TRUE(ok.check(spec, 2).ok());
+  const auto dead =
+      FaultSchedule::parse("sock0:off@0..100,sock1:off@50..80").value();
+  const auto status = dead.check(spec, 2);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("offline every socket"),
+            std::string::npos);
+}
+
+TEST(FaultScheduleNuma, ParseLimitsRejectOutOfRangeSockets) {
+  FaultLimits limits;
+  limits.num_controllers = 4;
+  limits.num_sockets = 2;
+  EXPECT_TRUE(FaultSchedule::parse("sock1:off@50%..75%", limits).has_value());
+  const auto bad = FaultSchedule::parse("sock2:off@50%..75%", limits);
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_NE(bad.error().message.find("sock2"), std::string::npos);
+  EXPECT_FALSE(FaultSchedule::parse("link0-2:off@10", limits).has_value());
+  EXPECT_FALSE(FaultSchedule::parse("mc4:off@10", limits).has_value());
 }
 
 // ---------------------------------------------------------------------------

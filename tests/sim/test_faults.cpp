@@ -210,6 +210,168 @@ TEST(FaultSpec, RemapIsIdentityWhenHealthy) {
             (std::vector<unsigned>{0, 1, 2, 3}));
 }
 
+TEST(FaultSpec, ParseSocketAndLinkClasses) {
+  const auto parsed =
+      FaultSpec::parse("sock0:off, sock1:derate=0.5, link0-1:off, link2-3:derate=0.25");
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  const FaultSpec& spec = parsed.value();
+  EXPECT_TRUE(spec.any());
+  EXPECT_TRUE(spec.is_socket_offline(0));
+  EXPECT_FALSE(spec.is_socket_offline(1));
+  EXPECT_DOUBLE_EQ(spec.socket_derate_of(1), 0.5);
+  EXPECT_DOUBLE_EQ(spec.socket_derate_of(0), 1.0);
+  // Links are undirected: both orientations answer identically.
+  EXPECT_TRUE(spec.is_link_offline(0, 1));
+  EXPECT_TRUE(spec.is_link_offline(1, 0));
+  EXPECT_FALSE(spec.is_link_offline(0, 2));
+  EXPECT_DOUBLE_EQ(spec.link_derate_of(2, 3), 0.25);
+  EXPECT_DOUBLE_EQ(spec.link_derate_of(3, 2), 0.25);
+  EXPECT_DOUBLE_EQ(spec.link_derate_of(0, 1), 1.0);
+  EXPECT_EQ(spec.describe(),
+            "sock0:off sock1:derate=0.5 link0-1:off link2-3:derate=0.25");
+  // The description re-parses to an identical spec.
+  const auto reparsed = FaultSpec::parse(
+      "sock0:off,sock1:derate=0.5,link0-1:off,link2-3:derate=0.25");
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed.value().describe(), spec.describe());
+}
+
+TEST(FaultSpec, ParseRejectsSocketLinkGarbage) {
+  EXPECT_FALSE(FaultSpec::parse("sockX:off").has_value());
+  EXPECT_FALSE(FaultSpec::parse("sock0:derate=").has_value());
+  EXPECT_FALSE(FaultSpec::parse("sock0:derate=abc").has_value());
+  EXPECT_FALSE(FaultSpec::parse("sock0:lag=5").has_value());
+  EXPECT_FALSE(FaultSpec::parse("link0:off").has_value());
+  EXPECT_FALSE(FaultSpec::parse("link0-:off").has_value());
+  EXPECT_FALSE(FaultSpec::parse("link-1:off").has_value());
+  EXPECT_FALSE(FaultSpec::parse("link0-1:slow=5").has_value());
+  // Out-of-range factors parse (grammar-checked only, like mc:derate) and
+  // fail semantic validation instead.
+  const auto zero = FaultSpec::parse("sock0:derate=0");
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_FALSE(zero.value().check(arch::InterleaveSpec{}, 2).ok());
+  const auto nan_factor = FaultSpec::parse("link0-1:derate=nan");
+  ASSERT_TRUE(nan_factor.has_value());
+  EXPECT_FALSE(nan_factor.value().check(arch::InterleaveSpec{}, 2).ok());
+}
+
+TEST(FaultSpec, ParseLimitsRejectOutOfRangeIndices) {
+  FaultLimits limits;
+  limits.num_controllers = 4;
+  limits.num_banks = 8;
+  limits.num_threads = 64;
+  limits.num_sockets = 2;
+  // In-range indices pass with limits applied.
+  const auto ok = FaultSpec::parse(
+      "mc3:off,bank7:slow=2,strand63:lag=1,sock1:off,link0-1:derate=0.5",
+      limits);
+  ASSERT_TRUE(ok.has_value()) << ok.error().message;
+  // Each class rejects its first out-of-range index at parse time.
+  const auto mc = FaultSpec::parse("mc4:off", limits);
+  ASSERT_FALSE(mc.has_value());
+  EXPECT_NE(mc.error().message.find("mc4"), std::string::npos);
+  EXPECT_FALSE(FaultSpec::parse("bank8:slow=2", limits).has_value());
+  EXPECT_FALSE(FaultSpec::parse("strand64:lag=1", limits).has_value());
+  const auto sock = FaultSpec::parse("sock2:off", limits);
+  ASSERT_FALSE(sock.has_value());
+  EXPECT_NE(sock.error().message.find("sock2"), std::string::npos);
+  EXPECT_FALSE(FaultSpec::parse("link0-2:off", limits).has_value());
+  EXPECT_FALSE(FaultSpec::parse("link2-0:off", limits).has_value());
+  // A zero field leaves that class unchecked (historical behavior).
+  FaultLimits loose;
+  loose.num_controllers = 4;
+  EXPECT_TRUE(FaultSpec::parse("sock7:off", loose).has_value());
+  EXPECT_FALSE(FaultSpec::parse("mc7:off", loose).has_value());
+}
+
+TEST(FaultSpec, CheckRejectsSocketFaultsOnSingleSocketTopology) {
+  // Default num_sockets = 1: a single-chip sim cannot honor socket faults,
+  // and silently ignoring them would fake resilience.
+  FaultSpec sock_off;
+  sock_off.offline_sockets = {0};
+  EXPECT_FALSE(sock_off.check(arch::InterleaveSpec{}).ok());
+  FaultSpec link;
+  link.link_faults.push_back({0, 1, 1.0, true});
+  EXPECT_FALSE(link.check(arch::InterleaveSpec{}).ok());
+  // The same specs are fine on a 2-socket node.
+  EXPECT_TRUE(sock_off.check(arch::InterleaveSpec{}, 2).ok());
+  EXPECT_TRUE(link.check(arch::InterleaveSpec{}, 2).ok());
+}
+
+TEST(FaultSpec, CheckSocketClassViolations) {
+  {
+    FaultSpec spec;  // all sockets dead
+    spec.offline_sockets = {0, 1};
+    const util::Status status = spec.check(arch::InterleaveSpec{}, 2);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.error().message.find("at least one socket"),
+              std::string::npos);
+  }
+  {
+    FaultSpec spec;  // index out of range
+    spec.offline_sockets = {4};
+    EXPECT_FALSE(spec.check(arch::InterleaveSpec{}, 4).ok());
+  }
+  {
+    FaultSpec spec;  // dead beats slow
+    spec.offline_sockets = {1};
+    spec.socket_derates.push_back({1, 0.5});
+    const util::Status status = spec.check(arch::InterleaveSpec{}, 4);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.error().message.find("both offline and derated"),
+              std::string::npos);
+  }
+  {
+    FaultSpec spec;  // self-loop link
+    spec.link_faults.push_back({1, 1, 0.5, false});
+    EXPECT_FALSE(spec.check(arch::InterleaveSpec{}, 4).ok());
+  }
+  {
+    FaultSpec spec;  // link derate out of (0, 1]
+    spec.link_faults.push_back({0, 1, 0.0, false});
+    EXPECT_FALSE(spec.check(arch::InterleaveSpec{}, 4).ok());
+  }
+  {
+    FaultSpec spec;  // dead link beats slow link
+    spec.link_faults.push_back({0, 1, 1.0, true});
+    spec.link_faults.push_back({1, 0, 0.5, false});
+    const util::Status status = spec.check(arch::InterleaveSpec{}, 4);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.error().message.find("both offline and derated"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultSpec, SurvivingSocketsAndRemap) {
+  FaultSpec spec;
+  spec.offline_sockets = {0, 2};
+  EXPECT_EQ(spec.surviving_sockets(4), (std::vector<unsigned>{1, 3}));
+  // Dead domains spread round-robin over survivors; healthy map to self.
+  EXPECT_EQ(spec.socket_remap(4), (std::vector<unsigned>{1, 1, 3, 3}));
+  const FaultSpec healthy;
+  EXPECT_EQ(healthy.socket_remap(2), (std::vector<unsigned>{0, 1}));
+}
+
+TEST(FaultSpec, MergedNormalizesSocketAndLinkFaults) {
+  FaultSpec a;
+  a.offline_sockets = {1};
+  a.link_faults.push_back({0, 1, 1.0, true});
+  FaultSpec b;
+  b.offline_sockets = {1};                    // duplicate offline socket
+  b.socket_derates.push_back({1, 0.5});       // derate on a dead socket
+  b.socket_derates.push_back({0, 0.75});      // derate on a live socket
+  b.link_faults.push_back({1, 0, 0.5, false});  // derate on a dead link
+  b.link_faults.push_back({2, 3, 0.5, false});  // derate on a live link
+  const FaultSpec merged = FaultSpec::merged(a, b);
+  EXPECT_EQ(merged.offline_sockets, (std::vector<unsigned>{1}));
+  EXPECT_DOUBLE_EQ(merged.socket_derate_of(1), 1.0);  // dead beats slow
+  EXPECT_DOUBLE_EQ(merged.socket_derate_of(0), 0.75);
+  EXPECT_TRUE(merged.is_link_offline(0, 1));
+  EXPECT_DOUBLE_EQ(merged.link_derate_of(0, 1), 1.0);  // dead beats slow
+  EXPECT_DOUBLE_EQ(merged.link_derate_of(2, 3), 0.5);
+  EXPECT_TRUE(merged.check(arch::InterleaveSpec{}, 4).ok());
+}
+
 TEST(ChipFaults, HealthyRunIsNotDegraded) {
   SimConfig cfg;
   Chip chip(cfg, arch::equidistant_placement(4, cfg.topology));

@@ -1,0 +1,372 @@
+// NUMA DES tests: route resolution under faults, the per-socket Chip's
+// remote-service path (link port serialization, traffic accounting, mid-run
+// socket loss), and the multi-socket Node composition — including the
+// local > interleaved > remote STREAM ordering the paper-scale model must
+// reproduce.
+
+#include "sim/numa.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/chip.h"
+#include "sim/node.h"
+#include "trace/stream_program.h"
+
+namespace mcopt::sim {
+namespace {
+
+using trace::LockstepStreamProgram;
+using trace::StreamDesc;
+
+FaultSpec spec(const std::string& text) {
+  auto parsed = FaultSpec::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return parsed.value_or(FaultSpec{});
+}
+
+// Stream bases are staggered by a non-multiple of the 512 B interleave
+// period so lockstep threads spread over all controllers instead of
+// aliasing onto one.
+Workload read_streams(unsigned threads, std::size_t n_per_thread,
+                      arch::Addr base,
+                      arch::Addr spacing = (arch::Addr{1} << 20) + 128,
+                      bool write = false) {
+  Workload wl;
+  for (unsigned t = 0; t < threads; ++t) {
+    std::vector<StreamDesc> s{{base + t * spacing, write, 0}};
+    wl.push_back(std::make_unique<LockstepStreamProgram>(
+        s, sizeof(double), std::vector<sched::IterRange>{{0, n_per_thread}},
+        1));
+  }
+  return wl;
+}
+
+// ---------------------------------------------------------------------------
+// Route resolution
+
+TEST(NumaRoutes, HealthyTwoSocketDefaults) {
+  arch::NodeTopology node;
+  const NumaRoutes r = resolve_numa_routes(node, FaultSpec{}, 0);
+  ASSERT_EQ(r.home_serving.size(), 2u);
+  EXPECT_EQ(r.home_serving[0], 0u);
+  EXPECT_EQ(r.home_serving[1], 1u);
+  EXPECT_TRUE(r.reachable[0]);
+  EXPECT_TRUE(r.reachable[1]);
+  EXPECT_EQ(r.latency[0], 0u);
+  EXPECT_EQ(r.line_cycles[0], 0u);
+  EXPECT_EQ(r.latency[1], node.remote_latency);
+  EXPECT_EQ(r.line_cycles[1], node.link_line_cycles);
+}
+
+TEST(NumaRoutes, OfflineSocketRemapsItsHomeDomain) {
+  arch::NodeTopology node;
+  node.num_sockets = 4;
+  const NumaRoutes r = resolve_numa_routes(node, spec("sock0:off,sock2:off"), 1);
+  // socket_remap of survivors {1,3}: dead domains fail over round-robin.
+  EXPECT_EQ(r.home_serving[0], 1u);
+  EXPECT_EQ(r.home_serving[1], 1u);
+  EXPECT_EQ(r.home_serving[2], 3u);
+  EXPECT_EQ(r.home_serving[3], 3u);
+  // Observer 1 serves domains 0 and 1 from its own memory at zero link cost.
+  EXPECT_EQ(r.line_cycles[1], 0u);
+  EXPECT_EQ(r.line_cycles[3], node.link_line_cycles);
+}
+
+TEST(NumaRoutes, SocketDerateScalesRemoteService) {
+  arch::NodeTopology node;
+  const NumaRoutes r = resolve_numa_routes(node, spec("sock1:derate=0.5"), 0);
+  // A half-speed serving socket doubles the per-line cost of remote fills.
+  EXPECT_EQ(r.line_cycles[1], 2 * node.link_line_cycles);
+  EXPECT_EQ(r.latency[1], node.remote_latency);
+}
+
+TEST(NumaRoutes, LinkDerateScalesPathCost) {
+  arch::NodeTopology node;
+  const NumaRoutes r = resolve_numa_routes(node, spec("link0-1:derate=0.25"), 0);
+  EXPECT_EQ(r.line_cycles[1], 4 * node.link_line_cycles);
+}
+
+TEST(NumaRoutes, OfflineLinkRoutesAroundThroughSurvivors) {
+  arch::NodeTopology node;
+  node.num_sockets = 4;
+  const NumaRoutes r = resolve_numa_routes(node, spec("link0-1:off"), 0);
+  // The direct 0-1 edge is gone; the cheapest surviving path is two hops
+  // through any intermediate socket.
+  EXPECT_TRUE(r.reachable[1]);
+  EXPECT_EQ(r.home_serving[1], 1u);
+  EXPECT_EQ(r.line_cycles[1], 2 * node.link_line_cycles);
+  EXPECT_EQ(r.latency[1], 2 * node.remote_latency);
+}
+
+TEST(NumaRoutes, PartitionRehomesUnreachableDomainLocally) {
+  arch::NodeTopology node;  // 2 sockets
+  const NumaRoutes r = resolve_numa_routes(node, spec("link0-1:off"), 0);
+  // Socket 1's memory is alive but unreachable from 0: its domain re-homes
+  // to the nearest reachable survivor — socket 0 itself.
+  EXPECT_FALSE(r.reachable[1]);
+  EXPECT_EQ(r.home_serving[1], 0u);
+  EXPECT_EQ(r.line_cycles[0], 0u);
+}
+
+TEST(NumaConnectivity, HealthyAndDegradedPass) {
+  arch::NodeTopology node;
+  EXPECT_TRUE(check_numa_connectivity(node, FaultSpec{}).ok());
+  EXPECT_TRUE(check_numa_connectivity(node, spec("sock1:off")).ok());
+  EXPECT_TRUE(check_numa_connectivity(node, spec("link0-1:off")).ok());
+}
+
+TEST(NumaConnectivity, ComputeCutOffFromAllMemoryFails) {
+  arch::NodeTopology node;
+  // Socket 0's own memory is dead and the only link out is down: it cannot
+  // make progress and the config must say so up front.
+  const auto status =
+      check_numa_connectivity(node, spec("sock0:off,link0-1:off"));
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("socket 0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Chip with an enabled NumaView
+
+SimConfig numa_cfg(unsigned socket, arch::NodeTopology node = {}) {
+  SimConfig cfg;
+  cfg.numa.enabled = true;
+  cfg.numa.socket = socket;
+  cfg.numa.node = node;
+  return cfg;
+}
+
+TEST(ChipNuma, LocalOnlyTrafficMatchesPlainChip) {
+  constexpr unsigned kThreads = 8;
+  constexpr std::size_t kN = 4096;
+  SimConfig plain;
+  Chip chip_plain(plain, arch::equidistant_placement(kThreads, plain.topology));
+  Workload wl1 = read_streams(kThreads, kN, arch::Addr{1} << 20);
+  const SimResult base = chip_plain.run(wl1);
+
+  const SimConfig cfg = numa_cfg(0);
+  Chip chip(cfg, arch::equidistant_placement(kThreads, cfg.topology));
+  Workload wl2 = read_streams(kThreads, kN, arch::Addr{1} << 20);
+  const SimResult res = chip.run(wl2);
+
+  // All addresses are homed on socket 0: the NUMA machinery must be inert.
+  EXPECT_EQ(res.total_cycles, base.total_cycles);
+  EXPECT_EQ(res.remote_read_bytes, 0u);
+  EXPECT_EQ(res.remote_write_bytes, 0u);
+  ASSERT_EQ(res.links.size(), 2u);
+  EXPECT_EQ(res.links[1].line_transfers(), 0u);
+}
+
+TEST(ChipNuma, RemoteFillsSerializeOnTheLinkPort) {
+  constexpr unsigned kThreads = 32;
+  constexpr std::size_t kN = 4096;
+  const arch::NodeTopology node;
+  const SimConfig cfg = numa_cfg(0, node);
+
+  Chip local_chip(cfg, arch::equidistant_placement(kThreads, cfg.topology));
+  Workload local_wl = read_streams(kThreads, kN, node.socket_base(0));
+  const SimResult local = local_chip.run(local_wl);
+
+  Chip remote_chip(cfg, arch::equidistant_placement(kThreads, cfg.topology));
+  Workload remote_wl = read_streams(kThreads, kN, node.socket_base(1));
+  const SimResult remote = remote_chip.run(remote_wl);
+
+  // Every fill crossed the link and is accounted both ways.
+  EXPECT_EQ(remote.remote_read_bytes, remote.mem_read_bytes);
+  ASSERT_EQ(remote.links.size(), 2u);
+  EXPECT_EQ(remote.links[1].fills * 64, remote.remote_read_bytes);
+  EXPECT_EQ(remote.links[1].busy_cycles,
+            remote.links[1].fills * node.link_line_cycles);
+
+  // 32 threads saturate the port: the run cannot beat one line per
+  // link_line_cycles, and should get close to it.
+  const arch::Cycles port_floor =
+      remote.links[1].fills * node.link_line_cycles;
+  EXPECT_GE(remote.total_cycles, port_floor);
+  EXPECT_LE(remote.total_cycles, port_floor + port_floor / 4);
+
+  // Forced-remote STREAM lands well under the local envelope (Bergstrom's
+  // measured asymmetry; the DES local envelope is latency-shaved, so the
+  // observed ratio sits near 0.5 rather than the raw 0.3 link/service ratio).
+  EXPECT_LT(remote.memory_bandwidth(), 0.55 * local.memory_bandwidth());
+}
+
+TEST(ChipNuma, DirtyRemoteLinesWriteBackOverTheLink) {
+  constexpr unsigned kThreads = 32;
+  constexpr std::size_t kN = 32768;  // 8 MiB dirty > 4 MiB L2: forces evictions
+  const arch::NodeTopology node;
+  const SimConfig cfg = numa_cfg(0, node);
+  Chip chip(cfg, arch::equidistant_placement(kThreads, cfg.topology));
+  Workload wl = read_streams(kThreads, kN, node.socket_base(1),
+                             (arch::Addr{1} << 20) + 128, /*write=*/true);
+  const SimResult res = chip.run(wl);
+  ASSERT_EQ(res.links.size(), 2u);
+  EXPECT_GT(res.links[1].writebacks, 0u);
+  EXPECT_EQ(res.links[1].writebacks * 64, res.remote_write_bytes);
+  EXPECT_GT(res.remote_read_bytes, 0u);  // RFO fills
+}
+
+TEST(ChipNuma, MidRunSocketLossShiftsTrafficToTheLink) {
+  constexpr unsigned kThreads = 16;
+  constexpr std::size_t kN = 16384;
+  const arch::NodeTopology node;
+  SimConfig cfg = numa_cfg(0, node);
+
+  // Probe the healthy run length, then kill socket 0's memory at 40% of it:
+  // the observer's own domain fails over to socket 1 and every fill from
+  // then on crosses the link.
+  Chip probe(cfg, arch::equidistant_placement(kThreads, cfg.topology));
+  Workload probe_wl = read_streams(kThreads, kN, node.socket_base(0));
+  const arch::Cycles healthy = probe.run(probe_wl).total_cycles;
+  const arch::Cycles stamp = healthy * 2 / 5;
+
+  cfg.fault_schedule =
+      FaultSchedule::parse("sock0:off@" + std::to_string(stamp)).value();
+  Chip chip(cfg, arch::equidistant_placement(kThreads, cfg.topology));
+  Workload wl = read_streams(kThreads, kN, node.socket_base(0));
+  const SimResult res = chip.run(wl);
+
+  EXPECT_TRUE(res.degraded);
+  EXPECT_GT(res.remote_read_bytes, 0u);
+  EXPECT_LT(res.remote_read_bytes, res.mem_read_bytes);
+  ASSERT_EQ(res.epochs.size(), 2u);
+  // Healthy epoch: all traffic local. Outage epoch: the epoch accounting
+  // must still see the traffic — it moved to the link, not to zero.
+  EXPECT_EQ(res.epochs[0].remote_read_bytes, 0u);
+  EXPECT_GT(res.epochs[1].remote_read_bytes, 0u);
+  EXPECT_GT(res.epochs[1].mem_read_bytes, 0u);
+  EXPECT_GT(res.epochs[1].bandwidth, 0.0);
+  ASSERT_EQ(res.epochs[1].link_utilization.size(), 2u);
+  EXPECT_GT(res.epochs[1].link_utilization[1], 0.5);
+  EXPECT_EQ(res.epochs[0].link_utilization[1], 0.0);
+}
+
+TEST(ChipNuma, RejectsDisconnectedScheduleUpFront) {
+  SimConfig cfg = numa_cfg(0);
+  cfg.fault_schedule =
+      FaultSchedule::parse("sock0:off@100,link0-1:off@150..900").value();
+  EXPECT_FALSE(cfg.check().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Node composition
+
+TEST(NodeSim, RejectsWorkloadCountMismatch) {
+  NodeConfig cfg;
+  Node node(cfg);
+  std::vector<Workload> wls;
+  wls.push_back(read_streams(2, 64, cfg.node.socket_base(0)));
+  EXPECT_THROW(node.run(wls), std::invalid_argument);
+}
+
+TEST(NodeSim, SingleSocketNodeMatchesPlainChip) {
+  NodeConfig cfg;
+  cfg.node.num_sockets = 1;
+  Node node(cfg);
+  std::vector<Workload> wls;
+  wls.push_back(read_streams(8, 2048, arch::Addr{1} << 20));
+  const NodeResult res = node.run(wls);
+
+  SimConfig plain;
+  Chip chip(plain, arch::equidistant_placement(8, plain.topology));
+  Workload wl = read_streams(8, 2048, arch::Addr{1} << 20);
+  const SimResult base = chip.run(wl);
+
+  EXPECT_EQ(res.total_cycles, base.total_cycles);
+  EXPECT_EQ(res.mem_read_bytes, base.mem_read_bytes);
+  EXPECT_EQ(res.remote_read_bytes, 0u);
+  EXPECT_DOUBLE_EQ(res.memory_bandwidth(), base.memory_bandwidth());
+}
+
+TEST(NodeSim, LocalBeatsInterleavedBeatsRemote) {
+  constexpr unsigned kThreads = 32;
+  constexpr std::size_t kN = 16384;
+  NodeConfig cfg;
+
+  const auto run_with = [&](const NodeConfig& c, arch::Addr base0,
+                            arch::Addr base1) {
+    Node node(c);
+    std::vector<Workload> wls;
+    wls.push_back(read_streams(kThreads, kN, base0));
+    wls.push_back(read_streams(kThreads, kN, base1));
+    return node.run(wls);
+  };
+
+  const NodeResult local =
+      run_with(cfg, cfg.node.socket_base(0), cfg.node.socket_base(1));
+  const NodeResult remote =
+      run_with(cfg, cfg.node.socket_base(1), cfg.node.socket_base(0));
+  NodeConfig inter_cfg = cfg;
+  inter_cfg.node.home_shift = 12;  // OS page-interleave placement
+  const NodeResult interleaved = run_with(inter_cfg, 0, arch::Addr{1} << 28);
+
+  // The STREAM placement ordering the model exists to reproduce.
+  EXPECT_GT(local.memory_bandwidth(), 1.1 * interleaved.memory_bandwidth());
+  EXPECT_GT(interleaved.memory_bandwidth(), 1.1 * remote.memory_bandwidth());
+
+  EXPECT_DOUBLE_EQ(local.remote_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(remote.remote_fraction(), 1.0);
+  EXPECT_GT(interleaved.remote_fraction(), 0.3);
+  EXPECT_LT(interleaved.remote_fraction(), 0.7);
+
+  // Forced-remote is capped by the two link ports.
+  const double link_bw = 64.0 / static_cast<double>(cfg.node.link_line_cycles) *
+                         cfg.sim.topology.clock_ghz * 1e9;
+  EXPECT_LE(remote.memory_bandwidth(), 2.05 * link_bw);
+}
+
+TEST(NodeSim, SocketOutageFailsOverToSurvivorMemory) {
+  constexpr unsigned kThreads = 16;
+  constexpr std::size_t kN = 8192;
+  NodeConfig cfg;
+  cfg.sim.faults = spec("sock1:off");
+  Node node(cfg);
+  std::vector<Workload> wls;
+  // Socket 0 works on data homed in the dead socket's domain; the remap
+  // serves it from socket 0's own surviving memory at local cost.
+  wls.push_back(read_streams(kThreads, kN, cfg.node.socket_base(1)));
+  wls.emplace_back();  // dead socket runs nothing
+  const NodeResult res = node.run(wls);
+
+  EXPECT_TRUE(res.degraded);
+  EXPECT_EQ(res.remote_read_bytes, 0u);
+  EXPECT_GT(res.memory_bandwidth(), 0.0);
+  EXPECT_GT(res.socket_utilization[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.socket_utilization[1], 0.0);
+}
+
+TEST(NodeSim, MakespanIsTheSlowestSocket) {
+  NodeConfig cfg;
+  Node node(cfg);
+  std::vector<Workload> wls;
+  wls.push_back(read_streams(4, 1024, cfg.node.socket_base(0)));
+  wls.push_back(read_streams(4, 8192, cfg.node.socket_base(1)));
+  const NodeResult res = node.run(wls);
+  EXPECT_EQ(res.total_cycles, std::max(res.sockets[0].total_cycles,
+                                       res.sockets[1].total_cycles));
+  EXPECT_EQ(res.total_cycles, res.sockets[1].total_cycles);
+  EXPECT_GT(res.socket_utilization[1], res.socket_utilization[0]);
+}
+
+TEST(NodeSim, DeterministicAcrossRuns) {
+  NodeConfig cfg;
+  cfg.node.home_shift = 12;
+  Node node(cfg);
+  const auto once = [&] {
+    std::vector<Workload> wls;
+    wls.push_back(read_streams(8, 4096, 0));
+    wls.push_back(read_streams(8, 4096, arch::Addr{1} << 28));
+    return node.run(wls);
+  };
+  const NodeResult a = once();
+  const NodeResult b = once();
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.remote_read_bytes, b.remote_read_bytes);
+  EXPECT_EQ(a.mem_read_bytes, b.mem_read_bytes);
+}
+
+}  // namespace
+}  // namespace mcopt::sim

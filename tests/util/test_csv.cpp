@@ -29,7 +29,13 @@ TEST_F(CsvTest, WritesHeaderAndRows) {
     w.add_row({"3", "4"});
     EXPECT_EQ(w.rows(), 2u);
   }
-  EXPECT_EQ(slurp(path_), "x,y\n1,2\n3,4\n");
+  EXPECT_EQ(slurp(path_), "# mcopt-csv v2, columns: x,y\nx,y\n1,2\n3,4\n");
+}
+
+TEST_F(CsvTest, StampsTheSchemaVersionFirst) {
+  { CsvWriter w(path_, {"a", "b", "c"}); }
+  const std::string body = slurp(path_);
+  EXPECT_EQ(body.rfind("# mcopt-csv v2, columns: a,b,c\n", 0), 0u);
 }
 
 TEST_F(CsvTest, RejectsMismatchedRow) {
@@ -52,7 +58,7 @@ TEST_F(CsvTest, CloseDeliversFinalVerdictAndIsIdempotent) {
   w.add_row({"1"});
   EXPECT_TRUE(w.close().ok());
   EXPECT_TRUE(w.close().ok());  // second close is a no-op
-  EXPECT_EQ(slurp(path_), "x\n1\n");
+  EXPECT_EQ(slurp(path_), "# mcopt-csv v2, columns: x\nx\n1\n");
 }
 
 TEST_F(CsvTest, MidWriteFailureSurfacesThroughStatus) {
