@@ -24,6 +24,7 @@
 // switches to socket-granular NUMA chaos: seeded sock/link fault schedules
 // against the supervised node loop's failover invariants (N1-N3 below).
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <string>
@@ -765,6 +766,154 @@ int run_numa_chaos(const std::vector<std::uint64_t>& seeds, unsigned sockets,
   return failures == 0 ? 0 : 1;
 }
 
+// --- recovery chaos: --flap -----------------------------------------------
+
+/// --flap mode: seeded outage-and-return / flapping-socket schedules
+/// (bench::numa_recovery_schedule — every fault CLEARS mid-run) against the
+/// supervised node loop's fail-back path. Invariants:
+///
+///   R1  placements are sound: after every committed migration each shard's
+///       compute and home socket lie inside that replan's believed-healthy
+///       set, and every moved range came through CRC-verified (the loop
+///       aborts on mismatch; the per-replan counts must reconcile);
+///   R2  no thrash: committed replans <= schedule events + completed
+///       readmission ramps + 1 — the breaker's geometric escalation is what
+///       holds this under a flapping socket;
+///   R3  the prober is live: any run that quarantined a socket must have
+///       issued at least one canary probe, and every confirmed recovery
+///       implies a probe;
+///   R4  recovery roughly pays: supervised bandwidth >= unsupervised *0.90
+///       under the same schedule (the break-even gate prices migrations
+///       against a fault that may clear early, so a thin loss is tolerated;
+///       a deep one means the gate or the ramp broke).
+int run_recovery_chaos(const std::vector<std::uint64_t>& seeds,
+                       unsigned sockets, const SoakParams& params,
+                       const std::string& fail_path, bench::ObsGuard& obs) {
+  runtime::NodeLoopConfig base;
+  base.node.node.num_sockets = sockets;
+  base.node.validate();
+  obs.apply(base.node.sim);
+  base.threads = std::min(
+      params.threads, base.node.sim.topology.max_threads() / sockets);
+  const arch::AddressMap map(base.node.sim.interleave);
+  while (base.threads > 2 &&
+         bench::convoy_resonant(params.n, base.threads, map))
+    --base.threads;
+  bench::warn_if_convoy_resonant("chaos_soak --flap", params.n, base.threads,
+                                 map);
+  base.slices = params.slices;
+
+  runtime::NodeLoopConfig probe = base;
+  probe.supervise = false;
+  probe.node.sim.mc_sample_cadence = 0;
+  const arch::Cycles horizon =
+      runtime::run_supervised_node_triad(params.n, probe).total_cycles;
+
+  std::printf("# recovery chaos: %u sockets, triad n=%zu, %u strands/job, %u "
+              "slices, horizon %" PRIu64 " (every fault clears mid-run)\n",
+              sockets, params.n, base.threads, base.slices,
+              static_cast<std::uint64_t>(horizon));
+
+  unsigned failures = 0;
+  std::FILE* fail_log = nullptr;
+  for (const std::uint64_t seed : seeds) {
+    SeedOutcome out;
+    util::Xoshiro256 rng(seed);
+    const sim::FaultSchedule resolved =
+        bench::numa_recovery_schedule(rng, sockets, horizon);
+    const auto status = resolved.check(base.node.sim.interleave, sockets);
+    if (!status.ok()) {
+      out.fail("generator produced invalid schedule: " +
+               status.error().message);
+    } else {
+      std::printf("seed %" PRIu64 ": schedule %s\n", seed,
+                  resolved.describe().c_str());
+      runtime::NodeLoopConfig cfg = base;
+      cfg.seed = seed;
+      cfg.node.sim.fault_schedule = resolved;
+      cfg.supervise = true;
+      const auto sup = runtime::run_supervised_node_triad(params.n, cfg);
+      cfg.supervise = false;
+      const auto unsup = runtime::run_supervised_node_triad(params.n, cfg);
+
+      // R1: sound, CRC-verified placements.
+      unsigned crc_total = 0;
+      bool quarantined = false;
+      for (const runtime::NodeReplanRecord& replan : sup.replan_log) {
+        quarantined |= replan.healthy_sockets.size() < sockets;
+        crc_total += replan.crc_ranges_verified;
+        if (replan.moved_bytes > 0 && replan.crc_ranges_verified == 0)
+          out.fail("R1: migration moved " +
+                   std::to_string(replan.moved_bytes) +
+                   " bytes with zero CRC-verified ranges");
+        for (const runtime::NodeJob& job : replan.jobs) {
+          bool compute_ok = false;
+          bool home_ok = false;
+          for (const unsigned h : replan.healthy_sockets) {
+            compute_ok |= (job.compute_socket == h);
+            home_ok |= (job.home_socket == h);
+          }
+          if (!compute_ok || !home_ok)
+            out.fail("R1: shard on socket " +
+                     std::to_string(job.compute_socket) + " homed " +
+                     std::to_string(job.home_socket) +
+                     " outside the replan's believed-healthy set");
+        }
+      }
+      if (crc_total != sup.crc_ranges_verified)
+        out.fail("R1: per-replan CRC counts (" + std::to_string(crc_total) +
+                 ") do not reconcile with the run total (" +
+                 std::to_string(sup.crc_ranges_verified) + ")");
+
+      // R2: bounded replans.
+      const unsigned replan_budget =
+          static_cast<unsigned>(resolved.event_count()) + sup.readmissions + 1;
+      if (sup.replans > replan_budget)
+        out.fail("R2: " + std::to_string(sup.replans) +
+                 " replans exceed budget " + std::to_string(replan_budget) +
+                 " (thrash under a clearing fault)");
+
+      // R3: prober liveness.
+      if (quarantined && sup.probes == 0)
+        out.fail("R3: socket quarantined but no canary probe issued");
+      if (sup.recoveries > 0 && sup.probes == 0)
+        out.fail("R3: recovery confirmed without a probe");
+
+      // R4: recovery roughly pays.
+      if (sup.bandwidth < unsup.bandwidth * 0.90)
+        out.fail("R4: supervised " + std::to_string(sup.bandwidth / 1e9) +
+                 " GB/s < 0.90x unsupervised " +
+                 std::to_string(unsup.bandwidth / 1e9) + " GB/s");
+
+      std::printf("  supervised %.2f GB/s (replans=%u probes=%u recoveries=%u "
+                  "readmissions=%u) unsupervised %.2f GB/s -> %s\n",
+                  sup.bandwidth / 1e9, sup.replans, sup.probes, sup.recoveries,
+                  sup.readmissions, unsup.bandwidth / 1e9,
+                  out.pass ? "PASS" : "FAIL");
+    }
+    for (const auto& f : out.failures) std::printf("    %s\n", f.c_str());
+    if (!out.pass) {
+      ++failures;
+      if (fail_log == nullptr && !fail_path.empty())
+        fail_log = std::fopen(fail_path.c_str(), "a");
+      if (fail_log != nullptr) {
+        std::fprintf(fail_log, "flap seed %" PRIu64 "\n", seed);
+        for (const auto& f : out.failures)
+          std::fprintf(fail_log, "  %s\n", f.c_str());
+      }
+    }
+  }
+  if (fail_log != nullptr) std::fclose(fail_log);
+
+  std::printf("\nrecovery chaos: %zu seeds, %u failing\n", seeds.size(),
+              failures);
+  if (failures != 0) {
+    bench::attach_failure_artifacts(fail_path);
+    std::printf("replay any failure with: chaos_soak --flap --seed <N>\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -788,6 +937,10 @@ int main(int argc, char** argv) {
       .option_int("sockets", 1,
                   "fuzz socket/link faults on an N-socket node instead of "
                   "single-chip faults (>= 2 enables NUMA chaos)")
+      .flag("flap", "recovery chaos: seeded outage-and-return / flapping-"
+                    "socket schedules against the fail-back invariants "
+                    "(probe liveness, CRC-verified rebalancing, bounded "
+                    "replans); --sockets picks the node width (default 2)")
       .option_int("jobs", 240, "jobs per seed for --overload")
       .option_int("workers", 4, "executor worker threads for --overload")
       .option_double("ratio", 2.0,
@@ -821,6 +974,11 @@ int main(int argc, char** argv) {
     for (std::uint64_t s = 1; s <= count; ++s) seeds.push_back(s);
   }
 
+  if (cli.get_flag("flap"))
+    return run_recovery_chaos(
+        seeds,
+        std::max(2u, static_cast<unsigned>(cli.get_int("sockets"))), params,
+        cli.get_str("fail-log"), obs);
   if (cli.get_int("sockets") > 1)
     return run_numa_chaos(seeds, static_cast<unsigned>(cli.get_int("sockets")),
                           params, cli.get_str("fail-log"), obs);

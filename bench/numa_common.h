@@ -14,9 +14,42 @@
 #include "seg/planner.h"
 #include "sim/analytic.h"
 #include "sim/node.h"
+#include "util/log.h"
 #include "util/prng.h"
 
 namespace mcopt::bench {
+
+/// True when a static-block triad's per-strand contiguous chunk is an exact
+/// multiple of the interleave period — the convoy-resonance pathology: every
+/// strand starts on the same controller phase, the strands sweep the
+/// controllers in lockstep, and the measured bandwidth collapses below the
+/// analytic model that assumes phase-uniform arrivals.
+[[nodiscard]] inline bool convoy_resonant(std::size_t n, unsigned threads,
+                                          const arch::AddressMap& map) {
+  if (threads == 0) return false;
+  const std::size_t chunk_bytes =
+      ((n + threads - 1) / threads) * sizeof(double);
+  return chunk_bytes % map.spec().period_bytes() == 0;
+}
+
+/// Convoy-resonance guard for benches that compare a DES run against
+/// estimate_node_bandwidth: warns (once per call) when the thread count is
+/// period-aligned, so a model-vs-measured gap in the output table is read as
+/// the known resonance artifact rather than a model regression. Returns the
+/// verdict so harnesses can also record it in their row/JSON output.
+inline bool warn_if_convoy_resonant(const char* bench, std::size_t n,
+                                    unsigned threads,
+                                    const arch::AddressMap& map) {
+  if (!convoy_resonant(n, threads, map)) return false;
+  util::log_warn(std::string(bench) +
+                 ": convoy resonance — per-strand chunk is period-aligned "
+                 "(n=" + std::to_string(n) + " threads=" +
+                 std::to_string(threads) + " period=" +
+                 std::to_string(map.spec().period_bytes()) +
+                 " B); DES bandwidth will undershoot the analytic model. "
+                 "Use an off-by-one thread count to de-resonate.");
+  return true;
+}
 
 /// The cross-socket STREAM placements, in the order the sweep reports them.
 enum class NumaPlacement { kLocal, kInterleaved, kRemote, kFirstTouch };
@@ -204,6 +237,38 @@ inline sim::FaultSchedule numa_chaos_schedule(util::Xoshiro256& rng,
     sched.intervals.push_back(std::move(iv));
   }
   return sched;
+}
+
+/// Seeded recovery-chaos schedule for the fail-back soak: unlike
+/// numa_chaos_schedule (where a dead socket stays dead so the survivor
+/// baseline is honest), every outage here CLEARS mid-run — the whole point
+/// is to exercise the probe/readmit/rebalance path. Draws either one
+/// outage-and-return interval (off between [10%,35%] and [55%,80%] of the
+/// horizon) or one flap (period in [1/6, 1/3] of the horizon, active
+/// [10%, 75%]). Returns a RESOLVED schedule (absolute cycles): the flap
+/// period is absolute, so the generator needs the run horizon up front.
+inline sim::FaultSchedule numa_recovery_schedule(util::Xoshiro256& rng,
+                                                 unsigned sockets,
+                                                 arch::Cycles horizon) {
+  sim::FaultSchedule sched;
+  sim::FaultSchedule::Interval iv;
+  iv.relative = true;
+  const unsigned victim =
+      1 + static_cast<unsigned>(rng.below(sockets > 1 ? sockets - 1 : 1));
+  iv.fault.offline_sockets.push_back(victim % sockets);
+  if (rng.below(2) == 0) {
+    // Outage and return.
+    iv.begin_frac = rng.uniform(0.10, 0.35);
+    iv.end_frac = rng.uniform(0.55, 0.80);
+  } else {
+    // Flap: dead the first half of each period.
+    iv.begin_frac = 0.10;
+    iv.end_frac = 0.75;
+    iv.flap_period = static_cast<arch::Cycles>(
+        static_cast<double>(horizon) * rng.uniform(1.0 / 6.0, 1.0 / 3.0));
+  }
+  sched.intervals.push_back(std::move(iv));
+  return sched.resolved(horizon);
 }
 
 }  // namespace mcopt::bench

@@ -245,6 +245,10 @@ int main(int argc, char** argv) {
   params.sweeps = static_cast<unsigned>(cli.get_int("sweeps"));
 
   const sim::NodeConfig cfg = node_config(params, cli.get_str("distance"));
+  // The sweep compares DES vs analytic rows: flag period-aligned thread
+  // counts so a model gap reads as convoy resonance, not a regression.
+  bench::warn_if_convoy_resonant("numa_stream", params.n, params.threads,
+                                 arch::AddressMap(cfg.sim.interleave));
   std::printf("# cross-socket STREAM sweep: %u sockets, triad n=%zu, "
               "%u strands/socket, %u sweeps\n",
               params.sockets, params.n, params.threads, params.sweeps);

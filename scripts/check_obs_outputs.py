@@ -9,6 +9,14 @@ Checks (stdlib only, no third-party deps):
               histogram buckets are cumulative and end with +Inf == _count.
   --timeline  Per-controller timeline CSV: header shape, rows march forward
               without overlap per series, utilization stays in [0, 1].
+  --recovery-json
+              BENCH_recovery.json from bench/recovery: required keys, the
+              fail-back contract (post-recovery tail >= 0.95x the full-
+              healthy model AND above the survivor plateau's tail), and a
+              bounded replan count on every flap row.
+  --recovery-csv
+              The flap-sweep CSV from bench/recovery: schema stamp, column
+              shape, replans <= budget and bounded=true per row.
 
 Exit code 0 when every provided artifact passes; 1 with a message per
 failure otherwise.
@@ -166,18 +174,130 @@ def check_timeline(path):
           f"{len(mc_cols)} controllers, {len(prev_end)} series")
 
 
+RECOVERY_OUTAGE_KEYS = (
+    "schedule", "recovery_gbs", "plateau_gbs", "unsupervised_gbs",
+    "tail_gbs", "plateau_tail_gbs", "full_model_gbs", "convergence",
+    "probes", "probe_failures", "recoveries", "readmissions", "replans",
+    "belief_stale_windows", "crc_ranges_verified",
+    "probe_cycle_share", "migration_cycle_share",
+)
+
+RECOVERY_FLAP_KEYS = (
+    "period", "events", "replans", "probes", "recoveries", "readmissions",
+    "budget", "supervised_gbs", "bounded",
+)
+
+
+def check_recovery_json(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+        return
+    for key in ("bench", "sockets", "n", "threads_per_socket", "slices",
+                "healthy_gbs", "outage_and_return", "flap_sweep", "metrics"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+            return
+    if doc["bench"] != "recovery":
+        fail(f"{path}: bench is {doc['bench']!r}, expected 'recovery'")
+        return
+    outage = doc["outage_and_return"]
+    for key in RECOVERY_OUTAGE_KEYS:
+        if key not in outage:
+            fail(f"{path}: outage_and_return lacks '{key}'")
+            return
+    # The fail-back contract: the post-recovery tail must converge to the
+    # full-healthy analytic model and beat the survivor plateau's tail —
+    # otherwise fail-back bought nothing over staying packed.
+    if outage["recoveries"] < 1 or outage["readmissions"] < 1:
+        fail(f"{path}: outage run never recovered "
+             f"(recoveries={outage['recoveries']} "
+             f"readmissions={outage['readmissions']})")
+    if outage["convergence"] < 0.95:
+        fail(f"{path}: tail convergence {outage['convergence']} < 0.95 of "
+             f"the full-healthy model")
+    if outage["tail_gbs"] <= outage["plateau_tail_gbs"]:
+        fail(f"{path}: recovered tail {outage['tail_gbs']} does not beat "
+             f"the survivor plateau tail {outage['plateau_tail_gbs']}")
+    if outage["crc_ranges_verified"] < 1:
+        fail(f"{path}: no CRC-verified shard moves in the outage run")
+    flaps = doc["flap_sweep"]
+    if not isinstance(flaps, list) or not flaps:
+        fail(f"{path}: flap_sweep is empty")
+        return
+    for i, row in enumerate(flaps):
+        for key in RECOVERY_FLAP_KEYS:
+            if key not in row:
+                fail(f"{path}: flap_sweep[{i}] lacks '{key}'")
+                return
+        if not row["bounded"] or row["replans"] > row["budget"]:
+            fail(f"{path}: flap_sweep[{i}] blew the replan budget: "
+                 f"replans={row['replans']} budget={row['budget']} "
+                 f"bounded={row['bounded']}")
+    counters = doc["metrics"].get("counters", {})
+    if counters.get("mcopt_supervisor_probes_total", 0) < 1:
+        fail(f"{path}: metrics counter mcopt_supervisor_probes_total "
+             f"never incremented")
+    if not FAILURES:
+        print(f"ok: {path}: convergence={outage['convergence']}, "
+              f"{len(flaps)} flap rows, "
+              f"{outage['crc_ranges_verified']} CRC-verified moves")
+
+
+def check_recovery_csv(path):
+    try:
+        with open(path, newline="", encoding="utf-8") as f:
+            lines = f.read().splitlines(keepends=True)
+    except OSError as e:
+        fail(f"{path}: {e}")
+        return
+    if not lines or not lines[0].startswith(f"# {CSV_SCHEMA_VERSION}"):
+        fail(f"{path}: missing '# {CSV_SCHEMA_VERSION}' schema header")
+        return
+    rows = list(csv.reader(lines[1:]))
+    if not rows or sorted(rows[0]) != sorted(RECOVERY_FLAP_KEYS):
+        fail(f"{path}: unexpected header "
+             f"{rows[0] if rows else '(none)'}; "
+             f"expected the columns {sorted(RECOVERY_FLAP_KEYS)}")
+        return
+    if len(rows) < 2:
+        fail(f"{path}: header but no flap rows")
+        return
+    col = {name: i for i, name in enumerate(rows[0])}
+    for i, row in enumerate(rows[1:], start=2):
+        if len(row) != len(RECOVERY_FLAP_KEYS):
+            fail(f"{path}:{i}: {len(row)} columns, "
+                 f"expected {len(RECOVERY_FLAP_KEYS)}")
+            return
+        replans = int(row[col["replans"]])
+        budget = int(row[col["budget"]])
+        if row[col["bounded"]] != "true" or replans > budget:
+            fail(f"{path}:{i}: replan budget violated: replans={replans} "
+                 f"budget={budget} bounded={row[col['bounded']]}")
+            return
+    print(f"ok: {path}: {len(rows) - 1} flap rows, budgets respected")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="Chrome trace JSON to validate")
     ap.add_argument("--metrics", help="Prometheus text exposition to validate")
     ap.add_argument("--timeline", help="per-controller timeline CSV to validate")
+    ap.add_argument("--recovery-json",
+                    help="BENCH_recovery.json from bench/recovery to validate")
+    ap.add_argument("--recovery-csv",
+                    help="flap-sweep CSV from bench/recovery to validate")
     ap.add_argument("--expect-family", action="append", default=[],
                     help="metric family that must appear (repeatable)")
     ap.add_argument("--allow-empty-trace", action="store_true",
                     help="do not fail on a trace with zero events")
     args = ap.parse_args()
-    if not (args.trace or args.metrics or args.timeline):
-        ap.error("nothing to check: pass --trace, --metrics, or --timeline")
+    if not (args.trace or args.metrics or args.timeline
+            or args.recovery_json or args.recovery_csv):
+        ap.error("nothing to check: pass --trace, --metrics, --timeline, "
+                 "--recovery-json, or --recovery-csv")
     if args.trace:
         check_trace(args.trace, expect_events=not args.allow_empty_trace)
     if args.metrics:
@@ -185,6 +305,10 @@ def main():
         check_metrics(args.metrics, families)
     if args.timeline:
         check_timeline(args.timeline)
+    if args.recovery_json:
+        check_recovery_json(args.recovery_json)
+    if args.recovery_csv:
+        check_recovery_csv(args.recovery_csv)
     return 1 if FAILURES else 0
 
 

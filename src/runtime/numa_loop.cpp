@@ -11,6 +11,7 @@
 #include "seg/planner.h"
 #include "sim/analytic.h"
 #include "sim/numa.h"
+#include "util/crc.h"
 #include "util/log.h"
 
 namespace mcopt::runtime {
@@ -48,13 +49,22 @@ arch::Cycles seconds_to_cycles(double seconds, double clock_ghz) {
   return static_cast<arch::Cycles>(std::ceil(seconds * clock_ghz * 1e9));
 }
 
-/// Analytic node bandwidth of a job placement under a fault belief.
+/// Strand share of a shard covering `count` of `n` elements: proportional,
+/// never zero, so a split job's total strand count stays ~ the whole job's.
+unsigned shard_threads(unsigned threads, std::size_t count, std::size_t n) {
+  return std::max<unsigned>(
+      1, static_cast<unsigned>(std::lround(static_cast<double>(threads) *
+                                           static_cast<double>(count) /
+                                           static_cast<double>(n))));
+}
+
+/// Analytic node bandwidth of a shard placement under a fault belief.
 double placement_bw(const std::vector<NodeJob>& jobs, unsigned threads,
-                    const sim::NodeConfig& nc, const arch::AddressMap& map,
-                    const sim::FaultSpec& belief) {
-  const unsigned n = nc.node.num_sockets;
-  std::vector<std::vector<sim::AnalyticStream>> streams(n);
-  std::vector<unsigned> strands(n, 0);
+                    std::size_t n, const sim::NodeConfig& nc,
+                    const arch::AddressMap& map, const sim::FaultSpec& belief) {
+  const unsigned sockets = nc.node.num_sockets;
+  std::vector<std::vector<sim::AnalyticStream>> streams(sockets);
+  std::vector<unsigned> strands(sockets, 0);
   for (const NodeJob& job : jobs) {
     const std::vector<sim::AnalyticStream> logical = {{job.bases[0], true},
                                                       {job.bases[1], false},
@@ -63,7 +73,7 @@ double placement_bw(const std::vector<NodeJob>& jobs, unsigned threads,
     const auto physical = sim::expand_rfo(logical);
     auto& dst = streams[job.compute_socket];
     dst.insert(dst.end(), physical.begin(), physical.end());
-    strands[job.compute_socket] += threads;
+    strands[job.compute_socket] += shard_threads(threads, job.count, n);
   }
   return sim::estimate_node_bandwidth(streams, strands, nc.sim.calibration, map,
                                       nc.node, nc.sim.topology.clock_ghz,
@@ -71,46 +81,90 @@ double placement_bw(const std::vector<NodeJob>& jobs, unsigned threads,
       .bandwidth;
 }
 
-/// Failover placement: jobs whose home survives and is local stay put; every
-/// other job moves, compute and data together, to the least-loaded healthy
-/// socket. `materialize` allocates real storage; probe placements reuse a
-/// scratch offset inside the target domain (only home + period offset matter
-/// to the analytic gate).
-std::vector<NodeJob> plan_failover(const std::vector<NodeJob>& jobs,
-                                   const std::vector<unsigned>& healthy,
-                                   const arch::AddressMap& map,
-                                   const arch::NodeTopology& node,
-                                   DomainArena* materialize, std::size_t n) {
-  const std::size_t period = map.spec().period_bytes();
-  const std::size_t stride = period / map.spec().num_controllers();
+/// Shard placement under a healthy-socket belief. Each logical job (natural
+/// socket == job_id) runs whole on its natural socket when that is healthy —
+/// the fail-back pull — and otherwise splits evenly across every survivor
+/// (seg::split_shard_counts), so one orphan spreads instead of piling onto
+/// the least-loaded socket whole. A job whose current shards already match
+/// the desired shape keeps its bases (no copy); rebuilt shards go through the
+/// composable planner overload so co-homed shards from different jobs rotate
+/// off each other's controllers. `materialize` allocates real storage; probe
+/// placements reuse a scratch offset inside the target domain.
+std::vector<NodeJob> plan_placement(const std::vector<NodeJob>& shards,
+                                    unsigned num_jobs, std::size_t n,
+                                    const std::vector<unsigned>& healthy,
+                                    const arch::AddressMap& map,
+                                    const arch::NodeTopology& node,
+                                    DomainArena* materialize) {
   const auto is_healthy = [&](unsigned s) {
     return std::find(healthy.begin(), healthy.end(), s) != healthy.end();
   };
-  std::vector<unsigned> load(node.num_sockets, 0);
-  std::vector<NodeJob> out = jobs;
-  for (const NodeJob& job : out)
-    if (is_healthy(job.home_socket) && job.home_socket == job.compute_socket)
-      ++load[job.home_socket];
-  for (NodeJob& job : out) {
-    if (is_healthy(job.home_socket) && job.home_socket == job.compute_socket)
+  struct Piece {
+    unsigned socket = 0;
+    std::size_t begin = 0;
+    std::size_t count = 0;
+  };
+  std::vector<std::vector<Piece>> desired(num_jobs);
+  for (unsigned j = 0; j < num_jobs; ++j) {
+    if (is_healthy(j)) {
+      desired[j].push_back({j, 0, n});
       continue;
-    unsigned target = healthy.front();
-    for (const unsigned h : healthy)
-      if (load[h] < load[target]) target = h;
-    const unsigned rotation = load[target];
-    ++load[target];
-    job.compute_socket = target;
-    job.home_socket = target;
-    const seg::StreamPlan plan = seg::plan_stream_offsets(4, map);
-    for (std::size_t k = 0; k < 4; ++k) {
-      const std::size_t off =
-          (plan.offsets[k] + static_cast<std::size_t>(rotation) * stride) %
-          period;
-      job.bases[k] =
-          materialize != nullptr
-              ? materialize->allocate(target, n * sizeof(double) + off,
-                                      plan.base_align, off)
-              : node.socket_base(target) + (arch::Addr{1} << 30) + off;
+    }
+    const std::vector<std::size_t> counts =
+        seg::split_shard_counts(n, healthy.size());
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      desired[j].push_back({healthy[i], at, counts[i]});
+      at += counts[i];
+    }
+  }
+
+  std::vector<std::vector<const NodeJob*>> current(num_jobs);
+  for (const NodeJob& s : shards) current[s.job_id].push_back(&s);
+  std::vector<bool> keep(num_jobs, false);
+  std::vector<unsigned> domain_load(node.num_sockets, 0);
+  for (unsigned j = 0; j < num_jobs; ++j) {
+    const auto& cur = current[j];
+    const auto& want = desired[j];
+    bool same = cur.size() == want.size();
+    for (std::size_t i = 0; same && i < cur.size(); ++i)
+      same = cur[i]->compute_socket == want[i].socket &&
+             cur[i]->home_socket == want[i].socket &&
+             cur[i]->begin == want[i].begin && cur[i]->count == want[i].count;
+    keep[j] = same;
+    if (same)
+      for (const NodeJob* s : cur) ++domain_load[s->home_socket];
+  }
+
+  std::vector<NodeJob> out;
+  for (unsigned j = 0; j < num_jobs; ++j) {
+    if (keep[j]) {
+      for (const NodeJob* s : current[j]) out.push_back(*s);
+      continue;
+    }
+    for (const Piece& p : desired[j]) {
+      const std::vector<unsigned> compute{p.socket};
+      const seg::NodeStreamPlan plan = seg::plan_node_stream_shards(
+          4, map, node, compute, healthy, domain_load);
+      const seg::NodeStreamPlan::Shard& sh = plan.shards.front();
+      NodeJob job;
+      job.job_id = j;
+      job.begin = p.begin;
+      job.count = p.count;
+      job.compute_socket = p.socket;
+      job.home_socket = sh.home_socket;
+      job.bases.resize(4);
+      for (std::size_t k = 0; k < 4; ++k) {
+        const std::size_t off = sh.streams.offsets[k];
+        job.bases[k] =
+            materialize != nullptr
+                ? materialize->allocate(job.home_socket,
+                                        p.count * sizeof(double) + off,
+                                        sh.streams.base_align, off)
+                : node.socket_base(job.home_socket) + node.domain_bytes() / 2 +
+                      off;
+      }
+      out.push_back(std::move(job));
     }
   }
   return out;
@@ -118,11 +172,46 @@ std::vector<NodeJob> plan_failover(const std::vector<NodeJob>& jobs,
 
 bool same_placement(const std::vector<NodeJob>& a,
                     const std::vector<NodeJob>& b) {
+  if (a.size() != b.size()) return false;
   for (std::size_t j = 0; j < a.size(); ++j)
-    if (a[j].compute_socket != b[j].compute_socket ||
+    if (a[j].job_id != b[j].job_id || a[j].begin != b[j].begin ||
+        a[j].count != b[j].count ||
+        a[j].compute_socket != b[j].compute_socket ||
         a[j].home_socket != b[j].home_socket)
       return false;
   return true;
+}
+
+/// One element range some migration must physically copy: the overlap of an
+/// old shard and a new shard of the same logical job that changed placement.
+struct MovedRange {
+  unsigned job_id = 0;
+  std::size_t begin = 0;
+  std::size_t count = 0;
+  unsigned old_home = 0;
+  unsigned new_compute = 0;
+};
+
+std::vector<MovedRange> moved_ranges(const std::vector<NodeJob>& before,
+                                     const std::vector<NodeJob>& after) {
+  std::vector<MovedRange> out;
+  for (const NodeJob& c : after) {
+    for (const NodeJob& o : before) {
+      if (o.job_id != c.job_id) continue;
+      const std::size_t lo = std::max(o.begin, c.begin);
+      const std::size_t hi = std::min(o.begin + o.count, c.begin + c.count);
+      if (lo >= hi) continue;
+      // An identical shard keeps its bases through plan_placement — nothing
+      // is copied; anything else (split, merge, relocation) moves the
+      // overlapping portion.
+      if (o.compute_socket == c.compute_socket &&
+          o.home_socket == c.home_socket && o.begin == c.begin &&
+          o.count == c.count)
+        continue;
+      out.push_back({c.job_id, lo, hi - lo, o.home_socket, c.compute_socket});
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -156,16 +245,36 @@ NodeLoopResult run_supervised_node_triad(std::size_t n,
   NodeSupervisor sup(cfg.detector, cfg.node.node, cfg.seed);
   DomainArena arena(cfg.node.node);
 
-  // One job per socket, arrays local at planner offsets.
+  // One logical job per socket, arrays local at planner offsets; one
+  // whole-range shard each until a migration splits it.
   std::vector<NodeJob> jobs(sockets);
   const seg::StreamPlan plan = seg::plan_stream_offsets(4, map);
   for (unsigned s = 0; s < sockets; ++s) {
+    jobs[s].job_id = s;
+    jobs[s].begin = 0;
+    jobs[s].count = n;
     jobs[s].compute_socket = s;
     jobs[s].home_socket = s;
     jobs[s].bases.resize(4);
     for (std::size_t k = 0; k < 4; ++k)
       jobs[s].bases[k] = arena.allocate(s, n * sizeof(double) + plan.offsets[k],
                                         plan.base_align, plan.offsets[k]);
+  }
+
+  // CRC sidecar: one deterministic payload per logical job stands in for its
+  // live arrays (B, C, D share one integrity stream in this model). Every
+  // committed shard move re-hashes the moved range after the copy and the
+  // whole payload against the sidecar — a mismatch aborts the run.
+  std::vector<std::vector<double>> payload(sockets);
+  std::vector<std::uint32_t> sidecar(sockets);
+  for (unsigned j = 0; j < sockets; ++j) {
+    payload[j].resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      payload[j][i] = static_cast<double>(
+          ((cfg.seed + j + 1) * 0x9e3779b97f4a7c15ULL +
+           i * 0x2545f4914f6cdd1dULL) >>
+          32);
+    sidecar[j] = util::crc32c(payload[j].data(), n * sizeof(double));
   }
 
   NodeLoopResult out;
@@ -179,8 +288,9 @@ NodeLoopResult run_supervised_node_triad(std::size_t n,
     nc.sim.fault_schedule = cfg.node.sim.fault_schedule.shifted(global);
     std::vector<sim::Workload> wls(sockets);
     for (const NodeJob& job : jobs) {
-      auto wl = kernels::make_triad_workload(job.bases, n, cfg.threads,
-                                             sched::Schedule::static_block(), 1);
+      auto wl = kernels::make_triad_workload(
+          job.bases, job.count, shard_threads(cfg.threads, job.count, n),
+          sched::Schedule::static_block(), 1);
       auto& dst = wls[job.compute_socket];
       for (auto& program : wl) dst.push_back(std::move(program));
     }
@@ -227,24 +337,75 @@ NodeLoopResult run_supervised_node_triad(std::size_t n,
     }
     if (!cfg.supervise) continue;
 
-    // Placement channel: candidate failover layout under the current belief
-    // vs what is running now.
-    const sim::FaultSpec& belief = sup.planned_against();
+    // Belief/DES divergence (reporting only, never fed to decisions): the
+    // schedule cleared a socket the supervisor still believes dead. This is
+    // the window the prober exists to close — assert it shrinks in the
+    // recovery tests.
+    const sim::FaultSpec actual = cfg.node.sim.fault_schedule.active_at(global);
+    for (const unsigned s : sup.planned_against().offline_sockets) {
+      if (actual.is_socket_offline(s)) continue;
+      ++out.belief_stale_windows;
+      obs::trace_instant("nodesup.belief_stale", "numa", global, s);
+      util::log_info("node_triad: decision=keep belief_stale=sock" +
+                     std::to_string(s) + " at=" + std::to_string(global) +
+                     " (schedule cleared; belief persists until a probe)");
+      break;
+    }
+
+    // Placement channel: candidate layout under the current belief vs what
+    // is running now. belief() carries the re-admission ramp derates, so a
+    // just-readmitted socket is priced at partial weight.
+    const sim::FaultSpec belief = sup.belief();
     const auto believed_healthy = belief.surviving_sockets(sockets);
-    const std::vector<NodeJob> believed_cand = plan_failover(
-        jobs, believed_healthy, map, cfg.node.node, nullptr, n);
-    const double cur_bw = placement_bw(jobs, cfg.threads, cfg.node, map, belief);
+    const std::vector<NodeJob> believed_cand = plan_placement(
+        jobs, sockets, n, believed_healthy, map, cfg.node.node, nullptr);
+    const double cur_bw =
+        placement_bw(jobs, cfg.threads, n, cfg.node, map, belief);
     const double cand_bw = same_placement(jobs, believed_cand)
                                ? cur_bw
-                               : placement_bw(believed_cand, cfg.threads,
+                               : placement_bw(believed_cand, cfg.threads, n,
                                               cfg.node, map, belief);
     const double gain = cur_bw > 0.0 ? cand_bw / cur_bw : 1.0;
 
     const NodeDecision dec = sup.observe(last_sample, gain);
+
+    if (dec.action == Action::kProbe) {
+      // Run the supervisor's canary on the DES: a tiny triad computed on the
+      // quarantined socket, homed in its own domain at a scratch offset. A
+      // still-dead domain remaps every line to survivors, so the probed
+      // socket's controllers stay silent; a recovered domain serves locally
+      // and lights them up. Cycles are charged like a scrub — no goodput.
+      const unsigned ps = dec.probe_socket;
+      const RecoveryConfig& rc = cfg.detector.recovery;
+      sim::NodeConfig pnc = cfg.node;
+      pnc.sim.fault_schedule = cfg.node.sim.fault_schedule.shifted(global);
+      const seg::StreamPlan pplan = seg::plan_stream_offsets(4, map);
+      std::vector<arch::Addr> pbases(4);
+      for (std::size_t k = 0; k < 4; ++k)
+        pbases[k] = cfg.node.node.socket_base(ps) +
+                    cfg.node.node.domain_bytes() / 2 + pplan.offsets[k];
+      std::vector<sim::Workload> pwls(sockets);
+      auto pwl = kernels::make_triad_workload(pbases, rc.probe_elements,
+                                              rc.probe_threads,
+                                              sched::Schedule::static_block(), 1);
+      for (auto& program : pwl) pwls[ps].push_back(std::move(program));
+      sim::Node pnode(pnc);
+      const sim::NodeResult pres = pnode.run(pwls);
+
+      NodeSample psample;
+      psample.begin = global;
+      global += pres.total_cycles;
+      out.total_cycles += pres.total_cycles;
+      out.probe_cycles += pres.total_cycles;
+      psample.end = global;
+      psample.socket_utilization = pres.socket_utilization;
+      sup.report_probe(ps, psample, global);
+      continue;
+    }
     if (dec.action != Action::kReplan) continue;
 
-    const std::vector<NodeJob> candidate = plan_failover(
-        jobs, dec.healthy_sockets, map, cfg.node.node, nullptr, n);
+    const std::vector<NodeJob> candidate = plan_placement(
+        jobs, sockets, n, dec.healthy_sockets, map, cfg.node.node, nullptr);
     if (same_placement(jobs, candidate)) {
       // Nothing to move (e.g. a link derate with every job already local):
       // record the new belief without paying a migration.
@@ -253,32 +414,36 @@ NodeLoopResult run_supervised_node_triad(std::size_t n,
       continue;
     }
 
+    // Price the candidate against the diagnosis merged with the ramp
+    // derates: a fault-change replan uses the fresh diagnosis, a fail-back
+    // pull still sees the readmitted socket at partial weight.
+    const sim::FaultSpec pricing =
+        sim::FaultSpec::merged(dec.diagnosis, sup.belief());
     const double bw_now =
-        placement_bw(jobs, cfg.threads, cfg.node, map, dec.diagnosis);
+        placement_bw(jobs, cfg.threads, n, cfg.node, map, pricing);
     const double bw_new =
-        placement_bw(candidate, cfg.threads, cfg.node, map, dec.diagnosis);
+        placement_bw(candidate, cfg.threads, n, cfg.node, map, pricing);
+    const std::vector<MovedRange> moved = moved_ranges(jobs, candidate);
     const unsigned remaining = cfg.slices - slice - 1;
     bool migrate = false;
     double mig_seconds = 0.0;
+    std::uint64_t moved_bytes = 0;
     if (remaining > 0 && bw_now > 0.0 && bw_new > bw_now) {
       const double rem_bytes =
-          static_cast<double>(remaining) * static_cast<double>(jobs.size()) *
+          static_cast<double>(remaining) * static_cast<double>(sockets) *
           static_cast<double>(kernels::triad_actual_bytes(n));
       const double saved = rem_bytes / bw_now - rem_bytes / bw_new;
-      // Price each moved job: B, C, D read once from wherever the old home
+      // Price each moved range: B, C, D read once from wherever the old home
       // is served under the diagnosis (link bandwidth when remote), then
       // first-touch written into the new home at the post-migration rate.
-      const double copy_bytes = 3.0 * static_cast<double>(n) * 8.0;
-      for (std::size_t j = 0; j < jobs.size(); ++j) {
-        if (jobs[j].compute_socket == candidate[j].compute_socket &&
-            jobs[j].home_socket == candidate[j].home_socket)
-          continue;
+      for (const MovedRange& m : moved) {
+        const double copy_bytes = 3.0 * static_cast<double>(m.count) * 8.0;
+        moved_bytes += static_cast<std::uint64_t>(copy_bytes);
         const sim::NumaRoutes routes = sim::resolve_numa_routes(
-            cfg.node.node, dec.diagnosis, candidate[j].compute_socket);
-        const unsigned serving = routes.home_serving[jobs[j].home_socket];
+            cfg.node.node, dec.diagnosis, m.new_compute);
+        const unsigned serving = routes.home_serving[m.old_home];
         double read_bw = bw_new;
-        if (serving != candidate[j].compute_socket &&
-            routes.line_cycles[serving] > 0)
+        if (serving != m.new_compute && routes.line_cycles[serving] > 0)
           read_bw = std::min(
               read_bw, 64.0 / static_cast<double>(routes.line_cycles[serving]) *
                            ghz * 1e9);
@@ -298,8 +463,32 @@ NodeLoopResult run_supervised_node_triad(std::size_t n,
       continue;
     }
 
-    jobs = plan_failover(jobs, dec.healthy_sockets, map, cfg.node.node, &arena,
-                         n);
+    jobs = plan_placement(jobs, sockets, n, dec.healthy_sockets, map,
+                          cfg.node.node, &arena);
+    // Integrity: re-hash every moved range after its copy and every payload
+    // against its sidecar; shard moves must be bit-transparent.
+    unsigned crc_verified = 0;
+    for (const MovedRange& m : moved) {
+      const double* src = payload[m.job_id].data() + m.begin;
+      const std::uint32_t before_crc =
+          util::crc32c(src, m.count * sizeof(double));
+      const std::vector<double> transferred(src, src + m.count);
+      const std::uint32_t after_crc =
+          util::crc32c(transferred.data(), m.count * sizeof(double));
+      if (before_crc != after_crc)
+        throw std::runtime_error(
+            "node_triad: CRC mismatch on shard move job=" +
+            std::to_string(m.job_id) + " range=[" + std::to_string(m.begin) +
+            "," + std::to_string(m.begin + m.count) + ")");
+      ++crc_verified;
+    }
+    for (unsigned j = 0; j < sockets; ++j)
+      if (util::crc32c(payload[j].data(), n * sizeof(double)) != sidecar[j])
+        throw std::runtime_error(
+            "node_triad: payload sidecar mismatch after migration, job=" +
+            std::to_string(j));
+    out.crc_ranges_verified += crc_verified;
+
     const arch::Cycles mig_cycles = seconds_to_cycles(mig_seconds, ghz);
     obs::trace_instant("sock.migrate", "numa", global, mig_cycles);
     global += mig_cycles;
@@ -307,12 +496,20 @@ NodeLoopResult run_supervised_node_triad(std::size_t n,
     out.migration_cycles += mig_cycles;
     sup.commit(global);
     ++out.replans;
-    out.replan_log.push_back({global, dec.healthy_sockets, jobs, mig_cycles});
+    out.replan_log.push_back({global, dec.healthy_sockets, jobs, mig_cycles,
+                              moved_bytes, crc_verified});
     util::log_info("node_triad: migrated at=" + std::to_string(global) +
-                   " cost=" + std::to_string(mig_cycles) + " cycles");
+                   " cost=" + std::to_string(mig_cycles) + " cycles shards=" +
+                   std::to_string(jobs.size()) + " moved_bytes=" +
+                   std::to_string(moved_bytes) + " crc_ok=" +
+                   std::to_string(crc_verified));
   }
 
   out.suppressed = sup.suppressed();
+  out.probes = sup.probes();
+  out.probe_failures = sup.probe_failures();
+  out.recoveries = sup.recoveries();
+  out.readmissions = sup.readmissions();
   out.final_diagnosis =
       cfg.supervise && !last_sample.socket_utilization.empty()
           ? sup.diagnose(last_sample, sup.planned_against())

@@ -19,6 +19,17 @@
 // the post-migration node bandwidth. A dead old home prices reads at the
 // remap survivor's route, exactly what the DES would charge.
 //
+// Fail-back (DESIGN.md §4k): jobs are *sharded* — each NodeJob is one
+// element range [begin, begin+count) of a logical job — so an orphaned job
+// can split across several survivors instead of piling whole onto one, and
+// rebalance back onto its natural socket once the supervisor's prober
+// readmits it. On a kProbe verdict the loop runs the supervisor's canary
+// (a tiny triad homed on the quarantined domain) on the DES and feeds the
+// measured per-socket utilization back through report_probe(); probe cycles
+// are charged to the global timeline like scrubs, with no goodput bytes.
+// Every committed shard move re-verifies the moved payload range against
+// its CRC32C sidecar (the PR-3 integrity discipline at shard granularity).
+//
 // With `supervise = false` the same slicing runs with the supervisor
 // bypassed — the surviving-socket convergence baseline for the NUMA
 // regression tests.
@@ -54,8 +65,16 @@ struct NodeLoopConfig {
   [[nodiscard]] util::Status check() const;
 };
 
-/// One triad job: where it computes and where its arrays live.
+/// One triad job shard: the element range of a logical job it covers, where
+/// it computes and where its arrays live. A healthy placement is one
+/// whole-range shard per logical job; failover may split a logical job into
+/// several shards across survivors (seg::split_shard_counts).
 struct NodeJob {
+  /// Logical job this shard belongs to (== its natural socket).
+  unsigned job_id = 0;
+  /// Element range [begin, begin + count) of the logical job's arrays.
+  std::size_t begin = 0;
+  std::size_t count = 0;
   unsigned compute_socket = 0;
   unsigned home_socket = 0;
   /// Array bases, order A,B,C,D.
@@ -66,8 +85,14 @@ struct NodeJob {
 struct NodeReplanRecord {
   arch::Cycles at = 0;  ///< global cycle the migration completed
   std::vector<unsigned> healthy_sockets;
-  std::vector<NodeJob> jobs;  ///< post-migration placement
+  std::vector<NodeJob> jobs;  ///< post-migration placement (all shards)
   arch::Cycles migration_cycles = 0;
+  /// Payload bytes copied by this migration (B, C, D of every moved range).
+  std::uint64_t moved_bytes = 0;
+  /// Moved ranges whose post-copy CRC32C matched the sidecar. A mismatch
+  /// aborts the run (std::runtime_error) — silent shard corruption must not
+  /// be committed — so on a completed run this equals the moved-range count.
+  unsigned crc_ranges_verified = 0;
 };
 
 /// Per-slice accounting on the loop's global timeline (migration gaps fall
@@ -91,6 +116,21 @@ struct NodeLoopResult {
   unsigned replans = 0;
   unsigned suppressed = 0;
   unsigned declined = 0;
+  /// Fail-back channel: canaries launched / canaries that found the domain
+  /// still dead / probe-confirmed recoveries / ramps completed to full
+  /// weight (NodeSupervisor counters at loop end).
+  unsigned probes = 0;
+  unsigned probe_failures = 0;
+  unsigned recoveries = 0;
+  unsigned readmissions = 0;
+  /// Cycles spent running canary probes (charged to total_cycles, no bytes).
+  arch::Cycles probe_cycles = 0;
+  /// Slices whose end saw the DES fault schedule clear of a socket the
+  /// supervisor still believed dead (the belief/ground-truth divergence the
+  /// prober exists to close; reporting only, never fed to decisions).
+  unsigned belief_stale_windows = 0;
+  /// Moved shard ranges CRC-verified across all committed migrations.
+  unsigned crc_ranges_verified = 0;
   /// Socket/link fault state the supervisor believes at the end.
   sim::FaultSpec final_diagnosis;
   std::vector<double> final_socket_utilization;

@@ -22,6 +22,16 @@
 //
 // With `supervise = false` the same slicing runs with the supervisor
 // bypassed — the fair baseline for "does self-healing pay for itself".
+//
+// Note one asymmetry with the node-level loop (numa_loop.h): this chip
+// supervisor recovers from transient faults *passively*. A derated or
+// offline controller keeps receiving its interleave share after the replan
+// (lines remap but the interleave still addresses it), so when the fault
+// clears, fresh per-controller telemetry shows it and the supervisor can
+// replan back without any probing machinery. A quarantined *socket* gets
+// zero traffic once its jobs migrate away — no telemetry, no passive
+// rediscovery — which is why active probing, staged re-admission, and the
+// circuit-breaker hysteresis (DESIGN.md §4k) live only at node scope.
 
 #include <cstddef>
 #include <cstdint>

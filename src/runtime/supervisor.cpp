@@ -31,6 +31,8 @@ struct SupMetrics {
   obs::Counter& replans;
   obs::Counter& suppressed;
   obs::Counter& scrubs;
+  obs::Counter& probes;
+  obs::Counter& recoveries;
 
   static SupMetrics& get() {
     auto& reg = obs::MetricsRegistry::instance();
@@ -42,7 +44,11 @@ struct SupMetrics {
         reg.counter("mcopt_supervisor_suppressed_total",
                     "Replans suppressed by the backoff window"),
         reg.counter("mcopt_supervisor_scrub_orders_total",
-                    "Scrub orders issued on corrupted reads")};
+                    "Scrub orders issued on corrupted reads"),
+        reg.counter("mcopt_supervisor_probes_total",
+                    "Canary probes launched against quarantined sockets"),
+        reg.counter("mcopt_supervisor_recoveries_total",
+                    "Probe-confirmed socket recoveries (readmissions begun)")};
     return m;
   }
 };
@@ -55,6 +61,7 @@ const char* action_event_name(Action a) noexcept {
     case Action::kReplan: return "supervisor.action.replan";
     case Action::kSuppressed: return "supervisor.action.suppressed";
     case Action::kScrub: return "supervisor.action.scrub";
+    case Action::kProbe: return "supervisor.action.probe";
   }
   return "supervisor.action";
 }
@@ -281,8 +288,32 @@ void Supervisor::abort(arch::Cycles now) {
 // ---------------------------------------------------------------------------
 // NodeSupervisor
 
+util::Status RecoveryConfig::check() const {
+  util::Status status;
+  if (probe_backoff.initial == 0)
+    status.note("RecoveryConfig: probe_backoff.initial == 0");
+  if (probe_backoff.multiplier < 1.0)
+    status.note("RecoveryConfig: probe_backoff.multiplier < 1");
+  if (probe_backoff.cap < probe_backoff.initial)
+    status.note("RecoveryConfig: probe_backoff.cap < initial");
+  if (probe_backoff.jitter < 0.0 || probe_backoff.jitter >= 1.0)
+    status.note("RecoveryConfig: probe_backoff.jitter outside [0, 1)");
+  if (ramp_windows == 0)
+    status.note("RecoveryConfig: ramp_windows must be >= 1");
+  if (!(ramp_initial > 0.0) || ramp_initial > 1.0)
+    status.note("RecoveryConfig: ramp_initial outside (0, 1]");
+  if (probe_elements == 0)
+    status.note("RecoveryConfig: probe_elements must be >= 1");
+  if (probe_threads == 0)
+    status.note("RecoveryConfig: probe_threads must be >= 1");
+  if (!(probe_util_threshold > 0.0) || probe_util_threshold >= 1.0)
+    status.note("RecoveryConfig: probe_util_threshold outside (0, 1)");
+  return status;
+}
+
 util::Status NodeDetectorConfig::check() const {
   util::Status status;
+  status.merge(recovery.check());
   if (stable_window == 0)
     status.note("NodeDetectorConfig: stable_window must be >= 1");
   if (!(offline_threshold > 0.0) || offline_threshold >= 1.0)
@@ -317,6 +348,12 @@ NodeSupervisor::NodeSupervisor(NodeDetectorConfig cfg,
   if (node_.single_socket())
     throw std::invalid_argument(
         "NodeSupervisor: single-socket topology has no socket fault domains");
+  gates_.reserve(node_.num_sockets);
+  for (unsigned s = 0; s < node_.num_sockets; ++s)
+    gates_.emplace_back(cfg_.recovery.probe_backoff, /*trip_threshold=*/1,
+                        seed ^ ((s + 1) * 0x9e3779b97f4a7c15ULL));
+  ramp_left_.assign(node_.num_sockets, 0);
+  ramp_factor_.assign(node_.num_sockets, 1.0);
 }
 
 sim::FaultSpec NodeSupervisor::diagnose(const NodeSample& sample,
@@ -398,6 +435,28 @@ NodeDecision NodeSupervisor::observe(const NodeSample& sample,
   dec.diagnosis = planned_against_;
   dec.healthy_sockets = non_dead(planned_against_);
 
+  // Probe channel: a kKeep window is an opportunity to canary a quarantined
+  // socket whose breaker hold has expired. Probes ride the otherwise-idle
+  // decision slots so they never preempt a replan.
+  const auto finish_keep = [&](NodeDecision d) -> NodeDecision {
+    if (!cfg_.recovery.enabled || d.action != Action::kKeep) return d;
+    for (const unsigned s : planned_against_.offline_sockets) {
+      if (!gates_[s].allow(sample.end)) continue;
+      ++probes_;
+      SupMetrics::get().probes.inc();
+      d.action = Action::kProbe;
+      d.probe_socket = s;
+      d.reason = "probe quarantined socket " + std::to_string(s);
+      obs::trace_instant("supervisor.probe.launch", "supervisor", sample.end,
+                         s);
+      util::log_info("nodesup: action=probe at=" + std::to_string(sample.end) +
+                     " socket=" + std::to_string(s) +
+                     " attempt=" + std::to_string(probes_));
+      break;  // one canary in flight at a time
+    }
+    return d;
+  };
+
   const double peak = sample.socket_utilization.empty()
                           ? 0.0
                           : *std::max_element(sample.socket_utilization.begin(),
@@ -408,10 +467,12 @@ NodeDecision NodeSupervisor::observe(const NodeSample& sample,
   if (sample.socket_utilization.size() != node_.num_sockets ||
       (peak < cfg_.min_signal && busiest_link < cfg_.min_signal)) {
     dec.reason = "idle";
-    return dec;
+    advance_ramps(planned_against_, sample.end);
+    return finish_keep(dec);
   }
 
   const sim::FaultSpec diag = diagnose(sample, planned_against_);
+  advance_ramps(diag, sample.end);
   const std::string descr = diag.describe();
   if (descr == pending_descr_) {
     ++pending_count_;
@@ -424,7 +485,7 @@ NodeDecision NodeSupervisor::observe(const NodeSample& sample,
     dec.reason = "unstable diagnosis (" + descr + ", " +
                  std::to_string(pending_count_) + "/" +
                  std::to_string(cfg_.stable_window) + ")";
-    return dec;
+    return finish_keep(dec);
   }
 
   const bool fault_changed = descr != planned_against_.describe();
@@ -436,7 +497,7 @@ NodeDecision NodeSupervisor::observe(const NodeSample& sample,
       util::log_info("nodesup: backoff reset after quiet stretch at=" +
                      std::to_string(sample.end));
     }
-    return dec;
+    return finish_keep(dec);
   }
   quiet_count_ = 0;
 
@@ -477,9 +538,24 @@ NodeDecision NodeSupervisor::observe(const NodeSample& sample,
 
 void NodeSupervisor::commit(arch::Cycles now) {
   obs::trace_instant("nodesup.commit", "supervisor", now, replans_ + 1u);
+  const sim::FaultSpec prior = planned_against_;
   planned_against_ = pending_diag_;
   backoff_.arm(now);
   ++replans_;
+  // Trip the probe breaker of every newly quarantined socket; a socket that
+  // relapsed mid-ramp reopens with the escalated hold (its breaker was
+  // closed without forgiveness at probe time).
+  for (const unsigned s : planned_against_.offline_sockets) {
+    if (prior.is_socket_offline(s)) continue;
+    if (ramp_left_[s] != 0) {
+      ramp_left_[s] = 0;
+      ramp_factor_[s] = 1.0;
+      obs::trace_instant("supervisor.readmit.abort", "supervisor", now, s);
+      util::log_info("nodesup: readmit aborted socket=" + std::to_string(s) +
+                     " at=" + std::to_string(now) + " (relapse during ramp)");
+    }
+    gates_[s].record_failure(now);
+  }
   util::log_info("nodesup: replan committed at=" + std::to_string(now) +
                  " planned_against=" + planned_against_.describe() +
                  " next_allowed=" + std::to_string(backoff_.ready_at()));
@@ -490,6 +566,77 @@ void NodeSupervisor::abort(arch::Cycles now) {
   backoff_.arm(now);
   util::log_info("nodesup: replan declined at=" + std::to_string(now) +
                  " next_allowed=" + std::to_string(backoff_.ready_at()));
+}
+
+bool NodeSupervisor::report_probe(unsigned socket, const NodeSample& probe,
+                                  arch::Cycles now) {
+  if (socket >= node_.num_sockets)
+    throw std::invalid_argument("NodeSupervisor::report_probe: socket " +
+                                std::to_string(socket) + " out of range");
+  const double util = socket < probe.socket_utilization.size()
+                          ? probe.socket_utilization[socket]
+                          : 0.0;
+  const bool alive = util > cfg_.recovery.probe_util_threshold;
+  if (!alive) {
+    ++probe_failures_;
+    gates_[socket].record_failure(now);  // half-open -> reopen, escalated
+    obs::trace_instant("supervisor.probe.fail", "supervisor", now, socket);
+    util::log_info(
+        "nodesup: probe failed socket=" + std::to_string(socket) + " at=" +
+        std::to_string(now) + " util=" + std::to_string(util) +
+        " reopens=" + std::to_string(gates_[socket].reopens()) +
+        " next_probe_in=" + std::to_string(gates_[socket].ready_in(now)));
+    return false;
+  }
+
+  // Confirmed recovery: readmit through the ramp. The breaker closes but
+  // keeps its escalation — only a completed ramp forgives it, so a flapper
+  // pays ever-longer quarantines.
+  ++recoveries_;
+  SupMetrics::get().recoveries.inc();
+  gates_[socket].record_success(/*forgive=*/false);
+  auto& off = planned_against_.offline_sockets;
+  off.erase(std::remove(off.begin(), off.end(), socket), off.end());
+  ramp_left_[socket] = cfg_.recovery.ramp_windows;
+  ramp_factor_[socket] = cfg_.recovery.ramp_initial;
+  // Drop the stale debounce state: a pending dead diagnosis predating the
+  // probe must not be committed over the fresh evidence.
+  pending_descr_.clear();
+  pending_diag_ = planned_against_;
+  pending_count_ = 0;
+  obs::trace_instant("supervisor.probe.success", "supervisor", now, socket);
+  obs::trace_instant("supervisor.readmit.begin", "supervisor", now, socket);
+  util::log_info("nodesup: probe confirmed recovery socket=" +
+                 std::to_string(socket) + " at=" + std::to_string(now) +
+                 " util=" + std::to_string(util) + " ramp_windows=" +
+                 std::to_string(cfg_.recovery.ramp_windows) + " ramp_start=" +
+                 std::to_string(cfg_.recovery.ramp_initial));
+  return true;
+}
+
+sim::FaultSpec NodeSupervisor::belief() const {
+  sim::FaultSpec b = planned_against_;
+  for (unsigned s = 0; s < node_.num_sockets; ++s)
+    if (ramp_left_[s] != 0) b.socket_derates.push_back({s, ramp_factor_[s]});
+  return b;
+}
+
+void NodeSupervisor::advance_ramps(const sim::FaultSpec& diag,
+                                   arch::Cycles now) {
+  for (unsigned s = 0; s < node_.num_sockets; ++s) {
+    if (ramp_left_[s] == 0) continue;
+    if (diag.is_socket_offline(s)) continue;  // relapse pending; commit aborts
+    const double step = (1.0 - cfg_.recovery.ramp_initial) /
+                        static_cast<double>(cfg_.recovery.ramp_windows);
+    ramp_factor_[s] = std::min(1.0, ramp_factor_[s] + step);
+    if (--ramp_left_[s] != 0) continue;
+    ramp_factor_[s] = 1.0;
+    ++readmissions_;
+    gates_[s].record_success();  // ramp completed: forgive the escalation
+    obs::trace_instant("supervisor.readmit.complete", "supervisor", now, s);
+    util::log_info("nodesup: readmit complete socket=" + std::to_string(s) +
+                   " at=" + std::to_string(now));
+  }
 }
 
 }  // namespace mcopt::runtime

@@ -97,7 +97,8 @@ enum class Action {
   kKeep,       ///< nothing to do (healthy, unstable, idle, or already planned)
   kReplan,     ///< diagnosis or layout deficit warrants a replan now
   kSuppressed, ///< replan warranted but inside the backoff window
-  kScrub       ///< corrupted reads observed: verify checksums and rebuild
+  kScrub,      ///< corrupted reads observed: verify checksums and rebuild
+  kProbe       ///< run a canary against a quarantined socket (fail-back path)
 };
 
 /// The supervisor's verdict for one sample.
@@ -218,6 +219,48 @@ class Supervisor {
 // dead socket it goes silent, and a naive detector would flip it back to
 // healthy and thrash the replan loop.
 
+/// Fail-back probing and staged re-admission (DESIGN.md §4k). The no-traffic
+/// evidence rule above is deliberately one-way: once jobs migrate off a dead
+/// socket it goes silent, so passive observation can never rediscover it.
+/// The prober closes that loop with the service layer's breaker state
+/// machine at socket granularity: a diagnosed-dead socket trips a per-socket
+/// util::CircuitBreaker (closed -> open); when the hold expires the next
+/// observe() admits exactly one canary probe (half-open); a probe that finds
+/// the domain serving again readmits the socket through a derate ramp
+/// (staged re-admission), while a failed probe reopens the breaker with a
+/// geometrically longer hold. Only a *completed* ramp forgives the
+/// escalation, so a flapping socket pays ever-longer quarantines instead of
+/// thrashing the replan loop.
+struct RecoveryConfig {
+  /// Master switch; false restores the PR-7 behavior (belief carries
+  /// forward for good — the survivor-model plateau baseline).
+  bool enabled = true;
+  /// Probe cadence per quarantined socket, in simulated cycles: the breaker
+  /// hold between canaries, escalating geometrically on probe failure.
+  util::BackoffConfig probe_backoff{.initial = 400000, .multiplier = 2.0,
+                                    .cap = 25600000, .jitter = 0.1};
+  /// Observation windows a readmitted socket takes to ramp from
+  /// `ramp_initial` capacity belief to full weight.
+  unsigned ramp_windows = 3;
+  /// Capacity belief of a just-readmitted socket (stepped toward 1.0 over
+  /// ramp_windows; the hysteresis half of the ramp — a relapse during the
+  /// ramp re-quarantines with escalated hold).
+  double ramp_initial = 0.5;
+  /// Canary probe job size (triad elements) and strands. Small on purpose:
+  /// the probe is charged cycles like a scrub, so it must cost a fraction of
+  /// a slice.
+  std::size_t probe_elements = 4096;
+  unsigned probe_threads = 4;
+  /// Probe verdict threshold: the probed socket's mean controller
+  /// utilization must exceed this for the domain to count as serving again.
+  /// A still-dead domain remaps every canary line to survivors, so it reads
+  /// exactly 0; a recovered domain serves the (latency-bound) canary locally
+  /// at a few percent — the threshold sits between, not near 50%.
+  double probe_util_threshold = 0.01;
+
+  [[nodiscard]] util::Status check() const;
+};
+
 /// Node detector thresholds. Defaults calibrated for slice-grained samples
 /// from sim::Node runs.
 struct NodeDetectorConfig {
@@ -241,6 +284,8 @@ struct NodeDetectorConfig {
                               .cap = 3200000, .jitter = 0.1};
   /// Consecutive no-action samples after which the backoff resets.
   unsigned quiet_reset = 4;
+  /// Fail-back probing and staged re-admission.
+  RecoveryConfig recovery{};
 
   /// Non-throwing validation; reports every violation at once.
   [[nodiscard]] util::Status check() const;
@@ -267,6 +312,8 @@ struct NodeDecision {
   sim::FaultSpec diagnosis;
   /// Sockets a replan may place compute and memory on (the non-dead set).
   std::vector<unsigned> healthy_sockets;
+  /// Target of a kProbe action: the quarantined socket to canary.
+  unsigned probe_socket = 0;
   std::string reason;
   arch::Cycles at = 0;
 };
@@ -291,13 +338,38 @@ class NodeSupervisor {
   /// The loop declined the last kReplan decision.
   void abort(arch::Cycles now);
 
+  /// The loop ran the canary ordered by a kProbe decision; `probe` is the
+  /// canary run's sample. Returns true when the probe confirms the domain is
+  /// serving again — the socket is readmitted into the belief through the
+  /// re-admission ramp (breaker closes without forgiving escalation). On
+  /// false the breaker reopens with a geometrically longer hold.
+  bool report_probe(unsigned socket, const NodeSample& probe, arch::Cycles now);
+
   [[nodiscard]] const sim::FaultSpec& planned_against() const noexcept {
     return planned_against_;
   }
+  /// Effective fault belief for pricing and placement: planned_against()
+  /// plus the staged re-admission derate of each ramping socket. This is
+  /// what the loop's analytic gates must price against — a just-readmitted
+  /// socket is believed alive but not yet at full weight.
+  [[nodiscard]] sim::FaultSpec belief() const;
   [[nodiscard]] unsigned replans() const noexcept { return replans_; }
   [[nodiscard]] unsigned suppressed() const noexcept { return suppressed_; }
+  /// Probes launched / probes that came back dead / probe-confirmed
+  /// recoveries / ramps completed to full weight.
+  [[nodiscard]] unsigned probes() const noexcept { return probes_; }
+  [[nodiscard]] unsigned probe_failures() const noexcept {
+    return probe_failures_;
+  }
+  [[nodiscard]] unsigned recoveries() const noexcept { return recoveries_; }
+  [[nodiscard]] unsigned readmissions() const noexcept { return readmissions_; }
   [[nodiscard]] const util::Backoff& backoff() const noexcept {
     return backoff_;
+  }
+  /// Per-socket probe breaker (exposed for tests: half-open semantics and
+  /// reopen escalation at socket granularity).
+  [[nodiscard]] const util::CircuitBreaker& probe_gate(unsigned socket) const {
+    return gates_.at(socket);
   }
 
   /// Pure detector (exposed for tests): classifies one sample into a
@@ -308,6 +380,9 @@ class NodeSupervisor {
 
  private:
   [[nodiscard]] std::vector<unsigned> non_dead(const sim::FaultSpec& d) const;
+  /// Steps every active re-admission ramp one window (unless `diag` flags
+  /// the socket dead again) and completes ramps that reach full weight.
+  void advance_ramps(const sim::FaultSpec& diag, arch::Cycles now);
 
   NodeDetectorConfig cfg_;
   arch::NodeTopology node_;
@@ -320,6 +395,16 @@ class NodeSupervisor {
   unsigned quiet_count_ = 0;
   unsigned replans_ = 0;
   unsigned suppressed_ = 0;
+
+  /// Recovery state: one probe breaker per socket, plus the ramp position of
+  /// each readmitted socket (0 = not ramping).
+  std::vector<util::CircuitBreaker> gates_;
+  std::vector<unsigned> ramp_left_;
+  std::vector<double> ramp_factor_;
+  unsigned probes_ = 0;
+  unsigned probe_failures_ = 0;
+  unsigned recoveries_ = 0;
+  unsigned readmissions_ = 0;
 };
 
 }  // namespace mcopt::runtime

@@ -124,18 +124,21 @@ NodeStreamPlan plan_node_stream_shards(std::size_t num_arrays,
                                        const arch::AddressMap& map,
                                        const arch::NodeTopology& node,
                                        std::span<const unsigned> compute_sockets,
-                                       std::span<const unsigned> memory_sockets) {
+                                       std::span<const unsigned> memory_sockets,
+                                       std::vector<unsigned>& domain_load) {
   if (num_arrays == 0)
     throw std::invalid_argument("plan_node_stream_shards: num_arrays == 0");
   require_valid_sockets(compute_sockets, node, "compute");
   require_valid_sockets(memory_sockets, node, "memory");
+  if (domain_load.size() != node.num_sockets)
+    throw std::invalid_argument(
+        "plan_node_stream_shards: domain_load size != num_sockets");
 
   const std::size_t period = map.spec().period_bytes();
   const std::size_t stride = period / map.spec().num_controllers();
 
   NodeStreamPlan plan;
   plan.shards.reserve(compute_sockets.size());
-  std::vector<unsigned> domain_load(node.num_sockets, 0);
   unsigned remote = 0;
   for (const unsigned c : compute_sockets) {
     NodeStreamPlan::Shard shard;
@@ -179,10 +182,30 @@ NodeStreamPlan plan_node_stream_shards(std::size_t num_arrays,
 
 NodeStreamPlan plan_node_stream_shards(std::size_t num_arrays,
                                        const arch::AddressMap& map,
+                                       const arch::NodeTopology& node,
+                                       std::span<const unsigned> compute_sockets,
+                                       std::span<const unsigned> memory_sockets) {
+  std::vector<unsigned> domain_load(node.num_sockets, 0);
+  return plan_node_stream_shards(num_arrays, map, node, compute_sockets,
+                                 memory_sockets, domain_load);
+}
+
+NodeStreamPlan plan_node_stream_shards(std::size_t num_arrays,
+                                       const arch::AddressMap& map,
                                        const arch::NodeTopology& node) {
   std::vector<unsigned> all(node.num_sockets);
   for (unsigned s = 0; s < node.num_sockets; ++s) all[s] = s;
   return plan_node_stream_shards(num_arrays, map, node, all, all);
+}
+
+std::vector<std::size_t> split_shard_counts(std::size_t total,
+                                            std::size_t parts) {
+  if (total == 0) throw std::invalid_argument("split_shard_counts: total == 0");
+  if (parts == 0) throw std::invalid_argument("split_shard_counts: parts == 0");
+  parts = std::min(parts, total);
+  std::vector<std::size_t> counts(parts, total / parts);
+  for (std::size_t i = 0; i < total % parts; ++i) ++counts[i];
+  return counts;
 }
 
 AliasReport diagnose_streams(std::span<const arch::Addr> bases,

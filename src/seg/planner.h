@@ -121,11 +121,32 @@ struct NodeStreamPlan {
     const arch::NodeTopology& node, std::span<const unsigned> compute_sockets,
     std::span<const unsigned> memory_sockets);
 
+/// Composable overload for shard-level rebalancing: `domain_load` (size
+/// node.num_sockets) carries the number of shard families already homed in
+/// each domain and is updated in place. The fail-back rebalancer plans one
+/// logical job at a time — an orphaned job split across several survivors,
+/// or a recovered job pulled back whole — and successive calls must rotate
+/// against the node-wide allocation state, not re-alias each job
+/// independently onto the same controllers. Throws on a wrong-sized load
+/// vector.
+[[nodiscard]] NodeStreamPlan plan_node_stream_shards(
+    std::size_t num_arrays, const arch::AddressMap& map,
+    const arch::NodeTopology& node, std::span<const unsigned> compute_sockets,
+    std::span<const unsigned> memory_sockets,
+    std::vector<unsigned>& domain_load);
+
 /// Healthy-node convenience overload: every socket computes, every domain
 /// serves, so each shard is local.
 [[nodiscard]] NodeStreamPlan plan_node_stream_shards(
     std::size_t num_arrays, const arch::AddressMap& map,
     const arch::NodeTopology& node);
+
+/// Even element partition of one orphaned job across `parts` survivors:
+/// entry i is shard i's element count, total/parts with the remainder spread
+/// over the leading shards. Never returns zero-element shards (parts is
+/// clamped to total). Throws on total == 0 or parts == 0.
+[[nodiscard]] std::vector<std::size_t> split_shard_counts(std::size_t total,
+                                                          std::size_t parts);
 
 /// Diagnosis of a set of concurrently traversed stream base addresses.
 struct AliasReport {

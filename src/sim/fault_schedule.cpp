@@ -13,6 +13,11 @@ bool FaultSchedule::has_relative() const noexcept {
                      [](const Interval& iv) { return iv.relative; });
 }
 
+bool FaultSchedule::has_flap() const noexcept {
+  return std::any_of(intervals.begin(), intervals.end(),
+                     [](const Interval& iv) { return iv.flap_period != 0; });
+}
+
 FaultSchedule FaultSchedule::resolved(arch::Cycles horizon) const {
   FaultSchedule out;
   out.intervals.reserve(intervals.size());
@@ -26,6 +31,22 @@ FaultSchedule FaultSchedule::resolved(arch::Cycles horizon) const {
                   ? kNever
                   : static_cast<arch::Cycles>(std::llround(
                         iv.end_frac * static_cast<double>(horizon)));
+    }
+    if (r.flap_period != 0) {
+      // Expand the flap: the fault is active during the first half of each
+      // period, so downstream consumers (chip, epochs, event_count, the
+      // chaos replan budget) see the real transition timeline. An unbounded
+      // flap end is clamped to the horizon (check() rejects it anyway).
+      const arch::Cycles end = r.end == kNever ? horizon : r.end;
+      const arch::Cycles half = std::max<arch::Cycles>(1, r.flap_period / 2);
+      for (arch::Cycles b = r.begin; b < end; b += r.flap_period) {
+        Interval off;
+        off.fault = r.fault;
+        off.begin = b;
+        off.end = std::min<arch::Cycles>(b + half, end);
+        out.intervals.push_back(std::move(off));
+      }
+      continue;
     }
     out.intervals.push_back(std::move(r));
   }
@@ -109,6 +130,22 @@ util::Status FaultSchedule::check(const arch::InterleaveSpec& spec,
       status.note(tag + ": begin " + std::to_string(iv.begin) +
                   " must precede end " + std::to_string(iv.end));
     }
+    if (iv.flap_period != 0) {
+      const bool pure_sock_off =
+          iv.fault.offline_sockets.size() == 1 &&
+          iv.fault.offline_controllers.empty() && iv.fault.derates.empty() &&
+          iv.fault.slow_banks.empty() && iv.fault.stragglers.empty() &&
+          iv.fault.flips.empty() && iv.fault.socket_derates.empty() &&
+          iv.fault.link_faults.empty();
+      if (!pure_sock_off)
+        status.note(tag + ": flap requires exactly one sock:off fault");
+      const bool bounded = iv.relative ? iv.end_frac >= 0.0 : iv.end != kNever;
+      if (!bounded)
+        status.note(tag + ": flap interval needs a bounded end "
+                    "(an unbounded flap never resolves to a timeline)");
+      if (num_sockets <= 1)
+        status.note(tag + ": flap needs a multi-socket topology");
+    }
   }
   // Overlapping intervals must never conspire to offline the whole chip.
   // Percent bounds have no common timeline until resolved; the resolved
@@ -177,6 +214,14 @@ std::string FaultSchedule::describe() const {
     } else if (iv.begin != 0 || iv.end != kNever) {
       stamp = '@' + std::to_string(iv.begin);
       if (iv.end != kNever) stamp += ".." + std::to_string(iv.end);
+    }
+    if (iv.flap_period != 0) {
+      // Unexpanded flap prints as its own grammar item so describe() output
+      // re-parses to the same (unexpanded) timeline.
+      if (!out.empty()) out += ',';
+      out += "sock" + std::to_string(iv.fault.offline_sockets.front()) +
+             ":flap=" + std::to_string(iv.flap_period) + stamp;
+      continue;
     }
     // A multi-fault interval must emit one item per constituent fault, each
     // carrying the stamp: "mc0:off mc1:off@5..9" does not re-parse, but
@@ -304,11 +349,38 @@ util::Expected<FaultSchedule> FaultSchedule::parse(const std::string& text,
   FaultSchedule sched;
   for (const std::string& item : split_items(text)) {
     const std::size_t at = item.find('@');
-    const auto spec = FaultSpec::parse(item.substr(0, at), limits);
-    if (!spec) return Result::failure(spec.error().message);
+    const std::string fault_text = item.substr(0, at);
 
     Interval iv;
-    iv.fault = spec.value();
+    // sock<i>:flap=<period> is schedule-level grammar (a FaultSpec has no
+    // notion of time): intercept it before FaultSpec::parse.
+    const std::size_t flap = fault_text.find(":flap=");
+    if (flap != std::string::npos) {
+      if (fault_text.compare(0, 4, "sock") != 0)
+        return Result::failure("FaultSchedule: flap is socket-only in '" +
+                               item + "'");
+      char* idx_end = nullptr;
+      const unsigned long sock =
+          std::strtoul(fault_text.c_str() + 4, &idx_end, 10);
+      if (idx_end != fault_text.c_str() + flap || flap == 4)
+        return Result::failure("FaultSchedule: malformed socket index in '" +
+                               item + "'");
+      if (limits.num_sockets != 0 && sock >= limits.num_sockets)
+        return Result::failure("FaultSchedule: socket " + std::to_string(sock) +
+                               " out of range in '" + item + "'");
+      const auto period = parse_bound(fault_text.substr(flap + 6), item);
+      if (!period) return Result::failure(period.error().message);
+      if (period.value().percent || period.value().value < 1.0)
+        return Result::failure(
+            "FaultSchedule: flap period in '" + item +
+            "' must be a cycle count >= 1 (percent periods are not supported)");
+      iv.fault.offline_sockets.push_back(static_cast<unsigned>(sock));
+      iv.flap_period = static_cast<arch::Cycles>(period.value().value);
+    } else {
+      const auto spec = FaultSpec::parse(fault_text, limits);
+      if (!spec) return Result::failure(spec.error().message);
+      iv.fault = spec.value();
+    }
     if (at != std::string::npos) {
       const std::string stamp = item.substr(at + 1);
       const std::size_t dots = stamp.find("..");

@@ -17,9 +17,15 @@
 //   mc2:derate=0.5@2e6      controller 2 at half rate from cycle 2e6 onward
 //   bank3:slow=20@10%..60%  bank 3 slowed during 10%..60% of the run
 //   strand7:lag=8           no stamp: active for the whole run
+//   sock1:flap=4e5@20%..80% socket 1 oscillates dead/alive with a 4e5-cycle
+//                           period (dead the first half of each period)
 //
 // Percent bounds are relative to a run horizon and must be resolved with
-// resolved(horizon) before the schedule reaches the chip.
+// resolved(horizon) before the schedule reaches the chip. A flap interval is
+// syntactic sugar: resolved() expands it into the alternating sock:off
+// intervals it denotes (so the chip, epochs() and event_count() all see the
+// real transition timeline), which is why flap intervals must carry a
+// bounded end stamp.
 
 #include <cstdint>
 #include <string>
@@ -47,15 +53,22 @@ struct FaultSchedule {
     bool relative = false;
     double begin_frac = 0.0;
     double end_frac = -1.0;  ///< < 0 = never clears
+    /// Flap period in cycles (sock<i>:flap=<period>); 0 = plain interval.
+    /// The fault (one offline socket) is active during the first half of
+    /// each period. Expanded by resolved(); requires a bounded end.
+    arch::Cycles flap_period = 0;
   };
   std::vector<Interval> intervals;
 
   [[nodiscard]] bool empty() const noexcept { return intervals.empty(); }
   /// True if any interval still carries unresolved percent bounds.
   [[nodiscard]] bool has_relative() const noexcept;
+  /// True if any interval is an unexpanded flap (resolved() expands them).
+  [[nodiscard]] bool has_flap() const noexcept;
 
   /// Copy with percent bounds mapped onto [0, horizon] cycles (absolute
-  /// intervals pass through unchanged).
+  /// intervals pass through unchanged) and flap intervals expanded into
+  /// their alternating off intervals.
   [[nodiscard]] FaultSchedule resolved(arch::Cycles horizon) const;
 
   /// Copy with every bound moved `offset` cycles earlier: bounds clamp at 0

@@ -137,11 +137,15 @@ class CircuitBreaker {
   }
 
   /// The guarded resource served a request. Closes the breaker from any
-  /// state and forgives both the failure streak and the hold escalation.
-  void record_success() noexcept {
+  /// state and forgives the failure streak. By default the hold escalation
+  /// is forgiven too; pass forgive = false for staged re-admission (the
+  /// socket-recovery prober): the breaker closes so traffic can ramp, but a
+  /// relapse reopens with the NEXT geometric hold, not the initial one —
+  /// only a completed ramp (a second record_success()) resets the schedule.
+  void record_success(bool forgive = true) noexcept {
     state_ = State::kClosed;
     consecutive_failures_ = 0;
-    backoff_.reset();
+    if (forgive) backoff_.reset();
   }
 
   /// The guarded resource failed a request at `now`. In half-open this is

@@ -1,0 +1,283 @@
+// Tier-1 promotion of the fail-back contract (DESIGN.md §4k): after a
+// scheduled socket outage expires, the supervised loop must rediscover the
+// recovered domain through canary probes, readmit it through the staged
+// derate ramp, rebalance shards back onto it, and converge onto the
+// full-healthy analytic node model — where the recovery-disabled plateau
+// (the pre-prober behavior: belief carries forward for good) sits on the
+// survivor model forever. The flap pin holds the replan budget against a
+// socket that oscillates dead/alive, and the split pin holds the
+// shard-level rebalancing + CRC discipline on a wider node.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "runtime/numa_loop.h"
+#include "sim/analytic.h"
+#include "sim/fault_schedule.h"
+
+namespace mcopt {
+namespace {
+
+/// Analytic node bandwidth of a shard placement under `faults`, pricing
+/// exactly as the loop does (proportional strand share per shard).
+double model_bw(const std::vector<runtime::NodeJob>& jobs, unsigned threads,
+                std::size_t n, const runtime::NodeLoopConfig& cfg,
+                const sim::FaultSpec& faults) {
+  const arch::AddressMap map(cfg.node.sim.interleave);
+  const unsigned sockets = cfg.node.node.num_sockets;
+  std::vector<std::vector<sim::AnalyticStream>> streams(sockets);
+  std::vector<unsigned> strands(sockets, 0);
+  for (const runtime::NodeJob& job : jobs) {
+    const std::vector<sim::AnalyticStream> logical = {{job.bases[0], true},
+                                                      {job.bases[1], false},
+                                                      {job.bases[2], false},
+                                                      {job.bases[3], false}};
+    const auto physical = sim::expand_rfo(logical);
+    auto& dst = streams[job.compute_socket];
+    dst.insert(dst.end(), physical.begin(), physical.end());
+    const double frac =
+        static_cast<double>(job.count) / static_cast<double>(n);
+    strands[job.compute_socket] += std::max<unsigned>(
+        1, static_cast<unsigned>(std::lround(threads * frac)));
+  }
+  return sim::estimate_node_bandwidth(streams, strands, cfg.node.sim.calibration,
+                                      map, cfg.node.node,
+                                      cfg.node.sim.topology.clock_ghz, faults)
+      .bandwidth;
+}
+
+TEST(RecoveryRegression, OutageAndReturnConvergesToFullModel) {
+  // socket 1's memory dies at 15% of the healthy horizon and returns at 40%.
+  // Without the prober the supervisor would believe it dead forever (the
+  // one-way evidence rule); with it the loop must probe, readmit, pull the
+  // orphan back, and run the tail at the full-healthy model.
+  constexpr std::size_t kN = 65536;
+  runtime::NodeLoopConfig cfg;
+  cfg.node.node.num_sockets = 2;
+  cfg.node.validate();
+  cfg.threads = 31;  // saturating, de-resonated (32 would period-align)
+  cfg.slices = 24;
+
+  runtime::NodeLoopConfig warm = cfg;
+  warm.supervise = false;
+  const auto healthy = runtime::run_supervised_node_triad(kN, warm);
+  const auto resolved = sim::FaultSchedule::parse("sock1:off@15%..40%")
+                            .value()
+                            .resolved(healthy.total_cycles);
+  ASSERT_TRUE(resolved.check(cfg.node.sim.interleave, 2).ok());
+  cfg.node.sim.fault_schedule = resolved;
+  cfg.supervise = true;
+  const auto sup = runtime::run_supervised_node_triad(kN, cfg);
+
+  // Plateau baseline: identical run with the prober off.
+  runtime::NodeLoopConfig plateau_cfg = cfg;
+  plateau_cfg.detector.recovery.enabled = false;
+  const auto plateau = runtime::run_supervised_node_triad(kN, plateau_cfg);
+
+  // The probe channel fired and confirmed the recovery.
+  EXPECT_GE(sup.probes, 1u);
+  EXPECT_GE(sup.recoveries, 1u);
+  EXPECT_GE(sup.readmissions, 1u);
+  // The belief/DES divergence window opened (schedule cleared, belief stale)
+  // and is what the probe closed.
+  EXPECT_GE(sup.belief_stale_windows, 1u);
+  // Failover out plus fail-back home.
+  EXPECT_GE(sup.replans, 2u);
+  EXPECT_EQ(plateau.probes, 0u);
+  EXPECT_EQ(plateau.recoveries, 0u);
+
+  // Fail-back landed: every shard back on its natural socket, whole.
+  ASSERT_EQ(sup.final_jobs.size(), 2u);
+  for (const runtime::NodeJob& job : sup.final_jobs) {
+    EXPECT_EQ(job.compute_socket, job.job_id);
+    EXPECT_EQ(job.home_socket, job.job_id);
+    EXPECT_EQ(job.count, kN);
+  }
+  // The plateau never rediscovers socket 1.
+  for (const runtime::NodeJob& job : plateau.final_jobs) {
+    EXPECT_EQ(job.compute_socket, 0u);
+    EXPECT_EQ(job.home_socket, 0u);
+  }
+
+  // Converged tail >= 0.95x the full-healthy analytic model of the restored
+  // placement; the recovery-off plateau tail must sit strictly below it.
+  const double ghz = cfg.node.sim.topology.clock_ghz;
+  ASSERT_FALSE(sup.replan_log.empty());
+  const double full_model =
+      model_bw(sup.final_jobs, cfg.threads, kN, cfg, sim::FaultSpec{});
+  ASSERT_GT(full_model, 0.0);
+  const double tail = sup.tail_bandwidth(sup.replan_log.back().at, ghz);
+  EXPECT_GE(tail, 0.95 * full_model)
+      << "recovered tail " << tail / 1e9 << " GB/s vs full model "
+      << full_model / 1e9 << " GB/s";
+  ASSERT_FALSE(plateau.replan_log.empty());
+  const double plateau_tail =
+      plateau.tail_bandwidth(plateau.replan_log.back().at, ghz);
+  EXPECT_GT(tail, plateau_tail)
+      << "fail-back must beat the survivor-model plateau";
+  // Overall makespan: the prober + fail-back migration are pure overhead on
+  // this short horizon (the node chips don't saturate at two jobs, so the
+  // packed plateau loses little), but that overhead must stay bounded — the
+  // recovered run may not give back more than 15% of the plateau's rate. The
+  // capacity win itself is pinned above via the tail comparison.
+  EXPECT_GE(sup.bandwidth, 0.85 * plateau.bandwidth)
+      << "healthy=" << healthy.bandwidth / 1e9 << " sup=" << sup.bandwidth / 1e9
+      << " plateau=" << plateau.bandwidth / 1e9 << " tail=" << tail / 1e9
+      << " plateau_tail=" << plateau_tail / 1e9
+      << " sup_mig=" << sup.migration_cycles << " sup_probe=" << sup.probe_cycles
+      << " sup_total=" << sup.total_cycles
+      << " plateau_total=" << plateau.total_cycles;
+}
+
+TEST(RecoveryRegression, FlappingSocketKeepsReplanBudget) {
+  // A socket that oscillates dead/alive must cost a bounded number of
+  // replans: at most one per schedule event plus the readmission traffic,
+  // never a thrash storm. The breaker's geometric escalation is what holds
+  // the line — each relapse buys a longer quarantine.
+  constexpr std::size_t kN = 32768;
+  runtime::NodeLoopConfig cfg;
+  cfg.node.node.num_sockets = 2;
+  cfg.node.validate();
+  cfg.threads = 31;  // saturating, de-resonated
+  // Windows must be fine relative to the flap period: the detector needs
+  // stable_window consecutive diagnoses inside each half-period, so give it
+  // ~6 windows per off phase.
+  cfg.slices = 40;
+
+  runtime::NodeLoopConfig warm = cfg;
+  warm.supervise = false;
+  const auto healthy = runtime::run_supervised_node_triad(kN, warm);
+  const arch::Cycles horizon = healthy.total_cycles;
+  const std::string spec =
+      "sock1:flap=" + std::to_string(horizon / 3) + "@10%..70%";
+  const auto parsed = sim::FaultSchedule::parse(spec);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  const auto resolved = parsed.value().resolved(horizon);
+  ASSERT_TRUE(resolved.check(cfg.node.sim.interleave, 2).ok());
+  ASSERT_FALSE(resolved.has_flap());  // resolved() expanded the sugar
+  ASSERT_GE(resolved.event_count(), 2u);
+  cfg.node.sim.fault_schedule = resolved;
+  cfg.supervise = true;
+
+  const auto sup = runtime::run_supervised_node_triad(kN, cfg);
+  EXPECT_GE(sup.probes, 1u);
+  // Bounded replans: schedule events + completed readmission ramps + 1.
+  EXPECT_LE(sup.replans, static_cast<unsigned>(resolved.event_count()) +
+                             sup.readmissions + 1u)
+      << "replan thrash under flap";
+  // Every committed placement stayed inside its believed-healthy set.
+  for (const runtime::NodeReplanRecord& replan : sup.replan_log)
+    for (const runtime::NodeJob& job : replan.jobs) {
+      EXPECT_NE(std::find(replan.healthy_sockets.begin(),
+                          replan.healthy_sockets.end(), job.compute_socket),
+                replan.healthy_sockets.end());
+      EXPECT_NE(std::find(replan.healthy_sockets.begin(),
+                          replan.healthy_sockets.end(), job.home_socket),
+                replan.healthy_sockets.end());
+    }
+  EXPECT_GT(sup.bandwidth, 0.0);
+}
+
+TEST(RecoveryRegression, OrphanSplitsAcrossSurvivorsWithCrc) {
+  // On a 4-socket node, one dead socket's job must split across the three
+  // survivors (shard-level rebalancing) instead of piling whole onto one,
+  // and every moved range must come through CRC-verified.
+  constexpr std::size_t kN = 32768;
+  runtime::NodeLoopConfig cfg;
+  cfg.node.node.num_sockets = 4;
+  cfg.node.validate();
+  cfg.threads = 14;
+  cfg.slices = 12;
+
+  runtime::NodeLoopConfig warm = cfg;
+  warm.supervise = false;
+  const auto healthy = runtime::run_supervised_node_triad(kN, warm);
+  const auto resolved = sim::FaultSchedule::parse("sock3:off@20%")
+                            .value()
+                            .resolved(healthy.total_cycles);
+  ASSERT_TRUE(resolved.check(cfg.node.sim.interleave, 4).ok());
+  cfg.node.sim.fault_schedule = resolved;
+  cfg.supervise = true;
+  const auto sup = runtime::run_supervised_node_triad(kN, cfg);
+
+  ASSERT_GE(sup.replans, 1u);
+  // Job 3 ends split across the survivors: several shards, distinct healthy
+  // sockets, ranges tiling [0, kN) exactly.
+  std::vector<const runtime::NodeJob*> orphan;
+  for (const runtime::NodeJob& job : sup.final_jobs)
+    if (job.job_id == 3u) orphan.push_back(&job);
+  ASSERT_GE(orphan.size(), 2u) << "orphan job was not split";
+  std::size_t covered = 0;
+  std::vector<unsigned> targets;
+  for (const runtime::NodeJob* shard : orphan) {
+    covered += shard->count;
+    targets.push_back(shard->compute_socket);
+    EXPECT_NE(shard->compute_socket, 3u);
+    EXPECT_NE(shard->home_socket, 3u);
+    EXPECT_EQ(shard->compute_socket, shard->home_socket);
+  }
+  EXPECT_EQ(covered, kN);
+  std::sort(targets.begin(), targets.end());
+  EXPECT_EQ(std::adjacent_find(targets.begin(), targets.end()), targets.end())
+      << "split shards piled onto one survivor";
+  // The healthy jobs stayed home.
+  for (const runtime::NodeJob& job : sup.final_jobs)
+    if (job.job_id != 3u) {
+      EXPECT_EQ(job.compute_socket, job.job_id);
+      EXPECT_EQ(job.count, kN);
+    }
+  // Integrity: every moved range CRC-verified, and the migration copied the
+  // orphan's live arrays.
+  EXPECT_GE(sup.crc_ranges_verified, static_cast<unsigned>(orphan.size()));
+  ASSERT_FALSE(sup.replan_log.empty());
+  EXPECT_GT(sup.replan_log.front().moved_bytes, 0u);
+  EXPECT_EQ(sup.replan_log.front().crc_ranges_verified,
+            sup.crc_ranges_verified);
+}
+
+TEST(RecoveryRegression, RecoveryLoopIsDeterministic) {
+  // The probe/readmit/rebalance pipeline must replay bit-for-bit: equal
+  // seeds give equal probe counts, placements and timelines.
+  auto run_once = [] {
+    constexpr std::size_t kN = 16384;
+    runtime::NodeLoopConfig cfg;
+    cfg.node.node.num_sockets = 2;
+    cfg.node.validate();
+    cfg.threads = 14;
+    cfg.slices = 16;
+    cfg.seed = 42;
+    runtime::NodeLoopConfig warm = cfg;
+    warm.supervise = false;
+    const auto horizon =
+        runtime::run_supervised_node_triad(kN, warm).total_cycles;
+    cfg.node.sim.fault_schedule = sim::FaultSchedule::parse("sock1:off@15%..50%")
+                                      .value()
+                                      .resolved(horizon);
+    cfg.supervise = true;
+    return runtime::run_supervised_node_triad(kN, cfg);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.replans, b.replans);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.probe_cycles, b.probe_cycles);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_EQ(a.readmissions, b.readmissions);
+  EXPECT_EQ(a.belief_stale_windows, b.belief_stale_windows);
+  ASSERT_EQ(a.final_jobs.size(), b.final_jobs.size());
+  for (std::size_t i = 0; i < a.final_jobs.size(); ++i) {
+    EXPECT_EQ(a.final_jobs[i].job_id, b.final_jobs[i].job_id);
+    EXPECT_EQ(a.final_jobs[i].begin, b.final_jobs[i].begin);
+    EXPECT_EQ(a.final_jobs[i].count, b.final_jobs[i].count);
+    EXPECT_EQ(a.final_jobs[i].compute_socket, b.final_jobs[i].compute_socket);
+    EXPECT_EQ(a.final_jobs[i].bases, b.final_jobs[i].bases);
+  }
+}
+
+}  // namespace
+}  // namespace mcopt

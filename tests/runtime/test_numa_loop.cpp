@@ -126,6 +126,117 @@ TEST(NodeSupervisorDetector, DebounceThenReplanThenBackoffSuppression) {
   EXPECT_GE(sup.suppressed(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Fail-back: the probe channel, staged re-admission and breaker escalation
+// at socket granularity (DESIGN.md §4k).
+
+/// Post-failover silence: the believed-dead socket is fully quiet (no
+/// utilization, no link traffic) — absence of evidence, not recovery.
+NodeSample quiet_sample(arch::Cycles begin, arch::Cycles end) {
+  NodeSample s = healthy_sample();
+  s.begin = begin;
+  s.end = end;
+  s.socket_utilization = {0.6, 0.0};
+  return s;
+}
+
+/// Drives detection of a dead socket 1 and commits the failover, leaving
+/// the supervisor quarantining the socket. Returns the commit time.
+arch::Cycles quarantine_socket1(NodeSupervisor& sup) {
+  (void)sup.observe(dead_socket_sample(1, 0));
+  const NodeDecision d = sup.observe(dead_socket_sample(1, 0));
+  EXPECT_EQ(d.action, Action::kReplan);
+  sup.commit(2000000);
+  EXPECT_TRUE(sup.planned_against().is_socket_offline(1));
+  return 2000000;
+}
+
+/// Feeds quiet windows of `step` cycles until the supervisor orders a probe
+/// (or `limit` windows pass). Returns the number of windows consumed, or 0
+/// if no probe was ordered.
+unsigned windows_until_probe(NodeSupervisor& sup, arch::Cycles& now,
+                             arch::Cycles step, unsigned limit) {
+  for (unsigned i = 1; i <= limit; ++i) {
+    const NodeDecision d = sup.observe(quiet_sample(now, now + step));
+    now += step;
+    EXPECT_NE(d.action, Action::kReplan) << "quiet window triggered a replan";
+    if (d.action == Action::kProbe) {
+      EXPECT_EQ(d.probe_socket, 1u);
+      return i;
+    }
+  }
+  return 0;
+}
+
+TEST(NodeSupervisorRecovery, ProbeConfirmationStartsRampThenReadmits) {
+  NodeDetectorConfig cfg;
+  cfg.stable_window = 2;
+  NodeSupervisor sup(cfg, two_sockets(), 7);
+  arch::Cycles now = quarantine_socket1(sup);
+
+  // The breaker holds, then admits exactly one canary.
+  ASSERT_GT(windows_until_probe(sup, now, 100000, 30), 0u);
+  EXPECT_EQ(sup.probes(), 1u);
+
+  // The canary found the domain serving again (a recovered domain reads a
+  // few percent; a dead one reads exactly 0 after remap).
+  NodeSample canary = healthy_sample();
+  canary.socket_utilization = {0.0, 0.05};
+  ASSERT_TRUE(sup.report_probe(1, canary, now));
+  EXPECT_EQ(sup.recoveries(), 1u);
+  EXPECT_FALSE(sup.planned_against().is_socket_offline(1));
+
+  // Staged re-admission: the belief readmits the socket at reduced weight
+  // and steps it to full over ramp_windows healthy observations.
+  const sim::FaultSpec ramped = sup.belief();
+  ASSERT_EQ(ramped.socket_derates.size(), 1u);
+  EXPECT_EQ(ramped.socket_derates[0].socket, 1u);
+  EXPECT_DOUBLE_EQ(ramped.socket_derates[0].factor,
+                   cfg.recovery.ramp_initial);
+  for (unsigned i = 0; i < cfg.recovery.ramp_windows; ++i) {
+    (void)sup.observe(healthy_sample());
+    EXPECT_EQ(sup.probes(), 1u);  // no probes while nothing is quarantined
+  }
+  EXPECT_EQ(sup.readmissions(), 1u);
+  EXPECT_FALSE(sup.belief().any());
+}
+
+TEST(NodeSupervisorRecovery, FailedProbeReopensWithLongerHold) {
+  NodeDetectorConfig cfg;
+  cfg.stable_window = 2;
+  NodeSupervisor sup(cfg, two_sockets(), 7);
+  arch::Cycles now = quarantine_socket1(sup);
+
+  const unsigned first = windows_until_probe(sup, now, 100000, 40);
+  ASSERT_GT(first, 0u);
+  // Dead canary: every line was remapped, the probed controllers read 0.
+  NodeSample dead = healthy_sample();
+  dead.socket_utilization = {0.0, 0.0};
+  EXPECT_FALSE(sup.report_probe(1, dead, now));
+  EXPECT_EQ(sup.probe_failures(), 1u);
+  EXPECT_TRUE(sup.planned_against().is_socket_offline(1));
+
+  // Geometric escalation: the second hold is roughly twice the first
+  // (jitter is ±10%, window quantization ±1 — a strict > is safe).
+  const unsigned second = windows_until_probe(sup, now, 100000, 40);
+  ASSERT_GT(second, 0u);
+  EXPECT_GT(second, first) << "reopened hold did not escalate";
+  EXPECT_EQ(sup.probes(), 2u);
+  EXPECT_EQ(sup.probe_gate(1).reopens(), 2u);
+}
+
+TEST(NodeSupervisorRecovery, DisabledRecoveryNeverProbes) {
+  NodeDetectorConfig cfg;
+  cfg.stable_window = 2;
+  cfg.recovery.enabled = false;
+  NodeSupervisor sup(cfg, two_sockets(), 7);
+  arch::Cycles now = quarantine_socket1(sup);
+  EXPECT_EQ(windows_until_probe(sup, now, 200000, 50), 0u);
+  EXPECT_EQ(sup.probes(), 0u);
+  // The pre-prober plateau: belief carries the outage forward for good.
+  EXPECT_TRUE(sup.planned_against().is_socket_offline(1));
+}
+
 TEST(NodeLoop, ConfigCheckRejectsDegenerateSetups) {
   NodeLoopConfig cfg;
   cfg.node.node.num_sockets = 1;

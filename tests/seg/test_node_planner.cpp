@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "seg/planner.h"
@@ -106,6 +107,59 @@ TEST(NodePlanner, CoHomedShardsRotateOffControllerZero) {
   // Unrotated, both shards would sit on {mc0, mc1} for balance 0.25; the
   // rotation yields {0,1} + {1,2} = one shared controller, balance 0.5.
   EXPECT_GE(report.balance, 0.5);
+}
+
+TEST(NodePlanner, ComposableOverloadRotatesAgainstCarriedLoad) {
+  // Per-job planner calls must rotate against node-wide allocation state:
+  // two successive one-socket plans sharing a domain_load vector get
+  // distinct controller rotations, exactly as one combined plan would.
+  arch::NodeTopology node;  // 2 sockets, only domain 0 survives
+  const std::vector<unsigned> memory = {0};
+  const std::vector<unsigned> job0 = {0};
+  const std::vector<unsigned> job1 = {1};
+  std::vector<unsigned> load(2, 0);
+  const NodeStreamPlan first =
+      plan_node_stream_shards(2, kMap, node, job0, memory, load);
+  const NodeStreamPlan second =
+      plan_node_stream_shards(2, kMap, node, job1, memory, load);
+  EXPECT_EQ(load[0], 2u);
+  EXPECT_EQ(first.shards[0].streams.offsets,
+            (std::vector<std::size_t>{0, 128}));
+  EXPECT_EQ(second.shards[0].streams.offsets,
+            (std::vector<std::size_t>{128, 256}));
+  // A fresh load vector would repeat the first rotation (the aliasing the
+  // carried state exists to prevent).
+  std::vector<unsigned> fresh(2, 0);
+  const NodeStreamPlan repeat =
+      plan_node_stream_shards(2, kMap, node, job1, memory, fresh);
+  EXPECT_EQ(repeat.shards[0].streams.offsets, first.shards[0].streams.offsets);
+  // The vector must match the node width.
+  std::vector<unsigned> wrong(3, 0);
+  EXPECT_THROW(
+      (void)plan_node_stream_shards(2, kMap, node, job0, memory, wrong),
+      std::invalid_argument);
+}
+
+TEST(NodePlanner, SplitShardCountsCoverAndBalance) {
+  // total/parts with the remainder spread over the leading shards.
+  EXPECT_EQ(split_shard_counts(10, 3),
+            (std::vector<std::size_t>{4, 3, 3}));
+  EXPECT_EQ(split_shard_counts(9, 3), (std::vector<std::size_t>{3, 3, 3}));
+  EXPECT_EQ(split_shard_counts(1, 1), (std::vector<std::size_t>{1}));
+  // parts clamps to total: no empty shards.
+  EXPECT_EQ(split_shard_counts(2, 5), (std::vector<std::size_t>{1, 1}));
+  // Exact cover, max spread 1 — for any draw.
+  for (std::size_t total = 1; total < 40; ++total)
+    for (std::size_t parts = 1; parts < 8; ++parts) {
+      const auto counts = split_shard_counts(total, parts);
+      std::size_t sum = 0;
+      for (const std::size_t c : counts) sum += c;
+      EXPECT_EQ(sum, total);
+      const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+      EXPECT_LE(*hi - *lo, 1u);
+    }
+  EXPECT_THROW((void)split_shard_counts(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)split_shard_counts(3, 0), std::invalid_argument);
 }
 
 TEST(NodePlanner, RejectsDegenerateInput) {

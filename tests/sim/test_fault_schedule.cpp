@@ -477,6 +477,73 @@ TEST(FaultScheduleNuma, ParseLimitsRejectOutOfRangeSockets) {
 }
 
 // ---------------------------------------------------------------------------
+// Flap sugar (sock<i>:flap=<period>).
+
+TEST(FaultScheduleFlap, DescribeRoundTripsThroughParse) {
+  const auto sched = FaultSchedule::parse("sock1:flap=400000@20%..80%");
+  ASSERT_TRUE(sched.has_value()) << sched.error().message;
+  ASSERT_TRUE(sched.value().has_flap());
+  ASSERT_EQ(sched.value().intervals.size(), 1u);
+  EXPECT_EQ(sched.value().intervals[0].flap_period, 400000u);
+  EXPECT_TRUE(sched.value().intervals[0].fault.is_socket_offline(1));
+  const auto again = FaultSchedule::parse(sched.value().describe());
+  ASSERT_TRUE(again.has_value()) << again.error().message;
+  EXPECT_EQ(again.value().describe(), sched.value().describe());
+}
+
+TEST(FaultScheduleFlap, ResolvedExpandsIntoAlternatingOffIntervals) {
+  // Period 1000 over [0, 2500): dead the first half of each period, so the
+  // expansion is sock1:off@0..500, @1000..1500, @2000..2500 — and the
+  // expanded schedule carries no flap sugar (the chip never sees it).
+  auto sched = FaultSchedule::parse("sock1:flap=1000@0..2500").value();
+  const FaultSchedule resolved = sched.resolved(10000);
+  EXPECT_FALSE(resolved.has_flap());
+  ASSERT_EQ(resolved.intervals.size(), 3u);
+  const arch::Cycles begins[] = {0, 1000, 2000};
+  const arch::Cycles ends[] = {500, 1500, 2500};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(resolved.intervals[i].begin, begins[i]);
+    EXPECT_EQ(resolved.intervals[i].end, ends[i]);
+    EXPECT_TRUE(resolved.intervals[i].fault.is_socket_offline(1));
+  }
+  // event_count sees the real transition timeline: 2 arrivals (begin = 0 is
+  // the initial state, not a transition) + 3 clears.
+  EXPECT_EQ(resolved.event_count(), 5u);
+}
+
+TEST(FaultScheduleFlap, PercentStampsResolveBeforeExpansion) {
+  auto sched = FaultSchedule::parse("sock1:flap=250@25%..75%").value();
+  const FaultSchedule resolved = sched.resolved(1000);
+  EXPECT_FALSE(resolved.has_flap());
+  ASSERT_FALSE(resolved.intervals.empty());
+  EXPECT_EQ(resolved.intervals.front().begin, 250u);
+  EXPECT_LE(resolved.intervals.back().end, 750u);
+}
+
+TEST(FaultScheduleFlap, CheckRejectsDegenerateFlaps) {
+  const arch::InterleaveSpec spec;
+  // Unbounded end: the flap never resolves to a timeline.
+  const auto unbounded = FaultSchedule::parse("sock1:flap=1000").value();
+  ASSERT_FALSE(unbounded.check(spec, 2).ok());
+  EXPECT_NE(unbounded.check(spec, 2).error().message.find("bounded end"),
+            std::string::npos);
+  // A flap needs somewhere for traffic to go while the socket is dead.
+  const auto single = FaultSchedule::parse("sock0:flap=1000@0..4000").value();
+  ASSERT_FALSE(single.check(spec, 1).ok());
+  EXPECT_NE(single.check(spec, 1).error().message.find("multi-socket"),
+            std::string::npos);
+}
+
+TEST(FaultScheduleFlap, ParseRejectsNonSocketAndBadPeriods) {
+  // Flap is schedule-level, socket-only grammar.
+  EXPECT_FALSE(FaultSchedule::parse("mc1:flap=1000@0..4000").has_value());
+  EXPECT_FALSE(FaultSchedule::parse("sock:flap=1000@0..4000").has_value());
+  // Percent periods and zero periods are meaningless.
+  EXPECT_FALSE(FaultSchedule::parse("sock1:flap=10%@0..4000").has_value());
+  EXPECT_FALSE(FaultSchedule::parse("sock1:flap=0@0..4000").has_value());
+}
+
+// ---------------------------------------------------------------------------
 // Chip-level behavior.
 
 sim::SimResult run_triad(const sim::SimConfig& cfg, std::size_t n,

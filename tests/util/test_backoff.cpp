@@ -269,6 +269,51 @@ TEST(CircuitBreaker, FailuresWhileOpenDoNotEscalateTheHold) {
   EXPECT_EQ(cb.reopens(), 1u);
 }
 
+TEST(CircuitBreaker, UnforgivingSuccessClosesButKeepsTheEscalation) {
+  // Staged re-admission (the socket-recovery prober): a confirmed probe
+  // closes the breaker with record_success(forgive = false) so traffic can
+  // ramp, but a relapse before the ramp completes must reopen with the NEXT
+  // geometric hold — only a completed ramp (a plain record_success()) resets
+  // the schedule. This is what makes a flapping socket pay ever-longer
+  // quarantines instead of thrashing the replan loop.
+  CircuitBreaker cb({.initial = 100, .multiplier = 2.0, .cap = 800,
+                     .jitter = 0.0},
+                    1);
+  cb.record_failure(0);        // open #1: hold 100
+  ASSERT_TRUE(cb.allow(100));  // probe
+  cb.record_failure(100);      // fails: reopen, hold 200
+  ASSERT_TRUE(cb.allow(300));  // probe
+  cb.record_success(/*forgive=*/false);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.allow(300));
+  // Relapse during the ramp: the hold continues the geometric schedule
+  // (400), not the initial 100.
+  cb.record_failure(1000);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(cb.ready_in(1000), 400u);
+  // A completed ramp forgives: the next trip serves the initial hold again.
+  ASSERT_TRUE(cb.allow(1400));
+  cb.record_success();
+  cb.record_failure(2000);
+  EXPECT_EQ(cb.ready_in(2000), 100u);
+}
+
+TEST(CircuitBreaker, ReadyInIsMonotoneNonIncreasingWhileOpen) {
+  // The node loop sorts quarantined sockets by ready_in() without polling;
+  // that only works if the countdown never moves backward as time advances.
+  CircuitBreaker cb({.initial = 500, .multiplier = 2.0, .cap = 4000,
+                     .jitter = 0.0},
+                    1);
+  cb.record_failure(0);
+  std::uint64_t prev = cb.ready_in(0);
+  for (std::uint64_t now = 0; now <= 600; now += 50) {
+    const std::uint64_t cur = cb.ready_in(now);
+    EXPECT_LE(cur, prev) << "ready_in moved backward at now=" << now;
+    prev = cur;
+  }
+  EXPECT_EQ(cb.ready_in(500), 0u);  // expired: the next allow() is the probe
+}
+
 TEST(CircuitBreaker, RejectsZeroTripThreshold) {
   EXPECT_THROW(CircuitBreaker({.initial = 1}, 0), std::invalid_argument);
 }
