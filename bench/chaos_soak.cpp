@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,7 @@
 #include "numa_common.h"
 #include "overload_common.h"
 #include "runtime/checkpoint.h"
+#include "runtime/durable/service_handle.h"
 #include "runtime/numa_loop.h"
 #include "runtime/supervised_loop.h"
 #include "seg/integrity.h"
@@ -57,6 +59,9 @@ struct SoakParams {
   std::size_t n = 8192;
   unsigned threads = 32;
   unsigned slices = 10;
+  /// Fail-back tuning for the supervised modes (--flap, --sockets N),
+  /// parsed and check()-validated from the shared recovery flags.
+  runtime::RecoveryConfig recovery{};
 };
 
 /// Draws a 1-3 interval schedule over percent-relative bounds. Intervals
@@ -589,6 +594,248 @@ int run_kill_resume(std::size_t n, unsigned sweeps, unsigned every,
               failures);
   return failures == 0 ? 0 : 1;
 }
+
+// --- durable-service kill chaos: --kill-service ---------------------------
+
+/// Two-tenant accounting-mode durable service; tenant 2's tight byte quota
+/// makes door sheds part of the reconciled history (same shape as the
+/// tier-1 DurabilityRegression, seed-perturbed job sizes).
+runtime::durable::DurableConfig kill_service_config(const std::string& dir) {
+  runtime::durable::DurableConfig cfg;
+  cfg.dir = dir;
+  cfg.service.executor.num_workers = 2;
+  cfg.service.executor.run_kernels = false;
+  cfg.service.executor.lane_capacity = {4096, 4096, 4096};
+  cfg.service.executor.seed = 99;
+  cfg.tenants.push_back({.name = "steady",
+                         .weight = 2.0,
+                         .slo = runtime::service::SloClass::kBatch});
+  cfg.tenants.push_back({.name = "capped",
+                         .weight = 1.0,
+                         .quota_bytes_per_s = 250000.0,
+                         .burst_seconds = 1.0,
+                         .slo = runtime::service::SloClass::kBatch,
+                         .breaker_trip_threshold = 6});
+  return cfg;
+}
+
+constexpr std::uint64_t kKillServiceJobs = 48;
+constexpr std::uint64_t kKillServiceBatch = 8;
+
+runtime::exec::JobSpec kill_service_job(std::uint64_t seed, std::uint64_t id) {
+  runtime::exec::JobSpec spec;
+  spec.kind = runtime::exec::JobKind::kTriad;
+  spec.n = 2048 + 128 * ((id + seed) % 5);
+  spec.iterations = 1 + static_cast<unsigned>(id % 3);
+  spec.arrival = id * 20000;
+  return spec;
+}
+
+runtime::service::TenantId kill_service_tenant(std::uint64_t id) {
+  return 1 + static_cast<runtime::service::TenantId>(id % 2);
+}
+
+/// Records "every id <= max_id is acked" — written only AFTER flush()
+/// returned and fsync'd before the rename, so the marker never overstates
+/// what the journal committed.
+void write_service_ack(const std::string& dir, std::uint64_t max_id) {
+  const std::string tmp = dir + "/acked.tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return;
+  std::fprintf(f, "%llu\n", static_cast<unsigned long long>(max_id));
+  std::fflush(f);
+  fsync(fileno(f));
+  std::fclose(f);
+  std::rename(tmp.c_str(), (dir + "/acked.txt").c_str());
+}
+
+std::uint64_t read_service_ack(const std::string& dir) {
+  std::FILE* f = std::fopen((dir + "/acked.txt").c_str(), "rb");
+  if (f == nullptr) return 0;
+  unsigned long long v = 0;
+  const int got = std::fscanf(f, "%llu", &v);
+  std::fclose(f);
+  return got == 1 ? v : 0;
+}
+
+/// The child's serving loop: batch submissions, group-commit (ack) each
+/// batch, pump outcomes, checkpoint occasionally, sleep between batches so
+/// the parent's SIGKILL lands mid-stream.
+bool kill_service_workload(const std::string& dir, std::uint64_t seed,
+                           unsigned inter_batch_us) {
+  auto handle =
+      runtime::durable::ServiceHandle::open(kill_service_config(dir));
+  if (!handle) return false;
+  runtime::durable::ServiceHandle& h = *handle.value();
+  for (std::uint64_t first = 1; first <= kKillServiceJobs;
+       first += kKillServiceBatch) {
+    const std::uint64_t last =
+        std::min(kKillServiceJobs, first + kKillServiceBatch - 1);
+    for (std::uint64_t id = first; id <= last; ++id)
+      (void)h.submit(kill_service_tenant(id), id, kill_service_job(seed, id));
+    if (!h.flush().ok()) return false;
+    write_service_ack(dir, last);
+    (void)h.pump();
+    if (((first / kKillServiceBatch) % 3) == 2 && !h.checkpoint().ok())
+      return false;
+    if (inter_batch_us > 0) usleep(inter_batch_us);
+  }
+  return h.drain(nullptr).ok();
+}
+
+/// --kill-service mode: fork the durable serving loop, SIGKILL it at a
+/// seeded random instant (possibly mid-journal-write), restart on the same
+/// directory, and hold the crash-consistency invariants:
+///
+///   K1  recovery always succeeds — a torn tail is truncated and reported,
+///       never refused;
+///   K2  zero acknowledged-submission loss: every id at or below the
+///       child's last durable ack marker is known after restart;
+///   K3  byte-exact ledger reconciliation: after the client retries the
+///       whole stream (duplicates dedupe) and drains, per-tenant completed
+///       counts, served bytes, and typed sheds equal an uninterrupted
+///       reference run's — no loss AND no double execution;
+///   K4  replay idempotence: a further restart is sealed, re-tears nothing,
+///       and reports the same ledger.
+int run_kill_service(const std::vector<std::uint64_t>& seeds,
+                     const std::string& fail_path) {
+  namespace fs = std::filesystem;
+  unsigned failures = 0;
+  std::FILE* fail_log = nullptr;
+  for (const std::uint64_t seed : seeds) {
+    util::Xoshiro256 rng(seed);
+    const fs::path root =
+        fs::temp_directory_path() / ("chaos_killsvc_" + std::to_string(seed));
+    std::error_code ec;
+    fs::remove_all(root, ec);
+    fs::create_directories(root / "ref");
+    fs::create_directories(root / "kill");
+    const std::string ref_dir = (root / "ref").string();
+    const std::string kill_dir = (root / "kill").string();
+    std::vector<std::string> fails;
+
+    // Uninterrupted reference: the ledger the killed run must reconcile to.
+    std::vector<runtime::durable::TenantLedger> want;
+    if (!kill_service_workload(ref_dir, seed, 0)) {
+      fails.emplace_back("reference run failed");
+    } else {
+      auto ref = runtime::durable::ServiceHandle::open(
+          kill_service_config(ref_dir));
+      if (!ref)
+        fails.emplace_back("reference reopen refused: " + ref.error().message);
+      else
+        want = ref.value()->ledger();
+    }
+
+    const unsigned kill_after_us =
+        fails.empty() ? 500 + static_cast<unsigned>(rng() % 30000) : 0;
+    if (fails.empty()) {
+      const pid_t pid = fork();
+      if (pid < 0) {
+        std::fprintf(stderr, "chaos_soak: fork failed\n");
+        return 2;
+      }
+      if (pid == 0) {
+        const bool ok = kill_service_workload(kill_dir, seed, 3000);
+        _exit(ok ? 0 : 42);
+      }
+      usleep(kill_after_us);
+      kill(pid, SIGKILL);
+      int wstatus = 0;
+      waitpid(pid, &wstatus, 0);
+      if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) != 0)
+        fails.emplace_back("child failed before the kill landed");
+    }
+
+    if (fails.empty()) {
+      const std::uint64_t acked = read_service_ack(kill_dir);
+      auto handle = runtime::durable::ServiceHandle::open(
+          kill_service_config(kill_dir));
+      if (!handle) {
+        // K1: refusal after SIGKILL means recovery broke.
+        fails.emplace_back("recovery refused: " + handle.error().message);
+      } else {
+        runtime::durable::ServiceHandle& h = *handle.value();
+        for (std::uint64_t id = 1; id <= acked; ++id)
+          if (h.poll(id).state ==
+              runtime::durable::SubmissionState::kUnknown) {
+            fails.emplace_back("acked id " + std::to_string(id) +
+                               " lost (K2)");
+            break;
+          }
+        for (std::uint64_t id = 1; id <= kKillServiceJobs; ++id)
+          (void)h.submit(kill_service_tenant(id), id,
+                         kill_service_job(seed, id));
+        if (!h.flush().ok() || !h.drain(nullptr).ok()) {
+          fails.emplace_back("recovery drain failed");
+        } else {
+          const auto got = h.ledger();
+          if (got.size() != want.size()) {
+            fails.emplace_back("ledger width diverged");
+          } else {
+            for (std::size_t i = 0; i < want.size(); ++i)
+              if (got[i].completed != want[i].completed ||
+                  got[i].served_bytes != want[i].served_bytes ||
+                  got[i].sheds != want[i].sheds)
+                fails.emplace_back(
+                    "tenant " + std::to_string(i + 1) +
+                    " ledger diverged (K3): completed " +
+                    std::to_string(got[i].completed) + "/" +
+                    std::to_string(want[i].completed) + " bytes " +
+                    std::to_string(got[i].served_bytes) + "/" +
+                    std::to_string(want[i].served_bytes) + " sheds " +
+                    std::to_string(got[i].sheds) + "/" +
+                    std::to_string(want[i].sheds));
+          }
+        }
+      }
+      // K4: the post-recovery state reopens sealed with the same ledger.
+      if (fails.empty()) {
+        auto again = runtime::durable::ServiceHandle::open(
+            kill_service_config(kill_dir));
+        if (!again) {
+          fails.emplace_back("post-drain reopen refused: " +
+                             again.error().message);
+        } else {
+          const auto& info = again.value()->recovery_info();
+          if (!info.was_sealed)
+            fails.emplace_back("post-drain journal not sealed (K4)");
+          if (info.dropped_bytes != 0)
+            fails.emplace_back("post-drain reopen re-tore the tail (K4)");
+          const auto still = again.value()->ledger();
+          for (std::size_t i = 0; i < want.size() && i < still.size(); ++i)
+            if (still[i].served_bytes != want[i].served_bytes)
+              fails.emplace_back("sealed ledger diverged (K4), tenant " +
+                                 std::to_string(i + 1));
+        }
+      }
+    }
+
+    std::printf("seed %" PRIu64 ": kill@%uus -> %s\n", seed, kill_after_us,
+                fails.empty() ? "PASS" : "FAIL");
+    if (!fails.empty()) {
+      ++failures;
+      if (fail_log == nullptr && !fail_path.empty())
+        fail_log = std::fopen(fail_path.c_str(), "a");
+      if (fail_log != nullptr)
+        std::fprintf(fail_log, "kill-service seed %" PRIu64 "\n", seed);
+      for (const auto& f : fails) {
+        std::printf("  %s\n", f.c_str());
+        if (fail_log != nullptr) std::fprintf(fail_log, "  %s\n", f.c_str());
+      }
+    }
+    fs::remove_all(root, ec);
+  }
+  if (fail_log != nullptr) std::fclose(fail_log);
+  std::printf("\nkill-service: %zu seeds, %u failing\n", seeds.size(),
+              failures);
+  if (failures != 0) {
+    bench::attach_failure_artifacts(fail_path);
+    std::printf("replay any failure with: chaos_soak --kill-service "
+                "--seed <N>\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
 #endif  // !_WIN32
 
 // --- overload chaos: --overload -------------------------------------------
@@ -654,6 +901,7 @@ int run_numa_chaos(const std::vector<std::uint64_t>& seeds, unsigned sockets,
                    bench::ObsGuard& obs) {
   runtime::NodeLoopConfig base;
   base.node.node.num_sockets = sockets;
+  base.detector.recovery = params.recovery;
   base.node.validate();
   obs.apply(base.node.sim);
   // Worst-case failover packs every job onto one chip.
@@ -791,6 +1039,7 @@ int run_recovery_chaos(const std::vector<std::uint64_t>& seeds,
                        const std::string& fail_path, bench::ObsGuard& obs) {
   runtime::NodeLoopConfig base;
   base.node.node.num_sockets = sockets;
+  base.detector.recovery = params.recovery;
   base.node.validate();
   obs.apply(base.node.sim);
   base.threads = std::min(
@@ -931,6 +1180,10 @@ int main(int argc, char** argv) {
       .flag("kill-resume", "SIGKILL a checkpointing native Jacobi solve at "
                            "random points; resumes must finish bitwise-"
                            "identical to an uninterrupted run")
+      .flag("kill-service", "SIGKILL the durable service runtime at seeded "
+                            "random instants; restarts must lose no acked "
+                            "submission, run nothing twice, and reconcile "
+                            "the per-tenant ledger byte-exactly")
       .flag("overload", "compose the executor overload generator with "
                         "random fault schedules; degraded invariants must "
                         "hold for every seed")
@@ -951,6 +1204,7 @@ int main(int argc, char** argv) {
       .option_int("every", 4, "checkpoint interval for --kill-resume")
       .option_str("json", "BENCH_supervisor.json",
                   "reference-mode output path");
+  bench::add_recovery_options(cli);
   bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   bench::ObsGuard obs(cli);
@@ -959,6 +1213,11 @@ int main(int argc, char** argv) {
   params.n = static_cast<std::size_t>(cli.get_int("n"));
   params.threads = static_cast<unsigned>(cli.get_int("threads"));
   params.slices = static_cast<unsigned>(cli.get_int("sweeps"));
+  if (const auto st = bench::apply_recovery_options(cli, params.recovery);
+      !st.ok()) {
+    std::fprintf(stderr, "chaos_soak: %s\n", st.error().message.c_str());
+    return 2;
+  }
 
   if (cli.get_flag("reference")) {
     params.threads = 64;
@@ -998,6 +1257,15 @@ int main(int argc, char** argv) {
                            static_cast<unsigned>(cli.get_int("every")), seeds);
 #else
     std::fprintf(stderr, "chaos_soak: --kill-resume needs fork(); POSIX only\n");
+    return 2;
+#endif
+  }
+  if (cli.get_flag("kill-service")) {
+#ifndef _WIN32
+    return run_kill_service(seeds, cli.get_str("fail-log"));
+#else
+    std::fprintf(stderr,
+                 "chaos_soak: --kill-service needs fork(); POSIX only\n");
     return 2;
 #endif
   }

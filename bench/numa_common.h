@@ -11,9 +11,13 @@
 #include <vector>
 
 #include "kernels/triad.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/supervisor.h"
 #include "seg/planner.h"
 #include "sim/analytic.h"
 #include "sim/node.h"
+#include "util/cli.h"
 #include "util/log.h"
 #include "util/prng.h"
 
@@ -48,7 +52,57 @@ inline bool warn_if_convoy_resonant(const char* bench, std::size_t n,
                  std::to_string(map.spec().period_bytes()) +
                  " B); DES bandwidth will undershoot the analytic model. "
                  "Use an off-by-one thread count to de-resonate.");
+  // The stderr line is for a human watching the bench; dashboards and trace
+  // timelines need the structured form too (args: problem size, threads).
+  obs::MetricsRegistry::instance()
+      .counter("mcopt_convoy_resonance_warnings_total",
+               "Bench configurations flagged as convoy-resonant "
+               "(per-strand chunk period-aligned)")
+      .inc();
+  obs::trace_instant("bench.convoy_resonance", "bench", n, threads);
   return true;
+}
+
+/// Registers the fail-back tuning knobs shared by `recovery` and
+/// `chaos_soak --flap`: the staged re-admission ramp and the canary-probe
+/// backoff. Defaults mirror RecoveryConfig's, so omitting every flag
+/// reproduces the calibrated behavior bit-for-bit.
+inline util::Cli& add_recovery_options(util::Cli& cli) {
+  runtime::RecoveryConfig defaults;
+  return cli
+      .option_double("ramp-initial", defaults.ramp_initial,
+                     "capacity belief of a just-readmitted socket, in (0, 1]")
+      .option_int("ramp-windows", defaults.ramp_windows,
+                  "observation windows to ramp a readmitted socket to full "
+                  "weight (>= 1)")
+      .option_int("probe-backoff-initial",
+                  static_cast<std::int64_t>(defaults.probe_backoff.initial),
+                  "cycles between canary probes of a quarantined socket")
+      .option_double("probe-backoff-multiplier",
+                     defaults.probe_backoff.multiplier,
+                     "probe-hold escalation factor on canary failure (>= 1)")
+      .option_int("probe-backoff-cap",
+                  static_cast<std::int64_t>(defaults.probe_backoff.cap),
+                  "ceiling on the escalated probe hold, in cycles");
+}
+
+/// Applies the add_recovery_options() flags onto `rec` and validates the
+/// result through RecoveryConfig::check() — degenerate values (ramp outside
+/// (0, 1], multiplier < 1, cap below initial, ...) come back as a typed
+/// refusal naming every violated bound, so the bench can print it and exit
+/// nonzero instead of soaking a nonsense configuration.
+[[nodiscard]] inline util::Status apply_recovery_options(
+    const util::Cli& cli, runtime::RecoveryConfig& rec) {
+  rec.ramp_initial = cli.get_double("ramp-initial");
+  const std::int64_t windows = cli.get_int("ramp-windows");
+  rec.ramp_windows = windows < 0 ? 0 : static_cast<unsigned>(windows);
+  const std::int64_t initial = cli.get_int("probe-backoff-initial");
+  rec.probe_backoff.initial =
+      initial < 0 ? 0 : static_cast<std::uint64_t>(initial);
+  rec.probe_backoff.multiplier = cli.get_double("probe-backoff-multiplier");
+  const std::int64_t cap = cli.get_int("probe-backoff-cap");
+  rec.probe_backoff.cap = cap < 0 ? 0 : static_cast<std::uint64_t>(cap);
+  return rec.check();
 }
 
 /// The cross-socket STREAM placements, in the order the sweep reports them.

@@ -275,6 +275,7 @@ int main(int argc, char** argv) {
                   "outage-and-return schedule (must clear mid-run)")
       .option_str("json", "", "write the snapshot here (BENCH_recovery.json)")
       .option_str("csv", "", "mirror the flap table to this CSV file");
+  bench::add_recovery_options(cli);
   bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
   bench::ObsGuard obs(cli);
@@ -284,6 +285,11 @@ int main(int argc, char** argv) {
 
   runtime::NodeLoopConfig base;
   base.node.node.num_sockets = sockets;
+  if (const auto st = bench::apply_recovery_options(cli, base.detector.recovery);
+      !st.ok()) {
+    std::fprintf(stderr, "recovery: %s\n", st.error().message.c_str());
+    return 2;
+  }
   base.node.validate();
   obs.apply(base.node.sim);
   base.threads = std::min(

@@ -17,6 +17,11 @@ Checks (stdlib only, no third-party deps):
   --recovery-csv
               The flap-sweep CSV from bench/recovery: schema stamp, column
               shape, replans <= budget and bounded=true per row.
+  --durability-json
+              BENCH_durability.json from bench/durability: required keys,
+              reconciled=true with the restarted per-tenant ledger equal to
+              the reference byte-for-byte, and (unless the run skipped the
+              overhead phase) journal overhead under its bound.
 
 Exit code 0 when every provided artifact passes; 1 with a message per
 failure otherwise.
@@ -280,6 +285,75 @@ def check_recovery_csv(path):
     print(f"ok: {path}: {len(rows) - 1} flap rows, budgets respected")
 
 
+DURABILITY_KEYS = (
+    "bench", "seed", "jobs", "kill_after_us", "reconciled",
+    "acked_watermark", "journal_records", "replayed_submissions",
+    "resubmitted", "completed_skipped", "sheds_replayed", "dropped_bytes",
+    "tenants", "overhead", "metrics",
+)
+
+DURABILITY_TENANT_KEYS = (
+    "tenant", "ref_completed", "ref_served_bytes", "ref_sheds",
+    "completed", "served_bytes", "sheds",
+)
+
+
+def check_durability_json(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+        return
+    for key in DURABILITY_KEYS:
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+            return
+    if doc["bench"] != "durability":
+        fail(f"{path}: bench is {doc['bench']!r}, expected 'durability'")
+        return
+    if not doc["reconciled"]:
+        fail(f"{path}: kill-restart run did not reconcile")
+    tenants = doc["tenants"]
+    if not isinstance(tenants, list) or not tenants:
+        fail(f"{path}: tenants table is empty")
+        return
+    for i, row in enumerate(tenants):
+        for key in DURABILITY_TENANT_KEYS:
+            if key not in row:
+                fail(f"{path}: tenants[{i}] lacks '{key}'")
+                return
+        # The ledger contract, re-asserted on the artifact itself: the
+        # restarted run's per-tenant ledger equals the uninterrupted
+        # reference byte-for-byte.
+        for field in ("completed", "served_bytes", "sheds"):
+            if row[field] != row[f"ref_{field}"]:
+                fail(f"{path}: tenants[{i}] {field} {row[field]} != "
+                     f"reference {row[f'ref_{field}']}")
+    ovh = doc["overhead"]
+    for key in ("plain_seconds", "durable_seconds", "overhead_pct",
+                "ab_median_pct", "bound_pct", "pass"):
+        if key not in ovh:
+            fail(f"{path}: overhead lacks '{key}'")
+            return
+    # plain_seconds == 0 marks a --skip-overhead run; the bound only
+    # applies when the phase actually ran.
+    if ovh["plain_seconds"] > 0 and ovh["overhead_pct"] >= ovh["bound_pct"]:
+        fail(f"{path}: journal overhead {ovh['overhead_pct']}% >= bound "
+             f"{ovh['bound_pct']}%")
+    counters = doc["metrics"].get("counters", {})
+    for family in ("mcopt_journal_fsyncs_total",
+                   "mcopt_durable_restarts_total"):
+        if counters.get(family, 0) < 1:
+            fail(f"{path}: metrics counter {family} never incremented")
+    if not FAILURES:
+        print(f"ok: {path}: reconciled, "
+              f"{doc['replayed_submissions']} replayed / "
+              f"{doc['resubmitted']} resubmitted / "
+              f"{doc['completed_skipped']} completed-skipped, "
+              f"overhead {ovh['overhead_pct']}%")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="Chrome trace JSON to validate")
@@ -289,15 +363,19 @@ def main():
                     help="BENCH_recovery.json from bench/recovery to validate")
     ap.add_argument("--recovery-csv",
                     help="flap-sweep CSV from bench/recovery to validate")
+    ap.add_argument("--durability-json",
+                    help="BENCH_durability.json from bench/durability to "
+                         "validate")
     ap.add_argument("--expect-family", action="append", default=[],
                     help="metric family that must appear (repeatable)")
     ap.add_argument("--allow-empty-trace", action="store_true",
                     help="do not fail on a trace with zero events")
     args = ap.parse_args()
     if not (args.trace or args.metrics or args.timeline
-            or args.recovery_json or args.recovery_csv):
+            or args.recovery_json or args.recovery_csv
+            or args.durability_json):
         ap.error("nothing to check: pass --trace, --metrics, --timeline, "
-                 "--recovery-json, or --recovery-csv")
+                 "--recovery-json, --recovery-csv, or --durability-json")
     if args.trace:
         check_trace(args.trace, expect_events=not args.allow_empty_trace)
     if args.metrics:
@@ -309,6 +387,8 @@ def main():
         check_recovery_json(args.recovery_json)
     if args.recovery_csv:
         check_recovery_csv(args.recovery_csv)
+    if args.durability_json:
+        check_durability_json(args.durability_json)
     return 1 if FAILURES else 0
 
 

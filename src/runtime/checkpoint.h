@@ -41,6 +41,9 @@ inline constexpr std::uint32_t kCheckpointVersion = 1;
 /// Application ids for Checkpoint::kind.
 inline constexpr std::uint32_t kJacobiCheckpoint = 1;
 inline constexpr std::uint32_t kLbmCheckpoint = 2;
+/// Durable service-runtime state snapshot (runtime/durable/state.h): door,
+/// virtual clocks, tenant ledgers, optional NodeSupervisor beliefs.
+inline constexpr std::uint32_t kDurableStateCheckpoint = 3;
 
 /// In-memory form of a checkpoint file.
 struct Checkpoint {

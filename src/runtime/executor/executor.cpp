@@ -115,6 +115,18 @@ arch::Cycles Executor::virtual_now() const noexcept {
                   service_tail_.load(std::memory_order_relaxed));
 }
 
+Executor::VirtualClocks Executor::virtual_clocks() const noexcept {
+  return VirtualClocks{arrival_clock_.load(std::memory_order_relaxed),
+                       service_tail_.load(std::memory_order_relaxed),
+                       admit_tail_.load(std::memory_order_relaxed)};
+}
+
+void Executor::restore_virtual_clocks(const VirtualClocks& c) noexcept {
+  arrival_clock_.store(c.arrival, std::memory_order_relaxed);
+  service_tail_.store(c.service_tail, std::memory_order_relaxed);
+  admit_tail_.store(c.admit_tail, std::memory_order_relaxed);
+}
+
 sim::FaultSpec Executor::believed_fault() const {
   const std::lock_guard<std::mutex> guard(believed_mu_);
   return believed_;
@@ -522,6 +534,13 @@ std::vector<JobReport> Executor::reports() const {
   std::sort(out.begin(), out.end(),
             [](const JobReport& a, const JobReport& b) { return a.id < b.id; });
   return out;
+}
+
+std::vector<JobReport> Executor::reports_tail(std::size_t from) const {
+  const std::lock_guard<std::mutex> guard(reports_mu_);
+  if (from >= reports_.size()) return {};
+  return {reports_.begin() + static_cast<std::ptrdiff_t>(from),
+          reports_.end()};
 }
 
 ExecutorStats Executor::stats() const {

@@ -170,10 +170,31 @@ class Executor {
   /// Snapshot of all finalized job reports, sorted by id.
   [[nodiscard]] std::vector<JobReport> reports() const;
 
+  /// Reports finalized at position >= `from`, in finalization order — an
+  /// incremental drain: a caller that remembers how many it has consumed
+  /// sees each report exactly once without copying the whole log.
+  [[nodiscard]] std::vector<JobReport> reports_tail(std::size_t from) const;
+
   [[nodiscard]] ExecutorStats stats() const;
 
   /// Current virtual time: max(arrival clock, service tail).
   [[nodiscard]] arch::Cycles virtual_now() const noexcept;
+
+  /// The three virtual-timeline clocks, for durable state snapshots. Only
+  /// meaningful at a quiesced instant (queue empty, no job in flight) —
+  /// that is when the clocks fully describe the timeline.
+  struct VirtualClocks {
+    arch::Cycles arrival = 0;
+    arch::Cycles service_tail = 0;
+    arch::Cycles admit_tail = 0;
+  };
+  [[nodiscard]] VirtualClocks virtual_clocks() const noexcept;
+
+  /// Restores clocks captured by virtual_clocks() into a fresh executor,
+  /// BEFORE any submission: a restarted process continues the virtual
+  /// timeline where the snapshot left it, so admission projections and WFQ
+  /// virtual time replay deterministically across the restart.
+  void restore_virtual_clocks(const VirtualClocks& c) noexcept;
 
   /// The fault state admission currently prices against (supervisor
   /// diagnosis; healthy until a replan commits).

@@ -101,6 +101,16 @@ arch::Cycles Service::healthy_service_cycles_locked(const exec::JobSpec& spec) {
 }
 
 exec::SubmitResult Service::submit(TenantId tenant, exec::JobSpec spec) {
+  return submit_impl(tenant, std::move(spec), /*forward=*/true);
+}
+
+exec::SubmitResult Service::submit_replay(TenantId tenant, exec::JobSpec spec,
+                                          bool forward) {
+  return submit_impl(tenant, std::move(spec), forward);
+}
+
+exec::SubmitResult Service::submit_impl(TenantId tenant, exec::JobSpec spec,
+                                        bool forward) {
   using exec::ShedReason;
   ServiceMetrics& m = ServiceMetrics::get();
   const std::uint64_t bytes = exec::PricingModel::traffic_bytes(spec);
@@ -186,9 +196,60 @@ exec::SubmitResult Service::submit(TenantId tenant, exec::JobSpec spec) {
   ++t.counters.forwarded;
   t.counters.forwarded_bytes += bytes;
   m.forwarded.inc();
+  if (!forward) {
+    // Replay of a job whose executor outcome is already on record: the door
+    // state advanced exactly as the original run's did; the caller applies
+    // the journaled outcome (including the accepted counter) itself.
+    exec::SubmitResult out;
+    out.accepted = true;
+    return out;
+  }
   const exec::SubmitResult res = executor_.submit(spec);
   if (res.accepted) ++t.counters.accepted;
   return res;
+}
+
+void Service::credit_replayed_accept(TenantId tenant) {
+  const std::lock_guard<std::mutex> guard(mu_);
+  if (tenant == 0 || tenant > tenants_.size())
+    throw std::out_of_range("Service: unknown tenant id " +
+                            std::to_string(tenant));
+  ++tenants_[tenant - 1].counters.accepted;
+}
+
+DoorSnapshot Service::snapshot_door() const {
+  const std::lock_guard<std::mutex> guard(mu_);
+  DoorSnapshot snap;
+  snap.door_clock = door_clock_;
+  snap.tenants.reserve(tenants_.size());
+  for (const Tenant& t : tenants_) {
+    DoorTenantState s;
+    s.counters = t.counters;
+    s.breaker = t.breaker.snapshot();
+    s.quota_level_bytes = t.quota_level_bytes;
+    s.last_refill = t.last_refill;
+    snap.tenants.push_back(s);
+  }
+  return snap;
+}
+
+util::Status Service::restore_door(const DoorSnapshot& snap) {
+  const std::lock_guard<std::mutex> guard(mu_);
+  if (snap.tenants.size() != tenants_.size())
+    return util::Status::failure(
+        "Service: door snapshot carries " +
+        std::to_string(snap.tenants.size()) + " tenants, " +
+        std::to_string(tenants_.size()) + " are registered");
+  door_clock_ = snap.door_clock;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    Tenant& t = tenants_[i];
+    const DoorTenantState& s = snap.tenants[i];
+    t.counters = s.counters;
+    t.breaker.restore(s.breaker);
+    t.quota_level_bytes = s.quota_level_bytes;
+    t.last_refill = s.last_refill;
+  }
+  return util::Status{};
 }
 
 std::vector<TenantSummary> Service::summarize() const {

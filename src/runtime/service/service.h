@@ -48,6 +48,7 @@
 
 #include "runtime/executor/executor.h"
 #include "util/backoff.h"
+#include "util/expected.h"
 
 namespace mcopt::runtime::service {
 
@@ -131,6 +132,25 @@ struct TenantSnapshot {
   double quota_level_bytes = 0.0;
 };
 
+/// Complete mutable door state of one tenant, for durable snapshots.
+struct DoorTenantState {
+  TenantCounters counters;
+  util::CircuitBreaker::Snapshot breaker;
+  double quota_level_bytes = 0.0;
+  arch::Cycles last_refill = 0;
+};
+
+/// Everything the door learned since construction. Captured at a quiesced
+/// instant and restored into a freshly constructed Service with the same
+/// tenant registrations, the door then produces bit-identical verdicts for
+/// any submission sequence the original would have seen (all door
+/// arithmetic — token-bucket refill, breaker holds — is deterministic in
+/// (state, submission order)).
+struct DoorSnapshot {
+  arch::Cycles door_clock = 0;
+  std::vector<DoorTenantState> tenants;
+};
+
 /// Post-drain join of door counters with the executor's per-job reports.
 struct TenantSummary {
   TenantId id = 0;
@@ -164,6 +184,31 @@ class Service {
   /// executor's admission projection nor its report log. Throws on unknown
   /// tenant ids.
   exec::SubmitResult submit(TenantId tenant, exec::JobSpec spec);
+
+  /// Journal-replay variant of submit(): runs the full door — advancing the
+  /// door clock, quota buckets, breakers and counters exactly as submit()
+  /// would, so replaying a journaled submission stream reproduces the
+  /// original verdict sequence bit-identically — but forwards to the
+  /// executor only when `forward` is true. The durable layer passes
+  /// forward=false for jobs whose final outcome is already journaled
+  /// (completed or shed): their history must advance the door without
+  /// re-executing the work. A door-accepted, non-forwarded call returns
+  /// accepted=true with id 0.
+  exec::SubmitResult submit_replay(TenantId tenant, exec::JobSpec spec,
+                                   bool forward);
+
+  /// Replay bookkeeping companion to submit_replay(..., forward=false): a
+  /// journaled executor-ACCEPTED outcome (completion, or a post-accept shed)
+  /// bumps the tenant's accepted counter that the skipped executor submit
+  /// would have produced, keeping conservation invariants replay-exact.
+  void credit_replayed_accept(TenantId tenant);
+
+  /// Captures the door's mutable state (see DoorSnapshot).
+  [[nodiscard]] DoorSnapshot snapshot_door() const;
+
+  /// Restores door state captured by snapshot_door(). The same tenants must
+  /// already be registered, in the same order; fails on a count mismatch.
+  [[nodiscard]] util::Status restore_door(const DoorSnapshot& snap);
 
   /// Forwards cooperative cancellation to the executor.
   bool cancel(std::uint64_t job_id) { return executor_.cancel(job_id); }
@@ -205,6 +250,10 @@ class Service {
   /// (kind, n, iterations) so a million-job soak prices each shape once.
   [[nodiscard]] arch::Cycles healthy_service_cycles_locked(
       const exec::JobSpec& spec);
+
+  /// Shared body of submit()/submit_replay().
+  exec::SubmitResult submit_impl(TenantId tenant, exec::JobSpec spec,
+                                 bool forward);
 
   ServiceConfig cfg_;
   exec::Executor executor_;

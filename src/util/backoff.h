@@ -10,6 +10,7 @@
 // and jitter comes from util::Xoshiro256, so sequences replay exactly.
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <stdexcept>
 
@@ -87,6 +88,28 @@ class Backoff {
   [[nodiscard]] unsigned retries() const noexcept { return retries_; }
 
   [[nodiscard]] const BackoffConfig& config() const noexcept { return cfg_; }
+
+  /// Complete mutable state, for durable snapshots. The config is not part
+  /// of the snapshot — a restore target is constructed with the same config
+  /// (it is code/CLI-derived, not learned), then continues the exact delay
+  /// sequence the saved instance would have produced.
+  struct Snapshot {
+    double current = 1.0;
+    unsigned retries = 0;
+    std::uint64_t ready_at = 0;
+    std::array<std::uint64_t, 4> rng{};
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    return Snapshot{current_, retries_, ready_at_, rng_.state()};
+  }
+
+  void restore(const Snapshot& s) noexcept {
+    current_ = s.current;
+    retries_ = s.retries;
+    ready_at_ = s.ready_at;
+    rng_.set_state(s.rng);
+  }
 
  private:
   BackoffConfig cfg_;
@@ -174,6 +197,25 @@ class CircuitBreaker {
     return consecutive_failures_;
   }
   [[nodiscard]] unsigned reopens() const noexcept { return backoff_.retries(); }
+
+  /// Complete mutable state, for durable snapshots (config + trip threshold
+  /// come from construction, mirroring Backoff::Snapshot).
+  struct Snapshot {
+    Backoff::Snapshot backoff{};
+    unsigned consecutive_failures = 0;
+    std::uint8_t state = 0;  ///< static_cast<uint8_t>(State)
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    return Snapshot{backoff_.snapshot(), consecutive_failures_,
+                    static_cast<std::uint8_t>(state_)};
+  }
+
+  void restore(const Snapshot& s) noexcept {
+    backoff_.restore(s.backoff);
+    consecutive_failures_ = s.consecutive_failures;
+    state_ = static_cast<State>(s.state);
+  }
 
  private:
   Backoff backoff_;

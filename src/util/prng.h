@@ -65,6 +65,15 @@ class Xoshiro256 {
     return lo + (hi - lo) * uniform();
   }
 
+  /// Raw generator state, for durable snapshots: a restored generator
+  /// continues the exact sequence the saved one would have produced.
+  [[nodiscard]] constexpr std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+  constexpr void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
