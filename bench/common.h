@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "kernels/jacobi.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
@@ -110,6 +111,25 @@ class ObsGuard {
     if (finished_) return util::Status{};
     finished_ = true;
     util::Status status;
+    // Ring health lands in the registry at teardown so every --metrics-out
+    // snapshot carries it: a nonzero drop count means the trace under-reports
+    // and any causal chain read from it may be incomplete — warn loudly.
+    const std::uint64_t ring_dropped = obs::TraceRecorder::instance().dropped();
+    obs::MetricsRegistry::instance()
+        .gauge("mcopt_trace_ring_dropped",
+               "trace events lost to ring wrap-around (nonzero => the trace "
+               "under-reports; raise --trace-capacity)")
+        .set(static_cast<double>(ring_dropped));
+    obs::MetricsRegistry::instance()
+        .gauge("mcopt_trace_seqlock_retries",
+               "torn trace slots skipped by the seqlock reader (writer raced "
+               "the export; events were dropped, not corrupted)")
+        .set(static_cast<double>(
+            obs::TraceRecorder::instance().seqlock_retries()));
+    if (ring_dropped > 0)
+      util::log_warn("trace ring dropped events; causal chains may be "
+                     "incomplete (raise --trace-capacity)",
+                     {util::kv("dropped", ring_dropped)});
     if (!trace_path_.empty()) {
       status.merge(
           obs::TraceRecorder::instance().write_chrome_trace(trace_path_));
@@ -165,6 +185,11 @@ inline void attach_failure_artifacts(const std::string& fail_path) {
   }
   const auto metrics = ObsGuard::write_metrics(fail_path + ".metrics.txt");
   if (!metrics.ok()) util::log_error("obs: " + metrics.error().message);
+  // The attribution ledger says who was spending bytes when the seed failed —
+  // CI uploads it next to the flight dump and metrics snapshot.
+  const auto attr = obs::Attribution::instance().write_json(
+      fail_path + ".attribution.json");
+  if (!attr.ok()) util::log_error("obs: " + attr.error().message);
 }
 
 /// Guards every number a bench reports: a NaN/inf/negative rate means the

@@ -107,10 +107,15 @@ std::uint64_t read_ack_marker(const std::string& dir) {
 
 /// The serving loop both the reference and the killed child run: batch
 /// submissions, group-commit (ack) each batch, pump, checkpoint on a fixed
-/// cadence, sleep between batches so the kill lands mid-stream.
+/// cadence, sleep between batches so the kill lands mid-stream. When
+/// `trace_path` is set, the full trace is rewritten after every group
+/// commit — each batch leaves a complete, valid Chrome trace on disk, so a
+/// SIGKILL at any instant still leaves the pre-kill causal chain readable
+/// (obs_query --explain-job stitches it to the post-restart trace).
 bool run_reconcile_workload(const std::string& dir, std::uint64_t seed,
                             std::uint64_t jobs, std::uint64_t batch,
-                            unsigned inter_batch_us) {
+                            unsigned inter_batch_us,
+                            const std::string& trace_path = "") {
   auto handle = runtime::durable::ServiceHandle::open(reconcile_config(dir));
   if (!handle) return false;
   runtime::durable::ServiceHandle& h = *handle.value();
@@ -121,11 +126,23 @@ bool run_reconcile_workload(const std::string& dir, std::uint64_t seed,
     if (!h.flush().ok()) return false;
     write_ack_marker(dir, last);
     (void)h.pump();
+    if (!trace_path.empty())
+      (void)obs::TraceRecorder::instance().write_chrome_trace(trace_path);
     if (((first / batch) % 3) == 2 && !h.checkpoint().ok()) return false;
     if (inter_batch_us > 0) usleep(inter_batch_us);
   }
   return h.drain(nullptr).ok();
 }
+
+/// Attribution-vs-ledger reconciliation for one tenant: the attribution
+/// ledger's served bytes and shed events must equal the service ledger's,
+/// byte-exactly, across the SIGKILL (DESIGN.md §4m invariant).
+struct AttributionCheck {
+  std::uint64_t attr_served_bytes = 0;
+  std::uint64_t ledger_served_bytes = 0;
+  std::uint64_t attr_shed_events = 0;
+  std::uint64_t ledger_sheds = 0;
+};
 
 struct ReconcileOutcome {
   bool pass = false;
@@ -134,13 +151,18 @@ struct ReconcileOutcome {
   runtime::durable::RecoveryInfo recovery;
   std::vector<runtime::durable::TenantLedger> want;
   std::vector<runtime::durable::TenantLedger> got;
+  std::vector<AttributionCheck> attribution;  ///< per tenant, restart side
+  std::string burn_json;  ///< recovery handle's SLO burn export
   std::vector<std::string> failures;
 };
 
-/// Phase 1: the fork+SIGKILL A/B.
+/// Phase 1: the fork+SIGKILL A/B. When `trace_dir` is set, the killed child
+/// rewrites trace_pre.json after every batch and the restarted parent
+/// writes trace_post.json, the obs_query --explain-job input pair.
 ReconcileOutcome run_reconcile(const fs::path& root, std::uint64_t seed,
                                std::uint64_t jobs, std::uint64_t batch,
-                               unsigned kill_after_us) {
+                               unsigned kill_after_us,
+                               const std::string& trace_dir) {
   ReconcileOutcome out;
   out.kill_after_us = kill_after_us;
   fs::create_directories(root / "ref");
@@ -168,7 +190,19 @@ ReconcileOutcome run_reconcile(const fs::path& root, std::uint64_t seed,
     return out;
   }
   if (pid == 0) {
-    const bool ok = run_reconcile_workload(kill_dir, seed, jobs, batch, 3000);
+    // The fork copied the parent's attribution cells (the reference run's
+    // charges); wipe them so the child's snapshots carry only this
+    // incarnation's ledger — what the restart-side reconciliation asserts.
+    obs::Attribution::instance().reset();
+    std::string trace_pre;
+    if (!trace_dir.empty()) {
+      // The child records its own rings (fork gave it a copy, but enable()
+      // here makes the run self-contained even without --trace).
+      obs::TraceRecorder::instance().enable(1u << 16);
+      trace_pre = trace_dir + "/trace_pre.json";
+    }
+    const bool ok =
+        run_reconcile_workload(kill_dir, seed, jobs, batch, 3000, trace_pre);
     _exit(ok ? 0 : 42);
   }
   usleep(kill_after_us);
@@ -181,6 +215,12 @@ ReconcileOutcome run_reconcile(const fs::path& root, std::uint64_t seed,
   }
 
   out.acked = read_ack_marker(kill_dir);
+  // The restart side's attribution must be built ONLY from the child's
+  // snapshot (restored at open) plus post-covered replay charges — wipe the
+  // parent's own charges (reference run, earlier reopens) first so the
+  // reconciliation below is exact, not merely monotone.
+  obs::Attribution::instance().reset();
+  if (!trace_dir.empty()) obs::TraceRecorder::instance().enable(1u << 16);
   auto handle = runtime::durable::ServiceHandle::open(reconcile_config(kill_dir));
   if (!handle) {
     out.failures.emplace_back("recovery refused: " + handle.error().message);
@@ -200,6 +240,10 @@ ReconcileOutcome run_reconcile(const fs::path& root, std::uint64_t seed,
     return out;
   }
   out.got = h.ledger();
+  out.burn_json = h.slo_monitor().json();
+  if (!trace_dir.empty())
+    (void)obs::TraceRecorder::instance().write_chrome_trace(trace_dir +
+                                                            "/trace_post.json");
   if (out.got.size() != out.want.size()) {
     out.failures.emplace_back("ledger width diverged");
   } else {
@@ -209,6 +253,24 @@ ReconcileOutcome run_reconcile(const fs::path& root, std::uint64_t seed,
           out.got[i].sheds != out.want[i].sheds)
         out.failures.emplace_back("tenant " + std::to_string(i + 1) +
                                   " ledger diverged");
+  }
+  // Attribution-vs-ledger reconciliation across the kill: every served byte
+  // and every shed the restarted handle accounts for must have exactly one
+  // owner in the attribution ledger (snapshot blob + replay charges).
+  for (std::size_t i = 0; i < out.got.size(); ++i) {
+    AttributionCheck chk;
+    const auto tenant = static_cast<std::uint32_t>(i + 1);
+    chk.attr_served_bytes =
+        obs::Attribution::instance().tenant_bytes(tenant, obs::Charge::kServed);
+    chk.ledger_served_bytes = out.got[i].served_bytes;
+    chk.attr_shed_events =
+        obs::Attribution::instance().tenant_count(tenant, obs::Charge::kShed);
+    chk.ledger_sheds = out.got[i].sheds;
+    if (chk.attr_served_bytes != chk.ledger_served_bytes ||
+        chk.attr_shed_events != chk.ledger_sheds)
+      out.failures.emplace_back("tenant " + std::to_string(i + 1) +
+                                " attribution diverged from ledger");
+    out.attribution.push_back(chk);
   }
   out.pass = out.failures.empty();
   return out;
@@ -420,6 +482,18 @@ void write_json(const std::string& path, std::uint64_t seed,
                  have_got ? rec.got[i].sheds : 0,
                  i + 1 < rec.want.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"attribution\": [\n");
+  for (std::size_t i = 0; i < rec.attribution.size(); ++i) {
+    const AttributionCheck& chk = rec.attribution[i];
+    std::fprintf(f,
+                 "    {\"tenant\": %zu, \"attr_served_bytes\": %" PRIu64
+                 ", \"ledger_served_bytes\": %" PRIu64
+                 ", \"attr_shed_events\": %" PRIu64 ", \"ledger_sheds\": %" PRIu64
+                 "}%s\n",
+                 i + 1, chk.attr_served_bytes, chk.ledger_served_bytes,
+                 chk.attr_shed_events, chk.ledger_sheds,
+                 i + 1 < rec.attribution.size() ? "," : "");
+  }
   std::fprintf(f,
                "  ],\n"
                "  \"overhead\": {\"plain_seconds\": %.6f, "
@@ -457,6 +531,10 @@ int main(int argc, char** argv) {
       .option_double("overhead-bound", 3.0,
                      "maximum tolerated journal overhead, percent")
       .flag("skip-overhead", "reconciliation phase only (fast CI smoke)")
+      .option_str("trace-dir", "",
+                  "write trace_pre.json (child, per batch, SIGKILL-"
+                  "survivable) and trace_post.json (restart) here for "
+                  "obs_query --explain-job")
       .option_str("json", "BENCH_durability.json", "output path");
   bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -483,8 +561,10 @@ int main(int argc, char** argv) {
               ", seed %" PRIu64 ", SIGKILL at %uus\n\n",
               jobs, batch, seed, kill_after);
 
+  const std::string trace_dir = cli.get_str("trace-dir");
+  if (!trace_dir.empty()) fs::create_directories(trace_dir);
   const ReconcileOutcome rec =
-      run_reconcile(root, seed, jobs, batch, kill_after);
+      run_reconcile(root, seed, jobs, batch, kill_after, trace_dir);
   std::printf("# kill-restart reconciliation\n");
   std::printf("acked watermark %" PRIu64 "; recovery: %" PRIu64
               " records, %" PRIu64 " replayed, %" PRIu64 " resubmitted, "
@@ -503,6 +583,13 @@ int main(int argc, char** argv) {
                 rec.want[i].sheds, have_got ? rec.got[i].completed : 0,
                 have_got ? rec.got[i].served_bytes : 0,
                 have_got ? rec.got[i].sheds : 0);
+  }
+  for (std::size_t i = 0; i < rec.attribution.size(); ++i) {
+    const AttributionCheck& chk = rec.attribution[i];
+    std::printf("tenant %zu attribution: served %" PRIu64 "/%" PRIu64
+                " bytes, sheds %" PRIu64 "/%" PRIu64 " (attr/ledger)\n",
+                i + 1, chk.attr_served_bytes, chk.ledger_served_bytes,
+                chk.attr_shed_events, chk.ledger_sheds);
   }
   for (const auto& fail : rec.failures) std::printf("  FAIL: %s\n", fail.c_str());
   std::printf("reconciliation: %s\n\n", rec.pass ? "PASS (byte-exact)" : "FAIL");
@@ -531,6 +618,28 @@ int main(int argc, char** argv) {
   }
 
   write_json(cli.get_str("json"), seed, jobs, rec, ovh, op, bound_pct);
+  // Companion artifacts next to the JSON: the attribution ledger and the
+  // recovery handle's SLO burn table (check_obs_outputs.py validates both).
+  std::string stem = cli.get_str("json");
+  if (stem.size() >= 5 && stem.compare(stem.size() - 5, 5, ".json") == 0)
+    stem.resize(stem.size() - 5);
+  const auto attr =
+      obs::Attribution::instance().write_json(stem + ".attribution.json");
+  if (attr.ok())
+    std::printf("wrote %s\n", (stem + ".attribution.json").c_str());
+  else
+    std::fprintf(stderr, "durability: %s\n", attr.error().message.c_str());
+  if (!rec.burn_json.empty()) {
+    const std::string burn_path = stem + ".burn.json";
+    std::FILE* bf = std::fopen(burn_path.c_str(), "wb");
+    if (bf != nullptr) {
+      std::fprintf(bf, "%s\n", rec.burn_json.c_str());
+      std::fclose(bf);
+      std::printf("wrote %s\n", burn_path.c_str());
+    } else {
+      std::fprintf(stderr, "durability: cannot write %s\n", burn_path.c_str());
+    }
+  }
   fs::remove_all(root, ec);
   return rec.pass && ovh.pass ? 0 : 1;
 #endif

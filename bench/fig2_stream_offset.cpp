@@ -21,14 +21,32 @@ namespace {
 
 /// One interleaved off/on overhead measurement pass. Alternation (rather
 /// than all-off-then-all-on) cancels frequency/cache drift; the median of
-/// per-pair slowdowns shrugs off a single noisy rep.
+/// per-pair slowdowns shrugs off a single noisy rep. With `causal`, the
+/// "on" half also pays the full observability-v2 per-job tax — flow-event
+/// emission plus an attribution charge_spread — at the same cadence the
+/// durable service pays it (once per job), so the gate covers causal
+/// tracing + attribution, not just the bare recorder.
 int run_overhead_mode(std::size_t n, const mcopt::sim::SimConfig& cfg,
                       std::int64_t reps, double budget_pct,
-                      std::size_t ring_capacity) {
+                      std::size_t ring_capacity, bool causal) {
   using namespace mcopt;
+  const std::vector<unsigned> plan = {0, 1, 2, 3, 4, 5, 6, 7};
   auto timed_run = [&]() {
     const std::uint64_t t0 = util::monotonic_ns();
-    (void)bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, 32, 64, cfg);
+    if (causal && obs::TraceRecorder::instance().enabled()) {
+      const std::uint64_t trace_id = obs::next_trace_id();
+      obs::trace_flow_start("job.flow.submit", "causal", trace_id, 1);
+      obs::trace_flow_step("job.flow.admit", "causal", trace_id, 1);
+      (void)bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, 32, 64,
+                                       cfg);
+      obs::Attribution::instance().charge_spread(
+          1, plan, obs::Charge::kServed, 0,
+          kernels::stream_reported_bytes(kernels::StreamOp::kTriad, n));
+      obs::trace_flow_end("job.flow.complete", "causal", trace_id, 1);
+    } else {
+      (void)bench::stream_reported_gbs(kernels::StreamOp::kTriad, n, 32, 64,
+                                       cfg);
+    }
     return static_cast<double>(util::monotonic_ns() - t0);
   };
   // Warm both paths (allocator, code, and the recorder's thread buffers).
@@ -76,7 +94,10 @@ int main(int argc, char** argv) {
                   "measure tracer overhead with N interleaved off/on reps, "
                   "print TRACE_OVERHEAD_PCT, exit")
       .option_double("overhead-budget", 2.0,
-                     "overhead mode fails when the median pct exceeds this");
+                     "overhead mode fails when the median pct exceeds this")
+      .flag("causal",
+            "overhead mode: also emit per-job causal flow events and an "
+            "attribution charge (the observability-v2 gate)");
   bench::add_obs_options(cli);
   if (!cli.parse(argc, argv)) return 0;
 
@@ -95,7 +116,8 @@ int main(int argc, char** argv) {
     return run_overhead_mode(
         n, cfg, reps, cli.get_double("overhead-budget"),
         static_cast<std::size_t>(
-            std::max<std::int64_t>(8, cli.get_int("trace-capacity"))));
+            std::max<std::int64_t>(8, cli.get_int("trace-capacity"))),
+        cli.get_flag("causal"));
 
   bench::ObsGuard obs(cli);
   // Timeline sampling only on the 64-thread triad runs: that is the series

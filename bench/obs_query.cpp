@@ -1,0 +1,529 @@
+// obs_query: offline queries over the observability artifacts the benches
+// and the durable runtime emit. Three modes, combinable in one invocation:
+//
+//   --explain-job <id> --traces pre.json,post.json
+//       Stitch one submission's causal chain across any number of Chrome
+//       trace files: resolve the submission id to its 64-bit flow id via
+//       the "job.flow.journal" / "job.flow.replay" steps, then print every
+//       causal event carrying that id in timeline order. A kill-restart
+//       run hands this the pre-kill and post-restart traces and gets the
+//       submit -> journal -> [SIGKILL] -> replay -> complete chain back.
+//
+//   --top-tenants <n> --attribution BENCH_x.attribution.json
+//       Rank tenants by attributed bytes from an obs::Attribution JSON
+//       export, with the per-charge breakdown (served/shed/scrub/probe/
+//       migration).
+//
+//   --burn-report --burn BENCH_x.burn.json
+//       Print the per-(tenant, SLO-class) burn table from an
+//       obs::SloMonitor JSON export, flagging pairs over the multi-window
+//       alert thresholds.
+//
+// Exit codes: 0 success, 1 query miss (e.g. submission id absent from the
+// traces), 2 usage or parse error.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mcopt;
+
+// --- minimal JSON reader ---------------------------------------------------
+//
+// The artifacts are machine-written by this repo, but the reader is still a
+// real recursive-descent parser (not string scanning): it survives field
+// reordering and whitespace changes. Unsigned integers are kept exact in
+// `u64` — flow ids are full 64-bit values that a double would silently
+// round beyond 2^53.
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::uint64_t u64 = 0;  ///< exact value when the token was a plain integer
+  std::string str;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  [[nodiscard]] const Json* find(const char* key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text)
+      : s_(text.c_str()), n_(text.size()) {}
+
+  Json parse() {
+    Json v = value();
+    ws();
+    if (pos_ != n_) fail("trailing data");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json: " + why + " at byte " +
+                             std::to_string(pos_));
+  }
+  void ws() {
+    while (pos_ < n_ && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                         s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= n_) fail("unexpected end of input");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (pos_ >= n_ || s_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p)
+      if (pos_ >= n_ || s_[pos_++] != *p) fail(std::string("bad literal"));
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= n_) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= n_) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          // Control-character escapes from the exporters; a placeholder is
+          // fine for a query tool (no matched name contains them).
+          if (pos_ + 4 > n_) fail("truncated \\u escape");
+          pos_ += 4;
+          out += '?';
+          break;
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    bool integral = true;
+    if (pos_ < n_ && s_[pos_] == '-') {
+      integral = false;
+      ++pos_;
+    }
+    while (pos_ < n_ &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-')) {
+      if (!(s_[pos_] >= '0' && s_[pos_] <= '9')) integral = false;
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    const std::string tok(s_ + start, pos_ - start);
+    Json v;
+    v.kind = Json::Kind::kNumber;
+    v.number = std::stod(tok);
+    if (integral) v.u64 = std::stoull(tok);
+    return v;
+  }
+
+  Json value() {
+    ws();
+    switch (peek()) {
+      case '{': {
+        Json v;
+        v.kind = Json::Kind::kObject;
+        expect('{');
+        ws();
+        if (peek() == '}') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          ws();
+          std::string key = string();
+          ws();
+          expect(':');
+          v.object.emplace_back(std::move(key), value());
+          ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        Json v;
+        v.kind = Json::Kind::kArray;
+        expect('[');
+        ws();
+        if (peek() == ']') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          v.array.push_back(value());
+          ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect(']');
+          return v;
+        }
+      }
+      case '"': {
+        Json v;
+        v.kind = Json::Kind::kString;
+        v.str = string();
+        return v;
+      }
+      case 't': {
+        literal("true");
+        Json v;
+        v.kind = Json::Kind::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        literal("false");
+        Json v;
+        v.kind = Json::Kind::kBool;
+        return v;
+      }
+      case 'n': {
+        literal("null");
+        return Json{};
+      }
+      default: return number();
+    }
+  }
+
+  const char* s_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string piece =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!piece.empty()) out.push_back(piece);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+// --- --explain-job ---------------------------------------------------------
+
+struct FlowEvent {
+  std::size_t file = 0;
+  double ts_us = 0.0;
+  char ph = '?';
+  std::string name;
+  std::uint64_t a = 0;  ///< the 64-bit flow id (trace context)
+  std::uint64_t b = 0;  ///< per-event correlator (see b_meaning)
+};
+
+/// What args.b carries for each causal event (the emitters' contract).
+const char* b_meaning(const std::string& name) {
+  if (name == "job.flow.submit" || name == "job.flow.door-shed")
+    return "tenant";
+  if (name == "job.flow.journal" ||
+      name.rfind("job.flow.replay", 0) == 0)  // replay + replayed-* family
+    return "submission";
+  return "exec-job";
+}
+
+std::vector<FlowEvent> load_causal_events(const std::string& path,
+                                          std::size_t file_index) {
+  const Json doc = JsonParser(read_file(path)).parse();
+  const Json* events = doc.find("traceEvents");
+  if (events == nullptr || events->kind != Json::Kind::kArray)
+    throw std::runtime_error("'" + path +
+                             "' is not a Chrome trace (no traceEvents)");
+  std::vector<FlowEvent> out;
+  for (const Json& e : events->array) {
+    const Json* cat = e.find("cat");
+    if (cat == nullptr || cat->str != "causal") continue;
+    const Json* name = e.find("name");
+    const Json* ph = e.find("ph");
+    const Json* ts = e.find("ts");
+    const Json* args = e.find("args");
+    if (name == nullptr || ph == nullptr || ts == nullptr || args == nullptr)
+      continue;
+    FlowEvent fe;
+    fe.file = file_index;
+    fe.name = name->str;
+    fe.ph = ph->str.empty() ? '?' : ph->str[0];
+    fe.ts_us = ts->number;
+    const Json* a = args->find("a");
+    const Json* b = args->find("b");
+    fe.a = a == nullptr ? 0 : a->u64;
+    fe.b = b == nullptr ? 0 : b->u64;
+    out.push_back(std::move(fe));
+  }
+  return out;
+}
+
+const char* phase_word(char ph) {
+  switch (ph) {
+    case 's': return "start";
+    case 't': return "step";
+    case 'f': return "end";
+  }
+  return "?";
+}
+
+int explain_job(const std::vector<std::string>& trace_paths,
+                std::uint64_t submission_id) {
+  if (trace_paths.empty())
+    throw std::runtime_error("--explain-job needs --traces <a.json,b.json,...>");
+  std::vector<FlowEvent> all;
+  for (std::size_t i = 0; i < trace_paths.size(); ++i) {
+    auto evs = load_causal_events(trace_paths[i], i);
+    all.insert(all.end(), evs.begin(), evs.end());
+  }
+  // Resolve submission -> flow id(s) via the steps that bind them. A
+  // pre-kill trace binds at journal time; a post-restart trace re-binds at
+  // replay, carrying the SAME journaled id — which is exactly what lets the
+  // chain stitch across the kill.
+  std::set<std::uint64_t> flow_ids;
+  for (const FlowEvent& e : all)
+    if (e.b == submission_id &&
+        (e.name == "job.flow.journal" || e.name.rfind("job.flow.replay", 0) == 0))
+      flow_ids.insert(e.a);
+  if (flow_ids.empty()) {
+    std::fprintf(stderr,
+                 "obs_query: no journal/replay flow event for submission "
+                 "%" PRIu64 " in %zu trace file(s)\n",
+                 submission_id, trace_paths.size());
+    return 1;
+  }
+  for (const std::uint64_t flow : flow_ids) {
+    std::vector<FlowEvent> chain;
+    for (const FlowEvent& e : all)
+      if (e.a == flow) chain.push_back(e);
+    std::stable_sort(chain.begin(), chain.end(),
+                     [](const FlowEvent& x, const FlowEvent& y) {
+                       if (x.file != y.file) return x.file < y.file;
+                       return x.ts_us < y.ts_us;
+                     });
+    std::set<std::size_t> files_seen;
+    for (const FlowEvent& e : chain) files_seen.insert(e.file);
+    std::printf("# submission %" PRIu64 ": flow id 0x%" PRIx64
+                ", %zu events across %zu file(s)\n",
+                submission_id, flow, chain.size(), files_seen.size());
+    util::Table table({"trace", "ts_us", "phase", "event", "correlator"});
+    for (const FlowEvent& e : chain) {
+      char ts[48];
+      std::snprintf(ts, sizeof ts, "%.3f", e.ts_us);
+      table.add_row({trace_paths[e.file], ts, phase_word(e.ph), e.name,
+                     std::string(b_meaning(e.name)) + "=" +
+                         std::to_string(e.b)});
+    }
+    table.print(std::cout);
+    if (!chain.empty())
+      std::printf("final: %s\n\n", chain.back().name.c_str());
+  }
+  return 0;
+}
+
+// --- --top-tenants ---------------------------------------------------------
+
+int top_tenants(const std::string& attribution_path, std::uint64_t n) {
+  if (attribution_path.empty())
+    throw std::runtime_error("--top-tenants needs --attribution <path>");
+  const Json doc = JsonParser(read_file(attribution_path)).parse();
+  const Json* cells = doc.find("cells");
+  if (cells == nullptr || cells->kind != Json::Kind::kArray)
+    throw std::runtime_error("'" + attribution_path +
+                             "' is not an attribution export (no cells)");
+  struct Roll {
+    std::uint64_t total = 0;
+    std::map<std::string, std::uint64_t> by_charge;
+    std::uint64_t events = 0;
+  };
+  std::map<std::uint64_t, Roll> tenants;
+  for (const Json& c : cells->array) {
+    const Json* tenant = c.find("tenant");
+    const Json* charge = c.find("charge");
+    const Json* bytes = c.find("bytes");
+    const Json* count = c.find("count");
+    if (tenant == nullptr || charge == nullptr || bytes == nullptr) continue;
+    Roll& r = tenants[tenant->u64];
+    r.total += bytes->u64;
+    r.by_charge[charge->str] += bytes->u64;
+    if (count != nullptr) r.events += count->u64;
+  }
+  std::vector<std::pair<std::uint64_t, Roll>> ranked(tenants.begin(),
+                                                     tenants.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.second.total > y.second.total;
+                   });
+  if (ranked.size() > n) ranked.resize(n);
+  std::printf("# top %zu tenant(s) by attributed bytes (%s)\n", ranked.size(),
+              attribution_path.c_str());
+  util::Table table({"tenant", "bytes", "served", "shed", "scrub", "probe",
+                     "migration", "events"});
+  for (auto& [tenant, roll] : ranked) {
+    auto of = [&roll = roll](const char* k) {
+      const auto it = roll.by_charge.find(k);
+      return std::to_string(it == roll.by_charge.end() ? 0 : it->second);
+    };
+    table.add_row({tenant == 0 ? "0 (system)" : std::to_string(tenant),
+                   std::to_string(roll.total), of("served"), of("shed"),
+                   of("scrub"), of("probe"), of("migration"),
+                   std::to_string(roll.events)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+// --- --burn-report ---------------------------------------------------------
+
+int burn_report(const std::string& burn_path) {
+  if (burn_path.empty())
+    throw std::runtime_error("--burn-report needs --burn <path>");
+  const Json doc = JsonParser(read_file(burn_path)).parse();
+  const Json* entries = doc.find("entries");
+  const Json* fast_alert = doc.find("fast_alert");
+  const Json* slow_alert = doc.find("slow_alert");
+  const Json* target = doc.find("target");
+  if (entries == nullptr || entries->kind != Json::Kind::kArray ||
+      fast_alert == nullptr || slow_alert == nullptr || target == nullptr)
+    throw std::runtime_error("'" + burn_path +
+                             "' is not an SLO burn export (no entries)");
+  std::printf("# SLO burn report (%s): target %.4f, alert when fast >= %.1f "
+              "AND slow >= %.1f\n",
+              burn_path.c_str(), target->number, fast_alert->number,
+              slow_alert->number);
+  util::Table table({"tenant", "class", "total", "missed", "fast_burn",
+                     "slow_burn", "alerts", "state"});
+  for (const Json& e : entries->array) {
+    const Json* tenant = e.find("tenant");
+    const Json* cls = e.find("slo_class");
+    const Json* total = e.find("total");
+    const Json* missed = e.find("missed");
+    const Json* fast = e.find("fast_burn");
+    const Json* slow = e.find("slow_burn");
+    const Json* alerts = e.find("alerts");
+    if (tenant == nullptr || cls == nullptr || fast == nullptr ||
+        slow == nullptr)
+      continue;
+    const bool burning = fast->number >= fast_alert->number &&
+                         slow->number >= slow_alert->number;
+    char fb[32];
+    char sb[32];
+    std::snprintf(fb, sizeof fb, "%.3f", fast->number);
+    std::snprintf(sb, sizeof sb, "%.3f", slow->number);
+    table.add_row({std::to_string(tenant->u64), std::to_string(cls->u64),
+                   std::to_string(total == nullptr ? 0 : total->u64),
+                   std::to_string(missed == nullptr ? 0 : missed->u64), fb, sb,
+                   std::to_string(alerts == nullptr ? 0 : alerts->u64),
+                   burning ? "BURNING" : "ok"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(
+      "obs_query: offline queries over mcopt observability artifacts — "
+      "causal job chains from Chrome traces, tenant rankings from "
+      "attribution ledgers, SLO burn tables");
+  cli.option_int("explain-job", 0,
+                 "stitch the causal chain for this submission id across "
+                 "--traces (0 = off)")
+      .option_str("traces", "",
+                  "comma-separated Chrome trace JSONs in causal order "
+                  "(e.g. pre-kill,post-restart)")
+      .option_int("top-tenants", 0,
+                  "rank the top-N tenants by attributed bytes from "
+                  "--attribution (0 = off)")
+      .option_str("attribution", "",
+                  "attribution ledger JSON (*.attribution.json)")
+      .flag("burn-report", "print the SLO burn table from --burn")
+      .option_str("burn", "", "SLO burn JSON (*.burn.json)");
+  if (!cli.parse(argc, argv)) return 0;
+  try {
+    bool ran = false;
+    int rc = 0;
+    if (cli.get_int("explain-job") != 0) {
+      ran = true;
+      rc |= explain_job(split_commas(cli.get_str("traces")),
+                        static_cast<std::uint64_t>(cli.get_int("explain-job")));
+    }
+    if (cli.get_int("top-tenants") != 0) {
+      ran = true;
+      rc |= top_tenants(cli.get_str("attribution"),
+                        static_cast<std::uint64_t>(cli.get_int("top-tenants")));
+    }
+    if (cli.get_flag("burn-report")) {
+      ran = true;
+      rc |= burn_report(cli.get_str("burn"));
+    }
+    if (!ran) {
+      std::fprintf(stderr,
+                   "obs_query: nothing to do (pass --explain-job, "
+                   "--top-tenants, and/or --burn-report)\n");
+      return 2;
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obs_query: %s\n", e.what());
+    return 2;
+  }
+}

@@ -20,8 +20,18 @@ Checks (stdlib only, no third-party deps):
   --durability-json
               BENCH_durability.json from bench/durability: required keys,
               reconciled=true with the restarted per-tenant ledger equal to
-              the reference byte-for-byte, and (unless the run skipped the
-              overhead phase) journal overhead under its bound.
+              the reference byte-for-byte, the attribution rows (when
+              present) byte-exact against the ledger, and (unless the run
+              skipped the overhead phase) journal overhead under its bound.
+  --attribution-json
+              obs::Attribution export: cell taxonomy (charge kinds, shed
+              reasons only on sheds), and the per-tenant / per-charge
+              rollups recomputed from the cells must match the embedded
+              rollup tables exactly.
+  --burn-json
+              obs::SloMonitor export: window/threshold config sanity and
+              per-entry invariants (missed <= total, burns >= 0, alerts
+              only where misses exist).
 
 Exit code 0 when every provided artifact passes; 1 with a message per
 failure otherwise.
@@ -330,6 +340,24 @@ def check_durability_json(path):
             if row[field] != row[f"ref_{field}"]:
                 fail(f"{path}: tenants[{i}] {field} {row[field]} != "
                      f"reference {row[f'ref_{field}']}")
+    # Attribution reconciliation rows (observability v2): every byte the
+    # attribution ledger charged as served, and every shed event it
+    # recorded, must match the authoritative per-tenant ledger exactly —
+    # including across the SIGKILL/replay path.
+    for i, row in enumerate(doc.get("attribution", [])):
+        for key in ("tenant", "attr_served_bytes", "ledger_served_bytes",
+                    "attr_shed_events", "ledger_sheds"):
+            if key not in row:
+                fail(f"{path}: attribution[{i}] lacks '{key}'")
+                return
+        if row["attr_served_bytes"] != row["ledger_served_bytes"]:
+            fail(f"{path}: attribution[{i}] tenant {row['tenant']} served "
+                 f"bytes diverge: attribution {row['attr_served_bytes']} != "
+                 f"ledger {row['ledger_served_bytes']}")
+        if row["attr_shed_events"] != row["ledger_sheds"]:
+            fail(f"{path}: attribution[{i}] tenant {row['tenant']} shed "
+                 f"counts diverge: attribution {row['attr_shed_events']} != "
+                 f"ledger {row['ledger_sheds']}")
     ovh = doc["overhead"]
     for key in ("plain_seconds", "durable_seconds", "overhead_pct",
                 "ab_median_pct", "bound_pct", "pass"):
@@ -354,6 +382,138 @@ def check_durability_json(path):
               f"overhead {ovh['overhead_pct']}%")
 
 
+ATTRIBUTION_CHARGES = ("served", "shed", "scrub", "probe", "migration")
+
+ATTRIBUTION_CELL_KEYS = (
+    "tenant", "socket", "controller", "charge", "reason", "bytes", "count",
+)
+
+
+def check_attribution_json(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+        return
+    for key in ("cells", "tenants", "totals"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+            return
+    cells = doc["cells"]
+    if not isinstance(cells, list):
+        fail(f"{path}: cells is not a list")
+        return
+    # Recompute the rollups from the cells; the embedded tables must agree
+    # exactly — a drift here means the exporter and the charge sites
+    # disagree about what a byte is.
+    tenant_served = {}
+    tenant_sheds = {}
+    totals = {}
+    for i, cell in enumerate(cells):
+        for key in ATTRIBUTION_CELL_KEYS:
+            if key not in cell:
+                fail(f"{path}: cells[{i}] lacks '{key}'")
+                return
+        charge = cell["charge"]
+        if charge not in ATTRIBUTION_CHARGES:
+            fail(f"{path}: cells[{i}] has unknown charge {charge!r}")
+            return
+        # charge_spread counts the event on the first controller cell only
+        # (count=0 on the rest), so a zero count is legal — but a cell that
+        # carries neither bytes nor count should not exist.
+        if cell["bytes"] < 0 or cell["count"] < 0 or (
+                cell["bytes"] == 0 and cell["count"] == 0):
+            fail(f"{path}: cells[{i}] has bytes={cell['bytes']} "
+                 f"count={cell['count']}")
+            return
+        if charge != "shed" and cell["reason"] != 0:
+            fail(f"{path}: cells[{i}] carries shed reason {cell['reason']} "
+                 f"on a {charge!r} charge")
+            return
+        t = cell["tenant"]
+        if charge == "served":
+            tenant_served[t] = tenant_served.get(t, 0) + cell["bytes"]
+        elif charge == "shed":
+            tenant_sheds[t] = tenant_sheds.get(t, 0) + cell["count"]
+        tot = totals.setdefault(charge, [0, 0])
+        tot[0] += cell["bytes"]
+        tot[1] += cell["count"]
+    for i, row in enumerate(doc["tenants"]):
+        for key in ("tenant", "served_bytes", "sheds"):
+            if key not in row:
+                fail(f"{path}: tenants[{i}] lacks '{key}'")
+                return
+        t = row["tenant"]
+        if row["served_bytes"] != tenant_served.get(t, 0):
+            fail(f"{path}: tenant {t} rollup served_bytes "
+                 f"{row['served_bytes']} != cell sum {tenant_served.get(t, 0)}")
+        if row["sheds"] != tenant_sheds.get(t, 0):
+            fail(f"{path}: tenant {t} rollup sheds {row['sheds']} != "
+                 f"cell sum {tenant_sheds.get(t, 0)}")
+    for charge, tot in doc["totals"].items():
+        want = totals.get(charge, [0, 0])
+        if [tot.get("bytes"), tot.get("count")] != want:
+            fail(f"{path}: totals[{charge!r}] "
+                 f"[{tot.get('bytes')}, {tot.get('count')}] != "
+                 f"cell sums {want}")
+    if not FAILURES:
+        served = totals.get("served", [0, 0])
+        print(f"ok: {path}: {len(cells)} cells, "
+              f"{len(doc['tenants'])} tenants, "
+              f"served {served[0]} bytes over {served[1]} charges, "
+              f"rollups reconcile")
+
+
+BURN_ENTRY_KEYS = (
+    "tenant", "slo_class", "total", "missed", "fast_burn", "slow_burn",
+    "alerts",
+)
+
+
+def check_burn_json(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+        return
+    for key in ("target", "fast_window", "slow_window", "fast_alert",
+                "slow_alert", "entries"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+            return
+    if not 0.0 < doc["target"] < 1.0:
+        fail(f"{path}: SLO target {doc['target']} outside (0, 1)")
+    if doc["fast_window"] >= doc["slow_window"]:
+        fail(f"{path}: fast_window {doc['fast_window']} >= slow_window "
+             f"{doc['slow_window']}")
+    entries = doc["entries"]
+    if not isinstance(entries, list):
+        fail(f"{path}: entries is not a list")
+        return
+    alerts = 0
+    for i, row in enumerate(entries):
+        for key in BURN_ENTRY_KEYS:
+            if key not in row:
+                fail(f"{path}: entries[{i}] lacks '{key}'")
+                return
+        if row["missed"] > row["total"]:
+            fail(f"{path}: entries[{i}] missed {row['missed']} > total "
+                 f"{row['total']}")
+        if row["fast_burn"] < 0 or row["slow_burn"] < 0:
+            fail(f"{path}: entries[{i}] negative burn rate")
+        # Alerts are edge-triggered on misses: a row that never missed an
+        # SLO cannot have fired one.
+        if row["alerts"] > 0 and row["missed"] == 0:
+            fail(f"{path}: entries[{i}] fired {row['alerts']} alerts with "
+                 f"zero misses")
+        alerts += row["alerts"]
+    if not FAILURES:
+        print(f"ok: {path}: {len(entries)} (tenant, class) entries, "
+              f"{alerts} alerts fired, target={doc['target']}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="Chrome trace JSON to validate")
@@ -366,6 +526,10 @@ def main():
     ap.add_argument("--durability-json",
                     help="BENCH_durability.json from bench/durability to "
                          "validate")
+    ap.add_argument("--attribution-json",
+                    help="obs::Attribution JSON export to validate")
+    ap.add_argument("--burn-json",
+                    help="obs::SloMonitor burn-gauge JSON export to validate")
     ap.add_argument("--expect-family", action="append", default=[],
                     help="metric family that must appear (repeatable)")
     ap.add_argument("--allow-empty-trace", action="store_true",
@@ -373,9 +537,11 @@ def main():
     args = ap.parse_args()
     if not (args.trace or args.metrics or args.timeline
             or args.recovery_json or args.recovery_csv
-            or args.durability_json):
+            or args.durability_json or args.attribution_json
+            or args.burn_json):
         ap.error("nothing to check: pass --trace, --metrics, --timeline, "
-                 "--recovery-json, --recovery-csv, or --durability-json")
+                 "--recovery-json, --recovery-csv, --durability-json, "
+                 "--attribution-json, or --burn-json")
     if args.trace:
         check_trace(args.trace, expect_events=not args.allow_empty_trace)
     if args.metrics:
@@ -389,6 +555,10 @@ def main():
         check_recovery_csv(args.recovery_csv)
     if args.durability_json:
         check_durability_json(args.durability_json)
+    if args.attribution_json:
+        check_attribution_json(args.attribution_json)
+    if args.burn_json:
+        check_burn_json(args.burn_json)
     return 1 if FAILURES else 0
 
 

@@ -1,0 +1,126 @@
+#pragma once
+// Per-tenant bandwidth attribution: the measured answer to "who spent which
+// controller's bytes, and on what". The paper's argument is that bandwidth
+// must be attributed to the right controller to be optimized; at service
+// scale the same discipline applies to tenants — an SLO breach is only
+// debuggable when every served, shed, scrub, probe, and migration byte has
+// an owner. The ledger accumulates (tenant, socket, controller, charge,
+// shed-reason) cells, exports them as JSON + CSV, and round-trips through
+// the durable snapshot so a SIGKILL/restart run reconciles byte-exactly
+// with the per-tenant service ledgers (DESIGN.md §4m).
+//
+// Charge sites are cold paths (job completion, shed verdicts, migration and
+// scrub accounting — not per memory access), so a mutex-guarded map is the
+// right tradeoff: exact, simple, and invisible next to the work being
+// attributed.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace mcopt::obs {
+
+/// What a byte was spent on. kServed/kShed bytes belong to real tenants;
+/// scrub/probe/migration are system work charged to tenant 0.
+enum class Charge : std::uint8_t {
+  kServed = 0,
+  kShed = 1,
+  kScrub = 2,
+  kProbe = 3,
+  kMigration = 4,
+};
+
+/// Stable lowercase label ("served", "shed", ...) for exports.
+[[nodiscard]] const char* charge_name(Charge c) noexcept;
+
+/// One attribution cell key. socket/controller are -1 when the charge site
+/// has no placement (a door shed never reached pricing). `reason` is the
+/// exec::ShedReason ordinal for kShed cells, 0 otherwise.
+struct AttributionKey {
+  std::uint32_t tenant = 0;
+  std::int32_t socket = -1;
+  std::int32_t controller = -1;
+  Charge charge = Charge::kServed;
+  std::uint32_t reason = 0;
+
+  [[nodiscard]] bool operator<(const AttributionKey& o) const noexcept {
+    if (tenant != o.tenant) return tenant < o.tenant;
+    if (socket != o.socket) return socket < o.socket;
+    if (controller != o.controller) return controller < o.controller;
+    if (charge != o.charge) return charge < o.charge;
+    return reason < o.reason;
+  }
+};
+
+struct AttributionCell {
+  AttributionKey key;
+  std::uint64_t bytes = 0;
+  std::uint64_t count = 0;
+};
+
+/// Process-wide attribution ledger. All methods are thread-safe.
+class Attribution {
+ public:
+  static Attribution& instance() noexcept;
+
+  /// Sockets are derived from global controller indices
+  /// (socket = controller / controllers_per_socket); 4 matches the
+  /// UltraSPARC T2 chip and the sim::Node global numbering.
+  void set_controllers_per_socket(unsigned n) noexcept;
+
+  /// Charges `bytes` (and one event by default) to a single cell.
+  void charge(std::uint32_t tenant, std::int32_t controller, Charge charge,
+              std::uint32_t reason, std::uint64_t bytes,
+              std::uint64_t count = 1);
+
+  /// Spreads `bytes` across a plan set byte-exactly: every controller gets
+  /// bytes/n and the first |bytes % n| controllers one extra byte, so the
+  /// cell sum always equals `bytes`. An empty set charges controller -1.
+  void charge_spread(std::uint32_t tenant,
+                     const std::vector<unsigned>& controllers, Charge charge,
+                     std::uint32_t reason, std::uint64_t bytes);
+
+  /// charge_spread over a controller bitmask (bit i = controller i): the
+  /// encoding the journal's completion records carry across restarts.
+  void charge_mask(std::uint32_t tenant, std::uint32_t mask, Charge charge,
+                   std::uint32_t reason, std::uint64_t bytes);
+
+  [[nodiscard]] std::vector<AttributionCell> cells() const;
+
+  /// Per-tenant totals for one charge kind (reconciliation surface).
+  [[nodiscard]] std::uint64_t tenant_bytes(std::uint32_t tenant,
+                                           Charge charge) const;
+  [[nodiscard]] std::uint64_t tenant_count(std::uint32_t tenant,
+                                           Charge charge) const;
+
+  /// One-line JSON document: cells, per-tenant rollups, and grand totals.
+  [[nodiscard]] std::string json() const;
+  [[nodiscard]] util::Status write_json(const std::string& path) const;
+
+  /// CSV export (schema-stamped like every mcopt CSV):
+  /// tenant,socket,controller,charge,reason,bytes,count.
+  [[nodiscard]] util::Status write_csv(const std::string& path) const;
+
+  /// Snapshot encoding for the durable StateImage: versioned, fixed-width
+  /// little-endian. restore() replaces the ledger's contents wholesale.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] util::Status restore(const std::vector<std::uint8_t>& bytes);
+
+  /// Drops every cell (registrations in the metrics registry survive).
+  void reset();
+
+ private:
+  Attribution() = default;
+
+  [[nodiscard]] std::int32_t socket_of(std::int32_t controller) const noexcept;
+
+  mutable std::mutex mu_;
+  std::map<AttributionKey, AttributionCell> cells_;
+  unsigned controllers_per_socket_ = 4;
+};
+
+}  // namespace mcopt::obs

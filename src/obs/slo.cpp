@@ -1,0 +1,194 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mcopt::obs {
+
+util::Status SloBurnConfig::check() const {
+  util::Status st;
+  if (!(target > 0.0 && target < 1.0)) st.note("slo target must be in (0, 1)");
+  if (fast_window == 0 || slow_window == 0)
+    st.note("slo windows must be nonzero");
+  else if (fast_window >= slow_window)
+    st.note("slo fast window must be shorter than the slow window");
+  if (buckets < 2) st.note("slo windows need at least 2 buckets");
+  if (fast_alert <= 0.0 || slow_alert <= 0.0)
+    st.note("slo alert thresholds must be positive");
+  return st;
+}
+
+void SloMonitor::Window::init(std::uint64_t window_cycles,
+                              std::uint32_t buckets) {
+  bucket_cycles = std::max<std::uint64_t>(1, window_cycles / buckets);
+  head = 0;
+  total.assign(buckets, 0);
+  missed.assign(buckets, 0);
+}
+
+void SloMonitor::Window::add(std::uint64_t at, bool miss) {
+  const std::uint64_t bucket = at / bucket_cycles;
+  if (bucket > head) {
+    // Advance the ring: every bucket interval between head and the new one
+    // has aged out of the window and is zeroed before reuse.
+    const std::uint64_t steps =
+        std::min<std::uint64_t>(bucket - head, total.size());
+    for (std::uint64_t s = 1; s <= steps; ++s) {
+      const std::size_t idx = (head + s) % total.size();
+      total[idx] = 0;
+      missed[idx] = 0;
+    }
+    head = bucket;
+  } else if (head - bucket >= total.size()) {
+    return;  // older than the window: nothing to attribute it to
+  }
+  const std::size_t idx = bucket % total.size();
+  total[idx] += 1;
+  if (miss) missed[idx] += 1;
+}
+
+double SloMonitor::Window::miss_fraction() const {
+  std::uint64_t t = 0, m = 0;
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    t += total[i];
+    m += missed[i];
+  }
+  return t == 0 ? 0.0 : static_cast<double>(m) / static_cast<double>(t);
+}
+
+SloMonitor::SloMonitor(SloBurnConfig cfg) : cfg_(cfg) {
+  cfg_.check().throw_if_failed();
+}
+
+double SloMonitor::burn_of(double miss_fraction) const {
+  return miss_fraction / (1.0 - cfg_.target);
+}
+
+void SloMonitor::record(std::uint32_t tenant, std::uint32_t slo_class,
+                        bool missed, std::uint64_t at_cycles) {
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  bool alert = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Entry& e = entries_[{tenant, slo_class}];
+    if (e.fast.total.empty()) {
+      e.fast.init(cfg_.fast_window, cfg_.buckets);
+      e.slow.init(cfg_.slow_window, cfg_.buckets);
+    }
+    e.total += 1;
+    if (missed) e.missed += 1;
+    e.fast.add(at_cycles, missed);
+    e.slow.add(at_cycles, missed);
+    fast_burn = burn_of(e.fast.miss_fraction());
+    slow_burn = burn_of(e.slow.miss_fraction());
+    // Multi-window rule, edge-triggered on misses only: a served job can
+    // cool a window but never fire an alert by itself.
+    if (missed && fast_burn >= cfg_.fast_alert && slow_burn >= cfg_.slow_alert) {
+      alert = true;
+      e.alerts += 1;
+      alerts_fired_ += 1;
+      pending_.push_back({tenant, slo_class, fast_burn, slow_burn, at_cycles});
+    }
+  }
+  // Gauges are registered lazily per (tenant, class): benches run a handful
+  // of tenants; the 1000-tenant soaks leave the monitor to its JSON export.
+  const std::string suffix = "_tenant" + std::to_string(tenant) + "_class" +
+                             std::to_string(slo_class);
+  MetricsRegistry::instance()
+      .gauge("mcopt_slo_burn_fast" + suffix,
+             "fast-window SLO error-budget burn rate")
+      .set(fast_burn);
+  MetricsRegistry::instance()
+      .gauge("mcopt_slo_burn_slow" + suffix,
+             "slow-window SLO error-budget burn rate")
+      .set(slow_burn);
+  if (alert) {
+    MetricsRegistry::instance()
+        .counter("mcopt_slo_alerts_total",
+                 "multi-window SLO burn alerts fired")
+        .inc();
+    trace_instant("slo.burn.alert", "slo", tenant, slo_class);
+  }
+}
+
+std::vector<SloBurn> SloMonitor::burns() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SloBurn> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    SloBurn b;
+    b.tenant = key.first;
+    b.slo_class = key.second;
+    b.total = e.total;
+    b.missed = e.missed;
+    b.fast_burn = burn_of(e.fast.miss_fraction());
+    b.slow_burn = burn_of(e.slow.miss_fraction());
+    b.alerts = e.alerts;
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<SloAlert> SloMonitor::drain_alerts() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SloAlert> out;
+  out.swap(pending_);
+  return out;
+}
+
+std::uint64_t SloMonitor::alerts_fired() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return alerts_fired_;
+}
+
+std::string SloMonitor::json() const {
+  const std::vector<SloBurn> all = burns();
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"target\":%.6f,\"fast_window\":%llu,\"slow_window\":%llu,"
+                "\"fast_alert\":%.3f,\"slow_alert\":%.3f,\"entries\":[",
+                cfg_.target,
+                static_cast<unsigned long long>(cfg_.fast_window),
+                static_cast<unsigned long long>(cfg_.slow_window),
+                cfg_.fast_alert, cfg_.slow_alert);
+  std::string out = buf;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const SloBurn& b = all[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"tenant\":%u,\"slo_class\":%u,\"total\":%llu,"
+                  "\"missed\":%llu,\"fast_burn\":%.6f,\"slow_burn\":%.6f,"
+                  "\"alerts\":%llu}",
+                  i == 0 ? "" : ",", b.tenant, b.slo_class,
+                  static_cast<unsigned long long>(b.total),
+                  static_cast<unsigned long long>(b.missed), b.fast_burn,
+                  b.slow_burn, static_cast<unsigned long long>(b.alerts));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+util::Status SloMonitor::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return util::Status::failure("slo: cannot write '" + path + "'");
+  const std::string doc = json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                  std::fputc('\n', f) != EOF;
+  if (std::fclose(f) != 0 || !ok)
+    return util::Status::failure("slo: write failed for '" + path + "'");
+  return util::Status{};
+}
+
+void SloMonitor::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  pending_.clear();
+  alerts_fired_ = 0;
+}
+
+}  // namespace mcopt::obs

@@ -1,0 +1,126 @@
+#pragma once
+// SLO error-budget monitor: per-(tenant, SLO-class) rolling-window burn
+// rates over the served-within-deadline objective, with a multi-window
+// alert rule (fast AND slow window both burning) so a single straggler
+// never pages but a sustained breach does. Windows are keyed on the
+// *virtual service timeline* (the executor's cycle clock carried in every
+// JobReport), not wall time: feeding the monitor from a batched poll or a
+// post-restart replay lands each outcome in the bucket where the job
+// actually finished, which is what makes burn rates reproducible across
+// runs and restarts.
+//
+// Burn rate 1.0 = spending exactly the error budget (1 - target) over the
+// window; >1 is over-spend. The multi-window rule follows the standard
+// practice: alert when the fast window burns hot (caught quickly) AND the
+// slow window confirms it (not a blip).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace mcopt::obs {
+
+struct SloBurnConfig {
+  /// Served-within-deadline objective (0.999 = 0.1% error budget).
+  double target = 0.999;
+  /// Rolling windows, in service-timeline cycles.
+  std::uint64_t fast_window = 2'000'000;
+  std::uint64_t slow_window = 20'000'000;
+  /// Ring granularity: each window is split into this many buckets.
+  std::uint32_t buckets = 16;
+  /// Multi-window alert thresholds (burn-rate multiples of budget).
+  double fast_alert = 10.0;
+  double slow_alert = 2.0;
+
+  [[nodiscard]] util::Status check() const;
+};
+
+/// Typed alert — the supervisor-facing input the adaptive-hysteresis
+/// controller (ROADMAP) consumes. Drained via SloMonitor::drain_alerts().
+struct SloAlert {
+  std::uint32_t tenant = 0;
+  std::uint32_t slo_class = 0;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  std::uint64_t at = 0;  ///< service-timeline cycle of the triggering job
+};
+
+/// Point-in-time burn reading for one (tenant, class) pair.
+struct SloBurn {
+  std::uint32_t tenant = 0;
+  std::uint32_t slo_class = 0;
+  std::uint64_t total = 0;   ///< outcomes ever recorded
+  std::uint64_t missed = 0;  ///< deadline misses ever recorded
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  std::uint64_t alerts = 0;
+};
+
+/// Thread-safe monitor. record() is a mutex + two ring updates — a
+/// per-completion cold path next to the simulated work being judged.
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloBurnConfig cfg = {});
+
+  /// Feeds one job outcome: tenant/class, whether the deadline was missed,
+  /// and the job's finish position on the service timeline. Emits
+  /// slo.burn.* gauges, a "slo.burn.alert" trace instant, and queues a
+  /// typed SloAlert when the multi-window rule fires.
+  void record(std::uint32_t tenant, std::uint32_t slo_class, bool missed,
+              std::uint64_t at_cycles);
+
+  /// Current burn readings, one per observed (tenant, class).
+  [[nodiscard]] std::vector<SloBurn> burns() const;
+
+  /// Alerts queued since the last drain (the typed supervisor input).
+  [[nodiscard]] std::vector<SloAlert> drain_alerts();
+
+  /// Total alerts fired since construction/reset.
+  [[nodiscard]] std::uint64_t alerts_fired() const;
+
+  /// One-line JSON: config + per-(tenant, class) burn table, the document
+  /// `obs_query --burn-report` and check_obs_outputs.py --burn-json read.
+  [[nodiscard]] std::string json() const;
+  [[nodiscard]] util::Status write_json(const std::string& path) const;
+
+  [[nodiscard]] const SloBurnConfig& config() const noexcept { return cfg_; }
+
+  void reset();
+
+ private:
+  /// One rolling window: a ring of {total, missed} buckets over the cycle
+  /// timeline. Advancing past a bucket zeroes it (its interval left the
+  /// window).
+  struct Window {
+    std::uint64_t bucket_cycles = 1;
+    std::uint64_t head = 0;  ///< index of the newest bucket interval
+    std::vector<std::uint64_t> total;
+    std::vector<std::uint64_t> missed;
+
+    void init(std::uint64_t window_cycles, std::uint32_t buckets);
+    void add(std::uint64_t at, bool miss);
+    [[nodiscard]] double miss_fraction() const;
+  };
+
+  struct Entry {
+    Window fast;
+    Window slow;
+    std::uint64_t total = 0;
+    std::uint64_t missed = 0;
+    std::uint64_t alerts = 0;
+  };
+
+  [[nodiscard]] double burn_of(double miss_fraction) const;
+
+  SloBurnConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Entry> entries_;
+  std::vector<SloAlert> pending_;
+  std::uint64_t alerts_fired_ = 0;
+};
+
+}  // namespace mcopt::obs

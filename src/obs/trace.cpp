@@ -8,7 +8,9 @@
 #include <memory>
 #include <mutex>
 
-#ifndef _WIN32
+#ifdef _WIN32
+#include <process.h>
+#else
 #include <csignal>
 #include <fcntl.h>
 #include <unistd.h>
@@ -103,15 +105,53 @@ void log_mirror(util::LogLevel level, std::uint64_t /*ts_ns*/,
 
 }  // namespace
 
+std::uint64_t next_trace_id() noexcept {
+  // High bits: a per-process salt folded from the trace epoch, so ids minted
+  // before and after a kill-restart never collide (replayed jobs keep their
+  // journaled pre-kill ids; fresh jobs draw from a new namespace). Low bits:
+  // a plain counter. splitmix64 finalizer spreads the salt.
+  static const std::uint64_t salt = [] {
+    std::uint64_t z = trace_now_ns() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return (z ^ (z >> 31)) << 20;
+  }();
+  static std::atomic<std::uint64_t> counter{0};
+  // The pid is folded in per call, NOT into the static: a fork()ed serving
+  // child (the durability bench's kill harness) inherits both salt and
+  // counter, and without the pid its ids would collide with ids the parent
+  // mints after the fork — poisoning merged-trace queries.
+#ifdef _WIN32
+  const auto pid = static_cast<std::uint64_t>(_getpid());
+#else
+  const auto pid = static_cast<std::uint64_t>(::getpid());
+#endif
+  const std::uint64_t id = (salt ^ (pid * 0xff51afd7ed558ccdULL)) +
+                           counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id == 0 ? 1 : id;
+}
+
 char phase_char(Phase p) noexcept {
   switch (p) {
     case Phase::kBegin: return 'B';
     case Phase::kEnd: return 'E';
     case Phase::kInstant: return 'i';
     case Phase::kCounter: return 'C';
+    case Phase::kFlowStart: return 's';
+    case Phase::kFlowStep: return 't';
+    case Phase::kFlowEnd: return 'f';
   }
   return '?';
 }
+
+namespace {
+
+bool is_flow_phase(Phase p) noexcept {
+  return p == Phase::kFlowStart || p == Phase::kFlowStep ||
+         p == Phase::kFlowEnd;
+}
+
+}  // namespace
 
 std::uint64_t trace_now_ns() noexcept { return util::monotonic_ns(); }
 
@@ -200,7 +240,10 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
     for (std::uint64_t i = lo; i < head; ++i) {
       const Slot& s = buf->slots[i & buf->mask];
       const std::uint64_t want = 2 * i + 2;
-      if (s.seq.load(std::memory_order_acquire) != want) continue;
+      if (s.seq.load(std::memory_order_acquire) != want) {
+        seqlock_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       TraceEvent ev;
       ev.ts_ns = s.ts.load(std::memory_order_relaxed);
       ev.name = reinterpret_cast<const char*>(
@@ -214,7 +257,10 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
       for (std::size_t w = 0; w < words.size(); ++w)
         words[w] = s.msg[w].load(std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
-      if (s.seq.load(std::memory_order_relaxed) != want) continue;
+      if (s.seq.load(std::memory_order_relaxed) != want) {
+        seqlock_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       ev.phase = static_cast<Phase>(meta & 0xFF);
       const std::size_t len = static_cast<std::size_t>((meta >> 8) & 0xFF);
       ev.msg.reserve(len);
@@ -323,6 +369,14 @@ util::Status export_chrome_json(const std::string& path,
     line += "\"";
     if (ev.phase == Phase::kInstant) line += ",\"s\":\"t\"";
     char num[96];
+    if (is_flow_phase(ev.phase)) {
+      // The flow id is the 64-bit trace context; "bp":"e" binds the
+      // terminating arrow to the enclosing slice like Chrome expects.
+      std::snprintf(num, sizeof num, ",\"id\":\"0x%llx\"",
+                    static_cast<unsigned long long>(ev.a));
+      line += num;
+      if (ev.phase == Phase::kFlowEnd) line += ",\"bp\":\"e\"";
+    }
     // Chrome trace ts is in microseconds; keep nanosecond precision.
     std::snprintf(num, sizeof num, ",\"ts\":%llu.%03llu,\"pid\":1,\"tid\":%u",
                   static_cast<unsigned long long>(ev.ts_ns / 1000),
@@ -436,7 +490,10 @@ int TraceRecorder::dump_to_fd(int fd) const noexcept {
     for (std::uint64_t i = lo; i < head; ++i) {
       const Slot& s = buf->slots[i & buf->mask];
       const std::uint64_t want = 2 * i + 2;
-      if (s.seq.load(std::memory_order_acquire) != want) continue;
+      if (s.seq.load(std::memory_order_acquire) != want) {
+        seqlock_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       const std::uint64_t ts = s.ts.load(std::memory_order_relaxed);
       const char* name =
           reinterpret_cast<const char*>(s.name.load(std::memory_order_relaxed));
@@ -446,7 +503,10 @@ int TraceRecorder::dump_to_fd(int fd) const noexcept {
       const std::uint64_t b = s.b.load(std::memory_order_relaxed);
       const std::uint64_t meta = s.meta.load(std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
-      if (s.seq.load(std::memory_order_relaxed) != want) continue;
+      if (s.seq.load(std::memory_order_relaxed) != want) {
+        seqlock_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       std::size_t pos = 0;
       append_raw(line, pos, sizeof line, "tid=");
       append_u64(line, pos, sizeof line, buf->tid);
@@ -500,10 +560,15 @@ std::uint32_t TraceRecorder::threads_seen() const noexcept {
   return registered_.load(std::memory_order_acquire);
 }
 
+std::uint64_t TraceRecorder::seqlock_retries() const noexcept {
+  return seqlock_retries_.load(std::memory_order_relaxed);
+}
+
 void TraceRecorder::reset() {
   const std::lock_guard<std::mutex> lock(alloc_mutex());
   registered_.store(0, std::memory_order_release);
   unregistered_drops_.store(0, std::memory_order_relaxed);
+  seqlock_retries_.store(0, std::memory_order_relaxed);
   generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 

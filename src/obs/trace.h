@@ -34,9 +34,27 @@ namespace mcopt::obs {
 
 /// Chrome trace_event phases we emit. kBegin/kEnd are duration spans,
 /// kInstant a point event, kCounter a sampled value (args.value = a).
-enum class Phase : std::uint8_t { kBegin = 0, kEnd = 1, kInstant = 2, kCounter = 3 };
+/// kFlowStart/kFlowStep/kFlowEnd are flow events ("s"/"t"/"f"): the causal
+/// arrows that stitch one job's spans across threads — and, because the
+/// flow id is the journaled trace context, across process restarts. The
+/// flow id is the event's `a` argument; `b` is free for a correlator
+/// (submission id, shard index, ...).
+enum class Phase : std::uint8_t {
+  kBegin = 0,
+  kEnd = 1,
+  kInstant = 2,
+  kCounter = 3,
+  kFlowStart = 4,
+  kFlowStep = 5,
+  kFlowEnd = 6,
+};
 
 [[nodiscard]] char phase_char(Phase p) noexcept;
+
+/// Allocates a fresh nonzero causal trace id. Ids carry a per-process salt
+/// in their high bits so two processes (or one process across a restart)
+/// never mint colliding ids; replayed jobs keep the journaled original.
+[[nodiscard]] std::uint64_t next_trace_id() noexcept;
 
 /// Monotonic nanoseconds since the process-wide trace epoch (first use).
 /// Shared with util::log timestamps so log lines and trace events align.
@@ -115,6 +133,11 @@ class TraceRecorder {
   [[nodiscard]] std::uint64_t dropped() const noexcept;
   /// Threads that have contributed at least one event since the last reset.
   [[nodiscard]] std::uint32_t threads_seen() const noexcept;
+  /// Slots a reader skipped because a writer was mid-publish (seqlock
+  /// validation failed and the read retried on the next slot). A handful per
+  /// snapshot is normal under load; a large number means readers are racing
+  /// hot writers and the export window should move off the hot path.
+  [[nodiscard]] std::uint64_t seqlock_retries() const noexcept;
 
   /// Discards all recorded events and thread registrations (buffers are
   /// retired, not freed — a crash handler may still be walking them). The
@@ -141,6 +164,8 @@ class TraceRecorder {
   std::atomic<std::uint32_t> registered_{0};
   /// Events lost because the per-process thread limit was hit.
   std::atomic<std::uint64_t> unregistered_drops_{0};
+  /// Torn-slot skips observed by snapshot()/dump_to_fd() readers.
+  mutable std::atomic<std::uint64_t> seqlock_retries_{0};
 };
 
 /// RAII begin/end span. No-op when the recorder is disabled at
@@ -180,6 +205,28 @@ inline void trace_instant(const char* name, const char* cat,
 inline void trace_counter(const char* name, const char* cat,
                           std::uint64_t value) noexcept {
   TraceRecorder::instance().record(Phase::kCounter, name, cat, value);
+}
+
+/// Causal flow markers. `flow_id` is the 64-bit trace context allocated at
+/// the service door and carried through WFQ, the executor, and the journal;
+/// every event sharing a flow id renders as one connected arrow chain in
+/// the Chrome/Perfetto UI. `corr` is a free correlator (submission id).
+inline void trace_flow_start(const char* name, const char* cat,
+                             std::uint64_t flow_id,
+                             std::uint64_t corr = 0) noexcept {
+  TraceRecorder::instance().record(Phase::kFlowStart, name, cat, flow_id, corr);
+}
+
+inline void trace_flow_step(const char* name, const char* cat,
+                            std::uint64_t flow_id,
+                            std::uint64_t corr = 0) noexcept {
+  TraceRecorder::instance().record(Phase::kFlowStep, name, cat, flow_id, corr);
+}
+
+inline void trace_flow_end(const char* name, const char* cat,
+                           std::uint64_t flow_id,
+                           std::uint64_t corr = 0) noexcept {
+  TraceRecorder::instance().record(Phase::kFlowEnd, name, cat, flow_id, corr);
 }
 
 /// Installs fatal-signal handlers (SIGSEGV, SIGBUS, SIGILL, SIGFPE,

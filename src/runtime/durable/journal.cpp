@@ -95,7 +95,7 @@ double get_f64(const std::uint8_t* p) {
 
 std::vector<std::uint8_t> SubmissionRecord::encode() const {
   std::vector<std::uint8_t> out;
-  out.reserve(64);
+  out.reserve(80);
   wire::put_u64(out, submission_id);
   wire::put_u64(out, exec_job_id);
   wire::put_u32(out, tenant);
@@ -106,15 +106,20 @@ std::vector<std::uint8_t> SubmissionRecord::encode() const {
   wire::put_u64(out, iterations);
   wire::put_u64(out, deadline);
   wire::put_u64(out, arrival);
+  wire::put_u64(out, trace_id);
+  wire::put_u64(out, parent_span);
   return out;
 }
 
 util::Expected<SubmissionRecord> SubmissionRecord::decode(
     const std::vector<std::uint8_t>& p) {
   using Result = util::Expected<SubmissionRecord>;
-  if (p.size() != 64)
+  // 64 bytes = journal v1 (no trace context); 80 = v2. Anything else is
+  // damage, refused before a field is read.
+  if (p.size() != 64 && p.size() != 80)
     return Result::failure("journal: submission record has " +
-                           std::to_string(p.size()) + " bytes, expected 64");
+                           std::to_string(p.size()) +
+                           " bytes, expected 64 (v1) or 80 (v2)");
   SubmissionRecord r;
   r.submission_id = wire::get_u64(p.data());
   r.exec_job_id = wire::get_u64(p.data() + 8);
@@ -126,6 +131,10 @@ util::Expected<SubmissionRecord> SubmissionRecord::decode(
   r.iterations = wire::get_u64(p.data() + 40);
   r.deadline = wire::get_u64(p.data() + 48);
   r.arrival = wire::get_u64(p.data() + 56);
+  if (p.size() == 80) {
+    r.trace_id = wire::get_u64(p.data() + 64);
+    r.parent_span = wire::get_u64(p.data() + 72);
+  }
   return r;
 }
 
@@ -136,7 +145,7 @@ std::vector<std::uint8_t> CompletionRecord::encode() const {
   wire::put_u64(out, served_bytes);
   wire::put_u64(out, finish);
   wire::put_u32(out, field_crc);
-  wire::put_u32(out, reserved);
+  wire::put_u32(out, plan_mask);
   return out;
 }
 
@@ -151,7 +160,7 @@ util::Expected<CompletionRecord> CompletionRecord::decode(
   r.served_bytes = wire::get_u64(p.data() + 8);
   r.finish = wire::get_u64(p.data() + 16);
   r.field_crc = wire::get_u32(p.data() + 24);
-  r.reserved = wire::get_u32(p.data() + 28);
+  r.plan_mask = wire::get_u32(p.data() + 28);
   return r;
 }
 
@@ -331,9 +340,10 @@ util::Expected<JournalRecovery> recover_journal(const std::string& path) {
     return Result::failure("journal: '" + path +
                            "' is not a journal (bad magic)");
   const std::uint32_t version = wire::get_u32(p + 4);
-  if (version != kJournalVersion)
+  if (version < kJournalMinVersion || version > kJournalVersion)
     return Result::failure("journal: '" + path + "' has version " +
                            std::to_string(version) + "; this build reads " +
+                           std::to_string(kJournalMinVersion) + ".." +
                            std::to_string(kJournalVersion));
   const std::uint32_t stored_crc = wire::get_u32(p + kJournalHeaderBytes - 4);
   const std::uint32_t header_crc = util::crc32c(p, kJournalHeaderBytes - 4);
@@ -345,6 +355,7 @@ util::Expected<JournalRecovery> recover_journal(const std::string& path) {
 
   JournalRecovery out;
   out.user = wire::get_u64(p + 8);
+  out.version = version;
 
   std::size_t at = kJournalHeaderBytes;
   std::uint64_t expected_seq = 1;

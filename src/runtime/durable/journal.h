@@ -47,7 +47,14 @@
 namespace mcopt::runtime::durable {
 
 inline constexpr std::uint32_t kJournalMagic = 0x4C4E4A4Du;  // "MJNL"
-inline constexpr std::uint32_t kJournalVersion = 1;
+/// Current write version. v2 extends SubmissionRecord with the 64-bit trace
+/// context (trace_id, parent_span) and reuses CompletionRecord's spare word
+/// as the plan-set controller mask for attribution replay.
+inline constexpr std::uint32_t kJournalVersion = 2;
+/// Oldest version recovery still reads. v1 journals replay unmodified: their
+/// 64-byte submission payloads decode with a zero trace context and their
+/// completion spare word reads as an empty plan mask.
+inline constexpr std::uint32_t kJournalMinVersion = 1;
 /// magic + version + user + header CRC.
 inline constexpr std::size_t kJournalHeaderBytes = 4 + 4 + 8 + 4;  // 20
 /// Record frame prefix (payload_bytes + type + sequence) before the payload.
@@ -119,7 +126,9 @@ void put_f64(std::vector<std::uint8_t>& out, double v);
 
 // --- typed record payloads -------------------------------------------------
 
-/// Every job presented at the door, with the door's verdict. 64 bytes.
+/// Every job presented at the door, with the door's verdict. 80 bytes since
+/// journal v2 (the trailing trace context); v1's 64-byte payloads decode
+/// with a zero trace context, so old journals replay unmodified.
 struct SubmissionRecord {
   std::uint64_t submission_id = 0;  ///< caller-chosen dedup key
   std::uint64_t exec_job_id = 0;    ///< executor id in the writing process; 0 if never forwarded
@@ -131,6 +140,12 @@ struct SubmissionRecord {
   std::uint64_t iterations = 0;
   std::uint64_t deadline = 0;  ///< as submitted (exec::kNoDeadline = none)
   std::uint64_t arrival = 0;
+  /// Causal trace context allocated at the service door. Journaling it is
+  /// what lets a post-restart replay emit flow events with the SAME id the
+  /// pre-kill submit span carried, stitching the job's causal chain across
+  /// the SIGKILL in the exported Chrome trace.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   [[nodiscard]] static util::Expected<SubmissionRecord> decode(
@@ -143,7 +158,12 @@ struct CompletionRecord {
   std::uint64_t served_bytes = 0;  ///< quote bytes credited to the tenant ledger
   std::uint64_t finish = 0;        ///< virtual-cycle finish stamp
   std::uint32_t field_crc = 0;     ///< kernel field CRC (bit-identity witness)
-  std::uint32_t reserved = 0;
+  /// Plan-set controller bitmask (bit i = controller i) since journal v2, so
+  /// a replayed completion re-credits the attribution ledger to the same
+  /// controllers the live run charged. v1 journals carry 0 here (the word
+  /// was reserved and always written as zero): replay charges the
+  /// unknown-controller cell instead — per-tenant totals stay exact.
+  std::uint32_t plan_mask = 0;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   [[nodiscard]] static util::Expected<CompletionRecord> decode(
@@ -243,6 +263,8 @@ class JournalWriter {
 /// Result of scanning a journal file.
 struct JournalRecovery {
   std::uint64_t user = 0;        ///< header user word
+  /// Header version of the scanned file (kJournalMinVersion..kJournalVersion).
+  std::uint32_t version = kJournalVersion;
   std::vector<Record> records;   ///< intact records, in append order
   std::uint64_t valid_bytes = 0; ///< byte length of the intact prefix
   std::uint64_t dropped_bytes = 0;  ///< torn/corrupt tail length (0 = clean)

@@ -13,6 +13,7 @@
 #include <sys/types.h>
 #endif
 
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/log.h"
@@ -81,12 +82,20 @@ util::Status DurableConfig::check() const {
       s.note("DurableConfig: tenant " + std::to_string(i + 1) +
              " weight must be > 0");
   }
+  s.merge(slo.check());
   return s;
 }
 
 ServiceHandle::ServiceHandle(DurableConfig cfg,
                              std::unique_ptr<service::Service> svc)
-    : cfg_(std::move(cfg)), service_(std::move(svc)) {}
+    : cfg_(std::move(cfg)), service_(std::move(svc)), slo_(cfg_.slo) {}
+
+void ServiceHandle::feed_slo_locked(std::uint32_t tenant, bool missed,
+                                    std::uint64_t at) {
+  slo_.record(tenant,
+              static_cast<std::uint32_t>(cfg_.tenants[tenant - 1].slo), missed,
+              at);
+}
 
 ServiceHandle::~ServiceHandle() = default;
 
@@ -166,6 +175,12 @@ util::Expected<std::unique_ptr<ServiceHandle>> ServiceHandle::open(
     handle->snapshot_id_ = im.snapshot_id;
     covered = im.covered_sequence;
     info.snapshot_loaded = true;
+    if (im.has_attribution) {
+      if (const util::Status s =
+              obs::Attribution::instance().restore(im.attribution);
+          !s.ok())
+        return Result::failure(s.error().message);
+    }
     if (im.has_node_supervisor) {
       if (handle->node_supervisor_ == nullptr) {
         // The beliefs survive in the file; the caller may attach later via
@@ -240,6 +255,14 @@ util::Status ServiceHandle::replay_locked(const JournalRecovery& rec,
     spec.priority = static_cast<exec::Priority>(sr.priority);
     spec.deadline = sr.deadline;
     spec.arrival = sr.arrival;
+    // The journaled trace context is what stitches the chain across the
+    // kill: post-restart events carry the SAME flow id the pre-kill submit
+    // span started (v1 journals carry 0 — no flow, no harm).
+    spec.trace_id = sr.trace_id;
+    spec.parent_span = sr.parent_span;
+    if (sr.trace_id != 0)
+      obs::trace_flow_step("job.flow.replay", "causal", sr.trace_id,
+                           sr.submission_id);
 
     const auto comp = completions.find(sr.submission_id);
     const auto shed = sheds.find(sr.submission_id);
@@ -269,15 +292,29 @@ util::Status ServiceHandle::replay_locked(const JournalRecovery& rec,
       sub.outcome_known = true;
       if (shed != sheds.end()) sub.shed = shed->second;
       ++led.sheds;
+      feed_slo_locked(sr.tenant, /*missed=*/true, sr.arrival);
       ++info.sheds_replayed;
     } else if (comp != completions.end()) {
-      // Completed before the crash: credit the ledger, do NOT re-run.
+      // Completed before the crash: credit the ledger, do NOT re-run. The
+      // attribution re-charge uses the journaled plan mask, so the bytes
+      // land on the same controllers the live run charged (a v1 journal's
+      // zero mask charges the unknown-controller cell — totals stay exact).
       sub.outcome_known = true;
       sub.completed = true;
       sub.comp = comp->second;
       service_->credit_replayed_accept(sr.tenant);
       ++led.completed;
       led.served_bytes += sub.comp.served_bytes;
+      obs::Attribution::instance().charge_mask(sr.tenant, sub.comp.plan_mask,
+                                               obs::Charge::kServed, 0,
+                                               sub.comp.served_bytes);
+      feed_slo_locked(sr.tenant,
+                      sr.deadline != exec::kNoDeadline &&
+                          sub.comp.finish > sr.deadline,
+                      sub.comp.finish);
+      if (sr.trace_id != 0)
+        obs::trace_flow_end("job.flow.replayed-complete", "causal",
+                            sr.trace_id, sr.submission_id);
       ++info.completed_skipped;
       m.completed_skipped.inc();
     } else if (shed != sheds.end()) {
@@ -288,6 +325,12 @@ util::Status ServiceHandle::replay_locked(const JournalRecovery& rec,
           static_cast<std::uint32_t>(ShedOrigin::kExecutorShed))
         service_->credit_replayed_accept(sr.tenant);
       ++led.sheds;
+      obs::Attribution::instance().charge(sr.tenant, -1, obs::Charge::kShed,
+                                          sub.shed.reason, 0);
+      feed_slo_locked(sr.tenant, /*missed=*/true, sub.shed.at);
+      if (sr.trace_id != 0)
+        obs::trace_flow_end("job.flow.replayed-shed", "causal", sr.trace_id,
+                            sr.submission_id);
       ++info.sheds_replayed;
     } else {
       // Accepted, in flight at the crash: re-forwarded just now.
@@ -307,6 +350,10 @@ util::Status ServiceHandle::replay_locked(const JournalRecovery& rec,
         sub.shed.origin =
             static_cast<std::uint32_t>(ShedOrigin::kExecutorReject);
         ++led.sheds;
+        obs::Attribution::instance().charge(
+            sr.tenant, -1, obs::Charge::kShed,
+            static_cast<std::uint32_t>(res.rejected), 0);
+        feed_slo_locked(sr.tenant, /*missed=*/true, sr.arrival);
         ++info.sheds_replayed;
       }
     }
@@ -352,6 +399,11 @@ SubmitAck ServiceHandle::submit(service::TenantId tenant,
     return ack;
   }
 
+  // Allocate the causal trace context HERE, before the door sees the spec:
+  // Service::submit takes the spec by value, so an id minted inside the door
+  // would be invisible to the journal record below.
+  if (spec.trace_id == 0) spec.trace_id = obs::next_trace_id();
+
   const exec::SubmitResult res = service_->submit(tenant, spec);
 
   Sub sub;
@@ -372,8 +424,15 @@ SubmitAck ServiceHandle::submit(service::TenantId tenant,
   sub.rec.iterations = spec.iterations;
   sub.rec.deadline = spec.deadline;
   sub.rec.arrival = spec.arrival;
+  sub.rec.trace_id = spec.trace_id;
+  sub.rec.parent_span = spec.parent_span;
 
   (void)writer_->append(RecordType::kSubmission, sub.rec.encode());
+  // Bind the flow id to the submission id in the trace itself: offline
+  // tooling (obs_query --explain-job) resolves a submission to its causal
+  // chain from a pre-kill trace alone via this step.
+  obs::trace_flow_step("job.flow.journal", "causal", spec.trace_id,
+                       submission_id);
   max_submission_id_ = std::max(max_submission_id_, submission_id);
   TenantLedger& led = ledger_[tenant - 1];
 
@@ -388,6 +447,15 @@ SubmitAck ServiceHandle::submit(service::TenantId tenant,
     sub.shed.at = spec.arrival;
     (void)writer_->append(RecordType::kShed, sub.shed.encode());
     ++led.sheds;
+    // Door rejections were charged inside the door; executor-side rejects
+    // are charged here so every ledger shed has exactly one attribution
+    // event (the reconciliation invariant).
+    if (res.rejected != exec::ShedReason::kTenantThrottled)
+      obs::Attribution::instance().charge(
+          tenant, -1, obs::Charge::kShed,
+          static_cast<std::uint32_t>(res.rejected),
+          exec::PricingModel::traffic_bytes(spec));
+    feed_slo_locked(tenant, /*missed=*/true, spec.arrival);
     if (res.id != 0) exec_to_sub_[res.id] = submission_id;  // report exists
   } else {
     exec_to_sub_[res.id] = submission_id;
@@ -421,9 +489,19 @@ void ServiceHandle::apply_outcome_locked(Sub& sub,
     sub.comp.served_bytes = report.quote.bytes;
     sub.comp.finish = report.finish;
     sub.comp.field_crc = report.field_crc;
+    std::uint32_t mask = 0;
+    for (const unsigned c : report.quote.plan_set)
+      if (c < 32) mask |= 1u << c;
+    sub.comp.plan_mask = mask;
     (void)writer_->append(RecordType::kCompletion, sub.comp.encode());
     ++led.completed;
     led.served_bytes += sub.comp.served_bytes;
+    // Charged at the exact ledger mutation: attribution's per-tenant served
+    // bytes equal the ledger's by construction, not by reconciliation.
+    obs::Attribution::instance().charge_spread(
+        sub.rec.tenant, report.quote.plan_set, obs::Charge::kServed, 0,
+        report.quote.bytes);
+    feed_slo_locked(sub.rec.tenant, report.missed_deadline(), report.finish);
   } else {
     sub.shed.submission_id = sub.rec.submission_id;
     sub.shed.reason = static_cast<std::uint32_t>(report.shed);
@@ -431,6 +509,10 @@ void ServiceHandle::apply_outcome_locked(Sub& sub,
     sub.shed.at = report.finish;
     (void)writer_->append(RecordType::kShed, sub.shed.encode());
     ++led.sheds;
+    obs::Attribution::instance().charge_spread(
+        sub.rec.tenant, report.quote.plan_set, obs::Charge::kShed,
+        static_cast<std::uint32_t>(report.shed), report.quote.bytes);
+    feed_slo_locked(sub.rec.tenant, /*missed=*/true, report.finish);
   }
   sub.outcome_known = true;
 }
@@ -501,6 +583,11 @@ util::Status ServiceHandle::publish_snapshot_locked(bool compact) {
     im.has_node_supervisor = true;
     im.node_supervisor = node_supervisor_->snapshot();
   }
+  // The attribution ledger rides in every snapshot: restart restores it and
+  // replay re-charges only post-snapshot records, so per-tenant byte totals
+  // reconcile exactly across a SIGKILL.
+  im.has_attribution = true;
+  im.attribution = obs::Attribution::instance().encode();
   if (const util::Status s = save_state(cfg_.state_path(), im); !s.ok())
     return s;
 

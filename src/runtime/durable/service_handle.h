@@ -65,6 +65,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/slo.h"
 #include "runtime/durable/journal.h"
 #include "runtime/durable/state.h"
 #include "runtime/service/service.h"
@@ -83,6 +84,10 @@ struct DurableConfig {
   /// drain(): wall-clock budget for the backlog to empty before the
   /// watchdog escalates to shedding it. 0 = wait indefinitely.
   unsigned drain_budget_ms = 0;
+  /// SLO error-budget monitor thresholds (see obs/slo.h). Every journaled
+  /// outcome — live or replayed — feeds the handle's monitor on the virtual
+  /// service timeline, so burn rates reproduce across restarts.
+  obs::SloBurnConfig slo{};
 
   [[nodiscard]] util::Status check() const;
 
@@ -185,6 +190,12 @@ class ServiceHandle {
     return *service_;
   }
   [[nodiscard]] std::vector<TenantLedger> ledger() const;
+  /// The handle's SLO burn monitor (fed by every journaled outcome); the
+  /// serving loop drains typed alerts from it between batches.
+  [[nodiscard]] obs::SloMonitor& slo_monitor() noexcept { return slo_; }
+  [[nodiscard]] const obs::SloMonitor& slo_monitor() const noexcept {
+    return slo_;
+  }
   [[nodiscard]] const RecoveryInfo& recovery_info() const noexcept {
     return recovery_;
   }
@@ -214,6 +225,7 @@ class ServiceHandle {
   [[nodiscard]] util::Status replay_locked(const JournalRecovery& rec,
                                            std::uint64_t covered_sequence);
   std::size_t pump_locked();
+  void feed_slo_locked(std::uint32_t tenant, bool missed, std::uint64_t at);
   /// `compact` drops finished, acked entries below the new watermark — on
   /// for live checkpoints (bounded memory), off for drain (final outcomes
   /// stay pollable).
@@ -240,6 +252,7 @@ class ServiceHandle {
   std::uint64_t snapshot_id_ = 0;
   bool draining_ = false;
   RecoveryInfo recovery_;
+  obs::SloMonitor slo_;
 };
 
 }  // namespace mcopt::runtime::durable

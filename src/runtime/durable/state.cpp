@@ -350,11 +350,15 @@ util::Status save_state(const std::string& path, const StateImage& image) {
   ckpt.kind = kDurableStateCheckpoint;
   ckpt.iteration = image.snapshot_id;
   ckpt.user[0] = kStateImageVersion;
-  ckpt.user[1] = image.has_node_supervisor ? 1 : 0;
+  std::uint64_t flags = 0;
+  if (image.has_node_supervisor) flags |= kStateFlagNodeSupervisor;
+  if (image.has_attribution) flags |= kStateFlagAttribution;
+  ckpt.user[1] = flags;
   ckpt.sections.push_back(encode_core(image));
   ckpt.sections.push_back(encode_ledger(image));
   if (image.has_node_supervisor)
     ckpt.sections.push_back(encode_node_supervisor(image.node_supervisor));
+  if (image.has_attribution) ckpt.sections.push_back(image.attribution);
   return save_checkpoint(path, ckpt);
 }
 
@@ -368,13 +372,26 @@ util::Expected<StateImage> load_state(const std::string& path) {
     return Result::failure("durable state: '" + path +
                            "' is not a durable-state snapshot (kind " +
                            std::to_string(ckpt.kind) + ")");
-  if (ckpt.user[0] != kStateImageVersion)
+  const std::uint64_t version = ckpt.user[0];
+  if (version < kStateImageMinVersion || version > kStateImageVersion)
     return Result::failure("durable state: '" + path + "' has image version " +
-                           std::to_string(ckpt.user[0]) +
-                           "; this build reads " +
+                           std::to_string(version) + "; this build reads " +
+                           std::to_string(kStateImageMinVersion) + ".." +
                            std::to_string(kStateImageVersion));
-  const bool has_sup = ckpt.user[1] != 0;
-  const std::size_t want_sections = has_sup ? 3 : 2;
+  // v1 images used user[1] as a has-node-supervisor boolean; v2 made it a
+  // section-flags bitmask. A v1 "1" decodes identically under the mask.
+  const std::uint64_t flags = ckpt.user[1];
+  const std::uint64_t known_flags =
+      version >= 2 ? (kStateFlagNodeSupervisor | kStateFlagAttribution)
+                   : kStateFlagNodeSupervisor;
+  if ((flags & ~known_flags) != 0)
+    return Result::failure("durable state: '" + path +
+                           "' carries unknown section flags " +
+                           std::to_string(flags & ~known_flags));
+  const bool has_sup = (flags & kStateFlagNodeSupervisor) != 0;
+  const bool has_attr = (flags & kStateFlagAttribution) != 0;
+  const std::size_t want_sections =
+      2u + (has_sup ? 1u : 0u) + (has_attr ? 1u : 0u);
   if (ckpt.sections.size() != want_sections)
     return Result::failure("durable state: '" + path + "' has " +
                            std::to_string(ckpt.sections.size()) +
@@ -383,6 +400,7 @@ util::Expected<StateImage> load_state(const std::string& path) {
   StateImage im;
   im.snapshot_id = ckpt.iteration;
   im.has_node_supervisor = has_sup;
+  im.has_attribution = has_attr;
   if (const util::Status s = decode_core(ckpt.sections[0], im); !s.ok())
     return Result::failure(s.error().message);
   if (const util::Status s = decode_ledger(ckpt.sections[1], im); !s.ok())
@@ -392,12 +410,16 @@ util::Expected<StateImage> load_state(const std::string& path) {
         "durable state: '" + path + "' ledger covers " +
         std::to_string(im.ledger.size()) + " tenants, door section has " +
         std::to_string(im.door.tenants.size()));
+  std::size_t next = 2;
   if (has_sup) {
     if (const util::Status s =
-            decode_node_supervisor(ckpt.sections[2], im.node_supervisor);
+            decode_node_supervisor(ckpt.sections[next++], im.node_supervisor);
         !s.ok())
       return Result::failure(s.error().message);
   }
+  // Attribution bytes stay opaque here: obs::Attribution::restore() owns the
+  // format and reports its own typed refusals when the caller feeds it.
+  if (has_attr) im.attribution = ckpt.sections[next++];
   return im;
 }
 

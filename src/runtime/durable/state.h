@@ -39,8 +39,17 @@
 namespace mcopt::runtime::durable {
 
 /// Wire-format version of the state image (inside the checkpoint container,
-/// which has its own).
-inline constexpr std::uint32_t kStateImageVersion = 1;
+/// which has its own). v2 turned the container's user[1] word from a
+/// has-node-supervisor boolean into a section-flags bitmask and added the
+/// optional attribution section; v1 images still load (no attribution — the
+/// ledger replays rebuild per-tenant totals from the journal).
+inline constexpr std::uint32_t kStateImageVersion = 2;
+inline constexpr std::uint32_t kStateImageMinVersion = 1;
+
+/// Section-flag bits carried in the checkpoint container's user[1] word
+/// (v2 images; a v1 image's user[1] is the has-node-supervisor boolean).
+inline constexpr std::uint64_t kStateFlagNodeSupervisor = 1u << 0;
+inline constexpr std::uint64_t kStateFlagAttribution = 1u << 1;
 
 /// Per-tenant durable accounting, accumulated from journaled completions.
 struct TenantLedger {
@@ -64,6 +73,12 @@ struct StateImage {
   std::vector<TenantLedger> ledger;
   bool has_node_supervisor = false;
   NodeSupervisor::Snapshot node_supervisor;
+  /// Opaque obs::Attribution::encode() blob (v2 images). Carried so the
+  /// bandwidth-attribution ledger reconciles byte-exactly across restarts:
+  /// the snapshot holds the covered prefix, journal replay re-charges the
+  /// rest.
+  bool has_attribution = false;
+  std::vector<std::uint8_t> attribution;
 };
 
 /// Writes the image crash-consistently (temp + fsync + rename), mirroring

@@ -170,6 +170,7 @@ SubmitResult Executor::submit(const JobSpec& spec) {
   rep.tenant = spec.tenant;
   rep.arrival = spec.arrival;
   rep.deadline = spec.deadline;
+  rep.trace_id = spec.trace_id;
 
   const auto reject = [&](ShedReason r) {
     out.accepted = false;
@@ -178,6 +179,8 @@ SubmitResult Executor::submit(const JobSpec& spec) {
     shed_[shed_index(r)].fetch_add(1, std::memory_order_relaxed);
     ExecMetrics::get().shed.inc();
     obs::trace_instant(shed_event_name(r), "exec", out.id, spec.arrival);
+    if (spec.trace_id != 0)
+      obs::trace_flow_end("job.flow.reject", "causal", spec.trace_id, out.id);
     finalize(std::move(rep));
     return out;
   };
@@ -232,6 +235,8 @@ SubmitResult Executor::submit(const JobSpec& spec) {
   out.accepted = true;
   ExecMetrics::get().admitted.inc();
   obs::trace_instant("job.admit", "exec", out.id, spec.arrival);
+  if (spec.trace_id != 0)
+    obs::trace_flow_step("job.flow.admit", "causal", spec.trace_id, out.id);
   return out;
 }
 
@@ -276,8 +281,11 @@ void Executor::process(Pending&& job) {
   rep.quote = job.quote;
   rep.start = job.start;
   rep.finish = job.finish;
+  rep.trace_id = job.spec.trace_id;
 
   obs::trace_instant("job.start", "exec", job.id, job.start);
+  if (job.spec.trace_id != 0)
+    obs::trace_flow_step("job.flow.run", "causal", job.spec.trace_id, job.id);
   if (job.expired) {
     rep.shed = ShedReason::kDeadlineExpiredInQueue;
   } else if (job.token.cancelled()) {
@@ -295,12 +303,18 @@ void Executor::process(Pending&& job) {
     ExecMetrics& m = ExecMetrics::get();
     m.completed.inc();
     m.sojourn.observe(static_cast<double>(rep.finish - rep.arrival));
+    if (job.spec.trace_id != 0)
+      obs::trace_flow_end("job.flow.complete", "causal", job.spec.trace_id,
+                          job.id);
     ingest_sample(job);
     control_step();
   } else {
     shed_[shed_index(rep.shed)].fetch_add(1, std::memory_order_relaxed);
     ExecMetrics::get().shed.inc();
     obs::trace_instant(shed_event_name(rep.shed), "exec", job.id, job.start);
+    if (job.spec.trace_id != 0)
+      obs::trace_flow_end("job.flow.shed", "causal", job.spec.trace_id,
+                          job.id);
   }
   finalize(std::move(rep));
 }
@@ -515,11 +529,14 @@ void Executor::shutdown(Drain mode) {
     rep.arrival = p.spec.arrival;
     rep.deadline = p.spec.deadline;
     rep.quote = p.quote;
+    rep.trace_id = p.spec.trace_id;
     rep.shed = ShedReason::kShutdown;
     shed_[shed_index(ShedReason::kShutdown)].fetch_add(
         1, std::memory_order_relaxed);
     ExecMetrics::get().shed.inc();
     obs::trace_instant(shed_event_name(ShedReason::kShutdown), "exec", p.id, 0);
+    if (p.spec.trace_id != 0)
+      obs::trace_flow_end("job.flow.shed", "causal", p.spec.trace_id, p.id);
     finalize(std::move(rep));
   }
   control_step();  // drain the last samples into the supervisor

@@ -68,6 +68,13 @@ struct JobSpec {
   /// (ignored under strict priority). All jobs of one flow should carry the
   /// flow's weight; must be > 0.
   double fair_weight = 1.0;
+  /// Causal trace context. trace_id names this job's end-to-end causal
+  /// chain in the Chrome-trace flow-event namespace; 0 = "allocate one at
+  /// submit". parent_span links a respawned job (replay, migration) to the
+  /// span that caused it. Both are journaled, so the chain survives a
+  /// kill-restart.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
   /// Observability hook: called from the worker thread after every
   /// completed generation with the number of iterations done so far. Used
   /// by tests to cancel at an exact generation; keep it cheap.
@@ -137,6 +144,9 @@ struct JobReport {
   /// CRC32C of the job's field at its last completed generation (the
   /// cancellation bit-identity witness); 0 for jobs never started.
   std::uint32_t field_crc = 0;
+  /// Causal trace id carried from the JobSpec (0 if tracing was off at
+  /// submit); lets report consumers emit flow events for the same chain.
+  std::uint64_t trace_id = 0;
 
   /// Completed after its deadline passed (bounded by the shed-lag bound).
   [[nodiscard]] bool missed_deadline() const noexcept {

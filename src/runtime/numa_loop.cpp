@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "kernels/triad.h"
+#include "obs/attribution.h"
 #include "obs/trace.h"
 #include "seg/planner.h"
 #include "sim/analytic.h"
@@ -399,6 +400,14 @@ NodeLoopResult run_supervised_node_triad(std::size_t n,
       out.probe_cycles += pres.total_cycles;
       psample.end = global;
       psample.socket_utilization = pres.socket_utilization;
+      // System work: probe traffic is charged to tenant 0 on the probed
+      // socket's controllers (global numbering: socket * chip controllers).
+      const unsigned cps = map.spec().num_controllers();
+      std::vector<unsigned> probe_mcs(cps);
+      for (unsigned k = 0; k < cps; ++k) probe_mcs[k] = ps * cps + k;
+      obs::Attribution::instance().charge_spread(
+          0, probe_mcs, obs::Charge::kProbe, 0,
+          pres.mem_read_bytes + pres.mem_write_bytes);
       sup.report_probe(ps, psample, global);
       continue;
     }
@@ -488,6 +497,18 @@ NodeLoopResult run_supervised_node_triad(std::size_t n,
             "node_triad: payload sidecar mismatch after migration, job=" +
             std::to_string(j));
     out.crc_ranges_verified += crc_verified;
+
+    // Migration copies are system bytes, attributed to tenant 0 on the
+    // destination socket's controllers (the first-touch writes land there).
+    for (const MovedRange& m : moved) {
+      const unsigned cps = map.spec().num_controllers();
+      std::vector<unsigned> dst_mcs(cps);
+      for (unsigned k = 0; k < cps; ++k)
+        dst_mcs[k] = m.new_compute * cps + k;
+      obs::Attribution::instance().charge_spread(
+          0, dst_mcs, obs::Charge::kMigration, 0,
+          3ULL * m.count * sizeof(double));
+    }
 
     const arch::Cycles mig_cycles = seconds_to_cycles(mig_seconds, ghz);
     obs::trace_instant("sock.migrate", "numa", global, mig_cycles);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/log.h"
@@ -127,6 +128,11 @@ exec::SubmitResult Service::submit_impl(TenantId tenant, exec::JobSpec spec,
   t.counters.offered_bytes += bytes;
   m.submitted.inc();
   obs::trace_instant("svc.submit", "service", tenant, spec.arrival);
+  // Causal chain root: every submission gets a trace id at the door (jobs
+  // arriving with one — durable replays — keep it; the chain must survive
+  // the restart). The flow-start arrow is what obs_query stitches from.
+  if (spec.trace_id == 0) spec.trace_id = obs::next_trace_id();
+  obs::trace_flow_start("job.flow.submit", "causal", spec.trace_id, tenant);
 
   // Door rejections: typed, O(1), and invisible to the executor — neither
   // its admission projection nor its report log learns the job existed.
@@ -141,6 +147,12 @@ exec::SubmitResult Service::submit_impl(TenantId tenant, exec::JobSpec spec,
       obs::trace_instant("svc.throttle", "service", tenant, now);
     }
     t.counters.door_shed_bytes += bytes;
+    obs::trace_flow_end("job.flow.door-shed", "causal", spec.trace_id, tenant);
+    // A door shed never reached pricing, so there is no plan set to spread
+    // the bytes over: controller -1 is the "no placement" cell.
+    obs::Attribution::instance().charge(
+        tenant, -1, obs::Charge::kShed,
+        static_cast<std::uint32_t>(ShedReason::kTenantThrottled), bytes);
     exec::SubmitResult out;
     out.accepted = false;
     out.rejected = ShedReason::kTenantThrottled;

@@ -10,6 +10,7 @@
 #include "arch/topology.h"
 #include "kernels/jacobi.h"
 #include "kernels/triad.h"
+#include "obs/attribution.h"
 #include "obs/trace.h"
 #include "seg/planner.h"
 #include "sim/analytic.h"
@@ -72,6 +73,10 @@ void charge_scrub(LoopResult& out, arch::Cycles& global, double live_bytes,
   ++out.scrubs;
   const arch::Cycles cost =
       bw > 0.0 ? seconds_to_cycles(live_bytes / bw, ghz) : 0;
+  // Integrity scrubs read every live byte once: system work, charged to
+  // tenant 0 with no placement (the verify walks all controllers).
+  obs::Attribution::instance().charge(0, -1, obs::Charge::kScrub, 0,
+                                      static_cast<std::uint64_t>(live_bytes));
   obs::trace_instant("loop.scrub", "loop", global, cost);
   global += cost;
   out.total_cycles += cost;

@@ -167,6 +167,18 @@ void kill_and_reconcile(const std::string& dir,
                                  /*inter_batch_us=*/1500);
     ::_exit(ok ? 0 : 42);
   }
+  // Arm the kill timer only once the child's journal header is on disk:
+  // the delay is meant to land the SIGKILL N microseconds into *journaled
+  // traffic*, not N microseconds after fork — on a loaded machine process
+  // startup alone can eat a short fuse, leaving a fresh start (or a
+  // headerless file) instead of a restart.
+  const std::string journal = workload_config(dir).journal_path();
+  const auto header_durable = [&journal] {
+    std::error_code ec;
+    return fs::file_size(journal, ec) >= 20 && !ec;
+  };
+  for (int i = 0; i < 20000 && !header_durable(); ++i) ::usleep(100);
+  ASSERT_TRUE(header_durable()) << "child never created the journal";
   ::usleep(kill_after_us);
   (void)::kill(child, SIGKILL);
   int status = 0;

@@ -1,0 +1,245 @@
+// Unit tests for the per-tenant bandwidth attribution ledger: byte-exact
+// spread semantics, socket derivation, export content, and the snapshot
+// encode/restore round-trip the durable StateImage depends on.
+
+#include "obs/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/csv.h"
+
+namespace mcopt::obs {
+namespace {
+
+/// The ledger is process-global; each test starts from an empty one with the
+/// default T2 socket width and leaves it that way.
+class AttributionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Attribution::instance().reset();
+    Attribution::instance().set_controllers_per_socket(4);
+  }
+  void TearDown() override {
+    Attribution::instance().reset();
+    Attribution::instance().set_controllers_per_socket(4);
+  }
+};
+
+TEST_F(AttributionTest, ChargeAccumulatesIntoOneCell) {
+  auto& a = Attribution::instance();
+  a.charge(7, 2, Charge::kServed, 0, 100);
+  a.charge(7, 2, Charge::kServed, 0, 50);
+  const auto cells = a.cells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].key.tenant, 7u);
+  EXPECT_EQ(cells[0].key.controller, 2);
+  EXPECT_EQ(cells[0].key.socket, 0);
+  EXPECT_EQ(cells[0].bytes, 150u);
+  EXPECT_EQ(cells[0].count, 2u);
+}
+
+TEST_F(AttributionTest, SpreadIsByteExactWithRemainder) {
+  auto& a = Attribution::instance();
+  // 10 bytes over 3 controllers: 4 + 3 + 3, never 9 or 12.
+  a.charge_spread(1, {0, 1, 2}, Charge::kServed, 0, 10);
+  const auto cells = a.cells();
+  ASSERT_EQ(cells.size(), 3u);
+  std::uint64_t sum = 0;
+  for (const auto& c : cells) sum += c.bytes;
+  EXPECT_EQ(sum, 10u);
+  EXPECT_EQ(cells[0].bytes, 4u);  // first controller absorbs the remainder
+  EXPECT_EQ(cells[1].bytes, 3u);
+  EXPECT_EQ(cells[2].bytes, 3u);
+  // The event is counted once, on the first cell — not once per controller.
+  EXPECT_EQ(cells[0].count, 1u);
+  EXPECT_EQ(cells[1].count, 0u);
+  EXPECT_EQ(cells[2].count, 0u);
+  EXPECT_EQ(a.tenant_bytes(1, Charge::kServed), 10u);
+  EXPECT_EQ(a.tenant_count(1, Charge::kServed), 1u);
+}
+
+TEST_F(AttributionTest, EmptySpreadChargesTheUnplacedCell) {
+  auto& a = Attribution::instance();
+  a.charge_spread(3, {}, Charge::kShed, 7, 4096);
+  const auto cells = a.cells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].key.controller, -1);
+  EXPECT_EQ(cells[0].key.socket, -1);
+  EXPECT_EQ(cells[0].key.reason, 7u);
+  EXPECT_EQ(cells[0].bytes, 4096u);
+  EXPECT_EQ(cells[0].count, 1u);
+}
+
+TEST_F(AttributionTest, ChargeMaskMatchesExplicitSpread) {
+  auto& a = Attribution::instance();
+  a.charge_mask(2, 0b101u, Charge::kServed, 0, 9);  // controllers 0 and 2
+  EXPECT_EQ(a.tenant_bytes(2, Charge::kServed), 9u);
+  const auto cells = a.cells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].key.controller, 0);
+  EXPECT_EQ(cells[0].bytes, 5u);
+  EXPECT_EQ(cells[1].key.controller, 2);
+  EXPECT_EQ(cells[1].bytes, 4u);
+}
+
+TEST_F(AttributionTest, SocketDerivedFromControllerIndex) {
+  auto& a = Attribution::instance();
+  a.charge(1, 5, Charge::kServed, 0, 1);   // 5 / 4 = socket 1
+  a.charge(1, 11, Charge::kServed, 0, 1);  // 11 / 4 = socket 2
+  auto cells = a.cells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].key.socket, 1);
+  EXPECT_EQ(cells[1].key.socket, 2);
+  // A wider socket (8 controllers) folds controller 11 into socket 1.
+  a.reset();
+  a.set_controllers_per_socket(8);
+  a.charge(1, 11, Charge::kServed, 0, 1);
+  cells = a.cells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].key.socket, 1);
+}
+
+TEST_F(AttributionTest, TenantTotalsFilterByChargeKind) {
+  auto& a = Attribution::instance();
+  a.charge(4, 0, Charge::kServed, 0, 100);
+  a.charge(4, -1, Charge::kShed, 2, 700);
+  a.charge(0, 1, Charge::kScrub, 0, 50);
+  EXPECT_EQ(a.tenant_bytes(4, Charge::kServed), 100u);
+  EXPECT_EQ(a.tenant_bytes(4, Charge::kShed), 700u);
+  EXPECT_EQ(a.tenant_bytes(4, Charge::kScrub), 0u);
+  EXPECT_EQ(a.tenant_bytes(0, Charge::kScrub), 50u);
+  EXPECT_EQ(a.tenant_count(4, Charge::kShed), 1u);
+}
+
+TEST_F(AttributionTest, JsonCarriesCellsRollupsAndTotals) {
+  auto& a = Attribution::instance();
+  a.charge(7, 2, Charge::kServed, 0, 100);
+  a.charge(7, -1, Charge::kShed, 3, 40, 2);
+  const std::string doc = a.json();
+  EXPECT_NE(doc.find("\"cells\":["), std::string::npos) << doc;
+  EXPECT_NE(doc.find("{\"tenant\":7,\"socket\":-1,\"controller\":-1,"
+                     "\"charge\":\"shed\",\"reason\":3,\"bytes\":40,"
+                     "\"count\":2}"),
+            std::string::npos)
+      << doc;
+  // Rollup: served bytes from kServed cells, shed count from kShed cells.
+  EXPECT_NE(doc.find("{\"tenant\":7,\"served_bytes\":100,\"sheds\":2}"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"served\":{\"bytes\":100,\"count\":1}"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"shed\":{\"bytes\":40,\"count\":2}"),
+            std::string::npos)
+      << doc;
+}
+
+TEST_F(AttributionTest, CsvExportIsSchemaStampedAndComplete) {
+  auto& a = Attribution::instance();
+  a.charge(1, 0, Charge::kMigration, 0, 12345);
+  const std::string path = ::testing::TempDir() + "attr_export.csv";
+  ASSERT_TRUE(a.write_csv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.rfind(std::string("# ") + util::CsvWriter::kSchemaVersion, 0),
+            0u)
+      << line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "tenant,socket,controller,charge,reason,bytes,count");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1,0,0,migration,0,12345,1");
+}
+
+TEST_F(AttributionTest, EncodeRestoreRoundTripsTheLedger) {
+  auto& a = Attribution::instance();
+  a.set_controllers_per_socket(8);
+  a.charge(1, 9, Charge::kServed, 0, 111);
+  a.charge(2, -1, Charge::kShed, 5, 222, 3);
+  const std::vector<std::uint8_t> blob = a.encode();
+  a.reset();
+  a.set_controllers_per_socket(4);
+  ASSERT_TRUE(a.restore(blob).ok());
+  const auto cells = a.cells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].key.tenant, 1u);
+  EXPECT_EQ(cells[0].key.socket, 1);  // 9 / 8 from the restored width
+  EXPECT_EQ(cells[0].bytes, 111u);
+  EXPECT_EQ(cells[1].key.reason, 5u);
+  EXPECT_EQ(cells[1].count, 3u);
+  // The snapshot carries the socket width too: new charges keep deriving
+  // sockets the way the snapshotted process did.
+  a.charge(3, 9, Charge::kProbe, 0, 1);
+  const auto after = a.cells();
+  ASSERT_EQ(after.size(), 3u);
+  EXPECT_EQ(after[2].key.socket, 1);
+}
+
+TEST_F(AttributionTest, RestoreReplacesExistingCellsWholesale) {
+  auto& a = Attribution::instance();
+  a.charge(9, 0, Charge::kServed, 0, 777);
+  const std::vector<std::uint8_t> blob = a.encode();
+  a.reset();
+  a.charge(8, 1, Charge::kScrub, 0, 1);  // pre-restore state must vanish
+  ASSERT_TRUE(a.restore(blob).ok());
+  EXPECT_EQ(a.tenant_bytes(8, Charge::kScrub), 0u);
+  EXPECT_EQ(a.tenant_bytes(9, Charge::kServed), 777u);
+}
+
+TEST_F(AttributionTest, RestoreRefusesCorruptBlobsTyped) {
+  auto& a = Attribution::instance();
+  a.charge(1, 0, Charge::kServed, 0, 10);
+  std::vector<std::uint8_t> blob = a.encode();
+
+  // Truncated header.
+  EXPECT_FALSE(a.restore({blob.begin(), blob.begin() + 7}).ok());
+  // Truncated mid-cell.
+  EXPECT_FALSE(a.restore({blob.begin(), blob.end() - 5}).ok());
+  // Trailing garbage.
+  std::vector<std::uint8_t> padded = blob;
+  padded.push_back(0);
+  EXPECT_FALSE(a.restore(padded).ok());
+  // Unknown snapshot version.
+  std::vector<std::uint8_t> vbad = blob;
+  vbad[0] = 0xFF;
+  const util::Status st = a.restore(vbad);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.error().message.find("version"), std::string::npos);
+  // Zero controllers-per-socket would divide by zero on the next charge.
+  std::vector<std::uint8_t> zps = blob;
+  zps[4] = zps[5] = zps[6] = zps[7] = 0;
+  EXPECT_FALSE(a.restore(zps).ok());
+  // Charge ordinal past kMigration.
+  std::vector<std::uint8_t> cbad = blob;
+  cbad[16 + 12] = 0x09;  // header(16) + tenant/socket/controller(12) = charge
+  EXPECT_FALSE(a.restore(cbad).ok());
+
+  // A refused restore must not have clobbered the live ledger.
+  EXPECT_EQ(a.tenant_bytes(1, Charge::kServed), 10u);
+}
+
+TEST_F(AttributionTest, ChargesMirrorIntoRegistryCounters) {
+  auto& served = MetricsRegistry::instance().counter(
+      "mcopt_attr_served_bytes_total",
+      "bytes served, attributed to (tenant, socket, controller)");
+  auto& sheds = MetricsRegistry::instance().counter(
+      "mcopt_attr_shed_events_total",
+      "shed verdicts attributed to (tenant, shed reason)");
+  const std::uint64_t served0 = served.value();
+  const std::uint64_t sheds0 = sheds.value();
+  auto& a = Attribution::instance();
+  a.charge_spread(1, {0, 1}, Charge::kServed, 0, 4096);
+  a.charge(2, -1, Charge::kShed, 1, 128, 4);
+  EXPECT_EQ(served.value() - served0, 4096u);
+  EXPECT_EQ(sheds.value() - sheds0, 4u);
+}
+
+}  // namespace
+}  // namespace mcopt::obs

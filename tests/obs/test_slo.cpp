@@ -1,0 +1,178 @@
+// Unit tests for the SLO error-budget monitor: burn math, window aging on
+// the service timeline, the multi-window edge-triggered alert rule, and the
+// JSON export obs_query --burn-report reads.
+
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mcopt::obs {
+namespace {
+
+/// Small windows so a test can age buckets out with tiny cycle counts:
+/// fast = 100 cycles / 4 buckets (25 cycles each), slow = 400 / 4.
+SloBurnConfig tiny_config() {
+  SloBurnConfig cfg;
+  cfg.target = 0.9;  // 10% error budget => burn = miss_fraction * 10
+  cfg.fast_window = 100;
+  cfg.slow_window = 400;
+  cfg.buckets = 4;
+  cfg.fast_alert = 5.0;
+  cfg.slow_alert = 2.0;
+  return cfg;
+}
+
+TEST(SloBurnConfig, CheckRefusesNonsense) {
+  SloBurnConfig cfg = tiny_config();
+  EXPECT_TRUE(cfg.check().ok());
+  cfg.target = 1.0;
+  EXPECT_FALSE(cfg.check().ok());
+  cfg = tiny_config();
+  cfg.fast_window = cfg.slow_window;  // fast must be strictly shorter
+  EXPECT_FALSE(cfg.check().ok());
+  cfg = tiny_config();
+  cfg.buckets = 1;
+  EXPECT_FALSE(cfg.check().ok());
+  cfg = tiny_config();
+  cfg.fast_alert = 0.0;
+  EXPECT_FALSE(cfg.check().ok());
+  cfg = tiny_config();
+  cfg.slow_window = 0;
+  EXPECT_FALSE(cfg.check().ok());
+}
+
+TEST(SloMonitor, ConstructorThrowsOnBadConfig) {
+  SloBurnConfig cfg = tiny_config();
+  cfg.target = -1.0;
+  EXPECT_THROW(SloMonitor{cfg}, std::invalid_argument);
+}
+
+TEST(SloMonitor, BurnRateIsMissFractionOverBudget) {
+  SloBurnConfig cfg = tiny_config();
+  // Burn caps at 1/budget = 10 here; unreachable thresholds keep this test
+  // about the math, not the alert rule.
+  cfg.fast_alert = 50.0;
+  cfg.slow_alert = 50.0;
+  SloMonitor mon(cfg);
+  // 1 miss in 4 outcomes = 25% miss fraction; budget is 10% => burn 2.5.
+  mon.record(1, 0, true, 10);
+  mon.record(1, 0, false, 11);
+  mon.record(1, 0, false, 12);
+  mon.record(1, 0, false, 13);
+  const auto burns = mon.burns();
+  ASSERT_EQ(burns.size(), 1u);
+  EXPECT_EQ(burns[0].tenant, 1u);
+  EXPECT_EQ(burns[0].total, 4u);
+  EXPECT_EQ(burns[0].missed, 1u);
+  EXPECT_DOUBLE_EQ(burns[0].fast_burn, 2.5);
+  EXPECT_DOUBLE_EQ(burns[0].slow_burn, 2.5);
+  EXPECT_EQ(burns[0].alerts, 0u);
+}
+
+TEST(SloMonitor, FastWindowAgesOutMissesTheSlowWindowStillHolds) {
+  SloMonitor mon(tiny_config());
+  mon.record(1, 0, true, 10);  // fast bucket 0 (25-cycle buckets)
+  // Jump far enough that the miss left the 100-cycle fast window but is
+  // still inside the 400-cycle slow window (100-cycle buckets).
+  mon.record(1, 0, false, 210);
+  const auto burns = mon.burns();
+  ASSERT_EQ(burns.size(), 1u);
+  EXPECT_DOUBLE_EQ(burns[0].fast_burn, 0.0);   // miss aged out of fast
+  EXPECT_DOUBLE_EQ(burns[0].slow_burn, 5.0);   // 1/2 missed over 10% budget
+  // Lifetime tallies never age.
+  EXPECT_EQ(burns[0].total, 2u);
+  EXPECT_EQ(burns[0].missed, 1u);
+}
+
+TEST(SloMonitor, OutcomesOlderThanTheWindowAreIgnored) {
+  SloMonitor mon(tiny_config());
+  mon.record(1, 0, false, 1000);
+  mon.record(1, 0, true, 0);  // far older than both windows: no burn impact
+  const auto burns = mon.burns();
+  ASSERT_EQ(burns.size(), 1u);
+  EXPECT_DOUBLE_EQ(burns[0].fast_burn, 0.0);
+  EXPECT_DOUBLE_EQ(burns[0].slow_burn, 0.0);
+  EXPECT_EQ(burns[0].missed, 1u);  // still counted in the lifetime tally
+}
+
+TEST(SloMonitor, AlertNeedsBothWindowsBurningAndFiresOnlyOnMisses) {
+  SloMonitor mon(tiny_config());
+  // All-miss traffic: fast burn = slow burn = 10 >= both thresholds, and
+  // every recorded miss re-fires (edge-triggered per miss).
+  mon.record(2, 1, true, 10);
+  mon.record(2, 1, true, 11);
+  EXPECT_EQ(mon.alerts_fired(), 2u);
+  // A served job while both windows still burn must NOT alert.
+  mon.record(2, 1, false, 12);
+  EXPECT_EQ(mon.alerts_fired(), 2u);
+  const auto alerts = mon.drain_alerts();
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].tenant, 2u);
+  EXPECT_EQ(alerts[0].slo_class, 1u);
+  EXPECT_EQ(alerts[0].at, 10u);
+  EXPECT_GE(alerts[0].fast_burn, 5.0);
+  EXPECT_GE(alerts[0].slow_burn, 2.0);
+  // Drain empties the queue; the lifetime count survives.
+  EXPECT_TRUE(mon.drain_alerts().empty());
+  EXPECT_EQ(mon.alerts_fired(), 2u);
+}
+
+TEST(SloMonitor, NoAlertWhenOnlyTheFastWindowBurns) {
+  SloBurnConfig cfg = tiny_config();
+  cfg.slow_alert = 9.0;  // slow window must be nearly all-miss to confirm
+  SloMonitor mon(cfg);
+  // Dilute the slow window with 8 served outcomes spread across it, then
+  // miss twice in one fast bucket: fast burns hot, slow stays below 9.
+  for (std::uint64_t c = 0; c < 8; ++c) mon.record(1, 0, false, c * 50);
+  mon.record(1, 0, true, 401);
+  mon.record(1, 0, true, 402);
+  EXPECT_EQ(mon.alerts_fired(), 0u);
+  const auto burns = mon.burns();
+  ASSERT_EQ(burns.size(), 1u);
+  EXPECT_GE(burns[0].fast_burn, cfg.fast_alert);
+  EXPECT_LT(burns[0].slow_burn, cfg.slow_alert);
+}
+
+TEST(SloMonitor, TracksTenantClassPairsIndependently) {
+  SloMonitor mon(tiny_config());
+  mon.record(1, 0, true, 10);
+  mon.record(1, 1, false, 10);
+  mon.record(2, 0, false, 10);
+  const auto burns = mon.burns();
+  ASSERT_EQ(burns.size(), 3u);  // (1,0), (1,1), (2,0)
+  EXPECT_EQ(burns[0].missed, 1u);
+  EXPECT_EQ(burns[1].missed, 0u);
+  EXPECT_EQ(burns[2].missed, 0u);
+}
+
+TEST(SloMonitor, JsonCarriesConfigAndEntries) {
+  SloMonitor mon(tiny_config());
+  mon.record(3, 2, true, 10);
+  const std::string doc = mon.json();
+  EXPECT_NE(doc.find("\"target\":0.900000"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"fast_window\":100"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"slow_window\":400"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"tenant\":3,\"slo_class\":2,\"total\":1,"
+                     "\"missed\":1"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"alerts\":1"), std::string::npos) << doc;
+}
+
+TEST(SloMonitor, ResetDropsEntriesAlertsAndPending) {
+  SloMonitor mon(tiny_config());
+  mon.record(1, 0, true, 10);
+  ASSERT_EQ(mon.alerts_fired(), 1u);
+  mon.reset();
+  EXPECT_TRUE(mon.burns().empty());
+  EXPECT_TRUE(mon.drain_alerts().empty());
+  EXPECT_EQ(mon.alerts_fired(), 0u);
+}
+
+}  // namespace
+}  // namespace mcopt::obs

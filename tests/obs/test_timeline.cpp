@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -118,6 +119,57 @@ TEST(ChipTimeline, RowsTileTheRunAndConserveBusyCycles) {
         << "controller " << m;
   }
 }
+
+TEST(ChipTimeline, SocketRowsAggregateControllerBusyExactly) {
+  // The timeline is controller-granular; socket-level views (chaos/NUMA
+  // dashboards, obs_query) derive socket = controller / 4 and sum busy
+  // cycles. That aggregation must conserve busy time exactly: per-socket
+  // sums recomputed from the rows equal the per-socket sums of the
+  // end-of-run controller counters.
+  sim::SimConfig cfg;
+  cfg.mc_sample_cadence = 2000;
+  sim::Chip chip(cfg, arch::equidistant_placement(8, cfg.topology));
+  auto wl = read_streams(8, 8192);
+  const sim::SimResult res = chip.run(wl);
+  ASSERT_FALSE(res.mc_timeline.empty());
+
+  constexpr std::size_t kPerSocket = 4;
+  const std::size_t sockets = (res.mc.size() + kPerSocket - 1) / kPerSocket;
+  std::vector<double> from_rows(sockets, 0.0);
+  std::vector<double> from_counters(sockets, 0.0);
+  for (const auto& row : res.mc_timeline)
+    for (std::size_t m = 0; m < row.utilization.size(); ++m)
+      from_rows[m / kPerSocket] +=
+          row.utilization[m] * static_cast<double>(row.length());
+  for (std::size_t m = 0; m < res.mc.size(); ++m)
+    from_counters[m / kPerSocket] +=
+        static_cast<double>(res.mc[m].busy_cycles);
+  for (std::size_t s = 0; s < sockets; ++s)
+    EXPECT_NEAR(from_rows[s], from_counters[s],
+                1e-6 * static_cast<double>(res.total_cycles) + 1.0)
+        << "socket " << s;
+}
+
+#ifdef MCOPT_CHECK_OBS_SCRIPT
+TEST(McTimelineCsv, RoundTripsThroughTheSchemaChecker) {
+  // The writer's CSV and scripts/check_obs_outputs.py --timeline are two
+  // halves of one schema contract; exercise the real checker on real output
+  // so a drift in either side fails here, not in CI.
+  if (std::system("python3 --version > /dev/null 2>&1") != 0)
+    GTEST_SKIP() << "python3 not available";
+  McTimelineSeries s;
+  s.label = "offset=0";
+  s.samples.push_back({0, 2000, {0.5, 0.25, 0.0, 1.0}});
+  s.samples.push_back({2000, 4000, {0.1, 0.2, 0.3, 0.4}});
+  McTimelineSeries narrow{"narrow", {{0, 500, {0.9}}}};
+  const std::string path = testing::TempDir() + "timeline_checker.csv";
+  ASSERT_TRUE(write_mc_timeline_csv(path, {s, narrow}).ok());
+  const std::string cmd = std::string("python3 \"") + MCOPT_CHECK_OBS_SCRIPT +
+                          "\" --timeline \"" + path + "\" > /dev/null";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  std::remove(path.c_str());
+}
+#endif
 
 TEST(ChipTimeline, SecondRunStartsAFreshTimeline) {
   sim::SimConfig cfg;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <fstream>
@@ -250,6 +251,77 @@ TEST_F(TraceTest, LogLinesMirrorIntoTheTrace) {
   // After disable the mirror is torn down: logging no longer records.
   util::log_warn("not recorded");
   EXPECT_EQ(TraceRecorder::instance().snapshot().size(), 1u);
+}
+
+TEST_F(TraceTest, NextTraceIdIsNonzeroAndUnique) {
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 10000; ++i) ids.push_back(next_trace_id());
+  for (const std::uint64_t id : ids) ASSERT_NE(id, 0u);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end())
+      << "duplicate trace ids minted within one process";
+}
+
+TEST_F(TraceTest, FlowEventsExportAsChromeFlowPhases) {
+  TraceRecorder::instance().enable(256);
+  const std::uint64_t flow = next_trace_id();
+  trace_flow_start("job.flow.submit", "causal", flow, 7);
+  trace_flow_step("job.flow.admit", "causal", flow, 3);
+  trace_flow_end("job.flow.complete", "causal", flow, 3);
+
+  const auto events = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].phase, Phase::kFlowStart);
+  EXPECT_EQ(events[0].a, flow);
+  EXPECT_EQ(events[0].b, 7u);
+  EXPECT_EQ(events[2].phase, Phase::kFlowEnd);
+
+  const std::string path = temp_path("trace_flow.json");
+  ASSERT_TRUE(TraceRecorder::instance().write_chrome_trace(path).ok());
+  const std::string body = slurp(path);
+  EXPECT_EQ(count_occurrences(body, "\"ph\":\"s\""), 1u);
+  EXPECT_EQ(count_occurrences(body, "\"ph\":\"t\""), 1u);
+  EXPECT_EQ(count_occurrences(body, "\"ph\":\"f\""), 1u);
+  // The flow id binds the chain: hex "id" field on every flow event, and
+  // the terminating 'f' carries bp:"e" so viewers draw the final arrow.
+  char idbuf[32];
+  std::snprintf(idbuf, sizeof idbuf, "\"id\":\"0x%llx\"",
+                static_cast<unsigned long long>(flow));
+  EXPECT_EQ(count_occurrences(body, idbuf), 3u) << body;
+  EXPECT_EQ(count_occurrences(body, "\"bp\":\"e\""), 1u);
+  // Args survive as full-precision decimals (obs_query parses them as u64).
+  EXPECT_NE(body.find("\"b\":7"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, SeqlockRetriesAreCountedAndResetClearsThem) {
+  TraceRecorder::instance().enable(64);
+  // Single-threaded snapshots never observe a torn slot.
+  trace_instant("quiet", "test");
+  (void)TraceRecorder::instance().snapshot();
+  EXPECT_EQ(TraceRecorder::instance().seqlock_retries(), 0u);
+
+  // Hammer one ring from a writer while snapshotting: any retries the
+  // reader takes must be visible in the counter (zero is also legal — the
+  // counter only must never go backwards and must reset cleanly).
+  std::atomic<bool> stop{false};
+  std::thread writer([&stop] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire))
+      trace_instant("hot", "test", i++);
+  });
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    (void)TraceRecorder::instance().snapshot();
+    const std::uint64_t now = TraceRecorder::instance().seqlock_retries();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  TraceRecorder::instance().reset();
+  EXPECT_EQ(TraceRecorder::instance().seqlock_retries(), 0u);
 }
 
 TEST_F(TraceTest, DumpToFdIsWritableAndNonEmpty) {

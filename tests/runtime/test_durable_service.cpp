@@ -11,13 +11,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/attribution.h"
+#include "runtime/checkpoint.h"
 #include "runtime/durable/state.h"
 #include "runtime/supervisor.h"
 #include "util/backoff.h"
@@ -213,10 +217,17 @@ TEST_F(DurableServiceTest, JournaledCompletionsAreNotReRun) {
     auto h = ServiceHandle::open(base_config(d));
     ASSERT_TRUE(h.has_value());
     submit_range(*h.value(), 1, 10);
-    // Journal the outcomes that already finalized, then "crash".
-    for (int i = 0; i < 200 && done_before_crash < 10; ++i) {
+    // Journal the outcomes that already finalized, then "crash". The pump
+    // loop carries a real time budget: on a loaded machine the workers can
+    // be starved long enough that a fixed spin count journals nothing.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (done_before_crash < 10 &&
+           std::chrono::steady_clock::now() < deadline) {
       (void)h.value()->pump();
       done_before_crash = total_completed(h.value()->ledger());
+      if (done_before_crash < 10)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     ASSERT_TRUE(h.value()->flush().ok());
     EXPECT_GT(done_before_crash, 0u);
@@ -604,6 +615,112 @@ TEST_F(DurableServiceTest, StateImageRoundTripsBitExactly) {
   EXPECT_EQ(got.clocks.admit_tail, 3u);
   EXPECT_EQ(got.ledger[0].served_bytes, 500u);
   EXPECT_FALSE(got.has_node_supervisor);
+}
+
+TEST_F(DurableServiceTest, StateImageCarriesTheAttributionSection) {
+  obs::Attribution::instance().reset();
+  obs::Attribution::instance().charge(1, 2, obs::Charge::kServed, 0, 4096);
+  obs::Attribution::instance().charge(2, -1, obs::Charge::kShed, 3, 512, 2);
+
+  StateImage im;
+  im.snapshot_id = 1;
+  im.door.tenants.resize(2);
+  im.ledger.resize(2);
+  im.has_attribution = true;
+  im.attribution = obs::Attribution::instance().encode();
+
+  const std::string p = subdir("attr_state.mcpt");
+  ASSERT_TRUE(save_state(p, im).ok());
+  auto back = load_state(p);
+  ASSERT_TRUE(back.has_value()) << back.error().message;
+  ASSERT_TRUE(back.value().has_attribution);
+  EXPECT_EQ(back.value().attribution, im.attribution);
+
+  // The loaded blob restores the ledger exactly (a fresh "process").
+  obs::Attribution::instance().reset();
+  ASSERT_TRUE(obs::Attribution::instance().restore(back.value().attribution)
+                  .ok());
+  EXPECT_EQ(obs::Attribution::instance().tenant_bytes(1, obs::Charge::kServed),
+            4096u);
+  EXPECT_EQ(obs::Attribution::instance().tenant_count(2, obs::Charge::kShed),
+            2u);
+  obs::Attribution::instance().reset();
+}
+
+TEST_F(DurableServiceTest, UnknownStateSectionFlagsAreATypedRefusal) {
+  StateImage im;
+  im.snapshot_id = 1;
+  const std::string p = subdir("flags.mcpt");
+  ASSERT_TRUE(save_state(p, im).ok());
+
+  // A future writer sets a section flag this build does not know. Loading
+  // must refuse — skipping an unknown section would drop state silently.
+  auto ckpt = load_checkpoint(p);
+  ASSERT_TRUE(ckpt.has_value());
+  Checkpoint doctored = ckpt.value();
+  doctored.user[1] |= std::uint64_t{1} << 7;
+  ASSERT_TRUE(save_checkpoint(p, doctored).ok());
+  auto refused = load_state(p);
+  ASSERT_FALSE(refused.has_value());
+  EXPECT_NE(refused.error().message.find("unknown section flags"),
+            std::string::npos)
+      << refused.error().message;
+}
+
+TEST_F(DurableServiceTest, V1StateImagesStillLoad) {
+  // A v1 image is a v2 image without the new sections and with the version
+  // word dialed back — exactly what a pre-attribution build wrote.
+  StateImage im;
+  im.snapshot_id = 4;
+  im.max_submission_id = 55;
+  im.door.tenants.resize(1);
+  im.ledger = {TenantLedger{3, 300, 1}};
+  const std::string p = subdir("v1.mcpt");
+  ASSERT_TRUE(save_state(p, im).ok());
+  auto ckpt = load_checkpoint(p);
+  ASSERT_TRUE(ckpt.has_value());
+  Checkpoint old = ckpt.value();
+  old.user[0] = 1;  // kStateImageMinVersion
+  ASSERT_TRUE(save_checkpoint(p, old).ok());
+
+  auto back = load_state(p);
+  ASSERT_TRUE(back.has_value()) << back.error().message;
+  EXPECT_EQ(back.value().max_submission_id, 55u);
+  EXPECT_EQ(back.value().ledger[0].served_bytes, 300u);
+  EXPECT_FALSE(back.value().has_attribution);
+}
+
+TEST_F(DurableServiceTest, AttributionReconcilesWithLedgerAcrossCrashReplay) {
+  // The in-process mirror of the bench/durability contract: after a crash
+  // (no drain, outcomes unjournaled) and a replayed restart, the attribution
+  // ledger's per-tenant served bytes and shed events equal the service
+  // ledger exactly.
+  obs::Attribution::instance().reset();
+  const std::string d = subdir("attr");
+  {
+    auto h = ServiceHandle::open(base_config(d));
+    ASSERT_TRUE(h.has_value());
+    submit_range(*h.value(), 1, 24);
+    for (int i = 0; i < 50; ++i) (void)h.value()->pump();
+    ASSERT_TRUE(h.value()->flush().ok());
+  }
+  obs::Attribution::instance().reset();  // the restart is a fresh process
+  auto h = ServiceHandle::open(base_config(d));
+  ASSERT_TRUE(h.has_value()) << h.error().message;
+  ASSERT_TRUE(h.value()->drain(nullptr).ok());
+  const std::vector<TenantLedger> ledger = h.value()->ledger();
+  for (std::size_t i = 0; i < ledger.size(); ++i) {
+    const auto tenant = static_cast<std::uint32_t>(i + 1);
+    EXPECT_EQ(
+        obs::Attribution::instance().tenant_bytes(tenant, obs::Charge::kServed),
+        ledger[i].served_bytes)
+        << "tenant " << tenant;
+    EXPECT_EQ(
+        obs::Attribution::instance().tenant_count(tenant, obs::Charge::kShed),
+        ledger[i].sheds)
+        << "tenant " << tenant;
+  }
+  obs::Attribution::instance().reset();
 }
 
 TEST_F(DurableServiceTest, BreakerAndBackoffSnapshotsRestoreBehavior) {
